@@ -1,0 +1,96 @@
+// Shared scaffolding for the experiment benches: the paper's simulation
+// setup (Section 4.1) and result-table printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "coord/coordinator_tree.h"
+#include "coord/hierarchy.h"
+#include "net/deployment.h"
+#include "net/topology.h"
+#include "sim/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+
+namespace cosmos::bench {
+
+/// The paper's simulated system (Section 4.1), scaled by `scale` in (0,1]
+/// so quick runs stay quick: 4096-node transit-stub topology, 100 sources,
+/// 256 processors, 20,000 substreams, g=20 groups, zipf theta=0.8.
+struct SimSetup {
+  net::Topology topo;
+  net::Deployment deployment;
+  std::unique_ptr<coord::CoordinatorTree> tree;
+  std::unique_ptr<sim::WorkloadGenerator> workload;
+  std::unique_ptr<sim::CostModel> cost;
+
+  SimSetup(double scale, std::size_t cluster_k, std::uint64_t seed) {
+    Rng rng{seed};
+    net::TransitStubParams tp;  // 4096 nodes at scale 1
+    tp.stub_nodes_per_domain =
+        std::max<std::size_t>(4, static_cast<std::size_t>(85 * scale));
+    topo = net::make_transit_stub(tp, rng);
+    net::DeploymentParams dp;
+    dp.num_sources = std::max<std::size_t>(8, static_cast<std::size_t>(100 * scale));
+    dp.num_processors =
+        std::max<std::size_t>(8, static_cast<std::size_t>(256 * scale));
+    deployment = net::make_deployment(topo, dp, rng);
+    tree = std::make_unique<coord::CoordinatorTree>(deployment, cluster_k, rng);
+    sim::WorkloadParams wp;
+    wp.num_substreams =
+        std::max<std::size_t>(200, static_cast<std::size_t>(20'000 * scale));
+    wp.groups = 20;
+    wp.interest_min = std::max<std::size_t>(10, static_cast<std::size_t>(100 * scale));
+    wp.interest_max = std::max<std::size_t>(20, static_cast<std::size_t>(200 * scale));
+    workload = std::make_unique<sim::WorkloadGenerator>(deployment, wp, seed + 1);
+    cost = std::make_unique<sim::CostModel>(topo, deployment);
+  }
+
+  [[nodiscard]] coord::HierarchicalDistributor make_distributor(
+      std::uint64_t seed) const {
+    return coord::HierarchicalDistributor{deployment, *tree,
+                                          workload->space(),
+                                          coord::HierarchyParams{}, seed};
+  }
+
+  [[nodiscard]] double pairwise_total(
+      const std::unordered_map<QueryId, NodeId>& placement,
+      const std::unordered_map<QueryId, query::InterestProfile>& profiles)
+      const {
+    return cost->pairwise_cost(placement, profiles, workload->space()).total();
+  }
+  [[nodiscard]] double multicast_total(
+      const std::unordered_map<QueryId, NodeId>& placement,
+      const std::unordered_map<QueryId, query::InterestProfile>& profiles)
+      const {
+    return cost->communication_cost(placement, profiles, workload->space())
+        .total();
+  }
+};
+
+inline std::unordered_map<QueryId, query::InterestProfile> to_map(
+    const std::vector<query::InterestProfile>& profiles) {
+  std::unordered_map<QueryId, query::InterestProfile> out;
+  out.reserve(profiles.size());
+  for (const auto& p : profiles) out.emplace(p.query, p);
+  return out;
+}
+
+/// Reads scale/seed from env (COSMOS_BENCH_SCALE, COSMOS_BENCH_SEED) so the
+/// full paper-scale run is one env var away.
+inline double env_scale(double fallback) {
+  if (const char* s = std::getenv("COSMOS_BENCH_SCALE")) return std::atof(s);
+  return fallback;
+}
+inline std::uint64_t env_seed(std::uint64_t fallback) {
+  if (const char* s = std::getenv("COSMOS_BENCH_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return fallback;
+}
+
+}  // namespace cosmos::bench

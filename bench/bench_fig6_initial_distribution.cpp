@@ -1,0 +1,70 @@
+// Figure 6 — Initial query distribution.
+//
+// (a) Weighted communication cost of Centralized / Hierarchical / Greedy /
+//     Naive as the number of queries grows.
+// (b) Response time and total time of the centralized vs hierarchical
+//     mapping algorithms.
+//
+// Expected shape (paper): Naive worst by a wide margin; Greedy in between;
+// Hierarchical ~= Centralized; hierarchical response and total time far
+// below centralized.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace cosmos;
+using namespace cosmos::bench;
+
+int main() {
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  SimSetup setup{scale, /*cluster_k=*/4, seed};
+
+  std::vector<std::size_t> query_counts;
+  for (const std::size_t q : {5'000, 10'000, 20'000, 30'000, 40'000, 60'000}) {
+    query_counts.push_back(
+        std::max<std::size_t>(200, static_cast<std::size_t>(q * scale)));
+  }
+
+  std::printf("# Fig 6: initial query distribution (scale=%.2f seed=%llu)\n",
+              scale, static_cast<unsigned long long>(seed));
+  std::printf("# procs=%zu sources=%zu substreams=%zu\n",
+              setup.deployment.processors.size(),
+              setup.deployment.sources.size(), setup.workload->space().size());
+  std::printf(
+      "%10s %14s %14s %14s %14s | %12s %12s %12s\n", "queries", "naive",
+      "greedy", "hierarchical", "centralized", "cen_total_s", "hie_total_s",
+      "hie_resp_s");
+
+  for (const std::size_t nq : query_counts) {
+    SimSetup fresh{scale, 4, seed};  // identical workload per row
+    const auto profiles = fresh.workload->make_queries(nq);
+    const auto pmap = to_map(profiles);
+
+    const double naive =
+        fresh.pairwise_total(sim::naive_placement(profiles), pmap);
+
+    Rng g_rng{seed + 2};
+    const auto greedy = sim::centralized_placement(
+        profiles, fresh.deployment, fresh.workload->space(), {}, {},
+        /*refine=*/false, g_rng);
+    const double greedy_cost = fresh.pairwise_total(greedy.placement, pmap);
+
+    auto dist = fresh.make_distributor(seed + 3);
+    const auto timing = dist.distribute(profiles);
+    const double hier = fresh.pairwise_total(dist.placement(), pmap);
+
+    Rng c_rng{seed + 4};
+    const auto central = sim::centralized_placement(
+        profiles, fresh.deployment, fresh.workload->space(), {}, {},
+        /*refine=*/true, c_rng);
+    const double central_cost = fresh.pairwise_total(central.placement, pmap);
+
+    std::printf("%10zu %14.3e %14.3e %14.3e %14.3e | %12.3f %12.3f %12.3f\n",
+                nq, naive, greedy_cost, hier, central_cost, central.seconds,
+                timing.total_seconds, timing.response_seconds);
+    std::fflush(stdout);
+  }
+  return 0;
+}

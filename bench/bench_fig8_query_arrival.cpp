@@ -1,0 +1,86 @@
+// Figure 8 — Online arrival of new queries.
+//
+// Starting from 30,000 distributed queries, 1,500 new queries arrive per
+// 200-second interval. Series: Random (new queries placed randomly),
+// Online (Section 3.6 insertion), Online-Adaptive (insertion + an
+// adaptation round per interval).
+// Expected shape: Random degrades fastest; Online keeps communication cost
+// low but load imbalance creeps up; Online-Adaptive is best on both.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cosmos;
+using namespace cosmos::bench;
+
+int main() {
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  const std::size_t initial =
+      std::max<std::size_t>(500, static_cast<std::size_t>(30'000 * scale));
+  const std::size_t batch =
+      std::max<std::size_t>(50, static_cast<std::size_t>(1'500 * scale));
+  const int intervals = 10;
+
+  SimSetup setup{scale, 4, seed};
+  const auto initial_profiles = setup.workload->make_queries(initial);
+
+  auto random_d = setup.make_distributor(seed + 1);
+  auto online_d = setup.make_distributor(seed + 2);
+  auto online_adaptive_d = setup.make_distributor(seed + 3);
+  random_d.distribute(initial_profiles);
+  online_d.distribute(initial_profiles);
+  online_adaptive_d.distribute(initial_profiles);
+
+  Rng rrng{seed + 9};
+
+  std::printf("# Fig 8: new query arrival (scale=%.2f seed=%llu initial=%zu "
+              "batch=%zu)\n",
+              scale, static_cast<unsigned long long>(seed), initial, batch);
+  std::printf("%9s %14s %14s %14s | %12s %12s %12s\n", "interval", "random",
+              "online", "online-adpt", "rnd-stddev", "onl-stddev",
+              "oa-stddev");
+  for (int t = 0; t <= intervals; ++t) {
+    const auto report = [&](coord::HierarchicalDistributor& d) {
+      return setup.pairwise_total(d.placement(), d.profiles());
+    };
+    std::printf(
+        "%9d %14.4e %14.4e %14.4e | %12.4f %12.4f %12.4f\n", t,
+        report(random_d), report(online_d), report(online_adaptive_d),
+        sim::load_stddev(random_d.placement(), random_d.profiles(),
+                         setup.deployment),
+        sim::load_stddev(online_d.placement(), online_d.profiles(),
+                         setup.deployment),
+        sim::load_stddev(online_adaptive_d.placement(),
+                         online_adaptive_d.profiles(), setup.deployment));
+    std::fflush(stdout);
+    if (t == intervals) break;
+    const auto batch_profiles = setup.workload->make_queries(batch);
+    for (const auto& p : batch_profiles) {
+      // Random: ignore interest, pick any processor.
+      auto pr = p;
+      random_d.insert_query(pr);  // to register profile...
+    }
+    // Re-place the random distributor's new batch uniformly at random.
+    {
+      auto placement = random_d.placement();
+      auto profs = random_d.profiles();
+      std::vector<std::pair<QueryId, NodeId>> pl(placement.begin(),
+                                                 placement.end());
+      for (auto& [q, node] : pl) {
+        if (q.value() >= initial + static_cast<std::size_t>(t) * batch) {
+          node = setup.deployment.processors[rrng.next_below(
+              setup.deployment.processors.size())];
+        }
+      }
+      std::vector<query::InterestProfile> pvec;
+      pvec.reserve(profs.size());
+      for (auto& [q, p2] : profs) pvec.push_back(p2);
+      random_d.place_at(pl, pvec);
+    }
+    for (const auto& p : batch_profiles) online_d.insert_query(p);
+    for (const auto& p : batch_profiles) online_adaptive_d.insert_query(p);
+    online_adaptive_d.adapt();
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9 — Effect of the cluster size parameter k.
+//
+// (a) communication cost of the initial distribution for k in {2,4,8,16}
+// (b) online insertion throughput at the root coordinator.
+// Expected shape: larger k -> better distribution quality (fewer coarsening
+// levels) but lower insertion throughput (the root weighs more children).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace cosmos;
+using namespace cosmos::bench;
+
+int main() {
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  const std::size_t nq =
+      std::max<std::size_t>(500, static_cast<std::size_t>(30'000 * scale));
+  const std::size_t probes =
+      std::max<std::size_t>(200, static_cast<std::size_t>(5'000 * scale));
+
+  std::printf("# Fig 9: cluster size parameter (scale=%.2f seed=%llu "
+              "queries=%zu)\n",
+              scale, static_cast<unsigned long long>(seed), nq);
+  std::printf("%4s %8s %16s %22s\n", "k", "height", "comm-cost",
+              "insert-throughput(q/s)");
+  for (const std::size_t k : {2, 4, 8, 16}) {
+    SimSetup setup{scale, k, seed};
+    const auto profiles = setup.workload->make_queries(nq);
+    auto d = setup.make_distributor(seed + 1);
+    d.distribute(profiles);
+    const double cost = setup.pairwise_total(d.placement(), d.profiles());
+
+    const auto inserts = setup.workload->make_queries(probes);
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& p : inserts) d.insert_query(p);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    std::printf("%4zu %8d %16.4e %22.0f\n", k, setup.tree->height(), cost,
+                static_cast<double>(probes) / secs);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table 2 — the Fig 5 worked example: WEC of three mapping schemes, and the
+// scheme Algorithm 2 actually finds. See tests/graph/paper_example_test.cpp
+// for the assertions; this bench prints the table.
+#include <cstdio>
+
+#include "graph/edge_model.h"
+#include "graph/mapping.h"
+
+using namespace cosmos;
+using namespace cosmos::graph;
+
+int main() {
+  const NodeId s1{0}, s2{1}, n1{2}, n2{3};
+  query::SubstreamSpace space{{s1, s1, s2, s2, s2}, {5, 5, 5, 5, 5}};
+  std::vector<query::InterestProfile> profiles;
+  const auto mk = [&](QueryId id, std::initializer_list<int> bits,
+                      NodeId proxy) {
+    query::InterestProfile p;
+    p.query = id;
+    p.proxy = proxy;
+    p.interest = BitVector{5};
+    for (const int b : bits) p.interest.set(static_cast<std::size_t>(b));
+    p.output_rate = 1.0;
+    p.load = 0.1;
+    profiles.push_back(std::move(p));
+  };
+  mk(QueryId{1}, {0, 1}, n1);
+  mk(QueryId{2}, {2, 3}, n1);
+  mk(QueryId{3}, {0}, n2);
+  mk(QueryId{4}, {4}, n2);
+
+  EdgeModel model{space};
+  std::vector<QueryVertex> items;
+  for (const auto& p : profiles) items.push_back(to_query_vertex(p));
+  Rng rng{1};
+  QueryGraph qg = build_query_graph(items, model, {}, nullptr, rng);
+
+  NetworkGraph ng;
+  ng.add_vertex({"n1", 1.0, true, n1});
+  ng.add_vertex({"n2", 1.0, true, n2});
+  ng.add_vertex({"s1", 0.0, false, s1});
+  ng.add_vertex({"s2", 0.0, false, s2});
+  ng.finalize_vertices();
+  ng.set_distance(2, 0, 2.0);
+  ng.set_distance(0, 1, 5.0);
+  ng.set_distance(1, 3, 2.0);
+  ng.set_distance(2, 1, 7.0);
+  ng.set_distance(0, 3, 7.0);
+  ng.set_distance(2, 3, 9.0);
+  for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+    auto& v = qg.vertex(i);
+    if (!v.is_n()) continue;
+    const auto k = ng.find_by_node(v.node);
+    v.clu = ng.vertex(k).assignable ? static_cast<int>(k) : -1;
+  }
+
+  const auto scheme = [&](std::initializer_list<int> targets) {
+    std::vector<NetworkGraph::VertexIndex> a(qg.size());
+    std::size_t qi = 0;
+    for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+      if (qg.vertex(i).is_n()) {
+        a[i] = ng.find_by_node(qg.vertex(i).node);
+      } else {
+        a[i] = static_cast<NetworkGraph::VertexIndex>(*(targets.begin() + qi++));
+      }
+    }
+    return a;
+  };
+
+  std::printf("# Table 2: mapping schemes for the Fig 5 example\n");
+  std::printf("%-40s %-22s %8s\n", "scheme", "load", "WEC");
+  std::printf("%-40s %-22s %8.0f\n", "1: Q1,Q2->n1; Q3,Q4->n2 (proxies)",
+              "n1:0.2 n2:0.2", weighted_edge_cut(qg, ng, scheme({0, 0, 1, 1})));
+  std::printf("%-40s %-22s %8.0f\n", "2: Q1,Q4->n1; Q2,Q3->n2 (no sharing)",
+              "n1:0.2 n2:0.2", weighted_edge_cut(qg, ng, scheme({0, 1, 1, 0})));
+  std::printf("%-40s %-22s %8.0f\n", "3: Q1,Q3->n1; Q2,Q4->n2 (sharing)",
+              "n1:0.2 n2:0.2", weighted_edge_cut(qg, ng, scheme({0, 1, 0, 1})));
+  Rng mrng{2};
+  const auto found = map_query_graph(qg, ng, {}, mrng);
+  std::printf("Algorithm 2 finds WEC = %.0f (scheme 3 co-location: %s)\n",
+              found.wec,
+              found.assignment[0] == found.assignment[2] ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "common/bit_vector.h"
+
+#include <bit>
+#include <cassert>
+
+namespace cosmos {
+
+BitVector::BitVector(std::size_t bits)
+    : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+void BitVector::set(std::size_t i) noexcept {
+  assert(i < bits_);
+  words_[i / kWordBits] |= (std::uint64_t{1} << (i % kWordBits));
+}
+
+void BitVector::reset(std::size_t i) noexcept {
+  assert(i < bits_);
+  words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+}
+
+bool BitVector::test(std::size_t i) const noexcept {
+  assert(i < bits_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1U;
+}
+
+std::size_t BitVector::count() const noexcept {
+  std::size_t n = 0;
+  for (const auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVector::intersects(const BitVector& other) const noexcept {
+  assert(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+std::size_t BitVector::intersection_count(
+    const BitVector& other) const noexcept {
+  assert(bits_ == other.bits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+double BitVector::weighted_intersection(
+    const BitVector& other, std::span<const double> weights) const noexcept {
+  assert(bits_ == other.bits_);
+  assert(weights.size() >= bits_);
+  double sum = 0.0;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi] & other.words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      sum += weights[wi * kWordBits + static_cast<std::size_t>(bit)];
+      w &= w - 1;
+    }
+  }
+  return sum;
+}
+
+double BitVector::weighted_count(
+    std::span<const double> weights) const noexcept {
+  assert(weights.size() >= bits_);
+  double sum = 0.0;
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      sum += weights[wi * kWordBits + static_cast<std::size_t>(bit)];
+      w &= w - 1;
+    }
+  }
+  return sum;
+}
+
+void BitVector::merge(const BitVector& other) noexcept {
+  assert(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+std::vector<std::size_t> BitVector::set_bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out.push_back(wi * kWordBits + static_cast<std::size_t>(bit));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace cosmos

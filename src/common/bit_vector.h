@@ -1,0 +1,63 @@
+// Fixed-size dynamic bit vector tuned for query-interest profiles.
+//
+// The paper (Section 3.2) partitions each stream into substreams and
+// represents each query's data interest as a bit vector so that overlap
+// between two queries can be estimated with cheap bit operations. This class
+// provides exactly that: set/test, popcount, intersection tests, and a
+// weighted-intersection accumulator used to compute overlap *rates*.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cosmos {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All-zero vector with `bits` addressable positions.
+  explicit BitVector(std::size_t bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  void set(std::size_t i) noexcept;
+  void reset(std::size_t i) noexcept;
+  [[nodiscard]] bool test(std::size_t i) const noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True if any bit is set in both vectors. Sizes must match.
+  [[nodiscard]] bool intersects(const BitVector& other) const noexcept;
+
+  /// popcount(this AND other). Sizes must match.
+  [[nodiscard]] std::size_t intersection_count(
+      const BitVector& other) const noexcept;
+
+  /// Sum of weights[i] over all i set in (this AND other).
+  /// `weights` must cover at least size() entries.
+  [[nodiscard]] double weighted_intersection(
+      const BitVector& other, std::span<const double> weights) const noexcept;
+
+  /// Sum of weights[i] over all set i.
+  [[nodiscard]] double weighted_count(
+      std::span<const double> weights) const noexcept;
+
+  /// this |= other. Sizes must match.
+  void merge(const BitVector& other) noexcept;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> set_bits() const;
+
+  friend bool operator==(const BitVector&, const BitVector&) noexcept = default;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cosmos

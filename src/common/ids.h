@@ -1,0 +1,72 @@
+// Strongly-typed identifiers used across the COSMOS code base.
+//
+// Every entity in the system (network node, processor, stream, substream,
+// query, coordinator, subscription) is referred to by a small integral id.
+// Raw integers invite bugs (passing a query id where a node id is expected),
+// so each id is a distinct type with explicit construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace cosmos {
+
+/// CRTP-free tagged id. `Tag` makes each instantiation a distinct type.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalidValue =
+      std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalidValue;
+  }
+
+  static constexpr Id invalid() noexcept { return Id{}; }
+
+  friend constexpr bool operator==(Id a, Id b) noexcept = default;
+  friend constexpr auto operator<=>(Id a, Id b) noexcept = default;
+
+ private:
+  value_type value_ = kInvalidValue;
+};
+
+struct NodeTag {};
+struct StreamTag {};
+struct SubstreamTag {};
+struct QueryTag {};
+struct CoordinatorTag {};
+struct SubscriptionTag {};
+struct OperatorTag {};
+
+/// A node in the physical/overlay network (router, processor or source).
+using NodeId = Id<NodeTag>;
+/// A named data stream (e.g. "Station1").
+using StreamId = Id<StreamTag>;
+/// A partition of a stream; queries express interest per substream.
+using SubstreamId = Id<SubstreamTag>;
+/// A continuous query registered with the middleware.
+using QueryId = Id<QueryTag>;
+/// A logical coordinator role in the hierarchy.
+using CoordinatorId = Id<CoordinatorTag>;
+/// A pub/sub subscription.
+using SubscriptionId = Id<SubscriptionTag>;
+/// An operator in the operator-placement baseline's global operator graph.
+using OperatorId = Id<OperatorTag>;
+
+}  // namespace cosmos
+
+namespace std {
+template <typename Tag>
+struct hash<cosmos::Id<Tag>> {
+  size_t operator()(cosmos::Id<Tag> id) const noexcept {
+    return std::hash<typename cosmos::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the repository flows through Rng so that every
+// experiment is reproducible from a single 64-bit seed. The engine is
+// xoshiro256**, seeded via SplitMix64 (the recommended seeding procedure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cosmos {
+
+/// SplitMix64 step; used for seeding and as a cheap hash of a seed.
+[[nodiscard]] std::uint64_t split_mix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Not a std::uniform_random_bit_generator on purpose: standard-library
+/// distributions are implementation-defined, which would break determinism
+/// across toolchains. All distributions here are hand-rolled and portable.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  [[nodiscard]] std::int64_t next_range(std::int64_t lo,
+                                        std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double next_double(double lo, double hi) noexcept;
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool next_bool(double p_true) noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for parallel subtasks).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cosmos

@@ -1,0 +1,34 @@
+// Zipfian sampling over ranked items.
+//
+// The paper's workload draws each query's substreams from a zipfian
+// distribution with theta = 0.8 (Section 4.1), with a per-group random
+// permutation so different user groups have different hot spots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cosmos {
+
+/// Samples ranks in [0, n) with P(rank = r) proportional to 1/(r+1)^theta.
+///
+/// Uses an inverse-CDF table (O(log n) per sample after O(n) setup), which is
+/// exact rather than the approximate rejection method.
+class ZipfDistribution {
+ public:
+  /// Precondition: n > 0, theta >= 0 (theta == 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double theta);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const noexcept;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace cosmos

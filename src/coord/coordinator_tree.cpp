@@ -1,0 +1,176 @@
+#include "coord/coordinator_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cosmos::coord {
+namespace {
+
+/// Greedy latency clustering: repeatedly seed a cluster with a random
+/// unclustered member and grab its k-1 nearest unclustered peers. A trailing
+/// cluster smaller than k is folded into its nearest cluster (respecting the
+/// 3k-1 bound, which holds because the remainder is < k).
+std::vector<std::vector<std::uint32_t>> cluster_members(
+    const std::vector<NodeId>& sites, const net::LatencyMatrix& lat,
+    std::size_t k, Rng& rng) {
+  const std::size_t n = sites.size();
+  std::vector<std::uint32_t> pool(n);
+  for (std::uint32_t i = 0; i < n; ++i) pool[i] = i;
+  rng.shuffle(pool);
+
+  std::vector<char> used(n, 0);
+  std::vector<std::vector<std::uint32_t>> clusters;
+  std::size_t remaining = n;
+  for (const auto seed : pool) {
+    if (used[seed]) continue;
+    if (remaining < k && !clusters.empty()) break;  // fold leftovers below
+    std::vector<std::uint32_t> cluster{seed};
+    used[seed] = 1;
+    --remaining;
+    // k-1 nearest unclustered members.
+    while (cluster.size() < k && remaining > 0) {
+      std::uint32_t best = UINT32_MAX;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (used[j]) continue;
+        const double d = lat.latency(sites[seed], sites[j]);
+        if (d < best_d) {
+          best_d = d;
+          best = j;
+        }
+      }
+      cluster.push_back(best);
+      used[best] = 1;
+      --remaining;
+    }
+    clusters.push_back(std::move(cluster));
+  }
+  // Fold any leftover members into their nearest cluster.
+  for (std::uint32_t j = 0; j < n; ++j) {
+    if (used[j]) continue;
+    std::size_t best_c = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].size() >= 3 * k - 1) continue;
+      const double d = lat.latency(sites[clusters[c][0]], sites[j]);
+      if (d < best_d) {
+        best_d = d;
+        best_c = c;
+      }
+    }
+    clusters[best_c].push_back(j);
+  }
+  return clusters;
+}
+
+}  // namespace
+
+CoordinatorTree::CoordinatorTree(const net::Deployment& deployment,
+                                 std::size_t k, Rng& rng)
+    : k_(k) {
+  if (k < 2) throw std::invalid_argument{"CoordinatorTree: k must be >= 2"};
+  const auto& processors = deployment.processors;
+  if (processors.empty()) {
+    throw std::invalid_argument{"CoordinatorTree: no processors"};
+  }
+  const auto& lat = deployment.latencies;
+
+  // Level 0: each processor is its own cluster.
+  std::vector<std::uint32_t> level_nodes;
+  for (const NodeId p : processors) {
+    TreeNode tn;
+    tn.site = p;
+    tn.level = 0;
+    tn.descendants = {p};
+    tn.capability = deployment.capability[p.value()];
+    leaf_index_.emplace_back(p, static_cast<std::uint32_t>(nodes_.size()));
+    level_nodes.push_back(static_cast<std::uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(tn));
+  }
+  std::sort(leaf_index_.begin(), leaf_index_.end());
+
+  int level = 0;
+  while (level_nodes.size() > 1) {
+    ++level;
+    std::vector<NodeId> sites(level_nodes.size());
+    for (std::size_t i = 0; i < level_nodes.size(); ++i) {
+      sites[i] = nodes_[level_nodes[i]].site;
+    }
+    const auto clusters = cluster_members(sites, lat, k, rng);
+    std::vector<std::uint32_t> next_level;
+    for (const auto& cluster : clusters) {
+      TreeNode tn;
+      tn.level = level;
+      for (const auto member : cluster) {
+        tn.children.push_back(level_nodes[member]);
+      }
+      // Median site (Section 3.3): minimum total latency to cluster members.
+      std::vector<NodeId> member_sites;
+      member_sites.reserve(cluster.size());
+      for (const auto member : cluster) member_sites.push_back(sites[member]);
+      tn.site = lat.median(member_sites);
+      for (const auto child : tn.children) {
+        tn.capability += nodes_[child].capability;
+        tn.descendants.insert(tn.descendants.end(),
+                              nodes_[child].descendants.begin(),
+                              nodes_[child].descendants.end());
+      }
+      const auto idx = static_cast<std::uint32_t>(nodes_.size());
+      for (const auto child : tn.children) nodes_[child].parent = idx;
+      next_level.push_back(idx);
+      nodes_.push_back(std::move(tn));
+    }
+    level_nodes = std::move(next_level);
+  }
+  root_ = level_nodes.front();
+
+  // Degenerate case: a single processor. Give it a root wrapper so that
+  // height >= 1 and the distribution code paths are uniform.
+  if (nodes_.size() == 1) {
+    TreeNode tn;
+    tn.site = nodes_[0].site;
+    tn.level = 1;
+    tn.children = {0};
+    tn.descendants = nodes_[0].descendants;
+    tn.capability = nodes_[0].capability;
+    nodes_[0].parent = 1;
+    nodes_.push_back(std::move(tn));
+    root_ = 1;
+  }
+}
+
+std::uint32_t CoordinatorTree::find_leaf(NodeId node) const noexcept {
+  const auto it = std::lower_bound(
+      leaf_index_.begin(), leaf_index_.end(),
+      std::make_pair(node, std::uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == leaf_index_.end() || it->first != node) return UINT32_MAX;
+  return it->second;
+}
+
+std::uint32_t CoordinatorTree::leaf_of(NodeId processor) const {
+  const auto it = std::lower_bound(
+      leaf_index_.begin(), leaf_index_.end(),
+      std::make_pair(processor, std::uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == leaf_index_.end() || it->first != processor) {
+    throw std::invalid_argument{"CoordinatorTree: not a processor"};
+  }
+  return it->second;
+}
+
+std::vector<std::uint32_t> CoordinatorTree::nodes_at_level(int level) const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].level == level) out.push_back(i);
+  }
+  return out;
+}
+
+bool CoordinatorTree::covers(std::uint32_t i, NodeId processor) const {
+  const auto& d = nodes_.at(i).descendants;
+  return std::find(d.begin(), d.end(), processor) != d.end();
+}
+
+}  // namespace cosmos::coord

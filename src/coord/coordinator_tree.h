@@ -1,0 +1,61 @@
+// The hierarchical coordinator tree of Section 3.3.
+//
+// Coordinators are processors playing an extra logical role. At the bottom
+// level every processor forms its own cluster; above that, nodes are grouped
+// into latency-close clusters of size k..3k-1 whose median becomes the
+// parent coordinator, repeated level by level until a single root remains
+// (the scheme of Banerjee et al., adapted for offline construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/deployment.h"
+
+namespace cosmos::coord {
+
+struct TreeNode {
+  /// Physical processor hosting this coordinator role (cluster median).
+  NodeId site;
+  int level = 0;  ///< 0 = processor (own cluster), increasing toward root
+  std::uint32_t parent = UINT32_MAX;
+  std::vector<std::uint32_t> children;   ///< tree-node indices (empty at L0)
+  std::vector<NodeId> descendants;       ///< processors in this subtree
+  double capability = 0.0;               ///< total capability of descendants
+};
+
+class CoordinatorTree {
+ public:
+  /// Builds the tree over `deployment.processors` with cluster parameter k.
+  /// Throws std::invalid_argument for k < 2 or an empty processor set.
+  CoordinatorTree(const net::Deployment& deployment, std::size_t k, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const TreeNode& node(std::uint32_t i) const {
+    return nodes_.at(i);
+  }
+  [[nodiscard]] std::uint32_t root() const noexcept { return root_; }
+  [[nodiscard]] int height() const noexcept { return nodes_[root_].level; }
+  [[nodiscard]] std::size_t cluster_k() const noexcept { return k_; }
+
+  /// Leaf (level-0) tree-node index of a processor.
+  [[nodiscard]] std::uint32_t leaf_of(NodeId processor) const;
+  /// Like leaf_of but returns UINT32_MAX for non-processors.
+  [[nodiscard]] std::uint32_t find_leaf(NodeId node) const noexcept;
+
+  /// Tree-node indices at a given level.
+  [[nodiscard]] std::vector<std::uint32_t> nodes_at_level(int level) const;
+
+  /// True if `processor` is a descendant of tree node `i`.
+  [[nodiscard]] bool covers(std::uint32_t i, NodeId processor) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::uint32_t root_ = UINT32_MAX;
+  std::size_t k_ = 0;
+  std::vector<std::pair<NodeId, std::uint32_t>> leaf_index_;
+};
+
+}  // namespace cosmos::coord

@@ -1,0 +1,119 @@
+#include "coord/diffusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cosmos::coord {
+namespace {
+
+/// y = L x for the weighted Laplacian.
+void laplacian_apply(std::size_t n, const std::vector<DiffusionEdge>& edges,
+                     const std::vector<double>& x, std::vector<double>& y) {
+  y.assign(n, 0.0);
+  for (const auto& e : edges) {
+    const double d = x[e.a] - x[e.b];
+    y[e.a] += e.conductance * d;
+    y[e.b] -= e.conductance * d;
+  }
+}
+
+/// Connected components (for mean removal per component).
+std::vector<std::size_t> components(std::size_t n,
+                                    const std::vector<DiffusionEdge>& edges) {
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& e : edges) {
+    adj[e.a].push_back(e.b);
+    adj[e.b].push_back(e.a);
+  }
+  std::vector<std::size_t> comp(n, SIZE_MAX);
+  std::size_t next = 0;
+  std::vector<std::size_t> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (comp[s] != SIZE_MAX) continue;
+    comp[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      for (const auto v : adj[u]) {
+        if (comp[v] == SIZE_MAX) {
+          comp[v] = next;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+}  // namespace
+
+std::vector<DiffusionFlow> solve_diffusion(
+    std::size_t n, const std::vector<DiffusionEdge>& edges,
+    const std::vector<double>& imbalance, double tolerance,
+    std::size_t max_iterations) {
+  if (imbalance.size() != n) {
+    throw std::invalid_argument{"solve_diffusion: imbalance size mismatch"};
+  }
+  for (const auto& e : edges) {
+    if (e.a >= n || e.b >= n || e.a == e.b || e.conductance <= 0) {
+      throw std::invalid_argument{"solve_diffusion: bad edge"};
+    }
+  }
+  if (n == 0) return {};
+
+  // Project b onto the solvable subspace: remove the per-component mean
+  // (total load in a component cannot leave it).
+  std::vector<double> b = imbalance;
+  const auto comp = components(n, edges);
+  const std::size_t ncomp =
+      1 + (n ? *std::max_element(comp.begin(), comp.end()) : 0);
+  std::vector<double> comp_sum(ncomp, 0.0);
+  std::vector<std::size_t> comp_size(ncomp, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp_sum[comp[i]] += b[i];
+    ++comp_size[comp[i]];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] -= comp_sum[comp[i]] / static_cast<double>(comp_size[comp[i]]);
+  }
+
+  // Conjugate gradients on L λ = b.
+  std::vector<double> lambda(n, 0.0), r = b, p = b, lp(n);
+  double rr = std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+  const double b_norm = std::sqrt(rr);
+  if (b_norm < tolerance) return {};
+  for (std::size_t it = 0; it < max_iterations && std::sqrt(rr) > tolerance * (1 + b_norm);
+       ++it) {
+    laplacian_apply(n, edges, p, lp);
+    const double p_lp =
+        std::inner_product(p.begin(), p.end(), lp.begin(), 0.0);
+    if (p_lp <= 0) break;  // numerical floor (p in the null space)
+    const double alpha = rr / p_lp;
+    for (std::size_t i = 0; i < n; ++i) {
+      lambda[i] += alpha * p[i];
+      r[i] -= alpha * lp[i];
+    }
+    const double rr_new =
+        std::inner_product(r.begin(), r.end(), r.begin(), 0.0);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  std::vector<DiffusionFlow> flows;
+  for (const auto& e : edges) {
+    const double m = e.conductance * (lambda[e.a] - lambda[e.b]);
+    if (m > tolerance) {
+      flows.push_back({e.a, e.b, m});
+    } else if (m < -tolerance) {
+      flows.push_back({e.b, e.a, -m});
+    }
+  }
+  return flows;
+}
+
+}  // namespace cosmos::coord

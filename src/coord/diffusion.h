@@ -1,0 +1,36 @@
+// Hu–Blake optimal load diffusion (Section 3.7, reference [14]).
+//
+// Given per-node load imbalances b_i (load minus balanced target, summing to
+// ~0) on a connected weighted graph, computes the edge flows m_ij that
+// rebalance the load while minimizing the Euclidean norm of transferred
+// load. The flows derive from the potential solution of the weighted
+// Laplacian system  L λ = b,  with  m_ij = c_ij (λ_i − λ_j). Solved with
+// conjugate gradients (L is symmetric positive semi-definite; b is projected
+// onto the solvable subspace by removing its mean).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cosmos::coord {
+
+struct DiffusionEdge {
+  std::size_t a, b;
+  double conductance = 1.0;
+};
+
+struct DiffusionFlow {
+  std::size_t from, to;
+  double amount;  ///< strictly positive
+};
+
+/// `imbalance[i]` = current load minus target load of node i. Returns flows
+/// with positive amounts (direction folded into from/to). Throws
+/// std::invalid_argument on malformed input. If the graph is disconnected,
+/// balances each component around its own mean.
+[[nodiscard]] std::vector<DiffusionFlow> solve_diffusion(
+    std::size_t node_count, const std::vector<DiffusionEdge>& edges,
+    const std::vector<double>& imbalance, double tolerance = 1e-9,
+    std::size_t max_iterations = 10'000);
+
+}  // namespace cosmos::coord

@@ -1,0 +1,161 @@
+// The COSMOS query-distribution middleware (Sections 3.4–3.8).
+//
+// A HierarchicalDistributor drives the coordinator tree:
+//   * distribute()        — initial distribution: query-graph hierarchy
+//                           construction (bottom-up coarsening, Algorithm 1)
+//                           followed by top-down graph mapping (Algorithm 2),
+//                           uncoarsening one level per tree level;
+//   * insert_query()      — online insertion (Section 3.6): route the query
+//                           root→leaf, choosing at each level the child that
+//                           minimizes the WEC increase subject to load;
+//   * adapt()             — adaptive redistribution round (Section 3.7):
+//                           per-coordinator load re-balancing via Hu–Blake
+//                           diffusion (Algorithm 3) followed by distribution
+//                           refinement, top-down;
+//   * refresh_statistics()— recompute loads/weights after substream-rate
+//                           changes (Section 3.8).
+//
+// The distributor owns the ground-truth placement map (query -> processor)
+// and per-coordinator aggregates used for fast online routing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "coord/coordinator_tree.h"
+#include "graph/coarsen.h"
+#include "graph/edge_model.h"
+#include "graph/mapping.h"
+#include "net/deployment.h"
+#include "query/interest.h"
+
+namespace cosmos::coord {
+
+struct HierarchyParams {
+  /// Coarsening target per coordinator (Algorithm 1's vmax).
+  std::size_t vmax = 64;
+  graph::MappingParams mapping;
+  graph::QueryGraphBuildParams build;
+  /// Algorithm 3's x: consider vertices whose benefit is within x% of the
+  /// largest benefit. The paper uses 10.
+  double rebalance_x_percent = 10.0;
+  /// Move a vertex only when the remaining flow covers this fraction of its
+  /// weight (the paper's "m_ij is larger than 90% of its weight").
+  double diffusion_fill = 0.9;
+};
+
+/// Wall-clock accounting of a distribution run, per the paper's Fig 6(b):
+/// total time sums every coordinator's work; response time is the critical
+/// path assuming sibling subtrees run in parallel.
+struct DistributionTiming {
+  double total_seconds = 0.0;
+  double response_seconds = 0.0;
+};
+
+struct AdaptationReport {
+  std::size_t migrated_queries = 0;
+  double migrated_state = 0.0;  ///< bytes of operator state moved
+};
+
+class HierarchicalDistributor {
+ public:
+  HierarchicalDistributor(const net::Deployment& deployment,
+                          const CoordinatorTree& tree,
+                          const query::SubstreamSpace& space,
+                          HierarchyParams params, std::uint64_t seed);
+  ~HierarchicalDistributor();
+  HierarchicalDistributor(HierarchicalDistributor&&) noexcept;
+  HierarchicalDistributor& operator=(HierarchicalDistributor&&) noexcept;
+
+  /// Bulk (re)distribution of a query population. Returns timing.
+  DistributionTiming distribute(
+      std::span<const query::InterestProfile> profiles);
+
+  /// Registers queries at their proxies without optimization (the paper's
+  /// "Naive"/random starting points for the adaptation experiments).
+  void place_at(const std::vector<std::pair<QueryId, NodeId>>& placement,
+                std::span<const query::InterestProfile> profiles);
+
+  /// Online insertion; returns the chosen processor.
+  NodeId insert_query(const query::InterestProfile& profile);
+
+  void remove_query(QueryId q);
+
+  /// Re-derives loads from current substream rates (statistics collection).
+  void refresh_statistics();
+
+  /// One adaptation round (load re-balance + refinement, root to leaves).
+  AdaptationReport adapt();
+
+  [[nodiscard]] const std::unordered_map<QueryId, NodeId>& placement()
+      const noexcept {
+    return placement_;
+  }
+  [[nodiscard]] const std::unordered_map<QueryId, query::InterestProfile>&
+  profiles() const noexcept {
+    return profiles_;
+  }
+  /// Load per processor (sum of hosted query loads), indexed like
+  /// deployment.processors.
+  [[nodiscard]] std::vector<double> processor_loads() const;
+
+  [[nodiscard]] const CoordinatorTree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] const graph::EdgeModel& edge_model() const noexcept {
+    return model_;
+  }
+
+ private:
+  struct Record;
+  struct Frame;
+
+  Record* make_query_record(const query::InterestProfile& p);
+  /// Bottom-up summary construction over the current placement (adapt) or
+  /// a fresh population grouped by proxy (distribute).
+  Record* build_summary(std::uint32_t tree_node,
+                        std::vector<Record*> fine_records,
+                        std::vector<Record*>* out_records);
+
+  void distribute_at(std::uint32_t tree_node, std::vector<Record*> items,
+                     DistributionTiming& timing, double path_seconds);
+  void adapt_at(std::uint32_t tree_node, std::vector<Record*> items);
+  void place_records(std::uint32_t level0_node,
+                     const std::vector<Record*>& items);
+  void collect_queries(const Record* r, std::vector<QueryId>& out) const;
+
+  /// Child index of `tree_node` whose subtree contains `origin`, or -1.
+  [[nodiscard]] int child_covering(std::uint32_t tree_node,
+                                   std::uint32_t origin) const;
+  [[nodiscard]] int child_covering_node(std::uint32_t tree_node,
+                                        NodeId n) const;
+
+  graph::NetworkGraph make_network_graph(
+      std::uint32_t tree_node, const graph::QueryGraph& qg) const;
+
+  void rebuild_aggregates();
+
+  const net::Deployment* deployment_;
+  const CoordinatorTree* tree_;
+  const query::SubstreamSpace* space_;
+  graph::EdgeModel model_;
+  HierarchyParams params_;
+  Rng rng_;
+
+  std::unordered_map<QueryId, query::InterestProfile> profiles_;
+  std::unordered_map<QueryId, NodeId> placement_;
+
+  /// Per tree-node aggregates for online insertion.
+  struct Aggregate {
+    BitVector interest;
+    double load = 0.0;
+  };
+  std::vector<Aggregate> aggregates_;
+
+  /// Record arena for the current distribute()/adapt() run.
+  std::vector<std::unique_ptr<Record>> arena_;
+};
+
+}  // namespace cosmos::coord

@@ -1,0 +1,256 @@
+#include "cosmos/cosmos.h"
+
+#include <stdexcept>
+
+namespace cosmos::middleware {
+namespace {
+
+using query::QuerySpec;
+using stream::Predicate;
+using stream::PredicatePtr;
+
+/// Single-alias conjuncts of `spec` for one alias, with the alias stripped
+/// so the predicate evaluates against raw source-stream messages (the F
+/// part of the p1 subscription).
+PredicatePtr p1_filter(const QuerySpec& spec, const std::string& alias) {
+  std::vector<PredicatePtr> conj;
+  std::vector<PredicatePtr> all;
+  if (!stream::collect_conjuncts(spec.where, all)) return Predicate::always_true();
+  const std::unordered_map<std::string, std::string> strip{{alias, ""}};
+  for (const auto& p : all) {
+    // Keep conjuncts that reference only this alias.
+    bool only_this = true;
+    bool references = false;
+    std::vector<PredicatePtr> leaves{p};
+    const auto check = [&](const stream::FieldRef& f) {
+      if (f.alias == alias) {
+        references = true;
+      } else if (!f.alias.empty()) {
+        only_this = false;
+      }
+    };
+    switch (p->kind()) {
+      case Predicate::Kind::kCompareConst:
+        check(static_cast<const stream::CompareConst&>(*p).lhs());
+        break;
+      case Predicate::Kind::kCompareField: {
+        const auto& cf = static_cast<const stream::CompareField&>(*p);
+        check(cf.lhs());
+        check(cf.rhs());
+        break;
+      }
+      case Predicate::Kind::kTimeBand: {
+        const auto& tb = static_cast<const stream::TimeBand&>(*p);
+        check(tb.newer());
+        check(tb.older());
+        break;
+      }
+      default:
+        only_this = false;
+        break;
+    }
+    if (only_this && references) {
+      conj.push_back(query::rename_predicate_aliases(p, strip));
+    }
+  }
+  return Predicate::conj(std::move(conj));
+}
+
+/// Attributes of `alias`'s stream that the unit needs (the P part of p1):
+/// empty set = all.
+std::set<std::string> p1_projection(const QuerySpec& spec,
+                                    const std::string& alias,
+                                    const stream::Schema& schema) {
+  if (spec.select_all) return {};
+  std::set<std::string> attrs;
+  for (const auto& item : spec.select) {
+    if (item.alias != alias) continue;
+    if (item.is_wildcard()) return {};
+    attrs.insert(item.field);
+  }
+  // Fields referenced by predicates must also travel.
+  std::vector<PredicatePtr> all;
+  stream::collect_conjuncts(spec.where, all);
+  const auto add = [&](const stream::FieldRef& f) {
+    if (f.alias == alias) attrs.insert(f.field);
+  };
+  for (const auto& p : all) {
+    switch (p->kind()) {
+      case Predicate::Kind::kCompareConst:
+        add(static_cast<const stream::CompareConst&>(*p).lhs());
+        break;
+      case Predicate::Kind::kCompareField: {
+        const auto& cf = static_cast<const stream::CompareField&>(*p);
+        add(cf.lhs());
+        add(cf.rhs());
+        break;
+      }
+      case Predicate::Kind::kTimeBand: {
+        const auto& tb = static_cast<const stream::TimeBand&>(*p);
+        add(tb.newer());
+        add(tb.older());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (schema.index_of("timestamp").has_value()) attrs.insert("timestamp");
+  return attrs;
+}
+
+}  // namespace
+
+Cosmos::Cosmos(std::vector<NodeId> nodes, const net::LatencyMatrix& lat,
+               bool enable_result_sharing)
+    : nodes_(std::move(nodes)),
+      broker_(nodes_, lat),
+      enable_result_sharing_(enable_result_sharing) {}
+
+void Cosmos::register_source(const std::string& stream, stream::Schema schema,
+                             NodeId node) {
+  broker_.advertise(stream, node, std::move(schema));
+}
+
+stream::Engine& Cosmos::engine_at(NodeId host) {
+  auto& slot = engines_[host];
+  if (!slot) slot = std::make_unique<stream::Engine>();
+  return *slot;
+}
+
+void Cosmos::submit(const query::QuerySpec& spec, NodeId host,
+                    ResultCallback cb) {
+  query::validate(spec);
+  if (queries_.contains(spec.id)) {
+    throw std::invalid_argument{"Cosmos: duplicate query id"};
+  }
+  UserQuery uq{spec, std::move(cb), UINT32_MAX, SubscriptionId::invalid()};
+
+  // Try to fold into an existing unit on the same host (Section 2.1).
+  if (enable_result_sharing_)
+  for (auto& [uid, unit] : units_) {
+    if (unit.host != host) continue;
+    auto merged = query::merge_queries(
+        unit.spec, spec, QueryId{0x40000000u + next_unit_id_});
+    if (!merged) continue;
+    teardown_unit(unit);
+    unit.spec = std::move(merged->merged);
+    unit.members.push_back(spec.id);
+    deploy_unit(unit);
+    queries_.emplace(spec.id, std::move(uq));
+    for (const QueryId member : unit.members) {
+      wire_member(queries_.at(member), unit);
+    }
+    return;
+  }
+
+  // Fresh unit.
+  Unit unit;
+  unit.id = next_unit_id_++;
+  unit.host = host;
+  unit.spec = spec;
+  unit.members = {spec.id};
+  deploy_unit(unit);
+  const auto uid = unit.id;
+  units_.emplace(uid, std::move(unit));
+  queries_.emplace(spec.id, std::move(uq));
+  wire_member(queries_.at(spec.id), units_.at(uid));
+}
+
+void Cosmos::deploy_unit(Unit& unit) {
+  auto& engine = engine_at(unit.host);
+  // Input streams must exist on the host engine.
+  for (const auto& src : unit.spec.sources) {
+    if (!engine.has_stream(src.stream)) {
+      engine.register_stream(src.stream, broker_.schema(src.stream));
+    }
+  }
+  unit.result_stream = "cosmos.result." + std::to_string(unit.id) + ".v" +
+                       std::to_string(++unit_version_);
+  unit.plan = std::make_unique<query::CompiledQuery>(engine, unit.spec,
+                                                     unit.result_stream);
+  // p1 subscriptions: pull source data to the host.
+  for (const auto& src : unit.spec.sources) {
+    pubsub::Subscription sub;
+    sub.subscriber = unit.host;
+    sub.streams = {src.stream};
+    sub.projection =
+        p1_projection(unit.spec, src.alias, broker_.schema(src.stream));
+    sub.filter = p1_filter(unit.spec, src.alias);
+    unit.p1_subs.push_back(broker_.subscribe(std::move(sub)));
+  }
+  // Result stream: advertised at the host, published as the plan emits.
+  broker_.advertise(unit.result_stream, unit.host,
+                    unit.plan->result_schema());
+  unit.result_tap = engine.attach(
+      unit.result_stream, [this, rs = unit.result_stream](
+                              const stream::Tuple& t) {
+        broker_.publish(rs, t, [this](const pubsub::Subscription& sub,
+                                      const pubsub::Message& msg) {
+          const auto it = p2_owner_.find(sub.id);
+          if (it == p2_owner_.end()) return;
+          auto& uq = queries_.at(it->second);
+          // Split projection happens consumer-side (cached at wire time).
+          stream::Tuple out;
+          out.ts = msg.tuple.ts;
+          for (const auto i : uq.p2_keep) out.values.push_back(msg.tuple.at(i));
+          uq.callback(it->second, out);
+        });
+      });
+}
+
+void Cosmos::teardown_unit(Unit& unit) {
+  for (const auto sid : unit.p1_subs) broker_.unsubscribe(sid);
+  unit.p1_subs.clear();
+  if (unit.plan) {
+    engine_at(unit.host).detach(unit.result_stream, unit.result_tap);
+    // p2 subscriptions of members are re-wired by the caller.
+    for (const QueryId member : unit.members) {
+      const auto it = queries_.find(member);
+      if (it == queries_.end() || !it->second.p2_sub.valid()) continue;
+      broker_.unsubscribe(it->second.p2_sub);
+      p2_owner_.erase(it->second.p2_sub);
+      it->second.p2_sub = SubscriptionId::invalid();
+    }
+    unit.plan.reset();
+  }
+}
+
+void Cosmos::wire_member(UserQuery& uq, Unit& unit) {
+  uq.unit = unit.id;
+  const auto split = query::make_result_split(uq.spec, unit.spec);
+  pubsub::Subscription sub;
+  sub.subscriber = uq.spec.proxy;
+  sub.streams = {unit.result_stream};
+  // Projection: the merged-result columns this user needs.
+  const auto keep =
+      query::split_projection_indices(split, unit.plan->result_schema());
+  for (const auto i : keep) {
+    sub.projection.insert(unit.plan->result_schema().field(i).name);
+  }
+  uq.p2_keep = keep;
+  // Window bands / residual filters also need their columns on the wire.
+  sub.filter = query::make_split_predicate(split);
+  const auto sid = broker_.subscribe(std::move(sub));
+  uq.p2_sub = sid;
+  p2_owner_.emplace(sid, uq.spec.id);
+}
+
+void Cosmos::push(const std::string& stream, const stream::Tuple& tuple) {
+  // Several units at one host may subscribe to the same stream; the host's
+  // engine must see the tuple exactly once (plans re-apply their own
+  // filters).
+  std::set<NodeId> fed;
+  broker_.publish(stream, tuple,
+                  [this, &fed](const pubsub::Subscription& sub,
+                               const pubsub::Message& msg) {
+                    if (p2_owner_.contains(sub.id)) return;
+                    if (!fed.insert(sub.subscriber).second) return;
+                    auto& engine = engine_at(sub.subscriber);
+                    if (engine.has_stream(msg.stream)) {
+                      engine.publish(msg.stream, msg.tuple);
+                    }
+                  });
+}
+
+}  // namespace cosmos::middleware

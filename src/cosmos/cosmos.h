@@ -1,0 +1,107 @@
+// The COSMOS middleware facade: the system of Section 2, end to end.
+//
+// A federation of processors over a content-based pub/sub. Sources
+// advertise their streams; users submit CQL queries through a proxy; the
+// middleware places each query on a processor (the caller supplies the
+// placement, usually from coord::HierarchicalDistributor), merges queries
+// with overlapping results into one covering query per processor
+// (Section 2.1), generates the p1 subscriptions that pull source data into
+// the processor's engine and the p2 subscriptions that carry (split) result
+// streams back to the proxies, and runs the query plans.
+//
+// All traffic flows through the pubsub::BrokerNetwork, whose accounting is
+// the prototype-study metric (Fig 11).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "pubsub/broker_network.h"
+#include "query/containment.h"
+#include "query/plan.h"
+#include "query/query_spec.h"
+#include "stream/engine.h"
+
+namespace cosmos::middleware {
+
+class Cosmos {
+ public:
+  /// Result tuples of a query, delivered at its proxy.
+  using ResultCallback =
+      std::function<void(QueryId, const stream::Tuple&)>;
+
+  /// `nodes` are all participants (sources and processors); `lat` must
+  /// cover them. `enable_result_sharing` toggles the Section 2.1 merging
+  /// (disabled = the paper's Non-Share configuration, Fig 4a).
+  Cosmos(std::vector<NodeId> nodes, const net::LatencyMatrix& lat,
+         bool enable_result_sharing = true);
+
+  /// Registers a source stream published at `node`.
+  void register_source(const std::string& stream, stream::Schema schema,
+                       NodeId node);
+
+  /// Deploys `spec` on processor `host`. If a mergeable query already runs
+  /// there, the two are folded into one covering query and both users are
+  /// re-wired onto the shared result stream.
+  void submit(const query::QuerySpec& spec, NodeId host, ResultCallback cb);
+
+  /// Feeds one source tuple into the system (global timestamp order).
+  void push(const std::string& stream, const stream::Tuple& tuple);
+
+  [[nodiscard]] const pubsub::TrafficStats& traffic() const noexcept {
+    return broker_.traffic();
+  }
+  void reset_traffic() noexcept { broker_.reset_traffic(); }
+
+  /// Number of deployed (merged) execution units; <= submitted queries.
+  [[nodiscard]] std::size_t deployed_units() const noexcept {
+    return units_.size();
+  }
+  [[nodiscard]] std::size_t submitted_queries() const noexcept {
+    return queries_.size();
+  }
+  [[nodiscard]] pubsub::BrokerNetwork& broker() noexcept { return broker_; }
+
+ private:
+  struct Unit {
+    std::uint32_t id = 0;
+    NodeId host;
+    query::QuerySpec spec;  ///< the covering query actually running
+    std::vector<QueryId> members;
+    std::string result_stream;
+    std::unique_ptr<query::CompiledQuery> plan;
+    std::vector<SubscriptionId> p1_subs;
+    std::size_t result_tap = 0;
+  };
+  struct UserQuery {
+    query::QuerySpec spec;
+    ResultCallback callback;
+    std::uint32_t unit = UINT32_MAX;
+    SubscriptionId p2_sub;
+    /// Cached projection of the unit's result columns onto this query's.
+    std::vector<std::size_t> p2_keep;
+  };
+
+  stream::Engine& engine_at(NodeId host);
+  void deploy_unit(Unit& unit);
+  void teardown_unit(Unit& unit);
+  void wire_member(UserQuery& uq, Unit& unit);
+
+  std::vector<NodeId> nodes_;
+  pubsub::BrokerNetwork broker_;
+  std::map<NodeId, std::unique_ptr<stream::Engine>> engines_;
+  std::map<std::uint32_t, Unit> units_;
+  std::unordered_map<QueryId, UserQuery> queries_;
+  /// p2 subscription id -> owning query (for delivery dispatch).
+  std::unordered_map<SubscriptionId, QueryId> p2_owner_;
+  std::uint32_t next_unit_id_ = 0;
+  std::uint32_t unit_version_ = 0;
+  bool enable_result_sharing_ = true;
+};
+
+}  // namespace cosmos::middleware

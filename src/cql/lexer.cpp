@@ -1,0 +1,107 @@
+#include "cql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_set>
+
+namespace cosmos::cql {
+namespace {
+
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kws{
+      "SELECT", "FROM",    "WHERE",  "AND",       "OR",     "NOT",
+      "RANGE",  "NOW",     "UNBOUNDED", "HOUR",   "HOURS",  "MINUTE",
+      "MINUTES", "SECOND", "SECONDS",   "MS",     "MILLISECONDS", "AS",
+  };
+  return kws;
+}
+
+std::string upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+}  // namespace
+
+ParseError::ParseError(const std::string& message, std::size_t offset)
+    : std::runtime_error{message + " (at offset " + std::to_string(offset) +
+                         ")"},
+      offset_(offset) {}
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      const std::string up = upper(word);
+      if (keywords().contains(up)) {
+        out.push_back({TokenKind::kKeyword, up, 0.0, start});
+      } else {
+        out.push_back({TokenKind::kIdent, std::move(word), 0.0, start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+         (out.empty() || out.back().kind == TokenKind::kSymbol ||
+          out.back().kind == TokenKind::kKeyword))) {
+      std::size_t j = i + 1;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                       input[j] == '.')) {
+        ++j;
+      }
+      const std::string text = input.substr(i, j - i);
+      double value = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc{} || ptr != text.data() + text.size()) {
+        throw ParseError{"bad number '" + text + "'", start};
+      }
+      out.push_back({TokenKind::kNumber, text, value, start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j == n) throw ParseError{"unterminated string", start};
+      out.push_back(
+          {TokenKind::kString, input.substr(i + 1, j - i - 1), 0.0, start});
+      i = j + 1;
+      continue;
+    }
+    // Multi-char operators first.
+    const auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+      out.push_back({TokenKind::kSymbol, two == "<>" ? "!=" : two, 0.0, start});
+      i += 2;
+      continue;
+    }
+    static const std::string singles = "()[],.*<>=";
+    if (singles.find(c) != std::string::npos) {
+      out.push_back({TokenKind::kSymbol, std::string(1, c), 0.0, start});
+      ++i;
+      continue;
+    }
+    throw ParseError{std::string{"unexpected character '"} + c + "'", start};
+  }
+  out.push_back({TokenKind::kEnd, "", 0.0, n});
+  return out;
+}
+
+}  // namespace cosmos::cql

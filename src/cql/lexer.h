@@ -1,0 +1,45 @@
+// Tokenizer for the CQL subset (SELECT/FROM/WHERE with window clauses).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cosmos::cql {
+
+enum class TokenKind {
+  kIdent,    // snowHeight, Station1
+  kNumber,   // 10, 3.5, -2
+  kString,   // 'abc'
+  kKeyword,  // SELECT FROM WHERE AND OR NOT RANGE NOW UNBOUNDED ...
+  kSymbol,   // ( ) [ ] , . * < <= > >= = !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     ///< raw text; keywords upper-cased
+  double number = 0.0;  ///< valid for kNumber
+  std::size_t offset = 0;
+
+  [[nodiscard]] bool is_keyword(const char* kw) const noexcept {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  [[nodiscard]] bool is_symbol(const char* s) const noexcept {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// Throws ParseError (std::runtime_error) on malformed input.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t offset);
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+[[nodiscard]] std::vector<Token> tokenize(const std::string& input);
+
+}  // namespace cosmos::cql

@@ -1,0 +1,266 @@
+#include "cql/parser.h"
+
+#include <cmath>
+
+#include "cql/lexer.h"
+
+namespace cosmos::cql {
+namespace {
+
+using query::QuerySpec;
+using query::SelectItem;
+using query::SourceRef;
+using stream::CmpOp;
+using stream::FieldRef;
+using stream::Predicate;
+using stream::PredicatePtr;
+using stream::Value;
+using stream::WindowSpec;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : tokens_(tokenize(text)) {}
+
+  QuerySpec parse() {
+    QuerySpec q;
+    expect_keyword("SELECT");
+    parse_select_list(q);
+    expect_keyword("FROM");
+    parse_source_list(q);
+    if (peek().is_keyword("WHERE")) {
+      advance();
+      q.where = parse_or();
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      throw ParseError{"trailing input '" + peek().text + "'", peek().offset};
+    }
+    return q;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  void expect_keyword(const char* kw) {
+    if (!peek().is_keyword(kw)) {
+      throw ParseError{std::string{"expected "} + kw, peek().offset};
+    }
+    advance();
+  }
+  void expect_symbol(const char* s) {
+    if (!peek().is_symbol(s)) {
+      throw ParseError{std::string{"expected '"} + s + "'", peek().offset};
+    }
+    advance();
+  }
+  std::string expect_ident() {
+    if (peek().kind != TokenKind::kIdent) {
+      throw ParseError{"expected identifier", peek().offset};
+    }
+    return advance().text;
+  }
+
+  void parse_select_list(QuerySpec& q) {
+    if (peek().is_symbol("*")) {
+      advance();
+      q.select_all = true;
+      return;
+    }
+    while (true) {
+      std::string first = expect_ident();
+      if (peek().is_symbol(".")) {
+        advance();
+        if (peek().is_symbol("*")) {
+          advance();
+          q.select.push_back({first, ""});
+        } else {
+          q.select.push_back({first, expect_ident()});
+        }
+      } else {
+        // Bare field: alias resolved later (empty alias = unique source).
+        q.select.push_back({"", first});
+      }
+      if (!peek().is_symbol(",")) break;
+      advance();
+    }
+  }
+
+  WindowSpec parse_window() {
+    expect_symbol("[");
+    WindowSpec w;
+    if (peek().is_keyword("NOW")) {
+      advance();
+      w = WindowSpec::now();
+    } else if (peek().is_keyword("UNBOUNDED")) {
+      advance();
+      w = WindowSpec::unbounded();
+    } else if (peek().is_keyword("RANGE")) {
+      advance();
+      if (peek().kind != TokenKind::kNumber) {
+        throw ParseError{"expected window length", peek().offset};
+      }
+      const double amount = advance().number;
+      std::int64_t unit_ms = 1;
+      const Token& u = peek();
+      if (u.is_keyword("HOUR") || u.is_keyword("HOURS")) {
+        unit_ms = 3'600'000;
+        advance();
+      } else if (u.is_keyword("MINUTE") || u.is_keyword("MINUTES")) {
+        unit_ms = 60'000;
+        advance();
+      } else if (u.is_keyword("SECOND") || u.is_keyword("SECONDS")) {
+        unit_ms = 1'000;
+        advance();
+      } else if (u.is_keyword("MS") || u.is_keyword("MILLISECONDS")) {
+        unit_ms = 1;
+        advance();
+      } else {
+        throw ParseError{"expected time unit", u.offset};
+      }
+      w = WindowSpec::range_millis(
+          static_cast<std::int64_t>(std::llround(amount * unit_ms)));
+    } else {
+      throw ParseError{"expected NOW, RANGE or UNBOUNDED", peek().offset};
+    }
+    expect_symbol("]");
+    return w;
+  }
+
+  void parse_source_list(QuerySpec& q) {
+    while (true) {
+      SourceRef src;
+      src.stream = expect_ident();
+      src.window = peek().is_symbol("[") ? parse_window() : WindowSpec::now();
+      if (peek().is_keyword("AS")) advance();
+      src.alias =
+          peek().kind == TokenKind::kIdent ? advance().text : src.stream;
+      q.sources.push_back(std::move(src));
+      if (!peek().is_symbol(",")) break;
+      advance();
+    }
+    // Resolve bare select fields now that aliases are known.
+    for (auto& item : q.select) {
+      if (item.alias.empty()) {
+        if (q.sources.size() != 1) {
+          throw ParseError{"unqualified column '" + item.field +
+                               "' with multiple sources",
+                           0};
+        }
+        item.alias = q.sources[0].alias;
+      }
+    }
+  }
+
+  PredicatePtr parse_or() {
+    std::vector<PredicatePtr> terms{parse_and()};
+    while (peek().is_keyword("OR")) {
+      advance();
+      terms.push_back(parse_and());
+    }
+    return Predicate::disj(std::move(terms));
+  }
+
+  PredicatePtr parse_and() {
+    std::vector<PredicatePtr> terms{parse_primary()};
+    while (peek().is_keyword("AND")) {
+      advance();
+      terms.push_back(parse_primary());
+    }
+    return Predicate::conj(std::move(terms));
+  }
+
+  PredicatePtr parse_primary() {
+    if (peek().is_keyword("NOT")) {
+      advance();
+      return Predicate::negate(parse_primary());
+    }
+    if (peek().is_symbol("(")) {
+      advance();
+      auto inner = parse_or();
+      expect_symbol(")");
+      return inner;
+    }
+    return parse_comparison();
+  }
+
+  struct Operand {
+    bool is_field = false;
+    FieldRef field;
+    Value value;
+  };
+
+  Operand parse_operand() {
+    if (peek().kind == TokenKind::kNumber) {
+      const Token& t = advance();
+      if (t.text.find('.') == std::string::npos) {
+        return {false, {}, Value{static_cast<std::int64_t>(t.number)}};
+      }
+      return {false, {}, Value{t.number}};
+    }
+    if (peek().kind == TokenKind::kString) {
+      return {false, {}, Value{advance().text}};
+    }
+    std::string first = expect_ident();
+    if (peek().is_symbol(".")) {
+      advance();
+      return {true, {first, expect_ident()}, {}};
+    }
+    return {true, {"", first}, {}};
+  }
+
+  CmpOp parse_cmp_op() {
+    const Token& t = peek();
+    CmpOp op;
+    if (t.is_symbol("<")) {
+      op = CmpOp::kLt;
+    } else if (t.is_symbol("<=")) {
+      op = CmpOp::kLe;
+    } else if (t.is_symbol(">")) {
+      op = CmpOp::kGt;
+    } else if (t.is_symbol(">=")) {
+      op = CmpOp::kGe;
+    } else if (t.is_symbol("=")) {
+      op = CmpOp::kEq;
+    } else if (t.is_symbol("!=")) {
+      op = CmpOp::kNe;
+    } else {
+      throw ParseError{"expected comparison operator", t.offset};
+    }
+    advance();
+    return op;
+  }
+
+  PredicatePtr parse_comparison() {
+    const Operand lhs = parse_operand();
+    const CmpOp op = parse_cmp_op();
+    const Operand rhs = parse_operand();
+    if (lhs.is_field && rhs.is_field) {
+      return Predicate::cmp(lhs.field, op, rhs.field);
+    }
+    if (lhs.is_field) return Predicate::cmp(lhs.field, op, rhs.value);
+    if (rhs.is_field) {
+      return Predicate::cmp(rhs.field, stream::flip(op), lhs.value);
+    }
+    throw ParseError{"comparison needs at least one field", peek().offset};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+query::QuerySpec parse_query(const std::string& text, QueryId id,
+                             NodeId proxy) {
+  Parser parser{text};
+  query::QuerySpec q = parser.parse();
+  q.id = id;
+  q.proxy = proxy;
+  q.text = text;
+  query::validate(q);
+  return q;
+}
+
+}  // namespace cosmos::cql

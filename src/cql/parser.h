@@ -1,0 +1,25 @@
+// Recursive-descent parser for the paper's CQL subset:
+//
+//   SELECT * | item[, item...]
+//   FROM Stream [Now|Range n Unit|Unbounded] alias [, ...]
+//   [WHERE predicate]
+//
+// item       := alias '.' field | alias '.' '*' | field
+// predicate  := disjunctions/conjunctions/NOT over comparisons
+// comparison := operand (< <= > >= = !=) operand
+// operand    := alias '.' field | field | number | 'string'
+#pragma once
+
+#include <string>
+
+#include "query/query_spec.h"
+
+namespace cosmos::cql {
+
+/// Parses a query; throws ParseError on malformed input. `id`/`proxy` are
+/// stamped into the returned spec; `text` is preserved.
+[[nodiscard]] query::QuerySpec parse_query(const std::string& text,
+                                           QueryId id = QueryId::invalid(),
+                                           NodeId proxy = NodeId::invalid());
+
+}  // namespace cosmos::cql

@@ -1,0 +1,195 @@
+#include "graph/coarsen.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace cosmos::graph {
+namespace {
+
+/// Merges payloads of u and v into a new vertex (Algorithm 1 lines 8-14).
+QueryVertex merge_vertices(const QueryVertex& u, const QueryVertex& v) {
+  QueryVertex w;
+  w.weight = u.weight + v.weight;
+  w.state_size = u.state_size + v.state_size;
+  w.queries = u.queries;
+  w.queries.insert(w.queries.end(), v.queries.begin(), v.queries.end());
+  if (!u.interest.empty()) {
+    w.interest = u.interest;
+    if (!v.interest.empty()) w.interest.merge(v.interest);
+  } else {
+    w.interest = v.interest;
+  }
+  w.proxy_rates = u.proxy_rates;
+  w.proxy_rates.merge(v.proxy_rates);
+  if (u.is_n() || v.is_n()) {
+    w.kind = QVertexKind::kNetwork;
+    const QueryVertex& nv = u.is_n() ? u : v;
+    w.node = nv.node;
+    w.clu = u.is_n() ? u.clu : v.clu;  // paper line 14
+    if (u.is_n() && v.is_n() && u.clu != v.clu) {
+      throw std::logic_error{"coarsen: merged n-vertices from two clusters"};
+    }
+  } else {
+    w.kind = QVertexKind::kQuery;
+  }
+  // A coarser tag is only meaningful if both sides agree; otherwise the new
+  // vertex spans coordinators and the finer detail lives in `members`.
+  w.tag = u.tag == v.tag ? u.tag : CoordinatorId::invalid();
+  return w;
+}
+
+/// May vertices a and b collapse? (paper lines 6-7, plus the remote-anchor
+/// rule documented in the header.)
+bool may_collapse(const QueryVertex& a, const QueryVertex& b) {
+  if (a.is_n() && b.is_n()) return a.clu >= 0 && a.clu == b.clu;
+  if (a.is_n()) return a.clu >= 0;
+  if (b.is_n()) return b.clu >= 0;
+  return true;
+}
+
+/// Coarse edge weight between merged vertices (re-estimation).
+double estimate_weight(const EdgeModel* model, const QueryVertex& a,
+                       const QueryVertex& b, double fallback_sum) {
+  if (model == nullptr) return fallback_sum;
+  const bool aq = !a.queries.empty();
+  const bool bq = !b.queries.empty();
+  double w = 0.0;
+  if (aq && bq) w += model->qq_weight(a, b);
+  if (b.is_n() && aq) w += model->qn_weight(a, b);
+  if (a.is_n() && bq) w += model->qn_weight(b, a);
+  return w;
+}
+
+}  // namespace
+
+CoarsenResult coarsen(const QueryGraph& fine, std::size_t vmax,
+                      const EdgeModel* model, Rng& rng) {
+  if (vmax == 0) throw std::invalid_argument{"coarsen: vmax must be > 0"};
+
+  CoarsenResult out;
+  // Working copy state: current graph + membership in *original* indices.
+  const QueryGraph* cur = &fine;
+  QueryGraph storage;
+  std::vector<std::vector<QueryGraph::VertexIndex>> cur_members(fine.size());
+  for (QueryGraph::VertexIndex i = 0; i < fine.size(); ++i) {
+    cur_members[i] = {i};
+  }
+
+  while (cur->size() > vmax) {
+    ++out.rounds;
+    const std::size_t n = cur->size();
+    std::vector<QueryGraph::VertexIndex> order(n);
+    for (QueryGraph::VertexIndex i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+
+    std::vector<char> matched(n, 0);
+    std::vector<std::pair<QueryGraph::VertexIndex, QueryGraph::VertexIndex>>
+        pairs;
+    std::size_t remaining = n;
+
+    for (const auto u : order) {
+      if (remaining <= vmax) break;
+      if (matched[u]) continue;
+      matched[u] = 1;  // u is consumed whether or not it finds a partner
+      const QueryVertex& uv = cur->vertex(u);
+      QueryGraph::VertexIndex best = QueryGraph::kNone;
+      double best_w = -1.0;
+      for (const auto& e : cur->neighbors(u)) {
+        if (matched[e.to]) continue;
+        if (!may_collapse(uv, cur->vertex(e.to))) continue;
+        if (e.weight > best_w) {
+          best_w = e.weight;
+          best = e.to;
+        }
+      }
+      if (best == QueryGraph::kNone) continue;
+      matched[best] = 1;
+      pairs.emplace_back(u, best);
+      --remaining;
+    }
+
+    if (pairs.empty() && remaining > vmax) {
+      // Matching stalled (disconnected q-vertices): force-merge the two
+      // lightest q-vertices so the root coordinator always gets a graph
+      // it can hold.
+      QueryGraph::VertexIndex a = QueryGraph::kNone, b = QueryGraph::kNone;
+      double wa = std::numeric_limits<double>::infinity(), wb = wa;
+      for (QueryGraph::VertexIndex i = 0; i < n; ++i) {
+        if (cur->vertex(i).is_n()) continue;
+        const double w = cur->vertex(i).weight;
+        if (w < wa) {
+          b = a;
+          wb = wa;
+          a = i;
+          wa = w;
+        } else if (w < wb) {
+          b = i;
+          wb = w;
+        }
+      }
+      if (a == QueryGraph::kNone || b == QueryGraph::kNone) break;
+      pairs.emplace_back(a, b);
+      ++out.forced_merges;
+    }
+    if (pairs.empty()) break;
+
+    // Rebuild the coarser graph.
+    std::vector<QueryGraph::VertexIndex> remap(n, QueryGraph::kNone);
+    QueryGraph next;
+    std::vector<std::vector<QueryGraph::VertexIndex>> next_members;
+    std::vector<char> in_pair(n, 0);
+    for (const auto& [a, b] : pairs) in_pair[a] = in_pair[b] = 1;
+
+    for (const auto& [a, b] : pairs) {
+      const auto w = next.add_vertex(
+          merge_vertices(cur->vertex(a), cur->vertex(b)));
+      remap[a] = remap[b] = w;
+      std::vector<QueryGraph::VertexIndex> mem = cur_members[a];
+      mem.insert(mem.end(), cur_members[b].begin(), cur_members[b].end());
+      next_members.push_back(std::move(mem));
+    }
+    for (QueryGraph::VertexIndex i = 0; i < n; ++i) {
+      if (in_pair[i]) continue;
+      remap[i] = next.add_vertex(cur->vertex(i));
+      next_members.push_back(cur_members[i]);
+    }
+
+    // Fine edge sums per coarse pair (fallback weights).
+    std::map<std::pair<QueryGraph::VertexIndex, QueryGraph::VertexIndex>,
+             double>
+        sums;
+    for (QueryGraph::VertexIndex i = 0; i < n; ++i) {
+      for (const auto& e : cur->neighbors(i)) {
+        if (e.to <= i) continue;  // each fine edge once
+        auto key = std::minmax(remap[i], remap[e.to]);
+        if (key.first == key.second) continue;  // internal edge vanishes
+        sums[{key.first, key.second}] += e.weight;
+      }
+    }
+    for (const auto& [key, sum] : sums) {
+      const double w = estimate_weight(model, next.vertex(key.first),
+                                       next.vertex(key.second), sum);
+      if (w > 0) next.set_edge(key.first, key.second, w);
+    }
+
+    storage = std::move(next);
+    cur = &storage;
+    cur_members = std::move(next_members);
+  }
+
+  if (cur == &fine) {
+    out.graph = fine;  // already small enough: copy through
+  } else {
+    out.graph = std::move(storage);
+  }
+  out.members = std::move(cur_members);
+  out.coarse_of.assign(fine.size(), QueryGraph::kNone);
+  for (QueryGraph::VertexIndex c = 0; c < out.members.size(); ++c) {
+    for (const auto f : out.members[c]) out.coarse_of[f] = c;
+  }
+  return out;
+}
+
+}  // namespace cosmos::graph

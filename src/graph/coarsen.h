@@ -1,0 +1,38 @@
+// Query graph coarsening — Algorithm 1 of the paper.
+//
+// Repeatedly collapses matched vertex pairs, preferring the heaviest
+// incident edge (vertices likely to map to the same network vertex), until
+// the graph has at most `vmax` vertices. Constraints from the paper:
+//   * two n-vertices collapse only when they belong to the same *known*
+//     child cluster (they must map to the same network vertex);
+//   * a q-vertex may collapse into an n-vertex (pinning the group to that
+//     node's cluster) — but only when the n-vertex is covered by a child
+//     cluster of this coordinator; collapsing into a remote anchor would pin
+//     load onto a vertex that cannot accept it.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/edge_model.h"
+#include "graph/query_graph.h"
+
+namespace cosmos::graph {
+
+struct CoarsenResult {
+  QueryGraph graph;
+  /// members[c] = fine vertex indices merged into coarse vertex c.
+  std::vector<std::vector<QueryGraph::VertexIndex>> members;
+  /// coarse_of[f] = coarse vertex holding fine vertex f.
+  std::vector<QueryGraph::VertexIndex> coarse_of;
+  std::size_t rounds = 0;
+  /// Pairs merged without a connecting edge (fallback when matching stalls).
+  std::size_t forced_merges = 0;
+};
+
+/// `model` may be null: coarse edge weights then fall back to summing fine
+/// edge weights instead of bit-vector re-estimation.
+[[nodiscard]] CoarsenResult coarsen(const QueryGraph& fine, std::size_t vmax,
+                                    const EdgeModel* model, Rng& rng);
+
+}  // namespace cosmos::graph

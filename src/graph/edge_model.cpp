@@ -1,0 +1,156 @@
+#include "graph/edge_model.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace cosmos::graph {
+
+EdgeModel::EdgeModel(const query::SubstreamSpace& space) : space_(&space) {
+  empty_mask_ = BitVector{space.size()};
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const SubstreamId s{static_cast<SubstreamId::value_type>(i)};
+    auto [it, inserted] = masks_.try_emplace(space.origin(s), space.size());
+    it->second.set(i);
+  }
+}
+
+const BitVector& EdgeModel::source_mask(NodeId node) const {
+  const auto it = masks_.find(node);
+  return it == masks_.end() ? empty_mask_ : it->second;
+}
+
+double EdgeModel::qq_weight(const QueryVertex& a, const QueryVertex& b) const {
+  if (a.interest.empty() || b.interest.empty()) return 0.0;
+  return a.interest.weighted_intersection(b.interest, space_->rates());
+}
+
+double EdgeModel::qn_weight(const QueryVertex& q, const QueryVertex& n) const {
+  double w = q.proxy_rates.toward(n.node);
+  if (!q.interest.empty()) {
+    const BitVector& mask = source_mask(n.node);
+    if (!mask.empty()) {
+      w += q.interest.weighted_intersection(mask, space_->rates());
+    }
+  }
+  return w;
+}
+
+std::vector<std::pair<NodeId, double>> EdgeModel::rate_by_source(
+    const QueryVertex& q) const {
+  std::map<NodeId, double> acc;
+  if (!q.interest.empty()) {
+    for (const std::size_t bit : q.interest.set_bits()) {
+      const SubstreamId s{static_cast<SubstreamId::value_type>(bit)};
+      acc[space_->origin(s)] += space_->rate(s);
+    }
+  }
+  return {acc.begin(), acc.end()};
+}
+
+QueryVertex to_query_vertex(const query::InterestProfile& p) {
+  QueryVertex v;
+  v.kind = QVertexKind::kQuery;
+  v.weight = p.load;
+  v.interest = p.interest;
+  if (p.proxy.valid()) v.proxy_rates.add(p.proxy, p.output_rate);
+  v.state_size = p.state_size;
+  v.queries = {p.query};
+  return v;
+}
+
+QueryGraph build_query_graph(std::span<const QueryVertex> items,
+                             const EdgeModel& model,
+                             const QueryGraphBuildParams& params,
+                             const std::function<int(NodeId)>* clu_of,
+                             Rng& rng) {
+  QueryGraph g;
+
+  // q-vertices first (index == position in `items`).
+  for (const auto& item : items) g.add_vertex(item);
+
+  // n-vertices and q-n edges. If a vertex's source node is also a proxy of
+  // one of its members, add_edge folds both rates into a single edge (the
+  // paper's "only one edge connects the query and that node").
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    for (const auto& [src, rate] : model.rate_by_source(items[i])) {
+      const auto nv = g.ensure_network_vertex(src);
+      g.add_edge(static_cast<QueryGraph::VertexIndex>(i), nv, rate);
+    }
+    for (const auto& [proxy, rate] : items[i].proxy_rates.rates) {
+      if (!proxy.valid() || rate <= 0) continue;
+      const auto nv = g.ensure_network_vertex(proxy);
+      g.add_edge(static_cast<QueryGraph::VertexIndex>(i), nv, rate);
+    }
+  }
+
+  // Label n-vertices with covering child clusters.
+  if (clu_of != nullptr) {
+    for (QueryGraph::VertexIndex i = 0; i < g.size(); ++i) {
+      auto& v = g.vertex(i);
+      if (v.is_n()) v.clu = (*clu_of)(v.node);
+    }
+  }
+
+  // q-q overlap edges.
+  const std::size_t n = items.size();
+  if (n <= params.exact_pair_threshold) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double w = model.qq_weight(items[i], items[j]);
+        if (w > 0) {
+          g.set_edge(static_cast<QueryGraph::VertexIndex>(i),
+                     static_cast<QueryGraph::VertexIndex>(j), w);
+        }
+      }
+    }
+    return g;
+  }
+
+  // Sparsified construction: an inverted substream->vertex index proposes
+  // high-overlap candidates; exact weights are computed for candidates and
+  // only the top max_overlap_degree edges per vertex are kept. Dropping the
+  // lightest edges biases WEC the least (see DESIGN.md).
+  std::vector<std::vector<std::uint32_t>> inverted(model.space().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t bit : items[i].interest.set_bits()) {
+      inverted[bit].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::vector<std::uint32_t> candidates;
+  std::vector<char> seen(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates.clear();
+    const auto bits = items[i].interest.set_bits();
+    std::size_t probes = 0;
+    while (candidates.size() < params.candidate_sample &&
+           probes < 4 * params.candidate_sample && !bits.empty()) {
+      ++probes;
+      const auto& list = inverted[bits[rng.next_below(bits.size())]];
+      if (list.empty()) continue;
+      const std::uint32_t other = list[rng.next_below(list.size())];
+      if (other == i || seen[other]) continue;
+      seen[other] = 1;
+      candidates.push_back(other);
+    }
+    std::vector<std::pair<double, std::uint32_t>> weighted;
+    weighted.reserve(candidates.size());
+    for (const std::uint32_t c : candidates) {
+      seen[c] = 0;
+      const double w = model.qq_weight(items[i], items[c]);
+      if (w > 0) weighted.emplace_back(w, c);
+    }
+    const std::size_t keep =
+        std::min(params.max_overlap_degree, weighted.size());
+    std::partial_sort(weighted.begin(),
+                      weighted.begin() + static_cast<std::ptrdiff_t>(keep),
+                      weighted.end(), std::greater<>());
+    for (std::size_t k = 0; k < keep; ++k) {
+      g.set_edge(static_cast<QueryGraph::VertexIndex>(i), weighted[k].second,
+                 weighted[k].first);
+    }
+  }
+  return g;
+}
+
+}  // namespace cosmos::graph

@@ -1,0 +1,79 @@
+// Edge-weight estimation for query graphs.
+//
+// Builds the query graph from q-vertex payloads (fine queries or coarse
+// groups — both carry an interest bit-vector and per-proxy output rates) and
+// re-estimates edge weights when vertices collapse during coarsening
+// (Algorithm 1, "Re-estimate the weights of the edges connected to w").
+// Using the union interest bit-vectors makes a coarse edge weight the true
+// rate of the union interest rather than a double-counting sum.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/rng.h"
+#include "graph/query_graph.h"
+#include "query/interest.h"
+
+namespace cosmos::graph {
+
+/// Derives edge weights from substream statistics.
+class EdgeModel {
+ public:
+  explicit EdgeModel(const query::SubstreamSpace& space);
+
+  [[nodiscard]] const query::SubstreamSpace& space() const noexcept {
+    return *space_;
+  }
+
+  /// Overlap rate between two (possibly coarse) q-vertices: the rate of
+  /// substreams both are interested in (the paper's q-q edge weight).
+  [[nodiscard]] double qq_weight(const QueryVertex& a,
+                                 const QueryVertex& b) const;
+
+  /// q-vertex <-> n-vertex rate: source component (rate of q's interest
+  /// originating at n's node) plus result component (q's output rate toward
+  /// that node if it is a member's proxy).
+  [[nodiscard]] double qn_weight(const QueryVertex& q,
+                                 const QueryVertex& n) const;
+
+  /// Substreams originating at `node` (empty mask if none).
+  [[nodiscard]] const BitVector& source_mask(NodeId node) const;
+
+  /// Per-source-node input rates of a vertex's interest.
+  [[nodiscard]] std::vector<std::pair<NodeId, double>> rate_by_source(
+      const QueryVertex& q) const;
+
+ private:
+  const query::SubstreamSpace* space_;
+  std::unordered_map<NodeId, BitVector> masks_;
+  BitVector empty_mask_;
+};
+
+/// Converts an interest profile into a (fine) q-vertex payload.
+[[nodiscard]] QueryVertex to_query_vertex(const query::InterestProfile& p);
+
+/// Controls query-graph construction cost (see DESIGN.md, "Overlap edges").
+struct QueryGraphBuildParams {
+  /// Use exact all-pairs overlap edges when #q-vertices <= this.
+  std::size_t exact_pair_threshold = 1500;
+  /// Otherwise: keep at most this many overlap edges per q-vertex...
+  std::size_t max_overlap_degree = 12;
+  /// ...chosen among this many candidates proposed by the inverted
+  /// substream->vertex index.
+  std::size_t candidate_sample = 40;
+};
+
+/// Builds a query graph: one q-vertex per payload, n-vertices for every
+/// referenced source/proxy node, q-n rate edges, q-q overlap edges.
+/// `clu_of` (may be null) labels n-vertices with the covering child cluster
+/// index (-1 = not covered).
+[[nodiscard]] QueryGraph build_query_graph(
+    std::span<const QueryVertex> items, const EdgeModel& model,
+    const QueryGraphBuildParams& params,
+    const std::function<int(NodeId)>* clu_of, Rng& rng);
+
+}  // namespace cosmos::graph

@@ -1,0 +1,288 @@
+#include "graph/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace cosmos::graph {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// WEC contribution of vertex vi if it were mapped to `target`, counting
+/// only edges whose other endpoint is already placed.
+double vertex_cost(const QueryGraph& qg, const NetworkGraph& ng,
+                   std::span<const NetworkGraph::VertexIndex> assignment,
+                   QueryGraph::VertexIndex vi,
+                   NetworkGraph::VertexIndex target) {
+  double cost = 0.0;
+  for (const auto& e : qg.neighbors(vi)) {
+    const auto other = assignment[e.to];
+    if (other == NetworkGraph::kNone) continue;
+    cost += e.weight * ng.distance(target, other);
+  }
+  return cost;
+}
+
+double excess(double load, double cap) noexcept {
+  return std::max(0.0, load - cap);
+}
+
+/// The paper's move admissibility: the move must not violate load balance,
+/// or must strictly improve an existing violation.
+bool move_allowed(double weight, double load_from, double cap_from,
+                  double load_to, double cap_to) noexcept {
+  if (load_to + weight <= cap_to + kEps) return true;
+  const double before = excess(load_from, cap_from) + excess(load_to, cap_to);
+  const double after = excess(load_from - weight, cap_from) +
+                       excess(load_to + weight, cap_to);
+  return after < before - kEps;
+}
+
+}  // namespace
+
+double weighted_edge_cut(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment) {
+  double wec = 0.0;
+  for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+    for (const auto& e : qg.neighbors(i)) {
+      if (e.to <= i) continue;  // count each edge once
+      const auto a = assignment[i];
+      const auto b = assignment[e.to];
+      if (a == NetworkGraph::kNone || b == NetworkGraph::kNone) continue;
+      wec += e.weight * ng.distance(a, b);
+    }
+  }
+  return wec;
+}
+
+std::vector<double> load_per_vertex(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment) {
+  std::vector<double> load(ng.size(), 0.0);
+  for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+    if (assignment[i] != NetworkGraph::kNone) {
+      load[assignment[i]] += qg.vertex(i).weight;
+    }
+  }
+  return load;
+}
+
+std::vector<double> load_caps(const QueryGraph& qg, const NetworkGraph& ng,
+                              double alpha) {
+  const double wq = qg.total_query_weight();
+  const double wn = ng.total_capability();
+  std::vector<double> caps(ng.size(), 0.0);
+  for (NetworkGraph::VertexIndex j = 0; j < ng.size(); ++j) {
+    if (ng.vertex(j).assignable && wn > 0) {
+      caps[j] = (1.0 + alpha) * ng.vertex(j).capability * wq / wn;
+    }
+  }
+  return caps;
+}
+
+NetworkGraph::VertexIndex pinned_target(const QueryVertex& v,
+                                        const NetworkGraph& ng) {
+  if (!v.is_n()) {
+    throw std::invalid_argument{"pinned_target: not an n-vertex"};
+  }
+  if (v.clu >= 0) {
+    const auto k = static_cast<NetworkGraph::VertexIndex>(v.clu);
+    if (k >= ng.size() || !ng.vertex(k).assignable) {
+      throw std::invalid_argument{"pinned_target: clu out of range"};
+    }
+    return k;
+  }
+  const auto k = ng.find_by_node(v.node);
+  if (k == NetworkGraph::kNone) {
+    throw std::invalid_argument{"pinned_target: no anchor for node " +
+                                std::to_string(v.node.value())};
+  }
+  return k;
+}
+
+double remap_gain(const QueryGraph& qg, const NetworkGraph& ng,
+                  std::span<const NetworkGraph::VertexIndex> assignment,
+                  QueryGraph::VertexIndex vertex,
+                  NetworkGraph::VertexIndex to) {
+  const auto cur = assignment[vertex];
+  return vertex_cost(qg, ng, assignment, vertex, cur) -
+         vertex_cost(qg, ng, assignment, vertex, to);
+}
+
+NetworkGraph::VertexIndex place_one(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment,
+    QueryGraph::VertexIndex vertex, std::span<const double> load,
+    std::span<const double> caps) {
+  const double w = qg.vertex(vertex).weight;
+  NetworkGraph::VertexIndex best = NetworkGraph::kNone;
+  double best_cost = std::numeric_limits<double>::infinity();
+  NetworkGraph::VertexIndex best_violating = NetworkGraph::kNone;
+  double best_violation = std::numeric_limits<double>::infinity();
+  double best_violation_cost = std::numeric_limits<double>::infinity();
+
+  for (NetworkGraph::VertexIndex k = 0; k < ng.size(); ++k) {
+    if (!ng.vertex(k).assignable) continue;
+    const double cost = vertex_cost(qg, ng, assignment, vertex, k);
+    if (load[k] + w <= caps[k] + kEps) {
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = k;
+      }
+    } else {
+      const double violation = load[k] + w - caps[k];
+      if (violation < best_violation - kEps ||
+          (violation < best_violation + kEps &&
+           cost < best_violation_cost)) {
+        best_violation = violation;
+        best_violation_cost = cost;
+        best_violating = k;
+      }
+    }
+  }
+  return best != NetworkGraph::kNone ? best : best_violating;
+}
+
+MappingResult map_query_graph(const QueryGraph& qg, const NetworkGraph& ng,
+                              const MappingParams& params, Rng& rng) {
+  MappingResult out;
+  out.assignment.assign(qg.size(), NetworkGraph::kNone);
+  if (ng.total_capability() <= 0) {
+    throw std::invalid_argument{"map_query_graph: no assignable capability"};
+  }
+
+  const std::vector<double> caps = load_caps(qg, ng, params.alpha);
+  std::vector<double> load(ng.size(), 0.0);
+
+  // Network constraint: pin n-vertices.
+  std::vector<QueryGraph::VertexIndex> q_vertices;
+  for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+    if (qg.vertex(i).is_n()) {
+      out.assignment[i] = pinned_target(qg.vertex(i), ng);
+      load[out.assignment[i]] += qg.vertex(i).weight;
+    } else {
+      q_vertices.push_back(i);
+    }
+  }
+
+  // Greedy phase: heaviest q-vertices first.
+  std::stable_sort(q_vertices.begin(), q_vertices.end(),
+                   [&qg](auto a, auto b) {
+                     return qg.vertex(a).weight > qg.vertex(b).weight;
+                   });
+  for (const auto vi : q_vertices) {
+    const auto k =
+        place_one(qg, ng, out.assignment, vi, load, caps);
+    out.assignment[vi] = k;
+    load[k] += qg.vertex(vi).weight;
+    if (load[k] > caps[k] + kEps) out.load_feasible = false;
+  }
+
+  out.wec = weighted_edge_cut(qg, ng, out.assignment);
+  if (!params.refine || q_vertices.empty()) return out;
+
+  // ---- refinement (Algorithm 2, lines 2-20) ----
+  std::vector<NetworkGraph::VertexIndex> best_assignment = out.assignment;
+  double best_wec = out.wec;
+
+  // Best admissible move for one vertex under the current state.
+  const auto best_move = [&](QueryGraph::VertexIndex vi)
+      -> std::pair<double, NetworkGraph::VertexIndex> {
+    const auto cur = out.assignment[vi];
+    const double w = qg.vertex(vi).weight;
+    const double cur_cost = vertex_cost(qg, ng, out.assignment, vi, cur);
+    double max_gain = -std::numeric_limits<double>::infinity();
+    NetworkGraph::VertexIndex to = NetworkGraph::kNone;
+    for (NetworkGraph::VertexIndex k = 0; k < ng.size(); ++k) {
+      if (k == cur || !ng.vertex(k).assignable) continue;
+      if (!move_allowed(w, load[cur], caps[cur], load[k], caps[k])) continue;
+      const double gain =
+          cur_cost - vertex_cost(qg, ng, out.assignment, vi, k);
+      if (gain > max_gain) {
+        max_gain = gain;
+        to = k;
+      }
+    }
+    return {max_gain, to};
+  };
+
+  for (std::size_t round = 0; round < params.max_outer_rounds; ++round) {
+    ++out.outer_rounds;
+    out.assignment = best_assignment;
+    load = load_per_vertex(qg, ng, out.assignment);
+    double cur_wec = best_wec;
+    const double round_start_wec = best_wec;
+
+    std::vector<char> matched(qg.size(), 0);
+
+    // Lazy max-heap of candidate moves: entries may be stale; on pop the
+    // vertex's best move is recomputed and either applied (still the global
+    // max) or re-queued. Vertices with no load-admissible target go to a
+    // blocked list and are reconsidered after each successful move (the move
+    // frees capacity at its source vertex) — this mirrors the paper's
+    // rescan-per-move without its O(n^2) cost in the common case.
+    using Entry = std::pair<double, QueryGraph::VertexIndex>;
+    std::priority_queue<Entry> heap;
+    std::vector<QueryGraph::VertexIndex> blocked;
+    std::vector<std::uint8_t> block_count(qg.size(), 0);
+    constexpr std::uint8_t kMaxRequeues = 8;
+    for (const auto vi : q_vertices) {
+      const auto [gain, to] = best_move(vi);
+      if (to != NetworkGraph::kNone) {
+        heap.emplace(gain, vi);
+      } else {
+        blocked.push_back(vi);
+      }
+    }
+
+    while (!heap.empty()) {
+      const auto [queued_gain, vi] = heap.top();
+      heap.pop();
+      if (matched[vi]) continue;
+      const auto [gain, to] = best_move(vi);
+      if (to == NetworkGraph::kNone) {
+        if (block_count[vi] < kMaxRequeues) {
+          ++block_count[vi];
+          blocked.push_back(vi);
+        }
+        continue;
+      }
+      if (!heap.empty() && gain < heap.top().first - kEps) {
+        heap.emplace(gain, vi);  // no longer the best; requeue fresh value
+        continue;
+      }
+      // Apply the move (negative gains allowed: hill climbing).
+      matched[vi] = 1;
+      const auto from = out.assignment[vi];
+      out.assignment[vi] = to;
+      load[from] -= qg.vertex(vi).weight;
+      load[to] += qg.vertex(vi).weight;
+      cur_wec -= gain;
+      ++out.moves;
+      if (cur_wec < best_wec - kEps) {
+        best_wec = cur_wec;
+        best_assignment = out.assignment;
+      }
+      // Freed capacity at `from`: blocked vertices may be movable now.
+      if (!blocked.empty()) {
+        for (const auto bv : blocked) {
+          if (!matched[bv]) heap.emplace(0.0, bv);  // stale key; recomputed
+        }
+        blocked.clear();
+      }
+    }
+
+    if (best_wec >= round_start_wec - kEps) break;  // converged
+  }
+
+  out.assignment = std::move(best_assignment);
+  out.wec = weighted_edge_cut(qg, ng, out.assignment);  // exact, not drifted
+  (void)rng;
+  return out;
+}
+
+}  // namespace cosmos::graph

@@ -1,0 +1,87 @@
+// Graph mapping — Algorithm 2 of the paper.
+//
+// Maps the query graph onto the network graph: n-vertices are pinned to the
+// network vertex representing their node (network constraint), q-vertices
+// are placed greedily in descending weight order, then iteratively refined
+// by gain-driven remapping (Kernighan–Lin flavoured: the best move is taken
+// even when its gain is negative, which lets the search climb out of local
+// minima; the best mapping seen is restored at the start of each outer
+// round).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/network_graph.h"
+#include "graph/query_graph.h"
+
+namespace cosmos::graph {
+
+struct MappingParams {
+  /// Load-imbalance slack (Eqn 3.1). The paper uses 0.1.
+  double alpha = 0.1;
+  /// Cap on outer refinement rounds (the paper runs until minWEC stops
+  /// improving; this bounds pathological cases).
+  std::size_t max_outer_rounds = 16;
+  /// Skip refinement entirely => the paper's "Greedy" baseline.
+  bool refine = true;
+};
+
+struct MappingResult {
+  /// assignment[qi] = network vertex hosting query-graph vertex qi.
+  std::vector<NetworkGraph::VertexIndex> assignment;
+  double wec = 0.0;
+  std::size_t outer_rounds = 0;
+  std::size_t moves = 0;
+  /// False when the greedy phase had to violate the load constraint
+  /// (finding a feasible mapping is NP-complete; the algorithm does not
+  /// guarantee one — Section 3.5).
+  bool load_feasible = true;
+};
+
+/// Weighted Edge Cut (Eqn 3.2) of an assignment.
+[[nodiscard]] double weighted_edge_cut(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment);
+
+/// Per-assignable-vertex load totals of an assignment.
+[[nodiscard]] std::vector<double> load_per_vertex(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment);
+
+/// Load cap of each network vertex: (1+alpha) * c_j * Wq / Wn (Eqn 3.1).
+[[nodiscard]] std::vector<double> load_caps(const QueryGraph& qg,
+                                            const NetworkGraph& ng,
+                                            double alpha);
+
+/// Pin target of an n-vertex: the assignable vertex for its cluster (clu)
+/// or the anchor vertex for its node. Throws std::invalid_argument if the
+/// network graph has no vertex for it.
+[[nodiscard]] NetworkGraph::VertexIndex pinned_target(const QueryVertex& v,
+                                                      const NetworkGraph& ng);
+
+/// Runs Algorithm 2. `rng` only breaks ties deterministically.
+[[nodiscard]] MappingResult map_query_graph(const QueryGraph& qg,
+                                            const NetworkGraph& ng,
+                                            const MappingParams& params,
+                                            Rng& rng);
+
+/// WEC reduction achieved by remapping `vertex` from its current target to
+/// `to` (positive = improvement). Used by Algorithm 3's benefit computation.
+[[nodiscard]] double remap_gain(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment,
+    QueryGraph::VertexIndex vertex, NetworkGraph::VertexIndex to);
+
+/// Greedy placement of a single new q-vertex given an existing assignment
+/// (used by online insertion, Section 3.6): the feasible target minimizing
+/// the WEC increase, or the minimum-violation target if none is feasible.
+[[nodiscard]] NetworkGraph::VertexIndex place_one(
+    const QueryGraph& qg, const NetworkGraph& ng,
+    std::span<const NetworkGraph::VertexIndex> assignment,
+    QueryGraph::VertexIndex vertex, std::span<const double> load,
+    std::span<const double> caps);
+
+}  // namespace cosmos::graph

@@ -1,0 +1,57 @@
+#include "graph/network_graph.h"
+
+#include <stdexcept>
+
+namespace cosmos::graph {
+
+NetworkGraph::VertexIndex NetworkGraph::add_vertex(NetworkVertex v) {
+  if (finalized_) {
+    throw std::logic_error{"NetworkGraph: add_vertex after finalize"};
+  }
+  vertices_.push_back(std::move(v));
+  return static_cast<VertexIndex>(vertices_.size() - 1);
+}
+
+void NetworkGraph::finalize_vertices() {
+  if (finalized_) return;
+  finalized_ = true;
+  stride_ = vertices_.size();
+  dist_.assign(stride_ * stride_, 0.0);
+}
+
+void NetworkGraph::set_distance(VertexIndex a, VertexIndex b, double latency) {
+  if (!finalized_) {
+    throw std::logic_error{"NetworkGraph: set_distance before finalize"};
+  }
+  if (a >= size() || b >= size() || latency < 0) {
+    throw std::invalid_argument{"NetworkGraph: bad distance"};
+  }
+  dist_[a * stride_ + b] = latency;
+  dist_[b * stride_ + a] = latency;
+}
+
+double NetworkGraph::total_capability() const noexcept {
+  double total = 0.0;
+  for (const auto& v : vertices_) {
+    if (v.assignable) total += v.capability;
+  }
+  return total;
+}
+
+NetworkGraph::VertexIndex NetworkGraph::find_assignable(
+    NodeId node) const noexcept {
+  for (VertexIndex i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].assignable && vertices_[i].node == node) return i;
+  }
+  return kNone;
+}
+
+NetworkGraph::VertexIndex NetworkGraph::find_by_node(
+    NodeId node) const noexcept {
+  for (VertexIndex i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].node == node) return i;
+  }
+  return kNone;
+}
+
+}  // namespace cosmos::graph

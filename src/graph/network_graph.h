@@ -1,0 +1,65 @@
+// The network graph NG = {Vn, En, Wn} of Section 3.1.2.
+//
+// Vertices are the entities a coordinator can assign load to — its child
+// processors (leaf coordinators) or child clusters (internal coordinators) —
+// plus *anchor* vertices: network locations referenced by the query graph
+// (remote sources, remote proxies) that cannot receive load but whose
+// distances contribute to the WEC. Vertex weight Wn(v) is CPU capability;
+// edge weight Wn(e_kl) is transfer latency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace cosmos::graph {
+
+struct NetworkVertex {
+  std::string label;
+  /// Capability c_i (total capability of descendants for cluster vertices).
+  double capability = 0.0;
+  /// True for child vertices that may receive q-vertices; false for anchors.
+  bool assignable = false;
+  /// Physical node this vertex stands at (processor, or cluster median).
+  NodeId node;
+};
+
+class NetworkGraph {
+ public:
+  using VertexIndex = std::uint32_t;
+  static constexpr VertexIndex kNone = UINT32_MAX;
+
+  /// Returns the new vertex's index.
+  VertexIndex add_vertex(NetworkVertex v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] const NetworkVertex& vertex(VertexIndex i) const {
+    return vertices_.at(i);
+  }
+
+  /// Symmetric latency between two vertices; distance(i,i) == 0.
+  void set_distance(VertexIndex a, VertexIndex b, double latency);
+  [[nodiscard]] double distance(VertexIndex a, VertexIndex b) const noexcept {
+    return dist_[a * stride_ + b];
+  }
+
+  /// Sum of capabilities of assignable vertices (W_n^v in Eqn 3.1).
+  [[nodiscard]] double total_capability() const noexcept;
+
+  /// Index of the assignable vertex anchored at `node`, or kNone.
+  [[nodiscard]] VertexIndex find_assignable(NodeId node) const noexcept;
+  /// Index of any vertex anchored at `node`, or kNone.
+  [[nodiscard]] VertexIndex find_by_node(NodeId node) const noexcept;
+
+  /// Call once after the last add_vertex and before set_distance.
+  void finalize_vertices();
+
+ private:
+  std::vector<NetworkVertex> vertices_;
+  std::vector<double> dist_;
+  std::size_t stride_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace cosmos::graph

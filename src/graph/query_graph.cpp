@@ -1,0 +1,107 @@
+#include "graph/query_graph.h"
+
+#include <stdexcept>
+
+namespace cosmos::graph {
+
+void ProxyRates::add(NodeId proxy, double rate) {
+  for (auto& [node, r] : rates) {
+    if (node == proxy) {
+      r += rate;
+      return;
+    }
+  }
+  rates.emplace_back(proxy, rate);
+}
+
+double ProxyRates::toward(NodeId node) const noexcept {
+  for (const auto& [proxy, r] : rates) {
+    if (proxy == node) return r;
+  }
+  return 0.0;
+}
+
+void ProxyRates::merge(const ProxyRates& other) {
+  for (const auto& [proxy, r] : other.rates) add(proxy, r);
+}
+
+double ProxyRates::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& [proxy, r] : rates) sum += r;
+  return sum;
+}
+
+QueryGraph::VertexIndex QueryGraph::add_vertex(QueryVertex v) {
+  vertices_.push_back(std::move(v));
+  adj_.emplace_back();
+  return static_cast<VertexIndex>(vertices_.size() - 1);
+}
+
+void QueryGraph::add_edge(VertexIndex a, VertexIndex b, double weight) {
+  if (a == b) throw std::invalid_argument{"QueryGraph: self edge"};
+  if (a >= size() || b >= size()) {
+    throw std::invalid_argument{"QueryGraph: vertex out of range"};
+  }
+  if (weight == 0.0) return;
+  for (auto& e : adj_[a]) {
+    if (e.to == b) {
+      e.weight += weight;
+      for (auto& r : adj_[b]) {
+        if (r.to == a) {
+          r.weight += weight;
+          return;
+        }
+      }
+    }
+  }
+  adj_[a].push_back({b, weight});
+  adj_[b].push_back({a, weight});
+}
+
+void QueryGraph::set_edge(VertexIndex a, VertexIndex b, double weight) {
+  if (a == b) throw std::invalid_argument{"QueryGraph: self edge"};
+  for (auto& e : adj_[a]) {
+    if (e.to == b) {
+      e.weight = weight;
+      for (auto& r : adj_[b]) {
+        if (r.to == a) r.weight = weight;
+      }
+      return;
+    }
+  }
+  adj_[a].push_back({b, weight});
+  adj_[b].push_back({a, weight});
+}
+
+double QueryGraph::total_query_weight() const noexcept {
+  double total = 0.0;
+  for (const auto& v : vertices_) {
+    if (!v.is_n()) total += v.weight;
+  }
+  return total;
+}
+
+std::size_t QueryGraph::edge_count() const noexcept {
+  std::size_t degree_sum = 0;
+  for (const auto& nbrs : adj_) degree_sum += nbrs.size();
+  return degree_sum / 2;
+}
+
+QueryGraph::VertexIndex QueryGraph::find_network_vertex(
+    NodeId node) const noexcept {
+  for (VertexIndex i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].is_n() && vertices_[i].node == node) return i;
+  }
+  return kNone;
+}
+
+QueryGraph::VertexIndex QueryGraph::ensure_network_vertex(NodeId node) {
+  const VertexIndex existing = find_network_vertex(node);
+  if (existing != kNone) return existing;
+  QueryVertex v;
+  v.kind = QVertexKind::kNetwork;
+  v.node = node;
+  return add_vertex(std::move(v));
+}
+
+}  // namespace cosmos::graph

@@ -1,0 +1,102 @@
+// The query graph QG = {Vq, Eq, Wq} of Section 3.1.2.
+//
+// Two vertex kinds: q-vertices (a query, or after coarsening a group of
+// queries) weighted by estimated load, and n-vertices (data sources and
+// proxies) with zero weight. Edges:
+//   q–n : the data rate the query pulls from that source / pushes to that
+//         proxy,
+//   q–q : the rate of data both queries are interested in (the pub/sub
+//         sharing term that penalizes placing overlapping queries far
+//         apart).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/ids.h"
+
+namespace cosmos::graph {
+
+enum class QVertexKind { kQuery, kNetwork };
+
+/// Output rate toward each member query's proxy. Kept per proxy (not
+/// lumped) so coarsened vertices still know where their results go.
+struct ProxyRates {
+  std::vector<std::pair<NodeId, double>> rates;
+
+  void add(NodeId proxy, double rate);
+  [[nodiscard]] double toward(NodeId node) const noexcept;
+  void merge(const ProxyRates& other);
+  [[nodiscard]] double total() const noexcept;
+};
+
+struct QueryVertex {
+  QVertexKind kind = QVertexKind::kQuery;
+  /// Estimated load (q-vertices); n-vertices weigh 0 (Section 3.1.2).
+  double weight = 0.0;
+  /// Physical node represented (n-vertices only).
+  NodeId node;
+  /// Child-cluster index of the current coordinator covering `node`;
+  /// -1 = unknown / not covered (the paper's clu field, Algorithm 1).
+  int clu = -1;
+  /// Union of member queries' substream interest (q-vertices).
+  BitVector interest;
+  /// Result-stream rate of member queries toward each proxy (bytes/s).
+  ProxyRates proxy_rates;
+  /// Total operator state (bytes) — migration cost in Algorithm 3.
+  double state_size = 0.0;
+  /// Member query ids (one for fine vertices, several after coarsening).
+  std::vector<QueryId> queries;
+  /// Coordinator owning the finer-grained detail (the paper's vertex tag).
+  CoordinatorId tag;
+
+  [[nodiscard]] bool is_n() const noexcept {
+    return kind == QVertexKind::kNetwork;
+  }
+};
+
+struct QueryEdge {
+  std::uint32_t to;
+  double weight;
+};
+
+class QueryGraph {
+ public:
+  using VertexIndex = std::uint32_t;
+  static constexpr VertexIndex kNone = UINT32_MAX;
+
+  VertexIndex add_vertex(QueryVertex v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] const QueryVertex& vertex(VertexIndex i) const {
+    return vertices_.at(i);
+  }
+  [[nodiscard]] QueryVertex& vertex(VertexIndex i) { return vertices_.at(i); }
+
+  /// Adds weight to the (symmetric) edge, creating it if absent.
+  /// Zero-weight requests are ignored. Self-edges are rejected.
+  void add_edge(VertexIndex a, VertexIndex b, double weight);
+  /// Overwrites the edge weight (creating the edge if needed).
+  void set_edge(VertexIndex a, VertexIndex b, double weight);
+
+  [[nodiscard]] const std::vector<QueryEdge>& neighbors(
+      VertexIndex i) const {
+    return adj_.at(i);
+  }
+
+  /// Sum of q-vertex weights (W_q^v in Eqn 3.1).
+  [[nodiscard]] double total_query_weight() const noexcept;
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  /// Index of the n-vertex anchored at `node`, or kNone.
+  [[nodiscard]] VertexIndex find_network_vertex(NodeId node) const noexcept;
+  /// Adds (or returns) the n-vertex for `node`.
+  VertexIndex ensure_network_vertex(NodeId node);
+
+ private:
+  std::vector<QueryVertex> vertices_;
+  std::vector<std::vector<QueryEdge>> adj_;
+};
+
+}  // namespace cosmos::graph

@@ -1,0 +1,52 @@
+#include "net/deployment.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cosmos::net {
+
+double Deployment::total_capability() const noexcept {
+  return std::accumulate(capability.begin(), capability.end(), 0.0);
+}
+
+Deployment make_deployment(const Topology& topo, const DeploymentParams& p,
+                           Rng& rng) {
+  const std::size_t n = topo.node_count();
+  if (p.num_sources + p.num_processors > n) {
+    throw std::invalid_argument{"make_deployment: more roles than nodes"};
+  }
+  if (p.capability_min <= 0 || p.capability_max < p.capability_min) {
+    throw std::invalid_argument{"make_deployment: bad capability band"};
+  }
+
+  std::vector<NodeId> pool(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool[i] = NodeId{static_cast<NodeId::value_type>(i)};
+  }
+  rng.shuffle(pool);
+
+  Deployment d;
+  d.role.assign(n, NodeRole::kRouter);
+  d.capability.assign(n, 0.0);
+  d.sources.assign(pool.begin(),
+                   pool.begin() + static_cast<std::ptrdiff_t>(p.num_sources));
+  d.processors.assign(
+      pool.begin() + static_cast<std::ptrdiff_t>(p.num_sources),
+      pool.begin() +
+          static_cast<std::ptrdiff_t>(p.num_sources + p.num_processors));
+  for (const NodeId s : d.sources) d.role[s.value()] = NodeRole::kSource;
+  for (const NodeId proc : d.processors) {
+    d.role[proc.value()] = NodeRole::kProcessor;
+    d.capability[proc.value()] =
+        p.capability_min == p.capability_max
+            ? p.capability_min
+            : rng.next_double(p.capability_min, p.capability_max);
+  }
+
+  std::vector<NodeId> relevant = d.sources;
+  relevant.insert(relevant.end(), d.processors.begin(), d.processors.end());
+  d.latencies = LatencyMatrix{topo, relevant};
+  return d;
+}
+
+}  // namespace cosmos::net

@@ -1,0 +1,49 @@
+// Role assignment over a topology: which nodes are data sources, which are
+// stream processors, and which are plain routers (Section 4.1: 100 sources,
+// 256 processors, the rest routers).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "net/latency_matrix.h"
+#include "net/topology.h"
+
+namespace cosmos::net {
+
+enum class NodeRole { kRouter, kSource, kProcessor };
+
+struct Deployment {
+  std::vector<NodeRole> role;       ///< indexed by NodeId
+  std::vector<NodeId> sources;      ///< nodes with role kSource
+  std::vector<NodeId> processors;   ///< nodes with role kProcessor
+  std::vector<double> capability;   ///< CPU capability c_i, indexed by NodeId;
+                                    ///< 0 for routers and pure sources
+  LatencyMatrix latencies;          ///< over sources + processors
+
+  [[nodiscard]] bool is_processor(NodeId n) const noexcept {
+    return role[n.value()] == NodeRole::kProcessor;
+  }
+  [[nodiscard]] bool is_source(NodeId n) const noexcept {
+    return role[n.value()] == NodeRole::kSource;
+  }
+  [[nodiscard]] double total_capability() const noexcept;
+};
+
+struct DeploymentParams {
+  std::size_t num_sources = 100;
+  std::size_t num_processors = 256;
+  /// Per-processor capability band; the paper assumes known relative CPU
+  /// speeds c_i. Homogeneous by default (min == max == 1).
+  double capability_min = 1.0;
+  double capability_max = 1.0;
+};
+
+/// Picks disjoint random source/processor sets among the topology's nodes
+/// and precomputes the latency matrix over them.
+[[nodiscard]] Deployment make_deployment(const Topology& topo,
+                                         const DeploymentParams& params,
+                                         Rng& rng);
+
+}  // namespace cosmos::net

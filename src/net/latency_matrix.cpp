@@ -1,0 +1,58 @@
+#include "net/latency_matrix.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "net/shortest_paths.h"
+
+namespace cosmos::net {
+
+LatencyMatrix::LatencyMatrix(const Topology& topo,
+                             const std::vector<NodeId>& members)
+    : members_(members) {
+  index_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i].value() >= topo.node_count()) {
+      throw std::invalid_argument{"LatencyMatrix: member out of range"};
+    }
+    if (!index_.emplace(members_[i], i).second) {
+      throw std::invalid_argument{"LatencyMatrix: duplicate member"};
+    }
+  }
+  dist_.resize(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const auto tree = dijkstra(topo, members_[i]);
+    dist_[i].resize(members_.size());
+    for (std::size_t j = 0; j < members_.size(); ++j) {
+      dist_[i][j] = tree.dist[members_[j].value()];
+    }
+  }
+}
+
+double LatencyMatrix::latency(NodeId a, NodeId b) const {
+  const auto ia = index_.find(a);
+  const auto ib = index_.find(b);
+  if (ia == index_.end() || ib == index_.end()) {
+    throw std::invalid_argument{"LatencyMatrix: not a member"};
+  }
+  return dist_[ia->second][ib->second];
+}
+
+NodeId LatencyMatrix::median(const std::vector<NodeId>& subset) const {
+  if (subset.empty()) {
+    throw std::invalid_argument{"LatencyMatrix::median: empty subset"};
+  }
+  NodeId best = NodeId::invalid();
+  double best_total = std::numeric_limits<double>::infinity();
+  for (const NodeId candidate : subset) {
+    double total = 0.0;
+    for (const NodeId other : subset) total += latency(candidate, other);
+    if (total < best_total) {
+      best_total = total;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace cosmos::net

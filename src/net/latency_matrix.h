@@ -1,0 +1,44 @@
+// Pairwise overlay latencies among a designated subset of "relevant" nodes
+// (sources and processors). The query distribution algorithms never see the
+// full router-level topology — only end-to-end latencies between the nodes
+// that host application roles, matching the paper's loose-coupling goal
+// (Section 3.1: "we do not have the knowledge of the overlay network
+// topology of the Pub/Sub component").
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/topology.h"
+
+namespace cosmos::net {
+
+class LatencyMatrix {
+ public:
+  LatencyMatrix() = default;
+
+  /// Runs Dijkstra from each member; O(|members| * E log V).
+  LatencyMatrix(const Topology& topo, const std::vector<NodeId>& members);
+
+  /// End-to-end latency (ms). Both nodes must be members.
+  [[nodiscard]] double latency(NodeId a, NodeId b) const;
+
+  [[nodiscard]] bool contains(NodeId n) const noexcept {
+    return index_.contains(n);
+  }
+  [[nodiscard]] const std::vector<NodeId>& members() const noexcept {
+    return members_;
+  }
+
+  /// The member minimizing total latency to all of `subset` (the paper's
+  /// "median", Section 3.3). `subset` entries must be members.
+  [[nodiscard]] NodeId median(const std::vector<NodeId>& subset) const;
+
+ private:
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  std::vector<std::vector<double>> dist_;  // dist_[i][j] over member indices
+};
+
+}  // namespace cosmos::net

@@ -1,0 +1,55 @@
+#include "net/shortest_paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace cosmos::net {
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  if (target.value() >= dist.size() ||
+      dist[target.value()] == std::numeric_limits<double>::infinity()) {
+    return {};
+  }
+  std::vector<NodeId> path;
+  for (NodeId cur = target; cur.valid(); cur = pred[cur.value()]) {
+    path.push_back(cur);
+    if (cur == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Topology& topo, NodeId source) {
+  const std::size_t n = topo.node_count();
+  if (source.value() >= n) {
+    throw std::invalid_argument{"dijkstra: source out of range"};
+  }
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.dist.assign(n, std::numeric_limits<double>::infinity());
+  tree.pred.assign(n, NodeId::invalid());
+
+  using Entry = std::pair<double, NodeId::value_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.dist[source.value()] = 0.0;
+  heap.emplace(0.0, source.value());
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > tree.dist[u]) continue;  // stale entry
+    for (const Edge& e : topo.neighbors(NodeId{u})) {
+      const double nd = d + e.latency_ms;
+      if (nd < tree.dist[e.to.value()]) {
+        tree.dist[e.to.value()] = nd;
+        tree.pred[e.to.value()] = NodeId{u};
+        heap.emplace(nd, e.to.value());
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace cosmos::net

@@ -1,0 +1,26 @@
+// Single-source shortest paths (Dijkstra) over a Topology.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "net/topology.h"
+
+namespace cosmos::net {
+
+struct ShortestPathTree {
+  NodeId source;
+  /// dist[i] = latency of the shortest path source -> i (ms);
+  /// +infinity for unreachable nodes.
+  std::vector<double> dist;
+  /// pred[i] = previous hop on the shortest path, invalid for source and
+  /// unreachable nodes.
+  std::vector<NodeId> pred;
+
+  /// Node sequence source -> target (inclusive); empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId target) const;
+};
+
+[[nodiscard]] ShortestPathTree dijkstra(const Topology& topo, NodeId source);
+
+}  // namespace cosmos::net

@@ -1,0 +1,185 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cosmos::net {
+
+void Topology::add_edge(NodeId u, NodeId v, double latency_ms) {
+  if (u == v) throw std::invalid_argument{"Topology: self loop"};
+  if (u.value() >= adj_.size() || v.value() >= adj_.size()) {
+    throw std::invalid_argument{"Topology: node id out of range"};
+  }
+  if (latency_ms <= 0.0) {
+    throw std::invalid_argument{"Topology: latency must be positive"};
+  }
+  if (has_edge(u, v)) return;  // idempotent
+  adj_[u.value()].push_back({v, latency_ms});
+  adj_[v.value()].push_back({u, latency_ms});
+}
+
+bool Topology::has_edge(NodeId u, NodeId v) const noexcept {
+  const auto& nbrs = adj_[u.value()];
+  return std::any_of(nbrs.begin(), nbrs.end(),
+                     [v](const Edge& e) { return e.to == v; });
+}
+
+std::size_t Topology::edge_count() const noexcept {
+  std::size_t degree_sum = 0;
+  for (const auto& nbrs : adj_) degree_sum += nbrs.size();
+  return degree_sum / 2;
+}
+
+bool Topology::connected() const {
+  if (adj_.empty()) return true;
+  std::vector<char> seen(adj_.size(), 0);
+  std::vector<std::uint32_t> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const auto u = stack.back();
+    stack.pop_back();
+    for (const auto& e : adj_[u]) {
+      if (!seen[e.to.value()]) {
+        seen[e.to.value()] = 1;
+        ++visited;
+        stack.push_back(e.to.value());
+      }
+    }
+  }
+  return visited == adj_.size();
+}
+
+namespace {
+
+/// Connects `members` with a random ring plus random chords, drawing
+/// latencies from [lat_min, lat_max).
+void wire_domain(Topology& topo, const std::vector<NodeId>& members,
+                 double lat_min, double lat_max, double extra_edge_prob,
+                 Rng& rng) {
+  if (members.size() < 2) return;
+  std::vector<NodeId> order = members;
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId u = order[i];
+    const NodeId v = order[(i + 1) % order.size()];
+    if (u != v) topo.add_edge(u, v, rng.next_double(lat_min, lat_max));
+  }
+  // Random chords for path diversity.
+  for (std::size_t i = 0; i + 2 < order.size(); ++i) {
+    for (std::size_t j = i + 2; j < order.size(); ++j) {
+      if (i == 0 && j + 1 == order.size()) continue;  // ring edge
+      if (rng.next_bool(extra_edge_prob / static_cast<double>(order.size()))) {
+        topo.add_edge(order[i], order[j], rng.next_double(lat_min, lat_max));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Topology make_transit_stub(const TransitStubParams& p, Rng& rng) {
+  if (p.transit_domains == 0 || p.transit_nodes_per_domain == 0) {
+    throw std::invalid_argument{"make_transit_stub: empty backbone"};
+  }
+  Topology topo{p.total_nodes()};
+
+  const std::size_t transit_total =
+      p.transit_domains * p.transit_nodes_per_domain;
+
+  // Transit nodes: ids [0, transit_total), grouped by domain.
+  std::vector<std::vector<NodeId>> transit_domain(p.transit_domains);
+  for (std::size_t d = 0; d < p.transit_domains; ++d) {
+    for (std::size_t i = 0; i < p.transit_nodes_per_domain; ++i) {
+      transit_domain[d].push_back(
+          NodeId{static_cast<NodeId::value_type>(d * p.transit_nodes_per_domain + i)});
+    }
+    wire_domain(topo, transit_domain[d], p.intra_transit_lat_min,
+                p.intra_transit_lat_max, p.extra_edge_prob, rng);
+  }
+
+  // Inter-domain backbone: ring over domains plus one random chord pair each.
+  for (std::size_t d = 0; d < p.transit_domains; ++d) {
+    const std::size_t e = (d + 1) % p.transit_domains;
+    if (d == e) continue;
+    const NodeId u =
+        transit_domain[d][rng.next_below(transit_domain[d].size())];
+    const NodeId v =
+        transit_domain[e][rng.next_below(transit_domain[e].size())];
+    topo.add_edge(u, v,
+                  rng.next_double(p.inter_transit_lat_min,
+                                  p.inter_transit_lat_max));
+  }
+  if (p.transit_domains > 2) {
+    for (std::size_t d = 0; d < p.transit_domains; ++d) {
+      const std::size_t e = rng.next_below(p.transit_domains);
+      if (e == d) continue;
+      const NodeId u =
+          transit_domain[d][rng.next_below(transit_domain[d].size())];
+      const NodeId v =
+          transit_domain[e][rng.next_below(transit_domain[e].size())];
+      if (u != v && !topo.has_edge(u, v)) {
+        topo.add_edge(u, v,
+                      rng.next_double(p.inter_transit_lat_min,
+                                      p.inter_transit_lat_max));
+      }
+    }
+  }
+
+  // Stub domains: ids laid out after all transit nodes.
+  NodeId::value_type next_id = static_cast<NodeId::value_type>(transit_total);
+  for (std::size_t t = 0; t < transit_total; ++t) {
+    const NodeId transit_node{static_cast<NodeId::value_type>(t)};
+    for (std::size_t sd = 0; sd < p.stub_domains_per_transit; ++sd) {
+      std::vector<NodeId> members;
+      members.reserve(p.stub_nodes_per_domain);
+      for (std::size_t i = 0; i < p.stub_nodes_per_domain; ++i) {
+        members.push_back(NodeId{next_id++});
+      }
+      wire_domain(topo, members, p.intra_stub_lat_min, p.intra_stub_lat_max,
+                  p.extra_edge_prob, rng);
+      // Gateway link(s) from the stub domain to its transit node.
+      const NodeId gateway = members[rng.next_below(members.size())];
+      topo.add_edge(gateway, transit_node,
+                    rng.next_double(p.stub_transit_lat_min,
+                                    p.stub_transit_lat_max));
+    }
+  }
+  return topo;
+}
+
+Topology make_wide_area_mesh(std::size_t node_count, std::size_t sites,
+                             Rng& rng) {
+  if (node_count == 0) throw std::invalid_argument{"mesh: empty"};
+  if (sites == 0 || sites > node_count) {
+    throw std::invalid_argument{"mesh: bad site count"};
+  }
+  Topology topo{node_count};
+  std::vector<std::size_t> site_of(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) site_of[i] = i % sites;
+
+  // Per-site-pair base latency simulates geographic distance; individual
+  // links jitter around it.
+  std::vector<std::vector<double>> base(sites, std::vector<double>(sites, 0));
+  for (std::size_t a = 0; a < sites; ++a) {
+    for (std::size_t b = a + 1; b < sites; ++b) {
+      base[a][b] = base[b][a] = rng.next_double(40.0, 250.0);
+    }
+  }
+  for (std::size_t i = 0; i < node_count; ++i) {
+    for (std::size_t j = i + 1; j < node_count; ++j) {
+      double lat;
+      if (site_of[i] == site_of[j]) {
+        lat = rng.next_double(1.0, 8.0);
+      } else {
+        const double b = base[site_of[i]][site_of[j]];
+        lat = b * rng.next_double(0.85, 1.15);
+      }
+      topo.add_edge(NodeId{static_cast<NodeId::value_type>(i)},
+                    NodeId{static_cast<NodeId::value_type>(j)}, lat);
+    }
+  }
+  return topo;
+}
+
+}  // namespace cosmos::net

@@ -1,0 +1,88 @@
+// Network topology model and a Transit-Stub generator.
+//
+// The paper's simulation uses a 4096-node topology produced by the
+// Transit-Stub model of the GT-ITM topology generator (Section 4.1). GT-ITM
+// is not available offline, so we implement an equivalent generator: a small
+// backbone of interconnected transit domains, with stub domains hanging off
+// each transit node. Link latencies are drawn per link class so that
+// intra-stub links are fast and inter-transit-domain links are slow, which is
+// the property the placement algorithms exploit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace cosmos::net {
+
+struct Edge {
+  NodeId to;
+  double latency_ms = 0.0;
+};
+
+/// Undirected weighted graph stored as adjacency lists. Invariant: for every
+/// edge (u,v) there is a symmetric entry (v,u) with the same latency.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t node_count) : adj_(node_count) {}
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adj_.size(); }
+  [[nodiscard]] const std::vector<Edge>& neighbors(NodeId n) const noexcept {
+    return adj_[n.value()];
+  }
+
+  /// Adds the symmetric pair of directed entries.
+  /// Precondition: u != v, latency_ms > 0, both ids in range.
+  void add_edge(NodeId u, NodeId v, double latency_ms);
+
+  /// True if an edge (u,v) exists.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const noexcept;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept;
+
+  /// True if every node can reach every other node.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+};
+
+/// Parameters for the transit-stub generator. Defaults approximate the
+/// paper's 4096-node GT-ITM configuration.
+struct TransitStubParams {
+  std::size_t transit_domains = 4;        ///< backbone domains
+  std::size_t transit_nodes_per_domain = 4;
+  std::size_t stub_domains_per_transit = 3;
+  std::size_t stub_nodes_per_domain = 85;
+  /// Probability of an extra intra-domain edge beyond the connecting ring.
+  double extra_edge_prob = 0.3;
+
+  // Latency bands per link class, in milliseconds.
+  double intra_stub_lat_min = 1.0, intra_stub_lat_max = 5.0;
+  double stub_transit_lat_min = 5.0, stub_transit_lat_max = 20.0;
+  double intra_transit_lat_min = 20.0, intra_transit_lat_max = 50.0;
+  double inter_transit_lat_min = 50.0, inter_transit_lat_max = 150.0;
+
+  [[nodiscard]] std::size_t total_nodes() const noexcept {
+    const std::size_t transit = transit_domains * transit_nodes_per_domain;
+    return transit + transit * stub_domains_per_transit * stub_nodes_per_domain;
+  }
+};
+
+/// Generates a connected transit-stub topology. Node ids are laid out as all
+/// transit nodes first (grouped by domain), then all stub nodes (grouped by
+/// their attachment transit node, then by stub domain).
+[[nodiscard]] Topology make_transit_stub(const TransitStubParams& params,
+                                         Rng& rng);
+
+/// Generates a synthetic wide-area overlay of `node_count` fully-connected
+/// hosts grouped into `sites` geographic sites (PlanetLab stand-in for the
+/// prototype study). Intra-site latencies are small; inter-site latencies are
+/// drawn from a wide-area band.
+[[nodiscard]] Topology make_wide_area_mesh(std::size_t node_count,
+                                           std::size_t sites, Rng& rng);
+
+}  // namespace cosmos::net

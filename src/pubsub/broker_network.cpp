@@ -1,0 +1,190 @@
+#include "pubsub/broker_network.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace cosmos::pubsub {
+
+BrokerNetwork::BrokerNetwork(std::vector<NodeId> participants,
+                             const net::LatencyMatrix& lat)
+    : participants_(std::move(participants)), lat_(&lat) {
+  const std::size_t n = participants_.size();
+  if (n == 0) throw std::invalid_argument{"BrokerNetwork: no participants"};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!index_.emplace(participants_[i], i).second) {
+      throw std::invalid_argument{"BrokerNetwork: duplicate participant"};
+    }
+  }
+
+  // Latency-minimal spanning tree (Prim).
+  adj_.resize(n);
+  std::vector<char> in_tree(n, 0);
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> parent(n, SIZE_MAX);
+  best[0] = 0;
+  for (std::size_t it = 0; it < n; ++it) {
+    std::size_t u = SIZE_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && (u == SIZE_MAX || best[i] < best[u])) u = i;
+    }
+    in_tree[u] = 1;
+    if (parent[u] != SIZE_MAX) {
+      adj_[u].push_back(parent[u]);
+      adj_[parent[u]].push_back(u);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = lat_->latency(participants_[u], participants_[v]);
+      if (d < best[v]) {
+        best[v] = d;
+        parent[v] = u;
+      }
+    }
+  }
+
+  // Tree routing tables: BFS from each node.
+  next_hop_.assign(n, std::vector<std::size_t>(n, SIZE_MAX));
+  for (std::size_t src = 0; src < n; ++src) {
+    std::queue<std::size_t> q;
+    std::vector<char> seen(n, 0);
+    seen[src] = 1;
+    for (const auto nb : adj_[src]) {
+      next_hop_[src][nb] = nb;
+      seen[nb] = 1;
+      q.push(nb);
+    }
+    std::vector<std::size_t> via(n, SIZE_MAX);
+    for (const auto nb : adj_[src]) via[nb] = nb;
+    while (!q.empty()) {
+      const auto u = q.front();
+      q.pop();
+      for (const auto v : adj_[u]) {
+        if (seen[v]) continue;
+        seen[v] = 1;
+        via[v] = via[u];
+        next_hop_[src][v] = via[v];
+        q.push(v);
+      }
+    }
+  }
+  subs_at_.resize(n);
+}
+
+std::size_t BrokerNetwork::index_of(NodeId n) const {
+  const auto it = index_.find(n);
+  if (it == index_.end()) {
+    throw std::invalid_argument{"BrokerNetwork: not a participant"};
+  }
+  return it->second;
+}
+
+std::size_t BrokerNetwork::next_hop(std::size_t from, std::size_t to) const {
+  return next_hop_[from][to];
+}
+
+void BrokerNetwork::advertise(const std::string& stream, NodeId publisher,
+                              stream::Schema schema) {
+  const auto idx = index_of(publisher);
+  (void)idx;
+  if (!adverts_.emplace(stream, Advert{publisher, std::move(schema)}).second) {
+    throw std::invalid_argument{"BrokerNetwork: stream already advertised: " +
+                                stream};
+  }
+}
+
+const stream::Schema& BrokerNetwork::schema(const std::string& stream) const {
+  const auto it = adverts_.find(stream);
+  if (it == adverts_.end()) {
+    throw std::out_of_range{"BrokerNetwork: unknown stream " + stream};
+  }
+  return it->second.schema;
+}
+
+SubscriptionId BrokerNetwork::subscribe(Subscription sub) {
+  const auto home = index_of(sub.subscriber);
+  const SubscriptionId id{next_sub_id_++};
+  sub.id = id;
+  subs_at_[home].push_back(id);
+  for (const auto& s : sub.streams) by_stream_[s].push_back(id);
+  subscriptions_.emplace(id, std::move(sub));
+  return id;
+}
+
+void BrokerNetwork::unsubscribe(SubscriptionId id) {
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  const auto home = index_of(it->second.subscriber);
+  std::erase(subs_at_[home], id);
+  for (const auto& s : it->second.streams) std::erase(by_stream_[s], id);
+  subscriptions_.erase(it);
+}
+
+std::vector<NodeId> BrokerNetwork::neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  for (const auto nb : adj_[index_of(n)]) out.push_back(participants_[nb]);
+  return out;
+}
+
+void BrokerNetwork::publish(const std::string& stream,
+                            const stream::Tuple& tuple,
+                            const DeliveryCallback& callback) {
+  const auto it = adverts_.find(stream);
+  if (it == adverts_.end()) {
+    throw std::invalid_argument{"BrokerNetwork: publish to unadvertised " +
+                                stream};
+  }
+  Message message{stream, &it->second.schema, tuple};
+  // Match every interested subscription once per tuple; routing then only
+  // consults the matched set (this is what the per-broker routing tables
+  // built by subscription propagation amount to).
+  std::vector<MatchedSub> matched;
+  if (const auto sit = by_stream_.find(stream); sit != by_stream_.end()) {
+    for (const auto id : sit->second) {
+      const auto& sub = subscriptions_.at(id);
+      if (sub.matches(*message.schema, message.tuple)) {
+        matched.push_back({&sub, index_of(sub.subscriber)});
+      }
+    }
+  }
+  if (matched.empty()) return;
+  route(message, index_of(it->second.publisher), SIZE_MAX, matched, callback);
+}
+
+void BrokerNetwork::route(const Message& message, std::size_t at,
+                          std::size_t came_from,
+                          const std::vector<MatchedSub>& matched,
+                          const DeliveryCallback& callback) {
+  // Local delivery.
+  for (const auto& m : matched) {
+    if (m.home == at) callback(*m.sub, message);
+  }
+  // Forward to each neighbor leading to at least one interested
+  // subscription, with attributes pruned to the union of their projections
+  // (early projection; one copy per link regardless of fan-out behind it).
+  for (const auto nb : adj_[at]) {
+    if (nb == came_from) continue;
+    std::set<std::string> attrs;
+    bool wants_all = false;
+    bool any = false;
+    for (const auto& m : matched) {
+      if (m.home == at || next_hop_[at][m.home] != nb) continue;
+      any = true;
+      if (m.sub->projection.empty()) {
+        wants_all = true;
+      } else {
+        attrs.insert(m.sub->projection.begin(), m.sub->projection.end());
+      }
+    }
+    if (!any) continue;
+    const double bytes =
+        message_bytes(message, wants_all ? std::set<std::string>{} : attrs);
+    const double latency = lat_->latency(participants_[at], participants_[nb]);
+    traffic_.bytes += bytes;
+    traffic_.weighted_cost += bytes * latency;
+    ++traffic_.messages_sent;
+    route(message, nb, at, matched, callback);
+  }
+}
+
+}  // namespace cosmos::pubsub

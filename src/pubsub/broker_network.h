@@ -1,0 +1,101 @@
+// A distributed content-based publish/subscribe substrate (Siena-style,
+// Section 1.2), simulated in-process over an overlay tree.
+//
+// Brokers sit on every participant node; the overlay is the latency-minimal
+// spanning tree of the participants. Publishers advertise streams; the
+// advertisement floods the tree so every broker knows which neighbor leads
+// to each stream's source. Subscriptions propagate from the subscriber
+// toward the advertisers, installing per-link routing state; covered
+// subscriptions are absorbed (not forwarded). Messages then flow along the
+// reverse subscription paths: one copy per link regardless of how many
+// downstream subscriptions want it, with attributes pruned to the union of
+// downstream projections (early projection + filtering).
+//
+// All link traffic is accounted as bytes and as byte*ms (the weighted
+// communication cost the prototype study reports).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "pubsub/subscription.h"
+
+namespace cosmos::pubsub {
+
+struct TrafficStats {
+  double bytes = 0.0;
+  double weighted_cost = 0.0;  ///< sum of bytes * link latency (byte*ms)
+  std::size_t messages_sent = 0;
+};
+
+class BrokerNetwork {
+ public:
+  using DeliveryCallback =
+      std::function<void(const Subscription&, const Message&)>;
+
+  /// Builds the overlay spanning tree over `participants` using latencies
+  /// from `lat` (all participants must be members of `lat`).
+  BrokerNetwork(std::vector<NodeId> participants,
+                const net::LatencyMatrix& lat);
+
+  /// Declares that `publisher` emits `stream` with the given schema.
+  void advertise(const std::string& stream, NodeId publisher,
+                 stream::Schema schema);
+
+  /// Installs a subscription at its subscriber node; returns its id.
+  SubscriptionId subscribe(Subscription sub);
+  void unsubscribe(SubscriptionId id);
+
+  /// Publishes a tuple from the stream's advertised publisher. Matching
+  /// subscriptions receive it via `callback`; link traffic is accounted.
+  void publish(const std::string& stream, const stream::Tuple& tuple,
+               const DeliveryCallback& callback);
+
+  [[nodiscard]] const TrafficStats& traffic() const noexcept {
+    return traffic_;
+  }
+  void reset_traffic() noexcept { traffic_ = {}; }
+
+  [[nodiscard]] const stream::Schema& schema(const std::string& stream) const;
+
+  /// Overlay neighbors of a node (for tests).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
+
+ private:
+  struct Advert {
+    NodeId publisher;
+    stream::Schema schema;
+  };
+
+  struct MatchedSub {
+    const Subscription* sub;
+    std::size_t home;
+  };
+
+  [[nodiscard]] std::size_t index_of(NodeId n) const;
+  /// Next hop from `from` toward `to` along the tree.
+  [[nodiscard]] std::size_t next_hop(std::size_t from, std::size_t to) const;
+  void route(const Message& message, std::size_t at, std::size_t came_from,
+             const std::vector<MatchedSub>& matched,
+             const DeliveryCallback& callback);
+
+  std::vector<NodeId> participants_;
+  std::unordered_map<NodeId, std::size_t> index_;
+  const net::LatencyMatrix* lat_;
+  std::vector<std::vector<std::size_t>> adj_;        ///< tree adjacency
+  std::vector<std::vector<std::size_t>> next_hop_;   ///< routing table
+  std::map<std::string, Advert> adverts_;
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+  /// subs_at_[node] = subscriptions homed there.
+  std::vector<std::vector<SubscriptionId>> subs_at_;
+  /// stream name -> subscriptions interested (routing-table index).
+  std::unordered_map<std::string, std::vector<SubscriptionId>> by_stream_;
+  SubscriptionId::value_type next_sub_id_ = 0;
+  TrafficStats traffic_;
+};
+
+}  // namespace cosmos::pubsub

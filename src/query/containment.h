@@ -1,0 +1,81 @@
+// Continuous-query containment and result-stream merging.
+//
+// Section 2.1 of the paper: when multiple queries at one processor have
+// overlapping results, COSMOS composes a covering query Q whose result is a
+// superset, runs only Q, and "splits" Q's result stream back into the
+// original per-user results by attaching re-filtering subscriptions at the
+// consumers. The paper's example merges Q3 and Q4 into Q5.
+//
+// We implement this for conjunctive select-project-join queries over the
+// same source streams:
+//   * merged window per source  = the wider window,
+//   * merged WHERE              = the conjuncts common to both queries,
+//   * merged SELECT             = union of the two select lists
+//                                 (+ timestamps needed for re-windowing),
+//   * per-original re-filter    = dropped conjuncts + a timestamp band
+//                                 re-imposing the narrower window + its
+//                                 original projection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/query_spec.h"
+
+namespace cosmos::query {
+
+/// The recipe for recovering one original query from the merged result
+/// stream — exactly the content of the paper's p² subscriptions.
+struct ResultSplit {
+  QueryId original;
+  /// Conjuncts of the original WHERE that the merged query dropped.
+  std::vector<stream::PredicatePtr> residual_filters;
+  /// Per-alias timestamp band re-imposing the original (narrower) windows:
+  /// for each entry, require 0 <= t_newest - t_alias <= band_ms.
+  struct WindowBand {
+    std::string alias;
+    std::int64_t band_ms;
+  };
+  std::vector<WindowBand> window_bands;
+  /// The original query's projection (select_all => keep everything).
+  bool select_all = false;
+  std::vector<SelectItem> select;
+};
+
+struct MergedQuery {
+  QuerySpec merged;
+  ResultSplit split_a;  ///< recovers the first input
+  ResultSplit split_b;  ///< recovers the second input
+};
+
+/// Structural equality of predicates (same tree shape, fields, ops, consts).
+[[nodiscard]] bool equivalent(const stream::PredicatePtr& a,
+                              const stream::PredicatePtr& b);
+
+/// True if `sup`'s result is a superset of `sub`'s for every input, under
+/// the conjunctive SPJ rules above (sound, not complete).
+[[nodiscard]] bool contains(const QuerySpec& sup, const QuerySpec& sub);
+
+/// Attempts to merge two queries into a covering query. Returns nullopt when
+/// the queries are not mergeable (different sources/joins, non-conjunctive
+/// predicates). `merged_id` names the composite query.
+[[nodiscard]] std::optional<MergedQuery> merge_queries(const QuerySpec& a,
+                                                       const QuerySpec& b,
+                                                       QueryId merged_id);
+
+/// Computes the re-filter recipe recovering `original` from `merged`'s
+/// result stream. Precondition: contains(merged, original); throws
+/// std::invalid_argument otherwise. Used when more than two queries share
+/// one merged deployment.
+[[nodiscard]] ResultSplit make_result_split(const QuerySpec& original,
+                                            const QuerySpec& merged);
+
+/// Rewrites alias names in a predicate tree (aliases absent from the map
+/// pass through). Exposed for subscription generation.
+[[nodiscard]] stream::PredicatePtr rename_predicate_aliases(
+    const stream::PredicatePtr& p,
+    const std::unordered_map<std::string, std::string>& map);
+
+}  // namespace cosmos::query

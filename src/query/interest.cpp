@@ -1,0 +1,38 @@
+#include "query/interest.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace cosmos::query {
+
+SubstreamSpace::SubstreamSpace(std::vector<NodeId> origin,
+                               std::vector<double> rate)
+    : origin_(std::move(origin)), rate_(std::move(rate)) {
+  if (origin_.size() != rate_.size()) {
+    throw std::invalid_argument{"SubstreamSpace: size mismatch"};
+  }
+  for (const double r : rate_) {
+    if (r < 0) throw std::invalid_argument{"SubstreamSpace: negative rate"};
+  }
+}
+
+void SubstreamSpace::set_rate(SubstreamId s, double rate) {
+  if (rate < 0) throw std::invalid_argument{"SubstreamSpace: negative rate"};
+  rate_.at(s.value()) = rate;
+}
+
+std::vector<std::pair<NodeId, double>> InterestProfile::rate_by_source(
+    const SubstreamSpace& space) const {
+  std::map<NodeId, double> acc;
+  for (const std::size_t bit : interest.set_bits()) {
+    const SubstreamId s{static_cast<SubstreamId::value_type>(bit)};
+    acc[space.origin(s)] += space.rate(s);
+  }
+  return {acc.begin(), acc.end()};
+}
+
+void refresh_load(InterestProfile& p, const SubstreamSpace& space) {
+  p.load = kLoadPerByteRate * p.input_rate(space);
+}
+
+}  // namespace cosmos::query

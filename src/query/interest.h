@@ -1,0 +1,71 @@
+// Substream partitioning and query data-interest profiles.
+//
+// Section 3.2 / 3.8 of the paper: every stream is partitioned into
+// substreams; a query's data interest is a bit vector over substreams, so
+// overlap between two queries reduces to bit operations, and the only
+// statistics a coordinator needs are per-substream data rates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bit_vector.h"
+#include "common/ids.h"
+
+namespace cosmos::query {
+
+/// Global registry of substreams: rate and origin node of each.
+class SubstreamSpace {
+ public:
+  SubstreamSpace() = default;
+  /// `origin[i]` is the source node publishing substream i; `rate[i]` its
+  /// data rate in bytes/second.
+  SubstreamSpace(std::vector<NodeId> origin, std::vector<double> rate);
+
+  [[nodiscard]] std::size_t size() const noexcept { return origin_.size(); }
+  [[nodiscard]] NodeId origin(SubstreamId s) const {
+    return origin_.at(s.value());
+  }
+  [[nodiscard]] double rate(SubstreamId s) const { return rate_.at(s.value()); }
+  [[nodiscard]] std::span<const double> rates() const noexcept {
+    return rate_;
+  }
+  void set_rate(SubstreamId s, double rate);
+
+ private:
+  std::vector<NodeId> origin_;
+  std::vector<double> rate_;
+};
+
+/// A query's data interest plus derived quantities used by the optimizer.
+struct InterestProfile {
+  QueryId query;
+  NodeId proxy;
+  BitVector interest;      ///< one bit per substream
+  double output_rate = 0;  ///< result-stream rate toward the proxy (bytes/s)
+  double load = 0;         ///< CPU load estimate (capability units)
+  double state_size = 1;   ///< operator state (for migration cost), bytes
+
+  /// Total input rate = sum of selected substream rates.
+  [[nodiscard]] double input_rate(const SubstreamSpace& space) const {
+    return interest.weighted_count(space.rates());
+  }
+  /// Rate of data both profiles want (the paper's query-query edge weight).
+  [[nodiscard]] double overlap_rate(const InterestProfile& other,
+                                    const SubstreamSpace& space) const {
+    return interest.weighted_intersection(other.interest, space.rates());
+  }
+  /// Per-source-node breakdown of this query's input rate.
+  [[nodiscard]] std::vector<std::pair<NodeId, double>> rate_by_source(
+      const SubstreamSpace& space) const;
+};
+
+/// The paper sets query load proportional to input stream rate; this is the
+/// shared definition of the constant of proportionality.
+inline constexpr double kLoadPerByteRate = 0.001;
+
+/// Derives `load` from input rate (call after changing interest or rates).
+void refresh_load(InterestProfile& p, const SubstreamSpace& space);
+
+}  // namespace cosmos::query

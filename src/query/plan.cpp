@@ -1,0 +1,393 @@
+#include "query/plan.h"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cosmos::query {
+namespace {
+
+using stream::CompareConst;
+using stream::CompareField;
+using stream::FieldRef;
+using stream::Predicate;
+using stream::PredicatePtr;
+using stream::Schema;
+using stream::Tuple;
+
+/// Rewrites FieldRef{alias, field} to FieldRef{"", "alias.field"} so a
+/// predicate can run against a flattened (joined) schema. The "timestamp"
+/// pseudo-field becomes the materialized "<alias>.timestamp" column.
+FieldRef flatten_ref(const FieldRef& f) {
+  if (f.alias.empty()) return f;
+  return {"", f.alias + "." + f.field};
+}
+
+PredicatePtr flatten_predicate(const PredicatePtr& p) {
+  switch (p->kind()) {
+    case Predicate::Kind::kTrue:
+      return p;
+    case Predicate::Kind::kCompareConst: {
+      const auto& cc = static_cast<const CompareConst&>(*p);
+      return Predicate::cmp(flatten_ref(cc.lhs()), cc.op(), cc.rhs());
+    }
+    case Predicate::Kind::kCompareField: {
+      const auto& cf = static_cast<const CompareField&>(*p);
+      return Predicate::cmp(flatten_ref(cf.lhs()), cf.op(),
+                            flatten_ref(cf.rhs()));
+    }
+    case Predicate::Kind::kTimeBand: {
+      const auto& tb = static_cast<const stream::TimeBand&>(*p);
+      return Predicate::time_band(flatten_ref(tb.newer()),
+                                  flatten_ref(tb.older()), tb.band_ms());
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      const auto& bj = static_cast<const stream::BoolJunction&>(*p);
+      std::vector<PredicatePtr> children;
+      for (const auto& c : bj.children()) {
+        children.push_back(flatten_predicate(c));
+      }
+      return p->kind() == Predicate::Kind::kAnd
+                 ? Predicate::conj(std::move(children))
+                 : Predicate::disj(std::move(children));
+    }
+    case Predicate::Kind::kNot: {
+      const auto& np = static_cast<const stream::NotPredicate&>(*p);
+      return Predicate::negate(flatten_predicate(np.child()));
+    }
+  }
+  return p;
+}
+
+/// Aliases referenced by a leaf conjunct.
+std::unordered_set<std::string> referenced_aliases(const PredicatePtr& p) {
+  std::unordered_set<std::string> out;
+  switch (p->kind()) {
+    case Predicate::Kind::kCompareConst:
+      out.insert(static_cast<const CompareConst&>(*p).lhs().alias);
+      break;
+    case Predicate::Kind::kCompareField: {
+      const auto& cf = static_cast<const CompareField&>(*p);
+      out.insert(cf.lhs().alias);
+      out.insert(cf.rhs().alias);
+      break;
+    }
+    case Predicate::Kind::kTimeBand: {
+      const auto& tb = static_cast<const stream::TimeBand&>(*p);
+      out.insert(tb.newer().alias);
+      out.insert(tb.older().alias);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+/// Flattened per-alias schema: "<alias>.<field>" columns plus a
+/// materialized "<alias>.timestamp" column (appended when absent).
+Schema lift_schema(const Schema& raw, const std::string& alias,
+                   bool& has_ts_column) {
+  std::vector<stream::Field> fields;
+  has_ts_column = false;
+  for (const auto& f : raw.fields()) {
+    fields.push_back({alias + "." + f.name, f.type});
+    if (f.name == "timestamp") has_ts_column = true;
+  }
+  if (!has_ts_column) {
+    fields.push_back({alias + ".timestamp", stream::ValueType::kInt});
+  }
+  return Schema{std::move(fields)};
+}
+
+Tuple lift_tuple(const Tuple& raw, bool has_ts_column) {
+  Tuple out = raw;
+  if (!has_ts_column) out.values.emplace_back(raw.ts);
+  return out;
+}
+
+}  // namespace
+
+struct CompiledQuery::Stage {
+  std::unique_ptr<stream::FilterOp> filter;
+  std::unique_ptr<stream::WindowJoinOp> join;
+  std::unique_ptr<stream::ProjectOp> project;
+  Schema schema;  // output schema of the stage (stable address for Bindings)
+};
+
+stream::Schema flattened_schema(const stream::Engine& engine,
+                                const QuerySpec& spec) {
+  Schema acc;
+  for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+    bool has_ts = false;
+    Schema lifted =
+        lift_schema(engine.schema(spec.sources[i].stream),
+                    spec.sources[i].alias, has_ts);
+    if (i == 0) {
+      acc = std::move(lifted);
+    } else {
+      std::vector<stream::Field> fields = acc.fields();
+      for (const auto& f : lifted.fields()) fields.push_back(f);
+      acc = Schema{std::move(fields)};
+    }
+  }
+  return acc;
+}
+
+CompiledQuery::CompiledQuery(stream::Engine& engine, const QuerySpec& spec,
+                             std::string result_stream)
+    : engine_(engine), result_stream_(std::move(result_stream)) {
+  validate(spec);
+
+  std::vector<PredicatePtr> conjuncts;
+  if (!stream::collect_conjuncts(spec.where, conjuncts)) {
+    // Non-conjunctive WHERE: evaluate the whole tree in the residual stage.
+    conjuncts.clear();
+  }
+
+  // Partition conjuncts: single-alias ones go below the join; the rest (and
+  // a non-conjunctive WHERE) are re-checked after the last join.
+  std::unordered_map<std::string, std::vector<PredicatePtr>> per_alias;
+  std::vector<PredicatePtr> residual;
+  if (conjuncts.empty() &&
+      spec.where->kind() != Predicate::Kind::kTrue) {
+    residual.push_back(spec.where);
+  } else {
+    for (const auto& c : conjuncts) {
+      auto aliases = referenced_aliases(c);
+      aliases.erase("");
+      if (aliases.size() == 1) {
+        per_alias[*aliases.begin()].push_back(c);
+      } else {
+        residual.push_back(c);
+      }
+    }
+  }
+  // Window constraints re-imposed on the final result: for every source
+  // with a bounded window, require result_ts - source_ts <= extent. (For
+  // two-way joins the join operator already enforces this; the residual
+  // band makes left-deep cascades of 3+ sources window-correct too.)
+  if (spec.sources.size() > 2) {
+    for (const auto& s : spec.sources) {
+      if (s.window.kind != stream::WindowSpec::Kind::kUnbounded) {
+        residual.push_back(Predicate::time_band(
+            FieldRef{"", "timestamp"}, FieldRef{s.alias, "timestamp"},
+            s.window.extent_ms()));
+      }
+    }
+  }
+
+  // --- build stages back to front ---
+  const Schema full_schema = flattened_schema(engine_, spec);
+
+  // Final sink: projection then publish.
+  std::vector<std::size_t> keep;
+  std::vector<stream::Field> result_fields;
+  if (spec.select_all) {
+    for (std::size_t i = 0; i < full_schema.size(); ++i) {
+      keep.push_back(i);
+      result_fields.push_back(full_schema.field(i));
+    }
+  } else {
+    for (const auto& item : spec.select) {
+      if (item.is_wildcard()) {
+        const std::string prefix = item.alias + ".";
+        for (std::size_t i = 0; i < full_schema.size(); ++i) {
+          if (full_schema.field(i).name.starts_with(prefix)) {
+            keep.push_back(i);
+            result_fields.push_back(full_schema.field(i));
+          }
+        }
+      } else {
+        const auto idx = full_schema.index_of(item.alias + "." + item.field);
+        if (!idx) {
+          throw std::invalid_argument{"CompiledQuery: unknown select column " +
+                                      item.to_string()};
+        }
+        keep.push_back(*idx);
+        result_fields.push_back(full_schema.field(*idx));
+      }
+    }
+  }
+  result_schema_ = Schema{std::move(result_fields)};
+  engine_.register_stream(result_stream_, result_schema_);
+
+  auto& project_stage = *stages_.emplace_back(std::make_unique<Stage>());
+  project_stage.project = std::make_unique<stream::ProjectOp>(
+      keep, [this](const Tuple& t) {
+        ++emitted_;
+        engine_.publish(result_stream_, t);
+      });
+  stream::Sink after_joins = [op = project_stage.project.get()](
+                                 const Tuple& t) { op->push(t); };
+
+  if (!residual.empty()) {
+    std::vector<PredicatePtr> flat;
+    for (const auto& p : residual) flat.push_back(flatten_predicate(p));
+    auto& st = *stages_.emplace_back(std::make_unique<Stage>());
+    st.schema = full_schema;
+    st.filter = std::make_unique<stream::FilterOp>(
+        "", &st.schema, Predicate::conj(std::move(flat)),
+        std::move(after_joins));
+    after_joins = [op = st.filter.get()](const Tuple& t) { op->push(t); };
+  }
+
+  // Per-source entry pipelines (lift -> filter) feeding the join cascade.
+  struct SourceEntry {
+    Schema lifted;
+    bool has_ts = false;
+    stream::Sink entry;  // receives *lifted* tuples
+  };
+  std::vector<SourceEntry> entries(spec.sources.size());
+
+  if (spec.sources.size() == 1) {
+    // No join: source filter feeds the residual/projection directly.
+    auto& e = entries[0];
+    e.lifted = lift_schema(engine_.schema(spec.sources[0].stream),
+                           spec.sources[0].alias, e.has_ts);
+    e.entry = after_joins;
+  } else {
+    // Left-deep cascade: acc = src0 ⋈ src1 ⋈ ... Window of the accumulated
+    // side is the widest of its constituents (exact for 2-way; residual
+    // bands fix 3+-way).
+    std::vector<Schema> acc_schema(spec.sources.size());
+    for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+      bool has_ts = false;
+      entries[i].lifted = lift_schema(engine_.schema(spec.sources[i].stream),
+                                      spec.sources[i].alias, has_ts);
+      entries[i].has_ts = has_ts;
+      acc_schema[i] = i == 0 ? entries[0].lifted
+                             : Schema::join(acc_schema[i - 1], "",
+                                            entries[i].lifted, "");
+    }
+    // Schema::join with empty aliases would prefix "."; build manually.
+    acc_schema[0] = entries[0].lifted;
+    for (std::size_t i = 1; i < spec.sources.size(); ++i) {
+      std::vector<stream::Field> fs = acc_schema[i - 1].fields();
+      for (const auto& f : entries[i].lifted.fields()) fs.push_back(f);
+      acc_schema[i] = Schema{std::move(fs)};
+    }
+
+    std::unordered_set<std::string> acc_aliases{spec.sources[0].alias};
+    stream::Sink downstream = std::move(after_joins);
+    // Build joins from the last to the first so each join's sink exists.
+    std::vector<stream::WindowJoinOp*> join_ops(spec.sources.size(), nullptr);
+    for (std::size_t i = spec.sources.size() - 1; i >= 1; --i) {
+      // Join predicate: conjuncts fully resolvable once source i arrives
+      // (reference alias i and only aliases < i otherwise).
+      std::unordered_set<std::string> available;
+      for (std::size_t j = 0; j < i; ++j) {
+        available.insert(spec.sources[j].alias);
+      }
+      std::vector<PredicatePtr> join_preds;
+      for (const auto& c : conjuncts) {
+        auto aliases = referenced_aliases(c);
+        aliases.erase("");
+        if (aliases.size() < 2) continue;
+        if (!aliases.contains(spec.sources[i].alias)) continue;
+        bool ok = true;
+        for (const auto& a : aliases) {
+          if (a != spec.sources[i].alias && !available.contains(a)) {
+            ok = false;
+          }
+        }
+        if (ok) join_preds.push_back(flatten_predicate(c));
+      }
+
+      auto& st = *stages_.emplace_back(std::make_unique<Stage>());
+      st.schema = acc_schema[i - 1];
+      // Accumulated side window: widest constituent window.
+      stream::WindowSpec acc_window = spec.sources[0].window;
+      for (std::size_t j = 1; j < i; ++j) {
+        if (spec.sources[j].window.covers(acc_window)) {
+          acc_window = spec.sources[j].window;
+        }
+      }
+      auto& st_r = *stages_.emplace_back(std::make_unique<Stage>());
+      st_r.schema = entries[i].lifted;
+      st.join = std::make_unique<stream::WindowJoinOp>(
+          stream::WindowJoinOp::Side{"", &st.schema, acc_window},
+          stream::WindowJoinOp::Side{"", &st_r.schema,
+                                     spec.sources[i].window},
+          Predicate::conj(std::move(join_preds)), std::move(downstream));
+      join_ops[i] = st.join.get();
+      downstream = [op = st.join.get()](const Tuple& t) { op->push_left(t); };
+      if (i == 1) break;  // size_t underflow guard
+    }
+    entries[0].entry = std::move(downstream);
+    for (std::size_t i = 1; i < spec.sources.size(); ++i) {
+      entries[i].entry = [op = join_ops[i]](const Tuple& t) {
+        op->push_right(t);
+      };
+    }
+  }
+
+  // Attach source taps: engine tuple -> lift -> per-alias filter -> entry.
+  for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+    const auto& src = spec.sources[i];
+    stream::Sink into = entries[i].entry;
+    if (const auto it = per_alias.find(src.alias); it != per_alias.end()) {
+      std::vector<PredicatePtr> flat;
+      for (const auto& p : it->second) flat.push_back(flatten_predicate(p));
+      auto& st = *stages_.emplace_back(std::make_unique<Stage>());
+      st.schema = entries[i].lifted;
+      st.filter = std::make_unique<stream::FilterOp>(
+          "", &st.schema, Predicate::conj(std::move(flat)), std::move(into));
+      into = [op = st.filter.get()](const Tuple& t) { op->push(t); };
+    }
+    const bool has_ts = entries[i].has_ts;
+    const std::size_t tap = engine_.attach(
+        src.stream, [into = std::move(into), has_ts](const Tuple& t) {
+          into(lift_tuple(t, has_ts));
+        });
+    taps_.emplace_back(src.stream, tap);
+  }
+}
+
+CompiledQuery::~CompiledQuery() {
+  for (const auto& [name, tap] : taps_) engine_.detach(name, tap);
+}
+
+stream::PredicatePtr make_split_predicate(const ResultSplit& split) {
+  std::vector<PredicatePtr> conj;
+  for (const auto& p : split.residual_filters) {
+    conj.push_back(flatten_predicate(p));
+  }
+  for (const auto& band : split.window_bands) {
+    conj.push_back(Predicate::time_band(
+        FieldRef{"", "timestamp"},
+        FieldRef{"", band.alias + ".timestamp"}, band.band_ms));
+  }
+  return Predicate::conj(std::move(conj));
+}
+
+std::vector<std::size_t> split_projection_indices(
+    const ResultSplit& split, const stream::Schema& merged_schema) {
+  std::vector<std::size_t> keep;
+  if (split.select_all) {
+    for (std::size_t i = 0; i < merged_schema.size(); ++i) keep.push_back(i);
+    return keep;
+  }
+  for (const auto& item : split.select) {
+    if (item.is_wildcard()) {
+      const std::string prefix = item.alias + ".";
+      for (std::size_t i = 0; i < merged_schema.size(); ++i) {
+        if (merged_schema.field(i).name.starts_with(prefix)) {
+          keep.push_back(i);
+        }
+      }
+    } else {
+      const auto idx = merged_schema.index_of(item.alias + "." + item.field);
+      if (!idx) {
+        throw std::invalid_argument{
+            "split_projection_indices: merged stream lacks column " +
+            item.to_string()};
+      }
+      keep.push_back(*idx);
+    }
+  }
+  return keep;
+}
+
+}  // namespace cosmos::query

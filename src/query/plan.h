@@ -1,0 +1,72 @@
+// Compilation of QuerySpecs into running operator pipelines on an Engine.
+//
+// The pipeline shape is the classic SPJ plan: per-source filters (pushing
+// single-alias conjuncts below the join), a left-deep cascade of
+// sliding-window joins, a residual filter re-checking window bands, and a
+// final projection. Field names are flattened to "alias.field" as soon as a
+// tuple enters the plan so that joined tuples keep per-source provenance
+// (including per-source timestamps, which result splitting needs).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/containment.h"
+#include "query/query_spec.h"
+#include "stream/engine.h"
+#include "stream/operators.h"
+
+namespace cosmos::query {
+
+/// A live query: subscribed to its input streams, publishing its result
+/// stream. Destroying the object detaches it from the engine.
+class CompiledQuery {
+ public:
+  /// Registers `result_stream` on the engine and wires the pipeline.
+  /// Throws std::invalid_argument on unknown streams/fields.
+  CompiledQuery(stream::Engine& engine, const QuerySpec& spec,
+                std::string result_stream);
+  ~CompiledQuery();
+
+  CompiledQuery(const CompiledQuery&) = delete;
+  CompiledQuery& operator=(const CompiledQuery&) = delete;
+
+  [[nodiscard]] const std::string& result_stream() const noexcept {
+    return result_stream_;
+  }
+  [[nodiscard]] const stream::Schema& result_schema() const noexcept {
+    return result_schema_;
+  }
+  [[nodiscard]] std::size_t results_emitted() const noexcept {
+    return emitted_;
+  }
+
+ private:
+  struct Stage;
+  stream::Engine& engine_;
+  std::string result_stream_;
+  stream::Schema result_schema_;
+  std::size_t emitted_ = 0;
+  std::vector<std::pair<std::string, std::size_t>> taps_;  // stream, tap id
+  std::deque<std::unique_ptr<Stage>> stages_;              // owns operators
+};
+
+/// Prefixed ("alias.field") schema of a query's raw join result, before
+/// projection. Every alias gets an explicit "<alias>.timestamp" column.
+[[nodiscard]] stream::Schema flattened_schema(const stream::Engine& engine,
+                                              const QuerySpec& spec);
+
+/// Builds the re-filtering predicate a consumer attaches to a *merged*
+/// result stream to recover one original query (the paper's p² subscription
+/// content): residual filters AND window bands, expressed over the merged
+/// stream's flattened schema.
+[[nodiscard]] stream::PredicatePtr make_split_predicate(
+    const ResultSplit& split);
+
+/// Column indices of `split`'s projection within the merged stream schema.
+[[nodiscard]] std::vector<std::size_t> split_projection_indices(
+    const ResultSplit& split, const stream::Schema& merged_schema);
+
+}  // namespace cosmos::query

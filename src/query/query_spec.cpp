@@ -1,0 +1,70 @@
+#include "query/query_spec.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cosmos::query {
+
+const SourceRef* QuerySpec::source_by_alias(
+    const std::string& alias) const noexcept {
+  for (const auto& s : sources) {
+    if (s.alias == alias) return &s;
+  }
+  return nullptr;
+}
+
+std::string QuerySpec::to_cql() const {
+  std::string out = "SELECT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (std::size_t i = 0; i < select.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += select[i].to_string();
+    }
+  }
+  out += " FROM ";
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += sources[i].stream + " " + sources[i].window.to_string() + " " +
+           sources[i].alias;
+  }
+  if (where != nullptr &&
+      where->kind() != stream::Predicate::Kind::kTrue) {
+    out += " WHERE " + where->to_string();
+  }
+  return out;
+}
+
+void validate(const QuerySpec& q) {
+  if (q.sources.empty()) {
+    throw std::invalid_argument{"QuerySpec: no sources"};
+  }
+  std::unordered_set<std::string> aliases;
+  for (const auto& s : q.sources) {
+    if (s.alias.empty()) {
+      throw std::invalid_argument{"QuerySpec: empty alias"};
+    }
+    if (!aliases.insert(s.alias).second) {
+      throw std::invalid_argument{"QuerySpec: duplicate alias " + s.alias};
+    }
+    if (s.window.kind == stream::WindowSpec::Kind::kRange &&
+        s.window.range_ms <= 0) {
+      throw std::invalid_argument{"QuerySpec: non-positive range window"};
+    }
+  }
+  if (!q.select_all && q.select.empty()) {
+    throw std::invalid_argument{"QuerySpec: empty select list"};
+  }
+  for (const auto& item : q.select) {
+    if (!aliases.contains(item.alias)) {
+      throw std::invalid_argument{"QuerySpec: select references unknown alias " +
+                                  item.alias};
+    }
+  }
+  if (q.where == nullptr) {
+    throw std::invalid_argument{"QuerySpec: null predicate"};
+  }
+}
+
+}  // namespace cosmos::query

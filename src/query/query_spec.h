@@ -1,0 +1,56 @@
+// Declarative representation of a continuous query (the CQL subset the
+// paper uses: select-project-join over windowed streams).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "stream/predicate.h"
+#include "stream/window.h"
+
+namespace cosmos::query {
+
+/// One FROM entry: `Station1 [Range 30 Minutes] S1`.
+struct SourceRef {
+  std::string stream;  ///< registered stream name
+  std::string alias;   ///< binding alias (defaults to stream name)
+  stream::WindowSpec window;
+
+  friend bool operator==(const SourceRef&, const SourceRef&) = default;
+};
+
+/// One SELECT entry: either `S2.*` (alias wildcard) or `S1.snowHeight`.
+struct SelectItem {
+  std::string alias;
+  std::string field;        ///< empty means alias wildcard (`alias.*`)
+  [[nodiscard]] bool is_wildcard() const noexcept { return field.empty(); }
+  [[nodiscard]] std::string to_string() const {
+    return alias + "." + (field.empty() ? "*" : field);
+  }
+  friend bool operator==(const SelectItem&, const SelectItem&) = default;
+};
+
+struct QuerySpec {
+  QueryId id;
+  NodeId proxy;  ///< the processor acting as the user's proxy
+
+  std::vector<SourceRef> sources;  ///< 1..n FROM entries
+  bool select_all = false;         ///< SELECT *
+  std::vector<SelectItem> select;  ///< used when !select_all
+  stream::PredicatePtr where = stream::Predicate::always_true();
+
+  std::string text;  ///< original CQL text, if parsed
+
+  [[nodiscard]] const SourceRef* source_by_alias(
+      const std::string& alias) const noexcept;
+  /// Render back to CQL-like text (canonical form, not necessarily `text`).
+  [[nodiscard]] std::string to_cql() const;
+};
+
+/// Validation: aliases unique, at least one source, windows well-formed.
+/// Throws std::invalid_argument on violation.
+void validate(const QuerySpec& q);
+
+}  // namespace cosmos::query

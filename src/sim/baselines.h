@@ -1,0 +1,42 @@
+// Query distribution baselines from Section 4.1: Naive (local proxy),
+// Random, Greedy (Algorithm 2 without refinement) and Centralized
+// (global graph, Algorithm 2 at a single node).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "graph/edge_model.h"
+#include "graph/mapping.h"
+#include "net/deployment.h"
+#include "query/interest.h"
+
+namespace cosmos::sim {
+
+using Placement = std::unordered_map<QueryId, NodeId>;
+
+/// Every query runs at its proxy.
+[[nodiscard]] Placement naive_placement(
+    std::span<const query::InterestProfile> profiles);
+
+/// Uniform random processor per query.
+[[nodiscard]] Placement random_placement(
+    std::span<const query::InterestProfile> profiles,
+    const net::Deployment& deployment, Rng& rng);
+
+struct CentralizedResult {
+  Placement placement;
+  double wec = 0.0;
+  double seconds = 0.0;  ///< optimizer wall-clock time
+};
+
+/// Builds the global query/network graphs at one node and runs Algorithm 2.
+/// With `refine == false` this is the paper's "Greedy" baseline.
+[[nodiscard]] CentralizedResult centralized_placement(
+    std::span<const query::InterestProfile> profiles,
+    const net::Deployment& deployment, const query::SubstreamSpace& space,
+    const graph::MappingParams& mapping,
+    const graph::QueryGraphBuildParams& build, bool refine, Rng& rng);
+
+}  // namespace cosmos::sim

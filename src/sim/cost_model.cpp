@@ -1,0 +1,104 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace cosmos::sim {
+
+CostModel::CostModel(const net::Topology& topo,
+                     const net::Deployment& deployment)
+    : topo_(&topo), deployment_(&deployment) {
+  for (const NodeId s : deployment.sources) {
+    spt_.emplace(s, net::dijkstra(topo, s));
+  }
+}
+
+CostModel::Breakdown CostModel::pairwise_cost(
+    const std::unordered_map<QueryId, NodeId>& placement,
+    const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+    const query::SubstreamSpace& space) const {
+  Breakdown out;
+  std::vector<std::vector<NodeId>> subscribers(space.size());
+  for (const auto& [qid, host] : placement) {
+    const auto pit = profiles.find(qid);
+    if (pit == profiles.end()) continue;
+    for (const std::size_t bit : pit->second.interest.set_bits()) {
+      subscribers[bit].push_back(host);
+    }
+    const NodeId proxy = pit->second.proxy;
+    if (proxy.valid() && proxy != host && pit->second.output_rate > 0) {
+      out.result_cost += pit->second.output_rate *
+                         deployment_->latencies.latency(host, proxy);
+    }
+  }
+  for (std::size_t s = 0; s < space.size(); ++s) {
+    auto& subs = subscribers[s];
+    if (subs.empty()) continue;
+    std::sort(subs.begin(), subs.end());
+    subs.erase(std::unique(subs.begin(), subs.end()), subs.end());
+    const SubstreamId sid{static_cast<SubstreamId::value_type>(s)};
+    const NodeId origin = space.origin(sid);
+    for (const NodeId proc : subs) {
+      out.source_cost +=
+          space.rate(sid) * deployment_->latencies.latency(origin, proc);
+    }
+  }
+  return out;
+}
+
+CostModel::Breakdown CostModel::communication_cost(
+    const std::unordered_map<QueryId, NodeId>& placement,
+    const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+    const query::SubstreamSpace& space) const {
+  Breakdown out;
+
+  // Subscriber processors per substream.
+  std::vector<std::vector<NodeId>> subscribers(space.size());
+  for (const auto& [qid, host] : placement) {
+    const auto pit = profiles.find(qid);
+    if (pit == profiles.end()) continue;
+    for (const std::size_t bit : pit->second.interest.set_bits()) {
+      subscribers[bit].push_back(host);
+    }
+    // Result unicast host -> proxy (free when local).
+    const NodeId proxy = pit->second.proxy;
+    if (proxy.valid() && proxy != host && pit->second.output_rate > 0) {
+      out.result_cost += pit->second.output_rate *
+                         deployment_->latencies.latency(host, proxy);
+    }
+  }
+
+  // Shared multicast: union of SPT paths from the source to all subscriber
+  // processors; each link carries the substream once.
+  std::vector<std::uint32_t> visited_mark(topo_->node_count(), 0);
+  std::uint32_t epoch = 0;
+  for (std::size_t s = 0; s < space.size(); ++s) {
+    auto& subs = subscribers[s];
+    if (subs.empty()) continue;
+    std::sort(subs.begin(), subs.end());
+    subs.erase(std::unique(subs.begin(), subs.end()), subs.end());
+
+    const SubstreamId sid{static_cast<SubstreamId::value_type>(s)};
+    const NodeId origin = space.origin(sid);
+    const auto& tree = spt_.at(origin);
+    ++epoch;
+    visited_mark[origin.value()] = epoch;
+    double path_latency = 0.0;
+    for (const NodeId sub : subs) {
+      // Walk the predecessor chain until we hit an already-counted node.
+      NodeId cur = sub;
+      while (visited_mark[cur.value()] != epoch) {
+        visited_mark[cur.value()] = epoch;
+        const NodeId prev = tree.pred[cur.value()];
+        if (!prev.valid()) break;  // unreachable or the origin itself
+        // Link latency = dist difference along the tree.
+        path_latency +=
+            tree.dist[cur.value()] - tree.dist[prev.value()];
+        cur = prev;
+      }
+    }
+    out.source_cost += space.rate(sid) * path_latency;
+  }
+  return out;
+}
+
+}  // namespace cosmos::sim

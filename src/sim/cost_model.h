@@ -1,0 +1,62 @@
+// True communication cost of a query placement (the metric the paper plots
+// as "Weighted Comm. Cost").
+//
+// Unlike the WEC — the optimizer's objective — this model simulates what the
+// pub/sub substrate actually does: each substream is multicast from its
+// source along the union of shortest paths to every processor hosting an
+// interested query (one copy per link: the pub/sub sharing), and each query
+// result travels from its host to its proxy. Cost = sum over links of
+// rate * latency. Result traffic to a local user (host == proxy) is free,
+// which matches the paper's subtraction of the identical local-delivery
+// term.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/deployment.h"
+#include "net/shortest_paths.h"
+#include "net/topology.h"
+#include "query/interest.h"
+
+namespace cosmos::sim {
+
+class CostModel {
+ public:
+  CostModel(const net::Topology& topo, const net::Deployment& deployment);
+
+  struct Breakdown {
+    double source_cost = 0.0;  ///< shared multicast of substreams
+    double result_cost = 0.0;  ///< per-query result unicast
+    [[nodiscard]] double total() const noexcept {
+      return source_cost + result_cost;
+    }
+  };
+
+  /// Evaluates a placement with router-level multicast sharing (union of
+  /// shortest-path-tree branches; one copy per physical link).
+  [[nodiscard]] Breakdown communication_cost(
+      const std::unordered_map<QueryId, NodeId>& placement,
+      const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+      const query::SubstreamSpace& space) const;
+
+  /// The paper's simulation metric (Section 3.1.1): overlay-level weighted
+  /// traffic sum(r(ni,nj) * d(ni,nj)). A substream is delivered once per
+  /// *subscribing processor* (sharing through co-location of queries), and
+  /// results travel host -> proxy. This is the number the Fig 6-10 plots
+  /// report.
+  [[nodiscard]] Breakdown pairwise_cost(
+      const std::unordered_map<QueryId, NodeId>& placement,
+      const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+      const query::SubstreamSpace& space) const;
+
+ private:
+  const net::Topology* topo_;
+  const net::Deployment* deployment_;
+  /// Shortest-path tree per source (multicast delivery trees).
+  std::unordered_map<NodeId, net::ShortestPathTree> spt_;
+};
+
+}  // namespace cosmos::sim

@@ -1,0 +1,49 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+
+namespace cosmos::sim {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+std::vector<double> processor_loads(
+    const std::unordered_map<QueryId, NodeId>& placement,
+    const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+    const net::Deployment& deployment) {
+  std::unordered_map<NodeId, std::size_t> index;
+  for (std::size_t i = 0; i < deployment.processors.size(); ++i) {
+    index.emplace(deployment.processors[i], i);
+  }
+  std::vector<double> loads(deployment.processors.size(), 0.0);
+  for (const auto& [q, node] : placement) {
+    const auto pit = profiles.find(q);
+    const auto nit = index.find(node);
+    if (pit != profiles.end() && nit != index.end()) {
+      loads[nit->second] += pit->second.load;
+    }
+  }
+  return loads;
+}
+
+double load_stddev(
+    const std::unordered_map<QueryId, NodeId>& placement,
+    const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+    const net::Deployment& deployment) {
+  const auto loads = processor_loads(placement, profiles, deployment);
+  return stddev(loads);
+}
+
+}  // namespace cosmos::sim

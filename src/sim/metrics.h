@@ -1,0 +1,29 @@
+// Small statistics helpers used by the benchmarks.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "net/deployment.h"
+#include "query/interest.h"
+
+namespace cosmos::sim {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Per-processor load of a placement (indexed like deployment.processors).
+[[nodiscard]] std::vector<double> processor_loads(
+    const std::unordered_map<QueryId, NodeId>& placement,
+    const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+    const net::Deployment& deployment);
+
+/// Standard deviation of per-processor loads.
+[[nodiscard]] double load_stddev(
+    const std::unordered_map<QueryId, NodeId>& placement,
+    const std::unordered_map<QueryId, query::InterestProfile>& profiles,
+    const net::Deployment& deployment);
+
+}  // namespace cosmos::sim

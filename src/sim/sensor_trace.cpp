@@ -1,0 +1,48 @@
+#include "sim/sensor_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cosmos::sim {
+
+stream::Schema sensor_schema() {
+  return stream::Schema{{{"snowHeight", stream::ValueType::kDouble},
+                         {"temperature", stream::ValueType::kDouble},
+                         {"stationId", stream::ValueType::kInt},
+                         {"timestamp", stream::ValueType::kInt}}};
+}
+
+std::string station_stream_name(std::size_t station) {
+  return "Station" + std::to_string(station + 1);
+}
+
+std::vector<SensorReading> make_sensor_trace(const SensorTraceParams& params,
+                                             Rng& rng) {
+  std::vector<SensorReading> out;
+  out.reserve(params.stations * params.readings_per_station);
+  std::vector<double> snow(params.stations);
+  for (auto& s : snow) s = params.snow_base + rng.next_double(-5.0, 5.0);
+
+  for (std::size_t step = 0; step < params.readings_per_station; ++step) {
+    const stream::Timestamp ts =
+        static_cast<stream::Timestamp>(step) * params.period_ms;
+    for (std::size_t st = 0; st < params.stations; ++st) {
+      // Bounded random walk keeps heights realistic.
+      snow[st] = std::max(
+          0.0, snow[st] + rng.next_double(-params.snow_drift,
+                                          params.snow_drift));
+      const double temp =
+          params.temp_base + 3.0 * std::sin(0.05 * static_cast<double>(step)) +
+          rng.next_double(-1.0, 1.0);
+      stream::Tuple t;
+      t.ts = ts;
+      t.values = {stream::Value{snow[st]}, stream::Value{temp},
+                  stream::Value{static_cast<std::int64_t>(st)},
+                  stream::Value{static_cast<std::int64_t>(ts)}};
+      out.push_back({st, std::move(t)});
+    }
+  }
+  return out;
+}
+
+}  // namespace cosmos::sim

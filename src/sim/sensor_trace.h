@@ -1,0 +1,39 @@
+// Synthetic SensorScope-style sensor traces (stand-in for the paper's real
+// snow-monitoring readings). Each station emits an autocorrelated
+// snowHeight series plus temperature, at a fixed period.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/schema.h"
+
+namespace cosmos::sim {
+
+struct SensorTraceParams {
+  std::size_t stations = 2;
+  std::size_t readings_per_station = 100;
+  std::int64_t period_ms = 60'000;  ///< one reading per station per period
+  double snow_base = 20.0;          ///< cm
+  double snow_drift = 1.5;          ///< random-walk step scale
+  double temp_base = -5.0;          ///< Celsius
+};
+
+struct SensorReading {
+  std::size_t station;  ///< 0-based station index
+  stream::Tuple tuple;  ///< values aligned with sensor_schema()
+};
+
+/// Schema of every station stream: (snowHeight double, temperature double,
+/// stationId int, timestamp int).
+[[nodiscard]] stream::Schema sensor_schema();
+
+/// Stream name used for a station ("Station1", "Station2", ...).
+[[nodiscard]] std::string station_stream_name(std::size_t station);
+
+/// Readings in global timestamp order (interleaved across stations).
+[[nodiscard]] std::vector<SensorReading> make_sensor_trace(
+    const SensorTraceParams& params, Rng& rng);
+
+}  // namespace cosmos::sim

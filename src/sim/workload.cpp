@@ -1,0 +1,139 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cosmos::sim {
+
+WorkloadGenerator::WorkloadGenerator(const net::Deployment& deployment,
+                                     WorkloadParams params, std::uint64_t seed)
+    : deployment_(&deployment),
+      params_(params),
+      rng_(seed),
+      space_({}, {}),
+      zipf_(params.num_substreams, params.zipf_theta) {
+  if (deployment.sources.empty() || deployment.processors.empty()) {
+    throw std::invalid_argument{"WorkloadGenerator: empty deployment"};
+  }
+  if (params.interest_min == 0 || params.interest_min > params.interest_max ||
+      params.interest_max > params.num_substreams) {
+    throw std::invalid_argument{"WorkloadGenerator: bad interest band"};
+  }
+
+  // Substreams randomly distributed over sources, rates uniform [min,max].
+  std::vector<NodeId> origin(params.num_substreams);
+  std::vector<double> rate(params.num_substreams);
+  for (std::size_t i = 0; i < params.num_substreams; ++i) {
+    origin[i] =
+        deployment.sources[rng_.next_below(deployment.sources.size())];
+    rate[i] = rng_.next_double(params.rate_min, params.rate_max);
+  }
+  space_ = query::SubstreamSpace{std::move(origin), std::move(rate)};
+
+  // Per-group permutations give each group its own hot substreams. With
+  // source affinity, a group's permutation is (noisily) ordered by a
+  // group-specific preference over sources, so the hot region concentrates
+  // on a few deployments — the zipf ranks then favor those sources'
+  // substreams.
+  permutations_.resize(params.groups);
+  const double jitter_span =
+      (1.0 - params.source_affinity) *
+      static_cast<double>(deployment.sources.size());
+  std::unordered_map<NodeId, std::size_t> source_index;
+  for (std::size_t i = 0; i < deployment.sources.size(); ++i) {
+    source_index.emplace(deployment.sources[i], i);
+  }
+  for (auto& perm : permutations_) {
+    perm.resize(params.num_substreams);
+    for (std::uint32_t i = 0; i < params.num_substreams; ++i) perm[i] = i;
+    rng_.shuffle(perm);
+    if (params.source_affinity > 0.0) {
+      std::vector<std::size_t> pref(deployment.sources.size());
+      for (std::size_t i = 0; i < pref.size(); ++i) pref[i] = i;
+      rng_.shuffle(pref);  // the group's source preference order
+      std::vector<double> key(params.num_substreams);
+      for (std::uint32_t s = 0; s < params.num_substreams; ++s) {
+        const auto src = source_index.at(
+            space_.origin(SubstreamId{s}));
+        key[s] = static_cast<double>(pref[src]) +
+                 rng_.next_double(0.0, std::max(1e-9, jitter_span));
+      }
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&key](std::uint32_t a, std::uint32_t b) {
+                         return key[a] < key[b];
+                       });
+    }
+  }
+}
+
+query::InterestProfile WorkloadGenerator::make_query() {
+  query::InterestProfile p;
+  p.query = QueryId{next_query_id_++};
+  p.proxy =
+      deployment_->processors[rng_.next_below(deployment_->processors.size())];
+  p.interest = BitVector{params_.num_substreams};
+
+  const std::size_t group = rng_.next_below(permutations_.size());
+  group_of_.push_back(group);
+  const auto& perm = permutations_[group];
+  const auto want = static_cast<std::size_t>(rng_.next_range(
+      static_cast<std::int64_t>(params_.interest_min),
+      static_cast<std::int64_t>(params_.interest_max)));
+  std::size_t have = 0;
+  while (have < want) {
+    const std::size_t sub = perm[zipf_.sample(rng_)];
+    if (!p.interest.test(sub)) {
+      p.interest.set(sub);
+      ++have;
+    }
+  }
+
+  const double frac = rng_.next_double(params_.output_fraction_min,
+                                       params_.output_fraction_max);
+  output_fraction_.push_back(frac);
+  const double input = p.input_rate(space_);
+  p.output_rate = frac * input;
+  p.load = query::kLoadPerByteRate * input;
+  p.state_size = params_.state_per_input_rate * input;
+  return p;
+}
+
+std::vector<query::InterestProfile> WorkloadGenerator::make_queries(
+    std::size_t count) {
+  std::vector<query::InterestProfile> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(make_query());
+  return out;
+}
+
+std::vector<SubstreamId> WorkloadGenerator::perturb_rates(std::size_t count,
+                                                          double factor) {
+  if (factor <= 0) {
+    throw std::invalid_argument{"perturb_rates: factor must be positive"};
+  }
+  std::vector<SubstreamId> affected;
+  affected.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SubstreamId s{static_cast<SubstreamId::value_type>(
+        rng_.next_below(space_.size()))};
+    space_.set_rate(s, space_.rate(s) * factor);
+    affected.push_back(s);
+  }
+  return affected;
+}
+
+void WorkloadGenerator::refresh_profiles(
+    std::vector<query::InterestProfile>& profiles) const {
+  for (auto& p : profiles) {
+    const double input = p.input_rate(space_);
+    const double frac = p.query.value() < output_fraction_.size()
+                            ? output_fraction_[p.query.value()]
+                            : 0.15;
+    p.output_rate = frac * input;
+    p.load = query::kLoadPerByteRate * input;
+    p.state_size = params_.state_per_input_rate * input;
+  }
+}
+
+}  // namespace cosmos::sim

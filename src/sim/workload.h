@@ -1,0 +1,84 @@
+// Synthetic workload generator reproducing the paper's simulation setup
+// (Section 4.1): substreams randomly distributed over the sources with
+// rates in [1,10] bytes/s; g = 20 user groups, each with its own random
+// permutation of the substreams (distinct hot spots); each query requests
+// 100..200 substreams drawn zipfian (theta = 0.8) through its group's
+// permutation; query load proportional to its input rate.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "net/deployment.h"
+#include "query/interest.h"
+
+namespace cosmos::sim {
+
+struct WorkloadParams {
+  std::size_t num_substreams = 20'000;
+  double rate_min = 1.0;
+  double rate_max = 10.0;
+  std::size_t groups = 20;
+  double zipf_theta = 0.8;
+  std::size_t interest_min = 100;
+  std::size_t interest_max = 200;
+  /// Result rate as a fraction of input rate (selectivity band).
+  double output_fraction_min = 0.02;
+  double output_fraction_max = 0.1;
+  /// How strongly a group's hot spot concentrates on a few preferred
+  /// sources (0 = hot substreams scattered over all sources, 1 = perfectly
+  /// source-ordered). The paper's scenario — user groups monitoring
+  /// specific sensor deployments — corresponds to high affinity: a group's
+  /// data interest is dominated by a handful of deployments.
+  double source_affinity = 0.8;
+  /// Operator state per byte/s of input (bytes; drives migration cost).
+  double state_per_input_rate = 50.0;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const net::Deployment& deployment, WorkloadParams params,
+                    std::uint64_t seed);
+
+  [[nodiscard]] query::SubstreamSpace& space() noexcept { return space_; }
+  [[nodiscard]] const query::SubstreamSpace& space() const noexcept {
+    return space_;
+  }
+
+  /// Next query profile (ids are sequential).
+  [[nodiscard]] query::InterestProfile make_query();
+  [[nodiscard]] std::vector<query::InterestProfile> make_queries(
+      std::size_t count);
+
+  /// Scales the rates of `count` random substreams by `factor` (the Fig 10
+  /// rate perturbations). Returns the affected substreams.
+  std::vector<SubstreamId> perturb_rates(std::size_t count, double factor);
+
+  /// Re-derives load/output estimates of existing profiles after a rate
+  /// change (the queries' interests are unchanged).
+  void refresh_profiles(std::vector<query::InterestProfile>& profiles) const;
+
+  [[nodiscard]] const WorkloadParams& params() const noexcept {
+    return params_;
+  }
+
+  /// User group each generated query was drawn from (indexed by query id).
+  [[nodiscard]] const std::vector<std::size_t>& group_of() const noexcept {
+    return group_of_;
+  }
+
+ private:
+  const net::Deployment* deployment_;
+  WorkloadParams params_;
+  Rng rng_;
+  query::SubstreamSpace space_;
+  ZipfDistribution zipf_;
+  /// permutations_[g][rank] = substream index.
+  std::vector<std::vector<std::uint32_t>> permutations_;
+  std::uint32_t next_query_id_ = 0;
+  std::vector<double> output_fraction_;   ///< per query id
+  std::vector<std::size_t> group_of_;     ///< per query id
+};
+
+}  // namespace cosmos::sim

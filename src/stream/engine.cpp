@@ -1,0 +1,63 @@
+#include "stream/engine.h"
+
+#include <stdexcept>
+
+namespace cosmos::stream {
+
+void Engine::register_stream(const std::string& name, Schema schema) {
+  if (streams_.contains(name)) {
+    throw std::invalid_argument{"Engine: duplicate stream " + name};
+  }
+  streams_.emplace(name, StreamState{std::move(schema), INT64_MIN, 0, 0, {}});
+}
+
+const Schema& Engine::schema(const std::string& name) const {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    throw std::out_of_range{"Engine: unknown stream " + name};
+  }
+  return it->second.schema;
+}
+
+Engine::StreamState& Engine::state(const std::string& name) {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    throw std::out_of_range{"Engine: unknown stream " + name};
+  }
+  return it->second;
+}
+
+std::size_t Engine::attach(const std::string& name, Tap tap) {
+  auto& st = state(name);
+  const std::size_t id = st.next_tap_id++;
+  st.taps.emplace_back(id, std::move(tap));
+  return id;
+}
+
+void Engine::detach(const std::string& name, std::size_t tap_id) {
+  auto& st = state(name);
+  std::erase_if(st.taps, [tap_id](const auto& p) { return p.first == tap_id; });
+}
+
+void Engine::publish(const std::string& name, const Tuple& t) {
+  auto& st = state(name);
+  if (t.ts < st.last_ts) {
+    throw std::invalid_argument{"Engine: out-of-order tuple on " + name};
+  }
+  st.last_ts = t.ts;
+  ++st.published;
+  // Copy the tap list: a tap may attach/detach while we iterate (a query
+  // result published downstream may register new consumers).
+  const auto taps = st.taps;
+  for (const auto& [id, tap] : taps) tap(t);
+}
+
+std::size_t Engine::published_count(const std::string& name) const {
+  const auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    throw std::out_of_range{"Engine: unknown stream " + name};
+  }
+  return it->second.published;
+}
+
+}  // namespace cosmos::stream

@@ -1,0 +1,54 @@
+// In-process stream engine: a registry of named streams with schemas and a
+// tuple bus. Query plans (built in src/query) subscribe taps to input
+// streams and publish result tuples to derived streams.
+//
+// This is the stand-in for the GSN engine the paper deploys on PlanetLab.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/schema.h"
+
+namespace cosmos::stream {
+
+class Engine {
+ public:
+  using Tap = std::function<void(const Tuple&)>;
+
+  /// Registers a stream; throws std::invalid_argument on duplicate name.
+  void register_stream(const std::string& name, Schema schema);
+
+  [[nodiscard]] bool has_stream(const std::string& name) const noexcept {
+    return streams_.contains(name);
+  }
+  /// Throws std::out_of_range for unknown streams.
+  [[nodiscard]] const Schema& schema(const std::string& name) const;
+
+  /// Attaches a consumer to a stream; returns a tap id usable in detach().
+  std::size_t attach(const std::string& name, Tap tap);
+  void detach(const std::string& name, std::size_t tap_id);
+
+  /// Pushes a tuple to every tap of the stream. Tuples on one stream must be
+  /// pushed in non-decreasing timestamp order; violations throw
+  /// std::invalid_argument (window semantics depend on order).
+  void publish(const std::string& name, const Tuple& t);
+
+  /// Total tuples published per stream (for tests and stats).
+  [[nodiscard]] std::size_t published_count(const std::string& name) const;
+
+ private:
+  struct StreamState {
+    Schema schema;
+    Timestamp last_ts = INT64_MIN;
+    std::size_t published = 0;
+    std::size_t next_tap_id = 0;
+    std::vector<std::pair<std::size_t, Tap>> taps;
+  };
+  StreamState& state(const std::string& name);
+  std::unordered_map<std::string, StreamState> streams_;
+};
+
+}  // namespace cosmos::stream

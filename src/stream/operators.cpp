@@ -1,0 +1,93 @@
+#include "stream/operators.h"
+
+#include <stdexcept>
+
+namespace cosmos::stream {
+
+FilterOp::FilterOp(std::string alias, const Schema* schema,
+                   PredicatePtr predicate, Sink sink)
+    : alias_(std::move(alias)),
+      schema_(schema),
+      predicate_(std::move(predicate)),
+      sink_(std::move(sink)) {
+  if (schema_ == nullptr || predicate_ == nullptr || !sink_) {
+    throw std::invalid_argument{"FilterOp: null schema/predicate/sink"};
+  }
+}
+
+void FilterOp::push(const Tuple& t) {
+  ++seen_;
+  const std::vector<Binding> env{{alias_, schema_, &t}};
+  if (predicate_->eval(env)) {
+    ++passed_;
+    sink_(t);
+  }
+}
+
+ProjectOp::ProjectOp(std::vector<std::size_t> keep_indices, Sink sink)
+    : keep_(std::move(keep_indices)), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument{"ProjectOp: null sink"};
+}
+
+void ProjectOp::push(const Tuple& t) {
+  Tuple out;
+  out.ts = t.ts;
+  out.values.reserve(keep_.size());
+  for (const std::size_t i : keep_) out.values.push_back(t.at(i));
+  sink_(out);
+}
+
+WindowJoinOp::WindowJoinOp(Side left, Side right, PredicatePtr predicate,
+                           Sink sink)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)),
+      sink_(std::move(sink)) {
+  if (left_.schema == nullptr || right_.schema == nullptr ||
+      predicate_ == nullptr || !sink_) {
+    throw std::invalid_argument{"WindowJoinOp: null argument"};
+  }
+}
+
+void WindowJoinOp::push_left(const Tuple& t) {
+  probe(t, /*incoming_is_left=*/true);
+  left_buf_.push_back(t);
+}
+
+void WindowJoinOp::push_right(const Tuple& t) {
+  probe(t, /*incoming_is_left=*/false);
+  right_buf_.push_back(t);
+}
+
+void WindowJoinOp::prune(std::deque<Tuple>& buf, const WindowSpec& window,
+                         Timestamp now) {
+  while (!buf.empty() && !window.contains(buf.front().ts, now)) {
+    buf.pop_front();
+  }
+}
+
+void WindowJoinOp::probe(const Tuple& incoming, bool incoming_is_left) {
+  auto& other_buf = incoming_is_left ? right_buf_ : left_buf_;
+  const auto& other_side = incoming_is_left ? right_ : left_;
+  const auto& own_side = incoming_is_left ? left_ : right_;
+  prune(other_buf, other_side.window, incoming.ts);
+
+  for (const Tuple& other : other_buf) {
+    if (!other_side.window.contains(other.ts, incoming.ts)) continue;
+    const Tuple& lt = incoming_is_left ? incoming : other;
+    const Tuple& rt = incoming_is_left ? other : incoming;
+    const std::vector<Binding> env{{own_side.alias, own_side.schema, &incoming},
+                                   {other_side.alias, other_side.schema,
+                                    &other}};
+    if (!predicate_->eval(env)) continue;
+    Tuple out;
+    out.ts = std::max(lt.ts, rt.ts);
+    out.values.reserve(lt.values.size() + rt.values.size());
+    out.values.insert(out.values.end(), lt.values.begin(), lt.values.end());
+    out.values.insert(out.values.end(), rt.values.begin(), rt.values.end());
+    ++emitted_;
+    sink_(out);
+  }
+}
+
+}  // namespace cosmos::stream

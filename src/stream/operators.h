@@ -1,0 +1,95 @@
+// Push-based streaming operators: filter, project, sliding-window join.
+//
+// Operators form a tree; each operator pushes produced tuples into its
+// downstream consumer. Tuples are timestamp-ordered per input stream
+// (enforced by the engine).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/predicate.h"
+#include "stream/schema.h"
+#include "stream/window.h"
+
+namespace cosmos::stream {
+
+/// Downstream consumer of produced tuples.
+using Sink = std::function<void(const Tuple&)>;
+
+/// Single-input filter: forwards tuples satisfying the predicate.
+class FilterOp {
+ public:
+  /// `alias` is the name the predicate uses to reference this input.
+  FilterOp(std::string alias, const Schema* schema, PredicatePtr predicate,
+           Sink sink);
+
+  void push(const Tuple& t);
+
+  [[nodiscard]] std::size_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t passed() const noexcept { return passed_; }
+
+ private:
+  std::string alias_;
+  const Schema* schema_;
+  PredicatePtr predicate_;
+  Sink sink_;
+  std::size_t seen_ = 0;
+  std::size_t passed_ = 0;
+};
+
+/// Single-input projection onto a subset of fields (by input index).
+class ProjectOp {
+ public:
+  ProjectOp(std::vector<std::size_t> keep_indices, Sink sink);
+
+  void push(const Tuple& t);
+
+ private:
+  std::vector<std::size_t> keep_;
+  Sink sink_;
+};
+
+/// Two-input sliding-window join. On arrival of a tuple from one side it is
+/// matched against the other side's window contents under the join
+/// predicate; output tuples concatenate left then right values and carry the
+/// newer timestamp. State is pruned lazily by watermark.
+class WindowJoinOp {
+ public:
+  struct Side {
+    std::string alias;
+    const Schema* schema = nullptr;
+    WindowSpec window;
+  };
+
+  WindowJoinOp(Side left, Side right, PredicatePtr predicate, Sink sink);
+
+  void push_left(const Tuple& t);
+  void push_right(const Tuple& t);
+
+  [[nodiscard]] std::size_t left_state_size() const noexcept {
+    return left_buf_.size();
+  }
+  [[nodiscard]] std::size_t right_state_size() const noexcept {
+    return right_buf_.size();
+  }
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+
+ private:
+  void probe(const Tuple& incoming, bool incoming_is_left);
+  static void prune(std::deque<Tuple>& buf, const WindowSpec& window,
+                    Timestamp now);
+
+  Side left_;
+  Side right_;
+  PredicatePtr predicate_;
+  Sink sink_;
+  std::deque<Tuple> left_buf_;
+  std::deque<Tuple> right_buf_;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace cosmos::stream

@@ -1,0 +1,38 @@
+#include "stream/schema.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cosmos::stream {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  std::unordered_set<std::string> seen;
+  for (const auto& f : fields_) {
+    if (!seen.insert(f.name).second) {
+      throw std::invalid_argument{"Schema: duplicate field " + f.name};
+    }
+  }
+}
+
+std::optional<std::size_t> Schema::index_of(
+    const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::join(const Schema& left, const std::string& left_alias,
+                    const Schema& right, const std::string& right_alias) {
+  std::vector<Field> fields;
+  fields.reserve(left.size() + right.size());
+  for (const auto& f : left.fields()) {
+    fields.push_back({left_alias + "." + f.name, f.type});
+  }
+  for (const auto& f : right.fields()) {
+    fields.push_back({right_alias + "." + f.name, f.type});
+  }
+  return Schema{std::move(fields)};
+}
+
+}  // namespace cosmos::stream

@@ -1,0 +1,54 @@
+// Tuple schemas and tuples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stream/value.h"
+
+namespace cosmos::stream {
+
+/// Milliseconds since an arbitrary epoch.
+using Timestamp = std::int64_t;
+
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kDouble;
+};
+
+/// Ordered, named fields. Field names are unique within a schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+  [[nodiscard]] const Field& field(std::size_t i) const { return fields_.at(i); }
+  [[nodiscard]] const std::vector<Field>& fields() const noexcept {
+    return fields_;
+  }
+  /// Index of a field by name, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> index_of(
+      const std::string& name) const noexcept;
+
+  /// Concatenation, prefixing each side's field names with "<alias>.".
+  [[nodiscard]] static Schema join(const Schema& left,
+                                   const std::string& left_alias,
+                                   const Schema& right,
+                                   const std::string& right_alias);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// A tuple: values aligned with some schema, plus a timestamp.
+struct Tuple {
+  Timestamp ts = 0;
+  std::vector<Value> values;
+
+  [[nodiscard]] const Value& at(std::size_t i) const { return values.at(i); }
+};
+
+}  // namespace cosmos::stream

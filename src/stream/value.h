@@ -1,0 +1,46 @@
+// Runtime values carried by stream tuples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace cosmos::stream {
+
+enum class ValueType { kInt, kDouble, kString };
+
+/// A dynamically-typed scalar. Numeric comparisons are cross-type
+/// (int vs double compares numerically); strings only compare to strings.
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  Value(std::int64_t v) : v_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(int v) : v_(std::int64_t{v}) {}     // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string{v}) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] ValueType type() const noexcept;
+  [[nodiscard]] bool is_numeric() const noexcept {
+    return type() != ValueType::kString;
+  }
+
+  /// Numeric view; throws std::logic_error for strings.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Three-way comparison; throws std::logic_error on string-vs-numeric.
+  [[nodiscard]] int compare(const Value& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.compare(b) == 0;
+  }
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+}  // namespace cosmos::stream

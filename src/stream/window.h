@@ -1,0 +1,75 @@
+// CQL-style window specifications over streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/schema.h"
+
+namespace cosmos::stream {
+
+/// [Now] keeps only tuples with the current timestamp; [Range w] keeps the
+/// last `w` milliseconds; [Unbounded] keeps everything.
+struct WindowSpec {
+  enum class Kind { kNow, kRange, kUnbounded };
+
+  Kind kind = Kind::kNow;
+  /// Window extent in milliseconds (kRange only).
+  std::int64_t range_ms = 0;
+
+  [[nodiscard]] static WindowSpec now() noexcept { return {Kind::kNow, 0}; }
+  [[nodiscard]] static WindowSpec range_millis(std::int64_t ms) noexcept {
+    return {Kind::kRange, ms};
+  }
+  [[nodiscard]] static WindowSpec unbounded() noexcept {
+    return {Kind::kUnbounded, 0};
+  }
+
+  /// True if a tuple stamped `tuple_ts` is inside the window at time `now`.
+  [[nodiscard]] bool contains(Timestamp tuple_ts, Timestamp now) const noexcept {
+    switch (kind) {
+      case Kind::kNow: return tuple_ts == now;
+      case Kind::kRange: return tuple_ts <= now && now - tuple_ts <= range_ms;
+      case Kind::kUnbounded: return tuple_ts <= now;
+    }
+    return false;
+  }
+
+  /// Effective extent in ms (0 for Now, +inf-like max for Unbounded).
+  [[nodiscard]] std::int64_t extent_ms() const noexcept {
+    switch (kind) {
+      case Kind::kNow: return 0;
+      case Kind::kRange: return range_ms;
+      case Kind::kUnbounded: return INT64_MAX;
+    }
+    return 0;
+  }
+
+  /// True if this window keeps at least every tuple `other` keeps.
+  [[nodiscard]] bool covers(const WindowSpec& other) const noexcept {
+    return extent_ms() >= other.extent_ms();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
+};
+
+inline std::string WindowSpec::to_string() const {
+  switch (kind) {
+    case Kind::kNow: return "[Now]";
+    case Kind::kRange: {
+      if (range_ms % 3'600'000 == 0) {
+        return "[Range " + std::to_string(range_ms / 3'600'000) + " Hour]";
+      }
+      if (range_ms % 60'000 == 0) {
+        return "[Range " + std::to_string(range_ms / 60'000) + " Minutes]";
+      }
+      return "[Range " + std::to_string(range_ms) + " Ms]";
+    }
+    case Kind::kUnbounded: return "[Unbounded]";
+  }
+  return "[?]";
+}
+
+}  // namespace cosmos::stream

@@ -1,0 +1,134 @@
+#include "common/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cosmos {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  BitVector v{130};
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector v{100};
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, SetIsIdempotent) {
+  BitVector v{10};
+  v.set(3);
+  v.set(3);
+  EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(BitVector, IntersectsAndCount) {
+  BitVector a{200}, b{200};
+  a.set(5);
+  a.set(150);
+  b.set(150);
+  b.set(199);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 1u);
+  b.reset(150);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 0u);
+}
+
+TEST(BitVector, WeightedIntersection) {
+  BitVector a{4}, b{4};
+  const std::vector<double> w{1.0, 2.0, 4.0, 8.0};
+  a.set(0);
+  a.set(1);
+  a.set(2);
+  b.set(1);
+  b.set(2);
+  b.set(3);
+  EXPECT_DOUBLE_EQ(a.weighted_intersection(b, w), 6.0);
+  EXPECT_DOUBLE_EQ(a.weighted_count(w), 7.0);
+  EXPECT_DOUBLE_EQ(b.weighted_count(w), 14.0);
+}
+
+TEST(BitVector, MergeIsUnion) {
+  BitVector a{70}, b{70};
+  a.set(1);
+  a.set(65);
+  b.set(2);
+  b.set(65);
+  a.merge(b);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(65));
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(BitVector, SetBitsAscending) {
+  BitVector v{300};
+  v.set(299);
+  v.set(0);
+  v.set(64);
+  const auto bits = v.set_bits();
+  ASSERT_EQ(bits.size(), 3u);
+  EXPECT_EQ(bits[0], 0u);
+  EXPECT_EQ(bits[1], 64u);
+  EXPECT_EQ(bits[2], 299u);
+}
+
+TEST(BitVector, EqualityComparesContent) {
+  BitVector a{50}, b{50};
+  a.set(7);
+  EXPECT_NE(a, b);
+  b.set(7);
+  EXPECT_EQ(a, b);
+}
+
+// Property sweep: weighted_intersection agrees with a naive reference for
+// random vectors of various sizes.
+class BitVectorProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorProperty, WeightedIntersectionMatchesReference) {
+  const std::size_t bits = GetParam();
+  Rng rng{bits * 7919 + 1};
+  BitVector a{bits}, b{bits};
+  std::vector<double> w(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.next_bool(0.3)) a.set(i);
+    if (rng.next_bool(0.3)) b.set(i);
+    w[i] = rng.next_double(0.0, 10.0);
+  }
+  double expected = 0.0;
+  std::size_t expected_count = 0;
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (a.test(i) && b.test(i)) {
+      expected += w[i];
+      ++expected_count;
+    }
+  }
+  EXPECT_NEAR(a.weighted_intersection(b, w), expected, 1e-9);
+  EXPECT_EQ(a.intersection_count(b), expected_count);
+  EXPECT_EQ(a.intersects(b), expected_count > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorProperty,
+                         ::testing::Values(1, 7, 63, 64, 65, 128, 1000, 20000));
+
+}  // namespace
+}  // namespace cosmos

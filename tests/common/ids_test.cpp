@@ -1,0 +1,42 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cosmos {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  QueryId q;
+  EXPECT_FALSE(q.valid());
+  EXPECT_EQ(q, QueryId::invalid());
+}
+
+TEST(Ids, ValueRoundTrips) {
+  NodeId n{42};
+  EXPECT_TRUE(n.valid());
+  EXPECT_EQ(n.value(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(QueryId{1}, QueryId{2});
+  EXPECT_EQ(QueryId{3}, QueryId{3});
+  EXPECT_NE(QueryId{3}, QueryId{4});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<NodeId, QueryId>);
+  static_assert(!std::is_same_v<StreamId, SubstreamId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<QueryId> s;
+  s.insert(QueryId{1});
+  s.insert(QueryId{1});
+  s.insert(QueryId{2});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cosmos

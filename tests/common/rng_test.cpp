@@ -1,0 +1,93 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cosmos {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{11};
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    min = std::min(min, d);
+    max = std::max(max, d);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, BernoulliRoughlyCalibrated) {
+  Rng rng{13};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{17};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a{23};
+  Rng child = a.fork();
+  // The child should not replay the parent's stream.
+  Rng b{23};
+  (void)b.next_u64();  // parent consumed one value to fork
+  EXPECT_NE(child.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values from the SplitMix64 reference implementation, seed 0.
+  std::uint64_t s = 0;
+  EXPECT_EQ(split_mix64(s), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(split_mix64(s), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace cosmos

@@ -1,0 +1,56 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cosmos {
+namespace {
+
+TEST(Zipf, RejectsBadArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 0.8), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z{100, 0.8};
+  double sum = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  ZipfDistribution z{50, 0.8};
+  for (std::size_t r = 1; r < 50; ++r) {
+    EXPECT_GE(z.pmf(r - 1), z.pmf(r) - 1e-15);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfDistribution z{10, 0.0};
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+TEST(Zipf, SamplesInRange) {
+  ZipfDistribution z{37, 0.8};
+  Rng rng{5};
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.sample(rng), 37u);
+}
+
+TEST(Zipf, EmpiricalFrequenciesTrackPmf) {
+  const std::size_t n = 20;
+  ZipfDistribution z{n, 0.8};
+  Rng rng{31};
+  std::vector<int> counts(n, 0);
+  const int samples = 200'000;
+  for (int i = 0; i < samples; ++i) ++counts[z.sample(rng)];
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / samples, z.pmf(r), 0.01)
+        << "rank " << r;
+  }
+  // Skew: rank 0 clearly hotter than the tail.
+  EXPECT_GT(counts[0], 3 * counts[n - 1]);
+}
+
+}  // namespace
+}  // namespace cosmos

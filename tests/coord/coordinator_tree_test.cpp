@@ -1,0 +1,129 @@
+#include "coord/coordinator_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/topology.h"
+
+namespace cosmos::coord {
+namespace {
+
+net::Deployment make_deployment_fixture(std::size_t processors,
+                                        std::uint64_t seed) {
+  Rng rng{seed};
+  net::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.transit_nodes_per_domain = 2;
+  tp.stub_domains_per_transit = 3;
+  tp.stub_nodes_per_domain = 20;
+  const auto topo = net::make_transit_stub(tp, rng);
+  net::DeploymentParams dp;
+  dp.num_sources = 8;
+  dp.num_processors = processors;
+  return net::make_deployment(topo, dp, rng);
+}
+
+TEST(CoordinatorTree, CoversAllProcessorsExactlyOnce) {
+  const auto d = make_deployment_fixture(40, 1);
+  Rng rng{2};
+  CoordinatorTree tree{d, 4, rng};
+  const auto& root = tree.node(tree.root());
+  EXPECT_EQ(root.descendants.size(), 40u);
+  std::set<NodeId> seen{root.descendants.begin(), root.descendants.end()};
+  EXPECT_EQ(seen.size(), 40u);
+  EXPECT_DOUBLE_EQ(root.capability, 40.0);
+}
+
+TEST(CoordinatorTree, ClusterSizesWithinBand) {
+  const auto d = make_deployment_fixture(64, 3);
+  Rng rng{4};
+  const std::size_t k = 4;
+  CoordinatorTree tree{d, k, rng};
+  for (std::uint32_t i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.level == 0 || i == tree.root()) continue;
+    EXPECT_GE(n.children.size(), k) << "node " << i;
+    EXPECT_LE(n.children.size(), 3 * k - 1) << "node " << i;
+  }
+}
+
+TEST(CoordinatorTree, ParentPointersConsistent) {
+  const auto d = make_deployment_fixture(30, 5);
+  Rng rng{6};
+  CoordinatorTree tree{d, 3, rng};
+  for (std::uint32_t i = 0; i < tree.size(); ++i) {
+    for (const auto c : tree.node(i).children) {
+      EXPECT_EQ(tree.node(c).parent, i);
+      EXPECT_EQ(tree.node(c).level, tree.node(i).level - 1);
+    }
+  }
+  EXPECT_EQ(tree.node(tree.root()).parent, UINT32_MAX);
+}
+
+TEST(CoordinatorTree, LeafLookup) {
+  const auto d = make_deployment_fixture(20, 7);
+  Rng rng{8};
+  CoordinatorTree tree{d, 4, rng};
+  for (const NodeId p : d.processors) {
+    const auto leaf = tree.leaf_of(p);
+    EXPECT_EQ(tree.node(leaf).site, p);
+    EXPECT_EQ(tree.node(leaf).level, 0);
+    EXPECT_TRUE(tree.covers(tree.root(), p));
+  }
+  EXPECT_THROW(tree.leaf_of(d.sources[0]), std::invalid_argument);
+  EXPECT_EQ(tree.find_leaf(d.sources[0]), UINT32_MAX);
+}
+
+TEST(CoordinatorTree, MedianIsClusterMember) {
+  const auto d = make_deployment_fixture(36, 9);
+  Rng rng{10};
+  CoordinatorTree tree{d, 4, rng};
+  for (std::uint32_t i = 0; i < tree.size(); ++i) {
+    const auto& n = tree.node(i);
+    if (n.children.empty()) continue;
+    bool site_is_child_site = false;
+    for (const auto c : n.children) {
+      if (tree.node(c).site == n.site) site_is_child_site = true;
+    }
+    EXPECT_TRUE(site_is_child_site) << "median must come from the cluster";
+  }
+}
+
+TEST(CoordinatorTree, SmallerKGivesTallerTree) {
+  const auto d = make_deployment_fixture(64, 11);
+  Rng r1{12}, r2{12};
+  CoordinatorTree t2{d, 2, r1};
+  CoordinatorTree t8{d, 8, r2};
+  EXPECT_GT(t2.height(), t8.height());
+}
+
+TEST(CoordinatorTree, RejectsBadParams) {
+  const auto d = make_deployment_fixture(10, 13);
+  Rng rng{14};
+  EXPECT_THROW(CoordinatorTree(d, 1, rng), std::invalid_argument);
+}
+
+TEST(CoordinatorTree, SingleProcessorDegenerateCase) {
+  const auto d = make_deployment_fixture(1, 15);
+  Rng rng{16};
+  CoordinatorTree tree{d, 4, rng};
+  EXPECT_GE(tree.height(), 1);
+  EXPECT_EQ(tree.node(tree.root()).descendants.size(), 1u);
+}
+
+TEST(CoordinatorTree, NodesAtLevelPartition) {
+  const auto d = make_deployment_fixture(50, 17);
+  Rng rng{18};
+  CoordinatorTree tree{d, 4, rng};
+  const auto leaves = tree.nodes_at_level(0);
+  EXPECT_EQ(leaves.size(), 50u);
+  std::size_t covered = 0;
+  for (const auto l1 : tree.nodes_at_level(1)) {
+    covered += tree.node(l1).children.size();
+  }
+  EXPECT_EQ(covered, 50u);
+}
+
+}  // namespace
+}  // namespace cosmos::coord

@@ -1,0 +1,144 @@
+#include "coord/diffusion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cosmos::coord {
+namespace {
+
+/// Net load change per node implied by a flow set.
+std::vector<double> net_change(std::size_t n,
+                               const std::vector<DiffusionFlow>& flows) {
+  std::vector<double> delta(n, 0.0);
+  for (const auto& f : flows) {
+    delta[f.from] -= f.amount;
+    delta[f.to] += f.amount;
+  }
+  return delta;
+}
+
+TEST(Diffusion, TwoNodeTransfer) {
+  const std::vector<DiffusionEdge> edges{{0, 1, 1.0}};
+  const auto flows = solve_diffusion(2, edges, {4.0, -4.0});
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].from, 0u);
+  EXPECT_EQ(flows[0].to, 1u);
+  EXPECT_NEAR(flows[0].amount, 4.0, 1e-6);
+}
+
+TEST(Diffusion, BalancedInputNeedsNoFlow) {
+  const std::vector<DiffusionEdge> edges{{0, 1, 1.0}, {1, 2, 1.0}};
+  const auto flows = solve_diffusion(3, edges, {0.0, 0.0, 0.0});
+  EXPECT_TRUE(flows.empty());
+}
+
+TEST(Diffusion, FlowsBalanceArbitraryImbalance) {
+  // Complete graph over 5 nodes.
+  std::vector<DiffusionEdge> edges;
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) edges.push_back({a, b, 1.0});
+  }
+  const std::vector<double> imbalance{5.0, -1.0, -2.0, 3.0, -5.0};
+  const auto flows = solve_diffusion(5, edges, imbalance);
+  const auto delta = net_change(5, flows);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(delta[i], -imbalance[i], 1e-6) << "node " << i;
+  }
+}
+
+TEST(Diffusion, ChainGraphPropagates) {
+  // Line 0-1-2-3: all surplus at 0, all deficit at 3. Flow must traverse
+  // the chain.
+  const std::vector<DiffusionEdge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  const auto flows = solve_diffusion(4, edges, {6.0, 0.0, 0.0, -6.0});
+  const auto delta = net_change(4, flows);
+  EXPECT_NEAR(delta[0], -6.0, 1e-6);
+  EXPECT_NEAR(delta[3], 6.0, 1e-6);
+  EXPECT_NEAR(delta[1], 0.0, 1e-6);
+  // Every chain edge carries 6 units.
+  for (const auto& f : flows) EXPECT_NEAR(f.amount, 6.0, 1e-6);
+}
+
+TEST(Diffusion, MinimumNormPrefersDirectEdges) {
+  // Triangle: surplus at 0, deficit at 1; edge 0-1 exists. The minimal-norm
+  // solution sends most load directly, a little via node 2.
+  const std::vector<DiffusionEdge> edges{{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  const auto flows = solve_diffusion(3, edges, {3.0, -3.0, 0.0});
+  double direct = 0.0, indirect = 0.0;
+  for (const auto& f : flows) {
+    if (f.from == 0 && f.to == 1) direct = f.amount;
+    if (f.from == 0 && f.to == 2) indirect = f.amount;
+  }
+  EXPECT_GT(direct, indirect);
+  const auto delta = net_change(3, flows);
+  EXPECT_NEAR(delta[0], -3.0, 1e-6);
+  EXPECT_NEAR(delta[1], 3.0, 1e-6);
+}
+
+TEST(Diffusion, NonZeroSumIsProjected) {
+  // Total imbalance 2 cannot be removed; the solver balances around the
+  // mean (each node ends at +1).
+  const std::vector<DiffusionEdge> edges{{0, 1, 1.0}};
+  const auto flows = solve_diffusion(2, edges, {2.0, 0.0});
+  const auto delta = net_change(2, flows);
+  EXPECT_NEAR(delta[0], -1.0, 1e-6);
+  EXPECT_NEAR(delta[1], 1.0, 1e-6);
+}
+
+TEST(Diffusion, DisconnectedComponentsBalanceSeparately) {
+  const std::vector<DiffusionEdge> edges{{0, 1, 1.0}, {2, 3, 1.0}};
+  const auto flows = solve_diffusion(4, edges, {2.0, -2.0, 1.0, -1.0});
+  const auto delta = net_change(4, flows);
+  EXPECT_NEAR(delta[0], -2.0, 1e-6);
+  EXPECT_NEAR(delta[2], -1.0, 1e-6);
+}
+
+TEST(Diffusion, RejectsMalformedInput) {
+  EXPECT_THROW(solve_diffusion(2, {{0, 0, 1.0}}, {0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_diffusion(2, {{0, 5, 1.0}}, {0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_diffusion(2, {{0, 1, -1.0}}, {0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_diffusion(2, {}, {0.0}), std::invalid_argument);
+}
+
+// Property: flows always balance the (projected) imbalance, for random
+// connected graphs and random imbalances.
+class DiffusionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiffusionProperty, ExactBalance) {
+  Rng rng{GetParam()};
+  const std::size_t n = 2 + rng.next_below(14);
+  std::vector<DiffusionEdge> edges;
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.push_back({rng.next_below(i), i, rng.next_double(0.5, 2.0)});
+  }
+  for (std::size_t extra = 0; extra < n; ++extra) {
+    const std::size_t a = rng.next_below(n);
+    const std::size_t b = rng.next_below(n);
+    if (a != b) edges.push_back({a, b, rng.next_double(0.5, 2.0)});
+  }
+  std::vector<double> imbalance(n);
+  double sum = 0.0;
+  for (auto& x : imbalance) {
+    x = rng.next_double(-10.0, 10.0);
+    sum += x;
+  }
+  for (auto& x : imbalance) x -= sum / static_cast<double>(n);
+  const auto flows = solve_diffusion(n, edges, imbalance);
+  const auto delta = net_change(n, flows);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(delta[i], -imbalance[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffusionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace cosmos::coord

@@ -1,0 +1,249 @@
+// Integration tests of the hierarchical distributor: initial distribution,
+// online insertion, adaptation, statistics refresh.
+#include "coord/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+
+namespace cosmos::coord {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  net::Deployment deployment;
+  std::unique_ptr<CoordinatorTree> tree;
+  std::unique_ptr<sim::WorkloadGenerator> workload;
+
+  explicit Fixture(std::uint64_t seed, std::size_t processors = 24,
+                   std::size_t sources = 8, std::size_t k = 3) {
+    Rng rng{seed};
+    net::TransitStubParams tp;
+    tp.transit_domains = 2;
+    tp.transit_nodes_per_domain = 2;
+    tp.stub_domains_per_transit = 2;
+    tp.stub_nodes_per_domain = 16;
+    topo = net::make_transit_stub(tp, rng);
+    net::DeploymentParams dp;
+    dp.num_sources = sources;
+    dp.num_processors = processors;
+    deployment = net::make_deployment(topo, dp, rng);
+    tree = std::make_unique<CoordinatorTree>(deployment, k, rng);
+    sim::WorkloadParams wp;
+    wp.num_substreams = 400;
+    wp.groups = 4;
+    wp.interest_min = 10;
+    wp.interest_max = 20;
+    workload = std::make_unique<sim::WorkloadGenerator>(deployment, wp,
+                                                        seed + 1);
+  }
+
+  HierarchicalDistributor make_distributor(std::uint64_t seed) {
+    return HierarchicalDistributor{deployment, *tree, workload->space(),
+                                   HierarchyParams{}, seed};
+  }
+};
+
+TEST(Hierarchy, DistributePlacesEveryQueryOnAProcessor) {
+  Fixture f{1};
+  auto d = f.make_distributor(2);
+  const auto profiles = f.workload->make_queries(200);
+  d.distribute(profiles);
+  EXPECT_EQ(d.placement().size(), 200u);
+  for (const auto& [q, node] : d.placement()) {
+    EXPECT_TRUE(f.deployment.is_processor(node)) << q.value();
+  }
+}
+
+TEST(Hierarchy, DistributionRespectsLoadSlack) {
+  Fixture f{3};
+  auto d = f.make_distributor(4);
+  const auto profiles = f.workload->make_queries(300);
+  d.distribute(profiles);
+  const auto loads = d.processor_loads();
+  double total = 0;
+  for (const auto l : loads) total += l;
+  // No processor should be grossly overloaded: allow a factor-of-3 head
+  // room over the fair share to account for group-level granularity.
+  const double fair = total / static_cast<double>(loads.size());
+  for (const auto l : loads) EXPECT_LE(l, 3.0 * fair + 1e-9);
+}
+
+TEST(Hierarchy, DistributionBeatsNaiveOnCommunicationCost) {
+  Fixture f{5};
+  auto d = f.make_distributor(6);
+  const auto profiles = f.workload->make_queries(300);
+  d.distribute(profiles);
+
+  const sim::CostModel cost{f.topo, f.deployment};
+  const auto hier =
+      cost.pairwise_cost(d.placement(), d.profiles(), f.workload->space());
+
+  const auto naive = sim::naive_placement(profiles);
+  std::unordered_map<QueryId, query::InterestProfile> pmap;
+  for (const auto& p : profiles) pmap.emplace(p.query, p);
+  const auto naive_cost = cost.pairwise_cost(naive, pmap, f.workload->space());
+  EXPECT_LT(hier.total(), naive_cost.total());
+}
+
+TEST(Hierarchy, TimingIsReported) {
+  Fixture f{7};
+  auto d = f.make_distributor(8);
+  const auto t = d.distribute(f.workload->make_queries(100));
+  EXPECT_GT(t.total_seconds, 0.0);
+  EXPECT_GT(t.response_seconds, 0.0);
+  EXPECT_LE(t.response_seconds, t.total_seconds + 1e-9);
+}
+
+TEST(Hierarchy, InsertQueryRoutesToProcessor) {
+  Fixture f{9};
+  auto d = f.make_distributor(10);
+  d.distribute(f.workload->make_queries(100));
+  const auto p = f.workload->make_query();
+  const NodeId host = d.insert_query(p);
+  EXPECT_TRUE(f.deployment.is_processor(host));
+  EXPECT_EQ(d.placement().at(p.query), host);
+  EXPECT_EQ(d.placement().size(), 101u);
+}
+
+TEST(Hierarchy, OnlineInsertionBeatsRandomOnCost) {
+  Fixture f{11};
+  const auto initial = f.workload->make_queries(150);
+  const auto stream = f.workload->make_queries(150);
+
+  auto online = f.make_distributor(12);
+  online.distribute(initial);
+  for (const auto& p : stream) online.insert_query(p);
+
+  auto random = f.make_distributor(13);
+  random.distribute(initial);
+  Rng rrng{14};
+  auto random_placement = random.placement();
+  std::unordered_map<QueryId, query::InterestProfile> pmap = random.profiles();
+  for (const auto& p : stream) {
+    random_placement[p.query] = f.deployment.processors[rrng.next_below(
+        f.deployment.processors.size())];
+    pmap.emplace(p.query, p);
+  }
+
+  const sim::CostModel cost{f.topo, f.deployment};
+  const auto online_cost = cost.pairwise_cost(
+      online.placement(), online.profiles(), f.workload->space());
+  const auto random_cost =
+      cost.pairwise_cost(random_placement, pmap, f.workload->space());
+  EXPECT_LT(online_cost.total(), random_cost.total());
+}
+
+TEST(Hierarchy, RemoveQueryDropsPlacement) {
+  Fixture f{15};
+  auto d = f.make_distributor(16);
+  const auto profiles = f.workload->make_queries(50);
+  d.distribute(profiles);
+  d.remove_query(profiles[0].query);
+  EXPECT_EQ(d.placement().size(), 49u);
+  EXPECT_FALSE(d.placement().contains(profiles[0].query));
+  d.remove_query(profiles[0].query);  // idempotent
+  EXPECT_EQ(d.placement().size(), 49u);
+}
+
+TEST(Hierarchy, AdaptImprovesRandomInitialPlacement) {
+  Fixture f{17};
+  auto d = f.make_distributor(18);
+  const auto profiles = f.workload->make_queries(300);
+
+  // Inaccurate-statistics scenario: random initial placement (Fig 7).
+  Rng rrng{19};
+  std::vector<std::pair<QueryId, NodeId>> random;
+  for (const auto& p : profiles) {
+    random.emplace_back(p.query, f.deployment.processors[rrng.next_below(
+                                     f.deployment.processors.size())]);
+  }
+  d.place_at(random, profiles);
+
+  const sim::CostModel cost{f.topo, f.deployment};
+  const double before =
+      cost.pairwise_cost(d.placement(), d.profiles(), f.workload->space())
+          .total();
+  double after = before;
+  for (int round = 0; round < 4; ++round) {
+    d.adapt();
+    after = cost.pairwise_cost(d.placement(), d.profiles(),
+                               f.workload->space())
+                .total();
+  }
+  EXPECT_LT(after, before);
+  EXPECT_EQ(d.placement().size(), 300u);
+}
+
+TEST(Hierarchy, AdaptReportsMigrations) {
+  Fixture f{21};
+  auto d = f.make_distributor(22);
+  const auto profiles = f.workload->make_queries(200);
+  Rng rrng{23};
+  std::vector<std::pair<QueryId, NodeId>> random;
+  for (const auto& p : profiles) {
+    random.emplace_back(p.query, f.deployment.processors[rrng.next_below(
+                                     f.deployment.processors.size())]);
+  }
+  d.place_at(random, profiles);
+  const auto report = d.adapt();
+  EXPECT_GT(report.migrated_queries, 0u);
+  EXPECT_GT(report.migrated_state, 0.0);
+  EXPECT_LE(report.migrated_queries, 200u);
+}
+
+TEST(Hierarchy, AdaptConvergesOnStableWorkload) {
+  // After distribution and a couple of adaptation rounds, further rounds
+  // should migrate little.
+  Fixture f{25};
+  auto d = f.make_distributor(26);
+  d.distribute(f.workload->make_queries(250));
+  d.adapt();
+  d.adapt();
+  const auto report = d.adapt();
+  EXPECT_LE(report.migrated_queries, 125u);  // < half keep moving
+}
+
+TEST(Hierarchy, RefreshStatisticsTracksRateChanges) {
+  Fixture f{27};
+  auto d = f.make_distributor(28);
+  const auto profiles = f.workload->make_queries(100);
+  d.distribute(profiles);
+  double load_before = 0;
+  for (const auto l : d.processor_loads()) load_before += l;
+  f.workload->perturb_rates(100, 3.0);
+  d.refresh_statistics();
+  double load_after = 0;
+  for (const auto l : d.processor_loads()) load_after += l;
+  EXPECT_GT(load_after, load_before);
+}
+
+TEST(Hierarchy, AdaptRebalancesAfterRatePerturbation) {
+  Fixture f{29};
+  auto d = f.make_distributor(30);
+  d.distribute(f.workload->make_queries(300));
+  // Perturb and refresh: load imbalance appears.
+  f.workload->perturb_rates(80, 6.0);
+  d.refresh_statistics();
+  const double stddev_before =
+      sim::load_stddev(d.placement(), d.profiles(), f.deployment);
+  d.adapt();
+  const double stddev_after =
+      sim::load_stddev(d.placement(), d.profiles(), f.deployment);
+  EXPECT_LT(stddev_after, stddev_before);
+}
+
+TEST(Hierarchy, PlaceAtRejectsUnknownQuery) {
+  Fixture f{31};
+  auto d = f.make_distributor(32);
+  const auto profiles = f.workload->make_queries(5);
+  EXPECT_THROW(
+      d.place_at({{QueryId{999}, f.deployment.processors[0]}}, profiles),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::coord

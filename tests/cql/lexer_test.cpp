@@ -1,0 +1,67 @@
+#include "cql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::cql {
+namespace {
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  const auto toks = tokenize("select FROM Where and");
+  ASSERT_EQ(toks.size(), 5u);  // incl. end
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+  EXPECT_TRUE(toks[1].is_keyword("FROM"));
+  EXPECT_TRUE(toks[2].is_keyword("WHERE"));
+  EXPECT_TRUE(toks[3].is_keyword("AND"));
+  EXPECT_EQ(toks[4].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, IdentifiersKeepCase) {
+  const auto toks = tokenize("snowHeight Station1");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "snowHeight");
+  EXPECT_EQ(toks[1].text, "Station1");
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = tokenize("10 3.5");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[0].number, 10.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 3.5);
+}
+
+TEST(Lexer, NegativeNumberAfterOperator) {
+  const auto toks = tokenize("a > -5");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[2].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[2].number, -5.0);
+}
+
+TEST(Lexer, Strings) {
+  const auto toks = tokenize("'hello world'");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "hello world");
+  EXPECT_THROW(tokenize("'unterminated"), ParseError);
+}
+
+TEST(Lexer, OperatorsAndSymbols) {
+  const auto toks = tokenize("<= >= != <> < > = ( ) [ ] , . *");
+  EXPECT_TRUE(toks[0].is_symbol("<="));
+  EXPECT_TRUE(toks[1].is_symbol(">="));
+  EXPECT_TRUE(toks[2].is_symbol("!="));
+  EXPECT_TRUE(toks[3].is_symbol("!="));  // <> normalized
+  EXPECT_TRUE(toks[4].is_symbol("<"));
+  EXPECT_TRUE(toks[13].is_symbol("*"));
+}
+
+TEST(Lexer, RejectsGarbage) {
+  EXPECT_THROW(tokenize("a % b"), ParseError);
+}
+
+TEST(Lexer, OffsetsTrackPosition) {
+  const auto toks = tokenize("ab  cd");
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace cosmos::cql

@@ -1,0 +1,122 @@
+#include "cql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "cql/lexer.h"
+
+namespace cosmos::cql {
+namespace {
+
+using stream::Predicate;
+using stream::WindowSpec;
+
+TEST(Parser, PaperQueryQ1) {
+  const auto q = parse_query(
+      "SELECT * FROM R [Now], S [Now] "
+      "WHERE R.b = S.b AND R.a > 10 AND S.c > 10");
+  EXPECT_TRUE(q.select_all);
+  ASSERT_EQ(q.sources.size(), 2u);
+  EXPECT_EQ(q.sources[0].stream, "R");
+  EXPECT_EQ(q.sources[0].alias, "R");
+  EXPECT_EQ(q.sources[0].window, WindowSpec::now());
+  EXPECT_EQ(q.where->kind(), Predicate::Kind::kAnd);
+}
+
+TEST(Parser, PaperQueryQ3) {
+  const auto q = parse_query(
+      "SELECT S2.* "
+      "FROM Station1 [Range 30 Minutes] S1, Station2 [Now] S2 "
+      "WHERE S1.snowHeight > S2.snowHeight AND S1.snowHeight >= 10");
+  ASSERT_EQ(q.sources.size(), 2u);
+  EXPECT_EQ(q.sources[0].alias, "S1");
+  EXPECT_EQ(q.sources[0].window, WindowSpec::range_millis(30 * 60'000));
+  EXPECT_EQ(q.sources[1].window, WindowSpec::now());
+  ASSERT_EQ(q.select.size(), 1u);
+  EXPECT_TRUE(q.select[0].is_wildcard());
+  EXPECT_EQ(q.select[0].alias, "S2");
+}
+
+TEST(Parser, PaperQueryQ4SelectList) {
+  const auto q = parse_query(
+      "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, S2.timestamp "
+      "FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 "
+      "WHERE S1.snowHeight > S2.snowHeight");
+  ASSERT_EQ(q.select.size(), 4u);
+  EXPECT_EQ(q.select[0].alias, "S1");
+  EXPECT_EQ(q.select[0].field, "snowHeight");
+  EXPECT_EQ(q.sources[0].window, WindowSpec::range_millis(3'600'000));
+}
+
+TEST(Parser, WindowUnits) {
+  EXPECT_EQ(parse_query("SELECT * FROM S [Range 2 Seconds]").sources[0].window,
+            WindowSpec::range_millis(2'000));
+  EXPECT_EQ(parse_query("SELECT * FROM S [Range 5 Ms]").sources[0].window,
+            WindowSpec::range_millis(5));
+  EXPECT_EQ(parse_query("SELECT * FROM S [Unbounded]").sources[0].window,
+            WindowSpec::unbounded());
+  // No window defaults to [Now].
+  EXPECT_EQ(parse_query("SELECT * FROM S").sources[0].window,
+            WindowSpec::now());
+}
+
+TEST(Parser, BareColumnResolvesWithSingleSource) {
+  const auto q = parse_query("SELECT snowHeight FROM Station1 [Now] S1 "
+                             "WHERE snowHeight > 3");
+  EXPECT_EQ(q.select[0].alias, "S1");
+  EXPECT_EQ(q.select[0].field, "snowHeight");
+}
+
+TEST(Parser, BareColumnAmbiguousWithTwoSources) {
+  EXPECT_THROW(parse_query("SELECT x FROM A [Now], B [Now]"), ParseError);
+}
+
+TEST(Parser, ConstantOnLeftIsFlipped) {
+  const auto q = parse_query("SELECT * FROM S WHERE 10 < S.a");
+  std::vector<stream::PredicatePtr> conj;
+  ASSERT_TRUE(stream::collect_conjuncts(q.where, conj));
+  ASSERT_EQ(conj.size(), 1u);
+  EXPECT_EQ(conj[0]->to_string(), "S.a > 10");
+}
+
+TEST(Parser, OrAndNotAndParens) {
+  const auto q =
+      parse_query("SELECT * FROM S WHERE NOT (S.a > 1 OR S.b < 2) AND S.c = 3");
+  EXPECT_EQ(q.where->kind(), Predicate::Kind::kAnd);
+}
+
+TEST(Parser, StringLiteral) {
+  const auto q = parse_query("SELECT * FROM S WHERE S.name = 'alpha'");
+  EXPECT_EQ(q.where->to_string(), "S.name = alpha");
+}
+
+TEST(Parser, PreservesTextAndIds) {
+  const std::string text = "SELECT * FROM S";
+  const auto q = parse_query(text, QueryId{7}, NodeId{9});
+  EXPECT_EQ(q.text, text);
+  EXPECT_EQ(q.id, QueryId{7});
+  EXPECT_EQ(q.proxy, NodeId{9});
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_query("FROM S"), ParseError);                 // no SELECT
+  EXPECT_THROW(parse_query("SELECT *"), ParseError);               // no FROM
+  EXPECT_THROW(parse_query("SELECT * FROM S WHERE"), ParseError);  // empty pred
+  EXPECT_THROW(parse_query("SELECT * FROM S [Range]"), ParseError);
+  EXPECT_THROW(parse_query("SELECT * FROM S [Range 5]"), ParseError);  // unit
+  EXPECT_THROW(parse_query("SELECT * FROM S WHERE 1 > 2"), ParseError);
+  EXPECT_THROW(parse_query("SELECT * FROM S extra garbage ,"), ParseError);
+}
+
+TEST(Parser, RoundTripThroughToCql) {
+  const auto q = parse_query(
+      "SELECT S2.*, S1.snowHeight "
+      "FROM Station1 [Range 1 Hour] S1, Station2 [Now] S2 "
+      "WHERE S1.snowHeight > S2.snowHeight");
+  const auto q2 = parse_query(q.to_cql());
+  EXPECT_EQ(q2.sources.size(), q.sources.size());
+  EXPECT_EQ(q2.select.size(), q.select.size());
+  EXPECT_EQ(q2.where->to_string(), q.where->to_string());
+}
+
+}  // namespace
+}  // namespace cosmos::cql

@@ -1,0 +1,182 @@
+#include "graph/coarsen.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::graph {
+namespace {
+
+QueryVertex qv(QueryId id, double weight) {
+  QueryVertex v;
+  v.weight = weight;
+  v.queries = {id};
+  v.state_size = weight * 10;
+  return v;
+}
+
+QueryVertex nv(NodeId node, int clu) {
+  QueryVertex v;
+  v.kind = QVertexKind::kNetwork;
+  v.node = node;
+  v.clu = clu;
+  return v;
+}
+
+TEST(Coarsen, ReducesToVmax) {
+  QueryGraph g;
+  for (int i = 0; i < 16; ++i) {
+    g.add_vertex(qv(QueryId{static_cast<QueryId::value_type>(i)}, 1.0));
+  }
+  // Chain edges so matching always finds partners.
+  for (QueryGraph::VertexIndex i = 0; i + 1 < 16; ++i) {
+    g.add_edge(i, i + 1, 1.0 + i);
+  }
+  Rng rng{1};
+  const auto result = coarsen(g, 4, nullptr, rng);
+  EXPECT_LE(result.graph.size(), 4u);
+  EXPECT_GE(result.rounds, 1u);
+}
+
+TEST(Coarsen, PreservesTotalWeightAndQueries) {
+  QueryGraph g;
+  double total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const double w = 1.0 + i;
+    g.add_vertex(qv(QueryId{static_cast<QueryId::value_type>(i)}, w));
+    total += w;
+  }
+  for (QueryGraph::VertexIndex i = 0; i + 1 < 10; ++i) g.add_edge(i, i + 1, 1);
+  Rng rng{2};
+  const auto result = coarsen(g, 3, nullptr, rng);
+  double coarse_total = 0;
+  std::size_t query_count = 0;
+  for (QueryGraph::VertexIndex i = 0; i < result.graph.size(); ++i) {
+    coarse_total += result.graph.vertex(i).weight;
+    query_count += result.graph.vertex(i).queries.size();
+  }
+  EXPECT_NEAR(coarse_total, total, 1e-9);
+  EXPECT_EQ(query_count, 10u);
+}
+
+TEST(Coarsen, MembershipMapsAreConsistent) {
+  QueryGraph g;
+  for (int i = 0; i < 12; ++i) {
+    g.add_vertex(qv(QueryId{static_cast<QueryId::value_type>(i)}, 1.0));
+  }
+  for (QueryGraph::VertexIndex i = 0; i + 1 < 12; ++i) g.add_edge(i, i + 1, 1);
+  Rng rng{3};
+  const auto result = coarsen(g, 5, nullptr, rng);
+  ASSERT_EQ(result.coarse_of.size(), 12u);
+  std::size_t member_total = 0;
+  for (QueryGraph::VertexIndex c = 0; c < result.members.size(); ++c) {
+    for (const auto f : result.members[c]) {
+      EXPECT_EQ(result.coarse_of[f], c);
+    }
+    member_total += result.members[c].size();
+  }
+  EXPECT_EQ(member_total, 12u);
+}
+
+TEST(Coarsen, NVerticesFromDifferentClustersNeverMerge) {
+  QueryGraph g;
+  const auto n0 = g.add_vertex(nv(NodeId{1}, 0));
+  const auto n1 = g.add_vertex(nv(NodeId{2}, 1));
+  g.add_edge(n0, n1, 100.0);  // tempting edge, forbidden merge
+  for (int i = 0; i < 6; ++i) {
+    const auto q =
+        g.add_vertex(qv(QueryId{static_cast<QueryId::value_type>(i)}, 1.0));
+    g.add_edge(q, i % 2 == 0 ? n0 : n1, 1.0);
+  }
+  Rng rng{4};
+  const auto result = coarsen(g, 3, nullptr, rng);
+  // Both cluster-0 and cluster-1 n-vertices survive distinctly.
+  int clu0 = 0, clu1 = 0;
+  for (QueryGraph::VertexIndex i = 0; i < result.graph.size(); ++i) {
+    const auto& v = result.graph.vertex(i);
+    if (v.is_n() && v.clu == 0) ++clu0;
+    if (v.is_n() && v.clu == 1) ++clu1;
+  }
+  EXPECT_EQ(clu0, 1);
+  EXPECT_EQ(clu1, 1);
+}
+
+TEST(Coarsen, UncoveredNVertexNeverAbsorbsQueries) {
+  QueryGraph g;
+  const auto anchor = g.add_vertex(nv(NodeId{9}, -1));
+  const auto q0 = g.add_vertex(qv(QueryId{0}, 1.0));
+  const auto q1 = g.add_vertex(qv(QueryId{1}, 1.0));
+  g.add_edge(q0, anchor, 50.0);
+  g.add_edge(q1, anchor, 50.0);
+  g.add_edge(q0, q1, 1.0);
+  Rng rng{5};
+  const auto result = coarsen(g, 2, nullptr, rng);
+  for (QueryGraph::VertexIndex i = 0; i < result.graph.size(); ++i) {
+    const auto& v = result.graph.vertex(i);
+    if (v.is_n() && v.clu < 0) EXPECT_TRUE(v.queries.empty());
+  }
+}
+
+TEST(Coarsen, QVertexMayMergeIntoCoveredNVertex) {
+  QueryGraph g;
+  const auto n0 = g.add_vertex(nv(NodeId{1}, 0));
+  const auto q0 = g.add_vertex(qv(QueryId{0}, 1.0));
+  const auto q1 = g.add_vertex(qv(QueryId{1}, 1.0));
+  g.add_edge(q0, n0, 10.0);
+  g.add_edge(q1, n0, 10.0);
+  Rng rng{6};
+  const auto result = coarsen(g, 2, nullptr, rng);
+  EXPECT_LE(result.graph.size(), 2u);
+  // The n-vertex payload keeps its identity.
+  bool n_found = false;
+  for (QueryGraph::VertexIndex i = 0; i < result.graph.size(); ++i) {
+    if (result.graph.vertex(i).is_n()) {
+      n_found = true;
+      EXPECT_EQ(result.graph.vertex(i).clu, 0);
+    }
+  }
+  EXPECT_TRUE(n_found);
+}
+
+TEST(Coarsen, DisconnectedGraphFallsBackToForcedMerges) {
+  QueryGraph g;
+  for (int i = 0; i < 8; ++i) {
+    g.add_vertex(qv(QueryId{static_cast<QueryId::value_type>(i)}, 1.0));
+  }
+  // No edges at all.
+  Rng rng{7};
+  const auto result = coarsen(g, 2, nullptr, rng);
+  EXPECT_LE(result.graph.size(), 2u);
+  EXPECT_GT(result.forced_merges, 0u);
+}
+
+TEST(Coarsen, AlreadySmallGraphUntouched) {
+  QueryGraph g;
+  g.add_vertex(qv(QueryId{0}, 1.0));
+  g.add_vertex(qv(QueryId{1}, 1.0));
+  Rng rng{8};
+  const auto result = coarsen(g, 5, nullptr, rng);
+  EXPECT_EQ(result.graph.size(), 2u);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Coarsen, InterestUnionsOnMerge) {
+  QueryGraph g;
+  QueryVertex a = qv(QueryId{0}, 1.0);
+  a.interest = BitVector{8};
+  a.interest.set(1);
+  QueryVertex b = qv(QueryId{1}, 1.0);
+  b.interest = BitVector{8};
+  b.interest.set(5);
+  const auto va = g.add_vertex(a);
+  const auto vb = g.add_vertex(b);
+  g.add_edge(va, vb, 3.0);
+  Rng rng{9};
+  const auto result = coarsen(g, 1, nullptr, rng);
+  ASSERT_EQ(result.graph.size(), 1u);
+  const auto& v = result.graph.vertex(0);
+  EXPECT_TRUE(v.interest.test(1));
+  EXPECT_TRUE(v.interest.test(5));
+  EXPECT_EQ(v.queries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cosmos::graph

@@ -1,0 +1,152 @@
+#include "graph/edge_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::graph {
+namespace {
+
+query::SubstreamSpace make_space() {
+  // Substreams 0,1 at node 10; 2,3 at node 11. Rates 1,2,4,8.
+  return query::SubstreamSpace{{NodeId{10}, NodeId{10}, NodeId{11}, NodeId{11}},
+                               {1.0, 2.0, 4.0, 8.0}};
+}
+
+query::InterestProfile profile(QueryId id, std::initializer_list<int> bits,
+                               NodeId proxy, double out_rate) {
+  query::InterestProfile p;
+  p.query = id;
+  p.proxy = proxy;
+  p.interest = BitVector{4};
+  for (const int b : bits) p.interest.set(static_cast<std::size_t>(b));
+  p.output_rate = out_rate;
+  query::refresh_load(p, make_space());
+  return p;
+}
+
+TEST(EdgeModel, SourceMasks) {
+  const auto space = make_space();
+  EdgeModel m{space};
+  EXPECT_EQ(m.source_mask(NodeId{10}).count(), 2u);
+  EXPECT_EQ(m.source_mask(NodeId{11}).count(), 2u);
+  EXPECT_EQ(m.source_mask(NodeId{99}).count(), 0u);
+}
+
+TEST(EdgeModel, QqWeightIsOverlapRate) {
+  const auto space = make_space();
+  EdgeModel m{space};
+  const auto a = to_query_vertex(profile(QueryId{0}, {0, 2}, NodeId{1}, 1));
+  const auto b = to_query_vertex(profile(QueryId{1}, {2, 3}, NodeId{1}, 1));
+  EXPECT_DOUBLE_EQ(m.qq_weight(a, b), 4.0);
+}
+
+TEST(EdgeModel, QnWeightCombinesSourceAndProxy) {
+  const auto space = make_space();
+  EdgeModel m{space};
+  const auto q = to_query_vertex(profile(QueryId{0}, {0, 1, 2}, NodeId{10}, 5));
+  QueryVertex n;
+  n.kind = QVertexKind::kNetwork;
+  n.node = NodeId{10};
+  // Source component 1+2 = 3 plus result component 5 (proxy == node 10).
+  EXPECT_DOUBLE_EQ(m.qn_weight(q, n), 8.0);
+  n.node = NodeId{11};
+  EXPECT_DOUBLE_EQ(m.qn_weight(q, n), 4.0);  // source only
+}
+
+TEST(EdgeModel, RateBySource) {
+  const auto space = make_space();
+  EdgeModel m{space};
+  const auto q = to_query_vertex(profile(QueryId{0}, {1, 2, 3}, NodeId{1}, 0));
+  const auto by_source = m.rate_by_source(q);
+  ASSERT_EQ(by_source.size(), 2u);
+  EXPECT_DOUBLE_EQ(by_source[0].second, 2.0);   // node 10
+  EXPECT_DOUBLE_EQ(by_source[1].second, 12.0);  // node 11
+}
+
+TEST(BuildQueryGraph, SmallGraphHasExpectedStructure) {
+  const auto space = make_space();
+  EdgeModel m{space};
+  std::vector<QueryVertex> items{
+      to_query_vertex(profile(QueryId{0}, {0, 1}, NodeId{20}, 1.0)),
+      to_query_vertex(profile(QueryId{1}, {1, 2}, NodeId{21}, 2.0)),
+  };
+  Rng rng{1};
+  QueryGraphBuildParams params;
+  const auto g = build_query_graph(items, m, params, nullptr, rng);
+  // 2 q-vertices + n-vertices: sources 10,11 and proxies 20,21.
+  EXPECT_EQ(g.size(), 6u);
+  // q0 -- q1 overlap edge: substream 1, rate 2.
+  bool found = false;
+  for (const auto& e : g.neighbors(0)) {
+    if (e.to == 1) {
+      found = true;
+      EXPECT_DOUBLE_EQ(e.weight, 2.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // q0 -- source(10) edge weight 3 (substreams 0,1).
+  const auto s10 = g.find_network_vertex(NodeId{10});
+  ASSERT_NE(s10, QueryGraph::kNone);
+  double w = 0;
+  for (const auto& e : g.neighbors(0)) {
+    if (e.to == s10) w = e.weight;
+  }
+  EXPECT_DOUBLE_EQ(w, 3.0);
+}
+
+TEST(BuildQueryGraph, CluLabelsApplied) {
+  const auto space = make_space();
+  EdgeModel m{space};
+  std::vector<QueryVertex> items{
+      to_query_vertex(profile(QueryId{0}, {0}, NodeId{20}, 1.0))};
+  const std::function<int(NodeId)> clu = [](NodeId n) {
+    return n == NodeId{20} ? 2 : -1;
+  };
+  Rng rng{1};
+  const auto g = build_query_graph(items, m, {}, &clu, rng);
+  const auto proxy = g.find_network_vertex(NodeId{20});
+  const auto src = g.find_network_vertex(NodeId{10});
+  ASSERT_NE(proxy, QueryGraph::kNone);
+  ASSERT_NE(src, QueryGraph::kNone);
+  EXPECT_EQ(g.vertex(proxy).clu, 2);
+  EXPECT_EQ(g.vertex(src).clu, -1);
+}
+
+TEST(BuildQueryGraph, SparsifiedKeepsTopEdgesPerVertex) {
+  // Many queries sharing hot substreams: sparsified construction must cap
+  // per-vertex overlap degree but keep the heavy edges.
+  const std::size_t nsub = 64;
+  std::vector<NodeId> origin(nsub, NodeId{1});
+  std::vector<double> rate(nsub, 1.0);
+  query::SubstreamSpace space{origin, rate};
+  EdgeModel m{space};
+
+  Rng wrng{3};
+  std::vector<QueryVertex> items;
+  for (int i = 0; i < 60; ++i) {
+    QueryVertex v;
+    v.kind = QVertexKind::kQuery;
+    v.weight = 1;
+    v.interest = BitVector{nsub};
+    for (int b = 0; b < 8; ++b) v.interest.set(wrng.next_below(nsub));
+    v.queries = {QueryId{static_cast<QueryId::value_type>(i)}};
+    items.push_back(std::move(v));
+  }
+  QueryGraphBuildParams params;
+  params.exact_pair_threshold = 10;  // force the sparsified path
+  params.max_overlap_degree = 4;
+  params.candidate_sample = 16;
+  Rng rng{4};
+  const auto g = build_query_graph(items, m, params, nullptr, rng);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::size_t qq_degree = 0;
+    for (const auto& e : g.neighbors(static_cast<QueryGraph::VertexIndex>(i))) {
+      if (!g.vertex(e.to).is_n()) ++qq_degree;
+    }
+    // Each vertex proposes <= max_overlap_degree edges; symmetric insertions
+    // from other vertices can add a few more, but the degree stays bounded.
+    EXPECT_LE(qq_degree, 2 * params.max_overlap_degree + params.candidate_sample / 2);
+  }
+}
+
+}  // namespace
+}  // namespace cosmos::graph

@@ -1,0 +1,235 @@
+#include "graph/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::graph {
+namespace {
+
+QueryVertex qv(double weight) {
+  QueryVertex v;
+  v.weight = weight;
+  v.queries = {QueryId{0}};
+  return v;
+}
+
+QueryVertex nv(NodeId node, int clu) {
+  QueryVertex v;
+  v.kind = QVertexKind::kNetwork;
+  v.node = node;
+  v.clu = clu;
+  return v;
+}
+
+/// Two processors at distance 10, one source anchor at distance 1 / 11.
+struct TwoProcFixture {
+  NetworkGraph ng;
+  TwoProcFixture() {
+    ng.add_vertex({"p0", 1.0, true, NodeId{0}});
+    ng.add_vertex({"p1", 1.0, true, NodeId{1}});
+    ng.add_vertex({"src", 0.0, false, NodeId{2}});
+    ng.finalize_vertices();
+    ng.set_distance(0, 1, 10.0);
+    ng.set_distance(0, 2, 1.0);
+    ng.set_distance(1, 2, 11.0);
+  }
+};
+
+TEST(Mapping, WecOfKnownAssignment) {
+  TwoProcFixture f;
+  QueryGraph qg;
+  const auto q = qg.add_vertex(qv(1.0));
+  const auto s = qg.add_vertex(nv(NodeId{2}, -1));
+  qg.add_edge(q, s, 4.0);
+  std::vector<NetworkGraph::VertexIndex> assignment{0, 2};
+  EXPECT_DOUBLE_EQ(weighted_edge_cut(qg, f.ng, assignment), 4.0);
+  assignment[0] = 1;
+  EXPECT_DOUBLE_EQ(weighted_edge_cut(qg, f.ng, assignment), 44.0);
+}
+
+TEST(Mapping, PullsQueryTowardItsSource) {
+  TwoProcFixture f;
+  QueryGraph qg;
+  const auto q = qg.add_vertex(qv(1.0));
+  const auto s = qg.add_vertex(nv(NodeId{2}, -1));
+  qg.add_edge(q, s, 4.0);
+  Rng rng{1};
+  const auto result = map_query_graph(qg, f.ng, {}, rng);
+  EXPECT_EQ(result.assignment[q], 0u);  // p0 is 1ms from the source
+  EXPECT_EQ(result.assignment[s], 2u);  // anchor pinned
+  // A single indivisible query cannot satisfy the per-processor cap of
+  // (1+alpha) * 1/2 of the total load, so feasibility is not asserted.
+  EXPECT_DOUBLE_EQ(result.wec, 4.0);
+}
+
+TEST(Mapping, LoadConstraintForcesSpread) {
+  TwoProcFixture f;
+  // Two heavy queries, both attracted to p0; alpha=0.1 caps each processor
+  // at 1.1 * total/2 = 1.1, so they must split.
+  QueryGraph qg;
+  const auto q1 = qg.add_vertex(qv(1.0));
+  const auto q2 = qg.add_vertex(qv(1.0));
+  const auto s = qg.add_vertex(nv(NodeId{2}, -1));
+  qg.add_edge(q1, s, 4.0);
+  qg.add_edge(q2, s, 4.0);
+  Rng rng{2};
+  const auto result = map_query_graph(qg, f.ng, {}, rng);
+  EXPECT_NE(result.assignment[q1], result.assignment[q2]);
+  EXPECT_TRUE(result.load_feasible);
+}
+
+TEST(Mapping, AlphaSlackAllowsColocation) {
+  TwoProcFixture f;
+  QueryGraph qg;
+  const auto q1 = qg.add_vertex(qv(1.0));
+  const auto q2 = qg.add_vertex(qv(0.8));
+  const auto s = qg.add_vertex(nv(NodeId{2}, -1));
+  qg.add_edge(q1, s, 4.0);
+  qg.add_edge(q2, s, 4.0);
+  // Strong mutual attraction: worth co-locating if load permits.
+  qg.add_edge(q1, q2, 100.0);
+  MappingParams params;
+  params.alpha = 1.0;  // cap = 2 * 1.8/2 = 1.8 >= 1.8: fits together
+  Rng rng{3};
+  const auto result = map_query_graph(qg, f.ng, params, rng);
+  EXPECT_EQ(result.assignment[q1], result.assignment[q2]);
+}
+
+TEST(Mapping, RefinementImprovesGreedy) {
+  // A ring of mutually-attracted query pairs placed adversarially by weight
+  // order: refinement must not be worse than greedy.
+  NetworkGraph ng;
+  ng.add_vertex({"p0", 1.0, true, NodeId{0}});
+  ng.add_vertex({"p1", 1.0, true, NodeId{1}});
+  ng.add_vertex({"p2", 1.0, true, NodeId{2}});
+  ng.finalize_vertices();
+  ng.set_distance(0, 1, 10);
+  ng.set_distance(1, 2, 10);
+  ng.set_distance(0, 2, 10);
+
+  QueryGraph qg;
+  Rng wrng{4};
+  std::vector<QueryGraph::VertexIndex> vs;
+  for (int i = 0; i < 12; ++i) {
+    vs.push_back(qg.add_vertex(qv(1.0 + 0.01 * i)));
+  }
+  // Pairs (0,1), (2,3), ... attract strongly.
+  for (int i = 0; i < 12; i += 2) qg.add_edge(vs[i], vs[i + 1], 50.0);
+  // Weak noise edges.
+  for (int i = 0; i < 12; ++i) {
+    qg.add_edge(vs[i], vs[(i + 3) % 12], 0.5);
+  }
+  MappingParams greedy_only;
+  greedy_only.refine = false;
+  Rng r1{5}, r2{5};
+  const auto greedy = map_query_graph(qg, ng, greedy_only, r1);
+  const auto refined = map_query_graph(qg, ng, {}, r2);
+  EXPECT_LE(refined.wec, greedy.wec);
+  // Strongly-paired vertices end up together after refinement.
+  int together = 0;
+  for (int i = 0; i < 12; i += 2) {
+    if (refined.assignment[vs[i]] == refined.assignment[vs[i + 1]]) ++together;
+  }
+  EXPECT_GE(together, 4);
+}
+
+TEST(Mapping, PinnedNVertexWithClu) {
+  NetworkGraph ng;
+  ng.add_vertex({"p0", 1.0, true, NodeId{0}});
+  ng.add_vertex({"p1", 1.0, true, NodeId{1}});
+  ng.finalize_vertices();
+  ng.set_distance(0, 1, 5);
+  QueryGraph qg;
+  const auto n = qg.add_vertex(nv(NodeId{1}, 1));
+  const auto q = qg.add_vertex(qv(1.0));
+  qg.add_edge(q, n, 3.0);
+  Rng rng{6};
+  const auto result = map_query_graph(qg, ng, {}, rng);
+  EXPECT_EQ(result.assignment[n], 1u);
+  EXPECT_EQ(result.assignment[q], 1u);  // follows its only attraction
+}
+
+TEST(Mapping, ThrowsWithoutCapability) {
+  NetworkGraph ng;
+  ng.add_vertex({"anchor", 0.0, false, NodeId{0}});
+  ng.finalize_vertices();
+  QueryGraph qg;
+  qg.add_vertex(qv(1.0));
+  Rng rng{7};
+  EXPECT_THROW(map_query_graph(qg, ng, {}, rng), std::invalid_argument);
+}
+
+TEST(Mapping, LoadCapsFollowCapabilities) {
+  NetworkGraph ng;
+  ng.add_vertex({"fast", 3.0, true, NodeId{0}});
+  ng.add_vertex({"slow", 1.0, true, NodeId{1}});
+  ng.finalize_vertices();
+  ng.set_distance(0, 1, 1);
+  QueryGraph qg;
+  for (int i = 0; i < 4; ++i) qg.add_vertex(qv(1.0));
+  const auto caps = load_caps(qg, ng, 0.1);
+  EXPECT_NEAR(caps[0], 1.1 * 3.0 * 4.0 / 4.0, 1e-9);
+  EXPECT_NEAR(caps[1], 1.1 * 1.0 * 4.0 / 4.0, 1e-9);
+  Rng rng{8};
+  const auto result = map_query_graph(qg, ng, {}, rng);
+  const auto loads = load_per_vertex(qg, ng, result.assignment);
+  EXPECT_LE(loads[0], caps[0] + 1e-9);
+  EXPECT_LE(loads[1], caps[1] + 1e-9);
+  EXPECT_GE(loads[0], 2.0);  // the fast node carries more
+}
+
+TEST(Mapping, RemapGain) {
+  TwoProcFixture f;
+  QueryGraph qg;
+  const auto q = qg.add_vertex(qv(1.0));
+  const auto s = qg.add_vertex(nv(NodeId{2}, -1));
+  qg.add_edge(q, s, 4.0);
+  std::vector<NetworkGraph::VertexIndex> assignment{1, 2};  // q at far p1
+  // Moving to p0 saves 4 * (11 - 1) = 40.
+  EXPECT_DOUBLE_EQ(remap_gain(qg, f.ng, assignment, q, 0), 40.0);
+  EXPECT_DOUBLE_EQ(remap_gain(qg, f.ng, assignment, q, 1), 0.0);
+}
+
+// Property: refined WEC never exceeds greedy WEC across random instances.
+class MappingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MappingProperty, RefinementNeverHurts) {
+  Rng rng{GetParam()};
+  NetworkGraph ng;
+  const std::size_t procs = 4;
+  for (std::size_t i = 0; i < procs; ++i) {
+    ng.add_vertex({"p", 1.0, true, NodeId{static_cast<NodeId::value_type>(i)}});
+  }
+  ng.finalize_vertices();
+  for (std::size_t a = 0; a < procs; ++a) {
+    for (std::size_t b = a + 1; b < procs; ++b) {
+      ng.set_distance(static_cast<NetworkGraph::VertexIndex>(a),
+                      static_cast<NetworkGraph::VertexIndex>(b),
+                      rng.next_double(1.0, 20.0));
+    }
+  }
+  QueryGraph qg;
+  const std::size_t n = 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    qg.add_vertex(qv(rng.next_double(0.5, 2.0)));
+  }
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    const auto a = static_cast<QueryGraph::VertexIndex>(rng.next_below(n));
+    const auto b = static_cast<QueryGraph::VertexIndex>(rng.next_below(n));
+    if (a != b) qg.add_edge(a, b, rng.next_double(0.1, 5.0));
+  }
+  MappingParams greedy_only;
+  greedy_only.refine = false;
+  Rng r1{GetParam() + 1}, r2{GetParam() + 1};
+  const auto greedy = map_query_graph(qg, ng, greedy_only, r1);
+  const auto refined = map_query_graph(qg, ng, {}, r2);
+  EXPECT_LE(refined.wec, greedy.wec + 1e-9);
+  // WEC reported matches a from-scratch recomputation.
+  EXPECT_NEAR(refined.wec,
+              weighted_edge_cut(qg, ng, refined.assignment), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace cosmos::graph

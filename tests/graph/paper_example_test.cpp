@@ -1,0 +1,154 @@
+// The Fig. 5 / Table 2 worked example of Section 3.1.2.
+//
+// Two sources s1, s2 (no capability) and two equal processors n1, n2 on a
+// line s1 -2- n1 -5- n2 -2- s2. Four queries:
+//   Q1: 10 B/s from s1, result 1 B/s to n1, load 0.1
+//   Q2: 10 B/s from s2, result 1 B/s to n1, load 0.1
+//   Q3:  5 B/s from s1, result 1 B/s to n2, load 0.1
+//   Q4:  5 B/s from s2, result 1 B/s to n2, load 0.1
+// Q3's requested data is contained in Q1's, so the q-q edge Q1--Q3 carries
+// weight 5 (equal to the s1--Q3 edge), exactly as the paper prescribes.
+//
+// Table 2's qualitative claim: mapping all queries to their proxies
+// (scheme 1) is worst; the sharing-oblivious optimum (scheme 2) is beaten
+// by scheme 3, which co-locates the overlapping Q1 and Q3. Algorithm 2 must
+// find scheme 3.
+#include <gtest/gtest.h>
+
+#include "graph/edge_model.h"
+#include "graph/mapping.h"
+
+namespace cosmos::graph {
+namespace {
+
+constexpr NodeId kS1{0}, kS2{1}, kN1{2}, kN2{3};
+
+struct PaperExample {
+  query::SubstreamSpace space;
+  std::vector<query::InterestProfile> profiles;
+  QueryGraph qg;
+  NetworkGraph ng;
+
+  PaperExample()
+      : space{// substream 0: the 5 B/s slice of s1 both Q1 and Q3 want;
+              // substream 1: the rest of Q1's s1 data; 2..4 live at s2,
+              // with Q4's substream disjoint from Q2's (only the Q1-Q3
+              // overlap edge exists, as in the paper's figure).
+              {kS1, kS1, kS2, kS2, kS2},
+              {5.0, 5.0, 5.0, 5.0, 5.0}} {
+    const auto mk = [this](QueryId id, std::initializer_list<int> bits,
+                           NodeId proxy) {
+      query::InterestProfile p;
+      p.query = id;
+      p.proxy = proxy;
+      p.interest = BitVector{5};
+      for (const int b : bits) p.interest.set(static_cast<std::size_t>(b));
+      p.output_rate = 1.0;
+      p.load = 0.1;
+      profiles.push_back(std::move(p));
+    };
+    mk(QueryId{1}, {0, 1}, kN1);  // Q1: 10 from s1
+    mk(QueryId{2}, {2, 3}, kN1);  // Q2: 10 from s2
+    mk(QueryId{3}, {0}, kN2);     // Q3: 5 from s1 (inside Q1's interest)
+    mk(QueryId{4}, {4}, kN2);     // Q4: 5 from s2, disjoint from Q2
+
+    EdgeModel model{space};
+    std::vector<QueryVertex> items;
+    for (const auto& p : profiles) items.push_back(to_query_vertex(p));
+    Rng rng{1};
+    qg = build_query_graph(items, model, {}, nullptr, rng);
+
+    ng.add_vertex({"n1", 1.0, true, kN1});
+    ng.add_vertex({"n2", 1.0, true, kN2});
+    ng.add_vertex({"s1", 0.0, false, kS1});
+    ng.add_vertex({"s2", 0.0, false, kS2});
+    ng.finalize_vertices();
+    // Line: s1 -2- n1 -5- n2 -2- s2 (shortest-path closure).
+    ng.set_distance(2, 0, 2.0);   // s1-n1
+    ng.set_distance(0, 1, 5.0);   // n1-n2
+    ng.set_distance(1, 3, 2.0);   // n2-s2
+    ng.set_distance(2, 1, 7.0);   // s1-n2
+    ng.set_distance(0, 3, 7.0);   // n1-s2
+    ng.set_distance(2, 3, 9.0);   // s1-s2
+    // Pin n-vertices of the query graph onto the network graph.
+    for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+      auto& v = qg.vertex(i);
+      if (!v.is_n()) continue;
+      const auto k = ng.find_by_node(v.node);
+      v.clu = ng.vertex(k).assignable ? static_cast<int>(k) : -1;
+    }
+  }
+
+  /// Assignment for a scheme: q1..q4 -> processor vertex (0=n1, 1=n2).
+  std::vector<NetworkGraph::VertexIndex> scheme(
+      std::initializer_list<int> targets) const {
+    std::vector<NetworkGraph::VertexIndex> a(qg.size());
+    std::size_t qi = 0;
+    for (QueryGraph::VertexIndex i = 0; i < qg.size(); ++i) {
+      if (qg.vertex(i).is_n()) {
+        a[i] = ng.find_by_node(qg.vertex(i).node);
+      } else {
+        a[i] = static_cast<NetworkGraph::VertexIndex>(*(targets.begin() + qi));
+        ++qi;
+      }
+    }
+    return a;
+  }
+};
+
+TEST(PaperExample, GraphHasOverlapEdgeQ1Q3) {
+  PaperExample ex;
+  // Vertex order: q-vertices first, in profile order (Q1..Q4).
+  double q1q3 = 0.0, s1q3 = 0.0;
+  const auto s1_vertex = ex.qg.find_network_vertex(kS1);
+  for (const auto& e : ex.qg.neighbors(2)) {  // Q3
+    if (e.to == 0) q1q3 = e.weight;
+    if (e.to == s1_vertex) s1q3 = e.weight;
+  }
+  EXPECT_DOUBLE_EQ(q1q3, 5.0);
+  EXPECT_DOUBLE_EQ(q1q3, s1q3);  // the paper's construction rule
+}
+
+TEST(PaperExample, Table2SchemeOrdering) {
+  PaperExample ex;
+  // Scheme 1: queries at their proxies (Q1,Q2->n1; Q3,Q4->n2).
+  const double wec1 =
+      weighted_edge_cut(ex.qg, ex.ng, ex.scheme({0, 0, 1, 1}));
+  // Scheme 2: sharing-oblivious optimum (Q1,Q4->n1; Q2,Q3->n2).
+  const double wec2 =
+      weighted_edge_cut(ex.qg, ex.ng, ex.scheme({0, 1, 1, 0}));
+  // Scheme 3: co-locate the overlapping pair (Q1,Q3->n1; Q2,Q4->n2).
+  const double wec3 =
+      weighted_edge_cut(ex.qg, ex.ng, ex.scheme({0, 1, 0, 1}));
+  EXPECT_GT(wec1, wec2);
+  EXPECT_GT(wec2, wec3);
+  // Concrete values for this instance (documents the arithmetic).
+  EXPECT_DOUBLE_EQ(wec1, 160.0);
+  EXPECT_DOUBLE_EQ(wec2, 145.0);
+  EXPECT_DOUBLE_EQ(wec3, 70.0);
+}
+
+TEST(PaperExample, Algorithm2FindsScheme3) {
+  PaperExample ex;
+  Rng rng{2};
+  const auto result = map_query_graph(ex.qg, ex.ng, {}, rng);
+  EXPECT_TRUE(result.load_feasible);
+  EXPECT_DOUBLE_EQ(result.wec, 70.0);
+  // Q1 and Q3 co-located on n1; Q2 and Q4 on n2.
+  EXPECT_EQ(result.assignment[0], result.assignment[2]);
+  EXPECT_EQ(result.assignment[1], result.assignment[3]);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(ex.ng.vertex(result.assignment[0]).node, kN1);
+}
+
+TEST(PaperExample, LoadBalancedAtPointTwo) {
+  PaperExample ex;
+  Rng rng{3};
+  const auto result = map_query_graph(ex.qg, ex.ng, {}, rng);
+  const auto loads = load_per_vertex(ex.qg, ex.ng, result.assignment);
+  EXPECT_NEAR(loads[0], 0.2, 1e-9);
+  EXPECT_NEAR(loads[1], 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace cosmos::graph

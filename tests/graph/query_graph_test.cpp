@@ -1,0 +1,96 @@
+#include "graph/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::graph {
+namespace {
+
+QueryVertex qv(double weight) {
+  QueryVertex v;
+  v.weight = weight;
+  return v;
+}
+
+TEST(QueryGraph, AddVertexAndEdge) {
+  QueryGraph g;
+  const auto a = g.add_vertex(qv(1.0));
+  const auto b = g.add_vertex(qv(2.0));
+  g.add_edge(a, b, 5.0);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.neighbors(a).size(), 1u);
+  EXPECT_EQ(g.neighbors(a)[0].to, b);
+  EXPECT_DOUBLE_EQ(g.neighbors(a)[0].weight, 5.0);
+  EXPECT_DOUBLE_EQ(g.neighbors(b)[0].weight, 5.0);  // symmetric
+}
+
+TEST(QueryGraph, AddEdgeAccumulates) {
+  QueryGraph g;
+  const auto a = g.add_vertex(qv(1));
+  const auto b = g.add_vertex(qv(1));
+  g.add_edge(a, b, 2.0);
+  g.add_edge(a, b, 3.0);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(a)[0].weight, 5.0);
+}
+
+TEST(QueryGraph, SetEdgeOverwrites) {
+  QueryGraph g;
+  const auto a = g.add_vertex(qv(1));
+  const auto b = g.add_vertex(qv(1));
+  g.set_edge(a, b, 2.0);
+  g.set_edge(a, b, 7.0);
+  EXPECT_DOUBLE_EQ(g.neighbors(a)[0].weight, 7.0);
+  EXPECT_DOUBLE_EQ(g.neighbors(b)[0].weight, 7.0);
+}
+
+TEST(QueryGraph, ZeroWeightEdgesIgnored) {
+  QueryGraph g;
+  const auto a = g.add_vertex(qv(1));
+  const auto b = g.add_vertex(qv(1));
+  g.add_edge(a, b, 0.0);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(QueryGraph, RejectsSelfEdge) {
+  QueryGraph g;
+  const auto a = g.add_vertex(qv(1));
+  EXPECT_THROW(g.add_edge(a, a, 1.0), std::invalid_argument);
+}
+
+TEST(QueryGraph, TotalQueryWeightSkipsNVertices) {
+  QueryGraph g;
+  g.add_vertex(qv(1.5));
+  QueryVertex n;
+  n.kind = QVertexKind::kNetwork;
+  n.weight = 100.0;  // should not count
+  g.add_vertex(n);
+  EXPECT_DOUBLE_EQ(g.total_query_weight(), 1.5);
+}
+
+TEST(QueryGraph, EnsureNetworkVertexIsIdempotent) {
+  QueryGraph g;
+  const auto a = g.ensure_network_vertex(NodeId{5});
+  const auto b = g.ensure_network_vertex(NodeId{5});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.find_network_vertex(NodeId{5}), a);
+  EXPECT_EQ(g.find_network_vertex(NodeId{6}), QueryGraph::kNone);
+}
+
+TEST(ProxyRates, AddMergeToward) {
+  ProxyRates a;
+  a.add(NodeId{1}, 2.0);
+  a.add(NodeId{1}, 3.0);
+  a.add(NodeId{2}, 1.0);
+  EXPECT_DOUBLE_EQ(a.toward(NodeId{1}), 5.0);
+  EXPECT_DOUBLE_EQ(a.toward(NodeId{3}), 0.0);
+  EXPECT_DOUBLE_EQ(a.total(), 6.0);
+  ProxyRates b;
+  b.add(NodeId{2}, 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.toward(NodeId{2}), 5.0);
+}
+
+}  // namespace
+}  // namespace cosmos::graph

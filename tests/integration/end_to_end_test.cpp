@@ -1,0 +1,142 @@
+// Whole-pipeline integration tests: workload -> coordinator tree ->
+// distribution -> cost evaluation -> adaptation, plus determinism.
+#include <gtest/gtest.h>
+
+#include "coord/hierarchy.h"
+#include "sim/baselines.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "sim/workload.h"
+
+namespace cosmos {
+namespace {
+
+struct World {
+  net::Topology topo;
+  net::Deployment deployment;
+  std::unique_ptr<coord::CoordinatorTree> tree;
+  std::unique_ptr<sim::WorkloadGenerator> workload;
+
+  explicit World(std::uint64_t seed) {
+    Rng rng{seed};
+    net::TransitStubParams tp;
+    tp.transit_domains = 3;
+    tp.transit_nodes_per_domain = 2;
+    tp.stub_domains_per_transit = 2;
+    tp.stub_nodes_per_domain = 18;
+    topo = net::make_transit_stub(tp, rng);
+    net::DeploymentParams dp;
+    dp.num_sources = 10;
+    dp.num_processors = 32;
+    deployment = net::make_deployment(topo, dp, rng);
+    tree = std::make_unique<coord::CoordinatorTree>(deployment, 4, rng);
+    sim::WorkloadParams wp;
+    wp.num_substreams = 1200;
+    wp.groups = 5;
+    wp.interest_min = 10;
+    wp.interest_max = 25;
+    workload = std::make_unique<sim::WorkloadGenerator>(deployment, wp,
+                                                        seed + 1);
+  }
+};
+
+TEST(EndToEnd, FullPipelineIsDeterministic) {
+  // Same seeds => byte-identical placements, costs and timings structure.
+  std::unordered_map<QueryId, NodeId> p1, p2;
+  double c1 = 0, c2 = 0;
+  for (int run = 0; run < 2; ++run) {
+    World w{123};
+    auto profiles = w.workload->make_queries(400);
+    coord::HierarchicalDistributor dist{w.deployment, *w.tree,
+                                        w.workload->space(),
+                                        coord::HierarchyParams{}, 77};
+    dist.distribute(profiles);
+    const sim::CostModel cost{w.topo, w.deployment};
+    std::unordered_map<QueryId, query::InterestProfile> pmap;
+    for (const auto& p : profiles) pmap.emplace(p.query, p);
+    const double c =
+        cost.pairwise_cost(dist.placement(), pmap, w.workload->space())
+            .total();
+    if (run == 0) {
+      p1 = dist.placement();
+      c1 = c;
+    } else {
+      p2 = dist.placement();
+      c2 = c;
+    }
+  }
+  EXPECT_EQ(p1, p2);
+  EXPECT_DOUBLE_EQ(c1, c2);
+}
+
+TEST(EndToEnd, DistributeInsertAdaptLifecycle) {
+  World w{5};
+  auto profiles = w.workload->make_queries(500);
+  coord::HierarchicalDistributor dist{w.deployment, *w.tree,
+                                      w.workload->space(),
+                                      coord::HierarchyParams{}, 9};
+  dist.distribute(profiles);
+  ASSERT_EQ(dist.placement().size(), 500u);
+
+  // Online phase: insert, remove, perturb, adapt.
+  const auto extra = w.workload->make_queries(100);
+  for (const auto& p : extra) dist.insert_query(p);
+  EXPECT_EQ(dist.placement().size(), 600u);
+  for (std::size_t i = 0; i < 50; ++i) dist.remove_query(profiles[i].query);
+  EXPECT_EQ(dist.placement().size(), 550u);
+
+  w.workload->perturb_rates(100, 3.0);
+  dist.refresh_statistics();
+  const auto report = dist.adapt();
+  EXPECT_EQ(dist.placement().size(), 550u);
+  EXPECT_LE(report.migrated_queries, 550u);
+  for (const auto& [q, node] : dist.placement()) {
+    EXPECT_TRUE(w.deployment.is_processor(node));
+  }
+}
+
+TEST(EndToEnd, HierarchicalWithinReachOfCentralized) {
+  // The decentralized scheme should stay within a modest factor of the
+  // centralized mapping on the paper's cost metric.
+  World w{31};
+  const auto profiles = w.workload->make_queries(600);
+  coord::HierarchicalDistributor dist{w.deployment, *w.tree,
+                                      w.workload->space(),
+                                      coord::HierarchyParams{}, 3};
+  dist.distribute(profiles);
+  Rng crng{4};
+  const auto central = sim::centralized_placement(
+      profiles, w.deployment, w.workload->space(), {}, {}, true, crng);
+  const sim::CostModel cost{w.topo, w.deployment};
+  std::unordered_map<QueryId, query::InterestProfile> pmap;
+  for (const auto& p : profiles) pmap.emplace(p.query, p);
+  const double hier =
+      cost.pairwise_cost(dist.placement(), pmap, w.workload->space()).total();
+  const double cen =
+      cost.pairwise_cost(central.placement, pmap, w.workload->space()).total();
+  EXPECT_LT(hier, 1.25 * cen);
+}
+
+// Property sweep: across seeds, the pipeline ends load-feasible within the
+// (1+alpha) cap at leaf granularity (allowing group-coarsening slack).
+class EndToEndProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EndToEndProperty, LoadStaysNearFairShare) {
+  World w{GetParam()};
+  const auto profiles = w.workload->make_queries(400);
+  coord::HierarchicalDistributor dist{w.deployment, *w.tree,
+                                      w.workload->space(),
+                                      coord::HierarchyParams{}, GetParam()};
+  dist.distribute(profiles);
+  const auto loads = dist.processor_loads();
+  double total = 0;
+  for (const double l : loads) total += l;
+  const double fair = total / static_cast<double>(loads.size());
+  for (const double l : loads) EXPECT_LE(l, 3.0 * fair);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace cosmos

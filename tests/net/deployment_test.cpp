@@ -1,0 +1,86 @@
+#include "net/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace cosmos::net {
+namespace {
+
+Topology small_topo(Rng& rng) {
+  TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_nodes_per_domain = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_nodes_per_domain = 12;
+  return make_transit_stub(p, rng);
+}
+
+TEST(Deployment, RolesAreDisjointAndCounted) {
+  Rng rng{1};
+  const auto topo = small_topo(rng);
+  DeploymentParams p;
+  p.num_sources = 10;
+  p.num_processors = 20;
+  const auto d = make_deployment(topo, p, rng);
+  EXPECT_EQ(d.sources.size(), 10u);
+  EXPECT_EQ(d.processors.size(), 20u);
+  for (const NodeId s : d.sources) {
+    EXPECT_TRUE(d.is_source(s));
+    EXPECT_FALSE(d.is_processor(s));
+  }
+  for (const NodeId pr : d.processors) EXPECT_TRUE(d.is_processor(pr));
+}
+
+TEST(Deployment, CapabilityOnProcessorsOnly) {
+  Rng rng{2};
+  const auto topo = small_topo(rng);
+  DeploymentParams p;
+  p.num_sources = 5;
+  p.num_processors = 8;
+  const auto d = make_deployment(topo, p, rng);
+  EXPECT_DOUBLE_EQ(d.total_capability(), 8.0);  // homogeneous c_i = 1
+  for (const NodeId s : d.sources) EXPECT_DOUBLE_EQ(d.capability[s.value()], 0.0);
+}
+
+TEST(Deployment, HeterogeneousCapabilityBand) {
+  Rng rng{3};
+  const auto topo = small_topo(rng);
+  DeploymentParams p;
+  p.num_sources = 2;
+  p.num_processors = 10;
+  p.capability_min = 1.0;
+  p.capability_max = 4.0;
+  const auto d = make_deployment(topo, p, rng);
+  for (const NodeId pr : d.processors) {
+    EXPECT_GE(d.capability[pr.value()], 1.0);
+    EXPECT_LE(d.capability[pr.value()], 4.0);
+  }
+}
+
+TEST(Deployment, LatencyMatrixCoversRoles) {
+  Rng rng{4};
+  const auto topo = small_topo(rng);
+  DeploymentParams p;
+  p.num_sources = 3;
+  p.num_processors = 6;
+  const auto d = make_deployment(topo, p, rng);
+  for (const NodeId s : d.sources) EXPECT_TRUE(d.latencies.contains(s));
+  for (const NodeId pr : d.processors) EXPECT_TRUE(d.latencies.contains(pr));
+  EXPECT_GT(d.latencies.latency(d.sources[0], d.processors[0]), 0.0);
+}
+
+TEST(Deployment, RejectsOversizedRoles) {
+  Rng rng{5};
+  Topology t{4};
+  t.add_edge(NodeId{0}, NodeId{1}, 1.0);
+  t.add_edge(NodeId{1}, NodeId{2}, 1.0);
+  t.add_edge(NodeId{2}, NodeId{3}, 1.0);
+  DeploymentParams p;
+  p.num_sources = 3;
+  p.num_processors = 3;
+  EXPECT_THROW(make_deployment(t, p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::net

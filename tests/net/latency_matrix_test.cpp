@@ -1,0 +1,60 @@
+#include "net/latency_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::net {
+namespace {
+
+Topology triangle() {
+  Topology t{4};
+  t.add_edge(NodeId{0}, NodeId{1}, 1.0);
+  t.add_edge(NodeId{1}, NodeId{2}, 2.0);
+  t.add_edge(NodeId{0}, NodeId{2}, 10.0);
+  t.add_edge(NodeId{2}, NodeId{3}, 1.0);
+  return t;
+}
+
+TEST(LatencyMatrix, UsesShortestPaths) {
+  const auto t = triangle();
+  LatencyMatrix m{t, {NodeId{0}, NodeId{2}}};
+  EXPECT_DOUBLE_EQ(m.latency(NodeId{0}, NodeId{2}), 3.0);  // via node 1
+  EXPECT_DOUBLE_EQ(m.latency(NodeId{0}, NodeId{0}), 0.0);
+}
+
+TEST(LatencyMatrix, Symmetric) {
+  const auto t = triangle();
+  LatencyMatrix m{t, {NodeId{0}, NodeId{2}, NodeId{3}}};
+  EXPECT_DOUBLE_EQ(m.latency(NodeId{0}, NodeId{3}),
+                   m.latency(NodeId{3}, NodeId{0}));
+}
+
+TEST(LatencyMatrix, RejectsNonMembers) {
+  const auto t = triangle();
+  LatencyMatrix m{t, {NodeId{0}, NodeId{2}}};
+  EXPECT_THROW(m.latency(NodeId{0}, NodeId{1}), std::invalid_argument);
+  EXPECT_FALSE(m.contains(NodeId{1}));
+  EXPECT_TRUE(m.contains(NodeId{2}));
+}
+
+TEST(LatencyMatrix, RejectsDuplicatesAndOutOfRange) {
+  const auto t = triangle();
+  EXPECT_THROW(LatencyMatrix(t, {NodeId{0}, NodeId{0}}),
+               std::invalid_argument);
+  EXPECT_THROW(LatencyMatrix(t, {NodeId{0}, NodeId{77}}),
+               std::invalid_argument);
+}
+
+TEST(LatencyMatrix, MedianMinimizesTotalLatency) {
+  // Line 0 -1- 1 -1- 2 -1- 3: median of {0,1,3} is 1
+  Topology t{4};
+  t.add_edge(NodeId{0}, NodeId{1}, 1.0);
+  t.add_edge(NodeId{1}, NodeId{2}, 1.0);
+  t.add_edge(NodeId{2}, NodeId{3}, 1.0);
+  LatencyMatrix m{t, {NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}}};
+  EXPECT_EQ(m.median({NodeId{0}, NodeId{1}, NodeId{3}}), NodeId{1});
+  EXPECT_EQ(m.median({NodeId{3}}), NodeId{3});
+  EXPECT_THROW(m.median({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::net

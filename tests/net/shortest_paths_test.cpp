@@ -1,0 +1,105 @@
+#include "net/shortest_paths.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace cosmos::net {
+namespace {
+
+Topology line(std::size_t n, double lat = 1.0) {
+  Topology t{n};
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(NodeId{static_cast<NodeId::value_type>(i)},
+               NodeId{static_cast<NodeId::value_type>(i + 1)}, lat);
+  }
+  return t;
+}
+
+TEST(Dijkstra, LineGraphDistances) {
+  const auto t = line(5, 2.0);
+  const auto tree = dijkstra(t, NodeId{0});
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(tree.dist[i], 2.0 * static_cast<double>(i));
+  }
+}
+
+TEST(Dijkstra, PicksShorterOfTwoRoutes) {
+  Topology t{4};
+  t.add_edge(NodeId{0}, NodeId{1}, 1.0);
+  t.add_edge(NodeId{1}, NodeId{3}, 1.0);
+  t.add_edge(NodeId{0}, NodeId{2}, 5.0);
+  t.add_edge(NodeId{2}, NodeId{3}, 5.0);
+  const auto tree = dijkstra(t, NodeId{0});
+  EXPECT_DOUBLE_EQ(tree.dist[3], 2.0);
+  const auto path = tree.path_to(NodeId{3});
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], NodeId{0});
+  EXPECT_EQ(path[1], NodeId{1});
+  EXPECT_EQ(path[2], NodeId{3});
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  Topology t{3};
+  t.add_edge(NodeId{0}, NodeId{1}, 1.0);
+  const auto tree = dijkstra(t, NodeId{0});
+  EXPECT_EQ(tree.dist[2], std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(tree.path_to(NodeId{2}).empty());
+}
+
+TEST(Dijkstra, SourcePathIsItself) {
+  const auto t = line(3);
+  const auto tree = dijkstra(t, NodeId{1});
+  EXPECT_DOUBLE_EQ(tree.dist[1], 0.0);
+  const auto path = tree.path_to(NodeId{1});
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], NodeId{1});
+}
+
+TEST(Dijkstra, RejectsBadSource) {
+  const auto t = line(3);
+  EXPECT_THROW(dijkstra(t, NodeId{99}), std::invalid_argument);
+}
+
+// Property: triangle inequality holds over random graphs.
+class DijkstraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraProperty, TriangleInequality) {
+  Rng rng{GetParam()};
+  const std::size_t n = 30;
+  Topology t{n};
+  // Random connected graph: spanning chain + chords.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.add_edge(NodeId{static_cast<NodeId::value_type>(i)},
+               NodeId{static_cast<NodeId::value_type>(i + 1)},
+               rng.next_double(1.0, 10.0));
+  }
+  for (int c = 0; c < 30; ++c) {
+    const auto a = static_cast<NodeId::value_type>(rng.next_below(n));
+    const auto b = static_cast<NodeId::value_type>(rng.next_below(n));
+    if (a != b && !t.has_edge(NodeId{a}, NodeId{b})) {
+      t.add_edge(NodeId{a}, NodeId{b}, rng.next_double(1.0, 10.0));
+    }
+  }
+  std::vector<ShortestPathTree> trees;
+  for (std::size_t i = 0; i < n; ++i) {
+    trees.push_back(dijkstra(t, NodeId{static_cast<NodeId::value_type>(i)}));
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_NEAR(trees[a].dist[b], trees[b].dist[a], 1e-9);  // symmetry
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_LE(trees[a].dist[b],
+                  trees[a].dist[c] + trees[c].dist[b] + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cosmos::net

@@ -1,0 +1,128 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::net {
+namespace {
+
+TEST(Topology, AddEdgeIsSymmetric) {
+  Topology t{3};
+  t.add_edge(NodeId{0}, NodeId{1}, 5.0);
+  EXPECT_TRUE(t.has_edge(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(t.has_edge(NodeId{1}, NodeId{0}));
+  EXPECT_FALSE(t.has_edge(NodeId{0}, NodeId{2}));
+  EXPECT_EQ(t.edge_count(), 1u);
+}
+
+TEST(Topology, RejectsBadEdges) {
+  Topology t{2};
+  EXPECT_THROW(t.add_edge(NodeId{0}, NodeId{0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_edge(NodeId{0}, NodeId{5}, 1.0), std::invalid_argument);
+  EXPECT_THROW(t.add_edge(NodeId{0}, NodeId{1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(t.add_edge(NodeId{0}, NodeId{1}, -3.0), std::invalid_argument);
+}
+
+TEST(Topology, DuplicateEdgeIsIgnored) {
+  Topology t{2};
+  t.add_edge(NodeId{0}, NodeId{1}, 5.0);
+  t.add_edge(NodeId{0}, NodeId{1}, 9.0);
+  EXPECT_EQ(t.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.neighbors(NodeId{0}).front().latency_ms, 5.0);
+}
+
+TEST(Topology, ConnectedDetection) {
+  Topology t{4};
+  t.add_edge(NodeId{0}, NodeId{1}, 1.0);
+  t.add_edge(NodeId{2}, NodeId{3}, 1.0);
+  EXPECT_FALSE(t.connected());
+  t.add_edge(NodeId{1}, NodeId{2}, 1.0);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(TransitStub, ProducesRequestedNodeCount) {
+  TransitStubParams p;
+  EXPECT_EQ(p.total_nodes(), 4096u);  // paper's configuration
+  Rng rng{1};
+  const Topology t = make_transit_stub(p, rng);
+  EXPECT_EQ(t.node_count(), 4096u);
+}
+
+TEST(TransitStub, IsConnected) {
+  TransitStubParams p;
+  p.transit_domains = 3;
+  p.transit_nodes_per_domain = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_nodes_per_domain = 10;
+  Rng rng{2};
+  EXPECT_TRUE(make_transit_stub(p, rng).connected());
+}
+
+TEST(TransitStub, DeterministicForSeed) {
+  TransitStubParams p;
+  p.transit_domains = 2;
+  p.transit_nodes_per_domain = 2;
+  p.stub_domains_per_transit = 2;
+  p.stub_nodes_per_domain = 5;
+  Rng a{3}, b{3};
+  const Topology ta = make_transit_stub(p, a);
+  const Topology tb = make_transit_stub(p, b);
+  EXPECT_EQ(ta.edge_count(), tb.edge_count());
+  for (std::size_t i = 0; i < ta.node_count(); ++i) {
+    ASSERT_EQ(ta.neighbors(NodeId{static_cast<NodeId::value_type>(i)}).size(),
+              tb.neighbors(NodeId{static_cast<NodeId::value_type>(i)}).size());
+  }
+}
+
+TEST(TransitStub, StubLinksFasterThanInterTransit) {
+  TransitStubParams p;
+  Rng rng{4};
+  const Topology t = make_transit_stub(p, rng);
+  const std::size_t transit_total =
+      p.transit_domains * p.transit_nodes_per_domain;
+  // Stub-internal links must sit in the configured band.
+  for (std::size_t u = transit_total; u < t.node_count(); ++u) {
+    for (const auto& e : t.neighbors(NodeId{static_cast<NodeId::value_type>(u)})) {
+      if (e.to.value() >= transit_total) {
+        EXPECT_LE(e.latency_ms, p.intra_stub_lat_max);
+      }
+    }
+  }
+}
+
+TEST(WideAreaMesh, FullyConnectedAndSited) {
+  Rng rng{5};
+  const Topology t = make_wide_area_mesh(12, 4, rng);
+  EXPECT_EQ(t.node_count(), 12u);
+  EXPECT_EQ(t.edge_count(), 12u * 11u / 2);
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(WideAreaMesh, IntraSiteFasterThanInterSite) {
+  Rng rng{6};
+  const Topology t = make_wide_area_mesh(20, 5, rng);
+  // Nodes i and i+5 share a site (round-robin assignment).
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (const auto& e : t.neighbors(NodeId{0})) {
+    if (e.to.value() % 5 == 0) {
+      intra += e.latency_ms;
+      ++n_intra;
+    } else {
+      inter += e.latency_ms;
+      ++n_inter;
+    }
+  }
+  ASSERT_GT(n_intra, 0);
+  ASSERT_GT(n_inter, 0);
+  EXPECT_LT(intra / n_intra, inter / n_inter);
+}
+
+TEST(WideAreaMesh, RejectsBadParams) {
+  Rng rng{7};
+  EXPECT_THROW(make_wide_area_mesh(0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(make_wide_area_mesh(5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(make_wide_area_mesh(5, 6, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::net

@@ -1,0 +1,107 @@
+#include "opplace/operator_placement.h"
+
+#include <gtest/gtest.h>
+
+#include "cql/parser.h"
+#include "net/topology.h"
+#include "sim/sensor_trace.h"
+
+namespace cosmos::opplace {
+namespace {
+
+struct Fixture {
+  net::Topology topo{5};
+  std::vector<NodeId> all{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3},
+                          NodeId{4}};
+  net::LatencyMatrix lat;
+  std::map<std::string, SourceStream> sources;
+  std::vector<NodeId> processors{NodeId{1}, NodeId{2}, NodeId{3}, NodeId{4}};
+
+  Fixture() {
+    topo.add_edge(NodeId{0}, NodeId{1}, 5.0);
+    topo.add_edge(NodeId{1}, NodeId{2}, 50.0);
+    topo.add_edge(NodeId{2}, NodeId{3}, 5.0);
+    topo.add_edge(NodeId{3}, NodeId{4}, 5.0);
+    lat = net::LatencyMatrix{topo, all};
+    sources.emplace("Station1",
+                    SourceStream{NodeId{0}, sim::sensor_schema()});
+    sources.emplace("Station2",
+                    SourceStream{NodeId{0}, sim::sensor_schema()});
+  }
+};
+
+query::QuerySpec join_query(QueryId id, NodeId proxy, int threshold) {
+  return cql::parse_query(
+      "SELECT S1.snowHeight, S2.snowHeight FROM Station1 [Range 30 Minutes] "
+      "S1, Station2 [Now] S2 WHERE S1.snowHeight > S2.snowHeight AND "
+      "S1.snowHeight >= " +
+          std::to_string(threshold),
+      id, proxy);
+}
+
+TEST(OperatorPlacement, SharesIdenticalSelections) {
+  Fixture f;
+  OperatorPlacementSystem sys{f.sources, f.processors, f.lat};
+  // Two queries with identical selections => shared signatures.
+  std::vector<query::QuerySpec> qs{join_query(QueryId{0}, NodeId{3}, 10),
+                                   join_query(QueryId{1}, NodeId{4}, 10)};
+  Rng rng{1};
+  sys.deploy(qs, rng);
+  // Station1 selection (>=10) shared; Station2 has no selection (TRUE),
+  // also shared: exactly 2 signatures, not 4.
+  EXPECT_EQ(sys.stats().selection_signatures, 2u);
+  EXPECT_EQ(sys.stats().evaluation_ops, 2u);
+}
+
+TEST(OperatorPlacement, DistinctSelectionsNotShared) {
+  Fixture f;
+  OperatorPlacementSystem sys{f.sources, f.processors, f.lat};
+  std::vector<query::QuerySpec> qs{join_query(QueryId{0}, NodeId{3}, 10),
+                                   join_query(QueryId{1}, NodeId{4}, 20)};
+  Rng rng{2};
+  sys.deploy(qs, rng);
+  EXPECT_EQ(sys.stats().selection_signatures, 3u);
+}
+
+TEST(OperatorPlacement, ProducesResultsAndTraffic) {
+  Fixture f;
+  OperatorPlacementSystem sys{f.sources, f.processors, f.lat};
+  std::vector<query::QuerySpec> qs{join_query(QueryId{0}, NodeId{3}, 5)};
+  Rng rng{3};
+  sys.deploy(qs, rng);
+  sim::SensorTraceParams tp;
+  tp.stations = 2;
+  tp.readings_per_station = 100;
+  Rng trng{8};
+  for (const auto& r : sim::make_sensor_trace(tp, trng)) {
+    sys.push(sim::station_stream_name(r.station), r.tuple);
+  }
+  EXPECT_GT(sys.results_delivered(), 0u);
+  EXPECT_GT(sys.traffic().bytes, 0.0);
+  EXPECT_GT(sys.traffic().weighted_cost, 0.0);
+  EXPECT_TRUE(f.lat.contains(sys.host_of(QueryId{0})));
+}
+
+TEST(OperatorPlacement, OptimizerTimeReported) {
+  Fixture f;
+  OperatorPlacementSystem sys{f.sources, f.processors, f.lat};
+  std::vector<query::QuerySpec> qs;
+  for (int i = 0; i < 50; ++i) {
+    qs.push_back(join_query(QueryId{static_cast<QueryId::value_type>(i)},
+                            f.processors[i % 4], 5 + i % 20));
+  }
+  Rng rng{4};
+  sys.deploy(qs, rng);
+  EXPECT_GT(sys.stats().optimize_seconds, 0.0);
+  EXPECT_EQ(sys.stats().evaluation_ops, 50u);
+}
+
+TEST(OperatorPlacement, UnknownStreamThrows) {
+  Fixture f;
+  OperatorPlacementSystem sys{f.sources, f.processors, f.lat};
+  stream::Tuple t{0, {stream::Value{1.0}}};
+  EXPECT_THROW(sys.push("nope", t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::opplace

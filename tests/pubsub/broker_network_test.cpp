@@ -1,0 +1,158 @@
+#include "pubsub/broker_network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/sensor_trace.h"
+
+namespace cosmos::pubsub {
+namespace {
+
+struct Fixture {
+  net::Topology topo{4};
+  std::vector<NodeId> all{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}};
+  net::LatencyMatrix lat;
+
+  Fixture() {
+    // Line 0 -10- 1 -100- 2 -10- 3.
+    topo.add_edge(NodeId{0}, NodeId{1}, 10.0);
+    topo.add_edge(NodeId{1}, NodeId{2}, 100.0);
+    topo.add_edge(NodeId{2}, NodeId{3}, 10.0);
+    lat = net::LatencyMatrix{topo, all};
+  }
+
+  static stream::Tuple reading(stream::Timestamp ts, double height) {
+    return {ts,
+            {stream::Value{height}, stream::Value{-3.0},
+             stream::Value{std::int64_t{0}}, stream::Value{ts}}};
+  }
+};
+
+TEST(BrokerNetwork, DeliversToMatchingSubscriber) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  Subscription sub;
+  sub.subscriber = NodeId{3};
+  sub.streams = {"S"};
+  sub.filter = stream::Predicate::cmp({"", "snowHeight"}, stream::CmpOp::kGe,
+                                      stream::Value{10.0});
+  net.subscribe(std::move(sub));
+
+  int delivered = 0;
+  net.publish("S", Fixture::reading(1, 20.0),
+              [&](const Subscription&, const Message&) { ++delivered; });
+  net.publish("S", Fixture::reading(2, 5.0),
+              [&](const Subscription&, const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 1);  // early filtering dropped the second tuple
+}
+
+TEST(BrokerNetwork, FilteredTuplesGenerateNoTraffic) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  Subscription sub;
+  sub.subscriber = NodeId{3};
+  sub.streams = {"S"};
+  sub.filter = stream::Predicate::cmp({"", "snowHeight"}, stream::CmpOp::kGe,
+                                      stream::Value{10.0});
+  net.subscribe(std::move(sub));
+  net.publish("S", Fixture::reading(1, 5.0),
+              [](const Subscription&, const Message&) {});
+  EXPECT_EQ(net.traffic().bytes, 0.0);
+}
+
+TEST(BrokerNetwork, SharedLinkCountedOnce) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  for (const NodeId n : {NodeId{2}, NodeId{3}}) {
+    Subscription sub;
+    sub.subscriber = n;
+    sub.streams = {"S"};
+    net.subscribe(std::move(sub));
+  }
+  int delivered = 0;
+  net.publish("S", Fixture::reading(1, 20.0),
+              [&](const Subscription&, const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 2);
+  // Links used: 0-1, 1-2, 2-3 = exactly 3 messages (not 5 as unicast).
+  EXPECT_EQ(net.traffic().messages_sent, 3u);
+}
+
+TEST(BrokerNetwork, ProjectionShrinksTraffic) {
+  Fixture f;
+  BrokerNetwork net1{f.all, f.lat};
+  net1.advertise("S", NodeId{0}, sim::sensor_schema());
+  Subscription all_attrs;
+  all_attrs.subscriber = NodeId{3};
+  all_attrs.streams = {"S"};
+  net1.subscribe(std::move(all_attrs));
+  net1.publish("S", Fixture::reading(1, 20.0),
+               [](const Subscription&, const Message&) {});
+
+  BrokerNetwork net2{f.all, f.lat};
+  net2.advertise("S", NodeId{0}, sim::sensor_schema());
+  Subscription one_attr;
+  one_attr.subscriber = NodeId{3};
+  one_attr.streams = {"S"};
+  one_attr.projection = {"snowHeight"};
+  net2.subscribe(std::move(one_attr));
+  net2.publish("S", Fixture::reading(1, 20.0),
+               [](const Subscription&, const Message&) {});
+  EXPECT_LT(net2.traffic().bytes, net1.traffic().bytes);
+}
+
+TEST(BrokerNetwork, UnsubscribeStopsDelivery) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  Subscription sub;
+  sub.subscriber = NodeId{2};
+  sub.streams = {"S"};
+  const auto id = net.subscribe(std::move(sub));
+  net.unsubscribe(id);
+  int delivered = 0;
+  net.publish("S", Fixture::reading(1, 20.0),
+              [&](const Subscription&, const Message&) { ++delivered; });
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(BrokerNetwork, RejectsUnknowns) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  EXPECT_THROW(net.publish("nope", Fixture::reading(1, 1.0),
+                           [](const Subscription&, const Message&) {}),
+               std::invalid_argument);
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  EXPECT_THROW(net.advertise("S", NodeId{1}, sim::sensor_schema()),
+               std::invalid_argument);
+  EXPECT_THROW(net.schema("other"), std::out_of_range);
+}
+
+TEST(Subscription, CoversRelation) {
+  Subscription wide;
+  wide.streams = {"A", "B"};
+  wide.filter = stream::Predicate::cmp({"", "x"}, stream::CmpOp::kGt,
+                                       stream::Value{1});
+  Subscription narrow;
+  narrow.streams = {"A"};
+  narrow.filter = stream::Predicate::conj(
+      {stream::Predicate::cmp({"", "x"}, stream::CmpOp::kGt,
+                              stream::Value{1}),
+       stream::Predicate::cmp({"", "y"}, stream::CmpOp::kLt,
+                              stream::Value{5})});
+  EXPECT_TRUE(covers(wide, narrow));
+  EXPECT_FALSE(covers(narrow, wide));
+  EXPECT_TRUE(covers(wide, wide));
+}
+
+TEST(Subscription, MessageBytes) {
+  const auto schema = sim::sensor_schema();
+  Message m{"S", &schema, Fixture::reading(1, 20.0)};
+  EXPECT_DOUBLE_EQ(message_bytes(m, {}), 16.0 + 4 * 8.0);
+  EXPECT_DOUBLE_EQ(message_bytes(m, {"snowHeight"}), 16.0 + 8.0);
+}
+
+}  // namespace
+}  // namespace cosmos::pubsub

@@ -1,0 +1,84 @@
+#include "query/interest.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::query {
+namespace {
+
+SubstreamSpace small_space() {
+  // 4 substreams: two at node 1, two at node 2.
+  return SubstreamSpace{{NodeId{1}, NodeId{1}, NodeId{2}, NodeId{2}},
+                        {1.0, 2.0, 4.0, 8.0}};
+}
+
+TEST(SubstreamSpace, Accessors) {
+  const auto s = small_space();
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.origin(SubstreamId{0}), NodeId{1});
+  EXPECT_EQ(s.origin(SubstreamId{3}), NodeId{2});
+  EXPECT_DOUBLE_EQ(s.rate(SubstreamId{1}), 2.0);
+}
+
+TEST(SubstreamSpace, RejectsMalformedInput) {
+  EXPECT_THROW(SubstreamSpace({NodeId{1}}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(SubstreamSpace({NodeId{1}}, {-1.0}), std::invalid_argument);
+}
+
+TEST(SubstreamSpace, SetRate) {
+  auto s = small_space();
+  s.set_rate(SubstreamId{0}, 10.0);
+  EXPECT_DOUBLE_EQ(s.rate(SubstreamId{0}), 10.0);
+  EXPECT_THROW(s.set_rate(SubstreamId{0}, -1.0), std::invalid_argument);
+}
+
+TEST(InterestProfile, InputRateSumsSelectedRates) {
+  const auto s = small_space();
+  InterestProfile p;
+  p.interest = BitVector{4};
+  p.interest.set(1);
+  p.interest.set(3);
+  EXPECT_DOUBLE_EQ(p.input_rate(s), 10.0);
+}
+
+TEST(InterestProfile, OverlapRate) {
+  const auto s = small_space();
+  InterestProfile a, b;
+  a.interest = BitVector{4};
+  b.interest = BitVector{4};
+  a.interest.set(0);
+  a.interest.set(2);
+  b.interest.set(2);
+  b.interest.set(3);
+  EXPECT_DOUBLE_EQ(a.overlap_rate(b, s), 4.0);
+  EXPECT_DOUBLE_EQ(b.overlap_rate(a, s), 4.0);  // symmetric
+}
+
+TEST(InterestProfile, RateBySourceGroupsByOrigin) {
+  const auto s = small_space();
+  InterestProfile p;
+  p.interest = BitVector{4};
+  p.interest.set(0);
+  p.interest.set(1);
+  p.interest.set(2);
+  const auto by_source = p.rate_by_source(s);
+  ASSERT_EQ(by_source.size(), 2u);
+  EXPECT_EQ(by_source[0].first, NodeId{1});
+  EXPECT_DOUBLE_EQ(by_source[0].second, 3.0);
+  EXPECT_EQ(by_source[1].first, NodeId{2});
+  EXPECT_DOUBLE_EQ(by_source[1].second, 4.0);
+}
+
+TEST(InterestProfile, RefreshLoadTracksRates) {
+  auto s = small_space();
+  InterestProfile p;
+  p.interest = BitVector{4};
+  p.interest.set(3);
+  refresh_load(p, s);
+  EXPECT_DOUBLE_EQ(p.load, kLoadPerByteRate * 8.0);
+  s.set_rate(SubstreamId{3}, 16.0);
+  refresh_load(p, s);
+  EXPECT_DOUBLE_EQ(p.load, kLoadPerByteRate * 16.0);
+}
+
+}  // namespace
+}  // namespace cosmos::query

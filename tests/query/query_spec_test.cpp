@@ -1,0 +1,72 @@
+#include "query/query_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::query {
+namespace {
+
+using stream::Predicate;
+using stream::WindowSpec;
+
+QuerySpec valid_spec() {
+  QuerySpec q;
+  q.sources = {{"S", "S1", WindowSpec::now()}};
+  q.select_all = true;
+  return q;
+}
+
+TEST(QuerySpec, ValidPasses) { EXPECT_NO_THROW(validate(valid_spec())); }
+
+TEST(QuerySpec, RejectsNoSources) {
+  auto q = valid_spec();
+  q.sources.clear();
+  EXPECT_THROW(validate(q), std::invalid_argument);
+}
+
+TEST(QuerySpec, RejectsDuplicateAliases) {
+  auto q = valid_spec();
+  q.sources.push_back({"T", "S1", WindowSpec::now()});
+  EXPECT_THROW(validate(q), std::invalid_argument);
+}
+
+TEST(QuerySpec, RejectsEmptySelect) {
+  auto q = valid_spec();
+  q.select_all = false;
+  EXPECT_THROW(validate(q), std::invalid_argument);
+}
+
+TEST(QuerySpec, RejectsUnknownSelectAlias) {
+  auto q = valid_spec();
+  q.select_all = false;
+  q.select = {{"ZZ", "x"}};
+  EXPECT_THROW(validate(q), std::invalid_argument);
+}
+
+TEST(QuerySpec, RejectsNonPositiveRange) {
+  auto q = valid_spec();
+  q.sources[0].window = stream::WindowSpec{stream::WindowSpec::Kind::kRange, 0};
+  EXPECT_THROW(validate(q), std::invalid_argument);
+}
+
+TEST(QuerySpec, SourceByAlias) {
+  auto q = valid_spec();
+  EXPECT_NE(q.source_by_alias("S1"), nullptr);
+  EXPECT_EQ(q.source_by_alias("S2"), nullptr);
+}
+
+TEST(QuerySpec, ToCqlRendersAllClauses) {
+  QuerySpec q;
+  q.sources = {{"Station1", "S1", WindowSpec::range_millis(3'600'000)},
+               {"Station2", "S2", WindowSpec::now()}};
+  q.select = {{"S2", ""}, {"S1", "snowHeight"}};
+  q.where = Predicate::cmp({"S1", "snowHeight"}, stream::CmpOp::kGt,
+                           stream::FieldRef{"S2", "snowHeight"});
+  const auto text = q.to_cql();
+  EXPECT_NE(text.find("SELECT S2.*, S1.snowHeight"), std::string::npos);
+  EXPECT_NE(text.find("Station1 [Range 1 Hour] S1"), std::string::npos);
+  EXPECT_NE(text.find("WHERE S1.snowHeight > S2.snowHeight"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cosmos::query

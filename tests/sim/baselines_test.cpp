@@ -1,0 +1,112 @@
+#include "sim/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "sim/cost_model.h"
+#include "sim/workload.h"
+
+namespace cosmos::sim {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  net::Deployment deployment;
+  std::unique_ptr<WorkloadGenerator> workload;
+
+  explicit Fixture(std::uint64_t seed) {
+    Rng rng{seed};
+    net::TransitStubParams tp;
+    tp.transit_domains = 2;
+    tp.transit_nodes_per_domain = 2;
+    tp.stub_domains_per_transit = 2;
+    tp.stub_nodes_per_domain = 12;
+    topo = net::make_transit_stub(tp, rng);
+    net::DeploymentParams dp;
+    dp.num_sources = 6;
+    dp.num_processors = 16;
+    deployment = net::make_deployment(topo, dp, rng);
+    WorkloadParams wp;
+    wp.num_substreams = 1500;  // sparse subscribership: placement matters
+    wp.groups = 4;
+    wp.interest_min = 10;
+    wp.interest_max = 20;
+    workload = std::make_unique<WorkloadGenerator>(deployment, wp, seed + 1);
+  }
+};
+
+TEST(Baselines, NaivePlacesAtProxy) {
+  Fixture f{1};
+  const auto profiles = f.workload->make_queries(30);
+  const auto placement = naive_placement(profiles);
+  for (const auto& p : profiles) {
+    EXPECT_EQ(placement.at(p.query), p.proxy);
+  }
+}
+
+TEST(Baselines, RandomPlacesOnProcessors) {
+  Fixture f{2};
+  const auto profiles = f.workload->make_queries(50);
+  Rng rng{3};
+  const auto placement = random_placement(profiles, f.deployment, rng);
+  EXPECT_EQ(placement.size(), 50u);
+  for (const auto& [q, node] : placement) {
+    EXPECT_TRUE(f.deployment.is_processor(node));
+  }
+}
+
+TEST(Baselines, CentralizedPlacesAllAndReportsWec) {
+  Fixture f{4};
+  const auto profiles = f.workload->make_queries(120);
+  Rng rng{5};
+  const auto result = centralized_placement(profiles, f.deployment,
+                                            f.workload->space(), {}, {},
+                                            /*refine=*/true, rng);
+  EXPECT_EQ(result.placement.size(), 120u);
+  EXPECT_GT(result.wec, 0.0);
+  EXPECT_GT(result.seconds, 0.0);
+  for (const auto& [q, node] : result.placement) {
+    EXPECT_TRUE(f.deployment.is_processor(node));
+  }
+}
+
+TEST(Baselines, RefinementNotWorseThanGreedy) {
+  Fixture f{6};
+  const auto profiles = f.workload->make_queries(150);
+  Rng r1{7}, r2{7};
+  const auto greedy = centralized_placement(profiles, f.deployment,
+                                            f.workload->space(), {}, {},
+                                            /*refine=*/false, r1);
+  const auto refined = centralized_placement(profiles, f.deployment,
+                                             f.workload->space(), {}, {},
+                                             /*refine=*/true, r2);
+  EXPECT_LE(refined.wec, greedy.wec + 1e-9);
+}
+
+TEST(Baselines, OrderingOnTrueCommunicationCost) {
+  // The paper's Fig 6(a) ordering: Naive >= Greedy >= Centralized, on the
+  // true shared-multicast cost.
+  Fixture f{8};
+  const auto profiles = f.workload->make_queries(200);
+  std::unordered_map<QueryId, query::InterestProfile> pmap;
+  for (const auto& p : profiles) pmap.emplace(p.query, p);
+  const CostModel cost{f.topo, f.deployment};
+  const auto eval = [&](const Placement& pl) {
+    return cost.pairwise_cost(pl, pmap, f.workload->space()).total();
+  };
+  Rng r1{9}, r2{9};
+  const double naive = eval(naive_placement(profiles));
+  const double greedy =
+      eval(centralized_placement(profiles, f.deployment, f.workload->space(),
+                                 {}, {}, false, r1)
+               .placement);
+  const double refined =
+      eval(centralized_placement(profiles, f.deployment, f.workload->space(),
+                                 {}, {}, true, r2)
+               .placement);
+  EXPECT_LT(greedy, naive);
+  EXPECT_LE(refined, greedy * 1.05);  // refinement targets WEC, allow noise
+}
+
+}  // namespace
+}  // namespace cosmos::sim

@@ -1,0 +1,115 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::sim {
+namespace {
+
+/// Hand-built line topology: src(0) - r(1) - p2 - p3, all links 1 ms.
+struct LineFixture {
+  net::Topology topo{4};
+  net::Deployment deployment;
+  query::SubstreamSpace space{{NodeId{0}, NodeId{0}}, {10.0, 5.0}};
+
+  LineFixture() {
+    topo.add_edge(NodeId{0}, NodeId{1}, 1.0);
+    topo.add_edge(NodeId{1}, NodeId{2}, 1.0);
+    topo.add_edge(NodeId{2}, NodeId{3}, 1.0);
+    deployment.role = {net::NodeRole::kSource, net::NodeRole::kRouter,
+                       net::NodeRole::kProcessor, net::NodeRole::kProcessor};
+    deployment.sources = {NodeId{0}};
+    deployment.processors = {NodeId{2}, NodeId{3}};
+    deployment.capability = {0, 0, 1, 1};
+    deployment.latencies = net::LatencyMatrix{
+        topo, {NodeId{0}, NodeId{2}, NodeId{3}}};
+  }
+
+  query::InterestProfile profile(QueryId id, std::initializer_list<int> bits,
+                                 NodeId proxy, double out) const {
+    query::InterestProfile p;
+    p.query = id;
+    p.proxy = proxy;
+    p.interest = BitVector{2};
+    for (const int b : bits) p.interest.set(static_cast<std::size_t>(b));
+    p.output_rate = out;
+    return p;
+  }
+};
+
+TEST(CostModel, SingleQuerySingleSubstream) {
+  LineFixture f;
+  CostModel cost{f.topo, f.deployment};
+  std::unordered_map<QueryId, NodeId> placement{{QueryId{0}, NodeId{2}}};
+  std::unordered_map<QueryId, query::InterestProfile> profiles{
+      {QueryId{0}, f.profile(QueryId{0}, {0}, NodeId{2}, 1.0)}};
+  const auto b = cost.communication_cost(placement, profiles, f.space);
+  // Substream 0 (rate 10) travels 0 -> 2: latency 2ms.
+  EXPECT_DOUBLE_EQ(b.source_cost, 20.0);
+  EXPECT_DOUBLE_EQ(b.result_cost, 0.0);  // local proxy
+  EXPECT_DOUBLE_EQ(b.total(), 20.0);
+}
+
+TEST(CostModel, SharedSubstreamCountedOncePerLink) {
+  LineFixture f;
+  CostModel cost{f.topo, f.deployment};
+  // Two queries on both processors, same substream: path 0->3 covers 0->2,
+  // so the shared prefix is charged once: 3 links total, not 5.
+  std::unordered_map<QueryId, NodeId> placement{{QueryId{0}, NodeId{2}},
+                                                {QueryId{1}, NodeId{3}}};
+  std::unordered_map<QueryId, query::InterestProfile> profiles{
+      {QueryId{0}, f.profile(QueryId{0}, {0}, NodeId{2}, 0.0)},
+      {QueryId{1}, f.profile(QueryId{1}, {0}, NodeId{3}, 0.0)}};
+  const auto b = cost.communication_cost(placement, profiles, f.space);
+  EXPECT_DOUBLE_EQ(b.source_cost, 30.0);  // 10 B/s * 3 ms of links
+}
+
+TEST(CostModel, ColocationEliminatesDuplicateTransfer) {
+  LineFixture f;
+  CostModel cost{f.topo, f.deployment};
+  std::unordered_map<QueryId, query::InterestProfile> profiles{
+      {QueryId{0}, f.profile(QueryId{0}, {0}, NodeId{2}, 0.0)},
+      {QueryId{1}, f.profile(QueryId{1}, {0}, NodeId{3}, 0.0)}};
+  const std::unordered_map<QueryId, NodeId> together{
+      {QueryId{0}, NodeId{2}}, {QueryId{1}, NodeId{2}}};
+  const std::unordered_map<QueryId, NodeId> apart{{QueryId{0}, NodeId{2}},
+                                                  {QueryId{1}, NodeId{3}}};
+  const double c_together =
+      cost.communication_cost(together, profiles, f.space).source_cost;
+  const double c_apart =
+      cost.communication_cost(apart, profiles, f.space).source_cost;
+  EXPECT_LT(c_together, c_apart);
+  EXPECT_DOUBLE_EQ(c_together, 20.0);
+}
+
+TEST(CostModel, ResultCostUsesLatencyAndSkipsLocal) {
+  LineFixture f;
+  CostModel cost{f.topo, f.deployment};
+  std::unordered_map<QueryId, NodeId> placement{{QueryId{0}, NodeId{3}}};
+  std::unordered_map<QueryId, query::InterestProfile> profiles{
+      {QueryId{0}, f.profile(QueryId{0}, {}, NodeId{2}, 4.0)}};
+  const auto b = cost.communication_cost(placement, profiles, f.space);
+  EXPECT_DOUBLE_EQ(b.result_cost, 4.0);  // 4 B/s * 1 ms (3 -> 2)
+  EXPECT_DOUBLE_EQ(b.source_cost, 0.0);  // no interest bits
+}
+
+TEST(CostModel, DistinctSubstreamsAddUp) {
+  LineFixture f;
+  CostModel cost{f.topo, f.deployment};
+  std::unordered_map<QueryId, NodeId> placement{{QueryId{0}, NodeId{2}}};
+  std::unordered_map<QueryId, query::InterestProfile> profiles{
+      {QueryId{0}, f.profile(QueryId{0}, {0, 1}, NodeId{2}, 0.0)}};
+  const auto b = cost.communication_cost(placement, profiles, f.space);
+  EXPECT_DOUBLE_EQ(b.source_cost, (10.0 + 5.0) * 2.0);
+}
+
+TEST(CostModel, UnplacedQueriesIgnored) {
+  LineFixture f;
+  CostModel cost{f.topo, f.deployment};
+  std::unordered_map<QueryId, NodeId> placement{{QueryId{9}, NodeId{2}}};
+  std::unordered_map<QueryId, query::InterestProfile> profiles;  // empty
+  const auto b = cost.communication_cost(placement, profiles, f.space);
+  EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace cosmos::sim

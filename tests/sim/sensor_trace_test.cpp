@@ -1,0 +1,57 @@
+#include "sim/sensor_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::sim {
+namespace {
+
+TEST(SensorTrace, SchemaShape) {
+  const auto s = sensor_schema();
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_TRUE(s.index_of("snowHeight").has_value());
+  EXPECT_TRUE(s.index_of("timestamp").has_value());
+  EXPECT_EQ(station_stream_name(0), "Station1");
+  EXPECT_EQ(station_stream_name(4), "Station5");
+}
+
+TEST(SensorTrace, CountAndOrdering) {
+  SensorTraceParams p;
+  p.stations = 3;
+  p.readings_per_station = 20;
+  Rng rng{1};
+  const auto trace = make_sensor_trace(p, rng);
+  EXPECT_EQ(trace.size(), 60u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].tuple.ts, trace[i - 1].tuple.ts);  // global order
+  }
+}
+
+TEST(SensorTrace, ValuesPlausible) {
+  SensorTraceParams p;
+  p.stations = 2;
+  p.readings_per_station = 100;
+  Rng rng{2};
+  for (const auto& r : make_sensor_trace(p, rng)) {
+    EXPECT_LT(r.station, 2u);
+    EXPECT_GE(r.tuple.at(0).as_double(), 0.0);  // snowHeight never negative
+    EXPECT_EQ(r.tuple.at(3).as_int(), r.tuple.ts);  // explicit ts column
+  }
+}
+
+TEST(SensorTrace, AutocorrelatedSeries) {
+  // Consecutive readings of a station differ by at most the drift step.
+  SensorTraceParams p;
+  p.stations = 1;
+  p.readings_per_station = 50;
+  p.snow_drift = 1.5;
+  Rng rng{3};
+  const auto trace = make_sensor_trace(p, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double delta = std::abs(trace[i].tuple.at(0).as_double() -
+                                  trace[i - 1].tuple.at(0).as_double());
+    EXPECT_LE(delta, p.snow_drift + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cosmos::sim

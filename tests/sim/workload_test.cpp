@@ -1,0 +1,134 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace cosmos::sim {
+namespace {
+
+net::Deployment deployment_fixture(std::uint64_t seed) {
+  Rng rng{seed};
+  net::TransitStubParams tp;
+  tp.transit_domains = 2;
+  tp.transit_nodes_per_domain = 2;
+  tp.stub_domains_per_transit = 2;
+  tp.stub_nodes_per_domain = 10;
+  const auto topo = net::make_transit_stub(tp, rng);
+  net::DeploymentParams dp;
+  dp.num_sources = 6;
+  dp.num_processors = 12;
+  return net::make_deployment(topo, dp, rng);
+}
+
+TEST(Workload, SubstreamRatesInBand) {
+  const auto d = deployment_fixture(1);
+  WorkloadParams p;
+  p.num_substreams = 500;
+  WorkloadGenerator g{d, p, 2};
+  for (std::size_t i = 0; i < g.space().size(); ++i) {
+    const SubstreamId s{static_cast<SubstreamId::value_type>(i)};
+    EXPECT_GE(g.space().rate(s), p.rate_min);
+    EXPECT_LT(g.space().rate(s), p.rate_max);
+    EXPECT_TRUE(d.is_source(g.space().origin(s)));
+  }
+}
+
+TEST(Workload, QueryInterestSizeInBand) {
+  const auto d = deployment_fixture(3);
+  WorkloadParams p;
+  p.num_substreams = 500;
+  p.interest_min = 20;
+  p.interest_max = 40;
+  WorkloadGenerator g{d, p, 4};
+  for (int i = 0; i < 50; ++i) {
+    const auto q = g.make_query();
+    EXPECT_GE(q.interest.count(), 20u);
+    EXPECT_LE(q.interest.count(), 40u);
+    EXPECT_TRUE(d.is_processor(q.proxy));
+    EXPECT_GT(q.load, 0.0);
+    EXPECT_GT(q.output_rate, 0.0);
+    EXPECT_LT(q.output_rate, q.input_rate(g.space()));
+  }
+}
+
+TEST(Workload, SequentialQueryIds) {
+  const auto d = deployment_fixture(5);
+  WorkloadParams p;
+  p.num_substreams = 200;
+  p.interest_min = 5;
+  p.interest_max = 10;
+  WorkloadGenerator g{d, p, 6};
+  const auto qs = g.make_queries(10);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(qs[i].query.value(), i);
+  }
+}
+
+TEST(Workload, GroupsHaveDistinctHotSpots) {
+  // With strong zipf skew, queries from the same generator still differ in
+  // hot substreams across groups; verify global coverage is broad.
+  const auto d = deployment_fixture(7);
+  WorkloadParams p;
+  p.num_substreams = 1000;
+  p.groups = 5;
+  p.interest_min = 30;
+  p.interest_max = 60;
+  WorkloadGenerator g{d, p, 8};
+  BitVector covered{1000};
+  for (int i = 0; i < 100; ++i) covered.merge(g.make_query().interest);
+  // Zipf over 5 distinct permutations covers much more than one hot set.
+  EXPECT_GT(covered.count(), 300u);
+}
+
+TEST(Workload, ZipfSkewMakesSubstreamsPopular) {
+  const auto d = deployment_fixture(9);
+  WorkloadParams p;
+  p.num_substreams = 500;
+  p.groups = 1;
+  p.interest_min = 20;
+  p.interest_max = 20;
+  WorkloadGenerator g{d, p, 10};
+  std::vector<int> popularity(500, 0);
+  for (int i = 0; i < 200; ++i) {
+    for (const auto b : g.make_query().interest.set_bits()) {
+      ++popularity[b];
+    }
+  }
+  std::sort(popularity.rbegin(), popularity.rend());
+  // Hottest substream appears in far more queries than the median one.
+  EXPECT_GT(popularity[0], 10 * std::max(1, popularity[250]));
+}
+
+TEST(Workload, PerturbRatesScalesAndRefreshes) {
+  const auto d = deployment_fixture(11);
+  WorkloadParams p;
+  p.num_substreams = 100;
+  p.interest_min = 50;
+  p.interest_max = 60;
+  WorkloadGenerator g{d, p, 12};
+  auto qs = g.make_queries(5);
+  const double load_before = qs[0].load;
+  const auto affected = g.perturb_rates(100, 2.0);
+  EXPECT_EQ(affected.size(), 100u);
+  g.refresh_profiles(qs);
+  EXPECT_GT(qs[0].load, load_before);
+  EXPECT_THROW(g.perturb_rates(1, 0.0), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicAcrossSeeds) {
+  const auto d = deployment_fixture(13);
+  WorkloadParams p;
+  p.num_substreams = 300;
+  p.interest_min = 10;
+  p.interest_max = 20;
+  WorkloadGenerator g1{d, p, 99}, g2{d, p, 99};
+  const auto a = g1.make_query();
+  const auto b = g2.make_query();
+  EXPECT_EQ(a.interest, b.interest);
+  EXPECT_EQ(a.proxy, b.proxy);
+  EXPECT_DOUBLE_EQ(a.load, b.load);
+}
+
+}  // namespace
+}  // namespace cosmos::sim

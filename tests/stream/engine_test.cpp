@@ -1,0 +1,70 @@
+#include "stream/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::stream {
+namespace {
+
+Schema one_field() { return Schema{{{"v", ValueType::kInt}}}; }
+
+TEST(Engine, RegisterAndSchema) {
+  Engine e;
+  e.register_stream("S", one_field());
+  EXPECT_TRUE(e.has_stream("S"));
+  EXPECT_FALSE(e.has_stream("T"));
+  EXPECT_EQ(e.schema("S").size(), 1u);
+  EXPECT_THROW(e.schema("T"), std::out_of_range);
+  EXPECT_THROW(e.register_stream("S", one_field()), std::invalid_argument);
+}
+
+TEST(Engine, PublishReachesAllTaps) {
+  Engine e;
+  e.register_stream("S", one_field());
+  int a = 0, b = 0;
+  e.attach("S", [&](const Tuple&) { ++a; });
+  e.attach("S", [&](const Tuple&) { ++b; });
+  e.publish("S", Tuple{1, {Value{1}}});
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(e.published_count("S"), 1u);
+}
+
+TEST(Engine, DetachStopsDelivery) {
+  Engine e;
+  e.register_stream("S", one_field());
+  int a = 0;
+  const auto tap = e.attach("S", [&](const Tuple&) { ++a; });
+  e.publish("S", Tuple{1, {Value{1}}});
+  e.detach("S", tap);
+  e.publish("S", Tuple{2, {Value{1}}});
+  EXPECT_EQ(a, 1);
+}
+
+TEST(Engine, RejectsOutOfOrderTuples) {
+  Engine e;
+  e.register_stream("S", one_field());
+  e.publish("S", Tuple{10, {Value{1}}});
+  e.publish("S", Tuple{10, {Value{2}}});  // equal is fine
+  EXPECT_THROW(e.publish("S", Tuple{9, {Value{3}}}), std::invalid_argument);
+}
+
+TEST(Engine, TapsMayAttachDuringPublish) {
+  Engine e;
+  e.register_stream("S", one_field());
+  int later = 0;
+  e.attach("S", [&](const Tuple&) {
+    // Simulates a query whose result consumer registers reactively.
+    static bool attached = false;
+    if (!attached) {
+      attached = true;
+      e.attach("S", [&](const Tuple&) { ++later; });
+    }
+  });
+  e.publish("S", Tuple{1, {Value{1}}});
+  EXPECT_EQ(later, 0);  // not delivered retroactively
+  e.publish("S", Tuple{2, {Value{1}}});
+  EXPECT_EQ(later, 1);
+}
+
+}  // namespace
+}  // namespace cosmos::stream

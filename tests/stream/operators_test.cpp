@@ -1,0 +1,130 @@
+#include "stream/operators.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cosmos::stream {
+namespace {
+
+Schema simple_schema() {
+  return Schema{{{"v", ValueType::kInt}}};
+}
+
+Tuple mk(Timestamp ts, std::int64_t v) { return Tuple{ts, {Value{v}}}; }
+
+TEST(FilterOp, ForwardsMatchesOnly) {
+  const Schema s = simple_schema();
+  std::vector<Tuple> out;
+  FilterOp f{"S", &s, Predicate::cmp({"S", "v"}, CmpOp::kGt, Value{5}),
+             [&](const Tuple& t) { out.push_back(t); }};
+  f.push(mk(1, 3));
+  f.push(mk(2, 7));
+  f.push(mk(3, 6));
+  EXPECT_EQ(f.seen(), 3u);
+  EXPECT_EQ(f.passed(), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].at(0).as_int(), 7);
+}
+
+TEST(FilterOp, RejectsNullArguments) {
+  const Schema s = simple_schema();
+  EXPECT_THROW(FilterOp("S", nullptr, Predicate::always_true(),
+                        [](const Tuple&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(FilterOp("S", &s, nullptr, [](const Tuple&) {}),
+               std::invalid_argument);
+}
+
+TEST(ProjectOp, KeepsRequestedColumns) {
+  std::vector<Tuple> out;
+  ProjectOp p{{2, 0}, [&](const Tuple& t) { out.push_back(t); }};
+  Tuple t{5, {Value{1}, Value{2}, Value{3}}};
+  p.push(t);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].values.size(), 2u);
+  EXPECT_EQ(out[0].at(0).as_int(), 3);
+  EXPECT_EQ(out[0].at(1).as_int(), 1);
+  EXPECT_EQ(out[0].ts, 5);
+}
+
+class JoinTest : public ::testing::Test {
+ protected:
+  Schema left_{{{"a", ValueType::kInt}}};
+  Schema right_{{{"b", ValueType::kInt}}};
+  std::vector<Tuple> out_;
+
+  WindowJoinOp make(WindowSpec lw, WindowSpec rw, PredicatePtr pred) {
+    return WindowJoinOp{{"L", &left_, lw},
+                        {"R", &right_, rw},
+                        std::move(pred),
+                        [this](const Tuple& t) { out_.push_back(t); }};
+  }
+};
+
+TEST_F(JoinTest, EquiJoinWithinWindow) {
+  auto j = make(WindowSpec::range_millis(100), WindowSpec::range_millis(100),
+                Predicate::cmp({"L", "a"}, CmpOp::kEq, FieldRef{"R", "b"}));
+  j.push_left(mk(0, 1));
+  j.push_left(mk(10, 2));
+  j.push_right(mk(20, 2));  // matches L(10,2)
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].at(0).as_int(), 2);  // L.a
+  EXPECT_EQ(out_[0].at(1).as_int(), 2);  // R.b
+  EXPECT_EQ(out_[0].ts, 20);
+  EXPECT_EQ(j.emitted(), 1u);
+}
+
+TEST_F(JoinTest, WindowExpiryPrunesState) {
+  auto j = make(WindowSpec::range_millis(50), WindowSpec::range_millis(50),
+                Predicate::always_true());
+  j.push_left(mk(0, 1));
+  j.push_left(mk(100, 2));
+  j.push_right(mk(120, 9));  // only L(100) within 50ms
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].at(0).as_int(), 2);
+  EXPECT_LE(j.left_state_size(), 2u);
+}
+
+TEST_F(JoinTest, NowWindowJoinsSameTimestampOnly) {
+  auto j = make(WindowSpec::range_millis(1'000), WindowSpec::now(),
+                Predicate::always_true());
+  j.push_right(mk(10, 1));
+  j.push_left(mk(10, 5));  // R(10) is "now" for ts=10
+  EXPECT_EQ(out_.size(), 1u);
+  j.push_left(mk(20, 6));  // R(10) expired under Now window
+  EXPECT_EQ(out_.size(), 1u);
+}
+
+TEST_F(JoinTest, BandPredicateJoin) {
+  // The paper's S1.snowHeight > S2.snowHeight shape.
+  auto j = make(WindowSpec::range_millis(100), WindowSpec::range_millis(100),
+                Predicate::cmp({"L", "a"}, CmpOp::kGt, FieldRef{"R", "b"}));
+  j.push_left(mk(0, 10));
+  j.push_right(mk(1, 5));   // 10 > 5 -> match
+  j.push_right(mk(2, 15));  // 10 > 15 -> no
+  EXPECT_EQ(out_.size(), 1u);
+}
+
+TEST_F(JoinTest, SymmetricProbing) {
+  auto j = make(WindowSpec::range_millis(100), WindowSpec::range_millis(100),
+                Predicate::always_true());
+  j.push_left(mk(0, 1));
+  j.push_right(mk(1, 2));  // pairs with L
+  j.push_left(mk(2, 3));   // pairs with R
+  EXPECT_EQ(out_.size(), 2u);
+  // Output column order is always left-then-right regardless of arrival.
+  EXPECT_EQ(out_[1].at(0).as_int(), 3);
+  EXPECT_EQ(out_[1].at(1).as_int(), 2);
+}
+
+TEST_F(JoinTest, CartesianCountWithinWindow) {
+  auto j = make(WindowSpec::range_millis(1'000), WindowSpec::range_millis(1'000),
+                Predicate::always_true());
+  for (int i = 0; i < 3; ++i) j.push_left(mk(i, i));
+  for (int i = 0; i < 4; ++i) j.push_right(mk(10 + i, i));
+  EXPECT_EQ(out_.size(), 12u);  // 3 x 4
+}
+
+}  // namespace
+}  // namespace cosmos::stream

@@ -1,0 +1,112 @@
+#include "stream/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::stream {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  Schema schema_{{{"a", ValueType::kInt}, {"b", ValueType::kDouble}}};
+  Tuple tuple_{100, {Value{10}, Value{2.5}}};
+  std::vector<Binding> env_{{"S", &schema_, &tuple_}};
+};
+
+TEST_F(PredicateTest, CompareConst) {
+  EXPECT_TRUE(Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{5})->eval(env_));
+  EXPECT_FALSE(Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{10})->eval(env_));
+  EXPECT_TRUE(Predicate::cmp({"S", "a"}, CmpOp::kGe, Value{10})->eval(env_));
+  EXPECT_TRUE(Predicate::cmp({"S", "b"}, CmpOp::kLt, Value{3.0})->eval(env_));
+  EXPECT_TRUE(Predicate::cmp({"S", "a"}, CmpOp::kEq, Value{10})->eval(env_));
+  EXPECT_TRUE(Predicate::cmp({"S", "a"}, CmpOp::kNe, Value{11})->eval(env_));
+}
+
+TEST_F(PredicateTest, EmptyAliasMatchesAnyBinding) {
+  EXPECT_TRUE(Predicate::cmp({"", "a"}, CmpOp::kEq, Value{10})->eval(env_));
+}
+
+TEST_F(PredicateTest, TimestampPseudoField) {
+  EXPECT_TRUE(
+      Predicate::cmp({"S", "timestamp"}, CmpOp::kEq, Value{100})->eval(env_));
+}
+
+TEST_F(PredicateTest, UnknownFieldThrows) {
+  EXPECT_THROW(Predicate::cmp({"S", "zz"}, CmpOp::kEq, Value{1})->eval(env_),
+               std::invalid_argument);
+  EXPECT_THROW(Predicate::cmp({"T", "a"}, CmpOp::kEq, Value{1})->eval(env_),
+               std::invalid_argument);
+}
+
+TEST_F(PredicateTest, CompareFieldAcrossBindings) {
+  Schema s2{{{"c", ValueType::kInt}}};
+  Tuple t2{100, {Value{9}}};
+  std::vector<Binding> env{{"S", &schema_, &tuple_}, {"T", &s2, &t2}};
+  EXPECT_TRUE(
+      Predicate::cmp({"S", "a"}, CmpOp::kGt, FieldRef{"T", "c"})->eval(env));
+  EXPECT_FALSE(
+      Predicate::cmp({"S", "a"}, CmpOp::kLt, FieldRef{"T", "c"})->eval(env));
+}
+
+TEST_F(PredicateTest, Junctions) {
+  auto t = Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{5});
+  auto f = Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{50});
+  EXPECT_FALSE(Predicate::conj({t, f})->eval(env_));
+  EXPECT_TRUE(Predicate::disj({t, f})->eval(env_));
+  EXPECT_TRUE(Predicate::negate(f)->eval(env_));
+  EXPECT_TRUE(Predicate::always_true()->eval(env_));
+}
+
+TEST_F(PredicateTest, EmptyConjIsTrue) {
+  EXPECT_EQ(Predicate::conj({})->kind(), Predicate::Kind::kTrue);
+  EXPECT_EQ(Predicate::disj({})->kind(), Predicate::Kind::kTrue);
+}
+
+TEST_F(PredicateTest, SingleChildCollapses) {
+  auto t = Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{5});
+  EXPECT_EQ(Predicate::conj({t}).get(), t.get());
+}
+
+TEST_F(PredicateTest, TimeBand) {
+  Schema s2{{{"c", ValueType::kInt}}};
+  Tuple older{40, {Value{0}}};
+  std::vector<Binding> env{{"S", &schema_, &tuple_}, {"T", &s2, &older}};
+  // S.ts=100, T.ts=40 -> delta 60
+  EXPECT_TRUE(Predicate::time_band({"S", "timestamp"}, {"T", "timestamp"}, 60)
+                  ->eval(env));
+  EXPECT_FALSE(Predicate::time_band({"S", "timestamp"}, {"T", "timestamp"}, 59)
+                   ->eval(env));
+  // Negative delta fails.
+  EXPECT_FALSE(Predicate::time_band({"T", "timestamp"}, {"S", "timestamp"}, 500)
+                   ->eval(env));
+}
+
+TEST_F(PredicateTest, CollectConjuncts) {
+  auto c1 = Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{1});
+  auto c2 = Predicate::cmp({"S", "b"}, CmpOp::kLt, Value{9});
+  std::vector<PredicatePtr> out;
+  EXPECT_TRUE(collect_conjuncts(Predicate::conj({c1, c2}), out));
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  EXPECT_FALSE(collect_conjuncts(Predicate::disj({c1, c2}), out));
+  out.clear();
+  EXPECT_TRUE(collect_conjuncts(Predicate::always_true(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(PredicateTest, ApplyCmpAndFlip) {
+  EXPECT_TRUE(apply_cmp(CmpOp::kLe, 0));
+  EXPECT_TRUE(apply_cmp(CmpOp::kLe, -1));
+  EXPECT_FALSE(apply_cmp(CmpOp::kLe, 1));
+  EXPECT_EQ(flip(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(flip(CmpOp::kGe), CmpOp::kLe);
+  EXPECT_EQ(flip(CmpOp::kEq), CmpOp::kEq);
+}
+
+TEST_F(PredicateTest, ToStringRoundTrip) {
+  auto p = Predicate::conj({Predicate::cmp({"S", "a"}, CmpOp::kGt, Value{5}),
+                            Predicate::cmp({"S", "b"}, CmpOp::kLe, Value{2.5})});
+  EXPECT_EQ(p->to_string(), "(S.a > 5 AND S.b <= 2.500000)");
+}
+
+}  // namespace
+}  // namespace cosmos::stream

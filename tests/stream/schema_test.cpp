@@ -1,0 +1,39 @@
+#include "stream/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::stream {
+namespace {
+
+TEST(Schema, IndexOf) {
+  Schema s{{{"a", ValueType::kInt}, {"b", ValueType::kDouble}}};
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.index_of("a"), 0u);
+  EXPECT_EQ(s.index_of("b"), 1u);
+  EXPECT_FALSE(s.index_of("c").has_value());
+}
+
+TEST(Schema, RejectsDuplicateFields) {
+  EXPECT_THROW(Schema({{"a", ValueType::kInt}, {"a", ValueType::kInt}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, JoinPrefixesAliases) {
+  Schema l{{{"x", ValueType::kInt}}};
+  Schema r{{{"x", ValueType::kDouble}, {"y", ValueType::kInt}}};
+  const Schema j = Schema::join(l, "L", r, "R");
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.index_of("L.x"), 0u);
+  EXPECT_EQ(j.index_of("R.x"), 1u);
+  EXPECT_EQ(j.index_of("R.y"), 2u);
+}
+
+TEST(Tuple, AtBoundsChecked) {
+  Tuple t;
+  t.values = {Value{1}};
+  EXPECT_EQ(t.at(0).as_int(), 1);
+  EXPECT_THROW(t.at(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cosmos::stream

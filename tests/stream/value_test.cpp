@@ -1,0 +1,46 @@
+#include "stream/value.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::stream {
+namespace {
+
+TEST(Value, TypesAndViews) {
+  EXPECT_EQ(Value{std::int64_t{5}}.type(), ValueType::kInt);
+  EXPECT_EQ(Value{2.5}.type(), ValueType::kDouble);
+  EXPECT_EQ(Value{"abc"}.type(), ValueType::kString);
+  EXPECT_EQ(Value{7}.as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value{7}.as_double(), 7.0);
+  EXPECT_EQ(Value{"xyz"}.as_string(), "xyz");
+}
+
+TEST(Value, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value{3}.compare(Value{3.0}), 0);
+  EXPECT_LT(Value{3}.compare(Value{3.5}), 0);
+  EXPECT_GT(Value{4.1}.compare(Value{4}), 0);
+}
+
+TEST(Value, StringComparison) {
+  EXPECT_LT(Value{"apple"}.compare(Value{"banana"}), 0);
+  EXPECT_EQ(Value{"x"}.compare(Value{"x"}), 0);
+}
+
+TEST(Value, MixedStringNumericThrows) {
+  EXPECT_THROW(Value{"a"}.compare(Value{1}), std::logic_error);
+  EXPECT_THROW(Value{1}.compare(Value{"a"}), std::logic_error);
+  EXPECT_THROW(Value{"a"}.as_double(), std::logic_error);
+  EXPECT_THROW(Value{1}.as_string(), std::logic_error);
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value{5}, Value{5.0});
+  EXPECT_FALSE(Value{5} == Value{6});
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value{5}.to_string(), "5");
+  EXPECT_EQ(Value{"hi"}.to_string(), "hi");
+}
+
+}  // namespace
+}  // namespace cosmos::stream

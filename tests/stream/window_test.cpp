@@ -1,0 +1,49 @@
+#include "stream/window.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::stream {
+namespace {
+
+TEST(WindowSpec, NowOnlyMatchesSameTimestamp) {
+  const auto w = WindowSpec::now();
+  EXPECT_TRUE(w.contains(100, 100));
+  EXPECT_FALSE(w.contains(99, 100));
+  EXPECT_FALSE(w.contains(101, 100));
+}
+
+TEST(WindowSpec, RangeWindow) {
+  const auto w = WindowSpec::range_millis(50);
+  EXPECT_TRUE(w.contains(100, 100));
+  EXPECT_TRUE(w.contains(50, 100));
+  EXPECT_FALSE(w.contains(49, 100));
+  EXPECT_FALSE(w.contains(101, 100));  // future tuples out of window
+}
+
+TEST(WindowSpec, Unbounded) {
+  const auto w = WindowSpec::unbounded();
+  EXPECT_TRUE(w.contains(0, 1'000'000));
+  EXPECT_FALSE(w.contains(2, 1));
+}
+
+TEST(WindowSpec, Covers) {
+  EXPECT_TRUE(WindowSpec::range_millis(100).covers(WindowSpec::now()));
+  EXPECT_TRUE(
+      WindowSpec::range_millis(100).covers(WindowSpec::range_millis(100)));
+  EXPECT_FALSE(
+      WindowSpec::range_millis(99).covers(WindowSpec::range_millis(100)));
+  EXPECT_TRUE(WindowSpec::unbounded().covers(WindowSpec::range_millis(1'000)));
+  EXPECT_FALSE(WindowSpec::range_millis(1'000).covers(WindowSpec::unbounded()));
+}
+
+TEST(WindowSpec, ToString) {
+  EXPECT_EQ(WindowSpec::now().to_string(), "[Now]");
+  EXPECT_EQ(WindowSpec::range_millis(30 * 60'000).to_string(),
+            "[Range 30 Minutes]");
+  EXPECT_EQ(WindowSpec::range_millis(3'600'000).to_string(), "[Range 1 Hour]");
+  EXPECT_EQ(WindowSpec::range_millis(123).to_string(), "[Range 123 Ms]");
+  EXPECT_EQ(WindowSpec::unbounded().to_string(), "[Unbounded]");
+}
+
+}  // namespace
+}  // namespace cosmos::stream
