@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/clock.h"
 #include "coord/coordinator_tree.h"
 #include "coord/hierarchy.h"
 #include "net/deployment.h"
@@ -17,6 +18,19 @@
 #include "sim/workload.h"
 
 namespace cosmos::bench {
+
+/// Elapsed-seconds stopwatch over the shared Clock (common/clock.h).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void reset() noexcept { start_ = Clock::now(); }
+  [[nodiscard]] double seconds() const noexcept {
+    return seconds_since(start_);
+  }
+
+ private:
+  TimePoint start_;
+};
 
 /// The paper's simulated system (Section 4.1), scaled by `scale` in (0,1]
 /// so quick runs stay quick: 4096-node transit-stub topology, 100 sources,

@@ -11,7 +11,6 @@
 //     COSMOS = 1), (b) optimizer running time (normalized to the largest).
 // Expected shape: comparable communication cost; COSMOS runs far faster at
 // large query counts.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -103,7 +102,7 @@ int main() {
     // Placement: greedy latency-aware host choice with caps (the full
     // hierarchical machinery is exercised in the simulation benches; the
     // prototype uses the same greedy rule the leaf coordinators apply).
-    const auto cosmos_start = std::chrono::steady_clock::now();
+    const Stopwatch cosmos_watch;
     std::vector<std::size_t> chosen_host(specs.size());
     std::vector<double> load(processors.size(), 0.0);
     const double cap =
@@ -127,10 +126,7 @@ int main() {
       load[best] += 1.0;
       chosen_host[spec.id.value()] = best;
     }
-    const double cosmos_opt_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      cosmos_start)
-            .count();
+    const double cosmos_opt_s = cosmos_watch.seconds();
     for (const auto& spec : specs) {
       cosmos_sys.submit(spec, processors[chosen_host[spec.id.value()]],
                         [&delivered](QueryId, const stream::Tuple&) {

@@ -4,7 +4,6 @@
 // (b) online insertion throughput at the root coordinator.
 // Expected shape: larger k -> better distribution quality (fewer coarsening
 // levels) but lower insertion throughput (the root weighs more children).
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -33,11 +32,9 @@ int main() {
     const double cost = setup.pairwise_total(d.placement(), d.profiles());
 
     const auto inserts = setup.workload->make_queries(probes);
-    const auto start = std::chrono::steady_clock::now();
+    const Stopwatch watch;
     for (const auto& p : inserts) d.insert_query(p);
-    const double secs = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
+    const double secs = watch.seconds();
     std::printf("%4zu %8d %16.4e %22.0f\n", k, setup.tree->height(), cost,
                 static_cast<double>(probes) / secs);
     std::fflush(stdout);

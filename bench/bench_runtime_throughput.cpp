@@ -1,0 +1,227 @@
+// Runtime throughput: single-threaded push() vs. the sharded run() mode on
+// the paper's prototype workload (Section 4.1 scale knobs, Section 4.2
+// query shape): wide-area node set, sensor-station streams spread over the
+// sources, and windowed join queries placed greedily over the processors.
+//
+// Every configuration must produce identical per-query result counts —
+// the runtime's ordering guarantee — and the interesting number is
+// tuples/s. Two measures are reported:
+//   wall  — end-to-end wall clock (shows real scaling only when the host
+//           has >= shards cores);
+//   crit  — the parallel critical path, max(driver busy, slowest shard
+//           busy), from the runtime's measured per-shard counters. This is
+//           the hardware-independent scaling measure: it is what the wall
+//           clock converges to given enough cores.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "cosmos/cosmos.h"
+#include "sim/sensor_trace.h"
+
+using namespace cosmos;
+using namespace cosmos::bench;
+
+namespace {
+
+/// Windowed join over two distinct stations: a wide range window on S1
+/// (the scan work), a short one on S2, a time band that keeps the result
+/// cardinality low, and a field-field comparison. The band and comparison
+/// reference both aliases, so nothing is pushed below the join — every S2
+/// arrival scans S1's full window.
+query::QuerySpec make_query(QueryId id, NodeId proxy, std::size_t stations,
+                            Rng& rng) {
+  const std::size_t a = rng.next_below(stations);
+  std::size_t b = rng.next_below(stations);
+  while (b == a) b = rng.next_below(stations);
+  query::QuerySpec spec;
+  spec.id = id;
+  spec.proxy = proxy;
+  const auto range_min = 120 + rng.next_below(180);  // 120..299 minutes
+  spec.sources = {
+      {sim::station_stream_name(a), "S1",
+       stream::WindowSpec::range_millis(
+           static_cast<std::int64_t>(range_min) * 60'000)},
+      {sim::station_stream_name(b), "S2",
+       stream::WindowSpec::range_millis(120'000)}};
+  spec.select = {{"S1", "snowHeight"},
+                 {"S1", "timestamp"},
+                 {"S2", "snowHeight"},
+                 {"S2", "timestamp"}};
+  spec.where = stream::Predicate::conj(
+      {stream::Predicate::time_band({"S2", "timestamp"}, {"S1", "timestamp"},
+                                    45'000),
+       stream::Predicate::cmp(
+           stream::FieldRef{"S1", "snowHeight"}, stream::CmpOp::kGt,
+           stream::FieldRef{"S2", "snowHeight"}),
+       stream::Predicate::cmp(
+           stream::FieldRef{"S1", "temperature"}, stream::CmpOp::kGt,
+           stream::FieldRef{"S2", "temperature"})});
+  return spec;
+}
+
+struct ConfigResult {
+  std::string name;
+  double wall_s = 0.0;
+  double crit_s = 0.0;
+  std::map<QueryId, std::size_t> per_query;
+  std::size_t results = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double scale = env_scale(0.25);
+  const std::uint64_t seed = env_seed(42);
+  const std::size_t kNodes = 30;
+  const std::size_t kSources = 5;
+  const std::size_t kStations = 20;
+  const std::size_t readings =
+      std::max<std::size_t>(360, static_cast<std::size_t>(1440 * scale));
+  const std::size_t nq =
+      std::max<std::size_t>(150, static_cast<std::size_t>(600 * scale));
+
+  Rng rng{seed};
+  const auto topo = net::make_wide_area_mesh(kNodes, 6, rng);
+  std::vector<NodeId> all;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    all.push_back(NodeId{static_cast<NodeId::value_type>(i)});
+  }
+  const net::LatencyMatrix lat{topo, all};
+  const std::vector<NodeId> sources(all.begin(), all.begin() + kSources);
+  const std::vector<NodeId> processors(all.begin() + kSources, all.end());
+
+  sim::SensorTraceParams tp;
+  tp.stations = kStations;
+  tp.readings_per_station = readings;
+  Rng trng{seed + 1};
+  const auto trace = sim::make_sensor_trace(tp, trng);
+  std::vector<runtime::TraceEvent> events;
+  events.reserve(trace.size());
+  for (const auto& r : trace) {
+    events.push_back({sim::station_stream_name(r.station), r.tuple});
+  }
+
+  Rng qrng{seed + 2};
+  std::vector<query::QuerySpec> specs;
+  for (std::size_t i = 0; i < nq; ++i) {
+    specs.push_back(make_query(
+        QueryId{static_cast<QueryId::value_type>(i)},
+        processors[qrng.next_below(processors.size())], kStations, qrng));
+  }
+  // Greedy latency-aware placement with a load cap (the leaf-coordinator
+  // rule, as in the Fig 11 bench).
+  std::vector<std::size_t> host_of(specs.size());
+  {
+    std::vector<double> load(processors.size(), 0.0);
+    const double cap =
+        1.1 * static_cast<double>(nq) / static_cast<double>(processors.size());
+    for (const auto& spec : specs) {
+      std::size_t best = 0;
+      double best_cost = 1e300;
+      for (std::size_t p = 0; p < processors.size(); ++p) {
+        if (load[p] + 1.0 > cap) continue;
+        double c = lat.latency(processors[p], spec.proxy);
+        for (const auto& src : spec.sources) {
+          const std::size_t st = std::stoul(src.stream.substr(7)) - 1;
+          c += lat.latency(processors[p], sources[st % kSources]);
+        }
+        if (c < best_cost) {
+          best_cost = c;
+          best = p;
+        }
+      }
+      load[best] += 1.0;
+      host_of[spec.id.value()] = best;
+    }
+  }
+
+  const auto build = [&](std::map<QueryId, std::size_t>& per_query) {
+    auto sys = std::make_unique<middleware::Cosmos>(all, lat);
+    for (std::size_t st = 0; st < kStations; ++st) {
+      sys->register_source(sim::station_stream_name(st), sim::sensor_schema(),
+                           sources[st % kSources]);
+    }
+    for (const auto& spec : specs) {
+      sys->submit(spec, processors[host_of[spec.id.value()]],
+                  [&per_query](QueryId q, const stream::Tuple&) {
+                    ++per_query[q];
+                  });
+    }
+    return sys;
+  };
+
+  std::printf("# runtime throughput (scale=%.2f seed=%llu stations=%zu "
+              "readings=%zu queries=%zu tuples=%zu cores=%u)\n",
+              scale, static_cast<unsigned long long>(seed), kStations,
+              readings, nq, events.size(),
+              std::thread::hardware_concurrency());
+  std::printf("# crit = max(driver busy, slowest shard busy): the scaling "
+              "measure independent of host core count\n");
+  std::printf("%-12s %9s %12s %9s %12s %10s %9s %9s %9s\n", "config",
+              "wall-s", "wall-tup/s", "crit-s", "crit-tup/s", "results",
+              "driver-s", "shard-s", "stall-s");
+
+  std::vector<ConfigResult> rows;
+
+  {
+    ConfigResult row;
+    row.name = "push";
+    auto sys = build(row.per_query);
+    const Stopwatch watch;
+    for (const auto& ev : events) sys->push(ev.stream, ev.tuple);
+    row.wall_s = watch.seconds();
+    row.crit_s = row.wall_s;  // fully serial
+    for (const auto& [q, n] : row.per_query) row.results += n;
+    std::printf("%-12s %9.3f %12.0f %9.3f %12.0f %10zu %9s %9s %9s\n",
+                row.name.c_str(), row.wall_s,
+                static_cast<double>(events.size()) / row.wall_s, row.crit_s,
+                static_cast<double>(events.size()) / row.crit_s, row.results,
+                "-", "-", "-");
+    std::fflush(stdout);
+    rows.push_back(std::move(row));
+  }
+
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    ConfigResult row;
+    row.name = "run:" + std::to_string(shards) + "-shard";
+    auto sys = build(row.per_query);
+    middleware::Cosmos::RunOptions opts;
+    opts.shards = shards;
+    opts.batch_size = 256;
+    opts.queue_capacity = 64;
+    opts.tick_ms = 30 * 60'000;
+    const Stopwatch watch;
+    const auto report = sys->run(events, opts);
+    row.wall_s = watch.seconds();
+    const double stall = report.stats.total_stall_seconds();
+    const double driver_busy = report.driver_cpu_seconds;
+    row.crit_s = std::max(driver_busy, report.stats.max_busy_seconds());
+    for (const auto& [q, n] : row.per_query) row.results += n;
+    std::printf("%-12s %9.3f %12.0f %9.3f %12.0f %10zu %9.3f %9.3f %9.3f\n",
+                row.name.c_str(), row.wall_s,
+                static_cast<double>(events.size()) / row.wall_s, row.crit_s,
+                static_cast<double>(events.size()) / row.crit_s, row.results,
+                driver_busy, report.stats.max_busy_seconds(), stall);
+    std::fflush(stdout);
+    rows.push_back(std::move(row));
+  }
+
+  // Correctness gate: every configuration must agree per query.
+  bool identical = true;
+  for (const auto& row : rows) {
+    if (row.per_query != rows[0].per_query) {
+      identical = false;
+      std::printf("!! per-query result mismatch: %s vs %s\n", row.name.c_str(),
+                  rows[0].name.c_str());
+    }
+  }
+  std::printf("per-query result counts identical across configs: %s\n",
+              identical ? "yes" : "NO");
+
+  const auto* one = &rows[1];   // run:1-shard
+  const auto* four = &rows[3];  // run:4-shard
+  std::printf("speedup 4-shard vs 1-shard: %.2fx crit-path, %.2fx wall\n",
+              one->crit_s / four->crit_s, one->wall_s / four->wall_s);
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Wall-clock aliases used for all runtime timing (the kakoune clock.hh
+// idiom): one Clock for the whole code base so durations and time points
+// are interchangeable across modules. Always steady_clock — timing code
+// must never jump backwards with NTP adjustments.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace cosmos {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using DurationMs = std::chrono::milliseconds;
+using DurationNs = std::chrono::nanoseconds;
+
+/// Seconds elapsed since `start`, as a double (for reporting).
+[[nodiscard]] inline double seconds_since(TimePoint start) noexcept {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// CPU seconds consumed by the calling thread. Unlike wall time this is
+/// immune to preemption, so per-stage busy measurements stay meaningful
+/// even when threads outnumber cores.
+[[nodiscard]] inline double thread_cpu_seconds() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1e-9 * static_cast<double>(ts.tv_nsec);
+#else
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+#endif
+}
+
+}  // namespace cosmos

@@ -1,6 +1,9 @@
 #include "cosmos/cosmos.h"
 
+#include <set>
 #include <stdexcept>
+
+#include "common/clock.h"
 
 namespace cosmos::middleware {
 namespace {
@@ -185,17 +188,30 @@ void Cosmos::deploy_unit(Unit& unit) {
   unit.result_tap = engine.attach(
       unit.result_stream, [this, rs = unit.result_stream](
                               const stream::Tuple& t) {
-        broker_.publish(rs, t, [this](const pubsub::Subscription& sub,
-                                      const pubsub::Message& msg) {
-          const auto it = p2_owner_.find(sub.id);
-          if (it == p2_owner_.end()) return;
-          auto& uq = queries_.at(it->second);
-          // Split projection happens consumer-side (cached at wire time).
-          stream::Tuple out;
-          out.ts = msg.tuple.ts;
-          for (const auto i : uq.p2_keep) out.values.push_back(msg.tuple.at(i));
-          uq.callback(it->second, out);
-        });
+        // In run() mode this tap fires on a shard worker thread: park the
+        // result for the driver, which owns the broker and the callbacks.
+        if (active_results_ != nullptr) {
+          active_results_->push({rs, t});
+          return;
+        }
+        deliver_result(rs, t);
+      });
+}
+
+void Cosmos::deliver_result(const std::string& result_stream,
+                            const stream::Tuple& tuple) {
+  broker_.publish(
+      result_stream, tuple,
+      [this](const pubsub::Subscription& sub, const pubsub::Message& msg) {
+        const auto it = p2_owner_.find(sub.id);
+        if (it == p2_owner_.end()) return;
+        auto& uq = queries_.at(it->second);
+        // Split projection happens consumer-side (cached at wire time).
+        stream::Tuple out;
+        out.ts = msg.tuple.ts;
+        for (const auto i : uq.p2_keep) out.values.push_back(msg.tuple.at(i));
+        uq.callback(it->second, out);
+        ++results_delivered_;
       });
 }
 
@@ -234,6 +250,109 @@ void Cosmos::wire_member(UserQuery& uq, Unit& unit) {
   const auto sid = broker_.subscribe(std::move(sub));
   uq.p2_sub = sid;
   p2_owner_.emplace(sid, uq.spec.id);
+}
+
+void Cosmos::dispatch_chunk(
+    runtime::Chunk&& chunk, runtime::Runtime& rt,
+    const std::unordered_map<NodeId, std::size_t>& shard_of,
+    RunReport& report) {
+  // Per-engine ordered run lists for this chunk; std::map keeps dispatch
+  // order deterministic.
+  std::map<NodeId, std::vector<runtime::TupleBatch>> per_node;
+  for (const runtime::TupleBatch& run : chunk.runs) {
+    // Union of matched rows per subscriber: as in push(), the host engine
+    // must see a tuple exactly once however many of its subscriptions
+    // matched (plans re-apply their own filters).
+    std::map<NodeId, std::vector<char>> mask_of;
+    broker_.publish_batch(
+        run.stream(), run, [&](const pubsub::BatchDelivery& d) {
+          if (p2_owner_.contains(d.sub->id)) return;
+          auto& mask =
+              mask_of.try_emplace(d.sub->subscriber, run.size(), char{0})
+                  .first->second;
+          for (const auto row : d.rows) mask[row] = 1;
+        });
+    for (const auto& [node, mask] : mask_of) {
+      const auto eit = engines_.find(node);
+      if (eit == engines_.end() || !eit->second->has_stream(run.stream())) {
+        continue;
+      }
+      std::vector<std::uint32_t> rows;
+      for (std::uint32_t r = 0; r < mask.size(); ++r) {
+        if (mask[r] != 0) rows.push_back(r);
+      }
+      per_node[node].push_back(run.select(rows));
+    }
+  }
+  for (auto& [node, runs] : per_node) {
+    runtime::Runtime::Task task{engines_.at(node).get(), std::move(runs)};
+    rt.dispatch(shard_of.at(node), std::move(task));
+  }
+  ++report.chunks;
+}
+
+Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
+                              const RunOptions& options) {
+  // Unwind-safety: on any throw below, destruction must run in this order —
+  // join the workers (rt), only then clear active_results_ (guard), only
+  // then destroy the buffer they were pushing into (results). Hence the
+  // declaration order results -> guard -> rt.
+  runtime::MpscBuffer<ResultEvent> results;
+  struct ResultModeGuard {
+    Cosmos& sys;
+    ~ResultModeGuard() { sys.active_results_ = nullptr; }
+  } guard{*this};
+  runtime::Runtime rt{{options.shards, options.queue_capacity}};
+  // Pin every deployed engine to a shard, round-robin over hosts in id
+  // order (engines_ is an ordered map), so the assignment is deterministic.
+  std::unordered_map<NodeId, std::size_t> shard_of;
+  std::size_t next_shard = 0;
+  for (const auto& [node, engine] : engines_) {
+    shard_of.emplace(node, next_shard++ % rt.shards());
+  }
+
+  RunReport report;
+  const std::size_t results_before = results_delivered_;
+  std::vector<ResultEvent> scratch;
+  const auto drain_results = [&] {
+    results.drain_into(scratch);
+    for (const auto& ev : scratch) deliver_result(ev.stream, ev.tuple);
+  };
+
+  active_results_ = &results;
+  rt.start();
+  const double driver_cpu_start = thread_cpu_seconds();
+  const TimePoint ingest_start = Clock::now();
+  runtime::Driver driver{
+      {options.batch_size, options.tick_ms},
+      [&](runtime::Chunk&& chunk) {
+        // Fail fast: once any shard has faulted, its engine state is
+        // suspect — stop feeding and delivering instead of handing the
+        // user results produced after the failure.
+        if (const auto error = rt.first_error()) {
+          throw std::runtime_error{"Cosmos: shard execution failed: " +
+                                   *error};
+        }
+        dispatch_chunk(std::move(chunk), rt, shard_of, report);
+        drain_results();  // keep the result buffer bounded in practice
+      }};
+  for (const auto& ev : events) driver.push(ev.stream, ev.tuple);
+  driver.finish();
+  const TimePoint drain_start = Clock::now();
+  rt.drain();
+  report.drain_seconds = seconds_since(drain_start);
+  drain_results();
+  report.ingest_seconds = seconds_since(ingest_start);
+  report.driver_cpu_seconds = thread_cpu_seconds() - driver_cpu_start;
+  rt.stop();
+  if (const auto error = rt.first_error()) {
+    throw std::runtime_error{"Cosmos: shard execution failed: " + *error};
+  }
+
+  report.tuples = driver.tuples();
+  report.results_delivered = results_delivered_ - results_before;
+  report.stats = rt.stats();
+  return report;
 }
 
 void Cosmos::push(const std::string& stream, const stream::Tuple& tuple) {

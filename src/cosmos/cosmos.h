@@ -25,6 +25,10 @@
 #include "query/containment.h"
 #include "query/plan.h"
 #include "query/query_spec.h"
+#include "runtime/driver.h"
+#include "runtime/queues.h"
+#include "runtime/runtime.h"
+#include "runtime/stats.h"
 #include "stream/engine.h"
 
 namespace cosmos::middleware {
@@ -50,8 +54,55 @@ class Cosmos {
   /// re-wired onto the shared result stream.
   void submit(const query::QuerySpec& spec, NodeId host, ResultCallback cb);
 
+  // --- Ingest modes -------------------------------------------------------
+  //
+  // push() is the synchronous mode: each call matches, routes, executes the
+  // query plans, and delivers results before returning, all on the calling
+  // thread. Simple and exactly ordered — the mode every correctness test
+  // and the paper-figure benches use.
+  //
+  // run() is the runtime-backed mode: a whole trace is replayed through the
+  // sharded execution runtime (src/runtime/). The calling thread becomes
+  // the ingest driver — it batches the trace into global-order-preserving
+  // chunks (runtime::Driver), matches and routes them through the broker
+  // (batch traffic accounting is identical to push()), and hands each
+  // processor's tuples to the worker thread owning that processor's engine.
+  // Engines are pinned to shards, shard queues are FIFO and bounded
+  // (backpressure, never drops), and result delivery runs on the driver
+  // thread, so result callbacks never run concurrently and per-query result
+  // sequences are identical to push() at any shard count. A Cosmos instance
+  // must not be mutated (submit etc.) while run() is executing.
+
   /// Feeds one source tuple into the system (global timestamp order).
   void push(const std::string& stream, const stream::Tuple& tuple);
+
+  struct RunOptions {
+    std::size_t shards = 1;
+    std::size_t batch_size = 256;       ///< max tuples per driver chunk
+    std::size_t queue_capacity = 64;    ///< per-shard queue, in tasks
+    stream::Timestamp tick_ms = 60'000; ///< virtual-clock bound per chunk
+  };
+  struct RunReport {
+    std::size_t tuples = 0;             ///< trace events ingested
+    std::size_t chunks = 0;             ///< driver chunks dispatched
+    std::size_t results_delivered = 0;  ///< user callbacks invoked
+    double ingest_seconds = 0.0;        ///< wall time: replay + drain
+    double drain_seconds = 0.0;         ///< wall time waiting on shards at EOT
+    /// CPU seconds the driver thread spent in run(): matching, routing,
+    /// dispatch, result delivery — blocking waits excluded. The serial
+    /// stage of the pipeline; max(this, slowest shard busy) is the
+    /// parallel critical path.
+    double driver_cpu_seconds = 0.0;
+    runtime::RuntimeStats stats;        ///< per-shard execution counters
+  };
+
+  /// Replays `events` (non-decreasing global timestamp order) through the
+  /// sharded runtime. See the mode comparison above.
+  RunReport run(const std::vector<runtime::TraceEvent>& events,
+                const RunOptions& options);
+  RunReport run(const std::vector<runtime::TraceEvent>& events) {
+    return run(events, RunOptions{});
+  }
 
   [[nodiscard]] const pubsub::TrafficStats& traffic() const noexcept {
     return broker_.traffic();
@@ -87,10 +138,24 @@ class Cosmos {
     std::vector<std::size_t> p2_keep;
   };
 
+  /// A result tuple emitted by a shard engine, pending p2 delivery on the
+  /// driver thread.
+  struct ResultEvent {
+    std::string stream;
+    stream::Tuple tuple;
+  };
+
   stream::Engine& engine_at(NodeId host);
   void deploy_unit(Unit& unit);
   void teardown_unit(Unit& unit);
   void wire_member(UserQuery& uq, Unit& unit);
+  /// p2 leg: routes a result-stream tuple to its member queries' callbacks.
+  void deliver_result(const std::string& result_stream,
+                      const stream::Tuple& tuple);
+  /// Matches one driver chunk and dispatches per-engine tasks to shards.
+  void dispatch_chunk(runtime::Chunk&& chunk, runtime::Runtime& rt,
+                      const std::unordered_map<NodeId, std::size_t>& shard_of,
+                      RunReport& report);
 
   std::vector<NodeId> nodes_;
   pubsub::BrokerNetwork broker_;
@@ -102,6 +167,12 @@ class Cosmos {
   std::uint32_t next_unit_id_ = 0;
   std::uint32_t unit_version_ = 0;
   bool enable_result_sharing_ = true;
+  /// Non-null while run() is active: shard engines park result tuples here
+  /// instead of delivering inline (delivery happens on the driver thread).
+  /// Set before workers start and cleared after they join, so shard threads
+  /// always observe the run-mode value.
+  runtime::MpscBuffer<ResultEvent>* active_results_ = nullptr;
+  std::size_t results_delivered_ = 0;
 };
 
 }  // namespace cosmos::middleware

@@ -151,6 +151,49 @@ void BrokerNetwork::publish(const std::string& stream,
   route(message, index_of(it->second.publisher), SIZE_MAX, matched, callback);
 }
 
+void BrokerNetwork::publish_batch(const std::string& stream,
+                                  const runtime::TupleBatch& batch,
+                                  const BatchDeliveryCallback& callback) {
+  const auto it = adverts_.find(stream);
+  if (it == adverts_.end()) {
+    throw std::invalid_argument{"BrokerNetwork: publish to unadvertised " +
+                                stream};
+  }
+  const auto publisher = index_of(it->second.publisher);
+  const auto* interested = [&]() -> const std::vector<SubscriptionId>* {
+    const auto sit = by_stream_.find(stream);
+    return sit == by_stream_.end() ? nullptr : &sit->second;
+  }();
+  // No subscriptions: nothing can match, route, or be accounted — skip the
+  // per-row materialization entirely (as the scalar path effectively does).
+  if (interested == nullptr || interested->empty()) return;
+
+  // Accumulate per-subscription row lists in first-match order; matching
+  // and routing run per row so the traffic accounting is byte-identical to
+  // row-count scalar publishes.
+  std::vector<BatchDelivery> deliveries;
+  std::unordered_map<SubscriptionId, std::size_t> delivery_of;
+  Message message{stream, &it->second.schema, {}};
+  std::vector<MatchedSub> matched;
+  for (std::uint32_t row = 0; row < batch.size(); ++row) {
+    batch.materialize(row, message.tuple);
+    matched.clear();
+    for (const auto id : *interested) {
+      const auto& sub = subscriptions_.at(id);
+      if (sub.matches(*message.schema, message.tuple)) {
+        matched.push_back({&sub, index_of(sub.subscriber)});
+        auto [dit, fresh] = delivery_of.try_emplace(id, deliveries.size());
+        if (fresh) deliveries.push_back({&sub, &batch, {}});
+        deliveries[dit->second].rows.push_back(row);
+      }
+    }
+    if (matched.empty()) continue;
+    route(message, publisher, SIZE_MAX, matched,
+          [](const Subscription&, const Message&) {});
+  }
+  for (const auto& d : deliveries) callback(d);
+}
+
 void BrokerNetwork::route(const Message& message, std::size_t at,
                           std::size_t came_from,
                           const std::vector<MatchedSub>& matched,

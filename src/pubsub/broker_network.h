@@ -23,8 +23,18 @@
 
 #include "net/latency_matrix.h"
 #include "pubsub/subscription.h"
+#include "runtime/tuple_batch.h"
 
 namespace cosmos::pubsub {
+
+/// Batched delivery: the rows of a published batch one subscription
+/// matched, as ascending indices into the source batch (select() them to
+/// materialize the subscriber's view).
+struct BatchDelivery {
+  const Subscription* sub = nullptr;
+  const runtime::TupleBatch* source = nullptr;
+  std::vector<std::uint32_t> rows;
+};
 
 struct TrafficStats {
   double bytes = 0.0;
@@ -54,6 +64,18 @@ class BrokerNetwork {
   /// subscriptions receive it via `callback`; link traffic is accounted.
   void publish(const std::string& stream, const stream::Tuple& tuple,
                const DeliveryCallback& callback);
+
+  using BatchDeliveryCallback = std::function<void(const BatchDelivery&)>;
+
+  /// Batched forwarding: publishes every row of `batch` with per-tuple
+  /// matching and link accounting identical to N publish() calls, but one
+  /// delivery per matching subscription carrying all of its rows at once
+  /// (callbacks fire after the whole batch is routed, in first-match
+  /// order). This is what lets the runtime hand whole batches to shard
+  /// engines instead of crossing the queue per tuple.
+  void publish_batch(const std::string& stream,
+                     const runtime::TupleBatch& batch,
+                     const BatchDeliveryCallback& callback);
 
   [[nodiscard]] const TrafficStats& traffic() const noexcept {
     return traffic_;

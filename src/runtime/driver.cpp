@@ -1,0 +1,51 @@
+#include "runtime/driver.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cosmos::runtime {
+
+Driver::Driver(Options options, Sink sink)
+    : options_(options), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument{"Driver: null sink"};
+  if (options_.batch_size == 0) options_.batch_size = 1;
+}
+
+void Driver::push(const std::string& stream, const stream::Tuple& t) {
+  if (t.ts < last_ts_) {
+    throw std::invalid_argument{
+        "Driver: out-of-order trace event on " + stream + ": ts " +
+        std::to_string(t.ts) + " after global ts " + std::to_string(last_ts_)};
+  }
+  last_ts_ = t.ts;
+  if (!open_.runs.empty() && options_.tick_ms > 0 &&
+      t.ts - open_.first_ts >= options_.tick_ms) {
+    flush();  // virtual-clock tick: the chunk may not span further
+  }
+  if (open_.runs.empty()) open_.first_ts = t.ts;
+  if (open_.runs.empty() || open_.runs.back().stream() != stream) {
+    open_.runs.emplace_back(stream);
+  }
+  open_.runs.back().push_back(t);
+  open_.last_ts = t.ts;
+  ++open_.tuples;
+  ++tuples_;
+  if (open_.tuples >= options_.batch_size) flush();
+}
+
+void Driver::finish() { flush(); }
+
+void Driver::flush() {
+  if (open_.runs.empty()) return;
+  ++chunks_;
+  sink_(std::exchange(open_, Chunk{}));
+}
+
+void Driver::replay(const std::vector<TraceEvent>& events, Options options,
+                    const Sink& sink) {
+  Driver driver{options, sink};
+  for (const auto& ev : events) driver.push(ev.stream, ev.tuple);
+  driver.finish();
+}
+
+}  // namespace cosmos::runtime

@@ -1,0 +1,75 @@
+// Virtual-clock replay driver: turns a globally timestamp-ordered,
+// multi-stream trace into chunks the ingest loop hands to the broker and
+// shards. A chunk is an ordered list of same-stream runs that preserves
+// the global interleaving exactly — concatenating a chunk's runs replays
+// the trace verbatim — so batched execution delivers every engine the
+// same tuple sequence the synchronous per-tuple path would, and results
+// are bit-identical at any shard count or batch size. The virtual clock
+// bounds how much stream time one chunk may span (tick_ms), which in a
+// live deployment bounds batching latency.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/tuple_batch.h"
+#include "stream/schema.h"
+
+namespace cosmos::runtime {
+
+/// One trace record: a tuple on a named stream.
+struct TraceEvent {
+  std::string stream;
+  stream::Tuple tuple;
+};
+
+/// A globally-ordered slice of the trace, split into maximal same-stream
+/// runs (each run is one TupleBatch).
+struct Chunk {
+  std::vector<TupleBatch> runs;
+  std::size_t tuples = 0;
+  stream::Timestamp first_ts = 0;
+  stream::Timestamp last_ts = 0;
+};
+
+class Driver {
+ public:
+  struct Options {
+    /// Max tuples per chunk (flush trigger).
+    std::size_t batch_size = 256;
+    /// Max stream time one chunk may span; <= 0 disables the tick bound.
+    stream::Timestamp tick_ms = 60'000;
+  };
+  using Sink = std::function<void(Chunk&&)>;
+
+  Driver(Options options, Sink sink);
+
+  /// Feeds one trace event. Events must arrive in non-decreasing global
+  /// timestamp order; violations throw std::invalid_argument naming the
+  /// stream and both timestamps. Equal timestamps across streams are fine.
+  void push(const std::string& stream, const stream::Tuple& t);
+
+  /// Flushes the open chunk. Call once after the last event.
+  void finish();
+
+  [[nodiscard]] std::size_t tuples() const noexcept { return tuples_; }
+  [[nodiscard]] std::size_t chunks() const noexcept { return chunks_; }
+
+  /// Convenience: replays a whole trace through a fresh driver.
+  static void replay(const std::vector<TraceEvent>& events, Options options,
+                     const Sink& sink);
+
+ private:
+  void flush();
+
+  Options options_;
+  Sink sink_;
+  Chunk open_;
+  stream::Timestamp last_ts_ = INT64_MIN;
+  std::size_t tuples_ = 0;
+  std::size_t chunks_ = 0;
+};
+
+}  // namespace cosmos::runtime

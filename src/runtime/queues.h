@@ -1,0 +1,138 @@
+// Inter-thread channels of the execution runtime.
+//
+// BoundedQueue is the ingest-side channel between the trace driver and the
+// shard workers: bounded, blocking on both ends, so a slow shard exerts
+// backpressure on the driver instead of dropping or buffering without
+// limit (SPSC in the runtime's use, safe for MPMC).
+//
+// MpscBuffer is the result-side channel from shard workers back to the
+// driver: unbounded and never blocking on push, which is what makes the
+// driver->shard->driver cycle deadlock-free (a shard can always finish its
+// batch and emit results even while the driver is parked on a full shard
+// queue).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace cosmos::runtime {
+
+/// Bounded FIFO with blocking push (backpressure) and blocking pop.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks while the queue is full; never drops. Returns false (and
+  /// discards `value`) only if the queue was closed.
+  bool push(T value) {
+    std::unique_lock lock{mu_};
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; `value` is untouched when the queue is full.
+  bool try_push(T& value) {
+    {
+      std::lock_guard lock{mu_};
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed *and* drained, so
+  /// close() lets consumers finish the remaining items first.
+  std::optional<T> pop() {
+    std::unique_lock lock{mu_};
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard lock{mu_};
+      if (items_.empty()) return std::nullopt;
+      value = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pushes fail, pops drain then end.
+  void close() {
+    {
+      std::lock_guard lock{mu_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lock{mu_};
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mu_};
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Unbounded multi-producer buffer drained wholesale by one consumer.
+/// push() never blocks beyond the mutex; per-producer FIFO order is
+/// preserved (drained batches concatenate pushes in arrival order).
+template <typename T>
+class MpscBuffer {
+ public:
+  void push(T value) {
+    std::lock_guard lock{mu_};
+    items_.push_back(std::move(value));
+  }
+
+  /// Moves everything accumulated so far into `out` (cleared first).
+  void drain_into(std::vector<T>& out) {
+    out.clear();
+    std::lock_guard lock{mu_};
+    out.swap(items_);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mu_};
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+};
+
+}  // namespace cosmos::runtime

@@ -1,0 +1,136 @@
+#include "runtime/runtime.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/clock.h"
+#include "stream/engine.h"
+
+namespace cosmos::runtime {
+
+Runtime::Runtime(RuntimeOptions options) {
+  const std::size_t n = std::max<std::size_t>(1, options.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options.queue_capacity));
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start() {
+  if (started_) throw std::logic_error{"Runtime: already started"};
+  started_ = true;
+  for (auto& shard : shards_) {
+    shard->worker = std::thread{[this, s = shard.get()] { worker_loop(*s); }};
+  }
+}
+
+void Runtime::dispatch(std::size_t shard, Task task) {
+  auto& sh = *shards_.at(shard);
+  // Count the submission before pushing so drain() can never observe
+  // completed > submitted for an in-flight task; roll back if the push
+  // fails, or a later drain() would wait forever.
+  {
+    std::lock_guard lock{sh.drain_mu};
+    ++sh.submitted;
+  }
+  if (!sh.queue.try_push(task)) {
+    // Queue full: block (backpressure) and account the stall.
+    const auto t0 = Clock::now();
+    if (!sh.queue.push(std::move(task))) {
+      {
+        std::lock_guard lock{sh.drain_mu};
+        --sh.submitted;
+      }
+      throw std::logic_error{"Runtime: dispatch after stop"};
+    }
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<DurationNs>(Clock::now() - t0).count());
+    std::lock_guard lock{sh.stats_mu};
+    sh.stats.stall_ns += ns;
+  }
+  const std::size_t depth = sh.queue.depth();
+  std::lock_guard lock{sh.stats_mu};
+  sh.stats.max_queue_depth = std::max(sh.stats.max_queue_depth, depth);
+}
+
+void Runtime::worker_loop(Shard& shard) {
+  while (auto task = shard.queue.pop()) {
+    // Thread CPU time, not wall time: busy_ns must stay meaningful when
+    // shards outnumber cores (wall time would absorb preemption).
+    const double cpu0 = thread_cpu_seconds();
+    std::uint64_t tuples = 0;
+    std::uint64_t runs_done = 0;
+    std::string failure;
+    try {
+      for (const TupleBatch& run : task->runs) {
+        task->engine->publish_batch(run.stream(), run);
+        tuples += run.size();
+        ++runs_done;
+      }
+    } catch (const std::exception& e) {
+      // Must not escape the thread (std::terminate); record and keep the
+      // shard draining so drain()/stop() still complete.
+      failure = e.what();
+    }
+    const auto ns =
+        static_cast<std::uint64_t>((thread_cpu_seconds() - cpu0) * 1e9);
+    {
+      std::lock_guard lock{shard.stats_mu};
+      if (!failure.empty() && shard.error.empty()) {
+        shard.error = std::move(failure);
+      }
+      shard.stats.busy_ns += ns;
+      shard.stats.tuples += tuples;
+      shard.stats.batches += runs_done;
+      ++shard.stats.tasks;
+    }
+    {
+      std::lock_guard lock{shard.drain_mu};
+      ++shard.completed;
+    }
+    shard.drain_cv.notify_all();
+  }
+}
+
+void Runtime::drain() {
+  for (auto& shard : shards_) {
+    std::unique_lock lock{shard->drain_mu};
+    shard->drain_cv.wait(
+        lock, [&s = *shard] { return s.completed >= s.submitted; });
+  }
+}
+
+void Runtime::stop() {
+  if (!started_) {
+    // Never started: nothing queued can run; just mark the queues closed.
+    for (auto& shard : shards_) shard->queue.close();
+    return;
+  }
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  started_ = false;
+}
+
+std::optional<std::string> Runtime::first_error() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->stats_mu};
+    if (!shard->error.empty()) return shard->error;
+  }
+  return std::nullopt;
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->stats_mu};
+    out.shards.push_back(shard->stats);
+  }
+  return out;
+}
+
+}  // namespace cosmos::runtime

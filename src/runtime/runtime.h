@@ -1,0 +1,97 @@
+// The sharded execution runtime: N worker threads, each owning a bounded
+// task queue and exclusively executing the stream engines assigned to its
+// shard. The single ingest driver matches and routes tuples, then hands
+// per-engine batches to the owning shard; because every engine is pinned
+// to exactly one shard and each shard queue is FIFO, an engine sees its
+// input in exactly the order the driver dispatched it — per-shard ordering
+// needs no locks inside the engines at all (shared-nothing parallelism).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/queues.h"
+#include "runtime/stats.h"
+#include "runtime/tuple_batch.h"
+
+namespace cosmos::stream {
+class Engine;
+}
+
+namespace cosmos::runtime {
+
+struct RuntimeOptions {
+  std::size_t shards = 1;
+  /// Per-shard queue capacity in tasks; a full queue blocks the dispatcher
+  /// (backpressure), it never drops.
+  std::size_t queue_capacity = 64;
+};
+
+class Runtime {
+ public:
+  /// One queue entry: an ordered list of same-stream runs for one engine.
+  /// The worker replays the runs in order via Engine::publish_batch.
+  struct Task {
+    stream::Engine* engine = nullptr;
+    std::vector<TupleBatch> runs;
+  };
+
+  explicit Runtime(RuntimeOptions options);
+  /// Stops and joins outstanding workers.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+
+  /// Spawns the worker threads. Tasks dispatched before start() queue up.
+  void start();
+
+  /// Enqueues a task on `shard`, blocking while that queue is full; the
+  /// blocked time is accounted to the shard's stall_ns. Single-dispatcher
+  /// use is assumed (the driver); drain() must not run concurrently with
+  /// dispatch().
+  void dispatch(std::size_t shard, Task task);
+
+  /// Blocks until every dispatched task has finished executing.
+  void drain();
+
+  /// Closes the queues (remaining tasks still execute) and joins workers.
+  /// Idempotent; stats remain readable afterwards.
+  void stop();
+
+  /// Per-shard counters. Exact when the runtime is quiescent (after
+  /// drain()/stop()); an in-flight snapshot otherwise.
+  [[nodiscard]] RuntimeStats stats() const;
+
+  /// First engine-side exception a worker caught, if any. A failing task
+  /// never kills the process: the worker records the error, keeps its
+  /// shard draining, and the dispatcher checks here after drain()/stop().
+  [[nodiscard]] std::optional<std::string> first_error() const;
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : queue(capacity) {}
+    BoundedQueue<Task> queue;
+    std::thread worker;
+    mutable std::mutex stats_mu;
+    ShardStats stats;
+    std::string error;  ///< first task failure, guarded by stats_mu
+    std::mutex drain_mu;
+    std::condition_variable drain_cv;
+    std::uint64_t submitted = 0;  ///< dispatcher-side, guarded by drain_mu
+    std::uint64_t completed = 0;  ///< worker-side, guarded by drain_mu
+  };
+
+  void worker_loop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+};
+
+}  // namespace cosmos::runtime

@@ -1,0 +1,56 @@
+// Per-shard execution counters, the runtime's observability surface.
+// Snapshots are taken by Runtime::stats(); aggregate helpers answer the
+// two capacity-planning questions: how much total work ran (total_*) and
+// how long the slowest shard was busy (max_busy_seconds — the parallel
+// critical path the throughput bench reports).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cosmos::runtime {
+
+struct ShardStats {
+  std::uint64_t tuples = 0;   ///< tuples executed by this shard
+  std::uint64_t batches = 0;  ///< batches (runs) executed
+  std::uint64_t tasks = 0;    ///< queue entries consumed
+  std::uint64_t busy_ns = 0;  ///< worker thread CPU time executing tasks
+  /// Producer time spent blocked in dispatch() because this shard's queue
+  /// was full — the backpressure signal.
+  std::uint64_t stall_ns = 0;
+  std::size_t max_queue_depth = 0;  ///< high-water mark of the input queue
+};
+
+struct RuntimeStats {
+  std::vector<ShardStats> shards;
+
+  [[nodiscard]] std::uint64_t total_tuples() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.tuples;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_batches() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards) n += s.batches;
+    return n;
+  }
+  [[nodiscard]] double total_busy_seconds() const noexcept {
+    std::uint64_t ns = 0;
+    for (const auto& s : shards) ns += s.busy_ns;
+    return static_cast<double>(ns) * 1e-9;
+  }
+  [[nodiscard]] double max_busy_seconds() const noexcept {
+    std::uint64_t ns = 0;
+    for (const auto& s : shards) ns = std::max(ns, s.busy_ns);
+    return static_cast<double>(ns) * 1e-9;
+  }
+  [[nodiscard]] double total_stall_seconds() const noexcept {
+    std::uint64_t ns = 0;
+    for (const auto& s : shards) ns += s.stall_ns;
+    return static_cast<double>(ns) * 1e-9;
+  }
+};
+
+}  // namespace cosmos::runtime

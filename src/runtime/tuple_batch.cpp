@@ -1,0 +1,104 @@
+#include "runtime/tuple_batch.h"
+
+#include <stdexcept>
+
+namespace cosmos::runtime {
+
+void TupleBatch::push_back(const stream::Tuple& t) {
+  if (width_ == kNoWidth) {
+    width_ = t.values.size();
+  } else if (t.values.size() != width_) {
+    throw std::invalid_argument{
+        "TupleBatch: width mismatch on " + stream_ + ": got " +
+        std::to_string(t.values.size()) + " values, batch has " +
+        std::to_string(width_)};
+  }
+  ts_.push_back(t.ts);
+  values_.insert(values_.end(), t.values.begin(), t.values.end());
+}
+
+const stream::Value& TupleBatch::at(std::size_t row, std::size_t col) const {
+  if (row >= size() || col >= width()) {
+    throw std::out_of_range{"TupleBatch: (" + std::to_string(row) + "," +
+                            std::to_string(col) + ") out of range"};
+  }
+  return values_[row * width_ + col];
+}
+
+stream::Tuple TupleBatch::row(std::size_t i) const {
+  stream::Tuple out;
+  materialize(i, out);
+  return out;
+}
+
+void TupleBatch::materialize(std::size_t i, stream::Tuple& out) const {
+  if (i >= size()) {
+    throw std::out_of_range{"TupleBatch: row " + std::to_string(i) +
+                            " out of range"};
+  }
+  out.ts = ts_[i];
+  const auto first = values_.begin() + static_cast<std::ptrdiff_t>(i * width_);
+  out.values.assign(first, first + static_cast<std::ptrdiff_t>(width_));
+}
+
+bool TupleBatch::timestamps_ordered() const noexcept {
+  for (std::size_t i = 1; i < ts_.size(); ++i) {
+    if (ts_[i] < ts_[i - 1]) return false;
+  }
+  return true;
+}
+
+std::vector<TupleBatch> TupleBatch::split(std::size_t max_rows) const {
+  if (max_rows == 0) {
+    throw std::invalid_argument{"TupleBatch: split into zero-row chunks"};
+  }
+  std::vector<TupleBatch> out;
+  for (std::size_t begin = 0; begin < size(); begin += max_rows) {
+    const std::size_t end = std::min(size(), begin + max_rows);
+    TupleBatch chunk{stream_};
+    chunk.width_ = width_;
+    chunk.ts_.assign(ts_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     ts_.begin() + static_cast<std::ptrdiff_t>(end));
+    chunk.values_.assign(
+        values_.begin() + static_cast<std::ptrdiff_t>(begin * width_),
+        values_.begin() + static_cast<std::ptrdiff_t>(end * width_));
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+void TupleBatch::append(const TupleBatch& other) {
+  if (other.empty()) return;
+  if (empty() && width_ == kNoWidth) {
+    stream_ = other.stream_;
+    width_ = other.width_;
+  } else if (stream_ != other.stream_ || width_ != other.width_) {
+    throw std::invalid_argument{"TupleBatch: append of " + other.stream_ +
+                                " (width " + std::to_string(other.width()) +
+                                ") onto " + stream_ + " (width " +
+                                std::to_string(width()) + ")"};
+  }
+  ts_.insert(ts_.end(), other.ts_.begin(), other.ts_.end());
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+TupleBatch TupleBatch::select(const std::vector<std::uint32_t>& rows) const {
+  TupleBatch out{stream_};
+  out.width_ = width_;
+  out.ts_.reserve(rows.size());
+  out.values_.reserve(rows.size() * width());
+  for (const auto r : rows) {
+    if (r >= size()) {
+      throw std::out_of_range{"TupleBatch: selected row " + std::to_string(r) +
+                              " out of range"};
+    }
+    out.ts_.push_back(ts_[r]);
+    const auto first =
+        values_.begin() + static_cast<std::ptrdiff_t>(r * width_);
+    out.values_.insert(out.values_.end(), first,
+                       first + static_cast<std::ptrdiff_t>(width_));
+  }
+  return out;
+}
+
+}  // namespace cosmos::runtime

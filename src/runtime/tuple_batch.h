@@ -1,0 +1,84 @@
+// The unit of bulk data movement in the execution runtime: a batch of
+// tuples on one stream, stored column-separated — timestamps in their own
+// contiguous array (the hottest column: ordering checks and window math
+// touch nothing else) and values flattened row-major in one arena. Moving
+// one TupleBatch across a shard queue costs one synchronization regardless
+// of how many tuples it carries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/schema.h"
+
+namespace cosmos::runtime {
+
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+  explicit TupleBatch(std::string stream) : stream_(std::move(stream)) {}
+
+  [[nodiscard]] const std::string& stream() const noexcept { return stream_; }
+  /// Number of rows (tuples).
+  [[nodiscard]] std::size_t size() const noexcept { return ts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ts_.empty(); }
+  /// Number of value columns; fixed by the first appended row.
+  [[nodiscard]] std::size_t width() const noexcept {
+    return width_ == kNoWidth ? 0 : width_;
+  }
+
+  /// Appends a tuple; throws std::invalid_argument if its value count
+  /// differs from the batch width.
+  void push_back(const stream::Tuple& t);
+
+  [[nodiscard]] stream::Timestamp ts(std::size_t row) const {
+    return ts_.at(row);
+  }
+  [[nodiscard]] const stream::Value& at(std::size_t row,
+                                        std::size_t col) const;
+  /// Materializes one row as a Tuple (copies the values).
+  [[nodiscard]] stream::Tuple row(std::size_t i) const;
+  /// Same, reusing `out`'s storage (the engine fast path's scratch tuple).
+  void materialize(std::size_t i, stream::Tuple& out) const;
+
+  /// First/last row timestamps; batch must be non-empty.
+  [[nodiscard]] stream::Timestamp first_ts() const { return ts_.at(0); }
+  [[nodiscard]] stream::Timestamp last_ts() const {
+    return ts_.at(ts_.size() - 1);
+  }
+  /// True if row timestamps are non-decreasing (what engines require).
+  [[nodiscard]] bool timestamps_ordered() const noexcept;
+
+  /// Splits into consecutive chunks of at most `max_rows` rows each; row
+  /// order is preserved, so concatenating the chunks round-trips.
+  [[nodiscard]] std::vector<TupleBatch> split(std::size_t max_rows) const;
+
+  /// Appends all rows of `other` (the merge half of split/merge). Stream
+  /// and width must match unless this batch is empty, in which case it
+  /// adopts them.
+  void append(const TupleBatch& other);
+
+  /// New batch holding the given rows (ascending indices => row order,
+  /// hence timestamp order, is preserved).
+  [[nodiscard]] TupleBatch select(const std::vector<std::uint32_t>& rows) const;
+
+  void clear() noexcept {
+    ts_.clear();
+    values_.clear();
+    width_ = kNoWidth;
+  }
+
+  friend bool operator==(const TupleBatch&, const TupleBatch&) = default;
+
+ private:
+  static constexpr std::size_t kNoWidth = SIZE_MAX;
+
+  std::string stream_;
+  std::size_t width_ = kNoWidth;
+  std::vector<stream::Timestamp> ts_;
+  std::vector<stream::Value> values_;  ///< size() * width(), row-major
+};
+
+}  // namespace cosmos::runtime

@@ -2,7 +2,21 @@
 
 #include <stdexcept>
 
+#include "runtime/tuple_batch.h"
+
 namespace cosmos::stream {
+namespace {
+
+[[noreturn]] void throw_out_of_order(const std::string& name, Timestamp got,
+                                     Timestamp last) {
+  throw std::invalid_argument{
+      "Engine: out-of-order tuple on stream " + name + ": ts " +
+      std::to_string(got) + " after ts " + std::to_string(last) +
+      " (ordering is per-stream; equal timestamps are allowed, including "
+      "across streams)"};
+}
+
+}  // namespace
 
 void Engine::register_stream(const std::string& name, Schema schema) {
   if (streams_.contains(name)) {
@@ -41,15 +55,41 @@ void Engine::detach(const std::string& name, std::size_t tap_id) {
 
 void Engine::publish(const std::string& name, const Tuple& t) {
   auto& st = state(name);
-  if (t.ts < st.last_ts) {
-    throw std::invalid_argument{"Engine: out-of-order tuple on " + name};
-  }
+  if (t.ts < st.last_ts) throw_out_of_order(name, t.ts, st.last_ts);
   st.last_ts = t.ts;
   ++st.published;
   // Copy the tap list: a tap may attach/detach while we iterate (a query
   // result published downstream may register new consumers).
   const auto taps = st.taps;
   for (const auto& [id, tap] : taps) tap(t);
+}
+
+void Engine::publish_batch(const std::string& name,
+                           const runtime::TupleBatch& batch) {
+  // Validate even for empty batches: a misrouted batch should fail loudly
+  // whether or not it happens to carry rows.
+  if (batch.stream() != name) {
+    throw std::invalid_argument{"Engine: batch for stream " + batch.stream() +
+                                " published on " + name};
+  }
+  auto& st = state(name);
+  if (batch.empty()) return;
+  if (!batch.timestamps_ordered()) {
+    throw std::invalid_argument{"Engine: batch on stream " + name +
+                                " is not timestamp-ordered"};
+  }
+  if (batch.first_ts() < st.last_ts) {
+    throw_out_of_order(name, batch.first_ts(), st.last_ts);
+  }
+  st.last_ts = batch.last_ts();
+  st.published += batch.size();
+  // One tap-list snapshot per batch (vs. per tuple on the scalar path).
+  const auto taps = st.taps;
+  Tuple scratch;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch.materialize(i, scratch);
+    for (const auto& [id, tap] : taps) tap(scratch);
+  }
 }
 
 std::size_t Engine::published_count(const std::string& name) const {

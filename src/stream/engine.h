@@ -12,6 +12,10 @@
 
 #include "stream/schema.h"
 
+namespace cosmos::runtime {
+class TupleBatch;
+}
+
 namespace cosmos::stream {
 
 class Engine {
@@ -31,10 +35,21 @@ class Engine {
   std::size_t attach(const std::string& name, Tap tap);
   void detach(const std::string& name, std::size_t tap_id);
 
-  /// Pushes a tuple to every tap of the stream. Tuples on one stream must be
-  /// pushed in non-decreasing timestamp order; violations throw
-  /// std::invalid_argument (window semantics depend on order).
+  /// Pushes a tuple to every tap of the stream. Ordering is per-stream:
+  /// tuples on one stream must arrive in non-decreasing timestamp order
+  /// (window semantics depend on it), and violations throw
+  /// std::invalid_argument naming the stream and both timestamps. Streams
+  /// are independent — equal or interleaved timestamps across different
+  /// streams never throw.
   void publish(const std::string& name, const Tuple& t);
+
+  /// Batched fast path: publishes every row of `batch` (whose stream name
+  /// must equal `name`) with one stream lookup, one ordering check against
+  /// the previous publish, and one tap-list snapshot for the whole batch —
+  /// so a tap attached mid-batch first sees the next batch. Rows must be
+  /// timestamp-ordered within the batch (per-stream rule above).
+  void publish_batch(const std::string& name,
+                     const runtime::TupleBatch& batch);
 
   /// Total tuples published per stream (for tests and stats).
   [[nodiscard]] std::size_t published_count(const std::string& name) const;

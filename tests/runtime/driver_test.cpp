@@ -1,0 +1,120 @@
+#include "runtime/driver.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::runtime {
+namespace {
+
+using stream::Tuple;
+using stream::Value;
+
+std::vector<TraceEvent> interleaved_trace() {
+  // Three streams, globally ordered, with equal timestamps across streams.
+  std::vector<TraceEvent> events;
+  for (std::int64_t step = 0; step < 20; ++step) {
+    for (const auto* s : {"A", "B", "C"}) {
+      events.push_back({s, Tuple{step * 1000, {Value{step}}}});
+    }
+  }
+  return events;
+}
+
+/// Flattens chunks back into a (stream, ts) sequence.
+std::vector<std::pair<std::string, stream::Timestamp>> flatten(
+    const std::vector<Chunk>& chunks) {
+  std::vector<std::pair<std::string, stream::Timestamp>> out;
+  for (const auto& c : chunks) {
+    for (const auto& run : c.runs) {
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        out.emplace_back(run.stream(), run.ts(i));
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Driver, ChunksReplayTheTraceVerbatim) {
+  const auto events = interleaved_trace();
+  for (const std::size_t batch : {1, 7, 64, 1000}) {
+    std::vector<Chunk> chunks;
+    Driver::replay(events, {batch, /*tick_ms=*/0},
+                   [&](Chunk&& c) { chunks.push_back(std::move(c)); });
+    const auto flat = flatten(chunks);
+    ASSERT_EQ(flat.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(flat[i].first, events[i].stream);
+      EXPECT_EQ(flat[i].second, events[i].tuple.ts);
+    }
+  }
+}
+
+TEST(Driver, RunsAreMaximalSameStreamSegments) {
+  std::vector<Chunk> chunks;
+  Driver d{{100, 0}, [&](Chunk&& c) { chunks.push_back(std::move(c)); }};
+  d.push("A", Tuple{0, {Value{1}}});
+  d.push("A", Tuple{1, {Value{2}}});
+  d.push("B", Tuple{1, {Value{3}}});
+  d.push("A", Tuple{2, {Value{4}}});
+  d.finish();
+  ASSERT_EQ(chunks.size(), 1u);
+  ASSERT_EQ(chunks[0].runs.size(), 3u);  // AA | B | A
+  EXPECT_EQ(chunks[0].runs[0].size(), 2u);
+  EXPECT_EQ(chunks[0].runs[1].stream(), "B");
+  EXPECT_EQ(chunks[0].tuples, 4u);
+}
+
+TEST(Driver, FlushesAtBatchSize) {
+  std::vector<Chunk> chunks;
+  Driver d{{3, 0}, [&](Chunk&& c) { chunks.push_back(std::move(c)); }};
+  for (std::int64_t i = 0; i < 7; ++i) d.push("A", Tuple{i, {Value{i}}});
+  EXPECT_EQ(chunks.size(), 2u);  // two full chunks of 3
+  d.finish();
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].tuples, 1u);
+  EXPECT_EQ(d.tuples(), 7u);
+  EXPECT_EQ(d.chunks(), 3u);
+}
+
+TEST(Driver, VirtualClockTickBoundsChunkSpan) {
+  std::vector<Chunk> chunks;
+  Driver d{{1000, /*tick_ms=*/500}, [&](Chunk&& c) {
+             chunks.push_back(std::move(c));
+           }};
+  d.push("A", Tuple{0, {Value{1}}});
+  d.push("A", Tuple{499, {Value{2}}});  // same tick
+  d.push("A", Tuple{500, {Value{3}}});  // next tick: flush first chunk
+  d.push("B", Tuple{900, {Value{4}}});
+  d.finish();
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].tuples, 2u);
+  EXPECT_EQ(chunks[0].first_ts, 0);
+  EXPECT_EQ(chunks[0].last_ts, 499);
+  EXPECT_EQ(chunks[1].first_ts, 500);
+  EXPECT_EQ(chunks[1].last_ts, 900);
+}
+
+TEST(Driver, OutOfOrderTraceThrowsNamingStreamAndTimestamps) {
+  Driver d{{100, 0}, [](Chunk&&) {}};
+  d.push("A", Tuple{10, {Value{1}}});
+  d.push("B", Tuple{10, {Value{1}}});  // equal ts across streams: fine
+  try {
+    d.push("B", Tuple{9, {Value{1}}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("B"), std::string::npos);
+    EXPECT_NE(msg.find("9"), std::string::npos);
+    EXPECT_NE(msg.find("10"), std::string::npos);
+  }
+}
+
+TEST(Driver, EmptyTraceEmitsNothing) {
+  std::size_t calls = 0;
+  Driver d{{8, 1000}, [&](Chunk&&) { ++calls; }};
+  d.finish();
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(d.chunks(), 0u);
+}
+
+}  // namespace
+}  // namespace cosmos::runtime

@@ -1,0 +1,101 @@
+#include "runtime/queues.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cosmos::runtime {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q{4};
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, TryPushLeavesValueOnFullQueue) {
+  BoundedQueue<std::string> q{1};
+  std::string a = "first";
+  ASSERT_TRUE(q.try_push(a));
+  std::string b = "second";
+  EXPECT_FALSE(q.try_push(b));
+  EXPECT_EQ(b, "second");  // not consumed by the failed push
+  EXPECT_EQ(q.pop(), "first");
+}
+
+TEST(BoundedQueue, BackpressureBlocksInsteadOfDropping) {
+  // A producer pushes more items than the queue holds while a slow consumer
+  // drains; every item must arrive, in order — blocked, never dropped.
+  constexpr std::size_t kItems = 200;
+  BoundedQueue<std::size_t> q{2};
+  std::atomic<std::size_t> produced{0};
+  std::thread producer{[&] {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(q.push(i));
+      produced.fetch_add(1, std::memory_order_relaxed);
+    }
+  }};
+  // Give the producer a chance to hit the full queue.
+  while (produced.load(std::memory_order_relaxed) < 2) std::this_thread::yield();
+  EXPECT_LE(q.depth(), 2u);
+  std::vector<std::size_t> got;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    got.push_back(*v);
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+  // The producer could never overshoot the bound.
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q{8};
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q{2};
+  std::optional<int> result{42};
+  std::thread consumer{[&] { result = q.pop(); }};
+  q.close();
+  consumer.join();
+  EXPECT_EQ(result, std::nullopt);
+}
+
+TEST(MpscBuffer, DrainsEverythingInPerProducerOrder) {
+  MpscBuffer<std::pair<int, int>> buf;  // (producer, seq)
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&buf, p] {
+      for (int i = 0; i < kPerProducer; ++i) buf.push({p, i});
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::vector<std::pair<int, int>> out;
+  buf.drain_into(out);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::vector<int> next(kProducers, 0);
+  for (const auto& [p, seq] : out) EXPECT_EQ(seq, next[p]++);
+  buf.drain_into(out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace cosmos::runtime

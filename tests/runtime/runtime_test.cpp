@@ -1,0 +1,132 @@
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/driver.h"
+#include "stream/engine.h"
+
+namespace cosmos::runtime {
+namespace {
+
+using stream::Engine;
+using stream::Schema;
+using stream::Tuple;
+using stream::Value;
+using stream::ValueType;
+
+Schema one_field() { return Schema{{{"v", ValueType::kInt}}}; }
+
+/// Runs the same interleaved workload over `shards` shards and returns the
+/// per-engine sequence of observed (ts, value) pairs.
+std::vector<std::vector<std::pair<stream::Timestamp, std::int64_t>>>
+run_workload(std::size_t shards, std::size_t engines_n,
+             std::size_t queue_capacity) {
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::vector<std::vector<std::pair<stream::Timestamp, std::int64_t>>> seen(
+      engines_n);
+  for (std::size_t e = 0; e < engines_n; ++e) {
+    engines.push_back(std::make_unique<Engine>());
+    engines[e]->register_stream("S", one_field());
+    engines[e]->attach("S", [&seen, e](const Tuple& t) {
+      seen[e].emplace_back(t.ts, t.values.at(0).as_int());
+    });
+  }
+  Runtime rt{{shards, queue_capacity}};
+  rt.start();
+  // 300 batches round-robin over the engines, each engine pinned to the
+  // shard (engine index % shards).
+  std::int64_t seq = 0;
+  for (std::size_t b = 0; b < 300; ++b) {
+    const std::size_t e = b % engines_n;
+    TupleBatch batch{"S"};
+    for (int i = 0; i < 4; ++i) {
+      batch.push_back(Tuple{seq, {Value{seq}}});
+      ++seq;
+    }
+    rt.dispatch(e % rt.shards(), Runtime::Task{engines[e].get(), {batch}});
+  }
+  rt.drain();
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.total_tuples(), 1200u);
+  EXPECT_EQ(stats.total_batches(), 300u);
+  rt.stop();
+  return seen;
+}
+
+TEST(Runtime, PerShardOrderingPreservedAcrossShardCounts) {
+  // The per-engine observation sequence must be identical whether the work
+  // runs on one worker or eight — engines are pinned, queues are FIFO.
+  const auto base = run_workload(1, 6, 16);
+  std::size_t total = 0;
+  for (const auto& s : base) total += s.size();
+  EXPECT_EQ(total, 1200u);
+  for (const auto& s : base) {
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      EXPECT_LT(s[i - 1].first, s[i].first);  // strictly increasing here
+    }
+  }
+  EXPECT_EQ(run_workload(8, 6, 16), base);
+  // Tiny queues force the backpressure path; results must not change.
+  EXPECT_EQ(run_workload(8, 6, 1), base);
+}
+
+TEST(Runtime, StatsAttributeWorkToTheOwningShard) {
+  Engine engine;
+  engine.register_stream("S", one_field());
+  Runtime rt{{4, 8}};
+  rt.start();
+  TupleBatch batch{"S"};
+  batch.push_back(Tuple{1, {Value{7}}});
+  rt.dispatch(2, Runtime::Task{&engine, {batch}});
+  rt.drain();
+  const auto stats = rt.stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  EXPECT_EQ(stats.shards[2].tuples, 1u);
+  EXPECT_EQ(stats.shards[2].tasks, 1u);
+  EXPECT_EQ(stats.shards[0].tuples, 0u);
+  EXPECT_EQ(engine.published_count("S"), 1u);
+}
+
+TEST(Runtime, StopExecutesQueuedTasksBeforeJoining) {
+  Engine engine;
+  engine.register_stream("S", one_field());
+  Runtime rt{{1, 64}};
+  rt.start();
+  for (std::int64_t i = 0; i < 50; ++i) {
+    TupleBatch batch{"S"};
+    batch.push_back(Tuple{i, {Value{i}}});
+    rt.dispatch(0, Runtime::Task{&engine, {batch}});
+  }
+  rt.stop();  // close + join must drain the queue first
+  EXPECT_EQ(engine.published_count("S"), 50u);
+}
+
+TEST(Runtime, AtLeastOneShard) {
+  Runtime rt{{0, 0}};
+  EXPECT_EQ(rt.shards(), 1u);
+}
+
+TEST(Runtime, WorkerErrorIsCapturedNotFatal) {
+  // An engine-side throw on a worker thread must not std::terminate the
+  // process; the shard records it and keeps draining.
+  Engine engine;
+  engine.register_stream("S", one_field());
+  engine.publish("S", Tuple{100, {Value{0}}});
+  Runtime rt{{2, 8}};
+  rt.start();
+  TupleBatch stale{"S"};
+  stale.push_back(Tuple{50, {Value{1}}});  // out of order: throws in-engine
+  rt.dispatch(0, Runtime::Task{&engine, {stale}});
+  TupleBatch fine{"S"};
+  fine.push_back(Tuple{200, {Value{2}}});
+  rt.dispatch(0, Runtime::Task{&engine, {fine}});
+  rt.drain();  // must not hang on the failed task
+  rt.stop();
+  const auto error = rt.first_error();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("out-of-order"), std::string::npos);
+  EXPECT_EQ(engine.published_count("S"), 2u);  // the later task still ran
+}
+
+}  // namespace
+}  // namespace cosmos::runtime

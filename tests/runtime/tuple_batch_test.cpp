@@ -1,0 +1,107 @@
+#include "runtime/tuple_batch.h"
+
+#include <gtest/gtest.h>
+
+namespace cosmos::runtime {
+namespace {
+
+using stream::Tuple;
+using stream::Value;
+
+TupleBatch make_batch(std::size_t rows) {
+  TupleBatch b{"S"};
+  for (std::size_t i = 0; i < rows; ++i) {
+    b.push_back(Tuple{static_cast<stream::Timestamp>(10 * i),
+                      {Value{static_cast<std::int64_t>(i)},
+                       Value{0.5 * static_cast<double>(i)}}});
+  }
+  return b;
+}
+
+TEST(TupleBatch, AppendAndAccess) {
+  const auto b = make_batch(3);
+  EXPECT_EQ(b.stream(), "S");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.width(), 2u);
+  EXPECT_EQ(b.ts(1), 10);
+  EXPECT_EQ(b.at(2, 0), Value{2});
+  EXPECT_EQ(b.first_ts(), 0);
+  EXPECT_EQ(b.last_ts(), 20);
+  EXPECT_THROW(b.at(3, 0), std::out_of_range);
+  EXPECT_THROW(b.at(0, 2), std::out_of_range);
+}
+
+TEST(TupleBatch, RowMaterializationRoundTrips) {
+  const auto b = make_batch(4);
+  Tuple scratch;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const Tuple t = b.row(i);
+    b.materialize(i, scratch);
+    EXPECT_EQ(t.ts, scratch.ts);
+    EXPECT_EQ(t.values, scratch.values);
+    EXPECT_EQ(t.values.size(), 2u);
+  }
+}
+
+TEST(TupleBatch, WidthMismatchThrows) {
+  TupleBatch b{"S"};
+  b.push_back(Tuple{0, {Value{1}}});
+  EXPECT_THROW(b.push_back(Tuple{1, {Value{1}, Value{2}}}),
+               std::invalid_argument);
+}
+
+TEST(TupleBatch, SplitMergeRoundTrip) {
+  const auto original = make_batch(10);
+  for (const std::size_t chunk_rows : {1, 3, 4, 10, 99}) {
+    const auto chunks = original.split(chunk_rows);
+    std::size_t total = 0;
+    for (const auto& c : chunks) {
+      EXPECT_LE(c.size(), chunk_rows);
+      total += c.size();
+    }
+    EXPECT_EQ(total, original.size());
+    TupleBatch merged;
+    for (const auto& c : chunks) merged.append(c);
+    EXPECT_EQ(merged, original);
+  }
+}
+
+TEST(TupleBatch, SplitOfEmptyIsEmpty) {
+  const TupleBatch b{"S"};
+  EXPECT_TRUE(b.split(4).empty());
+  EXPECT_THROW(make_batch(2).split(0), std::invalid_argument);
+}
+
+TEST(TupleBatch, AppendRejectsMismatch) {
+  auto a = make_batch(2);
+  TupleBatch other{"T"};
+  other.push_back(Tuple{5, {Value{1}, Value{2}}});
+  EXPECT_THROW(a.append(other), std::invalid_argument);
+  TupleBatch narrow{"S"};
+  narrow.push_back(Tuple{5, {Value{1}}});
+  EXPECT_THROW(a.append(narrow), std::invalid_argument);
+}
+
+TEST(TupleBatch, SelectPreservesRowOrder) {
+  const auto b = make_batch(5);
+  const auto picked = b.select({1, 3, 4});
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked.ts(0), 10);
+  EXPECT_EQ(picked.ts(2), 40);
+  EXPECT_EQ(picked.at(1, 0), Value{3});
+  EXPECT_TRUE(picked.timestamps_ordered());
+  EXPECT_THROW(b.select({7}), std::out_of_range);
+}
+
+TEST(TupleBatch, TimestampOrderDetection) {
+  TupleBatch b{"S"};
+  b.push_back(Tuple{5, {Value{1}}});
+  b.push_back(Tuple{5, {Value{2}}});
+  b.push_back(Tuple{9, {Value{3}}});
+  EXPECT_TRUE(b.timestamps_ordered());
+  b.push_back(Tuple{7, {Value{4}}});
+  EXPECT_FALSE(b.timestamps_ordered());
+}
+
+}  // namespace
+}  // namespace cosmos::runtime

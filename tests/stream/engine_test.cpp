@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/tuple_batch.h"
+
 namespace cosmos::stream {
 namespace {
 
@@ -46,6 +48,85 @@ TEST(Engine, RejectsOutOfOrderTuples) {
   e.publish("S", Tuple{10, {Value{1}}});
   e.publish("S", Tuple{10, {Value{2}}});  // equal is fine
   EXPECT_THROW(e.publish("S", Tuple{9, {Value{3}}}), std::invalid_argument);
+}
+
+TEST(Engine, OrderingIsPerStream) {
+  // Equal — or even regressing — timestamps across *different* streams must
+  // not throw: each stream carries its own ordering constraint.
+  Engine e;
+  e.register_stream("S", one_field());
+  e.register_stream("T", one_field());
+  e.publish("S", Tuple{10, {Value{1}}});
+  EXPECT_NO_THROW(e.publish("T", Tuple{10, {Value{2}}}));  // equal ts, other stream
+  EXPECT_NO_THROW(e.publish("T", Tuple{10, {Value{3}}}));
+  EXPECT_NO_THROW(e.publish("S", Tuple{10, {Value{4}}}));
+  EXPECT_NO_THROW(e.publish("T", Tuple{12, {Value{5}}}));
+  EXPECT_NO_THROW(e.publish("S", Tuple{11, {Value{6}}}));  // < T's 12: fine
+}
+
+TEST(Engine, OutOfOrderErrorNamesStreamAndBothTimestamps) {
+  Engine e;
+  e.register_stream("Station7", one_field());
+  e.publish("Station7", Tuple{42, {Value{1}}});
+  try {
+    e.publish("Station7", Tuple{17, {Value{2}}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string msg = ex.what();
+    EXPECT_NE(msg.find("Station7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("17"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("42"), std::string::npos) << msg;
+  }
+}
+
+TEST(Engine, PublishBatchMatchesScalarPublish) {
+  Engine scalar, batched;
+  for (auto* e : {&scalar, &batched}) e->register_stream("S", one_field());
+  std::vector<std::int64_t> scalar_seen, batch_seen;
+  scalar.attach("S", [&](const Tuple& t) {
+    scalar_seen.push_back(t.values.at(0).as_int());
+  });
+  batched.attach("S", [&](const Tuple& t) {
+    batch_seen.push_back(t.values.at(0).as_int());
+  });
+  runtime::TupleBatch batch{"S"};
+  for (std::int64_t i = 0; i < 10; ++i) {
+    const Tuple t{i, {Value{i}}};
+    scalar.publish("S", t);
+    batch.push_back(t);
+  }
+  batched.publish_batch("S", batch);
+  EXPECT_EQ(batch_seen, scalar_seen);
+  EXPECT_EQ(batched.published_count("S"), scalar.published_count("S"));
+}
+
+TEST(Engine, PublishBatchEnforcesOrdering) {
+  Engine e;
+  e.register_stream("S", one_field());
+  e.publish("S", Tuple{100, {Value{1}}});
+  runtime::TupleBatch stale{"S"};
+  stale.push_back(Tuple{99, {Value{2}}});
+  EXPECT_THROW(e.publish_batch("S", stale), std::invalid_argument);
+  runtime::TupleBatch scrambled{"S"};
+  scrambled.push_back(Tuple{200, {Value{3}}});
+  scrambled.push_back(Tuple{150, {Value{4}}});
+  EXPECT_THROW(e.publish_batch("S", scrambled), std::invalid_argument);
+  runtime::TupleBatch wrong_stream{"T"};
+  wrong_stream.push_back(Tuple{300, {Value{5}}});
+  EXPECT_THROW(e.publish_batch("S", wrong_stream), std::invalid_argument);
+  EXPECT_EQ(e.published_count("S"), 1u);  // nothing partial got through
+}
+
+TEST(Engine, PublishBatchEmptyIsNoOp) {
+  Engine e;
+  e.register_stream("S", one_field());
+  e.publish_batch("S", runtime::TupleBatch{"S"});
+  EXPECT_EQ(e.published_count("S"), 0u);
+  // Misrouting fails loudly even when the batch happens to be empty.
+  EXPECT_THROW(e.publish_batch("S", runtime::TupleBatch{"T"}),
+               std::invalid_argument);
+  EXPECT_THROW(e.publish_batch("Unknown", runtime::TupleBatch{"Unknown"}),
+               std::out_of_range);
 }
 
 TEST(Engine, TapsMayAttachDuringPublish) {
