@@ -1,0 +1,289 @@
+// Adaptation under skew: live operator migration (src/adapt/) on a
+// Zipf-skewed, rate-perturbed station workload (the Fig 10 scenario as an
+// executable trace). Each processor hosts one windowed join over two
+// stations; station rates are heavily skewed and the hot set shifts
+// mid-trace, so a static engine→shard pinning leaves one shard on the
+// critical path. Configurations:
+//   push        — synchronous single-thread baseline (result identity)
+//   run:rr      — default round-robin pinning (also the measurement pass
+//                 that derives per-engine load from the new per-engine
+//                 RuntimeStats)
+//   run:worst   — static worst-case pinning: heaviest engines packed onto
+//                 the same shards (sorted fill), adaptation off
+//   run:adapt   — same worst-case start, adaptation ON: the LoadMonitor /
+//                 MigrationPlanner / Migrator loop re-pins engines between
+//                 chunks
+//   run:oracle  — static LPT placement using measured loads (what offline
+//                 re-optimization with perfect foresight would pick)
+// The headline number is critical-path tuples/s = tuples / max(driver CPU,
+// slowest shard CPU); the acceptance bar is run:adapt >= 1.5x run:worst,
+// with per-query result sequences identical across every configuration.
+//
+// --smoke runs a scaled-down trace and is the CI regression gate: metrics
+// land in BENCH_adapt_skew.json and scripts/check_bench.py compares them
+// against bench/baselines/BENCH_adapt_skew.json.
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.h"
+#include "cosmos/cosmos.h"
+
+using namespace cosmos;
+using namespace cosmos::bench;
+
+namespace {
+
+/// Windowed join over stations (2i, 2i+1): a wide window on the first
+/// alias (the scan work), a short one on the second, and both-alias
+/// predicates so nothing is pushed below the join.
+query::QuerySpec make_join_query(QueryId id, NodeId proxy, std::size_t s1,
+                                 std::size_t s2) {
+  query::QuerySpec spec;
+  spec.id = id;
+  spec.proxy = proxy;
+  spec.sources = {{sim::station_stream_name(s1), "S1",
+                   stream::WindowSpec::range_millis(3 * 3'600'000)},
+                  {sim::station_stream_name(s2), "S2",
+                   stream::WindowSpec::range_millis(45 * 60'000)}};
+  spec.select = {{"S1", "snowHeight"},
+                 {"S1", "timestamp"},
+                 {"S2", "snowHeight"},
+                 {"S2", "timestamp"}};
+  spec.where = stream::Predicate::conj(
+      {stream::Predicate::time_band({"S2", "timestamp"}, {"S1", "timestamp"},
+                                    90'000),
+       stream::Predicate::cmp(stream::FieldRef{"S1", "snowHeight"},
+                              stream::CmpOp::kGt,
+                              stream::FieldRef{"S2", "snowHeight"}),
+       stream::Predicate::cmp(stream::FieldRef{"S1", "temperature"},
+                              stream::CmpOp::kGt,
+                              stream::FieldRef{"S2", "temperature"})});
+  return spec;
+}
+
+struct Row {
+  std::string name;
+  double wall_s = 0.0;
+  double crit_s = 0.0;
+  std::map<QueryId, std::size_t> per_query;
+  middleware::Cosmos::RunReport report;
+};
+
+void print_row(const Row& row, std::size_t tuples) {
+  std::size_t results = 0;
+  for (const auto& [q, n] : row.per_query) results += n;
+  std::printf("%-11s %8.3f %11.0f %8.3f %11.0f %9zu %8.3f %8.3f %6zu %8.1f\n",
+              row.name.c_str(), row.wall_s,
+              static_cast<double>(tuples) / row.wall_s, row.crit_s,
+              row.crit_s > 0 ? static_cast<double>(tuples) / row.crit_s : 0.0,
+              results, row.report.driver_cpu_seconds,
+              row.report.stats.max_busy_seconds(),
+              row.report.adaptation.moves,
+              row.report.adaptation.state_bytes_migrated / 1024.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double scale = env_scale(smoke ? 0.5 : 1.0);
+  const std::uint64_t seed = env_seed(42);
+
+  const std::size_t kStations = 24;
+  const std::size_t kEngines = 12;  // one join query per processor
+  const std::size_t kSources = 4;
+  const std::size_t kShards = 4;
+  const auto tuples_target =
+      std::max<std::size_t>(6'000, static_cast<std::size_t>(48'000 * scale));
+
+  Rng rng{seed};
+  const std::size_t kNodes = kSources + kEngines;
+  const auto topo = net::make_wide_area_mesh(kNodes, 4, rng);
+  std::vector<NodeId> all;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    all.push_back(NodeId{static_cast<NodeId::value_type>(i)});
+  }
+  const net::LatencyMatrix lat{topo, all};
+  const std::vector<NodeId> sources(all.begin(), all.begin() + kSources);
+  const std::vector<NodeId> processors(all.begin() + kSources, all.end());
+
+  sim::SkewedTraceParams tp;
+  tp.stations = kStations;
+  tp.total_tuples = tuples_target;
+  tp.duration_ms = 4 * 3'600'000;
+  tp.zipf_theta = 0.5;
+  tp.perturb_pattern = "ID";
+  tp.perturb_stations = 2;
+  tp.perturb_factor = 4.0;
+  Rng trng{seed + 1};
+  const auto trace = sim::make_skewed_trace(tp, trng);
+  std::vector<runtime::TraceEvent> events;
+  events.reserve(trace.size());
+  for (const auto& r : trace) {
+    events.push_back({sim::station_stream_name(r.station), r.tuple});
+  }
+
+  const auto build = [&](std::map<QueryId, std::size_t>& per_query) {
+    auto sys = std::make_unique<middleware::Cosmos>(all, lat);
+    for (std::size_t st = 0; st < kStations; ++st) {
+      sys->register_source(sim::station_stream_name(st), sim::sensor_schema(),
+                           sources[st % kSources]);
+    }
+    for (std::size_t i = 0; i < kEngines; ++i) {
+      sys->submit(make_join_query(
+                      QueryId{static_cast<QueryId::value_type>(i)},
+                      processors[(i + 3) % kEngines], 2 * i, 2 * i + 1),
+                  processors[i],
+                  [&per_query](QueryId q, const stream::Tuple&) {
+                    ++per_query[q];
+                  });
+    }
+    return sys;
+  };
+
+  middleware::Cosmos::RunOptions base;
+  base.shards = kShards;
+  base.batch_size = 256;
+  base.queue_capacity = 64;
+  base.tick_ms = 15 * 60'000;
+
+  adapt::AdaptOptions adapt_on;
+  adapt_on.enabled = true;
+  adapt_on.adapt_every_ms = 10 * 60'000;
+  adapt_on.imbalance_threshold = 1.15;
+  adapt_on.ewma_alpha = 0.5;
+
+  std::printf("# adapt skew (smoke=%d scale=%.2f seed=%llu stations=%zu "
+              "engines=%zu shards=%zu tuples=%zu cores=%u)\n",
+              smoke ? 1 : 0, scale, static_cast<unsigned long long>(seed),
+              kStations, kEngines, kShards, events.size(),
+              std::thread::hardware_concurrency());
+  std::printf("%-11s %8s %11s %8s %11s %9s %8s %8s %6s %8s\n", "config",
+              "wall-s", "wall-tup/s", "crit-s", "crit-tup/s", "results",
+              "driver-s", "shard-s", "moves", "mig-KiB");
+
+  std::vector<Row> rows;
+  rows.reserve(8);  // run_config hands out pointers into `rows`
+  const auto run_config =
+      [&](const std::string& name, const middleware::Cosmos::RunOptions& opts) {
+        Row row;
+        row.name = name;
+        auto sys = build(row.per_query);
+        const Stopwatch watch;
+        row.report = sys->run(events, opts);
+        row.wall_s = watch.seconds();
+        row.crit_s = std::max(row.report.driver_cpu_seconds,
+                              row.report.stats.max_busy_seconds());
+        print_row(row, events.size());
+        rows.push_back(std::move(row));
+        return &rows.back();
+      };
+
+  {
+    Row row;
+    row.name = "push";
+    auto sys = build(row.per_query);
+    const Stopwatch watch;
+    for (const auto& ev : events) sys->push(ev.stream, ev.tuple);
+    row.wall_s = watch.seconds();
+    row.crit_s = row.wall_s;
+    print_row(row, events.size());
+    rows.push_back(std::move(row));
+  }
+
+  // Measurement pass: default round-robin pinning, adaptation off. Its
+  // per-engine counters drive the worst-case and oracle pinnings below.
+  const Row* rr = run_config("run:rr", base);
+
+  std::vector<std::pair<std::uint64_t, NodeId>> by_busy;  // busy_ns desc
+  for (const auto node : processors) {
+    const auto* es = rr->report.stats.engine(node.value());
+    by_busy.emplace_back(es != nullptr ? es->busy_ns : 0, node);
+  }
+  std::sort(by_busy.begin(), by_busy.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first
+                              : a.second.value() < b.second.value();
+  });
+
+  // Worst-case static pinning: sorted fill over shards 0..S-2 — the
+  // heaviest engines share a shard and one worker sits idle. This is the
+  // Fig 10 failure mode the adaptation exists for: a placement that was
+  // (or looked) fine under old rates is badly concentrated under the
+  // observed ones.
+  middleware::Cosmos::RunOptions worst = base;
+  {
+    const std::size_t used = kShards - 1;
+    const std::size_t per = (kEngines + used - 1) / used;
+    for (std::size_t i = 0; i < by_busy.size(); ++i) {
+      worst.pin[by_busy[i].second] = i / per;
+    }
+  }
+  // Oracle static pinning: LPT over the measured loads (offline
+  // re-optimization with perfect foresight of this trace).
+  middleware::Cosmos::RunOptions oracle = base;
+  {
+    std::vector<std::uint64_t> load(kShards, 0);
+    for (const auto& [busy, node] : by_busy) {
+      const auto s = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      oracle.pin[node] = s;
+      load[s] += busy;
+    }
+  }
+  middleware::Cosmos::RunOptions adapted = worst;
+  adapted.adapt = adapt_on;
+
+  const Row* worst_row = run_config("run:worst", worst);
+  const Row* adapt_row = run_config("run:adapt", adapted);
+  const Row* oracle_row = run_config("run:oracle", oracle);
+
+  bool identical = true;
+  for (const auto& row : rows) {
+    if (row.per_query != rows[0].per_query) {
+      identical = false;
+      std::printf("!! per-query result mismatch: %s vs %s\n", row.name.c_str(),
+                  rows[0].name.c_str());
+    }
+  }
+  std::printf("per-query result counts identical across configs: %s\n",
+              identical ? "yes" : "NO");
+
+  const double speedup = worst_row->crit_s / adapt_row->crit_s;
+  const auto& ar = adapt_row->report.adaptation;
+  std::printf("adapt vs worst-static: %.2fx crit-path (oracle static: %.2fx); "
+              "moves=%zu state=%.1fKiB imbalance %.2f -> %.2f\n",
+              speedup, worst_row->crit_s / oracle_row->crit_s, ar.moves,
+              ar.state_bytes_migrated / 1024.0, ar.imbalance_before,
+              ar.imbalance_after);
+
+  write_bench_json(
+      "adapt_skew",
+      {{"tuples", static_cast<double>(events.size())},
+       {"shards", static_cast<double>(kShards)},
+       {"crit_tuples_per_s_rr",
+        static_cast<double>(events.size()) / rr->crit_s},
+       {"crit_tuples_per_s_worst",
+        static_cast<double>(events.size()) / worst_row->crit_s},
+       {"crit_tuples_per_s_adapt",
+        static_cast<double>(events.size()) / adapt_row->crit_s},
+       {"crit_tuples_per_s_oracle",
+        static_cast<double>(events.size()) / oracle_row->crit_s},
+       {"adapt_vs_worst_crit_speedup", speedup},
+       {"adapt_moves", static_cast<double>(ar.moves)},
+       {"adapt_state_bytes_migrated", ar.state_bytes_migrated},
+       {"results_identical", identical ? 1.0 : 0.0}});
+
+  if (!identical) return 1;
+  const double bar = smoke ? 1.2 : 1.5;
+  if (speedup < bar) {
+    std::printf("!! adaptation speedup %.2fx below the %.2fx bar\n", speedup,
+                bar);
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "coord/coordinator_tree.h"
@@ -92,6 +94,29 @@ inline std::unordered_map<QueryId, query::InterestProfile> to_map(
   out.reserve(profiles.size());
   for (const auto& p : profiles) out.emplace(p.query, p);
   return out;
+}
+
+/// Machine-readable bench results: writes BENCH_<name>.json (flat
+/// {"metric": value}) in the working directory, so the perf trajectory is
+/// tracked across PRs and CI can gate on regressions
+/// (scripts/check_bench.py compares against bench/baselines/).
+inline void write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "# could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.10g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
 }
 
 /// Reads scale/seed from env (COSMOS_BENCH_SCALE, COSMOS_BENCH_SEED) so the

@@ -66,6 +66,7 @@ struct ConfigResult {
   double crit_s = 0.0;
   std::map<QueryId, std::size_t> per_query;
   std::size_t results = 0;
+  runtime::RuntimeStats stats;  ///< empty for the push configuration
 };
 
 }  // namespace
@@ -194,6 +195,7 @@ int main() {
     const Stopwatch watch;
     const auto report = sys->run(events, opts);
     row.wall_s = watch.seconds();
+    row.stats = report.stats;
     const double stall = report.stats.total_stall_seconds();
     const double driver_busy = report.driver_cpu_seconds;
     row.crit_s = std::max(driver_busy, report.stats.max_busy_seconds());
@@ -223,5 +225,33 @@ int main() {
   const auto* four = &rows[3];  // run:4-shard
   std::printf("speedup 4-shard vs 1-shard: %.2fx crit-path, %.2fx wall\n",
               one->crit_s / four->crit_s, one->wall_s / four->wall_s);
+
+  // Per-engine load profile of the 4-shard run (new per-engine counters):
+  // how concentrated the work is — the adaptation subsystem's raw signal.
+  {
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+    for (const auto& e : four->stats.engines) {
+      total_ns += e.busy_ns;
+      max_ns = std::max(max_ns, e.busy_ns);
+    }
+    std::printf("engines=%zu hottest-engine share of busy time: %.1f%%\n",
+                four->stats.engines.size(),
+                total_ns > 0 ? 100.0 * static_cast<double>(max_ns) /
+                                   static_cast<double>(total_ns)
+                             : 0.0);
+  }
+
+  write_bench_json(
+      "runtime_throughput",
+      {{"tuples", static_cast<double>(events.size())},
+       {"push_tuples_per_s",
+        static_cast<double>(events.size()) / rows[0].wall_s},
+       {"crit_tuples_per_s_1shard",
+        static_cast<double>(events.size()) / one->crit_s},
+       {"crit_tuples_per_s_4shard",
+        static_cast<double>(events.size()) / four->crit_s},
+       {"crit_speedup_4shard_vs_1shard", one->crit_s / four->crit_s},
+       {"results_identical", identical ? 1.0 : 0.0}});
   return identical ? 0 : 1;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Gate bench regressions against a committed baseline.
+
+Usage:
+    check_bench.py CURRENT.json BASELINE.json --metrics m1,m2 [--tolerance 0.2]
+
+Both files are the flat {"metric": number} JSON written by
+bench::write_bench_json. For each named metric the current value must be at
+least (1 - tolerance) x the baseline value (higher = better; gate on
+ratio-style metrics such as speedups, which are stable across hardware,
+rather than absolute tuples/s).
+"""
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--metrics", required=True,
+                    help="comma-separated metric names to gate on")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional regression (default 0.20)")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failed = False
+    for name in args.metrics.split(","):
+        name = name.strip()
+        if name not in baseline:
+            print(f"!! {name}: missing from baseline (typo in --metrics, "
+                  f"or stale baseline?)")
+            failed = True
+            continue
+        if name not in current:
+            print(f"!! {name}: missing from current results")
+            failed = True
+            continue
+        floor = (1.0 - args.tolerance) * baseline[name]
+        ok = current[name] >= floor
+        print(f"{'ok' if ok else '!!'} {name}: current={current[name]:.4g} "
+              f"baseline={baseline[name]:.4g} floor={floor:.4g}")
+        failed |= not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+// Shared vocabulary of the adaptation subsystem: live, load-aware operator
+// migration across runtime shards — the in-process analogue of the paper's
+// Section 3 query migration. Where coord::Hierarchy::adapt() re-optimizes
+// the *placement plan* offline, src/adapt/ reacts to *observed* load while
+// a trace is executing: a LoadMonitor samples per-engine counters from the
+// runtime every driver chunk, a MigrationPlanner trades critical-path
+// reduction against migration cost (operator state size, as in Algorithm 3
+// / query::Interest::state_size), and a Migrator re-pins engines between
+// chunks via drain + map update, preserving per-engine input order so
+// results stay byte-identical to the unadapted run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "stream/schema.h"
+
+namespace cosmos::adapt {
+
+/// Knobs of the adaptation loop (surfaced through Cosmos::RunOptions).
+struct AdaptOptions {
+  bool enabled = false;
+  /// Sampling / decision period, in stream time (the driver's virtual
+  /// clock): one adaptation opportunity per `adapt_every_ms` of trace.
+  stream::Timestamp adapt_every_ms = 5 * 60'000;
+  /// Trigger: plan migrations when max/mean shard load exceeds this.
+  double imbalance_threshold = 1.25;
+  /// EWMA smoothing of per-engine load samples (1 = latest sample only).
+  double ewma_alpha = 0.5;
+  /// Modeled seconds of migration cost per byte of operator state — what a
+  /// distributed shard would pay to ship the state over the wire. The
+  /// planner subtracts it from a move's critical-path gain.
+  double migration_cost_per_byte = 1e-9;
+  /// Moves whose net gain (seconds per interval) is below this are not
+  /// worth the churn.
+  double min_gain_seconds = 1e-4;
+  std::size_t max_moves_per_round = 4;
+  /// Bytes of operator state per buffered window tuple (join buffers hold
+  /// whole tuples; this converts counts to bytes for the cost model).
+  double bytes_per_state_tuple = 64.0;
+};
+
+/// One planned engine re-pin.
+struct Move {
+  std::uint64_t engine = 0;  ///< opaque engine id (Runtime Task::engine_id)
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double gain_seconds = 0.0;  ///< modeled critical-path reduction
+  double state_bytes = 0.0;   ///< planning-time state estimate
+};
+
+/// What adaptation did during one run(); reported next to RunStats.
+struct AdaptationReport {
+  std::size_t samples = 0;  ///< load samples taken
+  std::size_t rounds = 0;   ///< samples where the threshold tripped & moved
+  std::size_t moves = 0;    ///< engine re-pins executed
+  /// Operator state resident in migrated engines at migration time,
+  /// measured after the source shard drained (what a distributed
+  /// implementation would have shipped).
+  double state_bytes_migrated = 0.0;
+  double imbalance_before = 0.0;  ///< max/mean at the first triggered round
+  double imbalance_after = 0.0;   ///< modeled max/mean after the last round
+  /// Driver wall time spent draining source shards before re-pins.
+  double migration_stall_seconds = 0.0;
+};
+
+}  // namespace cosmos::adapt

@@ -1,0 +1,54 @@
+#include "adapt/controller.h"
+
+#include <utility>
+
+namespace cosmos::adapt {
+
+AdaptationController::AdaptationController(
+    const AdaptOptions& options, runtime::Runtime& rt,
+    std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+    WindowExtent window_ms, Migrator::StateProbe measured_state)
+    : options_(options),
+      rt_(&rt),
+      shard_of_(&shard_of),
+      window_ms_(std::move(window_ms)),
+      monitor_(options.ewma_alpha),
+      planner_(options),
+      migrator_(rt, shard_of, std::move(measured_state)) {}
+
+void AdaptationController::on_chunk(stream::Timestamp now) {
+  // The owner decides whether adaptation applies (Cosmos::run constructs a
+  // controller only when enabled with >1 shard); no second gate here.
+  if (!clock_started_) {
+    // First chunk: seed the monitor's baseline, start the period clock.
+    clock_started_ = true;
+    last_sample_ms_ = now;
+    monitor_.sample(rt_->stats(), *shard_of_, now);
+    return;
+  }
+  if (now - last_sample_ms_ < options_.adapt_every_ms) return;
+  last_sample_ms_ = now;
+
+  monitor_.sample(rt_->stats(), *shard_of_, now);
+  ++report_.samples;
+  for (auto& load : monitor_.loads()) {
+    const double window = window_ms_ ? window_ms_(load.engine) : 0.0;
+    load.state_bytes =
+        load.tuples_per_ms * window * options_.bytes_per_state_tuple;
+  }
+  const PlanResult plan = planner_.plan(monitor_.loads(), rt_->shards());
+  if (plan.moves.empty()) return;
+
+  if (report_.rounds == 0) report_.imbalance_before = plan.imbalance_before;
+  report_.imbalance_after = plan.imbalance_after;
+  ++report_.rounds;
+  migrator_.apply(plan.moves, report_);
+  // The pinning changed: refresh the monitor's shard attribution so the
+  // next plan starts from the post-migration layout.
+  for (auto& load : monitor_.loads()) {
+    const auto it = shard_of_->find(load.engine);
+    if (it != shard_of_->end()) load.shard = it->second;
+  }
+}
+
+}  // namespace cosmos::adapt

@@ -1,0 +1,56 @@
+// The adaptation loop behind one call: the ingest driver reports its
+// virtual-clock position after every dispatched chunk, and the controller
+// decides when to sample (LoadMonitor), whether to plan (MigrationPlanner)
+// and how to execute (Migrator). Everything runs on the dispatcher thread
+// between chunks — the only point where re-pinning is race-free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "adapt/adapt.h"
+#include "adapt/load_monitor.h"
+#include "adapt/migrator.h"
+#include "adapt/planner.h"
+#include "runtime/runtime.h"
+
+namespace cosmos::adapt {
+
+class AdaptationController {
+ public:
+  /// Total window extent (stream-time ms) of the operators an engine
+  /// hosts: the lever arm of the planning-time state model
+  ///   state_bytes ≈ tuple_rate × window_ms × bytes_per_state_tuple.
+  using WindowExtent = std::function<double(std::uint64_t engine)>;
+
+  /// `shard_of` is the dispatcher's live pinning map (mutated on
+  /// migration); `measured_state` is the post-drain probe the migration
+  /// report uses (may be null). All calls must come from the dispatcher.
+  AdaptationController(const AdaptOptions& options, runtime::Runtime& rt,
+                       std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+                       WindowExtent window_ms,
+                       Migrator::StateProbe measured_state);
+
+  /// Driver hook: called after each chunk with the chunk's last stream
+  /// timestamp. Samples / plans / migrates when the period elapsed.
+  void on_chunk(stream::Timestamp now);
+
+  [[nodiscard]] const AdaptationReport& report() const noexcept {
+    return report_;
+  }
+
+ private:
+  AdaptOptions options_;
+  runtime::Runtime* rt_;
+  std::unordered_map<std::uint64_t, std::size_t>* shard_of_;
+  WindowExtent window_ms_;
+  LoadMonitor monitor_;
+  MigrationPlanner planner_;
+  Migrator migrator_;
+  AdaptationReport report_;
+  bool clock_started_ = false;
+  stream::Timestamp last_sample_ms_ = 0;
+};
+
+}  // namespace cosmos::adapt

@@ -1,0 +1,86 @@
+#include "adapt/load_monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cosmos::adapt {
+
+LoadMonitor::LoadMonitor(double ewma_alpha) : alpha_(ewma_alpha) {
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    throw std::invalid_argument{"LoadMonitor: ewma_alpha must be in (0,1]"};
+  }
+}
+
+void LoadMonitor::sample(
+    const runtime::RuntimeStats& stats,
+    const std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+    stream::Timestamp now_ms) {
+  const bool first = samples_ == 0;
+  const double interval_ms =
+      first ? 0.0 : std::max<double>(1.0, static_cast<double>(now_ms - last_ms_));
+  last_ms_ = now_ms;
+  ++samples_;
+
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(loads_.size());
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    index.emplace(loads_[i].engine, i);
+  }
+
+  for (const auto& es : stats.engines) {
+    const auto pin = shard_of.find(es.engine);
+    if (pin == shard_of.end()) continue;
+    auto& prev = prev_[es.engine];
+    const double d_tuples = static_cast<double>(es.tuples - prev.tuples);
+    const double d_busy = 1e-9 * static_cast<double>(es.busy_ns - prev.busy_ns);
+    prev = {es.tuples, es.busy_ns};
+    if (first) {
+      // Baseline only: cumulative counters at the first sample cover an
+      // unknown interval, so they seed prev_ without entering the EWMA.
+      continue;
+    }
+    const auto it = index.find(es.engine);
+    if (it == index.end()) {
+      EngineLoad load;
+      load.engine = es.engine;
+      load.shard = pin->second;
+      load.cpu_seconds = d_busy;
+      load.tuples = d_tuples;
+      load.tuples_per_ms = d_tuples / interval_ms;
+      loads_.push_back(load);
+    } else {
+      auto& load = loads_[it->second];
+      load.shard = pin->second;
+      load.cpu_seconds = alpha_ * d_busy + (1.0 - alpha_) * load.cpu_seconds;
+      load.tuples = alpha_ * d_tuples + (1.0 - alpha_) * load.tuples;
+      load.tuples_per_ms = alpha_ * (d_tuples / interval_ms) +
+                           (1.0 - alpha_) * load.tuples_per_ms;
+    }
+  }
+  std::sort(loads_.begin(), loads_.end(),
+            [](const EngineLoad& a, const EngineLoad& b) {
+              return a.engine < b.engine;
+            });
+}
+
+std::vector<double> LoadMonitor::shard_loads(std::size_t shards) const {
+  std::vector<double> out(shards, 0.0);
+  for (const auto& load : loads_) {
+    if (load.shard < shards) out[load.shard] += load.cpu_seconds;
+  }
+  return out;
+}
+
+double LoadMonitor::imbalance(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  double sum = 0.0;
+  double mx = 0.0;
+  for (const double l : loads) {
+    sum += l;
+    mx = std::max(mx, l);
+  }
+  if (sum <= 0.0) return 0.0;
+  return mx / (sum / static_cast<double>(loads.size()));
+}
+
+}  // namespace cosmos::adapt

@@ -1,0 +1,67 @@
+// Per-engine load sampling for the adaptation loop. The monitor reads the
+// runtime's cumulative per-engine counters (RuntimeStats::engines) at each
+// sampling point, differentiates against the previous sample, and smooths
+// the per-interval deltas with an EWMA — so one bursty chunk does not
+// trigger a migration, but a persistent hot spot does.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/stats.h"
+#include "stream/schema.h"
+
+namespace cosmos::adapt {
+
+/// Smoothed load of one engine over the recent sampling intervals.
+struct EngineLoad {
+  std::uint64_t engine = 0;
+  std::size_t shard = 0;       ///< current pinning (from the shard map)
+  double cpu_seconds = 0.0;    ///< EWMA worker CPU seconds per interval
+  double tuples = 0.0;         ///< EWMA tuples per interval
+  double tuples_per_ms = 0.0;  ///< EWMA tuple rate in stream time
+  double state_bytes = 0.0;    ///< state estimate, filled by the owner
+};
+
+class LoadMonitor {
+ public:
+  explicit LoadMonitor(double ewma_alpha);
+
+  /// Takes one sample: `stats` is the runtime's cumulative snapshot,
+  /// `shard_of` the current engine→shard pinning, `now_ms` the stream-time
+  /// position (the driver's virtual clock). Engines absent from `shard_of`
+  /// are ignored. The first sample establishes the baseline.
+  void sample(const runtime::RuntimeStats& stats,
+              const std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+              stream::Timestamp now_ms);
+
+  /// Per-engine smoothed loads, sorted by engine id. Mutable so the owner
+  /// can fill in state estimates before planning.
+  [[nodiscard]] std::vector<EngineLoad>& loads() noexcept { return loads_; }
+  [[nodiscard]] const std::vector<EngineLoad>& loads() const noexcept {
+    return loads_;
+  }
+
+  [[nodiscard]] std::size_t samples() const noexcept { return samples_; }
+
+  /// Per-shard smoothed CPU seconds per interval (sum of pinned engines).
+  [[nodiscard]] std::vector<double> shard_loads(std::size_t shards) const;
+
+  /// max/mean of `shard_loads` (1 = perfectly balanced; 0 if all idle).
+  [[nodiscard]] static double imbalance(const std::vector<double>& loads);
+
+ private:
+  struct Prev {
+    std::uint64_t tuples = 0;
+    std::uint64_t busy_ns = 0;
+  };
+
+  double alpha_;
+  std::size_t samples_ = 0;
+  stream::Timestamp last_ms_ = 0;
+  std::unordered_map<std::uint64_t, Prev> prev_;
+  std::vector<EngineLoad> loads_;
+};
+
+}  // namespace cosmos::adapt

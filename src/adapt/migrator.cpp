@@ -1,0 +1,36 @@
+#include "adapt/migrator.h"
+
+#include <set>
+
+#include "common/clock.h"
+
+namespace cosmos::adapt {
+
+Migrator::Migrator(runtime::Runtime& rt,
+                   std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+                   StateProbe measured_state)
+    : rt_(&rt),
+      shard_of_(&shard_of),
+      measured_state_(std::move(measured_state)) {}
+
+void Migrator::apply(const std::vector<Move>& moves,
+                     AdaptationReport& report) {
+  if (moves.empty()) return;
+  const TimePoint t0 = Clock::now();
+  std::set<std::size_t> drained;
+  for (const Move& move : moves) {
+    // Drain the shard the engine is *currently* on (the plan's `from` is
+    // advisory — a stale plan must still never leave in-flight tasks).
+    const auto it = shard_of_->find(move.engine);
+    if (it == shard_of_->end() || it->second == move.to) continue;
+    if (drained.insert(it->second).second) rt_->drain_shard(it->second);
+    if (measured_state_) {
+      report.state_bytes_migrated += measured_state_(move.engine);
+    }
+    it->second = move.to;
+    ++report.moves;
+  }
+  report.migration_stall_seconds += seconds_since(t0);
+}
+
+}  // namespace cosmos::adapt

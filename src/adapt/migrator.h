@@ -1,0 +1,45 @@
+// Executes planned engine moves between driver chunks: drain + re-pin.
+// Draining the source shard guarantees no task of the migrating engine is
+// in flight; updating the dispatcher's engine→shard map then redirects all
+// later chunks to the target shard, whose FIFO queue preserves the
+// engine's input order. The engine itself never moves in memory (shards
+// share the address space) — what migrates is execution ownership, and the
+// measured state bytes quantify what a distributed shard would have had to
+// ship.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/adapt.h"
+#include "runtime/runtime.h"
+
+namespace cosmos::adapt {
+
+class Migrator {
+ public:
+  /// Reads an engine's resident operator state in bytes. Called only after
+  /// the engine's source shard has drained (and from the dispatcher
+  /// thread), so it may safely walk live operator buffers.
+  using StateProbe = std::function<double(std::uint64_t engine)>;
+
+  /// `shard_of` is the live engine→shard pinning the dispatcher consults;
+  /// apply() mutates it, so both must run on the dispatcher thread.
+  Migrator(runtime::Runtime& rt,
+           std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+           StateProbe measured_state);
+
+  /// Executes `moves`, accumulating counters into `report` (moves,
+  /// measured state bytes, drain wall time). Source shards are drained
+  /// once each even when several moves leave the same shard.
+  void apply(const std::vector<Move>& moves, AdaptationReport& report);
+
+ private:
+  runtime::Runtime* rt_;
+  std::unordered_map<std::uint64_t, std::size_t>* shard_of_;
+  StateProbe measured_state_;
+};
+
+}  // namespace cosmos::adapt

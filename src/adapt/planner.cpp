@@ -1,0 +1,81 @@
+#include "adapt/planner.h"
+
+#include <algorithm>
+
+namespace cosmos::adapt {
+
+PlanResult MigrationPlanner::plan(const std::vector<EngineLoad>& loads,
+                                  std::size_t shards) const {
+  PlanResult result;
+  if (shards < 2 || loads.empty()) return result;
+
+  std::vector<double> shard_load(shards, 0.0);
+  std::vector<EngineLoad> model = loads;
+  for (auto& e : model) {
+    if (e.shard >= shards) e.shard = 0;
+    shard_load[e.shard] += e.cpu_seconds;
+  }
+  result.imbalance_before = LoadMonitor::imbalance(shard_load);
+  result.imbalance_after = result.imbalance_before;
+  if (result.imbalance_before < options_.imbalance_threshold) return result;
+
+  for (std::size_t round = 0; round < options_.max_moves_per_round; ++round) {
+    const auto hot = static_cast<std::size_t>(
+        std::max_element(shard_load.begin(), shard_load.end()) -
+        shard_load.begin());
+    const double crit = shard_load[hot];
+    // Highest shard load excluding `hot` — what the critical path becomes
+    // if the hot shard sheds enough work.
+    double second = 0.0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (s != hot) second = std::max(second, shard_load[s]);
+    }
+
+    const EngineLoad* best = nullptr;
+    std::size_t best_to = 0;
+    double best_net = options_.min_gain_seconds;
+    double best_gain = 0.0;
+    for (const auto& e : model) {
+      if (e.shard != hot || e.cpu_seconds <= 0.0) continue;
+      // Moving the *whole remaining shard* is pointless; keeping at least
+      // one engine behind is implied by gain turning negative, not by a
+      // special case.
+      for (std::size_t to = 0; to < shards; ++to) {
+        if (to == hot) continue;
+        const double new_crit =
+            std::max({second, crit - e.cpu_seconds,
+                      shard_load[to] + e.cpu_seconds});
+        const double gain = crit - new_crit;
+        const double net =
+            gain - e.state_bytes * options_.migration_cost_per_byte;
+        // Strict >: engines arrive sorted by id, so on equal net the
+        // lowest engine id (and lowest target shard) wins — deterministic.
+        if (net > best_net) {
+          best = &e;
+          best_to = to;
+          best_net = net;
+          best_gain = gain;
+        }
+      }
+    }
+    if (best == nullptr) break;
+
+    result.moves.push_back(
+        {best->engine, hot, best_to, best_gain, best->state_bytes});
+    shard_load[hot] -= best->cpu_seconds;
+    shard_load[best_to] += best->cpu_seconds;
+    // Update the model so later rounds see the new pinning.
+    for (auto& e : model) {
+      if (e.engine == best->engine) {
+        e.shard = best_to;
+        break;
+      }
+    }
+  }
+  result.imbalance_after = result.moves.empty()
+                               ? result.imbalance_before
+                               : LoadMonitor::imbalance(shard_load);
+  return result;
+}
+
+}  // namespace cosmos::adapt

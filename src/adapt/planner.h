@@ -1,0 +1,42 @@
+// Cost-based migration planning, the in-process Algorithm 3: when shard
+// load imbalance crosses the threshold, greedily pick engine moves off the
+// hottest shard onto the coolest, each move weighed as
+//   net = critical-path reduction − state_bytes × migration_cost_per_byte,
+// and stop when no move clears the minimum net gain. Purely functional
+// over the monitor's loads — deterministic and unit-testable without a
+// runtime.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "adapt/adapt.h"
+#include "adapt/load_monitor.h"
+
+namespace cosmos::adapt {
+
+struct PlanResult {
+  std::vector<Move> moves;
+  double imbalance_before = 0.0;
+  /// Modeled max/mean after the proposed moves (equals `imbalance_before`
+  /// when no move was planned).
+  double imbalance_after = 0.0;
+};
+
+class MigrationPlanner {
+ public:
+  explicit MigrationPlanner(const AdaptOptions& options)
+      : options_(options) {}
+
+  /// Plans up to max_moves_per_round moves over `shards` shards. Returns
+  /// no moves when imbalance is below threshold, fewer than two shards
+  /// exist, or no candidate clears the net-gain bar. Ties break toward the
+  /// smallest engine id, keeping plans deterministic.
+  [[nodiscard]] PlanResult plan(const std::vector<EngineLoad>& loads,
+                                std::size_t shards) const;
+
+ private:
+  AdaptOptions options_;
+};
+
+}  // namespace cosmos::adapt

@@ -1,8 +1,11 @@
 #include "cosmos/cosmos.h"
 
+#include <algorithm>
+#include <optional>
 #include <set>
 #include <stdexcept>
 
+#include "adapt/controller.h"
 #include "common/clock.h"
 
 namespace cosmos::middleware {
@@ -252,9 +255,34 @@ void Cosmos::wire_member(UserQuery& uq, Unit& unit) {
   p2_owner_.emplace(sid, uq.spec.id);
 }
 
+double Cosmos::host_window_extent_ms(NodeId node) const {
+  // Unbounded windows get a day's worth of lever arm — finite, but large
+  // enough that the planner treats such state as expensive to move.
+  constexpr double kUnboundedCapMs = 24.0 * 3'600'000.0;
+  double ms = 0.0;
+  for (const auto& [uid, unit] : units_) {
+    if (unit.host != node) continue;
+    for (const auto& src : unit.spec.sources) {
+      ms += std::min(kUnboundedCapMs,
+                     static_cast<double>(src.window.extent_ms()));
+    }
+  }
+  return ms;
+}
+
+double Cosmos::host_state_bytes(NodeId node, double bytes_per_tuple) const {
+  double bytes = 0.0;
+  for (const auto& [uid, unit] : units_) {
+    if (unit.host == node && unit.plan) {
+      bytes += bytes_per_tuple * static_cast<double>(unit.plan->state_tuples());
+    }
+  }
+  return bytes;
+}
+
 void Cosmos::dispatch_chunk(
     runtime::Chunk&& chunk, runtime::Runtime& rt,
-    const std::unordered_map<NodeId, std::size_t>& shard_of,
+    const std::unordered_map<std::uint64_t, std::size_t>& shard_of,
     RunReport& report) {
   // Per-engine ordered run lists for this chunk; std::map keeps dispatch
   // order deterministic.
@@ -285,8 +313,9 @@ void Cosmos::dispatch_chunk(
     }
   }
   for (auto& [node, runs] : per_node) {
-    runtime::Runtime::Task task{engines_.at(node).get(), std::move(runs)};
-    rt.dispatch(shard_of.at(node), std::move(task));
+    runtime::Runtime::Task task{engines_.at(node).get(), std::move(runs),
+                                node.value()};
+    rt.dispatch(shard_of.at(node.value()), std::move(task));
   }
   ++report.chunks;
 }
@@ -303,12 +332,34 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
     ~ResultModeGuard() { sys.active_results_ = nullptr; }
   } guard{*this};
   runtime::Runtime rt{{options.shards, options.queue_capacity}};
-  // Pin every deployed engine to a shard, round-robin over hosts in id
-  // order (engines_ is an ordered map), so the assignment is deterministic.
-  std::unordered_map<NodeId, std::size_t> shard_of;
+  // Pin every deployed engine to a shard: explicit pins first (mod shard
+  // count), then round-robin over the remaining hosts in id order
+  // (engines_ is an ordered map), so the assignment is deterministic.
+  std::unordered_map<std::uint64_t, std::size_t> shard_of;
   std::size_t next_shard = 0;
   for (const auto& [node, engine] : engines_) {
-    shard_of.emplace(node, next_shard++ % rt.shards());
+    const auto pinned = options.pin.find(node);
+    shard_of.emplace(node.value(), pinned != options.pin.end()
+                                       ? pinned->second % rt.shards()
+                                       : next_shard++ % rt.shards());
+  }
+
+  // The adaptation loop (src/adapt/): samples per-engine load between
+  // chunks and re-pins engines off overloaded shards. Pointless with one
+  // shard, so it stays dormant there even when enabled.
+  std::optional<adapt::AdaptationController> adaptation;
+  if (options.adapt.enabled && rt.shards() > 1) {
+    adaptation.emplace(
+        options.adapt, rt, shard_of,
+        [this](std::uint64_t engine) {
+          return host_window_extent_ms(NodeId{
+              static_cast<NodeId::value_type>(engine)});
+        },
+        [this, bpt = options.adapt.bytes_per_state_tuple](
+            std::uint64_t engine) {
+          return host_state_bytes(
+              NodeId{static_cast<NodeId::value_type>(engine)}, bpt);
+        });
   }
 
   RunReport report;
@@ -333,8 +384,10 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
           throw std::runtime_error{"Cosmos: shard execution failed: " +
                                    *error};
         }
+        const stream::Timestamp chunk_last_ts = chunk.last_ts;
         dispatch_chunk(std::move(chunk), rt, shard_of, report);
         drain_results();  // keep the result buffer bounded in practice
+        if (adaptation) adaptation->on_chunk(chunk_last_ts);
       }};
   for (const auto& ev : events) driver.push(ev.stream, ev.tuple);
   driver.finish();
@@ -352,6 +405,7 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
   report.tuples = driver.tuples();
   report.results_delivered = results_delivered_ - results_before;
   report.stats = rt.stats();
+  if (adaptation) report.adaptation = adaptation->report();
   return report;
 }
 

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "adapt/adapt.h"
 #include "net/latency_matrix.h"
 #include "pubsub/broker_network.h"
 #include "query/containment.h"
@@ -81,6 +82,18 @@ class Cosmos {
     std::size_t batch_size = 256;       ///< max tuples per driver chunk
     std::size_t queue_capacity = 64;    ///< per-shard queue, in tasks
     stream::Timestamp tick_ms = 60'000; ///< virtual-clock bound per chunk
+    /// Live load-aware operator migration (src/adapt/): off by default;
+    /// when enabled (and shards > 1), per-engine load is sampled every
+    /// adapt.adapt_every_ms of stream time and engines are re-pinned
+    /// between chunks when shard imbalance crosses the threshold. Results
+    /// are identical either way — migration only changes *where* an
+    /// engine runs, never the order of its input.
+    adapt::AdaptOptions adapt;
+    /// Explicit initial engine→shard pinning by hosting node (values taken
+    /// mod shards). Nodes absent from the map fall back to the default
+    /// deterministic round-robin. Benches use this to set up worst-case /
+    /// oracle static placements.
+    std::unordered_map<NodeId, std::size_t> pin;
   };
   struct RunReport {
     std::size_t tuples = 0;             ///< trace events ingested
@@ -93,7 +106,8 @@ class Cosmos {
     /// stage of the pipeline; max(this, slowest shard busy) is the
     /// parallel critical path.
     double driver_cpu_seconds = 0.0;
-    runtime::RuntimeStats stats;        ///< per-shard execution counters
+    runtime::RuntimeStats stats;        ///< per-shard + per-engine counters
+    adapt::AdaptationReport adaptation; ///< what the adapt loop did (if on)
   };
 
   /// Replays `events` (non-decreasing global timestamp order) through the
@@ -153,9 +167,20 @@ class Cosmos {
   void deliver_result(const std::string& result_stream,
                       const stream::Tuple& tuple);
   /// Matches one driver chunk and dispatches per-engine tasks to shards.
-  void dispatch_chunk(runtime::Chunk&& chunk, runtime::Runtime& rt,
-                      const std::unordered_map<NodeId, std::size_t>& shard_of,
-                      RunReport& report);
+  /// `shard_of` is keyed by NodeId::value() (the runtime's opaque engine
+  /// id) so the adaptation subsystem can share the map.
+  void dispatch_chunk(
+      runtime::Chunk&& chunk, runtime::Runtime& rt,
+      const std::unordered_map<std::uint64_t, std::size_t>& shard_of,
+      RunReport& report);
+  /// Total window extent (ms) of the units hosted at `node` — the state
+  /// model's input for planning-time migration cost.
+  [[nodiscard]] double host_window_extent_ms(NodeId node) const;
+  /// Live buffered join-state bytes of the units hosted at `node`. Only
+  /// safe while no shard worker is executing that node's engine (the
+  /// migrator calls it post-drain).
+  [[nodiscard]] double host_state_bytes(NodeId node,
+                                        double bytes_per_tuple) const;
 
   std::vector<NodeId> nodes_;
   pubsub::BrokerNetwork broker_;

@@ -349,6 +349,16 @@ CompiledQuery::~CompiledQuery() {
   for (const auto& [name, tap] : taps_) engine_.detach(name, tap);
 }
 
+std::size_t CompiledQuery::state_tuples() const noexcept {
+  std::size_t n = 0;
+  for (const auto& stage : stages_) {
+    if (stage->join) {
+      n += stage->join->left_state_size() + stage->join->right_state_size();
+    }
+  }
+  return n;
+}
+
 stream::PredicatePtr make_split_predicate(const ResultSplit& split) {
   std::vector<PredicatePtr> conj;
   for (const auto& p : split.residual_filters) {

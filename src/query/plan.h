@@ -43,6 +43,12 @@ class CompiledQuery {
     return emitted_;
   }
 
+  /// Tuples currently buffered in the plan's window-join state — the live
+  /// operator state a migration would have to ship (adapt's measured
+  /// migration cost). Safe to call only while no worker is executing the
+  /// owning engine.
+  [[nodiscard]] std::size_t state_tuples() const noexcept;
+
  private:
   struct Stage;
   stream::Engine& engine_;

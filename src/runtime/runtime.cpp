@@ -1,5 +1,6 @@
 #include "runtime/runtime.h"
 
+#include <map>
 #include <memory>
 #include <stdexcept>
 
@@ -85,6 +86,11 @@ void Runtime::worker_loop(Shard& shard) {
       shard.stats.tuples += tuples;
       shard.stats.batches += runs_done;
       ++shard.stats.tasks;
+      auto& es = shard.engine_stats[task->engine_id];
+      es.engine = task->engine_id;
+      es.tuples += tuples;
+      es.batches += runs_done;
+      es.busy_ns += ns;
     }
     {
       std::lock_guard lock{shard.drain_mu};
@@ -100,6 +106,12 @@ void Runtime::drain() {
     shard->drain_cv.wait(
         lock, [&s = *shard] { return s.completed >= s.submitted; });
   }
+}
+
+void Runtime::drain_shard(std::size_t shard) {
+  auto& sh = *shards_.at(shard);
+  std::unique_lock lock{sh.drain_mu};
+  sh.drain_cv.wait(lock, [&sh] { return sh.completed >= sh.submitted; });
 }
 
 void Runtime::stop() {
@@ -126,10 +138,22 @@ std::optional<std::string> Runtime::first_error() const {
 RuntimeStats Runtime::stats() const {
   RuntimeStats out;
   out.shards.reserve(shards_.size());
+  // Merge per-engine rows across shards: after a migration an engine has
+  // history on more than one shard, but callers want one cumulative row.
+  std::map<std::uint64_t, EngineStats> merged;
   for (const auto& shard : shards_) {
     std::lock_guard lock{shard->stats_mu};
     out.shards.push_back(shard->stats);
+    for (const auto& [id, es] : shard->engine_stats) {
+      auto& row = merged[id];
+      row.engine = id;
+      row.tuples += es.tuples;
+      row.batches += es.batches;
+      row.busy_ns += es.busy_ns;
+    }
   }
+  out.engines.reserve(merged.size());
+  for (auto& [id, es] : merged) out.engines.push_back(es);
   return out;
 }
 

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/queues.h"
@@ -38,6 +40,9 @@ class Runtime {
   struct Task {
     stream::Engine* engine = nullptr;
     std::vector<TupleBatch> runs;
+    /// Opaque id the dispatcher assigns to the engine (e.g. the hosting
+    /// node's id); per-engine counters in RuntimeStats are keyed by it.
+    std::uint64_t engine_id = 0;
   };
 
   explicit Runtime(RuntimeOptions options);
@@ -61,12 +66,20 @@ class Runtime {
   /// Blocks until every dispatched task has finished executing.
   void drain();
 
+  /// Blocks until every task dispatched to `shard` has finished executing.
+  /// The migration primitive: once a shard is drained, no task of any
+  /// engine pinned there is in flight, so the dispatcher may re-pin such an
+  /// engine to another shard without reordering or concurrent execution.
+  void drain_shard(std::size_t shard);
+
   /// Closes the queues (remaining tasks still execute) and joins workers.
   /// Idempotent; stats remain readable afterwards.
   void stop();
 
-  /// Per-shard counters. Exact when the runtime is quiescent (after
-  /// drain()/stop()); an in-flight snapshot otherwise.
+  /// Per-shard and per-engine counters. Exact when the runtime is
+  /// quiescent (after drain()/stop()); an in-flight snapshot otherwise
+  /// (each shard's slice is still internally consistent — it is read under
+  /// that shard's stats mutex).
   [[nodiscard]] RuntimeStats stats() const;
 
   /// First engine-side exception a worker caught, if any. A failing task
@@ -81,6 +94,9 @@ class Runtime {
     std::thread worker;
     mutable std::mutex stats_mu;
     ShardStats stats;
+    /// Per-engine counters for tasks this shard executed, keyed by
+    /// Task::engine_id; guarded by stats_mu.
+    std::unordered_map<std::uint64_t, EngineStats> engine_stats;
     std::string error;  ///< first task failure, guarded by stats_mu
     std::mutex drain_mu;
     std::condition_variable drain_cv;

@@ -1,8 +1,11 @@
-// Per-shard execution counters, the runtime's observability surface.
-// Snapshots are taken by Runtime::stats(); aggregate helpers answer the
-// two capacity-planning questions: how much total work ran (total_*) and
-// how long the slowest shard was busy (max_busy_seconds — the parallel
-// critical path the throughput bench reports).
+// Per-shard and per-engine execution counters, the runtime's observability
+// surface. Snapshots are taken by Runtime::stats(); aggregate helpers
+// answer the two capacity-planning questions: how much total work ran
+// (total_*) and how long the slowest shard was busy (max_busy_seconds —
+// the parallel critical path the throughput bench reports). The per-engine
+// slice is the data source of the adaptation subsystem (src/adapt/): the
+// load monitor reads cumulative per-engine counters and differentiates
+// across samples.
 #pragma once
 
 #include <algorithm>
@@ -11,6 +14,17 @@
 #include <vector>
 
 namespace cosmos::runtime {
+
+/// Cumulative counters for one engine (identified by the opaque
+/// Task::engine_id the dispatcher supplies). Counters follow the engine
+/// across migrations: Runtime::stats() merges a given id's history over
+/// every shard it ever ran on.
+struct EngineStats {
+  std::uint64_t engine = 0;   ///< Task::engine_id this row aggregates
+  std::uint64_t tuples = 0;   ///< tuples executed for this engine
+  std::uint64_t batches = 0;  ///< batches (runs) executed
+  std::uint64_t busy_ns = 0;  ///< worker thread CPU time in its tasks
+};
 
 struct ShardStats {
   std::uint64_t tuples = 0;   ///< tuples executed by this shard
@@ -23,8 +37,24 @@ struct ShardStats {
   std::size_t max_queue_depth = 0;  ///< high-water mark of the input queue
 };
 
+/// A consistent point-in-time view of the runtime's counters. Each shard's
+/// rows are read under that shard's stats mutex, so every per-shard and
+/// per-engine value is internally consistent; the whole-runtime snapshot is
+/// exact whenever the runtime is quiescent (after drain()/stop(), or
+/// between chunks in the single-dispatcher discipline).
 struct RuntimeStats {
   std::vector<ShardStats> shards;
+  /// Per-engine rows, sorted by engine id (deterministic iteration); one
+  /// row per engine id ever dispatched, merged across shards.
+  std::vector<EngineStats> engines;
+
+  /// Row for `engine`, or nullptr if it never ran.
+  [[nodiscard]] const EngineStats* engine(std::uint64_t id) const noexcept {
+    for (const auto& e : engines) {
+      if (e.engine == id) return &e;
+    }
+    return nullptr;
+  }
 
   [[nodiscard]] std::uint64_t total_tuples() const noexcept {
     std::uint64_t n = 0;

@@ -1,6 +1,7 @@
 #include "sim/workload.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -121,6 +122,83 @@ std::vector<SubstreamId> WorkloadGenerator::perturb_rates(std::size_t count,
     affected.push_back(s);
   }
   return affected;
+}
+
+std::vector<SensorReading> make_skewed_trace(const SkewedTraceParams& params,
+                                             Rng& rng) {
+  if (params.stations == 0 || params.total_tuples == 0 ||
+      params.duration_ms <= 0) {
+    throw std::invalid_argument{"make_skewed_trace: empty trace"};
+  }
+  // Zipf rate weights, shuffled over stations so hotness is not tied to
+  // station numbering.
+  std::vector<double> weight(params.stations);
+  std::vector<std::size_t> rank(params.stations);
+  for (std::size_t i = 0; i < params.stations; ++i) rank[i] = i;
+  rng.shuffle(rank);
+  for (std::size_t i = 0; i < params.stations; ++i) {
+    weight[rank[i]] =
+        1.0 / std::pow(static_cast<double>(i + 1), params.zipf_theta);
+  }
+
+  const std::size_t segments = params.perturb_pattern.size() + 1;
+  const double seg_ms =
+      static_cast<double>(params.duration_ms) / static_cast<double>(segments);
+  const std::size_t seg_tuples =
+      std::max<std::size_t>(1, params.total_tuples / segments);
+
+  std::vector<SensorReading> out;
+  out.reserve(params.total_tuples + params.stations * segments);
+  std::vector<double> snow(params.stations);
+  for (auto& s : snow) s = 20.0 + rng.next_double(-5.0, 5.0);
+
+  for (std::size_t seg = 0; seg < segments; ++seg) {
+    if (seg > 0) {
+      // Perturbation event at the segment boundary (Fig 10's I/D): scale a
+      // random station subset's rates several-fold.
+      const bool up = params.perturb_pattern[seg - 1] != 'D';
+      for (std::size_t k = 0;
+           k < std::min(params.perturb_stations, params.stations); ++k) {
+        const auto st = static_cast<std::size_t>(
+            rng.next_below(params.stations));
+        weight[st] = up ? weight[st] * params.perturb_factor
+                        : weight[st] / params.perturb_factor;
+      }
+    }
+    double total_w = 0.0;
+    for (const double w : weight) total_w += w;
+    const double seg_start = static_cast<double>(seg) * seg_ms;
+
+    // Per-station evenly spaced arrivals with jitter; the merge below
+    // restores global order.
+    const std::size_t seg_first = out.size();
+    for (std::size_t st = 0; st < params.stations; ++st) {
+      const auto n = static_cast<std::size_t>(
+          static_cast<double>(seg_tuples) * weight[st] / total_w + 0.5);
+      const double period = seg_ms / static_cast<double>(n + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double jitter = rng.next_double(0.0, 0.9 * period);
+        const auto ts = static_cast<stream::Timestamp>(
+            seg_start + static_cast<double>(i) * period + jitter);
+        snow[st] = std::max(0.0, snow[st] + rng.next_double(-1.5, 1.5));
+        const double temp = -5.0 + rng.next_double(-2.0, 2.0);
+        stream::Tuple t;
+        t.ts = ts;
+        t.values = {stream::Value{snow[st]}, stream::Value{temp},
+                    stream::Value{static_cast<std::int64_t>(st)},
+                    stream::Value{static_cast<std::int64_t>(ts)}};
+        out.push_back({st, std::move(t)});
+      }
+    }
+    std::stable_sort(out.begin() + static_cast<std::ptrdiff_t>(seg_first),
+                     out.end(),
+                     [](const SensorReading& a, const SensorReading& b) {
+                       return a.tuple.ts != b.tuple.ts
+                                  ? a.tuple.ts < b.tuple.ts
+                                  : a.station < b.station;
+                     });
+  }
+  return out;
 }
 
 void WorkloadGenerator::refresh_profiles(

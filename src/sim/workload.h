@@ -6,12 +6,14 @@
 // permutation; query load proportional to its input rate.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "net/deployment.h"
 #include "query/interest.h"
+#include "sim/sensor_trace.h"
 
 namespace cosmos::sim {
 
@@ -68,6 +70,11 @@ class WorkloadGenerator {
     return group_of_;
   }
 
+  // A second, executable face of the Fig 10 scenario lives below as free
+  // functions (make_skewed_trace): the same skew + rate perturbation, but
+  // producing an actual replayable station trace instead of abstract
+  // substream rates.
+
  private:
   const net::Deployment* deployment_;
   WorkloadParams params_;
@@ -80,5 +87,33 @@ class WorkloadGenerator {
   std::vector<double> output_fraction_;   ///< per query id
   std::vector<std::size_t> group_of_;     ///< per query id
 };
+
+/// The Fig 10 rate-perturbation scenario as a replayable trace: station
+/// event rates are Zipf-skewed (a few hot streams carry most tuples), and
+/// at each perturbation event the rates of a random station subset are
+/// scaled several-fold up ('I') or down ('D'), shifting the hot spot
+/// mid-trace. Used by bench_adapt_skew and the adaptation tests; any
+/// consumer of station streams (sensor_schema()) can replay it.
+struct SkewedTraceParams {
+  std::size_t stations = 16;
+  std::size_t total_tuples = 40'000;
+  std::int64_t duration_ms = 4 * 3'600'000;
+  /// Zipf skew of per-station rates (0 = uniform). The mapping of rate
+  /// rank to station index is shuffled per seed, so hot stations are not
+  /// simply the lowest-numbered ones.
+  double zipf_theta = 0.9;
+  /// One char per perturbation event; events split the trace into
+  /// pattern.size()+1 equal segments. 'I' multiplies the rates of
+  /// `perturb_stations` random stations by `perturb_factor`, 'D' divides.
+  /// Empty = stationary skew.
+  std::string perturb_pattern = "ID";
+  std::size_t perturb_stations = 2;
+  double perturb_factor = 4.0;
+};
+
+/// Readings in global timestamp order. Deterministic for a given
+/// (params, rng-state); ties in timestamp are broken by station index.
+[[nodiscard]] std::vector<SensorReading> make_skewed_trace(
+    const SkewedTraceParams& params, Rng& rng);
 
 }  // namespace cosmos::sim

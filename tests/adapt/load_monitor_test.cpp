@@ -1,0 +1,113 @@
+// LoadMonitor: cumulative-counter differentiation, EWMA smoothing, shard
+// attribution, and the imbalance metric.
+#include <gtest/gtest.h>
+
+#include "adapt/load_monitor.h"
+
+namespace cosmos::adapt {
+namespace {
+
+runtime::RuntimeStats stats_with(
+    std::vector<runtime::EngineStats> engines) {
+  runtime::RuntimeStats s;
+  s.engines = std::move(engines);
+  return s;
+}
+
+TEST(LoadMonitor, FirstSampleIsBaselineOnly) {
+  LoadMonitor mon{0.5};
+  const std::unordered_map<std::uint64_t, std::size_t> pin{{7, 0}};
+  mon.sample(stats_with({{7, 1000, 10, 5'000'000'000}}), pin, 0);
+  // Whatever ran before the first sample covers an unknown interval: no
+  // load rows yet, just the baseline.
+  EXPECT_TRUE(mon.loads().empty());
+  EXPECT_EQ(mon.samples(), 1u);
+}
+
+TEST(LoadMonitor, DifferentiatesAgainstPreviousSample) {
+  LoadMonitor mon{1.0};  // alpha 1: loads equal the latest delta
+  const std::unordered_map<std::uint64_t, std::size_t> pin{{1, 0}, {2, 1}};
+  mon.sample(stats_with({{1, 100, 1, 1'000'000'000},
+                         {2, 200, 2, 2'000'000'000}}),
+             pin, 0);
+  mon.sample(stats_with({{1, 400, 4, 3'000'000'000},
+                         {2, 250, 3, 2'500'000'000}}),
+             pin, 60'000);
+  ASSERT_EQ(mon.loads().size(), 2u);
+  const auto& e1 = mon.loads()[0];
+  EXPECT_EQ(e1.engine, 1u);
+  EXPECT_EQ(e1.shard, 0u);
+  EXPECT_DOUBLE_EQ(e1.tuples, 300.0);
+  EXPECT_DOUBLE_EQ(e1.cpu_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(e1.tuples_per_ms, 300.0 / 60'000.0);
+  const auto& e2 = mon.loads()[1];
+  EXPECT_DOUBLE_EQ(e2.tuples, 50.0);
+  EXPECT_DOUBLE_EQ(e2.cpu_seconds, 0.5);
+}
+
+TEST(LoadMonitor, EwmaSmoothsAcrossIntervals) {
+  LoadMonitor mon{0.5};
+  const std::unordered_map<std::uint64_t, std::size_t> pin{{1, 0}};
+  mon.sample(stats_with({{1, 0, 0, 0}}), pin, 0);
+  mon.sample(stats_with({{1, 100, 1, 1'000'000'000}}), pin, 1'000);
+  // A fresh engine's first interval seeds the EWMA directly.
+  EXPECT_DOUBLE_EQ(mon.loads()[0].cpu_seconds, 1.0);
+  // Idle interval: EWMA halves rather than dropping to zero.
+  mon.sample(stats_with({{1, 100, 1, 1'000'000'000}}), pin, 2'000);
+  EXPECT_DOUBLE_EQ(mon.loads()[0].cpu_seconds, 0.5);
+  mon.sample(stats_with({{1, 100, 1, 1'000'000'000}}), pin, 3'000);
+  EXPECT_DOUBLE_EQ(mon.loads()[0].cpu_seconds, 0.25);
+}
+
+TEST(LoadMonitor, TracksRePinning) {
+  LoadMonitor mon{1.0};
+  std::unordered_map<std::uint64_t, std::size_t> pin{{1, 0}};
+  mon.sample(stats_with({{1, 0, 0, 0}}), pin, 0);
+  mon.sample(stats_with({{1, 10, 1, 1'000'000'000}}), pin, 1'000);
+  EXPECT_EQ(mon.loads()[0].shard, 0u);
+  pin[1] = 3;  // migrated
+  mon.sample(stats_with({{1, 20, 2, 2'000'000'000}}), pin, 2'000);
+  EXPECT_EQ(mon.loads()[0].shard, 3u);
+}
+
+TEST(LoadMonitor, ShardLoadsSumPinnedEngines) {
+  LoadMonitor mon{1.0};
+  const std::unordered_map<std::uint64_t, std::size_t> pin{
+      {1, 0}, {2, 0}, {3, 1}};
+  mon.sample(stats_with({{1, 0, 0, 0}, {2, 0, 0, 0}, {3, 0, 0, 0}}), pin, 0);
+  mon.sample(stats_with({{1, 1, 1, 1'000'000'000},
+                         {2, 1, 1, 2'000'000'000},
+                         {3, 1, 1, 500'000'000}}),
+             pin, 1'000);
+  const auto loads = mon.shard_loads(2);
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_DOUBLE_EQ(loads[0], 3.0);
+  EXPECT_DOUBLE_EQ(loads[1], 0.5);
+}
+
+TEST(LoadMonitor, ImbalanceMetric) {
+  EXPECT_DOUBLE_EQ(LoadMonitor::imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(LoadMonitor::imbalance({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(LoadMonitor::imbalance({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(LoadMonitor::imbalance({4.0, 0.0, 0.0, 0.0}), 4.0);
+  EXPECT_DOUBLE_EQ(LoadMonitor::imbalance({3.0, 1.0}), 1.5);
+}
+
+TEST(LoadMonitor, IgnoresEnginesWithoutPinning) {
+  LoadMonitor mon{1.0};
+  const std::unordered_map<std::uint64_t, std::size_t> pin{{1, 0}};
+  mon.sample(stats_with({{1, 0, 0, 0}, {99, 0, 0, 0}}), pin, 0);
+  mon.sample(stats_with({{1, 5, 1, 1'000'000'000},
+                         {99, 5, 1, 1'000'000'000}}),
+             pin, 1'000);
+  ASSERT_EQ(mon.loads().size(), 1u);
+  EXPECT_EQ(mon.loads()[0].engine, 1u);
+}
+
+TEST(LoadMonitor, RejectsBadAlpha) {
+  EXPECT_THROW(LoadMonitor{0.0}, std::invalid_argument);
+  EXPECT_THROW(LoadMonitor{1.5}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::adapt

@@ -1,0 +1,127 @@
+// MigrationPlanner: trigger condition, greedy move selection, the
+// state-size cost term, round caps, and determinism. Pure logic — no
+// runtime involved.
+#include <gtest/gtest.h>
+
+#include "adapt/planner.h"
+
+namespace cosmos::adapt {
+namespace {
+
+EngineLoad engine(std::uint64_t id, std::size_t shard, double cpu,
+                  double state_bytes = 0.0) {
+  EngineLoad e;
+  e.engine = id;
+  e.shard = shard;
+  e.cpu_seconds = cpu;
+  e.state_bytes = state_bytes;
+  return e;
+}
+
+AdaptOptions options() {
+  AdaptOptions o;
+  o.enabled = true;
+  o.imbalance_threshold = 1.25;
+  o.migration_cost_per_byte = 1e-9;
+  o.min_gain_seconds = 1e-4;
+  return o;
+}
+
+TEST(MigrationPlanner, BalancedLoadPlansNothing) {
+  const MigrationPlanner planner{options()};
+  const auto plan = planner.plan(
+      {engine(1, 0, 1.0), engine(2, 1, 1.0), engine(3, 2, 1.0),
+       engine(4, 3, 1.0)},
+      4);
+  EXPECT_TRUE(plan.moves.empty());
+  EXPECT_DOUBLE_EQ(plan.imbalance_before, 1.0);
+  EXPECT_DOUBLE_EQ(plan.imbalance_after, 1.0);
+}
+
+TEST(MigrationPlanner, MovesBestEngineOffTheHotShard) {
+  const MigrationPlanner planner{options()};
+  // Shard 0 carries 3.0 of the 4.0 total; moving engine 2 (1.0) yields a
+  // larger critical-path gain than moving engine 1 (2.0).
+  const auto plan = planner.plan(
+      {engine(1, 0, 2.0), engine(2, 0, 1.0), engine(3, 1, 0.5),
+       engine(4, 2, 0.5)},
+      3);
+  ASSERT_EQ(plan.moves.size(), 1u);
+  EXPECT_EQ(plan.moves[0].engine, 2u);
+  EXPECT_EQ(plan.moves[0].from, 0u);
+  EXPECT_DOUBLE_EQ(plan.moves[0].gain_seconds, 1.0);
+  EXPECT_GT(plan.imbalance_before, 2.0);
+  EXPECT_LT(plan.imbalance_after, plan.imbalance_before);
+}
+
+TEST(MigrationPlanner, ExpensiveStateTiltsTheChoice) {
+  auto opts = options();
+  opts.migration_cost_per_byte = 1e-3;
+  const MigrationPlanner planner{opts};
+  // Engine 2 would be the better balance move, but its state costs 0.9s
+  // to ship (900 bytes x 1e-3); engine 1's smaller gain is now the best
+  // net move.
+  const auto plan = planner.plan(
+      {engine(1, 0, 2.0, 10.0), engine(2, 0, 1.0, 900.0),
+       engine(3, 1, 0.5), engine(4, 2, 0.5)},
+      3);
+  ASSERT_FALSE(plan.moves.empty());
+  EXPECT_EQ(plan.moves[0].engine, 1u);
+}
+
+TEST(MigrationPlanner, ProhibitiveStateCostPlansNothing) {
+  auto opts = options();
+  opts.migration_cost_per_byte = 1.0;  // any state outweighs any gain
+  const MigrationPlanner planner{opts};
+  const auto plan = planner.plan(
+      {engine(1, 0, 2.0, 50.0), engine(2, 0, 1.0, 50.0),
+       engine(3, 1, 0.1, 50.0)},
+      2);
+  EXPECT_TRUE(plan.moves.empty());
+  // Imbalance is still reported — the trigger fired, migration just
+  // wasn't worth it.
+  EXPECT_GT(plan.imbalance_before, 1.25);
+}
+
+TEST(MigrationPlanner, RespectsMoveCap) {
+  auto opts = options();
+  opts.max_moves_per_round = 2;
+  const MigrationPlanner planner{opts};
+  const auto plan = planner.plan(
+      {engine(1, 0, 1.0), engine(2, 0, 1.0), engine(3, 0, 1.0),
+       engine(4, 0, 1.0), engine(5, 0, 1.0), engine(6, 0, 1.0),
+       engine(7, 0, 1.0), engine(8, 0, 1.0)},
+      4);
+  EXPECT_LE(plan.moves.size(), 2u);
+  EXPECT_FALSE(plan.moves.empty());
+}
+
+TEST(MigrationPlanner, SingleShardPlansNothing) {
+  const MigrationPlanner planner{options()};
+  EXPECT_TRUE(planner.plan({engine(1, 0, 5.0)}, 1).moves.empty());
+}
+
+TEST(MigrationPlanner, IdleEnginesNeverMove) {
+  const MigrationPlanner planner{options()};
+  const auto plan = planner.plan(
+      {engine(1, 0, 3.0), engine(2, 0, 0.0), engine(3, 1, 0.1)}, 2);
+  for (const auto& move : plan.moves) EXPECT_NE(move.engine, 2u);
+}
+
+TEST(MigrationPlanner, PlansAreDeterministic) {
+  const MigrationPlanner planner{options()};
+  const std::vector<EngineLoad> loads{
+      engine(1, 0, 1.0), engine(2, 0, 1.0), engine(3, 0, 1.0),
+      engine(4, 1, 0.2), engine(5, 2, 0.2)};
+  const auto a = planner.plan(loads, 3);
+  const auto b = planner.plan(loads, 3);
+  ASSERT_EQ(a.moves.size(), b.moves.size());
+  for (std::size_t i = 0; i < a.moves.size(); ++i) {
+    EXPECT_EQ(a.moves[i].engine, b.moves[i].engine);
+    EXPECT_EQ(a.moves[i].from, b.moves[i].from);
+    EXPECT_EQ(a.moves[i].to, b.moves[i].to);
+  }
+}
+
+}  // namespace
+}  // namespace cosmos::adapt

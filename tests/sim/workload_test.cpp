@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "net/topology.h"
 
 namespace cosmos::sim {
@@ -114,6 +117,76 @@ TEST(Workload, PerturbRatesScalesAndRefreshes) {
   g.refresh_profiles(qs);
   EXPECT_GT(qs[0].load, load_before);
   EXPECT_THROW(g.perturb_rates(1, 0.0), std::invalid_argument);
+}
+
+TEST(SkewedTrace, OrderedSkewedAndDeterministic) {
+  SkewedTraceParams p;
+  p.stations = 10;
+  p.total_tuples = 5'000;
+  p.duration_ms = 3'600'000;
+  p.zipf_theta = 0.9;
+  p.perturb_pattern = "ID";
+  Rng rng{5};
+  const auto trace = make_skewed_trace(p, rng);
+  ASSERT_FALSE(trace.empty());
+  // Roughly the requested volume (rounding per station/segment).
+  EXPECT_GT(trace.size(), p.total_tuples * 8 / 10);
+  EXPECT_LT(trace.size(), p.total_tuples * 12 / 10);
+  // Globally timestamp-ordered within the duration, all stations valid.
+  std::vector<std::size_t> per_station(p.stations, 0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_LT(trace[i].station, p.stations);
+    ++per_station[trace[i].station];
+    EXPECT_GE(trace[i].tuple.ts, 0);
+    EXPECT_LT(trace[i].tuple.ts, p.duration_ms);
+    if (i > 0) EXPECT_GE(trace[i].tuple.ts, trace[i - 1].tuple.ts);
+  }
+  // Zipf skew: the busiest station clearly out-publishes the quietest.
+  const auto [lo, hi] =
+      std::minmax_element(per_station.begin(), per_station.end());
+  EXPECT_GT(*hi, 2 * std::max<std::size_t>(1, *lo));
+  // Same params + seed => identical trace.
+  Rng rng2{5};
+  const auto again = make_skewed_trace(p, rng2);
+  ASSERT_EQ(again.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(again[i].station, trace[i].station);
+    EXPECT_EQ(again[i].tuple.ts, trace[i].tuple.ts);
+  }
+}
+
+TEST(SkewedTrace, PerturbationShiftsLoadBetweenSegments) {
+  SkewedTraceParams p;
+  p.stations = 6;
+  p.total_tuples = 6'000;
+  p.duration_ms = 2'000'000;
+  p.zipf_theta = 0.3;
+  p.perturb_pattern = "I";
+  p.perturb_stations = 1;
+  p.perturb_factor = 8.0;
+  Rng rng{7};
+  const auto trace = make_skewed_trace(p, rng);
+  // Count per-station tuples in each half (segment boundary at midpoint).
+  const auto half = p.duration_ms / 2;
+  std::vector<double> first(p.stations, 0), second(p.stations, 0);
+  for (const auto& r : trace) {
+    (r.tuple.ts < half ? first : second)[r.station] += 1.0;
+  }
+  // Some station's share must have changed substantially across the
+  // boundary (the 8x 'I' perturbation).
+  double total1 = 0, total2 = 0;
+  for (std::size_t s = 0; s < p.stations; ++s) {
+    total1 += first[s];
+    total2 += second[s];
+  }
+  double max_shift = 0.0;
+  for (std::size_t s = 0; s < p.stations; ++s) {
+    max_shift = std::max(
+        max_shift, std::abs(first[s] / total1 - second[s] / total2));
+  }
+  EXPECT_GT(max_shift, 0.15);
+  EXPECT_THROW(make_skewed_trace(SkewedTraceParams{.stations = 0}, rng),
+               std::invalid_argument);
 }
 
 TEST(Workload, DeterministicAcrossSeeds) {
