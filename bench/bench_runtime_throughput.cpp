@@ -64,6 +64,7 @@ struct ConfigResult {
   std::string name;
   double wall_s = 0.0;
   double crit_s = 0.0;
+  double driver_s = 0.0;  ///< driver-thread CPU (the serial stage)
   std::map<QueryId, std::size_t> per_query;
   std::size_t results = 0;
   runtime::RuntimeStats stats;  ///< empty for the push configuration
@@ -159,9 +160,13 @@ int main() {
               std::thread::hardware_concurrency());
   std::printf("# crit = max(driver busy, slowest shard busy): the scaling "
               "measure independent of host core count\n");
-  std::printf("%-12s %9s %12s %9s %12s %10s %9s %9s %9s\n", "config",
+  std::printf("# driver-s = driver-thread CPU (serial stage); match-s = "
+              "shard CPU in broker matching (was driver work before the "
+              "partitioned pipeline); mwait-s = driver wall time parked at "
+              "the match barrier (overlaps shards)\n");
+  std::printf("%-12s %9s %12s %9s %12s %10s %9s %9s %9s %9s %9s\n", "config",
               "wall-s", "wall-tup/s", "crit-s", "crit-tup/s", "results",
-              "driver-s", "shard-s", "stall-s");
+              "driver-s", "shard-s", "match-s", "mwait-s", "stall-s");
 
   std::vector<ConfigResult> rows;
 
@@ -174,11 +179,11 @@ int main() {
     row.wall_s = watch.seconds();
     row.crit_s = row.wall_s;  // fully serial
     for (const auto& [q, n] : row.per_query) row.results += n;
-    std::printf("%-12s %9.3f %12.0f %9.3f %12.0f %10zu %9s %9s %9s\n",
+    std::printf("%-12s %9.3f %12.0f %9.3f %12.0f %10zu %9s %9s %9s %9s %9s\n",
                 row.name.c_str(), row.wall_s,
                 static_cast<double>(events.size()) / row.wall_s, row.crit_s,
                 static_cast<double>(events.size()) / row.crit_s, row.results,
-                "-", "-", "-");
+                "-", "-", "-", "-", "-");
     std::fflush(stdout);
     rows.push_back(std::move(row));
   }
@@ -198,13 +203,23 @@ int main() {
     row.stats = report.stats;
     const double stall = report.stats.total_stall_seconds();
     const double driver_busy = report.driver_cpu_seconds;
+    row.driver_s = driver_busy;
     row.crit_s = std::max(driver_busy, report.stats.max_busy_seconds());
     for (const auto& [q, n] : row.per_query) row.results += n;
-    std::printf("%-12s %9.3f %12.0f %9.3f %12.0f %10zu %9.3f %9.3f %9.3f\n",
-                row.name.c_str(), row.wall_s,
-                static_cast<double>(events.size()) / row.wall_s, row.crit_s,
-                static_cast<double>(events.size()) / row.crit_s, row.results,
-                driver_busy, report.stats.max_busy_seconds(), stall);
+    std::printf(
+        "%-12s %9.3f %12.0f %9.3f %12.0f %10zu %9.3f %9.3f %9.3f %9.3f "
+        "%9.3f\n",
+        row.name.c_str(), row.wall_s,
+        static_cast<double>(events.size()) / row.wall_s, row.crit_s,
+        static_cast<double>(events.size()) / row.crit_s, row.results,
+        driver_busy, report.stats.max_busy_seconds(),
+        report.stats.total_match_seconds(), report.driver.match_wait_seconds,
+        stall);
+    std::printf("#   driver breakdown: route=%.3fs dispatch=%.3fs "
+                "deliver=%.3fs (CPU; chunk cutting is the remainder)\n",
+                report.driver.route_cpu_seconds,
+                report.driver.dispatch_cpu_seconds,
+                report.driver.deliver_cpu_seconds);
     std::fflush(stdout);
     rows.push_back(std::move(row));
   }
@@ -252,6 +267,9 @@ int main() {
        {"crit_tuples_per_s_4shard",
         static_cast<double>(events.size()) / four->crit_s},
        {"crit_speedup_4shard_vs_1shard", one->crit_s / four->crit_s},
+       {"driver_cpu_seconds_4shard", four->driver_s},
+       {"shard_match_cpu_seconds_4shard",
+        four->stats.total_match_seconds()},
        {"results_identical", identical ? 1.0 : 0.0}});
   return identical ? 0 : 1;
 }

@@ -3,52 +3,179 @@
 
 Usage:
     check_bench.py CURRENT.json BASELINE.json --metrics m1,m2 [--tolerance 0.2]
+    check_bench.py --self-test
 
 Both files are the flat {"metric": number} JSON written by
 bench::write_bench_json. For each named metric the current value must be at
 least (1 - tolerance) x the baseline value (higher = better; gate on
 ratio-style metrics such as speedups, which are stable across hardware,
 rather than absolute tuples/s).
+
+Exit codes: 0 = all gated metrics pass, 1 = a metric regressed or a metric
+key is missing from either file, 2 = a file is unreadable or malformed.
+Every failure mode prints a one-line diagnosis — never a bare traceback.
 """
 import argparse
 import json
+import numbers
 import sys
+
+
+def load_metrics(path, role):
+    """Reads a flat {"metric": number} JSON file; raises SystemExit(2) with
+    a clear message on unreadable files, bad JSON, or non-numeric values."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"!! cannot read {role} file {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"!! {role} file {path} is not valid JSON: {e}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"!! {role} file {path}: expected a flat JSON "
+                         f"object of metrics, got {type(data).__name__}")
+    for name, value in data.items():
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            raise SystemExit(f"!! {role} file {path}: metric {name!r} is "
+                             f"not a number (got {value!r})")
+    return data
+
+
+def check(current, baseline, metrics, tolerance):
+    """Returns the list of failure messages (empty = gate passes)."""
+    failures = []
+    for name in metrics:
+        name = name.strip()
+        if name not in baseline:
+            msg = (f"{name}: missing from baseline (typo in --metrics, "
+                   f"or stale baseline?)")
+            print(f"!! {msg}")
+            failures.append(msg)
+            continue
+        if name not in current:
+            msg = f"{name}: missing from current results"
+            print(f"!! {msg}")
+            failures.append(msg)
+            continue
+        floor = (1.0 - tolerance) * baseline[name]
+        ok = current[name] >= floor
+        print(f"{'ok' if ok else '!!'} {name}: current={current[name]:.4g} "
+              f"baseline={baseline[name]:.4g} floor={floor:.4g}")
+        if not ok:
+            failures.append(f"{name}: {current[name]:.4g} < floor "
+                            f"{floor:.4g}")
+    return failures
+
+
+def self_test():
+    """Unit-style checks of the gate logic and every failure mode, run by
+    CI so a broken gate script cannot silently pass benches."""
+    import os
+    import subprocess
+    import tempfile
+
+    script = os.path.abspath(__file__)
+
+    def run(args):
+        return subprocess.run([sys.executable, script, *args],
+                              capture_output=True, text=True)
+
+    failures = []
+    cases = []
+
+    def expect(label, proc, code, needle=""):
+        cases.append(label)
+        out = proc.stdout + proc.stderr
+        if proc.returncode != code:
+            failures.append(f"{label}: exit {proc.returncode}, want {code}\n"
+                            f"{out}")
+        elif needle and needle not in out:
+            failures.append(f"{label}: output lacks {needle!r}\n{out}")
+        else:
+            print(f"ok {label}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, content):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                f.write(content)
+            return path
+
+        good = write("good.json", '{"speedup": 2.0, "identical": 1}')
+        fast = write("fast.json", '{"speedup": 3.0, "identical": 1}')
+        slow = write("slow.json", '{"speedup": 1.0, "identical": 1}')
+        sparse = write("sparse.json", '{"identical": 1}')
+        broken = write("broken.json", '{"speedup": ')
+        listy = write("listy.json", '[1, 2]')
+        texty = write("texty.json", '{"speedup": "fast"}')
+
+        expect("pass within tolerance", run([good, fast, "--metrics",
+                                             "speedup", "--tolerance",
+                                             "0.5"]), 0, "ok speedup")
+        expect("regression fails", run([slow, good, "--metrics", "speedup",
+                                        "--tolerance", "0.2"]), 1,
+               "!! speedup")
+        expect("metric missing from baseline", run([good, sparse,
+                                                    "--metrics", "speedup"]),
+               1, "missing from baseline")
+        expect("metric missing from current", run([sparse, good,
+                                                   "--metrics", "speedup"]),
+               1, "missing from current")
+        expect("baseline file missing", run([good,
+                                             os.path.join(tmp, "no.json"),
+                                             "--metrics", "speedup"]), 2,
+               "cannot read baseline")
+        expect("malformed json", run([good, broken, "--metrics", "speedup"]),
+               2, "not valid JSON")
+        expect("non-object json", run([good, listy, "--metrics", "speedup"]),
+               2, "expected a flat JSON object")
+        expect("non-numeric metric", run([good, texty, "--metrics",
+                                          "speedup"]), 2, "not a number")
+        expect("multiple metrics", run([good, good, "--metrics",
+                                        "speedup,identical"]), 0,
+               "ok identical")
+
+    if failures:
+        print("\nself-test FAILED:")
+        for f in failures:
+            print(f" - {f}")
+        return 1
+    print(f"self-test passed ({len(cases)} cases)")
+    return 0
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current")
-    ap.add_argument("baseline")
-    ap.add_argument("--metrics", required=True,
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("--metrics",
                     help="comma-separated metric names to gate on")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional regression (default 0.20)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the script's own unit tests and exit")
     args = ap.parse_args()
 
-    with open(args.current) as f:
-        current = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    if args.self_test:
+        return self_test()
+    if not args.current or not args.baseline or not args.metrics:
+        ap.error("CURRENT, BASELINE and --metrics are required "
+                 "(or use --self-test)")
 
-    failed = False
-    for name in args.metrics.split(","):
-        name = name.strip()
-        if name not in baseline:
-            print(f"!! {name}: missing from baseline (typo in --metrics, "
-                  f"or stale baseline?)")
-            failed = True
-            continue
-        if name not in current:
-            print(f"!! {name}: missing from current results")
-            failed = True
-            continue
-        floor = (1.0 - args.tolerance) * baseline[name]
-        ok = current[name] >= floor
-        print(f"{'ok' if ok else '!!'} {name}: current={current[name]:.4g} "
-              f"baseline={baseline[name]:.4g} floor={floor:.4g}")
-        failed |= not ok
-    return 1 if failed else 0
+    current = load_metrics(args.current, "current")
+    baseline = load_metrics(args.baseline, "baseline")
+    failures = check(current, baseline, args.metrics.split(","),
+                     args.tolerance)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except SystemExit as e:
+        # argparse exits 2 on usage errors; our load failures carry a
+        # message string — print it and exit 2 so CI logs stay readable.
+        if isinstance(e.code, str):
+            print(e.code)
+            sys.exit(2)
+        raise

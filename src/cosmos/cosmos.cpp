@@ -1,6 +1,9 @@
 #include "cosmos/cosmos.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -280,44 +283,159 @@ double Cosmos::host_state_bytes(NodeId node, double bytes_per_tuple) const {
   return bytes;
 }
 
+namespace {
+
+/// Completion barrier of one chunk's match stage: the driver arms it with
+/// the number of match tasks it shipped and parks until every shard
+/// reported back. Shared via shared_ptr so an unwinding driver never
+/// leaves a worker with a dangling barrier.
+struct MatchBarrier {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+
+  void arm_one() {
+    std::lock_guard lock{mu};
+    ++pending;
+  }
+  void done() {
+    {
+      std::lock_guard lock{mu};
+      --pending;
+    }
+    cv.notify_one();
+  }
+  void wait() {
+    std::unique_lock lock{mu};
+    cv.wait(lock, [this] { return pending == 0; });
+  }
+};
+
+}  // namespace
+
 void Cosmos::dispatch_chunk(
     runtime::Chunk&& chunk, runtime::Runtime& rt,
     const std::unordered_map<std::uint64_t, std::size_t>& shard_of,
     RunReport& report) {
-  // Per-engine ordered run lists for this chunk; std::map keeps dispatch
-  // order deterministic.
-  std::map<NodeId, std::vector<runtime::TupleBatch>> per_node;
-  for (const runtime::TupleBatch& run : chunk.runs) {
-    // Union of matched rows per subscriber: as in push(), the host engine
-    // must see a tuple exactly once however many of its subscriptions
-    // matched (plans re-apply their own filters).
-    std::map<NodeId, std::vector<char>> mask_of;
-    broker_.publish_batch(
-        run.stream(), run, [&](const pubsub::BatchDelivery& d) {
-          if (p2_owner_.contains(d.sub->id)) return;
-          auto& mask =
-              mask_of.try_emplace(d.sub->subscriber, run.size(), char{0})
-                  .first->second;
-          for (const auto row : d.rows) mask[row] = 1;
-        });
-    for (const auto& [node, mask] : mask_of) {
-      const auto eit = engines_.find(node);
-      if (eit == engines_.end() || !eit->second->has_stream(run.stream())) {
-        continue;
+  // --- match stage: ship each run to the shard owning its stream's broker
+  // partition. The shard evaluates every subscription filter against every
+  // row and accounts the link traffic into the partition's local stats —
+  // the work that used to serialize on the driver thread.
+  struct MatchJob {
+    std::shared_ptr<const runtime::TupleBatch> run;
+    std::vector<pubsub::BatchDelivery> deliveries;
+    /// Set (before the barrier releases) when matching threw; the
+    /// deliveries are then partial and the chunk must not be routed.
+    std::string error;
+  };
+  const double dispatch_cpu0 = thread_cpu_seconds();
+  auto barrier = std::make_shared<MatchBarrier>();
+  std::vector<std::shared_ptr<MatchJob>> jobs;
+  jobs.reserve(chunk.runs.size());
+  for (runtime::TupleBatch& run : chunk.runs) {
+    auto* part = broker_.partition(run.stream());
+    if (part == nullptr) {
+      // Same contract as push(): publishing an unadvertised stream is a
+      // caller error, not a silent drop.
+      throw std::invalid_argument{"BrokerNetwork: publish to unadvertised " +
+                                  run.stream()};
+    }
+    auto job = std::make_shared<MatchJob>();
+    job->run = std::make_shared<const runtime::TupleBatch>(std::move(run));
+    jobs.push_back(job);
+    if (part->subscription_count() == 0) continue;
+    barrier->arm_one();
+    runtime::Runtime::Task task;
+    task.engine_id = part->publisher().value();
+    task.match = [job, part, barrier] {
+      // The barrier must release even when matching throws — but only
+      // after the failure is recorded in the job: the worker's own error
+      // slot is written after unwinding finishes, which would race the
+      // driver's post-barrier fail-fast check.
+      struct Release {
+        MatchBarrier* barrier;
+        ~Release() { barrier->done(); }
+      } release{barrier.get()};
+      try {
+        part->match_batch(*job->run, job->deliveries);
+      } catch (const std::exception& e) {
+        job->error = e.what();
+        throw;  // the runtime also records it as the shard's failure
       }
-      std::vector<std::uint32_t> rows;
-      for (std::uint32_t r = 0; r < mask.size(); ++r) {
-        if (mask[r] != 0) rows.push_back(r);
-      }
-      per_node[node].push_back(run.select(rows));
+    };
+    rt.dispatch(shard_of.at(task.engine_id), std::move(task));
+  }
+  report.driver.dispatch_cpu_seconds += thread_cpu_seconds() - dispatch_cpu0;
+
+  const TimePoint wait0 = Clock::now();
+  barrier->wait();
+  report.driver.match_wait_seconds += seconds_since(wait0);
+  // Fail fast: a failed match task leaves its job's deliveries partial;
+  // nothing derived from this chunk can be trusted. The per-job error is
+  // published before the barrier releases, so this check cannot miss a
+  // failure of this chunk's own match tasks.
+  for (const auto& job : jobs) {
+    if (!job->error.empty()) {
+      throw std::runtime_error{"Cosmos: shard matching failed: " +
+                               job->error};
     }
   }
-  for (auto& [node, runs] : per_node) {
-    runtime::Runtime::Task task{engines_.at(node).get(), std::move(runs),
-                                node.value()};
+  if (const auto error = rt.first_error()) {
+    // A straggling engine-task failure from an earlier chunk.
+    throw std::runtime_error{"Cosmos: shard execution failed: " + *error};
+  }
+
+  // --- route stage (driver): union of matched rows per subscriber — as in
+  // push(), the host engine must see a tuple exactly once however many of
+  // its subscriptions matched (plans re-apply their own filters). The
+  // deliveries reference the shared runs, so routing only shuffles row
+  // indices; tuple data is never copied on the driver.
+  const double route_cpu0 = thread_cpu_seconds();
+  // Per-engine ordered slice lists for this chunk; std::map keeps dispatch
+  // order deterministic.
+  std::map<NodeId, std::vector<runtime::RunSlice>> per_node;
+  std::map<NodeId, std::vector<char>> mask_of;
+  for (const auto& job : jobs) {
+    mask_of.clear();
+    for (const auto& d : job->deliveries) {
+      if (p2_owner_.contains(d.sub->id)) continue;
+      auto& mask =
+          mask_of.try_emplace(d.sub->subscriber, job->run->size(), char{0})
+              .first->second;
+      for (const auto row : d.rows) mask[row] = 1;
+    }
+    for (const auto& [node, mask] : mask_of) {
+      const auto eit = engines_.find(node);
+      if (eit == engines_.end() ||
+          !eit->second->has_stream(job->run->stream())) {
+        continue;
+      }
+      std::size_t matched_rows = 0;
+      for (const char m : mask) matched_rows += m != 0;
+      if (matched_rows == 0) continue;
+      std::vector<std::uint32_t> rows;
+      if (matched_rows < job->run->size()) {  // empty rows = whole run
+        rows.reserve(matched_rows);
+        for (std::uint32_t r = 0; r < mask.size(); ++r) {
+          if (mask[r] != 0) rows.push_back(r);
+        }
+      }
+      per_node[node].push_back({job->run, std::move(rows)});
+    }
+  }
+  report.driver.route_cpu_seconds += thread_cpu_seconds() - route_cpu0;
+
+  // --- dispatch stage: hand each engine its slices, in engine-id order.
+  const double dispatch_cpu1 = thread_cpu_seconds();
+  for (auto& [node, slices] : per_node) {
+    runtime::Runtime::Task task;
+    task.engine = engines_.at(node).get();
+    task.slices = std::move(slices);
+    task.engine_id = node.value();
     rt.dispatch(shard_of.at(node.value()), std::move(task));
   }
   ++report.chunks;
+  report.driver.dispatch_cpu_seconds += thread_cpu_seconds() - dispatch_cpu1;
 }
 
 Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
@@ -343,6 +461,20 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
                                        ? pinned->second % rt.shards()
                                        : next_shard++ % rt.shards());
   }
+  // Pin every broker partition's owner too, keyed by the publishing node:
+  // the match stage of each chunk runs on the owner's shard. A publisher
+  // that also hosts an engine keeps that shard (one owner per node id); a
+  // pure source node continues the round-robin. Partition owners live in
+  // the same map as engines, so the adaptation planner can migrate hot
+  // matching work exactly like hot engines.
+  for (auto* part : broker_.partitions()) {
+    const NodeId publisher = part->publisher();
+    if (shard_of.contains(publisher.value())) continue;
+    const auto pinned = options.pin.find(publisher);
+    shard_of.emplace(publisher.value(), pinned != options.pin.end()
+                                            ? pinned->second % rt.shards()
+                                            : next_shard++ % rt.shards());
+  }
 
   // The adaptation loop (src/adapt/): samples per-engine load between
   // chunks and re-pins engines off overloaded shards. Pointless with one
@@ -367,7 +499,10 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
   std::vector<ResultEvent> scratch;
   const auto drain_results = [&] {
     results.drain_into(scratch);
+    if (scratch.empty()) return;
+    const double cpu0 = thread_cpu_seconds();
     for (const auto& ev : scratch) deliver_result(ev.stream, ev.tuple);
+    report.driver.deliver_cpu_seconds += thread_cpu_seconds() - cpu0;
   };
 
   active_results_ = &results;

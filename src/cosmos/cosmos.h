@@ -46,6 +46,12 @@ class Cosmos {
   Cosmos(std::vector<NodeId> nodes, const net::LatencyMatrix& lat,
          bool enable_result_sharing = true);
 
+  // Engine result taps capture `this` and the broker hands out interior
+  // pointers, so an instance must stay at one address (heap-allocate to
+  // pass ownership around).
+  Cosmos(const Cosmos&) = delete;
+  Cosmos& operator=(const Cosmos&) = delete;
+
   /// Registers a source stream published at `node`.
   void register_source(const std::string& stream, stream::Schema schema,
                        NodeId node);
@@ -65,14 +71,18 @@ class Cosmos {
   // run() is the runtime-backed mode: a whole trace is replayed through the
   // sharded execution runtime (src/runtime/). The calling thread becomes
   // the ingest driver — it batches the trace into global-order-preserving
-  // chunks (runtime::Driver), matches and routes them through the broker
-  // (batch traffic accounting is identical to push()), and hands each
-  // processor's tuples to the worker thread owning that processor's engine.
-  // Engines are pinned to shards, shard queues are FIFO and bounded
-  // (backpressure, never drops), and result delivery runs on the driver
-  // thread, so result callbacks never run concurrently and per-query result
-  // sequences are identical to push() at any shard count. A Cosmos instance
-  // must not be mutated (submit etc.) while run() is executing.
+  // chunks (runtime::Driver) and pipelines each chunk through three
+  // stages: *match* (every run is shipped to the shard owning its stream's
+  // broker partition, which runs subscription matching and traffic
+  // accounting off the driver thread; accounting is identical to push()),
+  // *route* (the driver turns the pre-matched deliveries into per-engine
+  // row slices of the shared runs), and *dispatch* (slices go to the
+  // worker thread owning each processor's engine). Engines are pinned to
+  // shards, shard queues are FIFO and bounded (backpressure, never drops),
+  // and result delivery runs on the driver thread, so result callbacks
+  // never run concurrently and per-query result sequences are identical to
+  // push() at any shard count. A Cosmos instance must not be mutated
+  // (submit etc.) while run() is executing.
 
   /// Feeds one source tuple into the system (global timestamp order).
   void push(const std::string& stream, const stream::Tuple& tuple);
@@ -95,17 +105,33 @@ class Cosmos {
     /// oracle static placements.
     std::unordered_map<NodeId, std::size_t> pin;
   };
+  /// Where the driver's serial time goes, stage by stage of the chunk
+  /// pipeline (match → route → dispatch, plus p2 result delivery). Since
+  /// PR 3, subscription matching runs inside the shards: the driver's
+  /// share of it is only the wall-clock wait at the per-chunk match
+  /// barrier, which costs no driver CPU and overlaps shard execution.
+  struct DriverBreakdown {
+    /// Wall time parked at the match barrier (not CPU; overlaps shards).
+    double match_wait_seconds = 0.0;
+    /// CPU turning shard-produced deliveries into per-engine run slices.
+    double route_cpu_seconds = 0.0;
+    /// CPU cutting chunks into match tasks and handing tasks to queues.
+    double dispatch_cpu_seconds = 0.0;
+    /// CPU delivering result tuples to user callbacks (the p2 leg).
+    double deliver_cpu_seconds = 0.0;
+  };
   struct RunReport {
     std::size_t tuples = 0;             ///< trace events ingested
     std::size_t chunks = 0;             ///< driver chunks dispatched
     std::size_t results_delivered = 0;  ///< user callbacks invoked
     double ingest_seconds = 0.0;        ///< wall time: replay + drain
     double drain_seconds = 0.0;         ///< wall time waiting on shards at EOT
-    /// CPU seconds the driver thread spent in run(): matching, routing,
-    /// dispatch, result delivery — blocking waits excluded. The serial
-    /// stage of the pipeline; max(this, slowest shard busy) is the
+    /// CPU seconds the driver thread spent in run(): chunk cutting,
+    /// routing, dispatch, result delivery — blocking waits excluded. The
+    /// serial stage of the pipeline; max(this, slowest shard busy) is the
     /// parallel critical path.
     double driver_cpu_seconds = 0.0;
+    DriverBreakdown driver;             ///< where the serial time went
     runtime::RuntimeStats stats;        ///< per-shard + per-engine counters
     adapt::AdaptationReport adaptation; ///< what the adapt loop did (if on)
   };
@@ -118,7 +144,10 @@ class Cosmos {
     return run(events, RunOptions{});
   }
 
-  [[nodiscard]] const pubsub::TrafficStats& traffic() const noexcept {
+  /// Link traffic merged across the broker's per-stream partitions. Must
+  /// not be called while run() is executing (partitions are then owned by
+  /// the shards).
+  [[nodiscard]] pubsub::TrafficStats traffic() const {
     return broker_.traffic();
   }
   void reset_traffic() noexcept { broker_.reset_traffic(); }
@@ -166,9 +195,13 @@ class Cosmos {
   /// p2 leg: routes a result-stream tuple to its member queries' callbacks.
   void deliver_result(const std::string& result_stream,
                       const stream::Tuple& tuple);
-  /// Matches one driver chunk and dispatches per-engine tasks to shards.
-  /// `shard_of` is keyed by NodeId::value() (the runtime's opaque engine
-  /// id) so the adaptation subsystem can share the map.
+  /// Pipelines one driver chunk through match → route → dispatch: ships
+  /// each run to the shard owning its stream's broker partition for
+  /// subscription matching, waits for the chunk's match barrier, then
+  /// turns the pre-matched deliveries into per-engine run slices and hands
+  /// them to the engines' shards. `shard_of` is keyed by NodeId::value()
+  /// (the runtime's opaque engine id) so the adaptation subsystem can
+  /// share the map; it also pins partition owners (publisher nodes).
   void dispatch_chunk(
       runtime::Chunk&& chunk, runtime::Runtime& rt,
       const std::unordered_map<std::uint64_t, std::size_t>& shard_of,

@@ -7,18 +7,19 @@
 namespace cosmos::pubsub {
 
 BrokerNetwork::BrokerNetwork(std::vector<NodeId> participants,
-                             const net::LatencyMatrix& lat)
-    : participants_(std::move(participants)), lat_(&lat) {
-  const std::size_t n = participants_.size();
+                             const net::LatencyMatrix& lat) {
+  overlay_.participants = std::move(participants);
+  overlay_.lat = &lat;
+  const std::size_t n = overlay_.participants.size();
   if (n == 0) throw std::invalid_argument{"BrokerNetwork: no participants"};
   for (std::size_t i = 0; i < n; ++i) {
-    if (!index_.emplace(participants_[i], i).second) {
+    if (!overlay_.index.emplace(overlay_.participants[i], i).second) {
       throw std::invalid_argument{"BrokerNetwork: duplicate participant"};
     }
   }
 
   // Latency-minimal spanning tree (Prim).
-  adj_.resize(n);
+  overlay_.adj.resize(n);
   std::vector<char> in_tree(n, 0);
   std::vector<double> best(n, std::numeric_limits<double>::infinity());
   std::vector<std::size_t> parent(n, SIZE_MAX);
@@ -30,12 +31,14 @@ BrokerNetwork::BrokerNetwork(std::vector<NodeId> participants,
     }
     in_tree[u] = 1;
     if (parent[u] != SIZE_MAX) {
-      adj_[u].push_back(parent[u]);
-      adj_[parent[u]].push_back(u);
+      overlay_.adj[u].push_back(parent[u]);
+      overlay_.adj[parent[u]].push_back(u);
     }
     for (std::size_t v = 0; v < n; ++v) {
       if (in_tree[v]) continue;
-      const double d = lat_->latency(participants_[u], participants_[v]);
+      const double d =
+          overlay_.lat->latency(overlay_.participants[u],
+                                overlay_.participants[v]);
       if (d < best[v]) {
         best[v] = d;
         parent[v] = u;
@@ -44,190 +47,138 @@ BrokerNetwork::BrokerNetwork(std::vector<NodeId> participants,
   }
 
   // Tree routing tables: BFS from each node.
-  next_hop_.assign(n, std::vector<std::size_t>(n, SIZE_MAX));
+  overlay_.next_hop.assign(n, std::vector<std::size_t>(n, SIZE_MAX));
   for (std::size_t src = 0; src < n; ++src) {
     std::queue<std::size_t> q;
     std::vector<char> seen(n, 0);
     seen[src] = 1;
-    for (const auto nb : adj_[src]) {
-      next_hop_[src][nb] = nb;
+    for (const auto nb : overlay_.adj[src]) {
+      overlay_.next_hop[src][nb] = nb;
       seen[nb] = 1;
       q.push(nb);
     }
     std::vector<std::size_t> via(n, SIZE_MAX);
-    for (const auto nb : adj_[src]) via[nb] = nb;
+    for (const auto nb : overlay_.adj[src]) via[nb] = nb;
     while (!q.empty()) {
       const auto u = q.front();
       q.pop();
-      for (const auto v : adj_[u]) {
+      for (const auto v : overlay_.adj[u]) {
         if (seen[v]) continue;
         seen[v] = 1;
         via[v] = via[u];
-        next_hop_[src][v] = via[v];
+        overlay_.next_hop[src][v] = via[v];
         q.push(v);
       }
     }
   }
-  subs_at_.resize(n);
-}
-
-std::size_t BrokerNetwork::index_of(NodeId n) const {
-  const auto it = index_.find(n);
-  if (it == index_.end()) {
-    throw std::invalid_argument{"BrokerNetwork: not a participant"};
-  }
-  return it->second;
-}
-
-std::size_t BrokerNetwork::next_hop(std::size_t from, std::size_t to) const {
-  return next_hop_[from][to];
 }
 
 void BrokerNetwork::advertise(const std::string& stream, NodeId publisher,
                               stream::Schema schema) {
-  const auto idx = index_of(publisher);
-  (void)idx;
-  if (!adverts_.emplace(stream, Advert{publisher, std::move(schema)}).second) {
+  auto partition = std::make_unique<BrokerPartition>(overlay_, stream,
+                                                     publisher,
+                                                     std::move(schema));
+  // Subscriptions may predate the advertisement; replay them into the new
+  // partition's index.
+  if (const auto sit = by_stream_.find(stream); sit != by_stream_.end()) {
+    for (const auto id : sit->second) {
+      partition->add_subscription(&subscriptions_.at(id));
+    }
+  }
+  if (!partitions_.emplace(stream, std::move(partition)).second) {
     throw std::invalid_argument{"BrokerNetwork: stream already advertised: " +
                                 stream};
   }
 }
 
 const stream::Schema& BrokerNetwork::schema(const std::string& stream) const {
-  const auto it = adverts_.find(stream);
-  if (it == adverts_.end()) {
+  const auto it = partitions_.find(stream);
+  if (it == partitions_.end()) {
     throw std::out_of_range{"BrokerNetwork: unknown stream " + stream};
   }
-  return it->second.schema;
+  return it->second->schema();
+}
+
+BrokerPartition* BrokerNetwork::partition(const std::string& stream) noexcept {
+  const auto it = partitions_.find(stream);
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<BrokerPartition*> BrokerNetwork::partitions() {
+  std::vector<BrokerPartition*> out;
+  out.reserve(partitions_.size());
+  for (const auto& [name, p] : partitions_) out.push_back(p.get());
+  return out;
 }
 
 SubscriptionId BrokerNetwork::subscribe(Subscription sub) {
-  const auto home = index_of(sub.subscriber);
+  overlay_.index_of(sub.subscriber);  // validate the home broker exists
   const SubscriptionId id{next_sub_id_++};
   sub.id = id;
-  subs_at_[home].push_back(id);
-  for (const auto& s : sub.streams) by_stream_[s].push_back(id);
-  subscriptions_.emplace(id, std::move(sub));
+  const auto streams = sub.streams;  // copied: sub is moved into the map
+  const auto [it, inserted] = subscriptions_.emplace(id, std::move(sub));
+  (void)inserted;
+  for (const auto& s : streams) {
+    by_stream_[s].push_back(id);
+    if (const auto pit = partitions_.find(s); pit != partitions_.end()) {
+      pit->second->add_subscription(&it->second);
+    }
+  }
   return id;
 }
 
 void BrokerNetwork::unsubscribe(SubscriptionId id) {
   const auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
-  const auto home = index_of(it->second.subscriber);
-  std::erase(subs_at_[home], id);
-  for (const auto& s : it->second.streams) std::erase(by_stream_[s], id);
+  for (const auto& s : it->second.streams) {
+    std::erase(by_stream_[s], id);
+    if (const auto pit = partitions_.find(s); pit != partitions_.end()) {
+      pit->second->remove_subscription(id);
+    }
+  }
   subscriptions_.erase(it);
 }
 
 std::vector<NodeId> BrokerNetwork::neighbors(NodeId n) const {
   std::vector<NodeId> out;
-  for (const auto nb : adj_[index_of(n)]) out.push_back(participants_[nb]);
+  for (const auto nb : overlay_.adj[overlay_.index_of(n)]) {
+    out.push_back(overlay_.participants[nb]);
+  }
   return out;
 }
 
 void BrokerNetwork::publish(const std::string& stream,
                             const stream::Tuple& tuple,
                             const DeliveryCallback& callback) {
-  const auto it = adverts_.find(stream);
-  if (it == adverts_.end()) {
+  auto* part = partition(stream);
+  if (part == nullptr) {
     throw std::invalid_argument{"BrokerNetwork: publish to unadvertised " +
                                 stream};
   }
-  Message message{stream, &it->second.schema, tuple};
-  // Match every interested subscription once per tuple; routing then only
-  // consults the matched set (this is what the per-broker routing tables
-  // built by subscription propagation amount to).
-  std::vector<MatchedSub> matched;
-  if (const auto sit = by_stream_.find(stream); sit != by_stream_.end()) {
-    for (const auto id : sit->second) {
-      const auto& sub = subscriptions_.at(id);
-      if (sub.matches(*message.schema, message.tuple)) {
-        matched.push_back({&sub, index_of(sub.subscriber)});
-      }
-    }
-  }
-  if (matched.empty()) return;
-  route(message, index_of(it->second.publisher), SIZE_MAX, matched, callback);
+  part->match(tuple, callback);
 }
 
 void BrokerNetwork::publish_batch(const std::string& stream,
                                   const runtime::TupleBatch& batch,
                                   const BatchDeliveryCallback& callback) {
-  const auto it = adverts_.find(stream);
-  if (it == adverts_.end()) {
+  auto* part = partition(stream);
+  if (part == nullptr) {
     throw std::invalid_argument{"BrokerNetwork: publish to unadvertised " +
                                 stream};
   }
-  const auto publisher = index_of(it->second.publisher);
-  const auto* interested = [&]() -> const std::vector<SubscriptionId>* {
-    const auto sit = by_stream_.find(stream);
-    return sit == by_stream_.end() ? nullptr : &sit->second;
-  }();
-  // No subscriptions: nothing can match, route, or be accounted — skip the
-  // per-row materialization entirely (as the scalar path effectively does).
-  if (interested == nullptr || interested->empty()) return;
-
-  // Accumulate per-subscription row lists in first-match order; matching
-  // and routing run per row so the traffic accounting is byte-identical to
-  // row-count scalar publishes.
   std::vector<BatchDelivery> deliveries;
-  std::unordered_map<SubscriptionId, std::size_t> delivery_of;
-  Message message{stream, &it->second.schema, {}};
-  std::vector<MatchedSub> matched;
-  for (std::uint32_t row = 0; row < batch.size(); ++row) {
-    batch.materialize(row, message.tuple);
-    matched.clear();
-    for (const auto id : *interested) {
-      const auto& sub = subscriptions_.at(id);
-      if (sub.matches(*message.schema, message.tuple)) {
-        matched.push_back({&sub, index_of(sub.subscriber)});
-        auto [dit, fresh] = delivery_of.try_emplace(id, deliveries.size());
-        if (fresh) deliveries.push_back({&sub, &batch, {}});
-        deliveries[dit->second].rows.push_back(row);
-      }
-    }
-    if (matched.empty()) continue;
-    route(message, publisher, SIZE_MAX, matched,
-          [](const Subscription&, const Message&) {});
-  }
+  part->match_batch(batch, deliveries);
   for (const auto& d : deliveries) callback(d);
 }
 
-void BrokerNetwork::route(const Message& message, std::size_t at,
-                          std::size_t came_from,
-                          const std::vector<MatchedSub>& matched,
-                          const DeliveryCallback& callback) {
-  // Local delivery.
-  for (const auto& m : matched) {
-    if (m.home == at) callback(*m.sub, message);
-  }
-  // Forward to each neighbor leading to at least one interested
-  // subscription, with attributes pruned to the union of their projections
-  // (early projection; one copy per link regardless of fan-out behind it).
-  for (const auto nb : adj_[at]) {
-    if (nb == came_from) continue;
-    std::set<std::string> attrs;
-    bool wants_all = false;
-    bool any = false;
-    for (const auto& m : matched) {
-      if (m.home == at || next_hop_[at][m.home] != nb) continue;
-      any = true;
-      if (m.sub->projection.empty()) {
-        wants_all = true;
-      } else {
-        attrs.insert(m.sub->projection.begin(), m.sub->projection.end());
-      }
-    }
-    if (!any) continue;
-    const double bytes =
-        message_bytes(message, wants_all ? std::set<std::string>{} : attrs);
-    const double latency = lat_->latency(participants_[at], participants_[nb]);
-    traffic_.bytes += bytes;
-    traffic_.weighted_cost += bytes * latency;
-    ++traffic_.messages_sent;
-    route(message, nb, at, matched, callback);
-  }
+TrafficStats BrokerNetwork::traffic() const {
+  TrafficStats out;
+  for (const auto& [name, p] : partitions_) out.merge(p->traffic());
+  return out;
+}
+
+void BrokerNetwork::reset_traffic() noexcept {
+  for (const auto& [name, p] : partitions_) p->reset_traffic();
 }
 
 }  // namespace cosmos::pubsub

@@ -11,48 +11,49 @@
 // downstream subscriptions want it, with attributes pruned to the union of
 // downstream projections (early projection + filtering).
 //
-// All link traffic is accounted as bytes and as byte*ms (the weighted
-// communication cost the prototype study reports).
+// Since PR 3, BrokerNetwork is a thin facade over per-stream
+// pubsub::BrokerPartition objects (broker_partition.h): each advertised
+// stream's subscription index, matching and traffic accounting live in its
+// own lock-free partition, so matching can run inside the runtime shard
+// that owns the stream's publishing engine while the facade merely builds
+// partitions, applies subscription updates, and merges their traffic
+// stats. All link traffic is accounted as bytes and as byte*ms (the
+// weighted communication cost the prototype study reports), per directed
+// link and in total.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "net/latency_matrix.h"
+#include "pubsub/broker_partition.h"
 #include "pubsub/subscription.h"
 #include "runtime/tuple_batch.h"
 
 namespace cosmos::pubsub {
 
-/// Batched delivery: the rows of a published batch one subscription
-/// matched, as ascending indices into the source batch (select() them to
-/// materialize the subscriber's view).
-struct BatchDelivery {
-  const Subscription* sub = nullptr;
-  const runtime::TupleBatch* source = nullptr;
-  std::vector<std::uint32_t> rows;
-};
-
-struct TrafficStats {
-  double bytes = 0.0;
-  double weighted_cost = 0.0;  ///< sum of bytes * link latency (byte*ms)
-  std::size_t messages_sent = 0;
-};
-
 class BrokerNetwork {
  public:
-  using DeliveryCallback =
-      std::function<void(const Subscription&, const Message&)>;
+  using DeliveryCallback = BrokerPartition::DeliveryCallback;
 
   /// Builds the overlay spanning tree over `participants` using latencies
   /// from `lat` (all participants must be members of `lat`).
   BrokerNetwork(std::vector<NodeId> participants,
                 const net::LatencyMatrix& lat);
 
-  /// Declares that `publisher` emits `stream` with the given schema.
+  // Partitions hold pointers into overlay_ and subscriptions_ (and shards
+  // hold partition pointers during run()): the network must stay at one
+  // address for its whole life.
+  BrokerNetwork(const BrokerNetwork&) = delete;
+  BrokerNetwork& operator=(const BrokerNetwork&) = delete;
+
+  /// Declares that `publisher` emits `stream` with the given schema;
+  /// creates the stream's partition (indexing any already-installed
+  /// subscriptions interested in it).
   void advertise(const std::string& stream, NodeId publisher,
                  stream::Schema schema);
 
@@ -72,15 +73,24 @@ class BrokerNetwork {
   /// delivery per matching subscription carrying all of its rows at once
   /// (callbacks fire after the whole batch is routed, in first-match
   /// order). This is what lets the runtime hand whole batches to shard
-  /// engines instead of crossing the queue per tuple.
+  /// engines instead of crossing the queue per tuple. Rows must be
+  /// timestamp-ordered (std::invalid_argument otherwise).
   void publish_batch(const std::string& stream,
                      const runtime::TupleBatch& batch,
                      const BatchDeliveryCallback& callback);
 
-  [[nodiscard]] const TrafficStats& traffic() const noexcept {
-    return traffic_;
-  }
-  void reset_traffic() noexcept { traffic_ = {}; }
+  /// Partition owning `stream`, or nullptr if unadvertised. The runtime
+  /// path uses this to run match_batch() inside shards; a partition must be
+  /// driven by at most one thread at a time (see broker_partition.h).
+  [[nodiscard]] BrokerPartition* partition(const std::string& stream) noexcept;
+  /// All partitions, ordered by stream name (deterministic).
+  [[nodiscard]] std::vector<BrokerPartition*> partitions();
+
+  /// Traffic merged across every partition. Only meaningful while no other
+  /// thread is driving a partition (quiescent points: outside run(), or on
+  /// the driver after a drain).
+  [[nodiscard]] TrafficStats traffic() const;
+  void reset_traffic() noexcept;
 
   [[nodiscard]] const stream::Schema& schema(const std::string& stream) const;
 
@@ -88,36 +98,16 @@ class BrokerNetwork {
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
 
  private:
-  struct Advert {
-    NodeId publisher;
-    stream::Schema schema;
-  };
-
-  struct MatchedSub {
-    const Subscription* sub;
-    std::size_t home;
-  };
-
-  [[nodiscard]] std::size_t index_of(NodeId n) const;
-  /// Next hop from `from` toward `to` along the tree.
-  [[nodiscard]] std::size_t next_hop(std::size_t from, std::size_t to) const;
-  void route(const Message& message, std::size_t at, std::size_t came_from,
-             const std::vector<MatchedSub>& matched,
-             const DeliveryCallback& callback);
-
-  std::vector<NodeId> participants_;
-  std::unordered_map<NodeId, std::size_t> index_;
-  const net::LatencyMatrix* lat_;
-  std::vector<std::vector<std::size_t>> adj_;        ///< tree adjacency
-  std::vector<std::vector<std::size_t>> next_hop_;   ///< routing table
-  std::map<std::string, Advert> adverts_;
+  Overlay overlay_;
+  /// stream name -> partition; std::map keeps partitions() deterministic,
+  /// unique_ptr keeps partition addresses stable across inserts (shards
+  /// hold raw pointers while the facade may advertise more streams).
+  std::map<std::string, std::unique_ptr<BrokerPartition>> partitions_;
   std::unordered_map<SubscriptionId, Subscription> subscriptions_;
-  /// subs_at_[node] = subscriptions homed there.
-  std::vector<std::vector<SubscriptionId>> subs_at_;
-  /// stream name -> subscriptions interested (routing-table index).
+  /// stream name -> interested subscriptions (also for streams that are
+  /// not advertised yet; advertise() replays these into the partition).
   std::unordered_map<std::string, std::vector<SubscriptionId>> by_stream_;
   SubscriptionId::value_type next_sub_id_ = 0;
-  TrafficStats traffic_;
 };
 
 }  // namespace cosmos::pubsub

@@ -1,0 +1,146 @@
+#include "pubsub/broker_partition.h"
+
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cosmos::pubsub {
+
+void TrafficStats::merge(const TrafficStats& other) {
+  bytes += other.bytes;
+  weighted_cost += other.weighted_cost;
+  messages_sent += other.messages_sent;
+  for (const auto& [link, t] : other.links) {
+    auto& row = links[link];
+    row.bytes += t.bytes;
+    row.weighted_cost += t.weighted_cost;
+    row.messages_sent += t.messages_sent;
+  }
+}
+
+std::size_t Overlay::index_of(NodeId n) const {
+  const auto it = index.find(n);
+  if (it == index.end()) {
+    throw std::invalid_argument{"BrokerNetwork: not a participant"};
+  }
+  return it->second;
+}
+
+BrokerPartition::BrokerPartition(const Overlay& overlay, std::string stream,
+                                 NodeId publisher, stream::Schema schema)
+    : overlay_(&overlay),
+      stream_(std::move(stream)),
+      publisher_(publisher),
+      publisher_idx_(overlay.index_of(publisher)),
+      schema_(std::move(schema)) {}
+
+void BrokerPartition::add_subscription(const Subscription* sub) {
+  subs_.push_back({sub, overlay_->index_of(sub->subscriber)});
+}
+
+void BrokerPartition::remove_subscription(SubscriptionId id) {
+  std::erase_if(subs_,
+                [id](const MatchedSub& m) { return m.sub->id == id; });
+}
+
+void BrokerPartition::match(const stream::Tuple& tuple,
+                            const DeliveryCallback& callback) {
+  if (subs_.empty()) return;
+  Message message{stream_, &schema_, tuple};
+  std::vector<MatchedSub> matched;
+  for (const auto& entry : subs_) {
+    if (entry.sub->matches(schema_, tuple)) matched.push_back(entry);
+  }
+  if (matched.empty()) return;
+  route(message, publisher_idx_, SIZE_MAX, matched, callback);
+}
+
+void BrokerPartition::match_batch(const runtime::TupleBatch& batch,
+                                  std::vector<BatchDelivery>& deliveries) {
+  if (batch.empty()) return;
+  // Validate ordering up front, before any matching or accounting: a batch
+  // violating the per-stream timestamp rule must fail atomically, not after
+  // half of its rows already generated traffic.
+  if (!batch.timestamps_ordered()) {
+    for (std::size_t r = 1; r < batch.size(); ++r) {
+      if (batch.ts(r) < batch.ts(r - 1)) {
+        throw std::invalid_argument{
+            "BrokerPartition: out-of-order batch on stream " + stream_ +
+            ": ts " + std::to_string(batch.ts(r)) + " after ts " +
+            std::to_string(batch.ts(r - 1))};
+      }
+    }
+  }
+  // No subscriptions: nothing can match, route, or be accounted — skip the
+  // per-row materialization entirely (as the scalar path does).
+  if (subs_.empty()) return;
+
+  // Accumulate per-subscription row lists in first-match order; matching
+  // and routing run per row so the traffic accounting is byte-identical to
+  // row-count scalar match() calls.
+  const std::size_t first_delivery = deliveries.size();
+  std::unordered_map<SubscriptionId, std::size_t> delivery_of;
+  Message message{stream_, &schema_, {}};
+  std::vector<MatchedSub> matched;
+  for (std::uint32_t row = 0; row < batch.size(); ++row) {
+    batch.materialize(row, message.tuple);
+    matched.clear();
+    for (const auto& entry : subs_) {
+      if (entry.sub->matches(schema_, message.tuple)) {
+        matched.push_back(entry);
+        auto [dit, fresh] =
+            delivery_of.try_emplace(entry.sub->id,
+                                    deliveries.size() - first_delivery);
+        if (fresh) deliveries.push_back({entry.sub, &batch, {}});
+        deliveries[first_delivery + dit->second].rows.push_back(row);
+      }
+    }
+    if (matched.empty()) continue;
+    route(message, publisher_idx_, SIZE_MAX, matched,
+          [](const Subscription&, const Message&) {});
+  }
+}
+
+void BrokerPartition::route(const Message& message, std::size_t at,
+                            std::size_t came_from,
+                            const std::vector<MatchedSub>& matched,
+                            const DeliveryCallback& callback) {
+  // Local delivery.
+  for (const auto& m : matched) {
+    if (m.home == at) callback(*m.sub, message);
+  }
+  // Forward to each neighbor leading to at least one interested
+  // subscription, with attributes pruned to the union of their projections
+  // (early projection; one copy per link regardless of fan-out behind it).
+  for (const auto nb : overlay_->adj[at]) {
+    if (nb == came_from) continue;
+    std::set<std::string> attrs;
+    bool wants_all = false;
+    bool any = false;
+    for (const auto& m : matched) {
+      if (m.home == at || overlay_->next_hop[at][m.home] != nb) continue;
+      any = true;
+      if (m.sub->projection.empty()) {
+        wants_all = true;
+      } else {
+        attrs.insert(m.sub->projection.begin(), m.sub->projection.end());
+      }
+    }
+    if (!any) continue;
+    const double bytes =
+        message_bytes(message, wants_all ? std::set<std::string>{} : attrs);
+    const double latency = overlay_->lat->latency(overlay_->participants[at],
+                                                  overlay_->participants[nb]);
+    traffic_.bytes += bytes;
+    traffic_.weighted_cost += bytes * latency;
+    ++traffic_.messages_sent;
+    auto& link = traffic_.links[{overlay_->participants[at],
+                                 overlay_->participants[nb]}];
+    link.bytes += bytes;
+    link.weighted_cost += bytes * latency;
+    ++link.messages_sent;
+    route(message, nb, at, matched, callback);
+  }
+}
+
+}  // namespace cosmos::pubsub

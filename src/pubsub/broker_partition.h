@@ -1,0 +1,143 @@
+// One stream's slice of the broker network: the subscription index, the
+// per-tuple matching, the overlay routing + traffic accounting for exactly
+// one advertised stream.
+//
+// Partitions are the unit of parallelism for subscription matching: every
+// stream's routing state (its advert, the subscriptions interested in it,
+// and its traffic counters) is independent of every other stream's, so a
+// partition can be driven by whatever thread currently owns it — in
+// Cosmos::run() that is the runtime shard owning the stream's publishing
+// engine — with no locks at all. The ownership protocol is the runtime's
+// drain discipline: at most one thread calls into a partition at a time,
+// and ownership hand-offs (engine migration, driver-side result delivery)
+// happen only across a shard drain, which establishes the happens-before
+// edge.
+//
+// The BrokerNetwork facade builds partitions, routes subscribe/unsubscribe
+// updates into them, and merges their traffic stats back into one view.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "pubsub/subscription.h"
+#include "runtime/tuple_batch.h"
+
+namespace cosmos::pubsub {
+
+/// Traffic of one directed overlay link (accounted on the from->to hop).
+struct LinkTraffic {
+  double bytes = 0.0;
+  double weighted_cost = 0.0;  ///< bytes * link latency (byte*ms)
+  std::size_t messages_sent = 0;
+
+  friend bool operator==(const LinkTraffic&, const LinkTraffic&) = default;
+};
+
+struct TrafficStats {
+  double bytes = 0.0;
+  double weighted_cost = 0.0;  ///< sum of bytes * link latency (byte*ms)
+  std::size_t messages_sent = 0;
+  /// Per directed overlay link (from, to) breakdown of the totals — what
+  /// link-level tests assert and hot-link analysis reads.
+  std::map<std::pair<NodeId, NodeId>, LinkTraffic> links;
+
+  /// Accumulates `other` into this (the facade's partition merge).
+  void merge(const TrafficStats& other);
+
+  friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
+};
+
+/// Batched delivery: the rows of a published batch one subscription
+/// matched, as ascending indices into the source batch (select() them to
+/// materialize the subscriber's view).
+struct BatchDelivery {
+  const Subscription* sub = nullptr;
+  const runtime::TupleBatch* source = nullptr;
+  std::vector<std::uint32_t> rows;
+};
+
+/// Immutable overlay shared by every partition: the latency-minimal
+/// spanning tree over the participants and its routing tables. Built once
+/// by the BrokerNetwork constructor; read-only afterwards, so concurrent
+/// partitions never contend on it.
+struct Overlay {
+  std::vector<NodeId> participants;
+  std::unordered_map<NodeId, std::size_t> index;
+  const net::LatencyMatrix* lat = nullptr;
+  std::vector<std::vector<std::size_t>> adj;       ///< tree adjacency
+  std::vector<std::vector<std::size_t>> next_hop;  ///< routing table
+
+  /// Index of `n`; throws std::invalid_argument for non-participants.
+  [[nodiscard]] std::size_t index_of(NodeId n) const;
+};
+
+class BrokerPartition {
+ public:
+  using DeliveryCallback =
+      std::function<void(const Subscription&, const Message&)>;
+
+  BrokerPartition(const Overlay& overlay, std::string stream, NodeId publisher,
+                  stream::Schema schema);
+
+  [[nodiscard]] const std::string& stream() const noexcept { return stream_; }
+  [[nodiscard]] NodeId publisher() const noexcept { return publisher_; }
+  [[nodiscard]] const stream::Schema& schema() const noexcept {
+    return schema_;
+  }
+
+  /// Facade bookkeeping: (de)registers a subscription interested in this
+  /// stream. `sub` must stay valid while registered.
+  void add_subscription(const Subscription* sub);
+  void remove_subscription(SubscriptionId id);
+  [[nodiscard]] std::size_t subscription_count() const noexcept {
+    return subs_.size();
+  }
+
+  /// Scalar path: matches one tuple against the index, routes one copy per
+  /// overlay link toward the matched subscribers (attributes pruned to the
+  /// union of their projections), accounts the traffic, and delivers via
+  /// `callback` at each subscriber's home broker.
+  void match(const stream::Tuple& tuple, const DeliveryCallback& callback);
+
+  /// Batched path: per-row matching and link accounting identical to
+  /// size() scalar match() calls, but one BatchDelivery per matching
+  /// subscription carrying all of its rows at once (appended to
+  /// `deliveries` in first-match order). Rows must be timestamp-ordered;
+  /// violations throw std::invalid_argument naming the stream and both
+  /// timestamps before any row is matched or accounted.
+  void match_batch(const runtime::TupleBatch& batch,
+                   std::vector<BatchDelivery>& deliveries);
+
+  [[nodiscard]] const TrafficStats& traffic() const noexcept {
+    return traffic_;
+  }
+  void reset_traffic() noexcept { traffic_ = {}; }
+
+ private:
+  struct MatchedSub {
+    const Subscription* sub;
+    std::size_t home;
+  };
+
+  void route(const Message& message, std::size_t at, std::size_t came_from,
+             const std::vector<MatchedSub>& matched,
+             const DeliveryCallback& callback);
+
+  const Overlay* overlay_;
+  std::string stream_;
+  NodeId publisher_;
+  std::size_t publisher_idx_;
+  stream::Schema schema_;
+  /// Subscription index: every live subscription interested in this
+  /// stream, with its home broker pre-resolved.
+  std::vector<MatchedSub> subs_;
+  TrafficStats traffic_;
+};
+
+}  // namespace cosmos::pubsub

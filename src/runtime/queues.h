@@ -113,16 +113,32 @@ class BoundedQueue {
 template <typename T>
 class MpscBuffer {
  public:
-  void push(T value) {
+  /// Returns false (and drops `value`) once the buffer is closed —
+  /// teardown-safe for producers that may outlive the consumer's interest.
+  bool push(T value) {
     std::lock_guard lock{mu_};
+    if (closed_) return false;
     items_.push_back(std::move(value));
+    return true;
   }
 
   /// Moves everything accumulated so far into `out` (cleared first).
+  /// Items buffered before close() stay drainable after it.
   void drain_into(std::vector<T>& out) {
     out.clear();
     std::lock_guard lock{mu_};
     out.swap(items_);
+  }
+
+  /// Rejects all future pushes; already-buffered items remain drainable.
+  void close() {
+    std::lock_guard lock{mu_};
+    closed_ = true;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mu_};
+    return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -133,6 +149,7 @@ class MpscBuffer {
  private:
   mutable std::mutex mu_;
   std::vector<T> items_;
+  bool closed_ = false;
 };
 
 }  // namespace cosmos::runtime

@@ -63,12 +63,30 @@ void Runtime::worker_loop(Shard& shard) {
     const double cpu0 = thread_cpu_seconds();
     std::uint64_t tuples = 0;
     std::uint64_t runs_done = 0;
+    const bool is_match = static_cast<bool>(task->match);
     std::string failure;
     try {
-      for (const TupleBatch& run : task->runs) {
-        task->engine->publish_batch(run.stream(), run);
-        tuples += run.size();
-        ++runs_done;
+      if (is_match) {
+        task->match();
+      } else {
+        for (const TupleBatch& run : task->runs) {
+          task->engine->publish_batch(run.stream(), run);
+          tuples += run.size();
+          ++runs_done;
+        }
+        for (const RunSlice& slice : task->slices) {
+          // A slice selecting every row replays the shared run directly —
+          // no per-row copy at all on the common all-rows-match path.
+          if (slice.rows.empty() || slice.rows.size() == slice.run->size()) {
+            task->engine->publish_batch(slice.run->stream(), *slice.run);
+            tuples += slice.run->size();
+          } else {
+            const TupleBatch selected = slice.run->select(slice.rows);
+            task->engine->publish_batch(selected.stream(), selected);
+            tuples += selected.size();
+          }
+          ++runs_done;
+        }
       }
     } catch (const std::exception& e) {
       // Must not escape the thread (std::terminate); record and keep the
@@ -86,11 +104,16 @@ void Runtime::worker_loop(Shard& shard) {
       shard.stats.tuples += tuples;
       shard.stats.batches += runs_done;
       ++shard.stats.tasks;
+      if (is_match) {
+        shard.stats.match_ns += ns;
+        ++shard.stats.match_tasks;
+      }
       auto& es = shard.engine_stats[task->engine_id];
       es.engine = task->engine_id;
       es.tuples += tuples;
       es.batches += runs_done;
       es.busy_ns += ns;
+      if (is_match) es.match_ns += ns;
     }
     {
       std::lock_guard lock{shard.drain_mu};
@@ -150,6 +173,7 @@ RuntimeStats Runtime::stats() const {
       row.tuples += es.tuples;
       row.batches += es.batches;
       row.busy_ns += es.busy_ns;
+      row.match_ns += es.match_ns;
     }
   }
   out.engines.reserve(merged.size());

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -33,16 +34,36 @@ struct RuntimeOptions {
   std::size_t queue_capacity = 64;
 };
 
+/// A pre-matched view of a shared source run: the rows of `run` one engine
+/// should see. The run itself is shared (read-only) across every engine
+/// task cut from it, so the dispatcher never copies tuple data — the
+/// owning shard materializes the selection (or replays the whole run when
+/// every row matched) on its own CPU.
+struct RunSlice {
+  std::shared_ptr<const TupleBatch> run;
+  /// Ascending row indices into `run`; empty means every row.
+  std::vector<std::uint32_t> rows;
+};
+
 class Runtime {
  public:
-  /// One queue entry: an ordered list of same-stream runs for one engine.
-  /// The worker replays the runs in order via Engine::publish_batch.
+  /// One queue entry. Two shapes share it:
+  ///  - engine task: an ordered list of same-stream runs (owned `runs`
+  ///    and/or shared `slices`, replayed in that order) for one engine via
+  ///    Engine::publish_batch;
+  ///  - match task: a `match` hook the worker invokes instead — the
+  ///    shard-side stage of the broker matching pipeline. Its CPU is
+  ///    accounted to match_ns (inside busy_ns) under `engine_id`.
   struct Task {
     stream::Engine* engine = nullptr;
     std::vector<TupleBatch> runs;
+    std::vector<RunSlice> slices;
     /// Opaque id the dispatcher assigns to the engine (e.g. the hosting
     /// node's id); per-engine counters in RuntimeStats are keyed by it.
     std::uint64_t engine_id = 0;
+    /// When set, the worker runs this instead of replaying runs/slices.
+    /// Exceptions are captured like engine failures (first_error()).
+    std::function<void()> match;
   };
 
   explicit Runtime(RuntimeOptions options);

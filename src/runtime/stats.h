@@ -24,6 +24,11 @@ struct EngineStats {
   std::uint64_t tuples = 0;   ///< tuples executed for this engine
   std::uint64_t batches = 0;  ///< batches (runs) executed
   std::uint64_t busy_ns = 0;  ///< worker thread CPU time in its tasks
+  /// Portion of busy_ns spent in match-stage tasks (Task::match hooks) the
+  /// dispatcher attributed to this id — for broker partitions, the id is
+  /// the stream's publishing node, so the row follows the partition when
+  /// adaptation migrates it across shards.
+  std::uint64_t match_ns = 0;
 };
 
 struct ShardStats {
@@ -31,6 +36,10 @@ struct ShardStats {
   std::uint64_t batches = 0;  ///< batches (runs) executed
   std::uint64_t tasks = 0;    ///< queue entries consumed
   std::uint64_t busy_ns = 0;  ///< worker thread CPU time executing tasks
+  /// Portion of busy_ns spent in match-stage tasks (Task::match hooks):
+  /// subscription matching this shard ran on behalf of the ingest driver.
+  std::uint64_t match_ns = 0;
+  std::uint64_t match_tasks = 0;  ///< match-stage queue entries consumed
   /// Producer time spent blocked in dispatch() because this shard's queue
   /// was full — the backpressure signal.
   std::uint64_t stall_ns = 0;
@@ -79,6 +88,13 @@ struct RuntimeStats {
   [[nodiscard]] double total_stall_seconds() const noexcept {
     std::uint64_t ns = 0;
     for (const auto& s : shards) ns += s.stall_ns;
+    return static_cast<double>(ns) * 1e-9;
+  }
+  /// Shard CPU spent in match-stage tasks across all shards — the work the
+  /// broker-partition pipeline moved off the ingest driver.
+  [[nodiscard]] double total_match_seconds() const noexcept {
+    std::uint64_t ns = 0;
+    for (const auto& s : shards) ns += s.match_ns;
     return static_cast<double>(ns) * 1e-9;
   }
 };

@@ -6,6 +6,8 @@
 // adaptation loop is guaranteed to trigger.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <map>
 #include <string>
 #include <vector>
@@ -36,10 +38,10 @@ struct Fixture {
 
   using ResultLog = std::map<QueryId, std::vector<std::string>>;
 
-  Cosmos make(ResultLog& log) {
-    Cosmos sys{all, lat};
+  std::unique_ptr<Cosmos> make(ResultLog& log) {
+    auto sys = std::make_unique<Cosmos>(all, lat);
     for (std::size_t st = 0; st < kStations; ++st) {
-      sys.register_source(sim::station_stream_name(st), sim::sensor_schema(),
+      sys->register_source(sim::station_stream_name(st), sim::sensor_schema(),
                           all[st % kSources]);
     }
     for (std::size_t i = 0; i < kEngines; ++i) {
@@ -57,7 +59,7 @@ struct Fixture {
       spec.where = stream::Predicate::cmp(
           stream::FieldRef{"S1", "snowHeight"}, stream::CmpOp::kGt,
           stream::FieldRef{"S2", "snowHeight"});
-      sys.submit(spec, all[kSources + i],
+      sys->submit(spec, all[kSources + i],
                  [&log](QueryId q, const stream::Tuple& t) {
                    std::string line = std::to_string(t.ts);
                    for (const auto& v : t.values) line += "|" + v.to_string();
@@ -111,19 +113,19 @@ TEST(AdaptRun, ResultsIdenticalWithAdaptationOnOffAndPush) {
 
   Fixture::ResultLog push_log;
   auto push_sys = f.make(push_log);
-  for (const auto& ev : events) push_sys.push(ev.stream, ev.tuple);
+  for (const auto& ev : events) push_sys->push(ev.stream, ev.tuple);
   ASSERT_FALSE(push_log.empty());
 
   for (const std::size_t shards : {1, 4, 8}) {
     Fixture::ResultLog off_log;
     auto off_sys = f.make(off_log);
-    const auto off = off_sys.run(events, Fixture::run_options(shards, false));
+    const auto off = off_sys->run(events, Fixture::run_options(shards, false));
     EXPECT_EQ(off.adaptation.moves, 0u);
     EXPECT_EQ(off_log, push_log) << "adapt off, shards=" << shards;
 
     Fixture::ResultLog on_log;
     auto on_sys = f.make(on_log);
-    const auto on = on_sys.run(events, Fixture::run_options(shards, true));
+    const auto on = on_sys->run(events, Fixture::run_options(shards, true));
     EXPECT_EQ(on_log, push_log) << "adapt on, shards=" << shards;
     if (shards > 1) {
       // Everything started on shard 0 and the threshold is hair-trigger:
@@ -150,7 +152,7 @@ TEST(AdaptRun, PinOptionControlsInitialPlacement) {
   for (std::size_t i = 0; i < kEngines; ++i) {
     opts.pin[NodeId{static_cast<NodeId::value_type>(kSources + i)}] = 2;
   }
-  const auto report = sys.run(events, opts);
+  const auto report = sys->run(events, opts);
   // All engines pinned to shard 2: only that shard executed tuples.
   for (std::size_t s = 0; s < report.stats.shards.size(); ++s) {
     if (s == 2) {
@@ -170,7 +172,7 @@ TEST(AdaptRun, MigrationReportsStateBytes) {
   const auto events = Fixture::trace();
   Fixture::ResultLog log;
   auto sys = f.make(log);
-  const auto report = sys.run(events, Fixture::run_options(4, true));
+  const auto report = sys->run(events, Fixture::run_options(4, true));
   ASSERT_GE(report.adaptation.moves, 1u);
   // Engines hold window-join state while the trace flows, so migrating
   // them mid-trace must account a positive state volume.

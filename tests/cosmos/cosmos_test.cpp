@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cql/parser.h"
 #include "net/topology.h"
 #include "sim/sensor_trace.h"
@@ -25,10 +27,10 @@ struct Fixture {
     lat = net::LatencyMatrix{topo, all};
   }
 
-  Cosmos make(bool share = true) {
-    Cosmos sys{all, lat, share};
-    sys.register_source("Station1", sim::sensor_schema(), NodeId{0});
-    sys.register_source("Station2", sim::sensor_schema(), NodeId{0});
+  std::unique_ptr<Cosmos> make(bool share = true) {
+    auto sys = std::make_unique<Cosmos>(all, lat, share);
+    sys->register_source("Station1", sim::sensor_schema(), NodeId{0});
+    sys->register_source("Station2", sim::sensor_schema(), NodeId{0});
     return sys;
   }
 
@@ -61,36 +63,36 @@ TEST(Cosmos, SingleQueryDeliversResults) {
   Fixture f;
   auto sys = f.make();
   std::size_t results = 0;
-  sys.submit(Fixture::q3(NodeId{3}), NodeId{1},
+  sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
              [&](QueryId q, const stream::Tuple& t) {
                EXPECT_EQ(q, QueryId{3});
                EXPECT_EQ(t.values.size(), 4u);  // S2.* has 4 columns
                ++results;
              });
-  f.feed(sys, 100, 8);
+  f.feed(*sys, 100, 8);
   EXPECT_GT(results, 0u);
-  EXPECT_GT(sys.traffic().bytes, 0.0);
+  EXPECT_GT(sys->traffic().bytes, 0.0);
 }
 
 TEST(Cosmos, MergesOverlappingQueriesOnSameHost) {
   Fixture f;
   auto sys = f.make();
-  sys.submit(Fixture::q3(NodeId{3}), NodeId{1},
+  sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
              [](QueryId, const stream::Tuple&) {});
-  sys.submit(Fixture::q4(NodeId{4}), NodeId{1},
+  sys->submit(Fixture::q4(NodeId{4}), NodeId{1},
              [](QueryId, const stream::Tuple&) {});
-  EXPECT_EQ(sys.submitted_queries(), 2u);
-  EXPECT_EQ(sys.deployed_units(), 1u);  // folded into Q5
+  EXPECT_EQ(sys->submitted_queries(), 2u);
+  EXPECT_EQ(sys->deployed_units(), 1u);  // folded into Q5
 }
 
 TEST(Cosmos, DoesNotMergeAcrossHosts) {
   Fixture f;
   auto sys = f.make();
-  sys.submit(Fixture::q3(NodeId{3}), NodeId{1},
+  sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
              [](QueryId, const stream::Tuple&) {});
-  sys.submit(Fixture::q4(NodeId{4}), NodeId{2},
+  sys->submit(Fixture::q4(NodeId{4}), NodeId{2},
              [](QueryId, const stream::Tuple&) {});
-  EXPECT_EQ(sys.deployed_units(), 2u);
+  EXPECT_EQ(sys->deployed_units(), 2u);
 }
 
 TEST(Cosmos, MergedResultsMatchUnmergedResults) {
@@ -98,21 +100,21 @@ TEST(Cosmos, MergedResultsMatchUnmergedResults) {
   std::size_t shared3 = 0, shared4 = 0, solo3 = 0, solo4 = 0;
   {
     auto sys = f.make(true);
-    sys.submit(Fixture::q3(NodeId{3}), NodeId{1},
+    sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
                [&](QueryId, const stream::Tuple&) { ++shared3; });
-    sys.submit(Fixture::q4(NodeId{4}), NodeId{1},
+    sys->submit(Fixture::q4(NodeId{4}), NodeId{1},
                [&](QueryId, const stream::Tuple&) { ++shared4; });
-    ASSERT_EQ(sys.deployed_units(), 1u);
-    f.feed(sys, 120, 8);
+    ASSERT_EQ(sys->deployed_units(), 1u);
+    f.feed(*sys, 120, 8);
   }
   {
     auto sys = f.make(false);
-    sys.submit(Fixture::q3(NodeId{3}), NodeId{1},
+    sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
                [&](QueryId, const stream::Tuple&) { ++solo3; });
-    sys.submit(Fixture::q4(NodeId{4}), NodeId{1},
+    sys->submit(Fixture::q4(NodeId{4}), NodeId{1},
                [&](QueryId, const stream::Tuple&) { ++solo4; });
-    ASSERT_EQ(sys.deployed_units(), 2u);
-    f.feed(sys, 120, 8);
+    ASSERT_EQ(sys->deployed_units(), 2u);
+    f.feed(*sys, 120, 8);
   }
   EXPECT_GT(solo3, 0u);
   EXPECT_EQ(shared3, solo3);
@@ -123,22 +125,22 @@ TEST(Cosmos, SharingReducesTraffic) {
   Fixture f;
   auto shared = f.make(true);
   auto solo = f.make(false);
-  for (auto* sys : {&shared, &solo}) {
+  for (auto* sys : {shared.get(), solo.get()}) {
     sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
                 [](QueryId, const stream::Tuple&) {});
     sys->submit(Fixture::q4(NodeId{4}), NodeId{1},
                 [](QueryId, const stream::Tuple&) {});
     f.feed(*sys, 120, 8);
   }
-  EXPECT_LT(shared.traffic().bytes, solo.traffic().bytes);
+  EXPECT_LT(shared->traffic().bytes, solo->traffic().bytes);
 }
 
 TEST(Cosmos, RejectsDuplicateIds) {
   Fixture f;
   auto sys = f.make();
-  sys.submit(Fixture::q3(NodeId{3}), NodeId{1},
+  sys->submit(Fixture::q3(NodeId{3}), NodeId{1},
              [](QueryId, const stream::Tuple&) {});
-  EXPECT_THROW(sys.submit(Fixture::q3(NodeId{3}), NodeId{2},
+  EXPECT_THROW(sys->submit(Fixture::q3(NodeId{3}), NodeId{2},
                           [](QueryId, const stream::Tuple&) {}),
                std::invalid_argument);
 }

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "net/topology.h"
 #include "sim/sensor_trace.h"
 
@@ -145,6 +149,171 @@ TEST(Subscription, CoversRelation) {
   EXPECT_TRUE(covers(wide, narrow));
   EXPECT_FALSE(covers(narrow, wide));
   EXPECT_TRUE(covers(wide, wide));
+}
+
+// --- publish_batch edge cases -----------------------------------------
+// The batched path must be indistinguishable from N scalar publishes in
+// both deliveries and per-link traffic accounting (the invariant the
+// runtime's shard-side matching relies on).
+
+runtime::TupleBatch make_batch(
+    const std::vector<std::pair<stream::Timestamp, double>>& rows) {
+  runtime::TupleBatch batch{"S"};
+  for (const auto& [ts, height] : rows) {
+    batch.push_back(Fixture::reading(ts, height));
+  }
+  return batch;
+}
+
+Subscription height_sub(NodeId home, double min_height) {
+  Subscription sub;
+  sub.subscriber = home;
+  sub.streams = {"S"};
+  sub.filter = stream::Predicate::cmp({"", "snowHeight"}, stream::CmpOp::kGe,
+                                      stream::Value{min_height});
+  return sub;
+}
+
+TEST(BrokerNetworkBatch, EmptyBatchIsANoOp) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  net.subscribe(height_sub(NodeId{3}, 0.0));
+  std::size_t deliveries = 0;
+  net.publish_batch("S", runtime::TupleBatch{"S"},
+                    [&](const BatchDelivery&) { ++deliveries; });
+  EXPECT_EQ(deliveries, 0u);
+  EXPECT_EQ(net.traffic().bytes, 0.0);
+  EXPECT_EQ(net.traffic().messages_sent, 0u);
+}
+
+TEST(BrokerNetworkBatch, SingleRowBatchEqualsScalarPublishPerLink) {
+  Fixture f;
+  const auto tuple = Fixture::reading(7, 25.0);
+
+  BrokerNetwork scalar{f.all, f.lat};
+  scalar.advertise("S", NodeId{0}, sim::sensor_schema());
+  scalar.subscribe(height_sub(NodeId{3}, 10.0));
+  std::size_t scalar_deliveries = 0;
+  scalar.publish("S", tuple,
+                 [&](const Subscription&, const Message&) {
+                   ++scalar_deliveries;
+                 });
+
+  BrokerNetwork batched{f.all, f.lat};
+  batched.advertise("S", NodeId{0}, sim::sensor_schema());
+  batched.subscribe(height_sub(NodeId{3}, 10.0));
+  std::size_t rows_delivered = 0;
+  batched.publish_batch("S", make_batch({{7, 25.0}}),
+                        [&](const BatchDelivery& d) {
+                          rows_delivered += d.rows.size();
+                        });
+
+  EXPECT_EQ(scalar_deliveries, 1u);
+  EXPECT_EQ(rows_delivered, 1u);
+  // Full per-link equality, not just the totals.
+  EXPECT_EQ(batched.traffic(), scalar.traffic());
+  EXPECT_FALSE(batched.traffic().links.empty());
+}
+
+TEST(BrokerNetworkBatch, ZeroMatchingSubscriptionsProduceNothing) {
+  Fixture f;
+  // Case 1: subscriptions exist but reject every row.
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  net.subscribe(height_sub(NodeId{2}, 1000.0));  // nothing is that high
+  std::size_t deliveries = 0;
+  net.publish_batch("S", make_batch({{1, 5.0}, {2, 9.0}, {3, 12.0}}),
+                    [&](const BatchDelivery&) { ++deliveries; });
+  EXPECT_EQ(deliveries, 0u);
+  EXPECT_EQ(net.traffic().bytes, 0.0);
+  EXPECT_TRUE(net.traffic().links.empty());
+
+  // Case 2: no subscriptions at all (the early-out path).
+  BrokerNetwork bare{f.all, f.lat};
+  bare.advertise("S", NodeId{0}, sim::sensor_schema());
+  bare.publish_batch("S", make_batch({{1, 5.0}}),
+                     [&](const BatchDelivery&) { ++deliveries; });
+  EXPECT_EQ(deliveries, 0u);
+  EXPECT_EQ(bare.traffic().messages_sent, 0u);
+}
+
+TEST(BrokerNetworkBatch, RejectsOutOfOrderTimestampsAtomically) {
+  Fixture f;
+  BrokerNetwork net{f.all, f.lat};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  net.subscribe(height_sub(NodeId{3}, 0.0));
+  std::size_t deliveries = 0;
+  try {
+    net.publish_batch("S", make_batch({{5, 20.0}, {3, 21.0}}),
+                      [&](const BatchDelivery&) { ++deliveries; });
+    FAIL() << "out-of-order batch must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("S"), std::string::npos);
+    EXPECT_NE(what.find("3"), std::string::npos);
+    EXPECT_NE(what.find("5"), std::string::npos);
+  }
+  // The failure is atomic: no row was matched, delivered, or accounted.
+  EXPECT_EQ(deliveries, 0u);
+  EXPECT_EQ(net.traffic().bytes, 0.0);
+  EXPECT_EQ(net.traffic().messages_sent, 0u);
+}
+
+TEST(BrokerNetworkBatch, TrafficAccountingEquivalentToScalarPerLink) {
+  Fixture f;
+  // Mixed subscription population: different homes, filters, projections
+  // — shared links, projection unions and partial matches all in play.
+  const auto populate = [&](BrokerNetwork& net) {
+    net.advertise("S", NodeId{0}, sim::sensor_schema());
+    net.subscribe(height_sub(NodeId{3}, 10.0));
+    net.subscribe(height_sub(NodeId{2}, 20.0));
+    Subscription projected = height_sub(NodeId{1}, 0.0);
+    projected.projection = {"snowHeight"};
+    net.subscribe(std::move(projected));
+  };
+  const std::vector<std::pair<stream::Timestamp, double>> rows{
+      {1, 5.0}, {2, 15.0}, {3, 25.0}, {4, 8.0}, {5, 30.0}};
+
+  BrokerNetwork scalar{f.all, f.lat};
+  populate(scalar);
+  std::vector<std::string> scalar_deliveries;
+  for (const auto& [ts, height] : rows) {
+    scalar.publish("S", Fixture::reading(ts, height),
+                   [&](const Subscription& sub, const Message& m) {
+                     scalar_deliveries.push_back(
+                         std::to_string(sub.id.value()) + "@" +
+                         std::to_string(m.tuple.ts));
+                   });
+  }
+
+  BrokerNetwork batched{f.all, f.lat};
+  populate(batched);
+  std::vector<std::string> batch_deliveries;
+  batched.publish_batch("S", make_batch(rows), [&](const BatchDelivery& d) {
+    for (const auto row : d.rows) {
+      batch_deliveries.push_back(std::to_string(d.sub->id.value()) + "@" +
+                                 std::to_string(d.source->ts(row)));
+    }
+  });
+
+  // Same (subscription, row) delivery set...
+  std::sort(scalar_deliveries.begin(), scalar_deliveries.end());
+  std::sort(batch_deliveries.begin(), batch_deliveries.end());
+  EXPECT_EQ(batch_deliveries, scalar_deliveries);
+  ASSERT_FALSE(batch_deliveries.empty());
+  // ...and byte-identical accounting on every directed link.
+  const auto st = scalar.traffic();
+  const auto bt = batched.traffic();
+  EXPECT_EQ(bt, st);
+  ASSERT_FALSE(bt.links.empty());
+  for (const auto& [link, t] : st.links) {
+    const auto it = bt.links.find(link);
+    ASSERT_NE(it, bt.links.end());
+    EXPECT_DOUBLE_EQ(it->second.bytes, t.bytes);
+    EXPECT_DOUBLE_EQ(it->second.weighted_cost, t.weighted_cost);
+    EXPECT_EQ(it->second.messages_sent, t.messages_sent);
+  }
 }
 
 TEST(Subscription, MessageBytes) {

@@ -3,6 +3,8 @@
 // batch size, and traffic accounting must match.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cosmos/cosmos.h"
 #include "cql/parser.h"
 #include "net/topology.h"
@@ -30,17 +32,17 @@ struct Fixture {
   /// delivery order (the per-query result *sequence*, not just a count).
   using ResultLog = std::map<QueryId, std::vector<std::string>>;
 
-  Cosmos make(ResultLog& log) {
-    Cosmos sys{all, lat};
+  std::unique_ptr<Cosmos> make(ResultLog& log) {
+    auto sys = std::make_unique<Cosmos>(all, lat);
     for (std::size_t st = 0; st < 3; ++st) {
-      sys.register_source(sim::station_stream_name(st), sim::sensor_schema(),
+      sys->register_source(sim::station_stream_name(st), sim::sensor_schema(),
                           NodeId{st % 2});
     }
     std::size_t qid = 0;
     const auto submit = [&](const std::string& text, NodeId host,
                             NodeId proxy) {
       const QueryId id{static_cast<QueryId::value_type>(qid++)};
-      sys.submit(cql::parse_query(text, id, proxy),
+      sys->submit(cql::parse_query(text, id, proxy),
                  host, [&log](QueryId q, const stream::Tuple& t) {
                    std::string line = std::to_string(t.ts);
                    for (const auto& v : t.values) {
@@ -85,22 +87,22 @@ TEST(CosmosRun, MatchesPushModeExactly) {
 
   Fixture::ResultLog push_log;
   auto push_sys = f.make(push_log);
-  for (const auto& ev : events) push_sys.push(ev.stream, ev.tuple);
+  for (const auto& ev : events) push_sys->push(ev.stream, ev.tuple);
 
   Fixture::ResultLog run_log;
   auto run_sys = f.make(run_log);
   Cosmos::RunOptions opts;
   opts.shards = 1;
-  const auto report = run_sys.run(events, opts);
+  const auto report = run_sys->run(events, opts);
 
   EXPECT_EQ(report.tuples, events.size());
   EXPECT_GT(report.results_delivered, 0u);
   ASSERT_FALSE(push_log.empty());
   EXPECT_EQ(run_log, push_log);  // identical per-query result sequences
   // Traffic: same messages; bytes identical up to summation order.
-  EXPECT_EQ(run_sys.traffic().messages_sent, push_sys.traffic().messages_sent);
-  EXPECT_NEAR(run_sys.traffic().bytes, push_sys.traffic().bytes,
-              1e-6 * push_sys.traffic().bytes);
+  EXPECT_EQ(run_sys->traffic().messages_sent, push_sys->traffic().messages_sent);
+  EXPECT_NEAR(run_sys->traffic().bytes, push_sys->traffic().bytes,
+              1e-6 * push_sys->traffic().bytes);
 }
 
 TEST(CosmosRun, ResultSequencesInvariantAcrossShardCounts) {
@@ -114,7 +116,7 @@ TEST(CosmosRun, ResultSequencesInvariantAcrossShardCounts) {
     opts.shards = shard_counts[i];
     opts.queue_capacity = 2;  // exercise backpressure
     opts.batch_size = 16;
-    const auto report = sys.run(events, opts);
+    const auto report = sys->run(events, opts);
     EXPECT_EQ(report.stats.shards.size(), shard_counts[i]);
     // Every ingested tuple fans out to at least one engine in this
     // workload, so shard-executed tuples can't undercount the trace.
@@ -134,7 +136,7 @@ TEST(CosmosRun, BatchSizeAndTickDoNotChangeResults) {
     Cosmos::RunOptions opts;
     opts.shards = 2;
     opts.batch_size = 1;  // degenerate: one tuple per chunk
-    sys.run(events, opts);
+    sys->run(events, opts);
   }
   for (const auto [batch, tick] :
        {std::pair<std::size_t, stream::Timestamp>{7, 0},
@@ -146,7 +148,7 @@ TEST(CosmosRun, BatchSizeAndTickDoNotChangeResults) {
     opts.shards = 2;
     opts.batch_size = batch;
     opts.tick_ms = tick;
-    sys.run(events, opts);
+    sys->run(events, opts);
     EXPECT_EQ(log, base) << "batch=" << batch << " tick=" << tick;
   }
   ASSERT_FALSE(base.empty());
@@ -159,7 +161,7 @@ TEST(CosmosRun, ReportsShardActivity) {
   auto sys = f.make(log);
   Cosmos::RunOptions opts;
   opts.shards = 2;
-  const auto report = sys.run(events, opts);
+  const auto report = sys->run(events, opts);
   EXPECT_GT(report.chunks, 0u);
   EXPECT_GT(report.stats.total_tuples(), 0u);
   EXPECT_GT(report.stats.total_batches(), 0u);
@@ -177,7 +179,7 @@ TEST(CosmosRun, RejectsOutOfOrderTraces) {
   std::vector<runtime::TraceEvent> bad;
   bad.push_back({"Station1", stream::Tuple{100, {1.0, -2.0, 0, 100}}});
   bad.push_back({"Station2", stream::Tuple{50, {1.0, -2.0, 1, 50}}});
-  EXPECT_THROW(sys.run(bad), std::invalid_argument);
+  EXPECT_THROW(sys->run(bad), std::invalid_argument);
 }
 
 TEST(CosmosRun, SystemStaysUsableAfterRunThrows) {
@@ -189,14 +191,14 @@ TEST(CosmosRun, SystemStaysUsableAfterRunThrows) {
   std::vector<runtime::TraceEvent> bad;
   bad.push_back({"Station1", stream::Tuple{100, {1.0, -2.0, 0, 100}}});
   bad.push_back({"Station1", stream::Tuple{50, {1.0, -2.0, 0, 50}}});
-  EXPECT_THROW(sys.run(bad), std::invalid_argument);
+  EXPECT_THROW(sys->run(bad), std::invalid_argument);
   const auto events = Fixture::trace(40);
-  for (const auto& ev : events) sys.push(ev.stream, ev.tuple);
+  for (const auto& ev : events) sys->push(ev.stream, ev.tuple);
   ASSERT_FALSE(log.empty());  // results delivered inline, not into a
                               // dangling run-mode buffer
   Fixture::ResultLog log2;
   auto sys2 = f.make(log2);
-  sys2.run(events);  // and a fresh run() still works
+  sys2->run(events);  // and a fresh run() still works
   EXPECT_EQ(log2, log);
 }
 

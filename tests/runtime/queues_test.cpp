@@ -77,6 +77,93 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   EXPECT_EQ(result, std::nullopt);
 }
 
+TEST(BoundedQueue, CloseWakesBlockedProducers) {
+  // Producers parked on a full queue must unblock on close() and report
+  // the rejected push — the runtime's shutdown path with a slow shard.
+  constexpr int kProducers = 3;
+  BoundedQueue<int> q{1};
+  ASSERT_TRUE(q.push(0));  // fill the queue so every producer blocks
+  std::atomic<int> rejected{0};
+  std::atomic<int> started{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      started.fetch_add(1);
+      if (!q.push(100 + p)) rejected.fetch_add(1);
+    });
+  }
+  while (started.load() < kProducers) std::this_thread::yield();
+  q.close();
+  for (auto& t : producers) t.join();
+  // Every blocked producer was woken and its value discarded, not queued.
+  EXPECT_EQ(rejected.load(), kProducers);
+  EXPECT_EQ(q.pop(), 0);              // pre-close item still drains
+  EXPECT_EQ(q.pop(), std::nullopt);   // then the closed queue ends
+}
+
+TEST(BoundedQueue, CloseWakesAllBlockedConsumers) {
+  constexpr int kConsumers = 4;
+  BoundedQueue<int> q{2};
+  std::atomic<int> ended{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      if (q.pop() == std::nullopt) ended.fetch_add(1);
+    });
+  }
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(ended.load(), kConsumers);
+}
+
+TEST(BoundedQueue, CloseIsIdempotentAndSticky) {
+  BoundedQueue<int> q{2};
+  q.close();
+  q.close();  // second close must be harmless
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(1));
+  int v = 2;
+  EXPECT_FALSE(q.try_push(v));
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(MpscBuffer, DrainAfterCloseKeepsBufferedItems) {
+  MpscBuffer<int> buf;
+  EXPECT_TRUE(buf.push(1));
+  EXPECT_TRUE(buf.push(2));
+  buf.close();
+  EXPECT_FALSE(buf.push(3));  // rejected and dropped
+  EXPECT_TRUE(buf.closed());
+  std::vector<int> out;
+  buf.drain_into(out);  // pre-close items survive the close
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  buf.drain_into(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MpscBuffer, ConcurrentProducersRaceClose) {
+  // Producers racing a close: every push either lands (and is drained) or
+  // reports rejection — nothing is lost or duplicated.
+  MpscBuffer<int> buf;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (buf.push(p * kPerProducer + i)) accepted.fetch_add(1);
+      }
+    });
+  }
+  buf.close();
+  for (auto& t : producers) t.join();
+  std::vector<int> out;
+  buf.drain_into(out);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(accepted.load()));
+  EXPECT_LE(accepted.load(), kProducers * kPerProducer);
+}
+
 TEST(MpscBuffer, DrainsEverythingInPerProducerOrder) {
   MpscBuffer<std::pair<int, int>> buf;  // (producer, seq)
   constexpr int kProducers = 4;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
 #include "runtime/driver.h"
 #include "stream/engine.h"
 
@@ -99,6 +104,92 @@ TEST(Runtime, StopExecutesQueuedTasksBeforeJoining) {
   }
   rt.stop();  // close + join must drain the queue first
   EXPECT_EQ(engine.published_count("S"), 50u);
+}
+
+TEST(Runtime, MatchTasksRunAndAccountSeparately) {
+  // A match task executes its hook on the owning shard's worker and is
+  // accounted to the shard's (and id's) match counters — the shard-side
+  // stage of the broker matching pipeline.
+  Runtime rt{{2, 8}};
+  rt.start();
+  std::atomic<int> matched{0};
+  for (int i = 0; i < 3; ++i) {
+    Runtime::Task task;
+    task.engine_id = 42;
+    task.match = [&matched] { matched.fetch_add(1); };
+    rt.dispatch(1, std::move(task));
+  }
+  rt.drain();
+  rt.stop();
+  EXPECT_EQ(matched.load(), 3);
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.shards[1].match_tasks, 3u);
+  EXPECT_EQ(stats.shards[1].tasks, 3u);
+  EXPECT_EQ(stats.shards[0].match_tasks, 0u);
+  EXPECT_EQ(stats.shards[1].tuples, 0u);  // matching executes no engine work
+  const auto* row = stats.engine(42);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->batches, 0u);
+  EXPECT_GE(row->busy_ns, row->match_ns);
+}
+
+TEST(Runtime, MatchTaskFailureIsCapturedNotFatal) {
+  Runtime rt{{1, 4}};
+  rt.start();
+  Runtime::Task task;
+  task.engine_id = 7;
+  task.match = [] { throw std::runtime_error{"match exploded"}; };
+  rt.dispatch(0, std::move(task));
+  rt.drain();  // must not hang on the failed match task
+  rt.stop();
+  const auto error = rt.first_error();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("match exploded"), std::string::npos);
+}
+
+TEST(Runtime, SlicesReplaySelectedRowsInOrder) {
+  // An engine task carrying pre-matched slices of a shared run replays
+  // exactly the selected rows, in row order; an all-rows slice replays the
+  // shared run without copying.
+  Engine engine;
+  engine.register_stream("S", one_field());
+  std::vector<std::int64_t> seen;
+  engine.attach("S", [&seen](const Tuple& t) {
+    seen.push_back(t.values.at(0).as_int());
+  });
+  auto run = std::make_shared<TupleBatch>("S");
+  for (std::int64_t i = 0; i < 6; ++i) run->push_back(Tuple{i, {Value{i}}});
+
+  Runtime rt{{1, 4}};
+  rt.start();
+  Runtime::Task task;
+  task.engine = &engine;
+  task.engine_id = 1;
+  task.slices.push_back({run, {0, 2, 5}});  // partial selection
+  rt.dispatch(0, std::move(task));
+  rt.drain();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{0, 2, 5}));
+
+  seen.clear();
+  Runtime::Task all;
+  all.engine = &engine;
+  all.engine_id = 1;
+  all.slices.push_back({run, {}});  // empty rows = every row
+  // Timestamps restart at 0; use a fresh engine stream state via a new
+  // engine to keep the per-stream ordering rule satisfied.
+  Engine engine2;
+  engine2.register_stream("S", one_field());
+  engine2.attach("S", [&seen](const Tuple& t) {
+    seen.push_back(t.values.at(0).as_int());
+  });
+  all.engine = &engine2;
+  rt.dispatch(0, std::move(all));
+  rt.drain();
+  rt.stop();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.shards[0].tuples, 9u);
+  EXPECT_EQ(stats.shards[0].match_tasks, 0u);
 }
 
 TEST(Runtime, AtLeastOneShard) {
