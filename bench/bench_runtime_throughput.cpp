@@ -257,6 +257,18 @@ int main() {
                              : 0.0);
   }
 
+  // Single-shard engine CPU efficiency: tuples per second of shard busy
+  // CPU (all engine + match work runs on the one shard). This is the
+  // compiled/batched execution gate — the per-tuple cost of the operator
+  // hot path, independent of shard-count scaling.
+  const double engine_tuples_per_cpu_s_1shard =
+      static_cast<double>(events.size()) / one->stats.max_busy_seconds();
+  std::printf("1-shard engine CPU: %.0f tuples per busy-CPU second "
+              "(%.1f us/tuple)\n",
+              engine_tuples_per_cpu_s_1shard,
+              1e6 * one->stats.max_busy_seconds() /
+                  static_cast<double>(events.size()));
+
   write_bench_json(
       "runtime_throughput",
       {{"tuples", static_cast<double>(events.size())},
@@ -267,6 +279,7 @@ int main() {
        {"crit_tuples_per_s_4shard",
         static_cast<double>(events.size()) / four->crit_s},
        {"crit_speedup_4shard_vs_1shard", one->crit_s / four->crit_s},
+       {"engine_tuples_per_cpu_s_1shard", engine_tuples_per_cpu_s_1shard},
        {"driver_cpu_seconds_4shard", four->driver_s},
        {"shard_match_cpu_seconds_4shard",
         four->stats.total_match_seconds()},

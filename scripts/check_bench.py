@@ -3,6 +3,7 @@
 
 Usage:
     check_bench.py CURRENT.json BASELINE.json --metrics m1,m2 [--tolerance 0.2]
+    check_bench.py CURRENT.json BASELINE.json --fallback PREV.json --metrics ...
     check_bench.py --self-test
 
 Both files are the flat {"metric": number} JSON written by
@@ -11,9 +12,19 @@ least (1 - tolerance) x the baseline value (higher = better; gate on
 ratio-style metrics such as speedups, which are stable across hardware,
 rather than absolute tuples/s).
 
-Exit codes: 0 = all gated metrics pass, 1 = a metric regressed or a metric
-key is missing from either file, 2 = a file is unreadable or malformed.
-Every failure mode prints a one-line diagnosis — never a bare traceback.
+--fallback names the bench JSON uploaded by the *previous* CI run (same
+runner fleet, hence comparable hardware). When a gated metric — or the
+whole baseline file — is newly added and has no committed baseline entry
+yet, the metric is gated against the fallback instead; if the fallback
+lacks it too (first introduction), a clear "recording only" note is
+printed and the gate passes instead of exiting 2. Hardware-dependent
+absolutes (e.g. tuples per CPU-second) are gated exclusively this way: no
+committed baseline entry, previous run as the reference.
+
+Exit codes: 0 = all gated metrics pass, 1 = a metric regressed or (absent
+--fallback) a metric key is missing from either file, 2 = a file is
+unreadable or malformed. Every failure mode prints a one-line diagnosis —
+never a bare traceback.
 """
 import argparse
 import json
@@ -41,29 +52,57 @@ def load_metrics(path, role):
     return data
 
 
-def check(current, baseline, metrics, tolerance):
-    """Returns the list of failure messages (empty = gate passes)."""
+def check(current, baseline, metrics, tolerance, fallback=None,
+          strict_missing=True):
+    """Returns the list of failure messages (empty = gate passes).
+
+    `baseline` may be None (unreadable baseline file in fallback mode).
+    `fallback` is the previous run's metrics (or None). With
+    strict_missing=False (fallback mode), a metric absent from both
+    references is reported as newly introduced and does not fail.
+    """
     failures = []
     for name in metrics:
         name = name.strip()
-        if name not in baseline:
-            msg = (f"{name}: missing from baseline (typo in --metrics, "
-                   f"or stale baseline?)")
-            print(f"!! {msg}")
-            failures.append(msg)
+        ref = None
+        source = "baseline"
+        if baseline is not None and name in baseline:
+            ref = baseline[name]
+        elif fallback is not None and name in fallback:
+            ref = fallback[name]
+            source = "previous-run artifact"
+        if ref is None:
+            if strict_missing:
+                msg = (f"{name}: missing from baseline (typo in --metrics, "
+                       f"or stale baseline?)")
+                print(f"!! {msg}")
+                failures.append(msg)
+            elif name not in current:
+                # Absent everywhere: a typo'd --metrics name or a metric
+                # the bench stopped emitting must keep failing loudly even
+                # in fallback mode.
+                msg = (f"{name}: missing from current results AND every "
+                       f"reference (typo in --metrics, or the bench no "
+                       f"longer emits it?)")
+                print(f"!! {msg}")
+                failures.append(msg)
+            else:
+                print(f"?? {name}: newly introduced — no committed baseline "
+                      f"and no previous-run artifact; recording only "
+                      f"(current={current[name]:.4g})")
             continue
         if name not in current:
             msg = f"{name}: missing from current results"
             print(f"!! {msg}")
             failures.append(msg)
             continue
-        floor = (1.0 - tolerance) * baseline[name]
+        floor = (1.0 - tolerance) * ref
         ok = current[name] >= floor
         print(f"{'ok' if ok else '!!'} {name}: current={current[name]:.4g} "
-              f"baseline={baseline[name]:.4g} floor={floor:.4g}")
+              f"{source}={ref:.4g} floor={floor:.4g}")
         if not ok:
             failures.append(f"{name}: {current[name]:.4g} < floor "
-                            f"{floor:.4g}")
+                            f"{floor:.4g} (vs {source})")
     return failures
 
 
@@ -135,6 +174,38 @@ def self_test():
                                         "speedup,identical"]), 0,
                "ok identical")
 
+        # --fallback: newly added metric keys gate against the previous
+        # run's artifact; first introductions record instead of failing.
+        prev = write("prev.json", '{"speedup": 2.0, "fresh_metric": 10.0}')
+        cur2 = write("cur2.json",
+                     '{"speedup": 2.0, "identical": 1, "fresh_metric": 9.0}')
+        slow2 = write("slow2.json",
+                      '{"speedup": 2.0, "identical": 1, "fresh_metric": 2.0}')
+        expect("fallback gates newly added key",
+               run([cur2, good, "--fallback", prev, "--metrics",
+                    "speedup,fresh_metric", "--tolerance", "0.2"]), 0,
+               "previous-run artifact=10")
+        expect("fallback catches regression on new key",
+               run([slow2, good, "--fallback", prev, "--metrics",
+                    "fresh_metric", "--tolerance", "0.2"]), 1,
+               "previous-run artifact")
+        expect("first introduction records only",
+               run([cur2, good, "--fallback",
+                    os.path.join(tmp, "no-prev.json"), "--metrics",
+                    "speedup,fresh_metric"]), 0, "newly introduced")
+        expect("typo'd metric still fails in fallback mode",
+               run([cur2, good, "--fallback",
+                    os.path.join(tmp, "no-prev.json"), "--metrics",
+                    "speedup,typo_metric"]), 1,
+               "missing from current results AND every reference")
+        expect("missing baseline file with fallback",
+               run([cur2, os.path.join(tmp, "no-baseline.json"),
+                    "--fallback", prev, "--metrics", "speedup"]), 0,
+               "newly added bench")
+        expect("missing baseline file without fallback still exits 2",
+               run([cur2, os.path.join(tmp, "no-baseline.json"),
+                    "--metrics", "speedup"]), 2, "cannot read baseline")
+
     if failures:
         print("\nself-test FAILED:")
         for f in failures:
@@ -152,6 +223,10 @@ def main() -> int:
                     help="comma-separated metric names to gate on")
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional regression (default 0.20)")
+    ap.add_argument("--fallback",
+                    help="previous-run bench JSON consulted for metrics "
+                         "absent from the committed baseline; missing or "
+                         "unreadable fallback files are treated as empty")
     ap.add_argument("--self-test", action="store_true",
                     help="run the script's own unit tests and exit")
     args = ap.parse_args()
@@ -163,9 +238,25 @@ def main() -> int:
                  "(or use --self-test)")
 
     current = load_metrics(args.current, "current")
-    baseline = load_metrics(args.baseline, "baseline")
+    fallback = None
+    if args.fallback:
+        try:
+            fallback = load_metrics(args.fallback, "fallback")
+        except SystemExit as e:
+            # The previous run may predate this bench or its artifact may
+            # be gone; that must not break the gate.
+            print(f"## no usable previous-run artifact ({e.code})")
+    try:
+        baseline = load_metrics(args.baseline, "baseline")
+    except SystemExit:
+        if args.fallback is None:
+            raise  # legacy strict behavior: unreadable baseline exits 2
+        print(f"## baseline {args.baseline} not found — newly added bench, "
+              f"gating against the previous-run artifact only")
+        baseline = None
     failures = check(current, baseline, args.metrics.split(","),
-                     args.tolerance)
+                     args.tolerance, fallback=fallback,
+                     strict_missing=args.fallback is None)
     return 1 if failures else 0
 
 

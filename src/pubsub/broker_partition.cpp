@@ -35,7 +35,13 @@ BrokerPartition::BrokerPartition(const Overlay& overlay, std::string stream,
       schema_(std::move(schema)) {}
 
 void BrokerPartition::add_subscription(const Subscription* sub) {
-  subs_.push_back({sub, overlay_->index_of(sub->subscriber)});
+  // Compile once per subscribe. Lenient: a filter referencing attributes
+  // this stream lacks throws std::invalid_argument per evaluated row, which
+  // filter_matches turns into "no match" — the interpreter's contract
+  // (Subscription::matches) row for row.
+  subs_.push_back({sub, overlay_->index_of(sub->subscriber),
+                   stream::CompiledPredicate::compile_lenient(
+                       sub->filter, {{"", &schema_, SIZE_MAX}})});
 }
 
 void BrokerPartition::remove_subscription(SubscriptionId id) {
@@ -43,15 +49,27 @@ void BrokerPartition::remove_subscription(SubscriptionId id) {
                 [id](const MatchedSub& m) { return m.sub->id == id; });
 }
 
+bool BrokerPartition::filter_matches(
+    const MatchedSub& entry, const stream::CompiledPredicate::Row& row) {
+  if (!entry.filter.may_throw()) return entry.filter.eval(&row);
+  try {
+    return entry.filter.eval(&row);
+  } catch (const std::invalid_argument&) {
+    return false;  // filter references attributes this message lacks
+  }
+}
+
 void BrokerPartition::match(const stream::Tuple& tuple,
                             const DeliveryCallback& callback) {
   if (subs_.empty()) return;
-  Message message{stream_, &schema_, tuple};
-  std::vector<MatchedSub> matched;
+  const stream::CompiledPredicate::Row row{tuple.ts, tuple.values.data(),
+                                           tuple.values.size()};
+  std::vector<const MatchedSub*> matched;
   for (const auto& entry : subs_) {
-    if (entry.sub->matches(schema_, tuple)) matched.push_back(entry);
+    if (filter_matches(entry, row)) matched.push_back(&entry);
   }
   if (matched.empty()) return;
+  Message message{stream_, &schema_, tuple};
   route(message, publisher_idx_, SIZE_MAX, matched, callback);
 }
 
@@ -75,27 +93,52 @@ void BrokerPartition::match_batch(const runtime::TupleBatch& batch,
   // per-row materialization entirely (as the scalar path does).
   if (subs_.empty()) return;
 
-  // Accumulate per-subscription row lists in first-match order; matching
-  // and routing run per row so the traffic accounting is byte-identical to
-  // row-count scalar match() calls.
+  // Stage 1 — compiled matching, column-at-a-time: evaluate every
+  // subscription's compiled filter over the whole batch (no row
+  // materialization, no string lookups), producing one ascending row list
+  // per subscription. This is also exactly the BatchDelivery row set.
   const std::size_t first_delivery = deliveries.size();
-  std::unordered_map<SubscriptionId, std::size_t> delivery_of;
-  Message message{stream_, &schema_, {}};
-  std::vector<MatchedSub> matched;
-  for (std::uint32_t row = 0; row < batch.size(); ++row) {
-    batch.materialize(row, message.tuple);
-    matched.clear();
-    for (const auto& entry : subs_) {
-      if (entry.sub->matches(schema_, message.tuple)) {
-        matched.push_back(entry);
-        auto [dit, fresh] =
-            delivery_of.try_emplace(entry.sub->id,
-                                    deliveries.size() - first_delivery);
-        if (fresh) deliveries.push_back({entry.sub, &batch, {}});
-        deliveries[first_delivery + dit->second].rows.push_back(row);
+  std::vector<std::vector<std::uint32_t>> rows_of(subs_.size());
+  {
+    const stream::Timestamp* ts = batch.ts_data();
+    const stream::Value* vals = batch.values_data();
+    const std::size_t width = batch.width();
+    stream::CompiledPredicate::Row row{0, nullptr, width};
+    for (std::size_t s = 0; s < subs_.size(); ++s) {
+      const MatchedSub& entry = subs_[s];
+      if (!entry.filter.may_throw()) {
+        entry.filter.filter_batch(batch, nullptr, rows_of[s]);
+        continue;
+      }
+      for (std::uint32_t r = 0; r < batch.size(); ++r) {
+        row.ts = ts[r];
+        row.values = vals + std::size_t{r} * width;
+        if (filter_matches(entry, row)) rows_of[s].push_back(r);
       }
     }
+  }
+
+  // Stage 2 — per-row routing and accounting, identical to row-count
+  // scalar match() calls (deliveries appear in first-match order); rows no
+  // subscription matched are never materialized.
+  std::unordered_map<SubscriptionId, std::size_t> delivery_of;
+  std::vector<std::size_t> cursor(subs_.size(), 0);
+  Message message{stream_, &schema_, {}};
+  std::vector<const MatchedSub*> matched;
+  for (std::uint32_t row = 0; row < batch.size(); ++row) {
+    matched.clear();
+    for (std::size_t s = 0; s < subs_.size(); ++s) {
+      const auto& rows = rows_of[s];
+      if (cursor[s] >= rows.size() || rows[cursor[s]] != row) continue;
+      ++cursor[s];
+      matched.push_back(&subs_[s]);
+      auto [dit, fresh] = delivery_of.try_emplace(
+          subs_[s].sub->id, deliveries.size() - first_delivery);
+      if (fresh) deliveries.push_back({subs_[s].sub, &batch, {}});
+      deliveries[first_delivery + dit->second].rows.push_back(row);
+    }
     if (matched.empty()) continue;
+    batch.materialize(row, message.tuple);
     route(message, publisher_idx_, SIZE_MAX, matched,
           [](const Subscription&, const Message&) {});
   }
@@ -103,11 +146,11 @@ void BrokerPartition::match_batch(const runtime::TupleBatch& batch,
 
 void BrokerPartition::route(const Message& message, std::size_t at,
                             std::size_t came_from,
-                            const std::vector<MatchedSub>& matched,
+                            const std::vector<const MatchedSub*>& matched,
                             const DeliveryCallback& callback) {
   // Local delivery.
-  for (const auto& m : matched) {
-    if (m.home == at) callback(*m.sub, message);
+  for (const auto* m : matched) {
+    if (m->home == at) callback(*m->sub, message);
   }
   // Forward to each neighbor leading to at least one interested
   // subscription, with attributes pruned to the union of their projections
@@ -117,13 +160,13 @@ void BrokerPartition::route(const Message& message, std::size_t at,
     std::set<std::string> attrs;
     bool wants_all = false;
     bool any = false;
-    for (const auto& m : matched) {
-      if (m.home == at || overlay_->next_hop[at][m.home] != nb) continue;
+    for (const auto* m : matched) {
+      if (m->home == at || overlay_->next_hop[at][m->home] != nb) continue;
       any = true;
-      if (m.sub->projection.empty()) {
+      if (m->sub->projection.empty()) {
         wants_all = true;
       } else {
-        attrs.insert(m.sub->projection.begin(), m.sub->projection.end());
+        attrs.insert(m->sub->projection.begin(), m->sub->projection.end());
       }
     }
     if (!any) continue;

@@ -27,6 +27,7 @@
 #include "net/latency_matrix.h"
 #include "pubsub/subscription.h"
 #include "runtime/tuple_batch.h"
+#include "stream/compiled_predicate.h"
 
 namespace cosmos::pubsub {
 
@@ -92,7 +93,11 @@ class BrokerPartition {
   }
 
   /// Facade bookkeeping: (de)registers a subscription interested in this
-  /// stream. `sub` must stay valid while registered.
+  /// stream. `sub` must stay valid while registered. The subscription's
+  /// filter is compiled against the partition schema here — once per
+  /// subscribe — so matching never resolves a field by string again; a
+  /// filter referencing attributes this stream lacks compiles leniently
+  /// and matches nothing, exactly like the interpreted fallback.
   void add_subscription(const Subscription* sub);
   void remove_subscription(SubscriptionId id);
   [[nodiscard]] std::size_t subscription_count() const noexcept {
@@ -123,10 +128,14 @@ class BrokerPartition {
   struct MatchedSub {
     const Subscription* sub;
     std::size_t home;
+    /// Filter compiled against the partition schema (single "" binding).
+    stream::CompiledPredicate filter;
   };
 
+  [[nodiscard]] static bool filter_matches(
+      const MatchedSub& entry, const stream::CompiledPredicate::Row& row);
   void route(const Message& message, std::size_t at, std::size_t came_from,
-             const std::vector<MatchedSub>& matched,
+             const std::vector<const MatchedSub*>& matched,
              const DeliveryCallback& callback);
 
   const Overlay* overlay_;

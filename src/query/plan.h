@@ -6,6 +6,21 @@
 // final projection. Field names are flattened to "alias.field" as soon as a
 // tuple enters the plan so that joined tuples keep per-source provenance
 // (including per-source timestamps, which result splitting needs).
+//
+// Every predicate is compiled to a column-slot program at build time
+// (stream/compiled_predicate.h), and each plan is wired twice over the
+// same operator objects and window state:
+//  - the scalar chain (engine scalar taps -> per-row Sinks), driving
+//    push() mode;
+//  - the batch chain (engine batch taps): per-source filters evaluate
+//    compiled predicates straight over the raw TupleBatch (the appended
+//    "<alias>.timestamp" column is virtual — read from the row timestamp),
+//    selection vectors flow between stages, join probes use per-side hash
+//    indexes on extracted equality columns, and tuples are only
+//    materialized entering join state or the published result batch.
+// A query whose sources share one stream keeps scalar taps only: with two
+// taps on one stream, batch-at-a-time delivery would reorder the per-row
+// left/right interleaving a self-join depends on.
 #pragma once
 
 #include <deque>

@@ -17,6 +17,25 @@ void TupleBatch::push_back(const stream::Tuple& t) {
   values_.insert(values_.end(), t.values.begin(), t.values.end());
 }
 
+void TupleBatch::push_back(stream::Tuple&& t) {
+  push_row(t.ts, std::move(t.values));
+}
+
+void TupleBatch::push_row(stream::Timestamp ts,
+                          std::vector<stream::Value>&& values) {
+  if (width_ == kNoWidth) {
+    width_ = values.size();
+  } else if (values.size() != width_) {
+    throw std::invalid_argument{
+        "TupleBatch: width mismatch on " + stream_ + ": got " +
+        std::to_string(values.size()) + " values, batch has " +
+        std::to_string(width_)};
+  }
+  ts_.push_back(ts);
+  values_.insert(values_.end(), std::make_move_iterator(values.begin()),
+                 std::make_move_iterator(values.end()));
+}
+
 const stream::Value& TupleBatch::at(std::size_t row, std::size_t col) const {
   if (row >= size() || col >= width()) {
     throw std::out_of_range{"TupleBatch: (" + std::to_string(row) + "," +

@@ -32,6 +32,12 @@ class TupleBatch {
   /// Appends a tuple; throws std::invalid_argument if its value count
   /// differs from the batch width.
   void push_back(const stream::Tuple& t);
+  /// Move-aware append: the tuple's values are moved into the arena
+  /// (string payloads transfer instead of copying).
+  void push_back(stream::Tuple&& t);
+  /// Appends a row from parts, moving the values in. The batch-at-a-time
+  /// operator paths assemble output rows with this to avoid a Tuple copy.
+  void push_row(stream::Timestamp ts, std::vector<stream::Value>&& values);
 
   [[nodiscard]] stream::Timestamp ts(std::size_t row) const {
     return ts_.at(row);
@@ -42,6 +48,16 @@ class TupleBatch {
   [[nodiscard]] stream::Tuple row(std::size_t i) const;
   /// Same, reusing `out`'s storage (the engine fast path's scratch tuple).
   void materialize(std::size_t i, stream::Tuple& out) const;
+
+  /// Raw column views for the compiled batch-evaluation hot path: the
+  /// timestamp array and the row-major value arena (row i's values start at
+  /// values_data() + i * width()). Valid until the next mutation.
+  [[nodiscard]] const stream::Timestamp* ts_data() const noexcept {
+    return ts_.data();
+  }
+  [[nodiscard]] const stream::Value* values_data() const noexcept {
+    return values_.data();
+  }
 
   /// First/last row timestamps; batch must be non-empty.
   [[nodiscard]] stream::Timestamp first_ts() const { return ts_.at(0); }

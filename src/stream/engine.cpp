@@ -22,7 +22,9 @@ void Engine::register_stream(const std::string& name, Schema schema) {
   if (streams_.contains(name)) {
     throw std::invalid_argument{"Engine: duplicate stream " + name};
   }
-  streams_.emplace(name, StreamState{std::move(schema), INT64_MIN, 0, 0, {}});
+  StreamState st;
+  st.schema = std::move(schema);
+  streams_.emplace(name, std::move(st));
 }
 
 const Schema& Engine::schema(const std::string& name) const {
@@ -42,15 +44,27 @@ Engine::StreamState& Engine::state(const std::string& name) {
 }
 
 std::size_t Engine::attach(const std::string& name, Tap tap) {
+  if (!tap) throw std::invalid_argument{"Engine: null tap"};
   auto& st = state(name);
   const std::size_t id = st.next_tap_id++;
-  st.taps.emplace_back(id, std::move(tap));
+  st.taps.push_back({id, std::move(tap), nullptr});
+  return id;
+}
+
+std::size_t Engine::attach(const std::string& name, BatchTap batch,
+                           Tap scalar) {
+  if (!batch || !scalar) {
+    throw std::invalid_argument{"Engine: null batch/scalar tap"};
+  }
+  auto& st = state(name);
+  const std::size_t id = st.next_tap_id++;
+  st.taps.push_back({id, std::move(scalar), std::move(batch)});
   return id;
 }
 
 void Engine::detach(const std::string& name, std::size_t tap_id) {
   auto& st = state(name);
-  std::erase_if(st.taps, [tap_id](const auto& p) { return p.first == tap_id; });
+  std::erase_if(st.taps, [tap_id](const auto& e) { return e.id == tap_id; });
 }
 
 void Engine::publish(const std::string& name, const Tuple& t) {
@@ -61,7 +75,7 @@ void Engine::publish(const std::string& name, const Tuple& t) {
   // Copy the tap list: a tap may attach/detach while we iterate (a query
   // result published downstream may register new consumers).
   const auto taps = st.taps;
-  for (const auto& [id, tap] : taps) tap(t);
+  for (const auto& e : taps) e.scalar(t);
 }
 
 void Engine::publish_batch(const std::string& name,
@@ -85,10 +99,23 @@ void Engine::publish_batch(const std::string& name,
   st.published += batch.size();
   // One tap-list snapshot per batch (vs. per tuple on the scalar path).
   const auto taps = st.taps;
+  // Batch-aware taps take the whole batch with zero materialization; rows
+  // are only materialized if a scalar-only tap remains.
+  bool any_scalar_only = false;
+  for (const auto& e : taps) {
+    if (e.batch) {
+      e.batch(batch);
+    } else {
+      any_scalar_only = true;
+    }
+  }
+  if (!any_scalar_only) return;
   Tuple scratch;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     batch.materialize(i, scratch);
-    for (const auto& [id, tap] : taps) tap(scratch);
+    for (const auto& e : taps) {
+      if (!e.batch) e.scalar(scratch);
+    }
   }
 }
 

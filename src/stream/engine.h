@@ -21,6 +21,8 @@ namespace cosmos::stream {
 class Engine {
  public:
   using Tap = std::function<void(const Tuple&)>;
+  /// Batch-aware consumer: receives a whole TupleBatch at once.
+  using BatchTap = std::function<void(const runtime::TupleBatch&)>;
 
   /// Registers a stream; throws std::invalid_argument on duplicate name.
   void register_stream(const std::string& name, Schema schema);
@@ -33,6 +35,11 @@ class Engine {
 
   /// Attaches a consumer to a stream; returns a tap id usable in detach().
   std::size_t attach(const std::string& name, Tap tap);
+  /// Attaches a dual-mode consumer under one tap id: publish() feeds
+  /// `scalar` per tuple, publish_batch() feeds `batch` once per batch with
+  /// no per-row materialization — the batch-at-a-time operator pipelines
+  /// of query plans enter here. Both callbacks must be non-null.
+  std::size_t attach(const std::string& name, BatchTap batch, Tap scalar);
   void detach(const std::string& name, std::size_t tap_id);
 
   /// Pushes a tuple to every tap of the stream. Ordering is per-stream:
@@ -48,6 +55,10 @@ class Engine {
   /// the previous publish, and one tap-list snapshot for the whole batch —
   /// so a tap attached mid-batch first sees the next batch. Rows must be
   /// timestamp-ordered within the batch (per-stream rule above).
+  /// Batch-aware taps each receive the whole batch (in attach order,
+  /// before any scalar tap); scalar taps then see the rows materialized
+  /// one by one. Each tap still observes its rows in batch order, so
+  /// per-consumer sequences are identical to size() publish() calls.
   void publish_batch(const std::string& name,
                      const runtime::TupleBatch& batch);
 
@@ -55,12 +66,17 @@ class Engine {
   [[nodiscard]] std::size_t published_count(const std::string& name) const;
 
  private:
+  struct TapEntry {
+    std::size_t id = 0;
+    Tap scalar;     ///< always present
+    BatchTap batch; ///< null for scalar-only taps
+  };
   struct StreamState {
     Schema schema;
     Timestamp last_ts = INT64_MIN;
     std::size_t published = 0;
     std::size_t next_tap_id = 0;
-    std::vector<std::pair<std::size_t, Tap>> taps;
+    std::vector<TapEntry> taps;
   };
   StreamState& state(const std::string& name);
   std::unordered_map<std::string, StreamState> streams_;

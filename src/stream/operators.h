@@ -3,31 +3,61 @@
 // Operators form a tree; each operator pushes produced tuples into its
 // downstream consumer. Tuples are timestamp-ordered per input stream
 // (enforced by the engine).
+//
+// Every operator has two entry shapes sharing one state:
+//  - the scalar path (push/push_left/push_right) — one tuple in, sink
+//    callbacks out; what push() mode and the unit tests drive;
+//  - the batch path (push_batch*) — a whole runtime::TupleBatch plus a
+//    selection vector (ascending row ids; nullptr = all rows) in, refined
+//    selections or output batches out, with no per-row std::function hops.
+// Predicates are compiled once at construction (stream/compiled_predicate.h):
+// field references resolve to column slots at build time, so construction
+// throws std::invalid_argument on fields the bound schemas cannot resolve.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "stream/compiled_predicate.h"
 #include "stream/predicate.h"
 #include "stream/schema.h"
 #include "stream/window.h"
 
+namespace cosmos::runtime {
+class TupleBatch;
+}
+
 namespace cosmos::stream {
 
-/// Downstream consumer of produced tuples.
+/// Downstream consumer of produced tuples (scalar path).
 using Sink = std::function<void(const Tuple&)>;
 
 /// Single-input filter: forwards tuples satisfying the predicate.
 class FilterOp {
  public:
   /// `alias` is the name the predicate uses to reference this input.
+  /// `virtual_ts_col` (when not SIZE_MAX) names the schema column that is
+  /// absent from batch rows and evaluates to the row timestamp instead —
+  /// the plan's appended "<alias>.timestamp" column, letting the batch
+  /// path run directly over raw source batches without lifting them.
+  /// Compiles the predicate at construction; throws std::invalid_argument
+  /// on null arguments or unresolvable fields.
   FilterOp(std::string alias, const Schema* schema, PredicatePtr predicate,
-           Sink sink);
+           Sink sink, std::size_t virtual_ts_col = SIZE_MAX);
 
   void push(const Tuple& t);
+
+  /// Batch path: evaluates the rows listed in `sel` (all rows when
+  /// nullptr) and appends passing row ids to `out` in ascending order.
+  /// The sink is not invoked — batch chaining is wired by the caller.
+  void push_batch(const runtime::TupleBatch& batch,
+                  const std::vector<std::uint32_t>* sel,
+                  std::vector<std::uint32_t>& out);
 
   [[nodiscard]] std::size_t seen() const noexcept { return seen_; }
   [[nodiscard]] std::size_t passed() const noexcept { return passed_; }
@@ -36,6 +66,7 @@ class FilterOp {
   std::string alias_;
   const Schema* schema_;
   PredicatePtr predicate_;
+  CompiledPredicate compiled_;
   Sink sink_;
   std::size_t seen_ = 0;
   std::size_t passed_ = 0;
@@ -44,19 +75,50 @@ class FilterOp {
 /// Single-input projection onto a subset of fields (by input index).
 class ProjectOp {
  public:
-  ProjectOp(std::vector<std::size_t> keep_indices, Sink sink);
+  /// `virtual_ts_col`: as for FilterOp — a keep index equal to it reads
+  /// the row timestamp on the batch path (scalar tuples carry the column
+  /// physically).
+  ProjectOp(std::vector<std::size_t> keep_indices, Sink sink,
+            std::size_t virtual_ts_col = SIZE_MAX);
 
   void push(const Tuple& t);
+
+  /// Batch path: appends the projection of the selected rows to `out`
+  /// (the sink is not invoked).
+  void push_batch(const runtime::TupleBatch& batch,
+                  const std::vector<std::uint32_t>* sel,
+                  runtime::TupleBatch& out);
 
  private:
   std::vector<std::size_t> keep_;
   Sink sink_;
+  std::size_t virtual_ts_col_;
+  std::vector<Value> row_scratch_;  ///< reused per batch row (no per-row alloc)
 };
 
 /// Two-input sliding-window join. On arrival of a tuple from one side it is
 /// matched against the other side's window contents under the join
 /// predicate; output tuples concatenate left then right values and carry the
-/// newer timestamp. State is pruned lazily by watermark.
+/// newer timestamp.
+///
+/// Input contract: each side's tuples arrive in non-decreasing timestamp
+/// order (the engine's per-stream rule), and no tuple is older than the
+/// max timestamp already seen across *both* sides — the watermark. This is
+/// exactly what the middleware guarantees (Cosmos::push documents global
+/// order; runtime::Driver throws on violations). A standalone caller that
+/// regresses one side's event time behind the other side's may find
+/// watermark-pruned state no longer matching, where the old arrival-driven
+/// prune would have (under-pruned) state still joining.
+///
+/// At construction the predicate's equality conjuncts over opposite sides
+/// are extracted (split_equi_conjuncts) and each side keeps a hash index on
+/// its key columns; probes then touch only key-equal candidates and re-check
+/// the window plus the compiled residual predicate, falling back to the
+/// O(window) scan (with the full compiled predicate) when no equality
+/// conjunct exists or Options::use_hash_index is off. Both buffers are
+/// pruned eagerly whenever the watermark — the max timestamp seen on either
+/// input — advances, so an idle opposite side no longer pins stale state
+/// (state_size feeds the migration planner's cost model).
 class WindowJoinOp {
  public:
   struct Side {
@@ -64,31 +126,87 @@ class WindowJoinOp {
     const Schema* schema = nullptr;
     WindowSpec window;
   };
+  struct Options {
+    /// Off forces the scanning probe everywhere — the semantic oracle the
+    /// hash path is differentially tested (and benched) against.
+    bool use_hash_index = true;
+  };
 
   WindowJoinOp(Side left, Side right, PredicatePtr predicate, Sink sink);
+  WindowJoinOp(Side left, Side right, PredicatePtr predicate, Sink sink,
+               Options options);
 
   void push_left(const Tuple& t);
   void push_right(const Tuple& t);
 
+  /// Batch path: pushes every selected row of `batch` (in order) through
+  /// the same probe-then-insert machinery, appending join outputs to `out`
+  /// instead of invoking the sink. When `lift_append_ts` is set the rows
+  /// are raw source rows one column narrower than the side schema, whose
+  /// lifted form appends the row timestamp — the plan's lift, fused into
+  /// the join's own materialization.
+  void push_batch_left(const runtime::TupleBatch& batch,
+                       const std::vector<std::uint32_t>* sel,
+                       bool lift_append_ts, runtime::TupleBatch& out);
+  void push_batch_right(const runtime::TupleBatch& batch,
+                        const std::vector<std::uint32_t>* sel,
+                        bool lift_append_ts, runtime::TupleBatch& out);
+
+  /// Advances the watermark (max input timestamp seen so far) and prunes
+  /// both windows against it. Called implicitly by every push; exposed so
+  /// an external clock can expire state on idle inputs too.
+  void advance_watermark(Timestamp watermark);
+
   [[nodiscard]] std::size_t left_state_size() const noexcept {
-    return left_buf_.size();
+    return left_rt_.buf.size();
   }
   [[nodiscard]] std::size_t right_state_size() const noexcept {
-    return right_buf_.size();
+    return right_rt_.buf.size();
   }
   [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+  /// Number of extracted equality conjuncts (0 = scanning probe).
+  [[nodiscard]] std::size_t equi_key_count() const noexcept {
+    return keys_.size();
+  }
 
  private:
-  void probe(const Tuple& incoming, bool incoming_is_left);
-  static void prune(std::deque<Tuple>& buf, const WindowSpec& window,
-                    Timestamp now);
+  struct SideRuntime {
+    std::deque<Tuple> buf;        ///< arrival order == timestamp order
+    std::uint64_t first_seq = 0;  ///< seq of buf.front()
+    std::uint64_t next_seq = 0;   ///< seq the next insert receives
+    /// Equi-key hash -> ascending seqs of buffered tuples with that hash.
+    std::unordered_map<std::size_t, std::deque<std::uint64_t>> index;
+  };
+
+  void push_one(Tuple t, bool is_left, runtime::TupleBatch* batch_out);
+  void push_batch_side(const runtime::TupleBatch& batch,
+                       const std::vector<std::uint32_t>* sel,
+                       bool lift_append_ts, bool is_left,
+                       runtime::TupleBatch& out);
+  void probe(const Tuple& incoming, bool incoming_is_left,
+             runtime::TupleBatch* batch_out);
+  void emit(const Tuple& lt, const Tuple& rt, runtime::TupleBatch* batch_out);
+  void prune_side(SideRuntime& s, const WindowSpec& window, bool is_left);
+  [[nodiscard]] std::size_t key_hash(const Tuple& t, bool of_left) const;
 
   Side left_;
   Side right_;
   PredicatePtr predicate_;
   Sink sink_;
-  std::deque<Tuple> left_buf_;
-  std::deque<Tuple> right_buf_;
+  Options options_;
+  std::vector<EquiKey> keys_;
+  /// Probe programs per incoming direction (bindings [incoming, other]):
+  /// the full predicate for the scanning probe, the post-equi residual for
+  /// the hash probe.
+  CompiledPredicate full_left_in_;
+  CompiledPredicate full_right_in_;
+  CompiledPredicate residual_left_in_;
+  CompiledPredicate residual_right_in_;
+  bool hash_enabled_ = false;
+  Timestamp watermark_ = INT64_MIN;
+  SideRuntime left_rt_;
+  SideRuntime right_rt_;
+  std::vector<Value> row_scratch_;  ///< reused per emitted row
   std::size_t emitted_ = 0;
 };
 

@@ -1,16 +1,6 @@
 #include "stream/value.h"
 
-#include <stdexcept>
-
 namespace cosmos::stream {
-
-ValueType Value::type() const noexcept {
-  switch (v_.index()) {
-    case 0: return ValueType::kInt;
-    case 1: return ValueType::kDouble;
-    default: return ValueType::kString;
-  }
-}
 
 double Value::as_double() const {
   if (const auto* i = std::get_if<std::int64_t>(&v_)) {
@@ -31,20 +21,6 @@ std::int64_t Value::as_int() const {
 const std::string& Value::as_string() const {
   if (const auto* s = std::get_if<std::string>(&v_)) return *s;
   throw std::logic_error{"Value: not a string"};
-}
-
-int Value::compare(const Value& other) const {
-  if (type() == ValueType::kString || other.type() == ValueType::kString) {
-    if (type() != ValueType::kString || other.type() != ValueType::kString) {
-      throw std::logic_error{"Value: string vs numeric comparison"};
-    }
-    const auto& a = as_string();
-    const auto& b = other.as_string();
-    return a < b ? -1 : (a == b ? 0 : 1);
-  }
-  const double a = as_double();
-  const double b = other.as_double();
-  return a < b ? -1 : (a == b ? 0 : 1);
 }
 
 std::string Value::to_string() const {

@@ -7,6 +7,7 @@
 
 #include "cql/parser.h"
 #include "query/containment.h"
+#include "runtime/tuple_batch.h"
 #include "sim/sensor_trace.h"
 #include "stream/engine.h"
 
@@ -203,6 +204,74 @@ TEST_F(ResultSharingTest, MergedPlusSplitEqualsDirect) {
   EXPECT_LE(engine_.published_count("s5"),
             engine_.published_count("direct3") +
                 engine_.published_count("direct4"));
+}
+
+TEST_F(PlanTest, BatchPathMatchesScalarOnSchemaWithoutTimestampColumn) {
+  // Streams whose raw schema lacks a "timestamp" column exercise the
+  // virtual-ts slots end to end: the batch chain filters/joins/projects
+  // raw batches and reads the plan-appended "<alias>.timestamp" column
+  // from the row timestamps, while the scalar chain lifts physically.
+  const stream::Schema bare{{{"v", stream::ValueType::kInt},
+                             {"w", stream::ValueType::kDouble}}};
+  engine_.register_stream("BareA", bare);
+  engine_.register_stream("BareB", bare);
+  const auto q = cql::parse_query(
+      "SELECT A.v, A.timestamp, B.v, B.timestamp "
+      "FROM BareA [Range 5 Minutes] A, BareB [Range 5 Minutes] B "
+      "WHERE A.v = B.v AND A.w > 1.5");
+
+  Engine scalar_engine;
+  scalar_engine.register_stream("BareA", bare);
+  scalar_engine.register_stream("BareB", bare);
+  CompiledQuery batch_q{engine_, q, "bare_r"};
+  CompiledQuery scalar_q{scalar_engine, q, "bare_r"};
+
+  const auto render = [](const std::vector<Tuple>& ts) {
+    std::string s;
+    for (const auto& t : ts) {
+      s += std::to_string(t.ts);
+      for (const auto& v : t.values) s += "|" + v.to_string();
+      s += "\n";
+    }
+    return s;
+  };
+  std::vector<Tuple> batch_out;
+  std::vector<Tuple> scalar_out;
+  engine_.attach("bare_r", [&](const Tuple& t) { batch_out.push_back(t); });
+  scalar_engine.attach("bare_r",
+                       [&](const Tuple& t) { scalar_out.push_back(t); });
+
+  // Same trace through both: per-stream batches via publish_batch vs
+  // per-tuple publish, interleaved in global timestamp order.
+  Rng rng{7};
+  std::vector<std::pair<std::string, Tuple>> events;
+  for (int i = 0; i < 120; ++i) {
+    events.emplace_back(
+        (i / 4) % 2 == 0 ? "BareA" : "BareB",  // 4-tuple same-stream runs
+        Tuple{static_cast<stream::Timestamp>(i * 30'000),
+              {Value{static_cast<std::int64_t>(rng.next_below(5))},
+               Value{rng.next_double(0.0, 3.0)}}});
+  }
+  runtime::TupleBatch open{""};
+  const auto flush = [&](const std::string& stream) {
+    if (!open.empty()) engine_.publish_batch(stream, open);
+  };
+  std::string open_stream;
+  for (const auto& [stream, tuple] : events) {
+    scalar_engine.publish(stream, tuple);
+    if (stream != open_stream) {
+      flush(open_stream);
+      open_stream = stream;
+      open = runtime::TupleBatch{stream};
+    }
+    open.push_back(tuple);
+  }
+  flush(open_stream);
+
+  ASSERT_FALSE(scalar_out.empty());
+  EXPECT_EQ(render(batch_out), render(scalar_out));
+  EXPECT_EQ(batch_q.results_emitted(), scalar_q.results_emitted());
+  EXPECT_EQ(batch_q.state_tuples(), scalar_q.state_tuples());
 }
 
 }  // namespace

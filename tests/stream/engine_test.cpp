@@ -129,6 +129,63 @@ TEST(Engine, PublishBatchEmptyIsNoOp) {
                std::out_of_range);
 }
 
+TEST(Engine, BatchTapsReceiveWholeBatchesScalarTapsRows) {
+  Engine e;
+  e.register_stream("S", one_field());
+  std::size_t batch_calls = 0;
+  std::size_t batch_rows = 0;
+  std::size_t batch_scalar_calls = 0;
+  std::size_t scalar_only_rows = 0;
+  e.attach(
+      "S",
+      [&](const runtime::TupleBatch& b) {
+        ++batch_calls;
+        batch_rows += b.size();
+      },
+      [&](const Tuple&) { ++batch_scalar_calls; });
+  e.attach("S", [&](const Tuple&) { ++scalar_only_rows; });
+
+  runtime::TupleBatch b{"S"};
+  for (int i = 0; i < 4; ++i) b.push_back(Tuple{i, {Value{i}}});
+  e.publish_batch("S", b);
+  EXPECT_EQ(batch_calls, 1u);        // whole batch, once
+  EXPECT_EQ(batch_rows, 4u);
+  EXPECT_EQ(batch_scalar_calls, 0u); // batch leg used, not the scalar one
+  EXPECT_EQ(scalar_only_rows, 4u);   // scalar-only tap saw each row
+
+  // publish() drives the scalar leg of a dual tap.
+  e.publish("S", Tuple{10, {Value{1}}});
+  EXPECT_EQ(batch_calls, 1u);
+  EXPECT_EQ(batch_scalar_calls, 1u);
+  EXPECT_EQ(scalar_only_rows, 5u);
+
+  EXPECT_THROW(e.attach("S", Engine::BatchTap{}, [](const Tuple&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(e.attach("S", Engine::Tap{}), std::invalid_argument);
+}
+
+TEST(Engine, AllBatchTapsSkipMaterialization) {
+  Engine e;
+  e.register_stream("S", one_field());
+  std::size_t rows = 0;
+  const std::size_t id = e.attach(
+      "S", [&](const runtime::TupleBatch& b) { rows += b.size(); },
+      [](const Tuple&) {});
+  runtime::TupleBatch b{"S"};
+  b.push_back(Tuple{1, {Value{1}}});
+  b.push_back(Tuple{2, {Value{2}}});
+  e.publish_batch("S", b);
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(e.published_count("S"), 2u);
+  e.detach("S", id);
+  runtime::TupleBatch later{"S"};
+  later.push_back(Tuple{3, {Value{3}}});
+  later.push_back(Tuple{4, {Value{4}}});
+  e.publish_batch("S", later);  // no taps left; counts still advance
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(e.published_count("S"), 4u);
+}
+
 TEST(Engine, TapsMayAttachDuringPublish) {
   Engine e;
   e.register_stream("S", one_field());
