@@ -1,0 +1,164 @@
+// Massive-fanout subscription-matching bench: the attribute-predicate
+// index (SubscriptionIndex inside BrokerPartition) vs the linear
+// every-filter-every-row scan, swept over subscription counts.
+//
+// The workload is sim::make_fanout_subscriptions — Zipf-distributed
+// station equalities, temperature bands, and a small unindexable remainder
+// — matched against a Zipf-skewed station trace published on one stream.
+// The station domain and band selectivity scale with the population
+// (constant per-station subscriber density, constant per-band match
+// probability): more users watch more stations, so population size is the
+// only variable the sweep changes and per-row delivery work stays flat
+// while the linear matcher's cost grows with the subscription count. For
+// each population size both matchers process the identical batch sequence;
+// the bench aborts if their deliveries, delivered-row checksums, or
+// per-link traffic differ (the linear matcher is the oracle, kept behind
+// BrokerNetwork::Options{use_index = false}).
+//
+// The gated metric is the matched-throughput ratio at 10k subscriptions
+// (acceptance bar: >= 10x with selective filters) plus its monotone growth
+// from 1k to 10k; absolutes (rows/s) are reported for the previous-run
+// artifact comparison. --smoke shrinks rows and skips the 100k population
+// to fit the CI budget.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/topology.h"
+#include "pubsub/broker_network.h"
+#include "runtime/tuple_batch.h"
+#include "sim/workload.h"
+
+using namespace cosmos;
+using namespace cosmos::bench;
+
+namespace {
+
+struct MatchRun {
+  double cpu_s = 0.0;
+  std::size_t deliveries = 0;
+  std::size_t delivered_rows = 0;
+  std::uint64_t checksum = 0;  ///< order-sensitive (sub id, row ts) fold
+  pubsub::TrafficStats traffic;
+};
+
+MatchRun run_matcher(bool use_index, const std::vector<NodeId>& nodes,
+                     const net::LatencyMatrix& lat,
+                     const std::vector<pubsub::Subscription>& subs,
+                     const std::vector<runtime::TupleBatch>& batches) {
+  pubsub::BrokerNetwork net{nodes, lat,
+                            pubsub::BrokerNetwork::Options{use_index}};
+  net.advertise("S", NodeId{0}, sim::sensor_schema());
+  for (const auto& sub : subs) net.subscribe(sub);
+
+  MatchRun out;
+  const double t0 = thread_cpu_seconds();
+  for (const auto& batch : batches) {
+    net.publish_batch("S", batch, [&out](const pubsub::BatchDelivery& d) {
+      ++out.deliveries;
+      out.delivered_rows += d.rows.size();
+      for (const auto r : d.rows) {
+        out.checksum = out.checksum * 1099511628211ULL +
+                       (static_cast<std::uint64_t>(d.sub->id.value()) << 20 ^
+                        static_cast<std::uint64_t>(d.source->ts(r)));
+      }
+    });
+  }
+  out.cpu_s = thread_cpu_seconds() - t0;
+  out.traffic = net.traffic();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::uint64_t seed = env_seed(42);
+  const std::size_t rows = smoke ? 6'000 : 20'000;
+  constexpr std::size_t kBatchRows = 512;
+  std::vector<std::size_t> populations{100, 1'000, 10'000};
+  if (!smoke) populations.push_back(100'000);
+
+  std::printf("# subscription-match scale bench (%s): %zu trace rows, "
+              "batch=%zu, linear scan is the oracle\n",
+              smoke ? "smoke" : "full", rows, kBatchRows);
+
+  // 4-node line overlay (publisher at one end, subscribers spread over all
+  // four homes) — the matching cost under test is overlay-independent.
+  net::Topology topo{4};
+  topo.add_edge(NodeId{0}, NodeId{1}, 10.0);
+  topo.add_edge(NodeId{1}, NodeId{2}, 100.0);
+  topo.add_edge(NodeId{2}, NodeId{3}, 10.0);
+  const std::vector<NodeId> nodes{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}};
+  const net::LatencyMatrix lat{topo, nodes};
+
+  std::vector<std::pair<std::string, double>> metrics;
+  bool identical = true;
+  double prev_speedup = 0.0;
+  double monotone_1k_10k = 0.0;
+  for (const std::size_t n : populations) {
+    sim::FanoutParams fp;
+    fp.subscribers = n;
+    // Density-constant scaling: per-station subscriber count and per-band
+    // match probability are population-independent.
+    fp.stations = std::max<std::size_t>(500, n / 5);
+    fp.band_width = 0.01 * 10'000.0 / static_cast<double>(n);
+    Rng sub_rng{seed + 1};
+    const auto subs = sim::make_fanout_subscriptions(fp, sub_rng);
+
+    Rng trace_rng{seed};
+    sim::SkewedTraceParams tp;
+    tp.stations = fp.stations;
+    tp.total_tuples = rows;
+    tp.duration_ms = static_cast<std::int64_t>(rows) * 50;
+    const auto trace = sim::make_skewed_trace(tp, trace_rng);
+    std::vector<runtime::TupleBatch> batches;
+    batches.emplace_back("S");
+    for (const auto& reading : trace) {
+      if (batches.back().size() == kBatchRows) batches.emplace_back("S");
+      batches.back().push_back(reading.tuple);
+    }
+
+    const MatchRun linear = run_matcher(false, nodes, lat, subs, batches);
+    const MatchRun indexed = run_matcher(true, nodes, lat, subs, batches);
+    if (indexed.deliveries != linear.deliveries ||
+        indexed.delivered_rows != linear.delivered_rows ||
+        indexed.checksum != linear.checksum ||
+        !(indexed.traffic == linear.traffic)) {
+      std::fprintf(stderr,
+                   "!! matchers disagree at %zu subs: deliveries %zu/%zu "
+                   "rows %zu/%zu checksum %llu/%llu\n",
+                   n, indexed.deliveries, linear.deliveries,
+                   indexed.delivered_rows, linear.delivered_rows,
+                   static_cast<unsigned long long>(indexed.checksum),
+                   static_cast<unsigned long long>(linear.checksum));
+      identical = false;
+    }
+    const double linear_tput = static_cast<double>(rows) / linear.cpu_s;
+    const double index_tput = static_cast<double>(rows) / indexed.cpu_s;
+    const double speedup = linear.cpu_s / indexed.cpu_s;
+    std::printf("subs=%-7zu matched_rows=%-8zu linear=%8.0f rows/s  "
+                "index=%9.0f rows/s  speedup=%6.1fx\n",
+                n, linear.delivered_rows, linear_tput, index_tput, speedup);
+
+    const std::string tag =
+        n >= 1000 ? std::to_string(n / 1000) + "k" : std::to_string(n);
+    metrics.emplace_back("match_index_speedup_" + tag, speedup);
+    if (n == 1'000) prev_speedup = speedup;
+    if (n == 10'000) {
+      monotone_1k_10k = speedup / prev_speedup;
+      metrics.emplace_back("match_index_rows_per_s_10k", index_tput);
+      metrics.emplace_back("match_linear_rows_per_s_10k", linear_tput);
+    }
+  }
+  metrics.emplace_back("match_monotone_1k_10k", monotone_1k_10k);
+  metrics.emplace_back("results_identical", identical ? 1.0 : 0.0);
+  write_bench_json("match_scale", metrics);
+  if (!identical) return 1;
+  return 0;
+}

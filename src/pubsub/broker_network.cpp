@@ -7,7 +7,8 @@
 namespace cosmos::pubsub {
 
 BrokerNetwork::BrokerNetwork(std::vector<NodeId> participants,
-                             const net::LatencyMatrix& lat) {
+                             const net::LatencyMatrix& lat, Options options)
+    : options_(options) {
   overlay_.participants = std::move(participants);
   overlay_.lat = &lat;
   const std::size_t n = overlay_.participants.size();
@@ -75,9 +76,8 @@ BrokerNetwork::BrokerNetwork(std::vector<NodeId> participants,
 
 void BrokerNetwork::advertise(const std::string& stream, NodeId publisher,
                               stream::Schema schema) {
-  auto partition = std::make_unique<BrokerPartition>(overlay_, stream,
-                                                     publisher,
-                                                     std::move(schema));
+  auto partition = std::make_unique<BrokerPartition>(
+      overlay_, stream, publisher, std::move(schema), options_.use_index);
   // Subscriptions may predate the advertisement; replay them into the new
   // partition's index.
   if (const auto sit = by_stream_.find(stream); sit != by_stream_.end()) {
@@ -112,7 +112,7 @@ std::vector<BrokerPartition*> BrokerNetwork::partitions() {
 }
 
 SubscriptionId BrokerNetwork::subscribe(Subscription sub) {
-  overlay_.index_of(sub.subscriber);  // validate the home broker exists
+  (void)overlay_.index_of(sub.subscriber);  // validate the home broker exists
   const SubscriptionId id{next_sub_id_++};
   sub.id = id;
   const auto streams = sub.streams;  // copied: sub is moved into the map

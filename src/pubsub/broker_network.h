@@ -40,10 +40,21 @@ class BrokerNetwork {
  public:
   using DeliveryCallback = BrokerPartition::DeliveryCallback;
 
+  struct Options {
+    /// Decompose subscription filters into each partition's
+    /// attribute-predicate index (sublinear matching). Off = linear scan
+    /// over every subscription per row — the differential oracle
+    /// bench_match_scale and the pubsub churn test compare against.
+    bool use_index = true;
+  };
+
   /// Builds the overlay spanning tree over `participants` using latencies
   /// from `lat` (all participants must be members of `lat`).
   BrokerNetwork(std::vector<NodeId> participants,
-                const net::LatencyMatrix& lat);
+                const net::LatencyMatrix& lat, Options options);
+  BrokerNetwork(std::vector<NodeId> participants,
+                const net::LatencyMatrix& lat)
+      : BrokerNetwork(std::move(participants), lat, Options{}) {}
 
   // Partitions hold pointers into overlay_ and subscriptions_ (and shards
   // hold partition pointers during run()): the network must stay at one
@@ -108,6 +119,7 @@ class BrokerNetwork {
   /// not advertised yet; advertise() replays these into the partition).
   std::unordered_map<std::string, std::vector<SubscriptionId>> by_stream_;
   SubscriptionId::value_type next_sub_id_ = 0;
+  Options options_;
 };
 
 }  // namespace cosmos::pubsub

@@ -1,6 +1,6 @@
 #include "pubsub/broker_partition.h"
 
-#include <set>
+#include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -27,50 +27,125 @@ std::size_t Overlay::index_of(NodeId n) const {
 }
 
 BrokerPartition::BrokerPartition(const Overlay& overlay, std::string stream,
-                                 NodeId publisher, stream::Schema schema)
+                                 NodeId publisher, stream::Schema schema,
+                                 bool use_index)
     : overlay_(&overlay),
       stream_(std::move(stream)),
       publisher_(publisher),
       publisher_idx_(overlay.index_of(publisher)),
-      schema_(std::move(schema)) {}
+      schema_(std::move(schema)),
+      use_index_(use_index),
+      index_(&schema_) {}
 
 void BrokerPartition::add_subscription(const Subscription* sub) {
   // Compile once per subscribe. Lenient: a filter referencing attributes
   // this stream lacks throws std::invalid_argument per evaluated row, which
   // filter_matches turns into "no match" — the interpreter's contract
   // (Subscription::matches) row for row.
-  subs_.push_back({sub, overlay_->index_of(sub->subscriber),
+  MatchedSub entry{sub, overlay_->index_of(sub->subscriber),
                    stream::CompiledPredicate::compile_lenient(
-                       sub->filter, {{"", &schema_, SIZE_MAX}})});
+                       sub->filter, {{"", &schema_, SIZE_MAX}})};
+  SubscriptionIndex::Slot slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    subs_[slot] = std::move(entry);
+  } else {
+    slot = static_cast<SubscriptionIndex::Slot>(subs_.size());
+    subs_.push_back(std::move(entry));
+  }
+  slot_of_.emplace(sub->id, slot);
+  ++live_count_;
+  if (use_index_) index_.add(slot, sub->filter, subs_[slot].filter);
 }
 
 void BrokerPartition::remove_subscription(SubscriptionId id) {
-  std::erase_if(subs_,
-                [id](const MatchedSub& m) { return m.sub->id == id; });
+  const auto [first, last] = slot_of_.equal_range(id);
+  for (auto it = first; it != last; ++it) {
+    const auto slot = it->second;
+    if (use_index_) index_.remove(slot);
+    subs_[slot] = {};
+    free_slots_.push_back(slot);
+    --live_count_;
+  }
+  slot_of_.erase(first, last);
 }
 
 bool BrokerPartition::filter_matches(
     const MatchedSub& entry, const stream::CompiledPredicate::Row& row) {
-  if (!entry.filter.may_throw()) return entry.filter.eval(&row);
-  try {
-    return entry.filter.eval(&row);
-  } catch (const std::invalid_argument&) {
-    return false;  // filter references attributes this message lacks
-  }
+  // A filter referencing attributes this message lacks matches nothing —
+  // the interpreter's contract (Subscription::matches), evaluated without
+  // a per-row exception unwind.
+  return entry.filter.eval_unresolved_false(&row);
 }
 
 void BrokerPartition::match(const stream::Tuple& tuple,
                             const DeliveryCallback& callback) {
-  if (subs_.empty()) return;
+  if (live_count_ == 0) return;
   const stream::CompiledPredicate::Row row{tuple.ts, tuple.values.data(),
                                            tuple.values.size()};
-  std::vector<const MatchedSub*> matched;
-  for (const auto& entry : subs_) {
-    if (filter_matches(entry, row)) matched.push_back(&entry);
+  matched_.clear();
+  matched_slots_.clear();
+  if (use_index_) {
+    index_.probe(row, matched_slots_);
+    // Candidates owe their residual; the anchor itself already held.
+    std::erase_if(matched_slots_, [this, &row](SubscriptionIndex::Slot s) {
+      const auto* res = index_.residual(s);
+      return res != nullptr && !res->eval(&row);
+    });
+    for (const auto slot : index_.scan_slots()) {
+      if (filter_matches(subs_[slot], row)) matched_slots_.push_back(slot);
+    }
+    // Deliveries fire in slot order, exactly like the linear scan.
+    std::sort(matched_slots_.begin(), matched_slots_.end());
+    for (const auto slot : matched_slots_) matched_.push_back(&subs_[slot]);
+  } else {
+    for (const auto& entry : subs_) {
+      if (entry.sub != nullptr && filter_matches(entry, row)) {
+        matched_.push_back(&entry);
+      }
+    }
   }
-  if (matched.empty()) return;
+  if (matched_.empty()) return;
   Message message{stream_, &schema_, tuple};
-  route(message, publisher_idx_, SIZE_MAX, matched, callback);
+  route(message, publisher_idx_, SIZE_MAX, matched_, callback);
+}
+
+void BrokerPartition::match_rows(const runtime::TupleBatch& batch) {
+  const std::size_t slots = subs_.size();
+  if (rows_of_.size() < slots) rows_of_.resize(slots);
+  active_.clear();
+  if (use_index_) {
+    if (cand_rows_.size() < slots) cand_rows_.resize(slots);
+    touched_.clear();
+    index_.probe_batch(batch, cand_rows_, touched_);
+    for (const auto slot : touched_) {
+      auto& cand = cand_rows_[slot];
+      if (const auto* res = index_.residual(slot)) {
+        res->filter_batch(batch, &cand, rows_of_[slot]);
+      } else {
+        std::swap(rows_of_[slot], cand);
+      }
+      cand.clear();
+      if (!rows_of_[slot].empty()) active_.push_back(slot);
+    }
+    for (const auto slot : index_.scan_slots()) {
+      subs_[slot].filter.filter_batch_unresolved_false(batch, nullptr,
+                                                       rows_of_[slot]);
+      if (!rows_of_[slot].empty()) active_.push_back(slot);
+    }
+    std::sort(active_.begin(), active_.end());
+    return;
+  }
+  // Linear oracle: every live slot's compiled filter over the whole batch.
+  for (std::size_t s = 0; s < slots; ++s) {
+    const MatchedSub& entry = subs_[s];
+    if (entry.sub == nullptr) continue;
+    entry.filter.filter_batch_unresolved_false(batch, nullptr, rows_of_[s]);
+    if (!rows_of_[s].empty()) {
+      active_.push_back(static_cast<SubscriptionIndex::Slot>(s));
+    }
+  }
 }
 
 void BrokerPartition::match_batch(const runtime::TupleBatch& batch,
@@ -91,57 +166,44 @@ void BrokerPartition::match_batch(const runtime::TupleBatch& batch,
   }
   // No subscriptions: nothing can match, route, or be accounted — skip the
   // per-row materialization entirely (as the scalar path does).
-  if (subs_.empty()) return;
+  if (live_count_ == 0) return;
 
-  // Stage 1 — compiled matching, column-at-a-time: evaluate every
-  // subscription's compiled filter over the whole batch (no row
-  // materialization, no string lookups), producing one ascending row list
-  // per subscription. This is also exactly the BatchDelivery row set.
+  // Stage 1 — candidate generation + residual (index path) or full-filter
+  // evaluation (scan list, linear oracle), producing one ascending row
+  // list per matched slot. Those lists are also exactly the BatchDelivery
+  // row sets.
+  match_rows(batch);
+  if (active_.empty()) return;
+
+  // Stage 2 — invert the per-slot row lists into per-row matched-slot
+  // lists (one pass over the matches, not a per-row scan of every
+  // subscription), then route and account row by row, identical to
+  // row-count scalar match() calls: deliveries appear in first-match
+  // order, rows no subscription matched are never materialized.
   const std::size_t first_delivery = deliveries.size();
-  std::vector<std::vector<std::uint32_t>> rows_of(subs_.size());
-  {
-    const stream::Timestamp* ts = batch.ts_data();
-    const stream::Value* vals = batch.values_data();
-    const std::size_t width = batch.width();
-    stream::CompiledPredicate::Row row{0, nullptr, width};
-    for (std::size_t s = 0; s < subs_.size(); ++s) {
-      const MatchedSub& entry = subs_[s];
-      if (!entry.filter.may_throw()) {
-        entry.filter.filter_batch(batch, nullptr, rows_of[s]);
-        continue;
-      }
-      for (std::uint32_t r = 0; r < batch.size(); ++r) {
-        row.ts = ts[r];
-        row.values = vals + std::size_t{r} * width;
-        if (filter_matches(entry, row)) rows_of[s].push_back(r);
-      }
-    }
+  if (row_subs_.size() < batch.size()) row_subs_.resize(batch.size());
+  for (const auto slot : active_) {  // ascending => per-row lists ascending
+    for (const auto r : rows_of_[slot]) row_subs_[r].push_back(slot);
   }
-
-  // Stage 2 — per-row routing and accounting, identical to row-count
-  // scalar match() calls (deliveries appear in first-match order); rows no
-  // subscription matched are never materialized.
   std::unordered_map<SubscriptionId, std::size_t> delivery_of;
-  std::vector<std::size_t> cursor(subs_.size(), 0);
   Message message{stream_, &schema_, {}};
-  std::vector<const MatchedSub*> matched;
   for (std::uint32_t row = 0; row < batch.size(); ++row) {
-    matched.clear();
-    for (std::size_t s = 0; s < subs_.size(); ++s) {
-      const auto& rows = rows_of[s];
-      if (cursor[s] >= rows.size() || rows[cursor[s]] != row) continue;
-      ++cursor[s];
-      matched.push_back(&subs_[s]);
+    auto& here = row_subs_[row];
+    if (here.empty()) continue;
+    matched_.clear();
+    for (const auto slot : here) {
+      matched_.push_back(&subs_[slot]);
       auto [dit, fresh] = delivery_of.try_emplace(
-          subs_[s].sub->id, deliveries.size() - first_delivery);
-      if (fresh) deliveries.push_back({subs_[s].sub, &batch, {}});
+          subs_[slot].sub->id, deliveries.size() - first_delivery);
+      if (fresh) deliveries.push_back({subs_[slot].sub, &batch, {}});
       deliveries[first_delivery + dit->second].rows.push_back(row);
     }
-    if (matched.empty()) continue;
+    here.clear();
     batch.materialize(row, message.tuple);
-    route(message, publisher_idx_, SIZE_MAX, matched,
+    route(message, publisher_idx_, SIZE_MAX, matched_,
           [](const Subscription&, const Message&) {});
   }
+  for (const auto slot : active_) rows_of_[slot].clear();
 }
 
 void BrokerPartition::route(const Message& message, std::size_t at,
@@ -155,9 +217,13 @@ void BrokerPartition::route(const Message& message, std::size_t at,
   // Forward to each neighbor leading to at least one interested
   // subscription, with attributes pruned to the union of their projections
   // (early projection; one copy per link regardless of fan-out behind it).
+  static const std::set<std::string> kAllAttrs;
   for (const auto nb : overlay_->adj[at]) {
     if (nb == came_from) continue;
-    std::set<std::string> attrs;
+    // route_attrs_ is a member scratch: its use completes (message_bytes)
+    // before the recursive call below reuses it, and each neighbor
+    // iteration re-clears it — no per-row per-neighbor set allocation.
+    route_attrs_.clear();
     bool wants_all = false;
     bool any = false;
     for (const auto* m : matched) {
@@ -165,13 +231,14 @@ void BrokerPartition::route(const Message& message, std::size_t at,
       any = true;
       if (m->sub->projection.empty()) {
         wants_all = true;
-      } else {
-        attrs.insert(m->sub->projection.begin(), m->sub->projection.end());
+      } else if (!wants_all) {
+        route_attrs_.insert(m->sub->projection.begin(),
+                            m->sub->projection.end());
       }
     }
     if (!any) continue;
     const double bytes =
-        message_bytes(message, wants_all ? std::set<std::string>{} : attrs);
+        message_bytes(message, wants_all ? kAllAttrs : route_attrs_);
     const double latency = overlay_->lat->latency(overlay_->participants[at],
                                                   overlay_->participants[nb]);
     traffic_.bytes += bytes;

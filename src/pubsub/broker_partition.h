@@ -11,7 +11,17 @@
 // drain discipline: at most one thread calls into a partition at a time,
 // and ownership hand-offs (engine migration, driver-side result delivery)
 // happen only across a shard drain, which establishes the happens-before
-// edge.
+// edge. (The per-batch scratch buffers below rely on the same discipline.)
+//
+// Matching is sublinear in subscription count: subscriptions live in
+// stable slots whose compiled filters are decomposed into a
+// SubscriptionIndex (subscription_index.h) — per-column constant hash
+// probes and sorted-interval stabs produce per-row candidate sets, and
+// only candidates run their compiled residual. Constructing the partition
+// with use_index = false forces the linear scan over every slot instead;
+// the two paths produce byte-identical deliveries and traffic on
+// schema-conforming rows (the differential oracle the pubsub churn test
+// and bench_match_scale drive).
 //
 // The BrokerNetwork facade builds partitions, routes subscribe/unsubscribe
 // updates into them, and merges their traffic stats back into one view.
@@ -20,12 +30,15 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "net/latency_matrix.h"
 #include "pubsub/subscription.h"
+#include "pubsub/subscription_index.h"
 #include "runtime/tuple_batch.h"
 #include "stream/compiled_predicate.h"
 
@@ -83,8 +96,15 @@ class BrokerPartition {
   using DeliveryCallback =
       std::function<void(const Subscription&, const Message&)>;
 
+  /// `use_index` = false keeps every subscription on the linear scan path
+  /// — the differential oracle configuration.
   BrokerPartition(const Overlay& overlay, std::string stream, NodeId publisher,
-                  stream::Schema schema);
+                  stream::Schema schema, bool use_index = true);
+
+  // index_ resolves filters against &schema_: the partition must stay at
+  // one address for its whole life (BrokerNetwork holds it by unique_ptr).
+  BrokerPartition(const BrokerPartition&) = delete;
+  BrokerPartition& operator=(const BrokerPartition&) = delete;
 
   [[nodiscard]] const std::string& stream() const noexcept { return stream_; }
   [[nodiscard]] NodeId publisher() const noexcept { return publisher_; }
@@ -97,11 +117,18 @@ class BrokerPartition {
   /// filter is compiled against the partition schema here — once per
   /// subscribe — so matching never resolves a field by string again; a
   /// filter referencing attributes this stream lacks compiles leniently
-  /// and matches nothing, exactly like the interpreted fallback.
+  /// and matches nothing, exactly like the interpreted fallback. The
+  /// filter is also decomposed into the attribute-predicate index (unless
+  /// use_index is off); slots of removed subscriptions are reused, and
+  /// index maintenance is incremental in both directions.
   void add_subscription(const Subscription* sub);
   void remove_subscription(SubscriptionId id);
   [[nodiscard]] std::size_t subscription_count() const noexcept {
-    return subs_.size();
+    return live_count_;
+  }
+  /// Index placement diagnostics (tests and bench_match_scale).
+  [[nodiscard]] const SubscriptionIndex& index() const noexcept {
+    return index_;
   }
 
   /// Scalar path: matches one tuple against the index, routes one copy per
@@ -126,14 +153,18 @@ class BrokerPartition {
 
  private:
   struct MatchedSub {
-    const Subscription* sub;
-    std::size_t home;
+    const Subscription* sub = nullptr;  ///< nullptr = free slot
+    std::size_t home = 0;
     /// Filter compiled against the partition schema (single "" binding).
     stream::CompiledPredicate filter;
   };
 
   [[nodiscard]] static bool filter_matches(
       const MatchedSub& entry, const stream::CompiledPredicate::Row& row);
+  /// Stage 1 of match_batch: fills rows_of_[slot] for every live slot with
+  /// the ascending row ids its filter matched, and active_ with the slots
+  /// that matched anything (ascending).
+  void match_rows(const runtime::TupleBatch& batch);
   void route(const Message& message, std::size_t at, std::size_t came_from,
              const std::vector<const MatchedSub*>& matched,
              const DeliveryCallback& callback);
@@ -143,10 +174,29 @@ class BrokerPartition {
   NodeId publisher_;
   std::size_t publisher_idx_;
   stream::Schema schema_;
-  /// Subscription index: every live subscription interested in this
-  /// stream, with its home broker pre-resolved.
+  bool use_index_;
+  /// Subscription slot table: stable slot ids (freed slots are reused, not
+  /// erased) so the index can reference subscriptions by position.
   std::vector<MatchedSub> subs_;
+  std::vector<SubscriptionIndex::Slot> free_slots_;
+  /// id -> live slot(s); multimap because direct partition driving does
+  /// not enforce the facade's id uniqueness.
+  std::unordered_multimap<SubscriptionId, SubscriptionIndex::Slot> slot_of_;
+  std::size_t live_count_ = 0;
+  SubscriptionIndex index_;
   TrafficStats traffic_;
+
+  // Per-call scratch (a partition is driven by one thread at a time; see
+  // the ownership note above). Buffers are reused across rows and batches
+  // instead of reallocated per row.
+  std::vector<std::vector<std::uint32_t>> cand_rows_;   ///< per slot
+  std::vector<std::vector<std::uint32_t>> rows_of_;     ///< per slot
+  std::vector<std::vector<SubscriptionIndex::Slot>> row_subs_;  ///< per row
+  std::vector<SubscriptionIndex::Slot> touched_;
+  std::vector<SubscriptionIndex::Slot> active_;
+  std::vector<SubscriptionIndex::Slot> matched_slots_;
+  std::vector<const MatchedSub*> matched_;
+  std::set<std::string> route_attrs_;  ///< projection-union scratch
 };
 
 }  // namespace cosmos::pubsub

@@ -201,6 +201,84 @@ std::vector<SensorReading> make_skewed_trace(const SkewedTraceParams& params,
   return out;
 }
 
+std::vector<pubsub::Subscription> make_fanout_subscriptions(
+    const FanoutParams& params, Rng& rng) {
+  using stream::CmpOp;
+  using stream::FieldRef;
+  using stream::Predicate;
+  using stream::Value;
+  const ZipfDistribution station_zipf{std::max<std::size_t>(1, params.stations),
+                                      params.zipf_theta};
+  // Range centers draw from a Zipf-ranked grid over the temperature band
+  // the trace emits, so popular thresholds cluster like popular stations.
+  constexpr std::size_t kGrid = 64;
+  const ZipfDistribution grid_zipf{kGrid, params.zipf_theta};
+  const auto zipf_station = [&]() -> std::int64_t {
+    return static_cast<std::int64_t>(station_zipf.sample(rng));
+  };
+  // make_skewed_trace: temperature = -5 + U(-2, 2).
+  constexpr double kTempLo = -7.0;
+  constexpr double kTempSpan = 4.0;
+
+  std::vector<pubsub::Subscription> out;
+  out.reserve(params.subscribers);
+  for (std::size_t i = 0; i < params.subscribers; ++i) {
+    pubsub::Subscription sub;
+    sub.id = SubscriptionId{static_cast<SubscriptionId::value_type>(i)};
+    sub.subscriber = NodeId{static_cast<NodeId::value_type>(
+        rng.next_below(std::max<std::size_t>(1, params.homes)))};
+    sub.streams = {params.stream};
+    if (rng.next_bool(0.3)) sub.projection = {"snowHeight"};
+
+    const double kind = rng.next_double();
+    if (kind < params.eq_fraction) {
+      // Station-targeted: the equality anchor the per-column hash serves,
+      // with a cold-snap threshold (pass probability ~0 to ~0.7) in the
+      // residual.
+      sub.filter = Predicate::conj(
+          {Predicate::cmp(FieldRef{"", "stationId"}, CmpOp::kEq,
+                          Value{zipf_station()}),
+           Predicate::cmp(FieldRef{"", "temperature"}, CmpOp::kLe,
+                          Value{rng.next_double(kTempLo, -4.2)})});
+    } else if (kind < params.eq_fraction + params.range_fraction) {
+      // Two-sided band — merges into one stabbed interval.
+      const double lo =
+          kTempLo + kTempSpan * static_cast<double>(grid_zipf.sample(rng)) /
+                        static_cast<double>(kGrid);
+      sub.filter = Predicate::conj(
+          {Predicate::cmp(FieldRef{"", "temperature"}, CmpOp::kGe,
+                          Value{lo}),
+           Predicate::cmp(FieldRef{"", "temperature"}, CmpOp::kLt,
+                          Value{lo + params.band_width})});
+    } else {
+      // Unindexable remainder: exercises the scan-list fallback.
+      switch (rng.next_below(3)) {
+        case 0:  // top-level OR over two hot stations, cold-snap gated
+          sub.filter = Predicate::conj(
+              {Predicate::disj(
+                   {Predicate::cmp(FieldRef{"", "stationId"}, CmpOp::kEq,
+                                   Value{zipf_station()}),
+                    Predicate::cmp(FieldRef{"", "stationId"}, CmpOp::kEq,
+                                   Value{zipf_station()})}),
+               Predicate::cmp(FieldRef{"", "temperature"}, CmpOp::kLe,
+                              Value{rng.next_double(kTempLo, -4.2)})});
+          break;
+        case 1:  // NOT tree over the cold tail
+          sub.filter = Predicate::negate(
+              Predicate::cmp(FieldRef{"", "temperature"}, CmpOp::kGt,
+                             Value{rng.next_double(kTempLo, -6.8)}));
+          break;
+        default:  // lenient: attribute the stream lacks — never matches
+          sub.filter = Predicate::cmp(FieldRef{"", "humidity"}, CmpOp::kGt,
+                                      Value{rng.next_double(0.0, 1.0)});
+          break;
+      }
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
 void WorkloadGenerator::refresh_profiles(
     std::vector<query::InterestProfile>& profiles) const {
   for (auto& p : profiles) {

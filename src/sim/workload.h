@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "net/deployment.h"
+#include "pubsub/subscription.h"
 #include "query/interest.h"
 #include "sim/sensor_trace.h"
 
@@ -115,5 +116,40 @@ struct SkewedTraceParams {
 /// (params, rng-state); ties in timestamp are broken by station index.
 [[nodiscard]] std::vector<SensorReading> make_skewed_trace(
     const SkewedTraceParams& params, Rng& rng);
+
+/// Massive-fanout pub/sub population: N subscribers with Zipf-distributed
+/// constants and ranges over the station attributes (sensor_schema()) of
+/// one stream — the workload shape the paper's "millions of users" north
+/// star implies, where almost every subscription is selective and many
+/// share hot constants. Drives bench_match_scale and the pubsub churn
+/// differential test.
+struct FanoutParams {
+  std::size_t subscribers = 10'000;
+  /// stationId constant domain; match the trace's station count so the
+  /// per-sub match probability is subscribers-independent.
+  std::size_t stations = 2'000;
+  double zipf_theta = 0.9;  ///< skew of station / range-grid popularity
+  /// Station-targeted subs: stationId == Zipf(station) AND a temperature
+  /// threshold riding in the residual. (Selectivity knobs lean on
+  /// temperature because make_skewed_trace draws it i.i.d. uniform in
+  /// [-7, -3] — snowHeight is a random walk with an unstable tail.)
+  double eq_fraction = 0.82;
+  /// Pure range subs: a temperature band [c, c + band_width) with a
+  /// Zipf-drawn grid center — merges into one stabbed interval.
+  double range_fraction = 0.15;
+  // The remainder is deliberately unindexable (top-level OR over two hot
+  // stations, NOT, or a lenient filter on an attribute the stream lacks)
+  // to keep the scan-list fallback populated.
+  double band_width = 0.01;  ///< deg C; range-sub selectivity knob
+  std::string stream = "S";
+  /// Subscriber homes are NodeId{0}..NodeId{homes-1}; must all be overlay
+  /// participants.
+  std::size_t homes = 4;
+};
+
+/// Subscriptions with sequential ids starting at 0 (BrokerNetwork::
+/// subscribe reassigns ids; direct BrokerPartition driving keeps them).
+[[nodiscard]] std::vector<pubsub::Subscription> make_fanout_subscriptions(
+    const FanoutParams& params, Rng& rng);
 
 }  // namespace cosmos::sim

@@ -250,7 +250,8 @@ inline std::int64_t load_int(const CompiledPredicate::Row* rows,
 
 }  // namespace
 
-bool CompiledPredicate::eval(const Row* rows) const {
+template <bool kUnresolvedFalse>
+bool CompiledPredicate::eval_impl(const Row* rows) const {
   bool reg = true;
   for (std::size_t pc = 0; pc < code_.size(); ++pc) {
     const Instr& in = code_[pc];
@@ -322,15 +323,31 @@ bool CompiledPredicate::eval(const Row* rows) const {
         if (reg) pc = static_cast<std::size_t>(in.target) - 1;
         break;
       case Op::kThrow:
-        throw std::invalid_argument{messages_[in.aux]};
+        if constexpr (kUnresolvedFalse) {
+          // The subscription contract: an unresolvable field means "this
+          // message cannot match", observed by reaching the instruction —
+          // exactly where eval() would throw and the caller would catch.
+          return false;
+        } else {
+          throw std::invalid_argument{messages_[in.aux]};
+        }
     }
   }
   return reg;
 }
 
-void CompiledPredicate::filter_batch(const runtime::TupleBatch& batch,
-                                     const std::vector<std::uint32_t>* sel,
-                                     std::vector<std::uint32_t>& out) const {
+bool CompiledPredicate::eval(const Row* rows) const {
+  return eval_impl<false>(rows);
+}
+
+bool CompiledPredicate::eval_unresolved_false(const Row* rows) const {
+  return eval_impl<true>(rows);
+}
+
+template <bool kUnresolvedFalse>
+void CompiledPredicate::filter_batch_impl(
+    const runtime::TupleBatch& batch, const std::vector<std::uint32_t>* sel,
+    std::vector<std::uint32_t>& out) const {
   const std::size_t n = batch.size();
   const stream::Timestamp* ts = batch.ts_data();
   const Value* vals = batch.values_data();
@@ -340,7 +357,7 @@ void CompiledPredicate::filter_batch(const runtime::TupleBatch& batch,
     for (std::uint32_t r = 0; r < n; ++r) {
       row.ts = ts[r];
       row.values = vals + std::size_t{r} * w;
-      if (eval(&row)) out.push_back(r);
+      if (eval_impl<kUnresolvedFalse>(&row)) out.push_back(r);
     }
     return;
   }
@@ -351,8 +368,92 @@ void CompiledPredicate::filter_batch(const runtime::TupleBatch& batch,
     }
     row.ts = ts[r];
     row.values = vals + std::size_t{r} * w;
-    if (eval(&row)) out.push_back(r);
+    if (eval_impl<kUnresolvedFalse>(&row)) out.push_back(r);
   }
+}
+
+void CompiledPredicate::filter_batch(const runtime::TupleBatch& batch,
+                                     const std::vector<std::uint32_t>* sel,
+                                     std::vector<std::uint32_t>& out) const {
+  filter_batch_impl<false>(batch, sel, out);
+}
+
+void CompiledPredicate::filter_batch_unresolved_false(
+    const runtime::TupleBatch& batch, const std::vector<std::uint32_t>* sel,
+    std::vector<std::uint32_t>& out) const {
+  filter_batch_impl<true>(batch, sel, out);
+}
+
+namespace {
+
+[[nodiscard]] bool numeric_class(ValueType t) noexcept {
+  return t != ValueType::kString;
+}
+
+}  // namespace
+
+bool statically_well_typed(const PredicatePtr& p,
+                           const std::vector<BindingSpec>& bindings) {
+  switch (p->kind()) {
+    case Predicate::Kind::kTrue:
+      return true;
+    case Predicate::Kind::kCompareConst: {
+      const auto& cc = static_cast<const CompareConst&>(*p);
+      const auto slot = resolve_slot(cc.lhs(), bindings);
+      if (!slot) return false;
+      return numeric_class(slot_type(*slot, bindings)) ==
+             numeric_class(cc.rhs().type());
+    }
+    case Predicate::Kind::kCompareField: {
+      const auto& cf = static_cast<const CompareField&>(*p);
+      const auto a = resolve_slot(cf.lhs(), bindings);
+      const auto b = resolve_slot(cf.rhs(), bindings);
+      if (!a || !b) return false;
+      return numeric_class(slot_type(*a, bindings)) ==
+             numeric_class(slot_type(*b, bindings));
+    }
+    case Predicate::Kind::kTimeBand: {
+      const auto& tb = static_cast<const TimeBand&>(*p);
+      const auto a = resolve_slot(tb.newer(), bindings);
+      const auto b = resolve_slot(tb.older(), bindings);
+      if (!a || !b) return false;
+      return numeric_class(slot_type(*a, bindings)) &&
+             numeric_class(slot_type(*b, bindings));
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      for (const auto& c : static_cast<const BoolJunction&>(*p).children()) {
+        if (!statically_well_typed(c, bindings)) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::kNot:
+      return statically_well_typed(
+          static_cast<const NotPredicate&>(*p).child(), bindings);
+  }
+  return false;
+}
+
+FilterSplit split_const_conjuncts(const PredicatePtr& p,
+                                  const std::vector<BindingSpec>& bindings) {
+  FilterSplit out;
+  if (!collect_conjuncts(p, out.conjuncts)) return out;
+  out.conjunctive = true;
+  out.statically_safe = statically_well_typed(p, bindings);
+  for (std::size_t i = 0; i < out.conjuncts.size(); ++i) {
+    const PredicatePtr& c = out.conjuncts[i];
+    if (c->kind() != Predicate::Kind::kCompareConst) continue;
+    const auto& cc = static_cast<const CompareConst&>(*c);
+    if (cc.op() == CmpOp::kNe) continue;
+    const auto slot = resolve_slot(cc.lhs(), bindings);
+    if (!slot) continue;
+    if (numeric_class(slot_type(*slot, bindings)) !=
+        numeric_class(cc.rhs().type())) {
+      continue;  // class-mismatched compares throw, they never prune
+    }
+    out.indexable.push_back({i, *slot, cc.op(), cc.rhs()});
+  }
+  return out;
 }
 
 JoinSplit split_equi_conjuncts(const PredicatePtr& p,

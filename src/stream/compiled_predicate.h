@@ -117,6 +117,15 @@ class CompiledPredicate {
   /// Evaluates against one row per binding (rows[i] <-> bindings[i]).
   [[nodiscard]] bool eval(const Row* rows) const;
 
+  /// eval() with the subscription-matching contract folded in: a kThrow
+  /// instruction (the lenient compilation of an unresolvable field)
+  /// evaluates to false instead of throwing — observationally identical
+  /// to eval() under a catch(std::invalid_argument){return false;}
+  /// handler, without paying an exception unwind per row. Type errors
+  /// (std::logic_error) and narrow rows (std::out_of_range) still
+  /// propagate exactly like eval().
+  [[nodiscard]] bool eval_unresolved_false(const Row* rows) const;
+
   [[nodiscard]] bool eval(const Tuple& t) const {
     const Row r{t.ts, t.values.data(), t.values.size()};
     return eval(&r);
@@ -134,6 +143,12 @@ class CompiledPredicate {
   void filter_batch(const runtime::TupleBatch& batch,
                     const std::vector<std::uint32_t>* sel,
                     std::vector<std::uint32_t>& out) const;
+
+  /// filter_batch() over eval_unresolved_false (what subscription
+  /// matching runs for may_throw() filters).
+  void filter_batch_unresolved_false(const runtime::TupleBatch& batch,
+                                     const std::vector<std::uint32_t>* sel,
+                                     std::vector<std::uint32_t>& out) const;
 
  private:
   enum class Op : std::uint8_t {
@@ -168,11 +183,58 @@ class CompiledPredicate {
                                         const std::vector<BindingSpec>& b,
                                         bool lenient);
 
+  template <bool kUnresolvedFalse>
+  [[nodiscard]] bool eval_impl(const Row* rows) const;
+  template <bool kUnresolvedFalse>
+  void filter_batch_impl(const runtime::TupleBatch& batch,
+                         const std::vector<std::uint32_t>* sel,
+                         std::vector<std::uint32_t>& out) const;
+
   std::vector<Instr> code_;
   std::vector<std::string> strings_;   // kCmpConstStr operands
   std::vector<std::string> messages_;  // kThrow messages
   bool may_throw_ = false;
 };
+
+/// One single-column compare-against-constant conjunct of a filter: the
+/// unit the pub/sub attribute-predicate index can serve (an equality probe
+/// or a range stab on that column). `position` identifies the conjunct in
+/// FilterSplit::conjuncts so index builders can exclude anchored conjuncts
+/// from the residual they re-check per candidate.
+struct ConstConjunct {
+  std::size_t position = 0;
+  FieldSlot slot;
+  CmpOp op = CmpOp::kEq;
+  Value constant;
+};
+
+/// Decomposition of a filter's top-level conjunction for index placement
+/// (the single-binding analogue of split_equi_conjuncts). `conjuncts`
+/// preserves the interpreter's evaluation order; `indexable` lists the
+/// ==/</<=/>/>= constant conjuncts whose declared column type class
+/// matches the constant's (kNe prunes nothing and is excluded, as are
+/// class-mismatched compares, which throw rather than match).
+/// `statically_safe` reports that no comparison anywhere in the tree can
+/// throw on schema-conforming rows — the gate that entitles an index to
+/// probe an anchor conjunct ahead of the interpreter's short-circuit
+/// order (see statically_well_typed). Non-conjunctive filters report
+/// conjunctive == false with everything else empty.
+struct FilterSplit {
+  bool conjunctive = false;
+  bool statically_safe = false;
+  std::vector<PredicatePtr> conjuncts;
+  std::vector<ConstConjunct> indexable;
+};
+[[nodiscard]] FilterSplit split_const_conjuncts(
+    const PredicatePtr& p, const std::vector<BindingSpec>& bindings);
+
+/// True when no comparison node in `p` can throw on rows conforming to the
+/// bound schemas: every FieldRef resolves, every compare's declared type
+/// classes agree (string with string, numeric with numeric), and TimeBand
+/// operands are numeric. Reordering the conjuncts of a statically
+/// well-typed conjunction cannot change which rows throw (none do).
+[[nodiscard]] bool statically_well_typed(
+    const PredicatePtr& p, const std::vector<BindingSpec>& bindings);
 
 /// One hash-joinable equality conjunct of a join predicate: the two value
 /// columns (one per side) that must compare equal.

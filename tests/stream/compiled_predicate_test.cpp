@@ -355,5 +355,129 @@ TEST(EquiSplit, RejectsRefsThatFlipSidesWithBindingOrder) {
   EXPECT_EQ(ok.keys[0].right, (FieldSlot{1, 1}));  // R.u
 }
 
+TEST(ConstSplit, ExtractsSingleColumnConstantConjuncts) {
+  const Schema ls = left_schema();
+  const std::vector<BindingSpec> bindings{{"", &ls, SIZE_MAX}};
+  const auto p = Predicate::conj(
+      {Predicate::cmp(FieldRef{"", "a"}, CmpOp::kEq, Value{3}),
+       Predicate::cmp(FieldRef{"", "b"}, CmpOp::kGe, Value{1.5}),
+       Predicate::cmp(FieldRef{"", "b"}, CmpOp::kLt, Value{2.5}),
+       Predicate::cmp(FieldRef{"", "a"}, CmpOp::kNe, Value{9}),       // kNe
+       Predicate::cmp(FieldRef{"", "a"}, CmpOp::kGt, FieldRef{"", "b"})});
+  const auto split = split_const_conjuncts(p, bindings);
+  EXPECT_TRUE(split.conjunctive);
+  EXPECT_TRUE(split.statically_safe);
+  ASSERT_EQ(split.conjuncts.size(), 5u);
+  ASSERT_EQ(split.indexable.size(), 3u);  // kNe and field-field excluded
+  EXPECT_EQ(split.indexable[0].position, 0u);
+  EXPECT_EQ(split.indexable[0].slot, (FieldSlot{0, 0}));
+  EXPECT_EQ(split.indexable[0].op, CmpOp::kEq);
+  EXPECT_EQ(split.indexable[1].position, 1u);
+  EXPECT_EQ(split.indexable[1].op, CmpOp::kGe);
+  EXPECT_EQ(split.indexable[2].position, 2u);
+  EXPECT_EQ(split.indexable[2].op, CmpOp::kLt);
+}
+
+TEST(ConstSplit, TimestampPseudoFieldAnchorsOnTsSlot) {
+  const Schema ls = left_schema();
+  const std::vector<BindingSpec> bindings{{"", &ls, SIZE_MAX}};
+  const auto split = split_const_conjuncts(
+      Predicate::cmp(FieldRef{"", "timestamp"}, CmpOp::kGe, Value{100}),
+      bindings);
+  ASSERT_EQ(split.indexable.size(), 1u);
+  EXPECT_EQ(split.indexable[0].slot.col, FieldSlot::kTsCol);
+}
+
+TEST(ConstSplit, RejectsMismatchedClassesAndNonConjunctions) {
+  const Schema ls = left_schema();
+  const std::vector<BindingSpec> bindings{{"", &ls, SIZE_MAX}};
+  // String column vs numeric constant throws rather than matches: not
+  // indexable, and the whole tree is statically unsafe.
+  auto split = split_const_conjuncts(
+      Predicate::conj(
+          {Predicate::cmp(FieldRef{"", "a"}, CmpOp::kEq, Value{1}),
+           Predicate::cmp(FieldRef{"", "s"}, CmpOp::kGt, Value{0.5})}),
+      bindings);
+  EXPECT_TRUE(split.conjunctive);
+  EXPECT_FALSE(split.statically_safe);
+  EXPECT_EQ(split.indexable.size(), 1u);
+  // String-string comparisons are safe and (for ==) indexable.
+  split = split_const_conjuncts(
+      Predicate::cmp(FieldRef{"", "s"}, CmpOp::kEq, Value{"x"}), bindings);
+  EXPECT_TRUE(split.statically_safe);
+  ASSERT_EQ(split.indexable.size(), 1u);
+  // An unresolvable ref anywhere makes the tree unsafe.
+  split = split_const_conjuncts(
+      Predicate::conj(
+          {Predicate::cmp(FieldRef{"", "a"}, CmpOp::kEq, Value{1}),
+           Predicate::cmp(FieldRef{"", "missing"}, CmpOp::kGt, Value{0})}),
+      bindings);
+  EXPECT_FALSE(split.statically_safe);
+  // Top-level OR: non-conjunctive, nothing extractable.
+  split = split_const_conjuncts(
+      Predicate::disj(
+          {Predicate::cmp(FieldRef{"", "a"}, CmpOp::kEq, Value{1}),
+           Predicate::cmp(FieldRef{"", "a"}, CmpOp::kEq, Value{2})}),
+      bindings);
+  EXPECT_FALSE(split.conjunctive);
+  EXPECT_TRUE(split.conjuncts.empty());
+  EXPECT_TRUE(split.indexable.empty());
+}
+
+TEST(ConstSplit, StaticallyWellTypedWalksNestedTrees) {
+  const Schema ls = left_schema();
+  const std::vector<BindingSpec> bindings{{"", &ls, SIZE_MAX}};
+  // A type clash buried under NOT inside an OR is still detected.
+  const auto bad = Predicate::conj(
+      {Predicate::cmp(FieldRef{"", "a"}, CmpOp::kGt, Value{0}),
+       Predicate::disj(
+           {Predicate::cmp(FieldRef{"", "b"}, CmpOp::kLt, Value{1.0}),
+            Predicate::negate(Predicate::cmp(FieldRef{"", "s"}, CmpOp::kGt,
+                                             Value{3}))})});
+  EXPECT_FALSE(statically_well_typed(bad, bindings));
+  const auto good = Predicate::conj(
+      {Predicate::time_band(FieldRef{"", "timestamp"}, FieldRef{"", "a"},
+                            500),
+       Predicate::cmp(FieldRef{"", "s"}, CmpOp::kEq, FieldRef{"", "s"})});
+  EXPECT_TRUE(statically_well_typed(good, bindings));
+  // TimeBand over a string operand would throw std::logic_error per row.
+  EXPECT_FALSE(statically_well_typed(
+      Predicate::time_band(FieldRef{"", "timestamp"}, FieldRef{"", "s"}, 500),
+      bindings));
+}
+
+TEST(CompiledPredicate, EvalUnresolvedFalseMatchesCatchSemantics) {
+  const Schema ls = left_schema();
+  const std::vector<BindingSpec> bindings{{"S1", &ls, SIZE_MAX}};
+  const auto p = Predicate::conj(
+      {Predicate::cmp(FieldRef{"S1", "a"}, CmpOp::kGt, Value{0}),
+       Predicate::cmp(FieldRef{"S1", "missing"}, CmpOp::kGt, Value{0})});
+  const auto compiled = CompiledPredicate::compile_lenient(p, bindings);
+  const Tuple fails_first{0, {Value{-1}, Value{0.0}, Value{"z"}}};
+  const Tuple reaches_throw{0, {Value{1}, Value{0.0}, Value{"z"}}};
+  const CompiledPredicate::Row r0{fails_first.ts, fails_first.values.data(),
+                                  3};
+  const CompiledPredicate::Row r1{reaches_throw.ts,
+                                  reaches_throw.values.data(), 3};
+  EXPECT_FALSE(compiled.eval_unresolved_false(&r0));
+  EXPECT_FALSE(compiled.eval_unresolved_false(&r1));  // no throw
+  // Type errors still propagate exactly like eval().
+  const auto typed = CompiledPredicate::compile_lenient(
+      Predicate::cmp(FieldRef{"S1", "s"}, CmpOp::kGt, Value{1}), bindings);
+  const CompiledPredicate::Row rs{0, reaches_throw.values.data(), 3};
+  EXPECT_THROW((void)typed.eval_unresolved_false(&rs), std::logic_error);
+  // Batch form agrees with the scalar form row for row.
+  runtime::TupleBatch batch{"S"};
+  batch.push_back(fails_first);
+  batch.push_back(reaches_throw);
+  std::vector<std::uint32_t> out;
+  compiled.filter_batch_unresolved_false(batch, nullptr, out);
+  EXPECT_TRUE(out.empty());
+  const auto resolvable = CompiledPredicate::compile_lenient(
+      Predicate::cmp(FieldRef{"S1", "a"}, CmpOp::kGt, Value{0}), bindings);
+  resolvable.filter_batch_unresolved_false(batch, nullptr, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1}));
+}
+
 }  // namespace
 }  // namespace cosmos::stream
