@@ -2,15 +2,129 @@
 // across continents, 5 data sources, hundreds of random monitoring
 // queries distributed hierarchically; compares the resulting communication
 // cost against naive proxy placement.
+//
+// Part 2 then executes a small monitoring slice for real across worker
+// *processes*: a driver plus three cosmos_noded daemons over Unix-domain
+// sockets, each driver<->worker link emulating the wide-area latency the
+// matrix reports for that worker's node.
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <exception>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "coord/hierarchy.h"
+#include "cosmos/cosmos.h"
+#include "cql/parser.h"
+#include "node/spawn.h"
 #include "sim/baselines.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
+#include "sim/sensor_trace.h"
 #include "sim/workload.h"
 
 using namespace cosmos;
+
+namespace {
+
+/// Part 2: the same monitoring story, but executed — CQL joins over
+/// sensor stations replayed through run_federated across three spawned
+/// worker processes with per-link wide-area delays.
+void run_federated_slice() {
+  const std::size_t kNodes = 8;
+  const std::size_t kStations = 4;
+  Rng rng{7};
+  const auto topo = net::make_wide_area_mesh(kNodes, 4, rng);
+  std::vector<NodeId> all;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    all.push_back(NodeId{static_cast<NodeId::value_type>(i)});
+  }
+  const net::LatencyMatrix lat{topo, all};
+
+  middleware::Cosmos sys{all, lat};
+  for (std::size_t st = 0; st < kStations; ++st) {
+    sys.register_source(sim::station_stream_name(st), sim::sensor_schema(),
+                        all[st % 2]);
+  }
+  std::map<QueryId, std::size_t> results;
+  const auto sink = [&results](QueryId q, const stream::Tuple&) {
+    ++results[q];
+  };
+  // Avalanche-watch joins: recent deep snow on one station against a
+  // neighbour's colder reading (the paper's snow-monitoring flavor).
+  const char* texts[] = {
+      "SELECT S1.snowHeight, S2.snowHeight FROM Station1 [Range 120 Minutes]"
+      " S1, Station2 [Range 30 Minutes] S2 WHERE S1.snowHeight >"
+      " S2.snowHeight",
+      "SELECT S1.temperature, S2.temperature FROM Station3 [Range 90"
+      " Minutes] S1, Station4 [Range 30 Minutes] S2 WHERE S2.temperature <"
+      " S1.temperature",
+      "SELECT S1.snowHeight, S2.timestamp FROM Station2 [Range 60 Minutes]"
+      " S1, Station3 [Range 60 Minutes] S2 WHERE S1.snowHeight >="
+      " S2.snowHeight",
+  };
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto spec = cql::parse_query(
+        texts[i], QueryId{static_cast<QueryId::value_type>(i)},
+        /*proxy=*/all[5 + i % 3]);
+    sys.submit(spec, /*host=*/all[2 + i], sink);
+  }
+
+  sim::SensorTraceParams tp;
+  tp.stations = kStations;
+  tp.readings_per_station = 240;
+  Rng trng{11};
+  const auto trace = sim::make_sensor_trace(tp, trng);
+  std::vector<runtime::TraceEvent> events;
+  for (const auto& r : trace) {
+    events.push_back({sim::station_stream_name(r.station), r.tuple});
+  }
+
+  const std::size_t kWorkers = 3;
+  std::vector<node::NodeProcess> procs;
+  middleware::Cosmos::FederationOptions opts;
+  const std::string noded = node::default_noded_path();
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    const std::string endpoint = "unix:/tmp/cosmos_planetlab_" +
+                                 std::to_string(::getpid()) + "_" +
+                                 std::to_string(i) + ".sock";
+    procs.push_back(node::spawn_noded(noded, endpoint));
+    opts.workers.push_back(endpoint);
+    // Emulate the wide-area hop the matrix reports between the driver's
+    // node and this worker's (capped so the demo stays snappy).
+    opts.link_delay_ms.push_back(static_cast<std::int64_t>(
+        std::min(15.0, lat.latency(all[0], all[2 + i]))));
+  }
+  opts.batch_size = 128;
+  opts.tick_ms = 6 * 3'600'000;  // few, large chunks: delay is per barrier
+  opts.max_inflight_chunks = 4;
+
+  const auto report = sys.run_federated(events, opts);
+  std::size_t total = 0;
+  for (const auto& [q, n] : results) total += n;
+  std::printf("federated slice: %zu tuples over %zu workers -> %zu results "
+              "(%zu chunks, %.3fs)\n",
+              report.tuples, report.federation.workers, total, report.chunks,
+              report.ingest_seconds);
+  for (std::size_t i = 0; i < report.federation.links.size(); ++i) {
+    const auto& link = report.federation.links[i];
+    std::printf("  link %zu: delay %lld ms, %llu frames / %llu bytes out, "
+                "%llu frames / %llu bytes in\n",
+                i, static_cast<long long>(opts.link_delay_ms[i]),
+                static_cast<unsigned long long>(link.frames_sent),
+                static_cast<unsigned long long>(link.bytes_sent),
+                static_cast<unsigned long long>(link.frames_received),
+                static_cast<unsigned long long>(link.bytes_received));
+  }
+  for (auto& p : procs) {
+    if (p.wait() != 0) std::printf("  !! worker exited non-zero\n");
+  }
+}
+
+}  // namespace
 
 int main() {
   Rng rng{2026};
@@ -57,5 +171,13 @@ int main() {
               hier, naive, 100.0 * (naive - hier) / naive);
   std::printf("load stddev: %.4f\n",
               sim::load_stddev(dist.placement(), pmap, deployment));
+
+  try {
+    run_federated_slice();
+  } catch (const std::exception& e) {
+    // No cosmos_noded available (running outside the build tree without
+    // COSMOS_NODED_PATH): the placement study above already ran.
+    std::printf("federated slice skipped: %s\n", e.what());
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "adapt/controller.h"
 #include "common/clock.h"
+#include "wire/codec.h"
 
 namespace cosmos::middleware {
 namespace {
@@ -273,11 +274,12 @@ double Cosmos::host_window_extent_ms(NodeId node) const {
   return ms;
 }
 
-double Cosmos::host_state_bytes(NodeId node, double bytes_per_tuple) const {
+double Cosmos::host_state_bytes(NodeId node) const {
   double bytes = 0.0;
   for (const auto& [uid, unit] : units_) {
     if (unit.host == node && unit.plan) {
-      bytes += bytes_per_tuple * static_cast<double>(unit.plan->state_tuples());
+      bytes += static_cast<double>(
+          wire::serialized_state_bytes(unit.plan->export_join_state()));
     }
   }
   return bytes;
@@ -487,10 +489,9 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
           return host_window_extent_ms(NodeId{
               static_cast<NodeId::value_type>(engine)});
         },
-        [this, bpt = options.adapt.bytes_per_state_tuple](
-            std::uint64_t engine) {
+        [this](std::uint64_t engine) {
           return host_state_bytes(
-              NodeId{static_cast<NodeId::value_type>(engine)}, bpt);
+              NodeId{static_cast<NodeId::value_type>(engine)});
         });
   }
 

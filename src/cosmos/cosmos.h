@@ -13,6 +13,7 @@
 // the prototype-study metric (Fig 11).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -120,6 +121,27 @@ class Cosmos {
     /// CPU delivering result tuples to user callbacks (the p2 leg).
     double deliver_cpu_seconds = 0.0;
   };
+  /// Driver-side byte/frame counters of one worker channel (federation).
+  struct WireLinkStats {
+    std::string endpoint;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+  };
+  struct FederationStats {
+    std::size_t workers = 0;  ///< 0 = the run was not federated
+    std::vector<WireLinkStats> links;
+    std::size_t migrations = 0;  ///< scripted handoffs executed
+    /// Serialized join-state bytes actually shipped in kStateHandoff
+    /// frames (measured on the wire, not modeled).
+    std::uint64_t state_bytes_migrated = 0;
+    /// Broker traffic merged across the federation: each worker's p1
+    /// matching share plus the driver's p2 result delivery — the same
+    /// total the in-process broker would account.
+    pubsub::TrafficStats matched_traffic;
+  };
+
   struct RunReport {
     std::size_t tuples = 0;             ///< trace events ingested
     std::size_t chunks = 0;             ///< driver chunks dispatched
@@ -134,6 +156,7 @@ class Cosmos {
     DriverBreakdown driver;             ///< where the serial time went
     runtime::RuntimeStats stats;        ///< per-shard + per-engine counters
     adapt::AdaptationReport adaptation; ///< what the adapt loop did (if on)
+    FederationStats federation;         ///< wire stats (run_federated only)
   };
 
   /// Replays `events` (non-decreasing global timestamp order) through the
@@ -143,6 +166,58 @@ class Cosmos {
   RunReport run(const std::vector<runtime::TraceEvent>& events) {
     return run(events, RunOptions{});
   }
+
+  // --- Federation mode ----------------------------------------------------
+  //
+  // run_federated() is run() stretched across real processes: each worker
+  // is a cosmos_noded daemon reached over a wire::FrameChannel (TCP or
+  // Unix-domain), hosting a slice of the engines and matching the source
+  // streams it owns. The driver replicates the topology, schemas, p1
+  // subscriptions and unit deployments over registration frames, then
+  // pipelines driver chunks exactly like run(): match requests go to each
+  // stream's owner worker, responses are routed *on the driver* into
+  // per-engine row selections (so routing policy lives in one place),
+  // pre-routed batches go to each engine's worker, and result tuples come
+  // back for p2 delivery on the driver thread. Per-channel FIFO plays the
+  // role of shard-queue FIFO, so per-query result sequences stay
+  // byte-identical to push() — the federation differential tests assert it
+  // across worker counts and live migrations. The per-chunk match barrier
+  // is relaxed to a bounded in-flight window (max_inflight_chunks).
+
+  struct FederationOptions {
+    /// Worker endpoints ("unix:/path" or "tcp:host:port"), one per
+    /// already-listening cosmos_noded process (node::spawn_noded starts
+    /// them; wire::connect_to absorbs the startup race).
+    std::vector<std::string> workers;
+    std::size_t batch_size = 256;        ///< max tuples per driver chunk
+    stream::Timestamp tick_ms = 60'000;  ///< virtual-clock bound per chunk
+    /// Chunks whose match responses may still be outstanding before the
+    /// driver waits — the relaxed match barrier. 1 = run()'s strict
+    /// per-chunk barrier.
+    std::size_t max_inflight_chunks = 4;
+    std::size_t worker_shards = 1;    ///< each worker runtime's shard count
+    std::size_t queue_capacity = 64;  ///< per-channel send queue, in frames
+    /// Emulated one-way link delay per worker, ms (empty = all zero);
+    /// applied to both directions of that worker's channel.
+    std::vector<std::int64_t> link_delay_ms;
+    /// One scripted live migration: at virtual time `at_ms`, the units
+    /// hosted at `engine` drain on their current worker, serialize their
+    /// join state, and resume on `to_worker` — the wire analogue of the
+    /// adapt subsystem's engine re-pins.
+    struct Migration {
+      stream::Timestamp at_ms = 0;
+      NodeId engine;
+      std::size_t to_worker = 0;
+    };
+    std::vector<Migration> migrations;  ///< in at_ms order
+  };
+
+  /// Replays `events` across the worker processes in `options`. Throws
+  /// std::runtime_error when a worker faults or disconnects mid-run (the
+  /// session never hangs on a dead peer). The returned report's
+  /// `federation` member carries the wire-level stats.
+  RunReport run_federated(const std::vector<runtime::TraceEvent>& events,
+                          const FederationOptions& options);
 
   /// Link traffic merged across the broker's per-stream partitions. Must
   /// not be called while run() is executing (partitions are then owned by
@@ -162,6 +237,11 @@ class Cosmos {
   [[nodiscard]] pubsub::BrokerNetwork& broker() noexcept { return broker_; }
 
  private:
+  /// The driver half of a federated run (defined in federation.cpp): the
+  /// worker channels, reader-shared response state, the in-flight chunk
+  /// window and the migration protocol.
+  struct Fed;
+
   struct Unit {
     std::uint32_t id = 0;
     NodeId host;
@@ -209,11 +289,12 @@ class Cosmos {
   /// Total window extent (ms) of the units hosted at `node` — the state
   /// model's input for planning-time migration cost.
   [[nodiscard]] double host_window_extent_ms(NodeId node) const;
-  /// Live buffered join-state bytes of the units hosted at `node`. Only
+  /// Live join-state bytes of the units hosted at `node`, *measured*: the
+  /// serialized size of the state a migration would actually ship (the
+  /// wire handoff payload), not a tuples-times-constant estimate. Only
   /// safe while no shard worker is executing that node's engine (the
   /// migrator calls it post-drain).
-  [[nodiscard]] double host_state_bytes(NodeId node,
-                                        double bytes_per_tuple) const;
+  [[nodiscard]] double host_state_bytes(NodeId node) const;
 
   std::vector<NodeId> nodes_;
   pubsub::BrokerNetwork broker_;

@@ -1,0 +1,627 @@
+// The driver half of a federated run: Cosmos::run_federated and its state
+// (Cosmos::Fed). Each worker is a cosmos_noded process reached over one
+// wire::FrameChannel; the channel's reader thread funnels every inbound
+// frame into a small mutex-guarded inbox the driver thread waits on.
+//
+// Determinism argument, mirroring run(): routing happens on the driver in
+// chunk/run order, execute frames for one engine all travel one FIFO
+// channel to one worker whose runtime pins the engine to one shard, and p2
+// result delivery runs on the driver thread in per-channel arrival order —
+// so per-query result sequences are byte-identical to push() at any worker
+// count. The per-chunk match barrier of run() is relaxed to a bounded
+// window of in-flight chunks: a chunk's match responses are awaited only
+// when the window is full (or at a migration / end of trace), never later
+// than max_inflight_chunks chunks behind the dispatch frontier.
+#include "cosmos/cosmos.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "wire/channel.h"
+#include "wire/messages.h"
+#include "wire/socket.h"
+
+namespace cosmos::middleware {
+
+struct Cosmos::Fed {
+  Fed(Cosmos& system, const FederationOptions& opts)
+      : sys(system), options(opts) {}
+
+  ~Fed() {
+    // Stop treating closes as faults, then tear the channels down (close
+    // joins each channel's reader, so after this loop no callback can
+    // touch the inbox state above).
+    {
+      std::lock_guard lock{mu};
+      expect_close = true;
+    }
+    for (auto& w : workers) {
+      if (w.channel) w.channel->close();
+    }
+  }
+  Fed(const Fed&) = delete;
+  Fed& operator=(const Fed&) = delete;
+
+  Cosmos& sys;
+  const FederationOptions& options;
+
+  // --- inbox: reader threads write, the driver thread waits (guard: mu).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string error;  ///< first worker fault; sticky, fails every wait
+  std::size_t hello_acks = 0;
+  std::map<std::uint64_t, std::size_t> flush_acks;  ///< seq -> ack count
+  std::unordered_map<std::uint64_t, wire::MatchResponseMsg> match_responses;
+  std::vector<wire::ResultEventMsg> results_inbox;  ///< arrival order
+  std::optional<wire::StateHandoffMsg> handoff;
+  std::uint64_t handoff_wire_bytes = 0;  ///< frame size of the handoff
+  std::optional<NodeId> migrate_ack;
+  std::vector<pubsub::TrafficStats> traffic_reports;
+  bool expect_close = false;  ///< set before kBye: closes are then orderly
+
+  // --- driver-thread-only state.
+  std::unordered_map<std::string, std::size_t> worker_of_stream;
+  std::unordered_map<NodeId, std::size_t> worker_of_engine;
+  std::uint64_t next_job = 0;
+  std::uint64_t next_flush_seq = 0;
+  std::size_t next_migration = 0;
+
+  /// One dispatched run awaiting (or exempt from) its match response.
+  struct PendingRun {
+    std::shared_ptr<const runtime::TupleBatch> run;
+    std::uint64_t job = 0;
+    bool awaiting = false;  ///< false: zero subscriptions, nothing to match
+  };
+  struct PendingChunk {
+    std::vector<PendingRun> runs;
+    stream::Timestamp last_ts = 0;
+  };
+  std::deque<PendingChunk> pending;
+
+  RunReport report;
+
+  // Declared last so channel destruction (which joins the reader threads)
+  // precedes destruction of everything the reader callbacks capture.
+  struct Worker {
+    std::string endpoint;
+    std::unique_ptr<wire::FrameChannel> channel;
+  };
+  std::vector<Worker> workers;
+
+  // --- reader-side handlers -----------------------------------------------
+
+  void fail(std::size_t i, const std::string& what) {
+    std::lock_guard lock{mu};
+    if (error.empty()) {
+      error = "worker " + std::to_string(i) + " (" + workers[i].endpoint +
+              "): " + what;
+    }
+  }
+
+  void on_frame(std::size_t i, wire::Frame frame) {
+    try {
+      switch (frame.type) {
+        case wire::FrameType::kHelloAck: {
+          (void)wire::decode_hello_ack(frame);
+          std::lock_guard lock{mu};
+          ++hello_acks;
+          break;
+        }
+        case wire::FrameType::kMatchResponse: {
+          auto m = wire::decode_match_response(frame);
+          std::lock_guard lock{mu};
+          match_responses.emplace(m.job, std::move(m));
+          break;
+        }
+        case wire::FrameType::kResult: {
+          auto m = wire::decode_result(frame);
+          std::lock_guard lock{mu};
+          for (auto& ev : m.events) results_inbox.push_back(std::move(ev));
+          break;
+        }
+        case wire::FrameType::kFlushAck: {
+          const auto m = wire::decode_flush_ack(frame);
+          std::lock_guard lock{mu};
+          ++flush_acks[m.seq];
+          break;
+        }
+        case wire::FrameType::kStateHandoff: {
+          const std::uint64_t wire_bytes =
+              frame.payload.size() + wire::kFrameHeaderBytes;
+          auto m = wire::decode_state_handoff(frame);
+          std::lock_guard lock{mu};
+          handoff = std::move(m);
+          handoff_wire_bytes = wire_bytes;
+          break;
+        }
+        case wire::FrameType::kMigrateAck: {
+          const auto m = wire::decode_migrate_ack(frame);
+          std::lock_guard lock{mu};
+          migrate_ack = m.engine;
+          break;
+        }
+        case wire::FrameType::kTrafficReport: {
+          auto m = wire::decode_traffic_report(frame);
+          std::lock_guard lock{mu};
+          traffic_reports.push_back(std::move(m.traffic));
+          break;
+        }
+        case wire::FrameType::kError:
+          fail(i, wire::decode_error(frame).message);
+          break;
+        default:
+          fail(i, std::string{"unexpected frame "} +
+                      wire::to_string(frame.type));
+          break;
+      }
+    } catch (const std::exception& e) {
+      fail(i, e.what());
+    }
+    cv.notify_all();
+  }
+
+  void on_close(std::size_t i, const std::string& err) {
+    {
+      std::lock_guard lock{mu};
+      if (!expect_close && error.empty()) {
+        error = "worker " + std::to_string(i) + " (" + workers[i].endpoint +
+                "): " +
+                (err.empty() ? std::string{"disconnected mid-session"} : err);
+      }
+    }
+    cv.notify_all();
+  }
+
+  // --- driver-side plumbing -----------------------------------------------
+
+  /// Waits until `pred` holds or any worker faulted (then throws — every
+  /// wait in the protocol is fault-aware, so a dead peer never hangs us).
+  template <typename Pred>
+  void wait_for(std::unique_lock<std::mutex>& lock, Pred pred) {
+    cv.wait(lock, [&] { return !error.empty() || pred(); });
+    if (!error.empty()) {
+      throw std::runtime_error{"Cosmos federation: " + error};
+    }
+  }
+
+  void send(std::size_t w, wire::Frame frame) {
+    workers[w].channel->send(std::move(frame));
+  }
+
+  void broadcast(const wire::Frame& frame) {
+    for (std::size_t w = 0; w < workers.size(); ++w) send(w, frame);
+  }
+
+  std::int64_t link_delay(std::size_t i) const {
+    return i < options.link_delay_ms.size() ? options.link_delay_ms[i] : 0;
+  }
+
+  void connect_all() {
+    workers.reserve(options.workers.size());
+    for (std::size_t i = 0; i < options.workers.size(); ++i) {
+      Worker w;
+      w.endpoint = options.workers[i];
+      wire::FrameChannel::Options copts;
+      copts.send_queue_capacity = options.queue_capacity;
+      copts.send_delay_ms = link_delay(i);
+      w.channel = std::make_unique<wire::FrameChannel>(
+          wire::connect_to(wire::Endpoint::parse(w.endpoint)), copts);
+      workers.push_back(std::move(w));
+    }
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      workers[i].channel->start_reader(
+          [this, i](wire::Frame f) { on_frame(i, std::move(f)); },
+          [this, i](const std::string& err) { on_close(i, err); });
+    }
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      wire::HelloMsg hello;
+      hello.worker_index = static_cast<std::uint32_t>(i);
+      hello.shards = static_cast<std::uint32_t>(
+          options.worker_shards == 0 ? 1 : options.worker_shards);
+      hello.send_delay_ms = link_delay(i);
+      send(i, wire::encode_hello(hello));
+    }
+    std::unique_lock lock{mu};
+    wait_for(lock, [&] { return hello_acks >= workers.size(); });
+  }
+
+  /// Ships everything a worker needs to be the driver's twin: the exact
+  /// topology (same doubles -> same overlay tree), every source stream's
+  /// advertisement, every p1 subscription under its driver-assigned id,
+  /// and each unit's deployment to the worker that will host its engine.
+  void replicate() {
+    const auto& lat = sys.broker_.latency_matrix();
+    wire::TopologyMsg topo;
+    topo.participants = sys.broker_.participants();
+    topo.members = lat.members();
+    topo.dense = lat.dense();
+    topo.use_index = true;
+    broadcast(wire::encode_topology(topo));
+
+    // Result streams stay driver-side: workers host the engines that emit
+    // them and ship the tuples back raw; p2 matching/delivery (and its
+    // traffic accounting) happens on the driver's own broker.
+    std::set<std::string> result_streams;
+    for (const auto& [uid, unit] : sys.units_) {
+      result_streams.insert(unit.result_stream);
+    }
+
+    for (auto* part : sys.broker_.partitions()) {
+      if (result_streams.contains(part->stream())) continue;
+      wire::RegisterStreamMsg reg;
+      reg.stream = part->stream();
+      reg.publisher = part->publisher();
+      reg.schema = part->schema();
+      broadcast(wire::encode_register_stream(reg));
+      // Static stream ownership: the publisher node's index modulo the
+      // worker count, the same deterministic spread run() uses for shards.
+      worker_of_stream.emplace(part->stream(),
+                               part->publisher().value() % workers.size());
+    }
+
+    for (const auto& [uid, unit] : sys.units_) {
+      for (const auto sid : unit.p1_subs) {
+        const auto* sub = sys.broker_.subscription(sid);
+        if (sub == nullptr) {
+          throw std::logic_error{"Cosmos: unit holds a dangling p1 sub"};
+        }
+        // Broadcast: only the stream's owner ever matches it, but having
+        // the full subscription table everywhere means a migrated engine's
+        // destination needs no extra registration traffic.
+        broadcast(wire::encode_subscribe({*sub}));
+      }
+    }
+
+    for (const auto& [uid, unit] : sys.units_) {
+      const std::size_t host_worker = unit.host.value() % workers.size();
+      worker_of_engine[unit.host] = host_worker;
+      wire::DeployUnitMsg deploy;
+      deploy.unit_id = unit.id;
+      deploy.host = unit.host;
+      deploy.result_stream = unit.result_stream;
+      deploy.spec = unit.spec;
+      send(host_worker, wire::encode_deploy_unit(deploy));
+    }
+
+    // Barrier: surfaces registration/deployment faults before any data
+    // flows (per-channel FIFO already orders the frames themselves).
+    flush_all();
+  }
+
+  void await_flush(std::uint64_t seq, std::size_t acks_needed) {
+    std::unique_lock lock{mu};
+    wait_for(lock, [&] {
+      const auto it = flush_acks.find(seq);
+      return it != flush_acks.end() && it->second >= acks_needed;
+    });
+    flush_acks.erase(seq);
+  }
+
+  void flush_worker(std::size_t w) {
+    const std::uint64_t seq = next_flush_seq++;
+    send(w, wire::encode_flush({seq}));
+    await_flush(seq, 1);
+  }
+
+  void flush_all() {
+    const std::uint64_t seq = next_flush_seq++;
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      send(w, wire::encode_flush({seq}));
+    }
+    await_flush(seq, workers.size());
+  }
+
+  /// p2 leg: result tuples the readers collected, delivered on the driver
+  /// thread in arrival order (per engine that is emission order — one
+  /// engine lives on one worker, whose channel is FIFO).
+  void drain_deliver() {
+    std::vector<wire::ResultEventMsg> batch;
+    {
+      std::lock_guard lock{mu};
+      batch.swap(results_inbox);
+    }
+    if (batch.empty()) return;
+    const double cpu0 = thread_cpu_seconds();
+    for (const auto& ev : batch) sys.deliver_result(ev.stream, ev.tuple);
+    report.driver.deliver_cpu_seconds += thread_cpu_seconds() - cpu0;
+  }
+
+  // --- chunk pipeline ------------------------------------------------------
+
+  void dispatch(runtime::Chunk&& chunk) {
+    const double cpu0 = thread_cpu_seconds();
+    PendingChunk pc;
+    pc.last_ts = chunk.last_ts;
+    pc.runs.reserve(chunk.runs.size());
+    for (runtime::TupleBatch& run : chunk.runs) {
+      auto* part = sys.broker_.partition(run.stream());
+      if (part == nullptr) {
+        // Same contract as push(): publishing an unadvertised stream is a
+        // caller error, not a silent drop.
+        throw std::invalid_argument{
+            "BrokerNetwork: publish to unadvertised " + run.stream()};
+      }
+      PendingRun pr;
+      pr.run = std::make_shared<const runtime::TupleBatch>(std::move(run));
+      // The driver's partition holds exactly the p1 subscriptions the
+      // owner worker's does, so the skip-when-unsubscribed fast path can
+      // be decided locally without a round trip.
+      if (part->subscription_count() > 0) {
+        const auto oit = worker_of_stream.find(pr.run->stream());
+        if (oit == worker_of_stream.end()) {
+          throw std::invalid_argument{
+              "Cosmos: federated trace event on non-source stream " +
+              pr.run->stream()};
+        }
+        pr.job = next_job++;
+        pr.awaiting = true;
+        send(oit->second, wire::encode_match_request({pr.job, *pr.run}));
+      }
+      pc.runs.push_back(std::move(pr));
+    }
+    pending.push_back(std::move(pc));
+    ++report.chunks;
+    report.driver.dispatch_cpu_seconds += thread_cpu_seconds() - cpu0;
+  }
+
+  /// Awaits the oldest in-flight chunk's match responses, routes them into
+  /// per-engine executes, and broadcasts the chunk watermark.
+  void complete_front() {
+    PendingChunk chunk = std::move(pending.front());
+    pending.pop_front();
+
+    std::vector<wire::MatchResponseMsg> responses(chunk.runs.size());
+    {
+      const TimePoint wait0 = Clock::now();
+      std::unique_lock lock{mu};
+      wait_for(lock, [&] {
+        for (const auto& pr : chunk.runs) {
+          if (pr.awaiting && !match_responses.contains(pr.job)) return false;
+        }
+        return true;
+      });
+      report.driver.match_wait_seconds += seconds_since(wait0);
+      for (std::size_t i = 0; i < chunk.runs.size(); ++i) {
+        if (!chunk.runs[i].awaiting) continue;
+        auto node = match_responses.extract(chunk.runs[i].job);
+        responses[i] = std::move(node.mapped());
+      }
+    }
+
+    route_and_execute(chunk, responses);
+    // Watermark after the chunk's executes (FIFO orders it behind them on
+    // every channel): join-state pruning then only drops tuples no future
+    // in-order arrival can pair with, so results are unchanged.
+    broadcast(wire::encode_watermark({chunk.last_ts}));
+  }
+
+  /// The route stage of run(), verbatim but frame-producing: union of
+  /// matched rows per subscriber engine (a tuple reaches an engine once
+  /// however many subscriptions matched), per-engine batches in run order.
+  void route_and_execute(const PendingChunk& chunk,
+                         std::vector<wire::MatchResponseMsg>& responses) {
+    const double route_cpu0 = thread_cpu_seconds();
+    std::map<NodeId, std::vector<wire::Frame>> per_node;  // ordered dispatch
+    std::map<NodeId, std::vector<char>> mask_of;
+    for (std::size_t i = 0; i < chunk.runs.size(); ++i) {
+      const auto& run = *chunk.runs[i].run;
+      mask_of.clear();
+      for (auto& [sub_id, rows] : responses[i].deliveries) {
+        const auto* sub = sys.broker_.subscription(sub_id);
+        if (sub == nullptr) {
+          throw wire::Error{
+              "Cosmos federation: match response names unknown subscription"};
+        }
+        if (sys.p2_owner_.contains(sub_id)) continue;
+        auto& mask =
+            mask_of.try_emplace(sub->subscriber, run.size(), char{0})
+                .first->second;
+        for (const auto row : rows) {
+          if (row >= mask.size()) {
+            throw wire::Error{"Cosmos federation: matched row out of range"};
+          }
+          mask[row] = 1;
+        }
+      }
+      for (const auto& [node, mask] : mask_of) {
+        const auto eit = sys.engines_.find(node);
+        if (eit == sys.engines_.end() ||
+            !eit->second->has_stream(run.stream())) {
+          continue;
+        }
+        std::size_t matched_rows = 0;
+        for (const char m : mask) matched_rows += m != 0;
+        if (matched_rows == 0) continue;
+        wire::ExecuteMsg exec;
+        exec.engine = node;
+        if (matched_rows < run.size()) {
+          std::vector<std::uint32_t> rows;
+          rows.reserve(matched_rows);
+          for (std::uint32_t r = 0; r < mask.size(); ++r) {
+            if (mask[r] != 0) rows.push_back(r);
+          }
+          exec.batch = run.select(rows);
+        } else {
+          exec.batch = run;
+        }
+        per_node[node].push_back(wire::encode_execute(exec));
+      }
+    }
+    report.driver.route_cpu_seconds += thread_cpu_seconds() - route_cpu0;
+
+    const double dispatch_cpu0 = thread_cpu_seconds();
+    for (auto& [node, frames] : per_node) {
+      const std::size_t w = worker_of_engine.at(node);
+      for (auto& f : frames) send(w, std::move(f));
+    }
+    report.driver.dispatch_cpu_seconds += thread_cpu_seconds() - dispatch_cpu0;
+  }
+
+  // --- live migration ------------------------------------------------------
+
+  void run_migrations_due(stream::Timestamp now) {
+    while (next_migration < options.migrations.size() &&
+           options.migrations[next_migration].at_ms <= now) {
+      migrate(options.migrations[next_migration]);
+      ++next_migration;
+    }
+  }
+
+  /// Drain -> serialize -> handoff: quiesce the source worker, pull the
+  /// engine's serialized join state off it, and redeploy units + state on
+  /// the destination. In-flight window must be empty first — otherwise a
+  /// pending chunk could still route executes to the source.
+  void migrate(const FederationOptions::Migration& m) {
+    const auto wit = worker_of_engine.find(m.engine);
+    if (wit == worker_of_engine.end()) {
+      throw std::invalid_argument{"Cosmos: migration of unknown engine " +
+                                  std::to_string(m.engine.value())};
+    }
+    const std::size_t src = wit->second;
+    const std::size_t dst = m.to_worker % workers.size();
+    if (src == dst) return;
+
+    while (!pending.empty()) complete_front();
+    flush_worker(src);
+    drain_deliver();
+
+    send(src, wire::encode_migrate_out({m.engine}));
+    wire::StateHandoffMsg handed;
+    std::uint64_t handed_bytes = 0;
+    {
+      std::unique_lock lock{mu};
+      wait_for(lock, [&] { return handoff.has_value(); });
+      handed = std::move(*handoff);
+      handoff.reset();
+      handed_bytes = handoff_wire_bytes;
+    }
+    if (handed.engine != m.engine) {
+      throw std::runtime_error{
+          "Cosmos federation: state handoff for an unexpected engine"};
+    }
+
+    wire::MigrateInMsg in;
+    in.engine = m.engine;
+    for (const auto& [uid, unit] : sys.units_) {
+      if (unit.host != m.engine) continue;
+      in.units.push_back({unit.id, unit.host, unit.result_stream, unit.spec});
+    }
+    in.state = std::move(handed.units);
+    send(dst, wire::encode_migrate_in(in));
+    {
+      std::unique_lock lock{mu};
+      wait_for(lock, [&] { return migrate_ack.has_value(); });
+      migrate_ack.reset();
+    }
+
+    wit->second = dst;
+    ++report.federation.migrations;
+    report.federation.state_bytes_migrated += handed_bytes;
+  }
+
+  // --- end of session ------------------------------------------------------
+
+  /// Worker p1 matching shares + the driver's own p2 delivery share = the
+  /// totals the in-process broker would have accounted.
+  void collect_traffic() {
+    {
+      std::lock_guard lock{mu};
+      traffic_reports.clear();
+    }
+    broadcast(wire::encode_traffic_request());
+    pubsub::TrafficStats merged;
+    {
+      std::unique_lock lock{mu};
+      wait_for(lock, [&] { return traffic_reports.size() >= workers.size(); });
+      for (const auto& t : traffic_reports) merged.merge(t);
+    }
+    merged.merge(sys.broker_.traffic());
+    report.federation.matched_traffic = std::move(merged);
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard lock{mu};
+      expect_close = true;
+    }
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      try {
+        send(w, wire::encode_bye());
+      } catch (const std::exception&) {
+        // Channel already dead; its fault was or will be reported.
+      }
+      workers[w].channel->close();
+    }
+    for (const auto& w : workers) {
+      WireLinkStats link;
+      link.endpoint = w.endpoint;
+      link.bytes_sent = w.channel->bytes_sent();
+      link.bytes_received = w.channel->bytes_received();
+      link.frames_sent = w.channel->frames_sent();
+      link.frames_received = w.channel->frames_received();
+      report.federation.links.push_back(std::move(link));
+    }
+  }
+
+  RunReport run(const std::vector<runtime::TraceEvent>& events) {
+    connect_all();
+    replicate();
+
+    const std::size_t results_before = sys.results_delivered_;
+    const std::size_t window =
+        options.max_inflight_chunks == 0 ? 1 : options.max_inflight_chunks;
+    const TimePoint ingest_start = Clock::now();
+    const double driver_cpu_start = thread_cpu_seconds();
+
+    runtime::Driver driver{
+        {options.batch_size, options.tick_ms},
+        [&](runtime::Chunk&& chunk) {
+          run_migrations_due(chunk.first_ts);
+          dispatch(std::move(chunk));
+          while (pending.size() >= window) complete_front();
+          drain_deliver();  // keep the p2 inbox bounded in practice
+        }};
+    for (const auto& ev : events) driver.push(ev.stream, ev.tuple);
+    driver.finish();
+
+    while (!pending.empty()) complete_front();
+    // Flush acks follow each worker's last results on its FIFO channel, so
+    // after this barrier the inbox holds every result of the run.
+    flush_all();
+    drain_deliver();
+    report.ingest_seconds = seconds_since(ingest_start);
+    report.driver_cpu_seconds = thread_cpu_seconds() - driver_cpu_start;
+
+    collect_traffic();
+    shutdown();
+
+    report.tuples = driver.tuples();
+    report.results_delivered = sys.results_delivered_ - results_before;
+    report.federation.workers = workers.size();
+    return std::move(report);
+  }
+};
+
+Cosmos::RunReport Cosmos::run_federated(
+    const std::vector<runtime::TraceEvent>& events,
+    const FederationOptions& options) {
+  if (options.workers.empty()) {
+    throw std::invalid_argument{"Cosmos: run_federated needs >= 1 worker"};
+  }
+  Fed fed{*this, options};
+  return fed.run(events);
+}
+
+}  // namespace cosmos::middleware

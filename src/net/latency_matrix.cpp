@@ -29,6 +29,34 @@ LatencyMatrix::LatencyMatrix(const Topology& topo,
   }
 }
 
+LatencyMatrix::LatencyMatrix(std::vector<NodeId> members,
+                             const std::vector<double>& dense)
+    : members_(std::move(members)) {
+  if (dense.size() != members_.size() * members_.size()) {
+    throw std::invalid_argument{"LatencyMatrix: dense block is not members^2"};
+  }
+  index_.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!index_.emplace(members_[i], i).second) {
+      throw std::invalid_argument{"LatencyMatrix: duplicate member"};
+    }
+  }
+  dist_.resize(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    dist_[i].assign(dense.begin() + static_cast<std::ptrdiff_t>(
+                                        i * members_.size()),
+                    dense.begin() + static_cast<std::ptrdiff_t>(
+                                        (i + 1) * members_.size()));
+  }
+}
+
+std::vector<double> LatencyMatrix::dense() const {
+  std::vector<double> out;
+  out.reserve(members_.size() * members_.size());
+  for (const auto& row : dist_) out.insert(out.end(), row.begin(), row.end());
+  return out;
+}
+
 double LatencyMatrix::latency(NodeId a, NodeId b) const {
   const auto ia = index_.find(a);
   const auto ib = index_.find(b);

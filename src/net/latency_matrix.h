@@ -21,6 +21,12 @@ class LatencyMatrix {
   /// Runs Dijkstra from each member; O(|members| * E log V).
   LatencyMatrix(const Topology& topo, const std::vector<NodeId>& members);
 
+  /// Rebuilds a matrix from its dense() serialization — members in order
+  /// plus the row-major |members|^2 latency block. Used by federation nodes
+  /// to reconstruct the driver's matrix bit-exactly (same doubles, same
+  /// overlay tree). Throws std::invalid_argument on a size mismatch.
+  LatencyMatrix(std::vector<NodeId> members, const std::vector<double>& dense);
+
   /// End-to-end latency (ms). Both nodes must be members.
   [[nodiscard]] double latency(NodeId a, NodeId b) const;
 
@@ -34,6 +40,10 @@ class LatencyMatrix {
   /// The member minimizing total latency to all of `subset` (the paper's
   /// "median", Section 3.3). `subset` entries must be members.
   [[nodiscard]] NodeId median(const std::vector<NodeId>& subset) const;
+
+  /// Row-major |members|^2 latency block, indexed like members(). The wire
+  /// serialization of this matrix.
+  [[nodiscard]] std::vector<double> dense() const;
 
  private:
   std::vector<NodeId> members_;

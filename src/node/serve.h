@@ -1,0 +1,18 @@
+// One daemon session: wraps a connected socket in a FrameChannel and
+// drives a Site from the frames on it. Factored out of tools/cosmos_noded
+// so tests can serve a session on an in-process thread against a real
+// socket pair without spawning the binary.
+#pragma once
+
+#include "wire/socket.h"
+
+namespace cosmos::node {
+
+/// Serves frames on `socket` until kBye, peer close or failure. The first
+/// frame must be kHello; it fixes the session's runtime shard count and
+/// emulated send delay. On any error a best-effort kError frame is sent
+/// before returning. Returns true for an orderly end (kBye or clean peer
+/// close), false when the session died on an error.
+bool serve_connection(wire::Socket socket);
+
+}  // namespace cosmos::node

@@ -1,0 +1,246 @@
+#include "node/site.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cosmos::node {
+
+using wire::Frame;
+using wire::FrameType;
+
+Site::Site(Options options)
+    : options_(options),
+      rt_({options.shards, options.queue_capacity}) {
+  rt_.start();
+}
+
+Site::~Site() { rt_.stop(); }
+
+pubsub::BrokerNetwork& Site::broker() {
+  if (!broker_) {
+    throw wire::Error{"node: frame before kTopology established the broker"};
+  }
+  return *broker_;
+}
+
+stream::Engine& Site::engine_at(NodeId node) {
+  auto& slot = engines_[node];
+  if (!slot) {
+    slot = std::make_unique<stream::Engine>();
+    shard_of_.emplace(node.value(), next_shard_++ % rt_.shards());
+  }
+  return *slot;
+}
+
+void Site::sync_runtime() {
+  rt_.drain();
+  if (const auto error = rt_.first_error()) {
+    throw std::runtime_error{"node: shard execution failed: " + *error};
+  }
+}
+
+void Site::ship_results(std::vector<Frame>& out) {
+  results_.drain_into(result_scratch_);
+  if (result_scratch_.empty()) return;
+  wire::ResultMsg msg;
+  msg.events = std::move(result_scratch_);
+  out.push_back(wire::encode_result(msg));
+  result_scratch_.clear();
+}
+
+bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
+  bool keep_going = true;
+  switch (frame.type) {
+    case FrameType::kHello: {
+      hello_ = wire::decode_hello(frame);
+      out.push_back(wire::encode_hello_ack(
+          {"cosmos_noded worker " + std::to_string(hello_.worker_index)}));
+      break;
+    }
+    case FrameType::kTopology:
+      on_topology(wire::decode_topology(frame));
+      break;
+    case FrameType::kRegisterStream: {
+      auto m = wire::decode_register_stream(frame);
+      broker().advertise(m.stream, m.publisher, std::move(m.schema));
+      break;
+    }
+    case FrameType::kSubscribe:
+      broker().subscribe_as(wire::decode_subscribe(frame).sub);
+      break;
+    case FrameType::kDeployUnit:
+      on_deploy(wire::decode_deploy_unit(frame));
+      break;
+    case FrameType::kMatchRequest:
+      on_match(wire::decode_match_request(frame), out);
+      break;
+    case FrameType::kExecute:
+      on_execute(wire::decode_execute(frame));
+      break;
+    case FrameType::kWatermark:
+      on_watermark(wire::decode_watermark(frame));
+      break;
+    case FrameType::kFlush: {
+      const auto m = wire::decode_flush(frame);
+      sync_runtime();
+      ship_results(out);
+      out.push_back(wire::encode_flush_ack({m.seq}));
+      break;
+    }
+    case FrameType::kMigrateOut:
+      on_migrate_out(wire::decode_migrate_out(frame), out);
+      break;
+    case FrameType::kMigrateIn:
+      on_migrate_in(wire::decode_migrate_in(frame), out);
+      break;
+    case FrameType::kTrafficRequest: {
+      wire::TrafficReportMsg report;
+      if (broker_) report.traffic = broker_->traffic();
+      out.push_back(wire::encode_traffic_report(report));
+      break;
+    }
+    case FrameType::kBye:
+      sync_runtime();
+      ship_results(out);
+      keep_going = false;
+      break;
+    default:
+      throw wire::Error{std::string{"node: unexpected frame "} +
+                        wire::to_string(frame.type)};
+  }
+  // Results any shard produced meanwhile piggyback on whatever frame we
+  // were handling (the driver drains them continuously).
+  ship_results(out);
+  return keep_going;
+}
+
+void Site::on_topology(const wire::TopologyMsg& m) {
+  if (broker_) throw wire::Error{"node: duplicate kTopology"};
+  lat_ = net::LatencyMatrix{m.members, m.dense};
+  broker_.emplace(m.participants, lat_,
+                  pubsub::BrokerNetwork::Options{m.use_index});
+}
+
+void Site::on_deploy(wire::DeployUnitMsg m) {
+  if (units_.contains(m.unit_id)) {
+    throw wire::Error{"node: duplicate unit id " + std::to_string(m.unit_id)};
+  }
+  Unit unit;
+  unit.id = m.unit_id;
+  unit.host = m.host;
+  unit.result_stream = std::move(m.result_stream);
+  unit.spec = std::move(m.spec);
+  auto& engine = engine_at(unit.host);
+  for (const auto& src : unit.spec.sources) {
+    if (!engine.has_stream(src.stream)) {
+      engine.register_stream(src.stream, broker().schema(src.stream));
+    }
+  }
+  // Same (spec, result_stream) pair the driver compiled: plan construction
+  // is deterministic, so this plan is the driver's plan.
+  unit.plan = std::make_unique<query::CompiledQuery>(engine, unit.spec,
+                                                     unit.result_stream);
+  unit.result_tap = engine.attach(
+      unit.result_stream,
+      [this, rs = unit.result_stream](const stream::Tuple& t) {
+        // Fires on a shard worker; park the result for the serve thread.
+        results_.push({rs, t});
+      });
+  units_.emplace(unit.id, std::move(unit));
+}
+
+void Site::on_match(const wire::MatchRequestMsg& m,
+                    std::vector<Frame>& out) {
+  auto* part = broker().partition(m.batch.stream());
+  if (part == nullptr) {
+    throw wire::Error{"node: match request for unadvertised stream " +
+                      m.batch.stream()};
+  }
+  // Inline on the serve thread: this Site's partitions are matched nowhere
+  // else, so the single-owner discipline holds without locking, and the
+  // partition's traffic accounting is exactly the in-process p1 share of
+  // the streams this worker owns.
+  std::vector<pubsub::BatchDelivery> deliveries;
+  part->match_batch(m.batch, deliveries);
+  wire::MatchResponseMsg resp;
+  resp.job = m.job;
+  resp.deliveries.reserve(deliveries.size());
+  for (auto& d : deliveries) {
+    resp.deliveries.emplace_back(d.sub->id, std::move(d.rows));
+  }
+  out.push_back(wire::encode_match_response(resp));
+}
+
+void Site::on_execute(wire::ExecuteMsg m) {
+  const auto it = engines_.find(m.engine);
+  if (it == engines_.end()) {
+    throw wire::Error{"node: execute for engine " +
+                      std::to_string(m.engine.value()) + " not hosted here"};
+  }
+  runtime::Runtime::Task task;
+  task.engine = it->second.get();
+  task.engine_id = m.engine.value();
+  task.runs.push_back(std::move(m.batch));
+  rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
+}
+
+void Site::on_watermark(const wire::WatermarkMsg& m) {
+  // Watermarks prune join state, which only a task on the owning shard may
+  // touch (the serve thread must not race an executing engine). Dispatch
+  // one pruning task per unit; shard FIFO orders it after every execute
+  // the driver sent before this watermark.
+  for (auto& [uid, unit] : units_) {
+    runtime::Runtime::Task task;
+    task.engine_id = unit.host.value();
+    task.match = [plan = unit.plan.get(), wm = m.watermark] {
+      plan->advance_watermark(wm);
+    };
+    rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
+  }
+}
+
+void Site::on_migrate_out(const wire::MigrateOutMsg& m,
+                          std::vector<Frame>& out) {
+  const auto eit = engines_.find(m.engine);
+  if (eit == engines_.end()) {
+    throw wire::Error{"node: migrate-out of engine " +
+                      std::to_string(m.engine.value()) + " not hosted here"};
+  }
+  // Quiesce: after the drain no task of this engine (or any other) is in
+  // flight, so exporting join state and tearing the plans down is safe.
+  sync_runtime();
+  ship_results(out);
+  wire::StateHandoffMsg handoff;
+  handoff.engine = m.engine;
+  for (auto& [uid, unit] : units_) {
+    if (unit.host != m.engine) continue;
+    handoff.units.push_back({unit.id, unit.plan->export_join_state()});
+  }
+  // Tear down the units (plan destructors detach their engine taps), then
+  // drop the engine itself: a later migrate-in of the same node must start
+  // from a blank engine or stream re-registration would throw.
+  for (const auto& u : handoff.units) units_.erase(u.unit_id);
+  engines_.erase(eit);
+  shard_of_.erase(m.engine.value());
+  out.push_back(wire::encode_state_handoff(handoff));
+}
+
+void Site::on_migrate_in(wire::MigrateInMsg m, std::vector<Frame>& out) {
+  for (auto& deploy : m.units) {
+    if (deploy.host != m.engine) {
+      throw wire::Error{"node: migrate-in unit hosted on a different node"};
+    }
+    on_deploy(std::move(deploy));
+  }
+  for (auto& state : m.state) {
+    const auto it = units_.find(state.unit_id);
+    if (it == units_.end()) {
+      throw wire::Error{"node: migrate-in state for unknown unit " +
+                        std::to_string(state.unit_id)};
+    }
+    it->second.plan->import_join_state(std::move(state.joins));
+  }
+  out.push_back(wire::encode_migrate_ack({m.engine}));
+}
+
+}  // namespace cosmos::node

@@ -1,0 +1,107 @@
+// The node half of the federation: a frame-driven execution site hosting a
+// slice of the system — a rebuilt broker overlay (for p1 subscription
+// matching of the streams it owns), the engines + compiled query plans of
+// the units deployed to it, and a local sharded runtime::Runtime executing
+// them. One Site serves one driver session; tools/cosmos_noded wraps it in
+// a process with a FrameChannel, and tests drive it in-process by handing
+// it frames directly.
+//
+// Threading: handle() is single-caller (the serve thread). Broker
+// partitions are only ever touched from handle() — match requests run
+// inline there, preserving the single-owner partition discipline — while
+// engine work (execute batches, watermarks) is dispatched into the
+// runtime's shard queues, each engine pinned to one shard. Result tuples
+// cross back via an MpscBuffer and are shipped as kResult frames at the
+// end of the handle() call that observed them; a kFlush drains the runtime
+// first, so every result precedes the ack on the (FIFO) channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/latency_matrix.h"
+#include "pubsub/broker_network.h"
+#include "query/plan.h"
+#include "runtime/queues.h"
+#include "runtime/runtime.h"
+#include "stream/engine.h"
+#include "wire/messages.h"
+
+namespace cosmos::node {
+
+class Site {
+ public:
+  struct Options {
+    std::size_t shards = 1;
+    std::size_t queue_capacity = 64;
+  };
+
+  explicit Site(Options options);
+  ~Site();
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// Handles one inbound frame, appending any frames to send back (in
+  /// order) to `out`. Returns false when the session is over (kBye).
+  /// Throws wire::Error on protocol violations and std::runtime_error when
+  /// a shard worker faulted — the caller reports kError and ends the
+  /// session either way.
+  bool handle(const wire::Frame& frame, std::vector<wire::Frame>& out);
+
+  /// Units currently deployed here (for tests).
+  [[nodiscard]] std::size_t deployed_units() const noexcept {
+    return units_.size();
+  }
+  [[nodiscard]] bool hosts_engine(NodeId node) const noexcept {
+    return engines_.contains(node);
+  }
+
+ private:
+  struct Unit {
+    std::uint32_t id = 0;
+    NodeId host;
+    std::string result_stream;
+    query::QuerySpec spec;
+    std::unique_ptr<query::CompiledQuery> plan;
+    std::size_t result_tap = 0;
+  };
+
+  void on_topology(const wire::TopologyMsg& m);
+  void on_deploy(wire::DeployUnitMsg m);
+  void on_match(const wire::MatchRequestMsg& m, std::vector<wire::Frame>& out);
+  void on_execute(wire::ExecuteMsg m);
+  void on_watermark(const wire::WatermarkMsg& m);
+  void on_migrate_out(const wire::MigrateOutMsg& m,
+                      std::vector<wire::Frame>& out);
+  void on_migrate_in(wire::MigrateInMsg m, std::vector<wire::Frame>& out);
+
+  /// The engine hosted for `node`, creating + shard-pinning it on first use.
+  stream::Engine& engine_at(NodeId node);
+  pubsub::BrokerNetwork& broker();
+  /// Drains the runtime and rethrows the first worker fault, if any.
+  void sync_runtime();
+  /// Ships everything in results_ as one kResult frame (if any).
+  void ship_results(std::vector<wire::Frame>& out);
+
+  Options options_;
+  wire::HelloMsg hello_;
+  /// Owned copy of the driver's latency matrix; broker_ points into it.
+  net::LatencyMatrix lat_;
+  std::optional<pubsub::BrokerNetwork> broker_;
+  std::map<NodeId, std::unique_ptr<stream::Engine>> engines_;
+  std::map<std::uint32_t, Unit> units_;
+  runtime::Runtime rt_;
+  /// Engine-id (NodeId::value()) -> owning shard; assigned round-robin at
+  /// engine creation.
+  std::unordered_map<std::uint64_t, std::size_t> shard_of_;
+  std::size_t next_shard_ = 0;
+  runtime::MpscBuffer<wire::ResultEventMsg> results_;
+  std::vector<wire::ResultEventMsg> result_scratch_;
+};
+
+}  // namespace cosmos::node

@@ -1,0 +1,66 @@
+#include "node/spawn.h"
+
+#include <cerrno>
+#include <csignal>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace cosmos::node {
+
+NodeProcess& NodeProcess::operator=(NodeProcess&& other) noexcept {
+  if (this != &other) {
+    kill();
+    pid_ = std::exchange(other.pid_, -1);
+    listen_address_ = std::move(other.listen_address_);
+    exit_code_ = other.exit_code_;
+    waited_ = std::exchange(other.waited_, false);
+  }
+  return *this;
+}
+
+NodeProcess::~NodeProcess() { kill(); }
+
+int NodeProcess::wait() {
+  if (waited_ || pid_ <= 0) return exit_code_;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0) {
+    if (errno != EINTR) {
+      status = 0;
+      break;
+    }
+  }
+  exit_code_ = WIFEXITED(status)     ? WEXITSTATUS(status)
+               : WIFSIGNALED(status) ? -WTERMSIG(status)
+                                     : -1;
+  waited_ = true;
+  pid_ = -1;
+  return exit_code_;
+}
+
+void NodeProcess::kill() {
+  if (waited_ || pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  (void)wait();
+}
+
+NodeProcess spawn_noded(const std::string& noded_path,
+                        const std::string& listen_address) {
+  if (::access(noded_path.c_str(), X_OK) != 0) {
+    throw std::runtime_error{"spawn_noded: not an executable: " + noded_path};
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error{"spawn_noded: fork failed"};
+  }
+  if (pid == 0) {
+    ::execl(noded_path.c_str(), noded_path.c_str(), "--listen",
+            listen_address.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed; access() above makes this unlikely
+  }
+  return NodeProcess{pid, listen_address};
+}
+
+}  // namespace cosmos::node

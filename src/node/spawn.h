@@ -1,0 +1,70 @@
+// Spawning and supervising cosmos_noded worker processes (the driver side
+// of multi-process federation). Plain fork/exec: the daemon binds its
+// listener before serving, and wire::connect_to retries the
+// connection-refused / socket-file-missing window, so no further startup
+// handshake is needed.
+#pragma once
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include <sys/types.h>
+
+namespace cosmos::node {
+
+/// A spawned cosmos_noded process. Kills (SIGKILL) and reaps the child on
+/// destruction if it has not been wait()ed.
+class NodeProcess {
+ public:
+  NodeProcess() = default;
+  NodeProcess(pid_t pid, std::string listen_address)
+      : pid_(pid), listen_address_(std::move(listen_address)) {}
+  ~NodeProcess();
+  NodeProcess(NodeProcess&& other) noexcept { *this = std::move(other); }
+  NodeProcess& operator=(NodeProcess&& other) noexcept;
+  NodeProcess(const NodeProcess&) = delete;
+  NodeProcess& operator=(const NodeProcess&) = delete;
+
+  [[nodiscard]] pid_t pid() const noexcept { return pid_; }
+  [[nodiscard]] const std::string& listen_address() const noexcept {
+    return listen_address_;
+  }
+  [[nodiscard]] bool running() const noexcept { return pid_ > 0; }
+
+  /// Blocks until the child exits; returns its exit code (or -signal when
+  /// it died on one). Idempotent — returns the recorded status again.
+  int wait();
+  /// SIGKILLs the child (if still running) and reaps it.
+  void kill();
+
+ private:
+  pid_t pid_ = -1;
+  std::string listen_address_;
+  int exit_code_ = 0;
+  bool waited_ = false;
+};
+
+/// Forks + execs `noded_path --listen <listen_address>`. Throws
+/// std::runtime_error when the fork fails or the binary is missing.
+[[nodiscard]] NodeProcess spawn_noded(const std::string& noded_path,
+                                      const std::string& listen_address);
+
+/// The cosmos_noded binary to spawn: $COSMOS_NODED_PATH if set, else the
+/// build-time COSMOS_NODED_PATH definition. Inline so the macro resolves
+/// in the *calling* translation unit — federation tests and benches are
+/// compiled with it pointing at the build's cosmos_noded target.
+[[nodiscard]] inline std::string default_noded_path() {
+  if (const char* env = std::getenv("COSMOS_NODED_PATH");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef COSMOS_NODED_PATH
+  return COSMOS_NODED_PATH;
+#else
+  throw std::runtime_error{
+      "default_noded_path: set COSMOS_NODED_PATH to the cosmos_noded binary"};
+#endif
+}
+
+}  // namespace cosmos::node

@@ -112,9 +112,26 @@ std::vector<BrokerPartition*> BrokerNetwork::partitions() {
 }
 
 SubscriptionId BrokerNetwork::subscribe(Subscription sub) {
+  sub.id = SubscriptionId{next_sub_id_++};
+  const SubscriptionId id = sub.id;
+  install(std::move(sub));
+  return id;
+}
+
+void BrokerNetwork::subscribe_as(Subscription sub) {
+  if (!sub.id.valid()) {
+    throw std::invalid_argument{"BrokerNetwork: subscribe_as without an id"};
+  }
+  if (subscriptions_.contains(sub.id)) {
+    throw std::invalid_argument{"BrokerNetwork: subscription id already taken"};
+  }
+  if (sub.id.value() >= next_sub_id_) next_sub_id_ = sub.id.value() + 1;
+  install(std::move(sub));
+}
+
+void BrokerNetwork::install(Subscription sub) {
   (void)overlay_.index_of(sub.subscriber);  // validate the home broker exists
-  const SubscriptionId id{next_sub_id_++};
-  sub.id = id;
+  const SubscriptionId id = sub.id;
   const auto streams = sub.streams;  // copied: sub is moved into the map
   const auto [it, inserted] = subscriptions_.emplace(id, std::move(sub));
   (void)inserted;
@@ -124,7 +141,12 @@ SubscriptionId BrokerNetwork::subscribe(Subscription sub) {
       pit->second->add_subscription(&it->second);
     }
   }
-  return id;
+}
+
+const Subscription* BrokerNetwork::subscription(
+    SubscriptionId id) const noexcept {
+  const auto it = subscriptions_.find(id);
+  return it == subscriptions_.end() ? nullptr : &it->second;
 }
 
 void BrokerNetwork::unsubscribe(SubscriptionId id) {

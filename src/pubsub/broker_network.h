@@ -70,7 +70,16 @@ class BrokerNetwork {
 
   /// Installs a subscription at its subscriber node; returns its id.
   SubscriptionId subscribe(Subscription sub);
+  /// Installs a subscription under the id it already carries (federation
+  /// nodes replicate driver-assigned subscriptions, and match responses
+  /// reference those ids on the wire). Throws std::invalid_argument if the
+  /// id is invalid or taken; future subscribe() ids are bumped past it.
+  void subscribe_as(Subscription sub);
   void unsubscribe(SubscriptionId id);
+
+  /// The installed subscription with this id, or nullptr.
+  [[nodiscard]] const Subscription* subscription(
+      SubscriptionId id) const noexcept;
 
   /// Publishes a tuple from the stream's advertised publisher. Matching
   /// subscriptions receive it via `callback`; link traffic is accounted.
@@ -105,10 +114,22 @@ class BrokerNetwork {
 
   [[nodiscard]] const stream::Schema& schema(const std::string& stream) const;
 
+  /// Participants in construction order (what a federation driver ships as
+  /// topology so remote brokers rebuild the identical overlay tree).
+  [[nodiscard]] const std::vector<NodeId>& participants() const noexcept {
+    return overlay_.participants;
+  }
+  /// The latency matrix this network was built over.
+  [[nodiscard]] const net::LatencyMatrix& latency_matrix() const noexcept {
+    return *overlay_.lat;
+  }
+
   /// Overlay neighbors of a node (for tests).
   [[nodiscard]] std::vector<NodeId> neighbors(NodeId n) const;
 
  private:
+  void install(Subscription sub);
+
   Overlay overlay_;
   /// stream name -> partition; std::map keeps partitions() deterministic,
   /// unique_ptr keeps partition addresses stable across inserts (shards

@@ -471,6 +471,38 @@ std::size_t CompiledQuery::state_tuples() const noexcept {
   return n;
 }
 
+std::vector<stream::WindowJoinOp::State> CompiledQuery::export_join_state()
+    const {
+  std::vector<stream::WindowJoinOp::State> out;
+  for (const auto& stage : stages_) {
+    if (stage->join) out.push_back(stage->join->export_state());
+  }
+  return out;
+}
+
+void CompiledQuery::import_join_state(
+    std::vector<stream::WindowJoinOp::State> joins) {
+  std::vector<stream::WindowJoinOp*> ops;
+  for (const auto& stage : stages_) {
+    if (stage->join) ops.push_back(stage->join.get());
+  }
+  if (ops.size() != joins.size()) {
+    throw std::invalid_argument{
+        "CompiledQuery::import_join_state: plan has " +
+        std::to_string(ops.size()) + " joins, snapshot has " +
+        std::to_string(joins.size())};
+  }
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    ops[i]->import_state(std::move(joins[i]));
+  }
+}
+
+void CompiledQuery::advance_watermark(stream::Timestamp watermark) {
+  for (const auto& stage : stages_) {
+    if (stage->join) stage->join->advance_watermark(watermark);
+  }
+}
+
 stream::PredicatePtr make_split_predicate(const ResultSplit& split) {
   std::vector<PredicatePtr> conj;
   for (const auto& p : split.residual_filters) {

@@ -64,6 +64,23 @@ class CompiledQuery {
   /// owning engine.
   [[nodiscard]] std::size_t state_tuples() const noexcept;
 
+  /// Snapshot / restore of the plan's window-join state, one entry per
+  /// join-bearing stage in plan order. Plan construction is deterministic
+  /// from (spec, result_stream), so a CompiledQuery built remotely from the
+  /// same pair accepts the export positionally — this is the migration
+  /// handoff payload. Same safety rule as state_tuples(): only call across
+  /// a drain, while no worker executes the owning engine.
+  [[nodiscard]] std::vector<stream::WindowJoinOp::State> export_join_state()
+      const;
+  /// Throws std::invalid_argument if the join count differs from the plan's.
+  void import_join_state(std::vector<stream::WindowJoinOp::State> joins);
+
+  /// Advances every join's watermark to `watermark` (no-op where already
+  /// past), pruning window state that no in-order future arrival can match.
+  /// Lets an external clock expire state on streams that have gone idle —
+  /// federated watermark frames drive this.
+  void advance_watermark(stream::Timestamp watermark);
+
  private:
   struct Stage;
   stream::Engine& engine_;

@@ -182,6 +182,36 @@ void WindowJoinOp::advance_watermark(Timestamp watermark) {
   prune_side(right_rt_, right_.window, /*is_left=*/false);
 }
 
+WindowJoinOp::State WindowJoinOp::export_state() const {
+  State s;
+  s.watermark = watermark_;
+  s.left.assign(left_rt_.buf.begin(), left_rt_.buf.end());
+  s.right.assign(right_rt_.buf.begin(), right_rt_.buf.end());
+  return s;
+}
+
+void WindowJoinOp::import_state(State state) {
+  watermark_ = state.watermark;
+  const auto load = [this](std::vector<Tuple>&& tuples, SideRuntime& rt,
+                           bool is_left) {
+    rt.buf.clear();
+    rt.index.clear();
+    rt.first_seq = 0;
+    rt.next_seq = 0;
+    for (Tuple& t : tuples) {
+      // Same insert path as push_one, sans probe: buckets end up holding
+      // ascending seqs, which prune_side's pop-front relies on.
+      if (hash_enabled_) {
+        rt.index[key_hash(t, is_left)].push_back(rt.next_seq);
+      }
+      ++rt.next_seq;
+      rt.buf.push_back(std::move(t));
+    }
+  };
+  load(std::move(state.left), left_rt_, /*is_left=*/true);
+  load(std::move(state.right), right_rt_, /*is_left=*/false);
+}
+
 void WindowJoinOp::prune_side(SideRuntime& s, const WindowSpec& window,
                               bool is_left) {
   while (!s.buf.empty() && !window.contains(s.buf.front().ts, watermark_)) {

@@ -157,6 +157,22 @@ class WindowJoinOp {
   /// an external clock can expire state on idle inputs too.
   void advance_watermark(Timestamp watermark);
 
+  /// Serializable snapshot of the operator's live state: the watermark and
+  /// both window buffers in arrival (== timestamp) order. This is the
+  /// payload a migration ships; the hash index and sequence counters are
+  /// derived state that import_state rebuilds by replaying the insert path,
+  /// so export → import on an identically-constructed operator reproduces
+  /// bit-identical future behavior.
+  struct State {
+    Timestamp watermark = INT64_MIN;
+    std::vector<Tuple> left;
+    std::vector<Tuple> right;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Replaces all live state with `state`. Tuples must be in the order
+  /// export_state produced (arrival order); nothing is re-pruned here.
+  void import_state(State state);
+
   [[nodiscard]] std::size_t left_state_size() const noexcept {
     return left_rt_.buf.size();
   }

@@ -1,0 +1,94 @@
+#include "wire/channel.h"
+
+namespace cosmos::wire {
+
+FrameChannel::FrameChannel(Socket socket, Options options)
+    : options_(options),
+      send_delay_ms_(options.send_delay_ms),
+      socket_(std::move(socket)),
+      send_queue_(options.send_queue_capacity) {
+  if (!socket_.valid()) {
+    throw Error{"wire: FrameChannel needs a connected socket"};
+  }
+  sender_ = std::thread([this] { sender_loop(); });
+}
+
+FrameChannel::~FrameChannel() { close(); }
+
+void FrameChannel::sender_loop() {
+  while (true) {
+    auto item = send_queue_.pop();
+    if (!item) return;  // queue closed and drained
+    try {
+      if (item->delay_ms > 0) {
+        // Departure at enqueue + delay: frames already "in flight" while
+        // this one waits, so the emulated latency pipelines instead of
+        // accumulating per frame.
+        std::this_thread::sleep_until(
+            item->enqueued + std::chrono::milliseconds(item->delay_ms));
+      }
+      const auto buf = encode_frame(item->frame);
+      socket_.send_all(buf.data(), buf.size());
+      bytes_sent_.fetch_add(buf.size(), std::memory_order_relaxed);
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard lock{error_mu_};
+        if (send_error_.empty()) send_error_ = e.what();
+      }
+      send_queue_.close();
+      return;
+    }
+  }
+}
+
+void FrameChannel::send(Frame frame) {
+  Outgoing out{std::move(frame), std::chrono::steady_clock::now(),
+               send_delay_ms_.load(std::memory_order_relaxed)};
+  if (!send_queue_.push(std::move(out))) {
+    const std::string err = send_error();
+    throw Error{err.empty() ? "wire: send on closed channel"
+                            : "wire: send failed: " + err};
+  }
+}
+
+std::optional<Frame> FrameChannel::recv() {
+  auto frame = recv_frame(socket_);
+  if (frame) {
+    bytes_received_.fetch_add(kFrameHeaderBytes + frame->payload.size(),
+                              std::memory_order_relaxed);
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return frame;
+}
+
+void FrameChannel::start_reader(FrameHandler on_frame, CloseHandler on_close) {
+  reader_ = std::thread([this, on_frame = std::move(on_frame),
+                         on_close = std::move(on_close)] {
+    std::string error;
+    try {
+      while (auto frame = recv()) on_frame(std::move(*frame));
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    if (on_close) on_close(error);
+  });
+}
+
+void FrameChannel::close() {
+  if (closed_.exchange(true)) return;
+  // Let queued frames flush: close() makes pop() drain-then-stop.
+  send_queue_.close();
+  if (sender_.joinable()) sender_.join();
+  // Unblock recv()/reader thread, then reclaim it.
+  socket_.shutdown_both();
+  if (reader_.joinable()) reader_.join();
+  socket_.close();
+}
+
+std::string FrameChannel::send_error() const {
+  std::lock_guard lock{error_mu_};
+  return send_error_;
+}
+
+}  // namespace cosmos::wire

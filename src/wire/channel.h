@@ -1,0 +1,124 @@
+// FrameChannel: one federation connection with the same bounded-queue
+// discipline the in-process shard queues have.
+//
+// Sending goes through a runtime::BoundedQueue<Frame> drained by a
+// dedicated sender thread, so send() exerts exactly the backpressure that
+// Runtime::dispatch() exerts on a full shard queue — the driver blocks
+// instead of buffering without limit, and per-channel FIFO order is
+// preserved (which is what keeps per-engine input order, and hence result
+// byte-identity, across processes). An optional per-frame delay emulates a
+// one-way link latency in *pipelined* fashion: each frame departs at
+// enqueue time + delay, so consecutive frames overlap in flight like they
+// would on a real link instead of serializing the delays.
+//
+// Receiving has two modes sharing one socket:
+//  - recv(): blocking pull of the next frame (the daemon's serve loop);
+//  - start_reader(on_frame, on_close): a dedicated reader thread invoking
+//    the callback per frame (the driver side, which must never stop
+//    draining the socket — that invariant is the transport's deadlock
+//    freedom argument: both endpoints always have a reader running).
+//
+// Byte/frame counters are atomic and readable from any thread; they are
+// what RunReport's per-link wire stats surface.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "runtime/queues.h"
+#include "wire/socket.h"
+
+namespace cosmos::wire {
+
+class FrameChannel {
+ public:
+  struct Options {
+    /// Send-queue capacity in frames (the bounded-queue backpressure knob,
+    /// mirroring RunOptions::queue_capacity).
+    std::size_t send_queue_capacity = 64;
+    /// Emulated one-way link latency applied to every outgoing frame.
+    std::int64_t send_delay_ms = 0;
+  };
+
+  /// Takes ownership of a connected socket and starts the sender thread.
+  FrameChannel(Socket socket, Options options);
+  explicit FrameChannel(Socket socket) : FrameChannel(std::move(socket),
+                                                      Options{}) {}
+  ~FrameChannel();
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  /// Enqueues a frame; blocks while the send queue is full. Throws
+  /// wire::Error if the channel is closed or the sender hit a socket error.
+  void send(Frame frame);
+
+  /// Blocking receive (serve-loop mode; do not mix with start_reader).
+  /// Returns nullopt on clean peer close. Throws wire::Error on transport
+  /// or codec failures.
+  [[nodiscard]] std::optional<Frame> recv();
+
+  /// Reader-thread mode: `on_frame` runs on the reader thread per frame;
+  /// `on_close` runs once when the peer closes or errors (the what()
+  /// string is passed, empty for a clean close).
+  using FrameHandler = std::function<void(Frame)>;
+  using CloseHandler = std::function<void(const std::string& error)>;
+  void start_reader(FrameHandler on_frame, CloseHandler on_close);
+
+  /// Flushes queued frames, shuts the socket down and joins the threads.
+  /// Safe to call repeatedly and from either side of a peer close.
+  void close();
+
+  /// First sender-side error, if any ("" = none) — send() rethrows it.
+  [[nodiscard]] std::string send_error() const;
+
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_received() const noexcept {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t send_delay_ms() const noexcept {
+    return send_delay_ms_.load(std::memory_order_relaxed);
+  }
+  /// Applies to frames enqueued after the call. The daemon side learns its
+  /// emulated link delay from the kHello frame, after the channel exists.
+  void set_send_delay_ms(std::int64_t delay_ms) noexcept {
+    send_delay_ms_.store(delay_ms, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Outgoing {
+    Frame frame;
+    std::chrono::steady_clock::time_point enqueued;
+    std::int64_t delay_ms = 0;  ///< snapshot of send_delay_ms_ at enqueue
+  };
+  void sender_loop();
+
+  Options options_;
+  std::atomic<std::int64_t> send_delay_ms_{0};
+  Socket socket_;
+  runtime::BoundedQueue<Outgoing> send_queue_;
+  std::thread sender_;
+  std::thread reader_;
+  std::atomic<bool> closed_{false};
+  mutable std::mutex error_mu_;
+  std::string send_error_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+};
+
+}  // namespace cosmos::wire

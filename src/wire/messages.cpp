@@ -1,0 +1,423 @@
+#include "wire/messages.h"
+
+namespace cosmos::wire {
+namespace {
+
+/// Every element of a counted list occupies at least one byte, so a count
+/// larger than the bytes left is a corrupt prefix — reject before resize.
+void check_count(std::uint64_t count, std::size_t remaining,
+                 const char* what) {
+  if (count > remaining) {
+    throw Error{std::string{"wire: implausible "} + what + " count " +
+                std::to_string(count)};
+  }
+}
+
+[[nodiscard]] Frame finish(FrameType type, Writer&& w) {
+  return Frame{type, w.take()};
+}
+
+[[nodiscard]] Reader open(const Frame& f, FrameType expect) {
+  if (f.type != expect) {
+    throw Error{std::string{"wire: expected "} + to_string(expect) +
+                " frame, got " + to_string(f.type)};
+  }
+  return Reader{f.payload};
+}
+
+void encode_node_id(Writer& w, NodeId id) { w.u32(id.value()); }
+[[nodiscard]] NodeId decode_node_id(Reader& r) { return NodeId{r.u32()}; }
+
+void encode_unit_state(Writer& w, const UnitStateMsg& u) {
+  w.u32(u.unit_id);
+  encode_join_state(w, u.joins);
+}
+
+[[nodiscard]] UnitStateMsg decode_unit_state(Reader& r) {
+  UnitStateMsg u;
+  u.unit_id = r.u32();
+  u.joins = decode_join_state(r);
+  return u;
+}
+
+void encode_deploy_payload(Writer& w, const DeployUnitMsg& m) {
+  w.u32(m.unit_id);
+  encode_node_id(w, m.host);
+  w.str(m.result_stream);
+  encode_query_spec(w, m.spec);
+}
+
+[[nodiscard]] DeployUnitMsg decode_deploy_payload(Reader& r) {
+  DeployUnitMsg m;
+  m.unit_id = r.u32();
+  m.host = decode_node_id(r);
+  m.result_stream = r.str();
+  m.spec = decode_query_spec(r);
+  return m;
+}
+
+}  // namespace
+
+Frame encode_hello(const HelloMsg& m) {
+  Writer w;
+  w.u32(m.worker_index);
+  w.u32(m.shards);
+  w.i64(m.send_delay_ms);
+  return finish(FrameType::kHello, std::move(w));
+}
+
+HelloMsg decode_hello(const Frame& f) {
+  auto r = open(f, FrameType::kHello);
+  HelloMsg m;
+  m.worker_index = r.u32();
+  m.shards = r.u32();
+  m.send_delay_ms = r.i64();
+  r.done();
+  return m;
+}
+
+Frame encode_hello_ack(const HelloAckMsg& m) {
+  Writer w;
+  w.str(m.info);
+  return finish(FrameType::kHelloAck, std::move(w));
+}
+
+HelloAckMsg decode_hello_ack(const Frame& f) {
+  auto r = open(f, FrameType::kHelloAck);
+  HelloAckMsg m;
+  m.info = r.str();
+  r.done();
+  return m;
+}
+
+Frame encode_topology(const TopologyMsg& m) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(m.participants.size()));
+  for (NodeId id : m.participants) encode_node_id(w, id);
+  w.u32(static_cast<std::uint32_t>(m.members.size()));
+  for (NodeId id : m.members) encode_node_id(w, id);
+  if (m.dense.size() != m.members.size() * m.members.size()) {
+    throw Error{"wire: topology dense matrix is not members^2"};
+  }
+  for (double d : m.dense) w.f64(d);
+  w.u8(m.use_index ? 1 : 0);
+  return finish(FrameType::kTopology, std::move(w));
+}
+
+TopologyMsg decode_topology(const Frame& f) {
+  auto r = open(f, FrameType::kTopology);
+  TopologyMsg m;
+  const std::uint32_t participants = r.u32();
+  check_count(participants, r.remaining(), "topology participant");
+  m.participants.reserve(participants);
+  for (std::uint32_t i = 0; i < participants; ++i) {
+    m.participants.push_back(decode_node_id(r));
+  }
+  const std::uint32_t members = r.u32();
+  check_count(members, r.remaining(), "topology member");
+  m.members.reserve(members);
+  for (std::uint32_t i = 0; i < members; ++i) {
+    m.members.push_back(decode_node_id(r));
+  }
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(members) * members;
+  check_count(cells, r.remaining(), "topology matrix cell");
+  m.dense.reserve(cells);
+  for (std::uint64_t i = 0; i < cells; ++i) m.dense.push_back(r.f64());
+  m.use_index = r.u8() != 0;
+  r.done();
+  return m;
+}
+
+Frame encode_register_stream(const RegisterStreamMsg& m) {
+  Writer w;
+  w.str(m.stream);
+  encode_node_id(w, m.publisher);
+  encode_schema(w, m.schema);
+  return finish(FrameType::kRegisterStream, std::move(w));
+}
+
+RegisterStreamMsg decode_register_stream(const Frame& f) {
+  auto r = open(f, FrameType::kRegisterStream);
+  RegisterStreamMsg m;
+  m.stream = r.str();
+  m.publisher = decode_node_id(r);
+  m.schema = decode_schema(r);
+  r.done();
+  return m;
+}
+
+Frame encode_subscribe(const SubscribeMsg& m) {
+  Writer w;
+  encode_subscription(w, m.sub);
+  return finish(FrameType::kSubscribe, std::move(w));
+}
+
+SubscribeMsg decode_subscribe(const Frame& f) {
+  auto r = open(f, FrameType::kSubscribe);
+  SubscribeMsg m;
+  m.sub = decode_subscription(r);
+  r.done();
+  return m;
+}
+
+Frame encode_deploy_unit(const DeployUnitMsg& m) {
+  Writer w;
+  encode_deploy_payload(w, m);
+  return finish(FrameType::kDeployUnit, std::move(w));
+}
+
+DeployUnitMsg decode_deploy_unit(const Frame& f) {
+  auto r = open(f, FrameType::kDeployUnit);
+  DeployUnitMsg m = decode_deploy_payload(r);
+  r.done();
+  return m;
+}
+
+Frame encode_match_request(const MatchRequestMsg& m) {
+  Writer w;
+  w.u64(m.job);
+  encode_batch(w, m.batch);
+  return finish(FrameType::kMatchRequest, std::move(w));
+}
+
+MatchRequestMsg decode_match_request(const Frame& f) {
+  auto r = open(f, FrameType::kMatchRequest);
+  MatchRequestMsg m;
+  m.job = r.u64();
+  m.batch = decode_batch(r);
+  r.done();
+  return m;
+}
+
+Frame encode_match_response(const MatchResponseMsg& m) {
+  Writer w;
+  w.u64(m.job);
+  w.u32(static_cast<std::uint32_t>(m.deliveries.size()));
+  for (const auto& [sub, rows] : m.deliveries) {
+    w.u32(sub.value());
+    w.u32(static_cast<std::uint32_t>(rows.size()));
+    for (std::uint32_t row : rows) w.u32(row);
+  }
+  return finish(FrameType::kMatchResponse, std::move(w));
+}
+
+MatchResponseMsg decode_match_response(const Frame& f) {
+  auto r = open(f, FrameType::kMatchResponse);
+  MatchResponseMsg m;
+  m.job = r.u64();
+  const std::uint32_t deliveries = r.u32();
+  check_count(deliveries, r.remaining(), "match delivery");
+  m.deliveries.reserve(deliveries);
+  for (std::uint32_t i = 0; i < deliveries; ++i) {
+    const SubscriptionId sub{r.u32()};
+    const std::uint32_t rows = r.u32();
+    check_count(rows, r.remaining(), "matched row");
+    std::vector<std::uint32_t> indices;
+    indices.reserve(rows);
+    for (std::uint32_t j = 0; j < rows; ++j) indices.push_back(r.u32());
+    m.deliveries.emplace_back(sub, std::move(indices));
+  }
+  r.done();
+  return m;
+}
+
+Frame encode_execute(const ExecuteMsg& m) {
+  Writer w;
+  encode_node_id(w, m.engine);
+  encode_batch(w, m.batch);
+  return finish(FrameType::kExecute, std::move(w));
+}
+
+ExecuteMsg decode_execute(const Frame& f) {
+  auto r = open(f, FrameType::kExecute);
+  ExecuteMsg m;
+  m.engine = decode_node_id(r);
+  m.batch = decode_batch(r);
+  r.done();
+  return m;
+}
+
+Frame encode_result(const ResultMsg& m) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(m.events.size()));
+  for (const auto& e : m.events) {
+    w.str(e.stream);
+    encode_tuple(w, e.tuple);
+  }
+  return finish(FrameType::kResult, std::move(w));
+}
+
+ResultMsg decode_result(const Frame& f) {
+  auto r = open(f, FrameType::kResult);
+  ResultMsg m;
+  const std::uint32_t events = r.u32();
+  check_count(events, r.remaining(), "result event");
+  m.events.reserve(events);
+  for (std::uint32_t i = 0; i < events; ++i) {
+    ResultEventMsg e;
+    e.stream = r.str();
+    e.tuple = decode_tuple(r);
+    m.events.push_back(std::move(e));
+  }
+  r.done();
+  return m;
+}
+
+Frame encode_watermark(const WatermarkMsg& m) {
+  Writer w;
+  w.i64(m.watermark);
+  return finish(FrameType::kWatermark, std::move(w));
+}
+
+WatermarkMsg decode_watermark(const Frame& f) {
+  auto r = open(f, FrameType::kWatermark);
+  WatermarkMsg m;
+  m.watermark = r.i64();
+  r.done();
+  return m;
+}
+
+Frame encode_flush(const FlushMsg& m) {
+  Writer w;
+  w.u64(m.seq);
+  return finish(FrameType::kFlush, std::move(w));
+}
+
+FlushMsg decode_flush(const Frame& f) {
+  auto r = open(f, FrameType::kFlush);
+  FlushMsg m;
+  m.seq = r.u64();
+  r.done();
+  return m;
+}
+
+Frame encode_flush_ack(const FlushAckMsg& m) {
+  Writer w;
+  w.u64(m.seq);
+  return finish(FrameType::kFlushAck, std::move(w));
+}
+
+FlushAckMsg decode_flush_ack(const Frame& f) {
+  auto r = open(f, FrameType::kFlushAck);
+  FlushAckMsg m;
+  m.seq = r.u64();
+  r.done();
+  return m;
+}
+
+Frame encode_migrate_out(const MigrateOutMsg& m) {
+  Writer w;
+  encode_node_id(w, m.engine);
+  return finish(FrameType::kMigrateOut, std::move(w));
+}
+
+MigrateOutMsg decode_migrate_out(const Frame& f) {
+  auto r = open(f, FrameType::kMigrateOut);
+  MigrateOutMsg m;
+  m.engine = decode_node_id(r);
+  r.done();
+  return m;
+}
+
+Frame encode_state_handoff(const StateHandoffMsg& m) {
+  Writer w;
+  encode_node_id(w, m.engine);
+  w.u32(static_cast<std::uint32_t>(m.units.size()));
+  for (const auto& u : m.units) encode_unit_state(w, u);
+  return finish(FrameType::kStateHandoff, std::move(w));
+}
+
+StateHandoffMsg decode_state_handoff(const Frame& f) {
+  auto r = open(f, FrameType::kStateHandoff);
+  StateHandoffMsg m;
+  m.engine = decode_node_id(r);
+  const std::uint32_t units = r.u32();
+  check_count(units, r.remaining(), "handoff unit");
+  m.units.reserve(units);
+  for (std::uint32_t i = 0; i < units; ++i) {
+    m.units.push_back(decode_unit_state(r));
+  }
+  r.done();
+  return m;
+}
+
+Frame encode_migrate_in(const MigrateInMsg& m) {
+  Writer w;
+  encode_node_id(w, m.engine);
+  w.u32(static_cast<std::uint32_t>(m.units.size()));
+  for (const auto& u : m.units) encode_deploy_payload(w, u);
+  w.u32(static_cast<std::uint32_t>(m.state.size()));
+  for (const auto& u : m.state) encode_unit_state(w, u);
+  return finish(FrameType::kMigrateIn, std::move(w));
+}
+
+MigrateInMsg decode_migrate_in(const Frame& f) {
+  auto r = open(f, FrameType::kMigrateIn);
+  MigrateInMsg m;
+  m.engine = decode_node_id(r);
+  const std::uint32_t units = r.u32();
+  check_count(units, r.remaining(), "migrate-in unit");
+  m.units.reserve(units);
+  for (std::uint32_t i = 0; i < units; ++i) {
+    m.units.push_back(decode_deploy_payload(r));
+  }
+  const std::uint32_t states = r.u32();
+  check_count(states, r.remaining(), "migrate-in state");
+  m.state.reserve(states);
+  for (std::uint32_t i = 0; i < states; ++i) {
+    m.state.push_back(decode_unit_state(r));
+  }
+  r.done();
+  return m;
+}
+
+Frame encode_migrate_ack(const MigrateAckMsg& m) {
+  Writer w;
+  encode_node_id(w, m.engine);
+  return finish(FrameType::kMigrateAck, std::move(w));
+}
+
+MigrateAckMsg decode_migrate_ack(const Frame& f) {
+  auto r = open(f, FrameType::kMigrateAck);
+  MigrateAckMsg m;
+  m.engine = decode_node_id(r);
+  r.done();
+  return m;
+}
+
+Frame encode_traffic_request() {
+  return Frame{FrameType::kTrafficRequest, {}};
+}
+
+Frame encode_traffic_report(const TrafficReportMsg& m) {
+  Writer w;
+  encode_traffic(w, m.traffic);
+  return finish(FrameType::kTrafficReport, std::move(w));
+}
+
+TrafficReportMsg decode_traffic_report(const Frame& f) {
+  auto r = open(f, FrameType::kTrafficReport);
+  TrafficReportMsg m;
+  m.traffic = decode_traffic(r);
+  r.done();
+  return m;
+}
+
+Frame encode_error(const ErrorMsg& m) {
+  Writer w;
+  w.str(m.message);
+  return finish(FrameType::kError, std::move(w));
+}
+
+ErrorMsg decode_error(const Frame& f) {
+  auto r = open(f, FrameType::kError);
+  ErrorMsg m;
+  m.message = r.str();
+  r.done();
+  return m;
+}
+
+Frame encode_bye() { return Frame{FrameType::kBye, {}}; }
+
+}  // namespace cosmos::wire

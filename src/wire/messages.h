@@ -1,0 +1,174 @@
+// Typed payloads of every federation frame, one struct + encode/decode
+// pair per frame type. encode_* produces a complete Frame; decode_*
+// validates the frame type, decodes the payload and rejects trailing bytes
+// — the single source of truth for each payload's layout, shared by the
+// driver (cosmos/federation.cpp) and the node side (node/site.cpp) so the
+// two can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "wire/codec.h"
+
+namespace cosmos::wire {
+
+/// Driver -> node, first frame of a session: the node's identity in the
+/// federation plus its transport knobs (the emulated one-way link delay it
+/// applies to its own outgoing frames, and its local runtime shard count).
+struct HelloMsg {
+  std::uint32_t worker_index = 0;
+  std::uint32_t shards = 1;
+  std::int64_t send_delay_ms = 0;
+};
+
+struct HelloAckMsg {
+  std::string info;  ///< free-form daemon identification (pid etc.)
+};
+
+/// Node list + latency matrix + broker options: everything a node needs to
+/// rebuild the exact BrokerNetwork overlay the driver has, so worker-side
+/// matching and traffic accounting are byte-identical to in-process runs.
+struct TopologyMsg {
+  std::vector<NodeId> participants;   ///< broker participants, in order
+  std::vector<NodeId> members;        ///< latency-matrix members, in order
+  std::vector<double> dense;          ///< row-major member-to-member ms
+  bool use_index = true;              ///< subscription-index matching
+};
+
+struct RegisterStreamMsg {
+  std::string stream;
+  NodeId publisher;
+  stream::Schema schema;
+};
+
+struct SubscribeMsg {
+  pubsub::Subscription sub;  ///< installed under its existing id
+};
+
+/// One deployed execution unit: the node rebuilds the CompiledQuery from
+/// (spec, result_stream) — plan construction is deterministic, so remote
+/// and local plans are identical.
+struct DeployUnitMsg {
+  std::uint32_t unit_id = 0;
+  NodeId host;
+  std::string result_stream;
+  query::QuerySpec spec;
+};
+
+struct MatchRequestMsg {
+  std::uint64_t job = 0;  ///< driver-assigned sequence, echoed in the reply
+  runtime::TupleBatch batch;
+};
+
+struct MatchResponseMsg {
+  std::uint64_t job = 0;
+  /// Matched ascending row indices per subscription, in the partition's
+  /// first-match order (same order BrokerPartition::match_batch appends).
+  std::vector<std::pair<SubscriptionId, std::vector<std::uint32_t>>>
+      deliveries;
+};
+
+struct ExecuteMsg {
+  NodeId engine;  ///< hosting node of the target engine
+  runtime::TupleBatch batch;  ///< pre-routed rows, in engine input order
+};
+
+struct ResultEventMsg {
+  std::string stream;  ///< unit result stream
+  stream::Tuple tuple;
+};
+
+struct ResultMsg {
+  std::vector<ResultEventMsg> events;  ///< in emission order per engine
+};
+
+struct WatermarkMsg {
+  stream::Timestamp watermark = 0;
+};
+
+struct FlushMsg {
+  std::uint64_t seq = 0;
+};
+struct FlushAckMsg {
+  std::uint64_t seq = 0;
+};
+
+struct MigrateOutMsg {
+  NodeId engine;
+};
+
+/// One unit's serialized window-join state.
+struct UnitStateMsg {
+  std::uint32_t unit_id = 0;
+  std::vector<stream::WindowJoinOp::State> joins;
+};
+
+struct StateHandoffMsg {
+  NodeId engine;
+  std::vector<UnitStateMsg> units;
+};
+
+struct MigrateInMsg {
+  NodeId engine;
+  std::vector<DeployUnitMsg> units;
+  std::vector<UnitStateMsg> state;  ///< parallel to `units` by unit_id
+};
+
+struct MigrateAckMsg {
+  NodeId engine;
+};
+
+struct TrafficReportMsg {
+  pubsub::TrafficStats traffic;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+[[nodiscard]] Frame encode_hello(const HelloMsg& m);
+[[nodiscard]] HelloMsg decode_hello(const Frame& f);
+[[nodiscard]] Frame encode_hello_ack(const HelloAckMsg& m);
+[[nodiscard]] HelloAckMsg decode_hello_ack(const Frame& f);
+[[nodiscard]] Frame encode_topology(const TopologyMsg& m);
+[[nodiscard]] TopologyMsg decode_topology(const Frame& f);
+[[nodiscard]] Frame encode_register_stream(const RegisterStreamMsg& m);
+[[nodiscard]] RegisterStreamMsg decode_register_stream(const Frame& f);
+[[nodiscard]] Frame encode_subscribe(const SubscribeMsg& m);
+[[nodiscard]] SubscribeMsg decode_subscribe(const Frame& f);
+[[nodiscard]] Frame encode_deploy_unit(const DeployUnitMsg& m);
+[[nodiscard]] DeployUnitMsg decode_deploy_unit(const Frame& f);
+[[nodiscard]] Frame encode_match_request(const MatchRequestMsg& m);
+[[nodiscard]] MatchRequestMsg decode_match_request(const Frame& f);
+[[nodiscard]] Frame encode_match_response(const MatchResponseMsg& m);
+[[nodiscard]] MatchResponseMsg decode_match_response(const Frame& f);
+[[nodiscard]] Frame encode_execute(const ExecuteMsg& m);
+[[nodiscard]] ExecuteMsg decode_execute(const Frame& f);
+[[nodiscard]] Frame encode_result(const ResultMsg& m);
+[[nodiscard]] ResultMsg decode_result(const Frame& f);
+[[nodiscard]] Frame encode_watermark(const WatermarkMsg& m);
+[[nodiscard]] WatermarkMsg decode_watermark(const Frame& f);
+[[nodiscard]] Frame encode_flush(const FlushMsg& m);
+[[nodiscard]] FlushMsg decode_flush(const Frame& f);
+[[nodiscard]] Frame encode_flush_ack(const FlushAckMsg& m);
+[[nodiscard]] FlushAckMsg decode_flush_ack(const Frame& f);
+[[nodiscard]] Frame encode_migrate_out(const MigrateOutMsg& m);
+[[nodiscard]] MigrateOutMsg decode_migrate_out(const Frame& f);
+[[nodiscard]] Frame encode_state_handoff(const StateHandoffMsg& m);
+[[nodiscard]] StateHandoffMsg decode_state_handoff(const Frame& f);
+[[nodiscard]] Frame encode_migrate_in(const MigrateInMsg& m);
+[[nodiscard]] MigrateInMsg decode_migrate_in(const Frame& f);
+[[nodiscard]] Frame encode_migrate_ack(const MigrateAckMsg& m);
+[[nodiscard]] MigrateAckMsg decode_migrate_ack(const Frame& f);
+[[nodiscard]] Frame encode_traffic_request();
+[[nodiscard]] Frame encode_traffic_report(const TrafficReportMsg& m);
+[[nodiscard]] TrafficReportMsg decode_traffic_report(const Frame& f);
+[[nodiscard]] Frame encode_error(const ErrorMsg& m);
+[[nodiscard]] ErrorMsg decode_error(const Frame& f);
+[[nodiscard]] Frame encode_bye();
+
+}  // namespace cosmos::wire

@@ -1,0 +1,94 @@
+// Minimal POSIX stream-socket layer for the federation transport: TCP and
+// Unix-domain endpoints behind one address syntax ("tcp:host:port" /
+// "unix:/path"), a listener, and blocking full-frame send/recv over an
+// RAII fd. All failures surface as wire::Error; SIGPIPE is never raised
+// (sends use MSG_NOSIGNAL).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wire/codec.h"
+
+namespace cosmos::wire {
+
+/// A parseable transport address. TCP: "tcp:host:port" (or "host:port");
+/// Unix domain: "unix:/path/to.sock".
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kUnix;
+  std::string host;  ///< TCP only
+  std::uint16_t port = 0;  ///< TCP only
+  std::string path;  ///< Unix only
+
+  /// Throws wire::Error on unparseable input.
+  [[nodiscard]] static Endpoint parse(const std::string& address);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// RAII stream socket. Movable, not copyable; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Writes the whole buffer; throws wire::Error on any failure.
+  void send_all(const std::uint8_t* data, std::size_t size);
+  /// Reads exactly `size` bytes. Returns false on clean EOF at offset 0
+  /// (orderly peer close between frames); throws wire::Error on mid-buffer
+  /// EOF or any socket error.
+  [[nodiscard]] bool recv_all(std::uint8_t* data, std::size_t size);
+
+  /// Shuts down both directions (unblocks a reader in another thread) and
+  /// closes the fd. Idempotent.
+  void close() noexcept;
+  /// Shutdown without closing — wakes blocked readers/writers.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Sends one whole encoded frame.
+void send_frame(Socket& s, const Frame& frame);
+/// Receives one whole frame; nullopt on clean EOF at a frame boundary.
+[[nodiscard]] std::optional<Frame> recv_frame(Socket& s);
+
+/// Bound + listening server socket for either endpoint kind. For TCP with
+/// port 0, `endpoint()` reports the ephemeral port actually bound. For
+/// Unix endpoints, any stale socket file is removed before binding and the
+/// file is unlinked on destruction.
+class Listener {
+ public:
+  explicit Listener(const Endpoint& at);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] const Endpoint& endpoint() const noexcept { return at_; }
+  /// Blocks for the next connection. Throws wire::Error if the listener
+  /// was closed underneath (orderly daemon shutdown path).
+  [[nodiscard]] Socket accept();
+  void close() noexcept;
+
+ private:
+  Endpoint at_;
+  Socket sock_;
+  bool unlink_on_close_ = false;
+};
+
+/// Connects to `to`, retrying (connection refused / socket file not yet
+/// present) until `timeout_ms` elapses — covers the daemon-startup race.
+[[nodiscard]] Socket connect_to(const Endpoint& to, int timeout_ms = 10'000);
+
+}  // namespace cosmos::wire

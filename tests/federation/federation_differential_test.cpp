@@ -1,0 +1,214 @@
+// Multi-process federation differential: a driver plus N real cosmos_noded
+// worker processes over Unix-domain sockets must deliver byte-identical
+// per-query result sequences to the synchronous push() mode — across
+// worker counts, in-flight windows, worker shard counts, and scripted live
+// migrations (which must ship real serialized state over the wire). Plus
+// the fault path: a worker killed mid-run surfaces as a clean throw, never
+// a hang.
+//
+// Workloads are the same seeded random ones the in-process differential
+// uses (tests/support/random_workload.h), so any divergence here is
+// attributable to the wire path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cosmos/cosmos.h"
+#include "node/spawn.h"
+#include "support/random_workload.h"
+
+namespace cosmos::middleware {
+namespace {
+
+using testsupport::ResultLog;
+using testsupport::build_system;
+using testsupport::make_workload;
+
+struct Fleet {
+  std::vector<node::NodeProcess> procs;
+  std::vector<std::string> endpoints;
+};
+
+Fleet spawn_fleet(std::size_t n, const std::string& tag) {
+  static int counter = 0;
+  Fleet fleet;
+  const std::string noded = node::default_noded_path();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string endpoint = "unix:/tmp/cosmos_fedtest_" + tag + "_" +
+                                 std::to_string(::getpid()) + "_" +
+                                 std::to_string(counter++) + ".sock";
+    fleet.procs.push_back(node::spawn_noded(noded, endpoint));
+    fleet.endpoints.push_back(endpoint);
+  }
+  return fleet;
+}
+
+TEST(Federation, MatchesPushAcrossWorkerCountsAndWindows) {
+  std::uint64_t only_seed = 0;
+  if (const char* s = std::getenv("COSMOS_DIFF_SEED")) {
+    only_seed = std::strtoull(s, nullptr, 10);
+  }
+
+  std::size_t total_results = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    if (only_seed != 0 && seed != only_seed) continue;
+    const auto w = make_workload(seed);
+
+    ResultLog push_log;
+    {
+      auto sys = build_system(w, push_log);
+      for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+    }
+    for (const auto& [q, lines] : push_log) total_results += lines.size();
+
+    struct Config {
+      std::size_t workers;
+      std::size_t inflight;
+      std::size_t shards;
+      std::size_t batch;
+    };
+    for (const Config cfg : {Config{2, 1, 1, 64}, Config{2, 4, 2, 16},
+                             Config{4, 4, 1, 64}}) {
+      auto fleet = spawn_fleet(cfg.workers, "diff");
+      ResultLog fed_log;
+      auto sys = build_system(w, fed_log);
+      Cosmos::FederationOptions opts;
+      opts.workers = fleet.endpoints;
+      opts.batch_size = cfg.batch;
+      opts.max_inflight_chunks = cfg.inflight;
+      opts.worker_shards = cfg.shards;
+      opts.queue_capacity = 8;  // small: exercise channel backpressure
+      opts.tick_ms = 20 * 60'000;
+      const auto report = sys->run_federated(w.events, opts);
+
+      EXPECT_EQ(report.tuples, w.events.size());
+      EXPECT_EQ(report.federation.workers, cfg.workers);
+      ASSERT_EQ(report.federation.links.size(), cfg.workers);
+      for (const auto& link : report.federation.links) {
+        EXPECT_GT(link.frames_sent, 0u);
+        EXPECT_GT(link.bytes_sent, link.frames_sent * 12);
+      }
+      ASSERT_EQ(fed_log, push_log)
+          << "federation mismatch: seed=" << seed
+          << " workers=" << cfg.workers << " inflight=" << cfg.inflight
+          << " shards=" << cfg.shards << " batch=" << cfg.batch
+          << "  (replay: COSMOS_DIFF_SEED=" << seed << ")";
+
+      for (auto& p : fleet.procs) EXPECT_EQ(p.wait(), 0);
+    }
+  }
+  EXPECT_GT(total_results, 0u);
+}
+
+TEST(Federation, TrafficAccountingMatchesInProcess) {
+  const auto w = make_workload(3);
+  ResultLog in_log;
+  double in_bytes = 0.0;
+  {
+    auto sys = build_system(w, in_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+    in_bytes = sys->traffic().bytes;
+  }
+  ASSERT_GT(in_bytes, 0.0);
+
+  auto fleet = spawn_fleet(2, "traffic");
+  ResultLog fed_log;
+  auto sys = build_system(w, fed_log);
+  Cosmos::FederationOptions opts;
+  opts.workers = fleet.endpoints;
+  const auto report = sys->run_federated(w.events, opts);
+  // Worker p1 shares + driver p2 share must reproduce the in-process
+  // broker's totals exactly (same matching, same accounting code).
+  EXPECT_DOUBLE_EQ(report.federation.matched_traffic.bytes, in_bytes);
+}
+
+TEST(Federation, ScriptedMigrationShipsStateAndPreservesResults) {
+  // Seeds chosen so the workload has windowed joins with live state; the
+  // migration moves every deployed engine in turn mid-trace.
+  for (const std::uint64_t seed : {2, 7}) {
+    const auto w = make_workload(seed);
+
+    ResultLog push_log;
+    {
+      auto sys = build_system(w, push_log);
+      for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+    }
+
+    auto fleet = spawn_fleet(2, "mig");
+    ResultLog fed_log;
+    auto sys = build_system(w, fed_log);
+
+    // Schedule a mid-trace migration of every unit host to the opposite
+    // worker. Host nodes come from the workload's query placements.
+    const stream::Timestamp mid =
+        w.events[w.events.size() / 2].tuple.ts;
+    Cosmos::FederationOptions opts;
+    opts.workers = fleet.endpoints;
+    opts.batch_size = 32;
+    std::set<NodeId::value_type> hosts;
+    for (const auto& [text, host, proxy] : w.queries) {
+      hosts.insert(host.value());
+    }
+    for (const auto hv : hosts) {
+      Cosmos::FederationOptions::Migration m;
+      m.at_ms = mid;
+      m.engine = NodeId{hv};
+      m.to_worker = (hv % 2) + 1;  // flip to the other worker
+      opts.migrations.push_back(m);
+    }
+    const auto report = sys->run_federated(w.events, opts);
+
+    EXPECT_GT(report.federation.migrations, 0u);
+    // The tentpole guarantee: migrated state is real serialized bytes on
+    // the wire, not a modeled estimate.
+    EXPECT_GT(report.federation.state_bytes_migrated, 0u);
+    ASSERT_EQ(fed_log, push_log)
+        << "migration differential mismatch: seed=" << seed;
+    for (auto& p : fleet.procs) EXPECT_EQ(p.wait(), 0);
+  }
+}
+
+TEST(Federation, DeadWorkerMidRunThrowsCleanly) {
+  const auto w = make_workload(4);
+  auto fleet = spawn_fleet(2, "dead");
+  ResultLog log;
+  auto sys = build_system(w, log);
+  Cosmos::FederationOptions opts;
+  opts.workers = fleet.endpoints;
+  opts.batch_size = 8;
+
+  // Kill worker 0 after the driver has connected but while the trace is
+  // replaying: every wait in the protocol is fault-aware, so the run must
+  // throw (mentioning the worker), not hang.
+  std::thread killer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fleet.procs[0].kill();
+  }};
+  try {
+    (void)sys->run_federated(w.events, opts);
+    // A tiny trace can legitimately finish before the kill lands.
+  } catch (const std::exception& e) {
+    // Either the reader reported the dead peer ("worker N (...)") or a
+    // send into the dead channel failed — both are clean throws.
+    EXPECT_FALSE(std::string{e.what()}.empty());
+  }
+  killer.join();
+}
+
+TEST(Federation, RefusesEmptyWorkerList) {
+  const auto w = make_workload(1);
+  ResultLog log;
+  auto sys = build_system(w, log);
+  EXPECT_THROW((void)sys->run_federated(w.events, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cosmos::middleware

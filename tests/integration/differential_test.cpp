@@ -2,10 +2,9 @@
 // execution stack is that the runtime-backed Cosmos::run() delivers
 // byte-identical per-query result sequences to the synchronous push() mode
 // — at any shard count, any batch size, and with adaptation on or off.
-// This harness generates seeded random workloads (Zipf-skewed,
-// rate-perturbed station traces via sim::make_skewed_trace, plus random
-// query mixes submitted through the CQL parser) and replays each through
-// every configuration in the {1,4,8} shards x {1,64,1024} batch x
+// The seeded workloads come from tests/support/random_workload.h (shared
+// with the multi-process federation differential); each is replayed
+// through every configuration in the {1,4,8} shards x {1,64,1024} batch x
 // {adapt off, adapt on} grid, diffing the full result logs against push().
 //
 // On failure the seed and configuration are printed; replay one seed with
@@ -13,133 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
 
 #include "cosmos/cosmos.h"
-#include "cql/parser.h"
-#include "net/topology.h"
-#include "sim/workload.h"
+#include "support/random_workload.h"
 
 namespace cosmos::middleware {
 namespace {
 
-/// One printable line per delivered tuple, in delivery order — the
-/// byte-comparable per-query result sequence.
-using ResultLog = std::map<QueryId, std::vector<std::string>>;
-
-struct RandomWorkload {
-  std::vector<NodeId> nodes;
-  net::LatencyMatrix lat;
-  std::vector<runtime::TraceEvent> events;
-  std::size_t stations = 0;
-  /// (CQL text, host, proxy) triples, submitted in order with sequential
-  /// query ids.
-  std::vector<std::tuple<std::string, NodeId, NodeId>> queries;
-};
-
-std::string window_clause(Rng& rng) {
-  switch (rng.next_below(4)) {
-    case 0:
-      return "[Now]";
-    case 1:
-      return "[Range " + std::to_string(1 + rng.next_below(15)) + " Minutes]";
-    case 2:
-      return "[Range " + std::to_string(20 + rng.next_below(40)) +
-             " Minutes]";
-    default:
-      return "[Range 1 Hours]";
-  }
-}
-
-std::string station(std::size_t idx) {
-  return sim::station_stream_name(idx);
-}
-
-/// A random single-stream or two-stream windowed query over the station
-/// streams; always parses and validates.
-std::string random_query_text(Rng& rng, std::size_t stations) {
-  const std::size_t a = rng.next_below(stations);
-  if (rng.next_below(3) == 0) {
-    // Single-stream selection with a constant filter.
-    const char* field = rng.next_below(2) == 0 ? "snowHeight" : "temperature";
-    const char* op = rng.next_below(2) == 0 ? ">" : "<=";
-    const double threshold = rng.next_below(2) == 0 ? 20.0 : -4.5;
-    const std::string select =
-        rng.next_below(2) == 0 ? "*" : "S1.snowHeight, S1.timestamp";
-    return "SELECT " + select + " FROM " + station(a) + " " +
-           window_clause(rng) + " S1 WHERE S1." + field + " " + op + " " +
-           std::to_string(threshold);
-  }
-  // Two-stream windowed join with a field-field predicate and sometimes a
-  // residual constant conjunct.
-  std::size_t b = rng.next_below(stations);
-  while (b == a) b = rng.next_below(stations);
-  std::string text = "SELECT S1.snowHeight, S1.timestamp, S2.snowHeight, "
-                     "S2.timestamp FROM " +
-                     station(a) + " " + window_clause(rng) + " S1, " +
-                     station(b) + " [Now] S2 WHERE S1.snowHeight " +
-                     (rng.next_below(2) == 0 ? ">" : ">=") + " S2.snowHeight";
-  if (rng.next_below(2) == 0) text += " AND S1.temperature < 2.5";
-  return text;
-}
-
-RandomWorkload make_workload(std::uint64_t seed) {
-  RandomWorkload w;
-  Rng rng{seed * 7919 + 13};
-
-  const std::size_t node_count = 8 + rng.next_below(5);  // 8..12 brokers
-  const auto topo = net::make_wide_area_mesh(node_count, 3, rng);
-  for (std::size_t i = 0; i < node_count; ++i) {
-    w.nodes.push_back(NodeId{static_cast<NodeId::value_type>(i)});
-  }
-  w.lat = net::LatencyMatrix{topo, w.nodes};
-
-  sim::SkewedTraceParams tp;
-  tp.stations = 4 + rng.next_below(4);  // 4..7 streams
-  tp.total_tuples = 220 + rng.next_below(120);
-  tp.duration_ms = 2 * 3'600'000;
-  tp.zipf_theta = 0.4 + 0.1 * static_cast<double>(rng.next_below(7));
-  tp.perturb_pattern = (seed % 3 == 0) ? "" : (seed % 3 == 1 ? "I" : "ID");
-  tp.perturb_stations = 1 + rng.next_below(2);
-  w.stations = tp.stations;
-  for (const auto& r : sim::make_skewed_trace(tp, rng)) {
-    w.events.push_back({station(r.station), r.tuple});
-  }
-
-  const std::size_t query_count = 3 + rng.next_below(4);  // 3..6 queries
-  for (std::size_t q = 0; q < query_count; ++q) {
-    // Hosts and proxies drawn from the non-source nodes (2..n-1).
-    const NodeId host{static_cast<NodeId::value_type>(
-        2 + rng.next_below(node_count - 2))};
-    const NodeId proxy{static_cast<NodeId::value_type>(
-        2 + rng.next_below(node_count - 2))};
-    w.queries.emplace_back(random_query_text(rng, w.stations), host, proxy);
-  }
-  return w;
-}
-
-std::unique_ptr<Cosmos> build_system(const RandomWorkload& w, ResultLog& log) {
-  auto sys = std::make_unique<Cosmos>(w.nodes, w.lat);
-  // Station streams spread over the first two nodes (the sources).
-  for (std::size_t st = 0; st < w.stations; ++st) {
-    sys->register_source(station(st), sim::sensor_schema(),
-                         w.nodes[st % 2]);
-  }
-  std::size_t qid = 0;
-  for (const auto& [text, host, proxy] : w.queries) {
-    const QueryId id{static_cast<QueryId::value_type>(qid++)};
-    sys->submit(cql::parse_query(text, id, proxy), host,
-                [&log](QueryId q, const stream::Tuple& t) {
-                  std::string line = std::to_string(t.ts);
-                  for (const auto& v : t.values) line += "|" + v.to_string();
-                  log[q].push_back(std::move(line));
-                });
-  }
-  return sys;
-}
+using testsupport::ResultLog;
+using testsupport::build_system;
+using testsupport::make_workload;
 
 TEST(Differential, RunMatchesPushAcrossShardsBatchesAndAdaptation) {
   // COSMOS_DIFF_SEED replays a single failing workload; default sweeps 20.

@@ -1,0 +1,270 @@
+// node::Site driven frame-by-frame in process (no sockets): the daemon's
+// protocol surface — topology/registration/deployment, match requests,
+// execute + flush + result shipping, watermarks, and the migrate-out ->
+// migrate-in state round trip (differential against a site that never
+// migrated).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cql/parser.h"
+#include "node/site.h"
+#include "wire/messages.h"
+
+namespace cosmos::node {
+namespace {
+
+using wire::Frame;
+using wire::FrameType;
+
+stream::Schema x_schema() {
+  return stream::Schema{{stream::Field{"x", stream::ValueType::kDouble}}};
+}
+
+wire::TopologyMsg four_node_topology() {
+  wire::TopologyMsg topo;
+  std::vector<double> dense(16, 10.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    topo.participants.emplace_back(static_cast<NodeId::value_type>(i));
+    topo.members.emplace_back(static_cast<NodeId::value_type>(i));
+    dense[i * 4 + i] = 0.0;
+  }
+  topo.dense = std::move(dense);
+  return topo;
+}
+
+runtime::TupleBatch make_batch(
+    const std::string& stream,
+    std::vector<std::pair<stream::Timestamp, double>> rows) {
+  runtime::TupleBatch b{stream};
+  for (auto& [ts, x] : rows) {
+    stream::Tuple t;
+    t.ts = ts;
+    t.values = {stream::Value{x}};
+    b.push_back(std::move(t));
+  }
+  return b;
+}
+
+/// Feeds frames into one Site and collects shipped result lines in order.
+struct Harness {
+  Site site{{1, 16}};
+  std::vector<std::string> results;
+  std::vector<Frame> last_out;
+
+  void feed(const Frame& f) {
+    last_out.clear();
+    EXPECT_TRUE(site.handle(f, last_out));
+    for (const auto& out : last_out) {
+      if (out.type != FrameType::kResult) continue;
+      for (const auto& ev : wire::decode_result(out).events) {
+        std::string line = ev.stream + ":" + std::to_string(ev.tuple.ts);
+        for (const auto& v : ev.tuple.values) line += "|" + v.to_string();
+        results.push_back(std::move(line));
+      }
+    }
+  }
+
+  /// Frames of the last feed() with the given type.
+  std::vector<Frame> of_type(FrameType t) const {
+    std::vector<Frame> out;
+    for (const auto& f : last_out) {
+      if (f.type == t) out.push_back(f);
+    }
+    return out;
+  }
+
+  void register_streams() {
+    feed(wire::encode_topology(four_node_topology()));
+    feed(wire::encode_register_stream({"a", NodeId{0}, x_schema()}));
+    feed(wire::encode_register_stream({"b", NodeId{1}, x_schema()}));
+  }
+
+  void deploy_join_unit() {
+    const auto spec = cql::parse_query(
+        "SELECT S1.x, S2.x FROM a [Range 1 Hours] S1, b [Range 1 Hours] S2 "
+        "WHERE S1.x >= S2.x",
+        QueryId{1}, NodeId{3});
+    feed(wire::encode_deploy_unit({0, NodeId{2}, "cosmos.result.0.v1", spec}));
+  }
+};
+
+TEST(Site, MatchRequestReturnsPerSubscriptionRows) {
+  Harness h;
+  h.register_streams();
+
+  pubsub::Subscription sub;
+  sub.id = SubscriptionId{7};
+  sub.subscriber = NodeId{2};
+  sub.streams = {"a"};
+  h.feed(wire::encode_subscribe({sub}));
+
+  h.feed(wire::encode_match_request(
+      {42, make_batch("a", {{0, 1.0}, {5, 2.0}, {9, 3.0}})}));
+  const auto responses = h.of_type(FrameType::kMatchResponse);
+  ASSERT_EQ(responses.size(), 1u);
+  const auto resp = wire::decode_match_response(responses[0]);
+  EXPECT_EQ(resp.job, 42u);
+  ASSERT_EQ(resp.deliveries.size(), 1u);
+  EXPECT_EQ(resp.deliveries[0].first, SubscriptionId{7});
+  EXPECT_EQ(resp.deliveries[0].second,
+            (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Site, ExecuteFlushShipsJoinResults) {
+  Harness h;
+  h.register_streams();
+  h.deploy_join_unit();
+  EXPECT_EQ(h.site.deployed_units(), 1u);
+  EXPECT_TRUE(h.site.hosts_engine(NodeId{2}));
+
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{1000, 5.0}})}));
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("b", {{2000, 4.0}})}));
+  h.feed(wire::encode_flush({1}));
+  ASSERT_EQ(h.of_type(FrameType::kFlushAck).size(), 1u);
+  // 5.0 >= 4.0: exactly one join result.
+  ASSERT_EQ(h.results.size(), 1u);
+  EXPECT_NE(h.results[0].find("cosmos.result.0.v1"), std::string::npos);
+}
+
+TEST(Site, UnexpectedFrameAndUnknownEngineThrow) {
+  Harness h;
+  // Data before topology: protocol violation, not a crash.
+  std::vector<Frame> out;
+  EXPECT_THROW(
+      (void)h.site.handle(
+          wire::encode_match_request({1, make_batch("a", {{0, 1.0}})}), out),
+      wire::Error);
+  h.register_streams();
+  EXPECT_THROW(
+      (void)h.site.handle(
+          wire::encode_execute({NodeId{2}, make_batch("a", {{0, 1.0}})}), out),
+      wire::Error);
+  EXPECT_THROW(
+      (void)h.site.handle(wire::encode_match_response({1, {}}), out),
+      wire::Error);
+}
+
+TEST(Site, ByeDrainsAndStops) {
+  Harness h;
+  h.register_streams();
+  h.deploy_join_unit();
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{0, 2.0}})}));
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("b", {{0, 1.0}})}));
+  std::vector<Frame> out;
+  EXPECT_FALSE(h.site.handle(wire::encode_bye(), out));
+  // The pre-bye executes' result ships with the bye.
+  bool saw_result = false;
+  for (const auto& f : out) saw_result |= f.type == FrameType::kResult;
+  EXPECT_TRUE(saw_result);
+}
+
+/// The migration differential: site A runs the first half, migrates out;
+/// site B imports and runs the second half. Their concatenated results
+/// must equal a control site that ran the whole trace in place — i.e. the
+/// serialized handoff carries the complete join state.
+TEST(Site, MigrateOutInPreservesJoinState) {
+  // Interleaved halves; the join window spans the migration point.
+  const auto first_a = make_batch("a", {{0, 5.0}, {60'000, 7.0}});
+  const auto first_b = make_batch("b", {{90'000, 6.0}});
+  const auto second_b = make_batch("b", {{120'000, 4.0}});
+  const auto second_a = make_batch("a", {{180'000, 3.0}});
+
+  Harness control;
+  control.register_streams();
+  control.deploy_join_unit();
+  for (const auto* b : {&first_a, &first_b, &second_b, &second_a}) {
+    control.feed(wire::encode_execute({NodeId{2}, *b}));
+  }
+  control.feed(wire::encode_flush({1}));
+  ASSERT_FALSE(control.results.empty());
+
+  Harness a;
+  a.register_streams();
+  a.deploy_join_unit();
+  a.feed(wire::encode_execute({NodeId{2}, first_a}));
+  a.feed(wire::encode_execute({NodeId{2}, first_b}));
+
+  a.feed(wire::encode_migrate_out({NodeId{2}}));
+  const auto handoffs = a.of_type(FrameType::kStateHandoff);
+  ASSERT_EQ(handoffs.size(), 1u);
+  auto handoff = wire::decode_state_handoff(handoffs[0]);
+  EXPECT_EQ(handoff.engine, NodeId{2});
+  ASSERT_EQ(handoff.units.size(), 1u);
+  std::size_t state_tuples = 0;
+  for (const auto& j : handoff.units[0].joins) {
+    state_tuples += j.left.size() + j.right.size();
+  }
+  EXPECT_GT(state_tuples, 0u);  // live window state actually travelled
+  EXPECT_FALSE(a.site.hosts_engine(NodeId{2}));
+  EXPECT_EQ(a.site.deployed_units(), 0u);
+
+  Harness b;
+  b.register_streams();  // topology + advertisements, but no deployment
+  const auto spec = cql::parse_query(
+      "SELECT S1.x, S2.x FROM a [Range 1 Hours] S1, b [Range 1 Hours] S2 "
+      "WHERE S1.x >= S2.x",
+      QueryId{1}, NodeId{3});
+  wire::MigrateInMsg in;
+  in.engine = NodeId{2};
+  in.units.push_back({0, NodeId{2}, "cosmos.result.0.v1", spec});
+  in.state = std::move(handoff.units);
+  b.feed(wire::encode_migrate_in(in));
+  ASSERT_EQ(b.of_type(FrameType::kMigrateAck).size(), 1u);
+  EXPECT_TRUE(b.site.hosts_engine(NodeId{2}));
+
+  b.feed(wire::encode_execute({NodeId{2}, second_b}));
+  b.feed(wire::encode_execute({NodeId{2}, second_a}));
+  b.feed(wire::encode_flush({2}));
+
+  std::vector<std::string> stitched = a.results;
+  stitched.insert(stitched.end(), b.results.begin(), b.results.end());
+  EXPECT_EQ(stitched, control.results);
+}
+
+/// Re-migration: an engine that moved away can move back (the site must
+/// have forgotten it completely, or re-registration would throw).
+TEST(Site, MigrateBackAfterMigrateOut) {
+  Harness h;
+  h.register_streams();
+  h.deploy_join_unit();
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{0, 5.0}})}));
+  h.feed(wire::encode_migrate_out({NodeId{2}}));
+  auto handoff =
+      wire::decode_state_handoff(h.of_type(FrameType::kStateHandoff)[0]);
+
+  const auto spec = cql::parse_query(
+      "SELECT S1.x, S2.x FROM a [Range 1 Hours] S1, b [Range 1 Hours] S2 "
+      "WHERE S1.x >= S2.x",
+      QueryId{1}, NodeId{3});
+  wire::MigrateInMsg in;
+  in.engine = NodeId{2};
+  in.units.push_back({0, NodeId{2}, "cosmos.result.0.v1", spec});
+  in.state = std::move(handoff.units);
+  h.feed(wire::encode_migrate_in(in));
+  ASSERT_EQ(h.of_type(FrameType::kMigrateAck).size(), 1u);
+
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("b", {{1000, 4.0}})}));
+  h.feed(wire::encode_flush({3}));
+  EXPECT_EQ(h.results.size(), 1u);  // the pre-migration left row joined
+}
+
+TEST(Site, WatermarkPrunesWithoutChangingResults) {
+  Harness h;
+  h.register_streams();
+  h.deploy_join_unit();
+  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{0, 9.0}})}));
+  // Push stream time far past the 1h window: the watermark prunes the row.
+  h.feed(wire::encode_watermark({8 * 3'600'000}));
+  h.feed(wire::encode_flush({1}));
+  h.feed(wire::encode_execute(
+      {NodeId{2}, make_batch("b", {{8 * 3'600'000 + 1, 1.0}})}));
+  h.feed(wire::encode_flush({2}));
+  // The pruned left row must not join with the late right row.
+  EXPECT_TRUE(h.results.empty());
+}
+
+}  // namespace
+}  // namespace cosmos::node

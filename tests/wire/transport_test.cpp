@@ -1,0 +1,198 @@
+// Socket + FrameChannel transport: endpoint parsing, TCP and Unix-domain
+// round trips, clean-close vs mid-frame-disconnect semantics, and the
+// bounded-queue discipline of FrameChannel (send blocks, never drops; a
+// dead peer surfaces as an error, never a hang).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "wire/channel.h"
+#include "wire/messages.h"
+#include "wire/socket.h"
+
+namespace cosmos::wire {
+namespace {
+
+std::string test_socket_path(const char* tag) {
+  return "/tmp/cosmos_transport_" + std::string{tag} + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Endpoint, ParsesAndPrints) {
+  const auto uds = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(uds.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(uds.path, "/tmp/x.sock");
+  EXPECT_EQ(uds.to_string(), "unix:/tmp/x.sock");
+
+  const auto tcp = Endpoint::parse("tcp:127.0.0.1:9000");
+  EXPECT_EQ(tcp.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 9000);
+  EXPECT_EQ(tcp.to_string(), "tcp:127.0.0.1:9000");
+
+  EXPECT_THROW((void)Endpoint::parse(""), Error);
+  EXPECT_THROW((void)Endpoint::parse("carrier-pigeon:coop"), Error);
+}
+
+void round_trip_over(const Endpoint& at) {
+  Listener listener{at};
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) {
+      if (f->type == FrameType::kBye) break;
+      send_frame(conn, *f);  // echo
+    }
+  }};
+  Socket client = connect_to(listener.endpoint());
+  for (int i = 0; i < 50; ++i) {
+    send_frame(client, encode_watermark({i}));
+    const auto back = recv_frame(client);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(decode_watermark(*back).watermark, i);
+  }
+  send_frame(client, encode_bye());
+  server.join();
+}
+
+TEST(Transport, UnixDomainRoundTrip) {
+  round_trip_over(Endpoint::parse("unix:" + test_socket_path("uds")));
+}
+
+TEST(Transport, TcpEphemeralPortRoundTrip) {
+  const Endpoint at = Endpoint::parse("tcp:127.0.0.1:0");
+  Listener listener{at};
+  // The listener must report the resolved ephemeral port.
+  EXPECT_NE(listener.endpoint().port, 0);
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) send_frame(conn, *f);
+  }};
+  Socket client = connect_to(listener.endpoint());
+  send_frame(client, encode_flush({9}));
+  const auto back = recv_frame(client);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(decode_flush(*back).seq, 9u);
+  client.close();  // EOF ends the server loop
+  server.join();
+}
+
+TEST(Transport, CleanCloseBetweenFramesIsNotAnError) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("clean"))};
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    send_frame(conn, encode_watermark({1}));
+    // Orderly close at a frame boundary.
+  }};
+  Socket client = connect_to(listener.endpoint());
+  EXPECT_TRUE(recv_frame(client).has_value());
+  EXPECT_FALSE(recv_frame(client).has_value());  // EOF, not a throw
+  server.join();
+}
+
+TEST(Transport, DisconnectMidFrameThrows) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("midframe"))};
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    // Half a header, then hang up: the peer must see a hard error.
+    const std::uint8_t partial[5] = {0x4D, 0x53, 0x4F, 0x43, 0x01};
+    conn.send_all(partial, sizeof partial);
+  }};
+  Socket client = connect_to(listener.endpoint());
+  EXPECT_THROW((void)recv_frame(client), Error);
+  server.join();
+}
+
+TEST(FrameChannel, PingPongAndCounters) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("chan"))};
+  std::thread server{[&] {
+    FrameChannel serve{listener.accept()};
+    while (auto f = serve.recv()) {
+      if (f->type == FrameType::kBye) break;
+      serve.send(std::move(*f));
+    }
+    serve.close();
+  }};
+  FrameChannel client{connect_to(listener.endpoint())};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<stream::Timestamp> got;
+  std::atomic<bool> closed{false};
+  client.start_reader(
+      [&](Frame f) {
+        std::lock_guard lock{mu};
+        got.push_back(decode_watermark(f).watermark);
+        cv.notify_all();
+      },
+      [&](const std::string&) { closed = true; });
+  constexpr std::size_t kFrames = 200;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    client.send(encode_watermark({static_cast<stream::Timestamp>(i)}));
+  }
+  {
+    std::unique_lock lock{mu};
+    cv.wait(lock, [&] { return got.size() == kFrames; });
+  }
+  // FIFO: echoed frames arrive in send order.
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(got[i], static_cast<stream::Timestamp>(i));
+  }
+  EXPECT_EQ(client.frames_sent(), kFrames);
+  EXPECT_EQ(client.frames_received(), kFrames);
+  EXPECT_GT(client.bytes_sent(), kFrames * kFrameHeaderBytes);
+  EXPECT_EQ(client.bytes_sent(), client.bytes_received());  // echo symmetry
+  client.send(encode_bye());
+  server.join();
+  client.close();
+}
+
+TEST(FrameChannel, PeerDeathSurfacesAsCloseNotHang) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("death"))};
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    // Die without a word mid-session.
+    conn.close();
+  }};
+  FrameChannel client{connect_to(listener.endpoint())};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool closed = false;
+  client.start_reader([&](Frame) {},
+                      [&](const std::string&) {
+                        std::lock_guard lock{mu};
+                        closed = true;
+                        cv.notify_all();
+                      });
+  {
+    std::unique_lock lock{mu};
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return closed; }));
+  }
+  server.join();
+  // Sends to the dead peer eventually throw instead of blocking forever.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 10'000; ++i) client.send(encode_watermark({i}));
+      },
+      Error);
+  client.close();
+}
+
+TEST(FrameChannel, SendAfterCloseThrows) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("closed"))};
+  std::thread server{[&] { Socket conn = listener.accept(); }};
+  FrameChannel client{connect_to(listener.endpoint())};
+  server.join();
+  client.close();
+  EXPECT_THROW(client.send(encode_watermark({1})), Error);
+}
+
+}  // namespace
+}  // namespace cosmos::wire

@@ -1,0 +1,52 @@
+// cosmos_noded: one federation worker process. Binds a listener, serves
+// exactly one driver session (Hello ... Bye) and exits — process lifetime
+// is session lifetime, which keeps supervision trivial (the driver spawns
+// one daemon per worker per run and reaps it afterwards).
+//
+// Usage: cosmos_noded --listen unix:/tmp/worker0.sock
+//        cosmos_noded --listen tcp:127.0.0.1:0
+//
+// Prints "COSMOS_NODED_READY <endpoint>" on stdout once the listener is
+// bound (with the resolved port for tcp:...:0), then blocks in accept.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "node/serve.h"
+#include "wire/socket.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen <unix:/path | tcp:host:port>\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string listen;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (listen.empty()) return usage(argv[0]);
+
+  try {
+    cosmos::wire::Listener listener{cosmos::wire::Endpoint::parse(listen)};
+    std::printf("COSMOS_NODED_READY %s\n",
+                listener.endpoint().to_string().c_str());
+    std::fflush(stdout);
+    cosmos::wire::Socket conn = listener.accept();
+    listener.close();  // one session per process
+    return cosmos::node::serve_connection(std::move(conn)) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cosmos_noded: %s\n", e.what());
+    return 1;
+  }
+}
