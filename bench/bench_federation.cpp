@@ -144,6 +144,8 @@ int main(int argc, char** argv) {
     std::map<QueryId, std::size_t> per_query;
     std::size_t results = 0;
     double wire_bytes_per_tuple = 0.0;
+    double e2e_p50_us = 0.0;  ///< ingest->delivery latency (run/fed modes)
+    double e2e_p99_us = 0.0;
   };
   std::vector<Row> rows;
 
@@ -175,8 +177,10 @@ int main(int argc, char** argv) {
     opts.batch_size = 256;
     opts.tick_ms = 30 * 60'000;
     const Stopwatch watch;
-    (void)sys->run(events, opts);
+    const auto report = sys->run(events, opts);
     row.wall_s = watch.seconds();
+    row.e2e_p50_us = report.e2e_percentile_us(50.0);
+    row.e2e_p99_us = report.e2e_percentile_us(99.0);
     finish(std::move(row));
   }
 
@@ -199,6 +203,8 @@ int main(int argc, char** argv) {
     }
     row.wire_bytes_per_tuple =
         static_cast<double>(wire_bytes) / static_cast<double>(events.size());
+    row.e2e_p50_us = report.e2e_percentile_us(50.0);
+    row.e2e_p99_us = report.e2e_percentile_us(99.0);
     finish(std::move(row));
     for (auto& p : fleet.procs) {
       if (p.wait() != 0) std::printf("!! worker exited non-zero\n");
@@ -223,6 +229,10 @@ int main(int argc, char** argv) {
   std::printf("federated 2w vs in-process 2-shard: %.2fx wall "
               "(%.1f wire bytes/tuple)\n",
               run2.wall_s / fed2.wall_s, fed2.wire_bytes_per_tuple);
+  std::printf("e2e latency p50/p99: run-2shard %.0f/%.0fus, fed-2w "
+              "%.0f/%.0fus\n",
+              run2.e2e_p50_us, run2.e2e_p99_us, fed2.e2e_p50_us,
+              fed2.e2e_p99_us);
 
   write_bench_json(
       "federation",
@@ -233,6 +243,10 @@ int main(int argc, char** argv) {
        {"fed_tuples_per_s_4w", tuples / fed4.wall_s},
        {"fed_vs_run_wall_ratio_2w", run2.wall_s / fed2.wall_s},
        {"wire_bytes_per_tuple_2w", fed2.wire_bytes_per_tuple},
+       {"e2e_p50_us_run_2shard", run2.e2e_p50_us},
+       {"e2e_p99_us_run_2shard", run2.e2e_p99_us},
+       {"fed_e2e_p50_us_2w", fed2.e2e_p50_us},
+       {"fed_e2e_p99_us_2w", fed2.e2e_p99_us},
        {"results_identical", identical ? 1.0 : 0.0}});
   return identical ? 0 : 1;
 }

@@ -68,6 +68,7 @@ struct ConfigResult {
   std::map<QueryId, std::size_t> per_query;
   std::size_t results = 0;
   runtime::RuntimeStats stats;  ///< empty for the push configuration
+  obs::HistogramSnapshot e2e;   ///< ingest->delivery latency (run modes)
 };
 
 }  // namespace
@@ -201,6 +202,7 @@ int main() {
     const auto report = sys->run(events, opts);
     row.wall_s = watch.seconds();
     row.stats = report.stats;
+    row.e2e = report.e2e_latency;
     const double stall = report.stats.total_stall_seconds();
     const double driver_busy = report.driver_cpu_seconds;
     row.driver_s = driver_busy;
@@ -269,9 +271,22 @@ int main() {
               1e6 * one->stats.max_busy_seconds() /
                   static_cast<double>(events.size()));
 
+  // End-to-end tuple latency (ingest stamp at chunk cut -> p2 delivery on
+  // the driver thread). Note the virtual-clock batching: a tuple waits for
+  // its whole chunk, so this measures pipeline residency, not wire delay.
+  const auto p_us = [](const ConfigResult& r, double p) {
+    return static_cast<double>(r.e2e.percentile(p)) / 1000.0;
+  };
+  std::printf("4-shard e2e latency: p50=%.0fus p95=%.0fus p99=%.0fus "
+              "(%zu samples)\n",
+              p_us(*four, 50.0), p_us(*four, 95.0), p_us(*four, 99.0),
+              static_cast<std::size_t>(four->e2e.count));
+
   write_bench_json(
       "runtime_throughput",
       {{"tuples", static_cast<double>(events.size())},
+       {"e2e_latency_p50_us_4shard", p_us(*four, 50.0)},
+       {"e2e_latency_p99_us_4shard", p_us(*four, 99.0)},
        {"push_tuples_per_s",
         static_cast<double>(events.size()) / rows[0].wall_s},
        {"crit_tuples_per_s_1shard",

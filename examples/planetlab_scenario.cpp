@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <map>
 #include <string>
@@ -101,6 +102,17 @@ void run_federated_slice() {
   opts.batch_size = 128;
   opts.tick_ms = 6 * 3'600'000;  // few, large chunks: delay is per barrier
   opts.max_inflight_chunks = 4;
+  // COSMOS_TRACE=/path/out.json captures the whole federated run as one
+  // Chrome trace (driver + workers merged); load it in Perfetto or
+  // chrome://tracing. Sampling ships worker registry snapshots alongside.
+  if (const char* trace = std::getenv("COSMOS_TRACE")) {
+    opts.trace_path = trace;
+    opts.stats_sample_every_ms = 3'600'000;  // hourly, stream time
+  }
+  // A scripted mid-run migration: engine all[2]'s units hand their join
+  // state from worker 0 to worker 1 — visible as a "migrate" span plus a
+  // "migration" instant in the trace.
+  opts.migrations.push_back({events[events.size() / 2].tuple.ts, all[2], 1});
 
   const auto report = sys.run_federated(events, opts);
   std::size_t total = 0;
@@ -109,6 +121,15 @@ void run_federated_slice() {
               "(%zu chunks, %.3fs)\n",
               report.tuples, report.federation.workers, total, report.chunks,
               report.ingest_seconds);
+  std::printf("  e2e tuple latency: p50=%.0fus p95=%.0fus p99=%.0fus over "
+              "%llu deliveries\n",
+              report.e2e_percentile_us(50.0), report.e2e_percentile_us(95.0),
+              report.e2e_percentile_us(99.0),
+              static_cast<unsigned long long>(report.e2e_latency.count));
+  if (!opts.trace_path.empty()) {
+    std::printf("  trace written to %s (%zu worker stats samples)\n",
+                opts.trace_path.c_str(), report.federation.samples.size());
+  }
   for (std::size_t i = 0; i < report.federation.links.size(); ++i) {
     const auto& link = report.federation.links[i];
     std::printf("  link %zu: delay %lld ms, %llu frames / %llu bytes out, "

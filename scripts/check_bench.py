@@ -12,6 +12,11 @@ least (1 - tolerance) x the baseline value (higher = better; gate on
 ratio-style metrics such as speedups, which are stable across hardware,
 rather than absolute tuples/s).
 
+Histogram-percentile metrics — names containing `_p50_us`, `_p95_us`, or
+`_p99_us` (the e2e latency percentiles the benches emit) — are
+lower-is-better: the current value must be at most (1 + tolerance) x the
+reference, a ceiling instead of a floor.
+
 --fallback names the bench JSON uploaded by the *previous* CI run (same
 runner fleet, hence comparable hardware). When a gated metric — or the
 whole baseline file — is newly added and has no committed baseline entry
@@ -50,6 +55,14 @@ def load_metrics(path, role):
             raise SystemExit(f"!! {role} file {path}: metric {name!r} is "
                              f"not a number (got {value!r})")
     return data
+
+
+#: Substrings marking a latency-percentile metric (lower is better).
+LATENCY_MARKERS = ("_p50_us", "_p95_us", "_p99_us")
+
+
+def is_latency_metric(name):
+    return any(marker in name for marker in LATENCY_MARKERS)
 
 
 def check(current, baseline, metrics, tolerance, fallback=None,
@@ -95,6 +108,17 @@ def check(current, baseline, metrics, tolerance, fallback=None,
             msg = f"{name}: missing from current results"
             print(f"!! {msg}")
             failures.append(msg)
+            continue
+        if is_latency_metric(name):
+            # Latency percentiles: lower is better, gate on a ceiling.
+            ceiling = (1.0 + tolerance) * ref
+            ok = current[name] <= ceiling
+            print(f"{'ok' if ok else '!!'} {name}: "
+                  f"current={current[name]:.4g} {source}={ref:.4g} "
+                  f"ceiling={ceiling:.4g} (latency: lower is better)")
+            if not ok:
+                failures.append(f"{name}: {current[name]:.4g} > ceiling "
+                                f"{ceiling:.4g} (vs {source})")
             continue
         floor = (1.0 - tolerance) * ref
         ok = current[name] >= floor
@@ -173,6 +197,30 @@ def self_test():
         expect("multiple metrics", run([good, good, "--metrics",
                                         "speedup,identical"]), 0,
                "ok identical")
+
+        # Latency-percentile keys (lower is better): a faster current run
+        # passes, a slower one beyond the ceiling fails, and the ceiling
+        # honors --tolerance.
+        lat_ref = write("lat_ref.json",
+                        '{"e2e_p50_us_run": 100.0, "e2e_p99_us_run": 400.0}')
+        lat_fast = write("lat_fast.json",
+                         '{"e2e_p50_us_run": 80.0, "e2e_p99_us_run": 300.0}')
+        lat_slow = write("lat_slow.json",
+                         '{"e2e_p50_us_run": 150.0, "e2e_p99_us_run": 390.0}')
+        expect("latency improvement passes",
+               run([lat_fast, lat_ref, "--metrics",
+                    "e2e_p50_us_run,e2e_p99_us_run", "--tolerance", "0.2"]),
+               0, "lower is better")
+        expect("latency regression fails",
+               run([lat_slow, lat_ref, "--metrics", "e2e_p50_us_run",
+                    "--tolerance", "0.2"]), 1, "!! e2e_p50_us_run")
+        expect("latency within tolerance passes",
+               run([lat_slow, lat_ref, "--metrics", "e2e_p99_us_run",
+                    "--tolerance", "0.2"]), 0, "ok e2e_p99_us_run")
+        expect("latency key gates via fallback",
+               run([lat_slow, sparse, "--fallback", lat_ref, "--metrics",
+                    "e2e_p50_us_run", "--tolerance", "0.2"]), 1,
+               "previous-run artifact")
 
         # --fallback: newly added metric keys gate against the previous
         # run's artifact; first introductions record instead of failing.

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON emitted by the obs tracer.
+
+Usage:
+    check_trace.py TRACE.json [--min-pids N] [--require-names a,b,c]
+                   [--require-cats x,y]
+    check_trace.py --self-test
+
+Checks, in order:
+  1. the file parses as JSON and has a "traceEvents" array;
+  2. every event carries the trace-event required fields for its phase:
+     ph in {X, i, M}; name/pid/tid/ts on X and i; dur >= 0 on X;
+     process_name metadata rows carry args.name;
+  3. timestamps are rebased (some event starts at ts 0) and none are
+     negative;
+  4. at least --min-pids distinct pids appear on non-metadata events
+     (a merged federated trace must show the driver AND the workers);
+  5. every --require-names / --require-cats entry appears on some
+     non-metadata event.
+
+Exit codes: 0 = valid, 1 = a check failed, 2 = unreadable/malformed file.
+Every failure prints a one-line diagnosis, never a bare traceback.
+"""
+import argparse
+import json
+import sys
+
+
+def validate(data, min_pids, require_names, require_cats):
+    """Returns a list of failure messages (empty = trace is valid)."""
+    failures = []
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return ['missing "traceEvents" key (not a Chrome trace?)']
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return ['"traceEvents" is not an array']
+    if not events:
+        return ["traceEvents is empty"]
+
+    pids = set()
+    names = set()
+    cats = set()
+    min_ts = None
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            failures.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            failures.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        if ph == "M":
+            if ev.get("name") != "process_name" or \
+                    "name" not in ev.get("args", {}):
+                failures.append(f"{where}: metadata row lacks "
+                                f"args.name (got {ev.get('args')!r})")
+            continue
+        for field in ("name", "pid", "tid", "ts"):
+            if field not in ev:
+                failures.append(f"{where}: missing {field!r}")
+        if "ts" in ev:
+            ts = ev["ts"]
+            if ts < 0:
+                failures.append(f"{where}: negative ts {ts}")
+            min_ts = ts if min_ts is None else min(min_ts, ts)
+        if ph == "X":
+            if "dur" not in ev:
+                failures.append(f"{where}: complete event missing 'dur'")
+            elif ev["dur"] < 0:
+                failures.append(f"{where}: negative dur {ev['dur']}")
+        pids.add(ev.get("pid"))
+        names.add(ev.get("name"))
+        if "cat" in ev:
+            cats.add(ev["cat"])
+
+    if min_ts is not None and min_ts != 0:
+        failures.append(f"timestamps not rebased: earliest ts is {min_ts}, "
+                        f"want 0")
+    if len(pids) < min_pids:
+        failures.append(f"only {len(pids)} distinct pid(s) "
+                        f"({sorted(pids)}), want >= {min_pids} — "
+                        f"worker spans missing from the merged trace?")
+    for want in require_names:
+        if want and want not in names:
+            failures.append(f"required event name {want!r} absent")
+    for want in require_cats:
+        if want and want not in cats:
+            failures.append(f"required category {want!r} absent")
+    return failures
+
+
+def self_test():
+    """Exercises every failure mode; run by CI alongside the real check."""
+    def trace(events):
+        return {"traceEvents": events}
+
+    def x(name="work", cat="driver", pid=0, tid=1, ts=0, dur=5):
+        return {"name": name, "cat": cat, "ph": "X", "ts": ts, "dur": dur,
+                "pid": pid, "tid": tid}
+
+    def meta(pid, label):
+        return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": label}}
+
+    good = trace([meta(0, "driver"), meta(1, "worker 0"),
+                  x(ts=0), x(name="task", cat="shard", pid=1, ts=3),
+                  {"name": "migration", "cat": "driver", "ph": "i",
+                   "ts": 4, "pid": 0, "tid": 1, "s": "t"}])
+
+    cases = [
+        ("valid trace passes", good, dict(min_pids=2,
+                                          require_names=["migration"],
+                                          require_cats=["shard"]), 0),
+        ("not a trace object", [1, 2], {}, 1),
+        ("empty traceEvents", trace([]), {}, 1),
+        ("bad phase", trace([dict(x(), ph="Q")]), {}, 1),
+        ("missing dur on X", trace([{k: v for k, v in x().items()
+                                     if k != "dur"}]), {}, 1),
+        ("missing pid", trace([{k: v for k, v in x().items()
+                                if k != "pid"}]), {}, 1),
+        ("negative ts", trace([x(ts=-2), x(ts=0)]), {}, 1),
+        ("not rebased", trace([x(ts=100)]), {}, 1),
+        ("too few pids", good, dict(min_pids=5), 1),
+        ("required name absent", good,
+         dict(require_names=["no_such_span"]), 1),
+        ("required cat absent", good,
+         dict(require_cats=["no_such_cat"]), 1),
+        ("metadata without args.name",
+         trace([x(), {"name": "process_name", "ph": "M", "pid": 0,
+                      "tid": 0, "args": {}}]), 1, 1),
+    ]
+    bad = 0
+    for label, data, opts, want in cases:
+        opts = opts if isinstance(opts, dict) else {}
+        failures = validate(data,
+                            min_pids=opts.get("min_pids", 1),
+                            require_names=opts.get("require_names", []),
+                            require_cats=opts.get("require_cats", []))
+        got = 1 if failures else 0
+        if got != want:
+            print(f"!! {label}: got {got}, want {want} ({failures})")
+            bad += 1
+        else:
+            print(f"ok {label}")
+    if bad:
+        print(f"\nself-test FAILED ({bad} case(s))")
+        return 1
+    print(f"self-test passed ({len(cases)} cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", nargs="?")
+    ap.add_argument("--min-pids", type=int, default=1,
+                    help="minimum distinct pids on span events (default 1; "
+                         "use 1+workers for a merged federated trace)")
+    ap.add_argument("--require-names", default="",
+                    help="comma-separated event names that must appear")
+    ap.add_argument("--require-cats", default="",
+                    help="comma-separated categories that must appear")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the script's own unit tests and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        ap.error("TRACE.json is required (or use --self-test)")
+
+    try:
+        with open(args.trace) as f:
+            data = json.load(f)
+    except OSError as e:
+        print(f"!! cannot read {args.trace}: {e.strerror}")
+        return 2
+    except json.JSONDecodeError as e:
+        print(f"!! {args.trace} is not valid JSON: {e}")
+        return 2
+
+    failures = validate(
+        data, args.min_pids,
+        [n.strip() for n in args.require_names.split(",") if n.strip()],
+        [c.strip() for c in args.require_cats.split(",") if c.strip()])
+    for f in failures:
+        print(f"!! {f}")
+    if not failures:
+        n = len(data["traceEvents"])
+        print(f"ok {args.trace}: {n} events valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

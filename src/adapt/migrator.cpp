@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace cosmos::adapt {
 
@@ -17,6 +18,7 @@ void Migrator::apply(const std::vector<Move>& moves,
                      AdaptationReport& report) {
   if (moves.empty()) return;
   const TimePoint t0 = Clock::now();
+  const obs::Span span{"migrate", "adapt", moves.size()};
   std::set<std::size_t> drained;
   for (const Move& move : moves) {
     // Drain the shard the engine is *currently* on (the plan's `from` is
@@ -29,6 +31,7 @@ void Migrator::apply(const std::vector<Move>& moves,
     }
     it->second = move.to;
     ++report.moves;
+    obs::Tracer::instance().instant("migration", "adapt", move.engine);
   }
   report.migration_stall_seconds += seconds_since(t0);
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <ctime>
 
 namespace cosmos {
@@ -17,6 +18,19 @@ using DurationNs = std::chrono::nanoseconds;
 /// Seconds elapsed since `start`, as a double (for reporting).
 [[nodiscard]] inline double seconds_since(TimePoint start) noexcept {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Steady-clock nanoseconds since an arbitrary (boot-stable) epoch. The
+/// common timestamp base of the observability layer: ingest stamps, span
+/// start/end times and federated stats samples all use it, so durations and
+/// cross-thread deltas are directly comparable. On Linux the epoch is
+/// CLOCK_MONOTONIC's, which is shared by every process on the host — the
+/// property the federated trace merge and end-to-end latency stamps rely on
+/// (workers and driver run on one host in this implementation).
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<DurationNs>(Clock::now().time_since_epoch())
+          .count());
 }
 
 /// CPU seconds consumed by the calling thread. Unlike wall time this is

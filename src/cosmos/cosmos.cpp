@@ -10,6 +10,7 @@
 
 #include "adapt/controller.h"
 #include "common/clock.h"
+#include "obs/trace.h"
 #include "wire/codec.h"
 
 namespace cosmos::middleware {
@@ -197,8 +198,10 @@ void Cosmos::deploy_unit(Unit& unit) {
                               const stream::Tuple& t) {
         // In run() mode this tap fires on a shard worker thread: park the
         // result for the driver, which owns the broker and the callbacks.
+        // The executing task's ingest stamp rides along so the driver can
+        // measure ingest-to-delivery latency at the p2 leg.
         if (active_results_ != nullptr) {
-          active_results_->push({rs, t});
+          active_results_->push({rs, t, runtime::current_task_ingest_ns()});
           return;
         }
         deliver_result(rs, t);
@@ -330,6 +333,7 @@ void Cosmos::dispatch_chunk(
     /// deliveries are then partial and the chunk must not be routed.
     std::string error;
   };
+  const std::uint64_t ingest_ns = chunk.ingest_ns;
   const double dispatch_cpu0 = thread_cpu_seconds();
   auto barrier = std::make_shared<MatchBarrier>();
   std::vector<std::shared_ptr<MatchJob>> jobs;
@@ -349,6 +353,7 @@ void Cosmos::dispatch_chunk(
     barrier->arm_one();
     runtime::Runtime::Task task;
     task.engine_id = part->publisher().value();
+    task.ingest_ns = ingest_ns;
     task.match = [job, part, barrier] {
       // The barrier must release even when matching throws — but only
       // after the failure is recorded in the job: the worker's own error
@@ -370,7 +375,10 @@ void Cosmos::dispatch_chunk(
   report.driver.dispatch_cpu_seconds += thread_cpu_seconds() - dispatch_cpu0;
 
   const TimePoint wait0 = Clock::now();
-  barrier->wait();
+  {
+    const obs::Span span{"match_wait", "driver", jobs.size()};
+    barrier->wait();
+  }
   report.driver.match_wait_seconds += seconds_since(wait0);
   // Fail fast: a failed match task leaves its job's deliveries partial;
   // nothing derived from this chunk can be trusted. The per-job error is
@@ -393,6 +401,8 @@ void Cosmos::dispatch_chunk(
   // deliveries reference the shared runs, so routing only shuffles row
   // indices; tuple data is never copied on the driver.
   const double route_cpu0 = thread_cpu_seconds();
+  std::optional<obs::Span> route_span;
+  route_span.emplace("route", "driver", jobs.size());
   // Per-engine ordered slice lists for this chunk; std::map keeps dispatch
   // order deterministic.
   std::map<NodeId, std::vector<runtime::RunSlice>> per_node;
@@ -425,15 +435,18 @@ void Cosmos::dispatch_chunk(
       per_node[node].push_back({job->run, std::move(rows)});
     }
   }
+  route_span.reset();
   report.driver.route_cpu_seconds += thread_cpu_seconds() - route_cpu0;
 
   // --- dispatch stage: hand each engine its slices, in engine-id order.
   const double dispatch_cpu1 = thread_cpu_seconds();
+  const obs::Span dispatch_span{"dispatch", "driver", per_node.size()};
   for (auto& [node, slices] : per_node) {
     runtime::Runtime::Task task;
     task.engine = engines_.at(node).get();
     task.slices = std::move(slices);
     task.engine_id = node.value();
+    task.ingest_ns = ingest_ns;
     rt.dispatch(shard_of.at(node.value()), std::move(task));
   }
   ++report.chunks;
@@ -442,6 +455,11 @@ void Cosmos::dispatch_chunk(
 
 Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
                               const RunOptions& options) {
+  // The trace session (when enabled) must be destroyed after the workers
+  // have joined: its destructor drains every thread's span ring and writes
+  // the Chrome trace file. Declared first so it dies last.
+  obs::TraceSession trace{options.trace_path};
+  trace.add_process_name(0, "driver");
   // Unwind-safety: on any throw below, destruction must run in this order —
   // join the workers (rt), only then clear active_results_ (guard), only
   // then destroy the buffer they were pushing into (results). Hence the
@@ -497,12 +515,21 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
 
   RunReport report;
   const std::size_t results_before = results_delivered_;
+  obs::MetricsRegistry reg;
+  auto& e2e = reg.histogram("e2e_latency_ns");
   std::vector<ResultEvent> scratch;
   const auto drain_results = [&] {
     results.drain_into(scratch);
     if (scratch.empty()) return;
     const double cpu0 = thread_cpu_seconds();
-    for (const auto& ev : scratch) deliver_result(ev.stream, ev.tuple);
+    const obs::Span span{"deliver", "driver", scratch.size()};
+    const std::uint64_t now = now_ns();
+    for (const auto& ev : scratch) {
+      // Ingest-to-delivery latency of the chunk this result came from,
+      // measured here because p2 delivery completes on the driver thread.
+      if (ev.ingest_ns != 0 && now > ev.ingest_ns) e2e.record(now - ev.ingest_ns);
+      deliver_result(ev.stream, ev.tuple);
+    }
     report.driver.deliver_cpu_seconds += thread_cpu_seconds() - cpu0;
   };
 
@@ -541,6 +568,8 @@ Cosmos::RunReport Cosmos::run(const std::vector<runtime::TraceEvent>& events,
   report.tuples = driver.tuples();
   report.results_delivered = results_delivered_ - results_before;
   report.stats = rt.stats();
+  report.e2e_latency = e2e.snapshot();
+  report.metrics = reg.snapshot();
   if (adaptation) report.adaptation = adaptation->report();
   return report;
 }

@@ -23,6 +23,7 @@
 
 #include "adapt/adapt.h"
 #include "net/latency_matrix.h"
+#include "obs/metrics.h"
 #include "pubsub/broker_network.h"
 #include "query/containment.h"
 #include "query/plan.h"
@@ -105,6 +106,11 @@ class Cosmos {
     /// deterministic round-robin. Benches use this to set up worst-case /
     /// oracle static placements.
     std::unordered_map<NodeId, std::size_t> pin;
+    /// When non-empty, span tracing is enabled for this run and a Chrome
+    /// trace-event JSON (Perfetto-loadable) is written here at the end:
+    /// driver pipeline stages, shard task execution, stalls and adaptation
+    /// migrations. Empty (the default) costs nothing on any path.
+    std::string trace_path;
   };
   /// Where the driver's serial time goes, stage by stage of the chunk
   /// pipeline (match → route → dispatch, plus p2 result delivery). Since
@@ -129,6 +135,13 @@ class Cosmos {
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_received = 0;
   };
+  /// One worker-shipped registry snapshot (kStatsSample frame): the
+  /// fleet-wide observability timeline of a federated run.
+  struct WorkerSample {
+    std::size_t worker = 0;            ///< shipping worker's index
+    stream::Timestamp now_ms = 0;      ///< stream time at sampling
+    obs::MetricsSnapshot metrics;      ///< the worker's local registry
+  };
   struct FederationStats {
     std::size_t workers = 0;  ///< 0 = the run was not federated
     std::vector<WireLinkStats> links;
@@ -140,6 +153,11 @@ class Cosmos {
     /// matching share plus the driver's p2 result delivery — the same
     /// total the in-process broker would account.
     pubsub::TrafficStats matched_traffic;
+    /// Periodic worker registry snapshots, merged driver-side into one
+    /// timeline ordered by (now_ms, worker). Populated when
+    /// FederationOptions::stats_sample_every_ms > 0 (plus one final sample
+    /// per worker at end of session).
+    std::vector<WorkerSample> samples;
   };
 
   struct RunReport {
@@ -157,6 +175,18 @@ class Cosmos {
     runtime::RuntimeStats stats;        ///< per-shard + per-engine counters
     adapt::AdaptationReport adaptation; ///< what the adapt loop did (if on)
     FederationStats federation;         ///< wire stats (run_federated only)
+    /// End-to-end tuple latency, ingest to p2 delivery: one sample per
+    /// delivered result, measured from its input chunk's ingest stamp
+    /// (nanoseconds; see e2e_percentile_us for reporting).
+    obs::HistogramSnapshot e2e_latency;
+    /// The run's metrics registry at the end: driver-side counters and
+    /// histograms (includes the e2e latency histogram under
+    /// "e2e_latency_ns").
+    obs::MetricsSnapshot metrics;
+
+    [[nodiscard]] double e2e_percentile_us(double p) const noexcept {
+      return static_cast<double>(e2e_latency.percentile(p)) / 1000.0;
+    }
   };
 
   /// Replays `events` (non-decreasing global timestamp order) through the
@@ -210,6 +240,16 @@ class Cosmos {
       std::size_t to_worker = 0;
     };
     std::vector<Migration> migrations;  ///< in at_ms order
+    /// When non-empty, enables span tracing on the driver *and* every
+    /// worker (via kHello), merges worker-shipped spans into one timeline
+    /// and writes a single Chrome trace-event JSON here — driver lanes at
+    /// pid 0, worker i's at pid i+1.
+    std::string trace_path;
+    /// Stream-time period of worker registry sampling (kStatsSample
+    /// frames -> RunReport::federation.samples); <= 0 disables periodic
+    /// samples. Workers still ship one final sample at end of session
+    /// when tracing or sampling is on.
+    stream::Timestamp stats_sample_every_ms = 0;
   };
 
   /// Replays `events` across the worker processes in `options`. Throws
@@ -266,6 +306,9 @@ class Cosmos {
   struct ResultEvent {
     std::string stream;
     stream::Tuple tuple;
+    /// Ingest stamp of the chunk that produced this result (0 if unknown);
+    /// the driver records now_ns() - ingest_ns at p2 delivery.
+    std::uint64_t ingest_ns = 0;
   };
 
   stream::Engine& engine_at(NodeId host);

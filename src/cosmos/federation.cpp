@@ -14,6 +14,7 @@
 // than max_inflight_chunks chunks behind the dispatch frontier.
 #include "cosmos/cosmos.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 #include "wire/channel.h"
 #include "wire/messages.h"
 #include "wire/socket.h"
@@ -37,7 +39,10 @@ namespace cosmos::middleware {
 
 struct Cosmos::Fed {
   Fed(Cosmos& system, const FederationOptions& opts)
-      : sys(system), options(opts) {}
+      : sys(system), options(opts), trace(opts.trace_path) {
+    trace.add_process_name(0, "driver");
+    e2e = &reg.histogram("e2e_latency_ns");
+  }
 
   ~Fed() {
     // Stop treating closes as faults, then tear the channels down (close
@@ -56,6 +61,13 @@ struct Cosmos::Fed {
 
   Cosmos& sys;
   const FederationOptions& options;
+  /// Declared before `workers` (members die in reverse order): the session
+  /// destructor drains span rings and writes the merged Chrome trace file,
+  /// and must run only after the channel reader threads have joined.
+  obs::TraceSession trace;
+  /// Driver-side registry; e2e points at its ingest-to-delivery histogram.
+  obs::MetricsRegistry reg;
+  obs::Histogram* e2e = nullptr;
 
   // --- inbox: reader threads write, the driver thread waits (guard: mu).
   std::mutex mu;
@@ -69,6 +81,7 @@ struct Cosmos::Fed {
   std::uint64_t handoff_wire_bytes = 0;  ///< frame size of the handoff
   std::optional<NodeId> migrate_ack;
   std::vector<pubsub::TrafficStats> traffic_reports;
+  std::vector<wire::StatsSampleMsg> samples_inbox;  ///< arrival order
   bool expect_close = false;  ///< set before kBye: closes are then orderly
 
   // --- driver-thread-only state.
@@ -87,6 +100,7 @@ struct Cosmos::Fed {
   struct PendingChunk {
     std::vector<PendingRun> runs;
     stream::Timestamp last_ts = 0;
+    std::uint64_t ingest_ns = 0;  ///< Chunk::ingest_ns, echoed on executes
   };
   std::deque<PendingChunk> pending;
 
@@ -156,6 +170,12 @@ struct Cosmos::Fed {
           auto m = wire::decode_traffic_report(frame);
           std::lock_guard lock{mu};
           traffic_reports.push_back(std::move(m.traffic));
+          break;
+        }
+        case wire::FrameType::kStatsSample: {
+          auto m = wire::decode_stats_sample(frame);
+          std::lock_guard lock{mu};
+          samples_inbox.push_back(std::move(m));
           break;
         }
         case wire::FrameType::kError:
@@ -231,6 +251,8 @@ struct Cosmos::Fed {
       hello.shards = static_cast<std::uint32_t>(
           options.worker_shards == 0 ? 1 : options.worker_shards);
       hello.send_delay_ms = link_delay(i);
+      hello.stats_sample_every_ms = options.stats_sample_every_ms;
+      hello.trace = options.trace_path.empty() ? 0 : 1;
       send(i, wire::encode_hello(hello));
     }
     std::unique_lock lock{mu};
@@ -334,7 +356,17 @@ struct Cosmos::Fed {
     }
     if (batch.empty()) return;
     const double cpu0 = thread_cpu_seconds();
-    for (const auto& ev : batch) sys.deliver_result(ev.stream, ev.tuple);
+    const obs::Span span{"deliver", "driver", batch.size()};
+    const std::uint64_t now = now_ns();
+    for (const auto& ev : batch) {
+      // Close the end-to-end measurement here: p2 delivery completes on
+      // the driver thread, and worker/driver now_ns share a clock epoch
+      // (same host, CLOCK_MONOTONIC), so ingest stamps compare directly.
+      if (ev.ingest_ns != 0 && now > ev.ingest_ns) {
+        e2e->record(now - ev.ingest_ns);
+      }
+      sys.deliver_result(ev.stream, ev.tuple);
+    }
     report.driver.deliver_cpu_seconds += thread_cpu_seconds() - cpu0;
   }
 
@@ -342,8 +374,10 @@ struct Cosmos::Fed {
 
   void dispatch(runtime::Chunk&& chunk) {
     const double cpu0 = thread_cpu_seconds();
+    const obs::Span span{"dispatch", "driver", chunk.runs.size()};
     PendingChunk pc;
     pc.last_ts = chunk.last_ts;
+    pc.ingest_ns = chunk.ingest_ns;
     pc.runs.reserve(chunk.runs.size());
     for (runtime::TupleBatch& run : chunk.runs) {
       auto* part = sys.broker_.partition(run.stream());
@@ -385,6 +419,7 @@ struct Cosmos::Fed {
     std::vector<wire::MatchResponseMsg> responses(chunk.runs.size());
     {
       const TimePoint wait0 = Clock::now();
+      const obs::Span span{"match_wait", "driver", chunk.runs.size()};
       std::unique_lock lock{mu};
       wait_for(lock, [&] {
         for (const auto& pr : chunk.runs) {
@@ -413,6 +448,8 @@ struct Cosmos::Fed {
   void route_and_execute(const PendingChunk& chunk,
                          std::vector<wire::MatchResponseMsg>& responses) {
     const double route_cpu0 = thread_cpu_seconds();
+    std::optional<obs::Span> route_span;
+    route_span.emplace("route", "driver", chunk.runs.size());
     std::map<NodeId, std::vector<wire::Frame>> per_node;  // ordered dispatch
     std::map<NodeId, std::vector<char>> mask_of;
     for (std::size_t i = 0; i < chunk.runs.size(); ++i) {
@@ -446,6 +483,7 @@ struct Cosmos::Fed {
         if (matched_rows == 0) continue;
         wire::ExecuteMsg exec;
         exec.engine = node;
+        exec.ingest_ns = chunk.ingest_ns;
         if (matched_rows < run.size()) {
           std::vector<std::uint32_t> rows;
           rows.reserve(matched_rows);
@@ -459,9 +497,11 @@ struct Cosmos::Fed {
         per_node[node].push_back(wire::encode_execute(exec));
       }
     }
+    route_span.reset();
     report.driver.route_cpu_seconds += thread_cpu_seconds() - route_cpu0;
 
     const double dispatch_cpu0 = thread_cpu_seconds();
+    const obs::Span dispatch_span{"dispatch", "driver", per_node.size()};
     for (auto& [node, frames] : per_node) {
       const std::size_t w = worker_of_engine.at(node);
       for (auto& f : frames) send(w, std::move(f));
@@ -492,6 +532,9 @@ struct Cosmos::Fed {
     const std::size_t src = wit->second;
     const std::size_t dst = m.to_worker % workers.size();
     if (src == dst) return;
+
+    const obs::Span span{"migrate", "driver", m.engine.value()};
+    obs::Tracer::instance().instant("migration", "driver", m.engine.value());
 
     while (!pending.empty()) complete_front();
     flush_worker(src);
@@ -529,6 +572,37 @@ struct Cosmos::Fed {
     wit->second = dst;
     ++report.federation.migrations;
     report.federation.state_bytes_migrated += handed_bytes;
+  }
+
+  /// Folds every received kStatsSample into the report timeline (ordered
+  /// by (now_ms, worker)) and hands worker spans to the trace session,
+  /// re-homed under pid = worker index + 1.
+  void harvest_samples() {
+    std::vector<wire::StatsSampleMsg> batch;
+    {
+      std::lock_guard lock{mu};
+      batch.swap(samples_inbox);
+    }
+    for (auto& s : batch) {
+      WorkerSample sample;
+      sample.worker = s.worker_index;
+      sample.now_ms = s.now_ms;
+      sample.metrics = std::move(s.metrics);
+      report.federation.samples.push_back(std::move(sample));
+      if (!s.spans.empty()) {
+        const std::uint32_t pid = s.worker_index + 1;
+        for (auto& span : s.spans) span.pid = pid;
+        trace.add_process_name(pid,
+                               "worker " + std::to_string(s.worker_index));
+        trace.add_foreign(std::move(s.spans));
+      }
+    }
+    std::stable_sort(report.federation.samples.begin(),
+                     report.federation.samples.end(),
+                     [](const WorkerSample& a, const WorkerSample& b) {
+                       return a.now_ms != b.now_ms ? a.now_ms < b.now_ms
+                                                   : a.worker < b.worker;
+                     });
   }
 
   // --- end of session ------------------------------------------------------
@@ -605,11 +679,16 @@ struct Cosmos::Fed {
     report.driver_cpu_seconds = thread_cpu_seconds() - driver_cpu_start;
 
     collect_traffic();
+    // After the final flush barrier every worker's closing sample (sent
+    // ahead of its flush ack on the FIFO channel) is already in the inbox.
+    harvest_samples();
     shutdown();
 
     report.tuples = driver.tuples();
     report.results_delivered = sys.results_delivered_ - results_before;
     report.federation.workers = workers.size();
+    report.e2e_latency = e2e->snapshot();
+    report.metrics = reg.snapshot();
     return std::move(report);
   }
 };

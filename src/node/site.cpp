@@ -1,7 +1,10 @@
 #include "node/site.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace cosmos::node {
 
@@ -53,6 +56,11 @@ bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
   switch (frame.type) {
     case FrameType::kHello: {
       hello_ = wire::decode_hello(frame);
+      if (hello_.trace != 0) {
+        // Safe here: the shard workers exist but have never executed a
+        // task (kHello is the first frame), so no recorder is active.
+        obs::Tracer::instance().begin_session();
+      }
       out.push_back(wire::encode_hello_ack(
           {"cosmos_noded worker " + std::to_string(hello_.worker_index)}));
       break;
@@ -78,12 +86,15 @@ bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
       on_execute(wire::decode_execute(frame));
       break;
     case FrameType::kWatermark:
-      on_watermark(wire::decode_watermark(frame));
+      on_watermark(wire::decode_watermark(frame), out);
       break;
     case FrameType::kFlush: {
       const auto m = wire::decode_flush(frame);
       sync_runtime();
       ship_results(out);
+      // Final sample rides ahead of the ack on the FIFO channel, so the
+      // driver holds every sample once its flush barrier completes.
+      emit_stats_sample(out);
       out.push_back(wire::encode_flush_ack({m.seq}));
       break;
     }
@@ -102,6 +113,7 @@ bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
     case FrameType::kBye:
       sync_runtime();
       ship_results(out);
+      emit_stats_sample(out);
       keep_going = false;
       break;
     default:
@@ -144,7 +156,9 @@ void Site::on_deploy(wire::DeployUnitMsg m) {
       unit.result_stream,
       [this, rs = unit.result_stream](const stream::Tuple& t) {
         // Fires on a shard worker; park the result for the serve thread.
-        results_.push({rs, t});
+        // The executing task's ingest stamp rides along so the driver can
+        // close the end-to-end latency measurement on delivery.
+        results_.push({rs, t, runtime::current_task_ingest_ns()});
       });
   units_.emplace(unit.id, std::move(unit));
 }
@@ -181,10 +195,18 @@ void Site::on_execute(wire::ExecuteMsg m) {
   task.engine = it->second.get();
   task.engine_id = m.engine.value();
   task.runs.push_back(std::move(m.batch));
+  task.ingest_ns = m.ingest_ns;
   rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
 }
 
-void Site::on_watermark(const wire::WatermarkMsg& m) {
+void Site::on_watermark(const wire::WatermarkMsg& m,
+                        std::vector<Frame>& out) {
+  watermark_ms_ = m.watermark;
+  if (hello_.stats_sample_every_ms > 0 &&
+      (last_sample_ms_ == INT64_MIN ||
+       m.watermark - last_sample_ms_ >= hello_.stats_sample_every_ms)) {
+    emit_stats_sample(out);
+  }
   // Watermarks prune join state, which only a task on the owning shard may
   // touch (the serve thread must not race an executing engine). Dispatch
   // one pruning task per unit; shard FIFO orders it after every execute
@@ -197,6 +219,48 @@ void Site::on_watermark(const wire::WatermarkMsg& m) {
     };
     rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
   }
+}
+
+void Site::emit_stats_sample(std::vector<Frame>& out) {
+  if (hello_.stats_sample_every_ms <= 0 && hello_.trace == 0) return;
+  wire::StatsSampleMsg m;
+  m.worker_index = hello_.worker_index;
+  m.now_ms = watermark_ms_;
+  // Cumulative since session start (the driver keeps the raw timeline;
+  // consumers diff adjacent samples if they want rates).
+  const runtime::RuntimeStats stats = rt_.stats();
+  std::uint64_t tuples = 0, batches = 0, tasks = 0, match_tasks = 0;
+  std::uint64_t busy_ns = 0, match_ns = 0, stall_ns = 0;
+  std::size_t max_depth = 0;
+  for (const auto& s : stats.shards) {
+    tuples += s.tuples;
+    batches += s.batches;
+    tasks += s.tasks;
+    match_tasks += s.match_tasks;
+    busy_ns += s.busy_ns;
+    match_ns += s.match_ns;
+    stall_ns += s.stall_ns;
+    max_depth = std::max(max_depth, s.max_queue_depth);
+  }
+  m.metrics.counters.emplace_back("node.units",
+                                  static_cast<std::uint64_t>(units_.size()));
+  m.metrics.counters.emplace_back("shard.batches", batches);
+  m.metrics.counters.emplace_back("shard.busy_ns", busy_ns);
+  m.metrics.counters.emplace_back("shard.match_ns", match_ns);
+  m.metrics.counters.emplace_back("shard.match_tasks", match_tasks);
+  m.metrics.counters.emplace_back("shard.stall_ns", stall_ns);
+  m.metrics.counters.emplace_back("shard.tasks", tasks);
+  m.metrics.counters.emplace_back("shard.tuples", tuples);
+  m.metrics.gauges.emplace_back("shard.max_queue_depth",
+                                static_cast<double>(max_depth));
+  // MetricsSnapshot keeps its vectors name-sorted (merge/lookup rely on
+  // it); keep that invariant even if names above are ever reordered.
+  std::sort(m.metrics.counters.begin(), m.metrics.counters.end());
+  if (hello_.trace != 0) {
+    m.spans = obs::Tracer::instance().drain();
+  }
+  out.push_back(wire::encode_stats_sample(m));
+  last_sample_ms_ = watermark_ms_;
 }
 
 void Site::on_migrate_out(const wire::MigrateOutMsg& m,

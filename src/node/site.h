@@ -75,7 +75,7 @@ class Site {
   void on_deploy(wire::DeployUnitMsg m);
   void on_match(const wire::MatchRequestMsg& m, std::vector<wire::Frame>& out);
   void on_execute(wire::ExecuteMsg m);
-  void on_watermark(const wire::WatermarkMsg& m);
+  void on_watermark(const wire::WatermarkMsg& m, std::vector<wire::Frame>& out);
   void on_migrate_out(const wire::MigrateOutMsg& m,
                       std::vector<wire::Frame>& out);
   void on_migrate_in(wire::MigrateInMsg m, std::vector<wire::Frame>& out);
@@ -87,6 +87,9 @@ class Site {
   void sync_runtime();
   /// Ships everything in results_ as one kResult frame (if any).
   void ship_results(std::vector<wire::Frame>& out);
+  /// Appends a kStatsSample frame (cumulative local runtime counters, plus
+  /// collected spans when tracing); no-op unless the hello enabled either.
+  void emit_stats_sample(std::vector<wire::Frame>& out);
 
   Options options_;
   wire::HelloMsg hello_;
@@ -102,6 +105,10 @@ class Site {
   std::size_t next_shard_ = 0;
   runtime::MpscBuffer<wire::ResultEventMsg> results_;
   std::vector<wire::ResultEventMsg> result_scratch_;
+  /// Latest watermark seen (the node's stream-time "now" for samples).
+  stream::Timestamp watermark_ms_ = 0;
+  /// Stream time of the last emitted kStatsSample; INT64_MIN = none yet.
+  stream::Timestamp last_sample_ms_ = INT64_MIN;
 };
 
 }  // namespace cosmos::node

@@ -1,0 +1,76 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace cosmos::obs {
+
+void HistogramSnapshot::record(std::uint64_t v) {
+  const auto idx = static_cast<std::uint16_t>(bucket_index(v));
+  const auto it = std::lower_bound(
+      buckets.begin(), buckets.end(), idx,
+      [](const auto& b, std::uint16_t i) { return b.first < i; });
+  if (it != buckets.end() && it->first == idx) {
+    ++it->second;
+  } else {
+    buckets.insert(it, {idx, 1});
+  }
+  ++count;
+  sum += v;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  // Merge the two sorted sparse arrays.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> out;
+  out.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j >= other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      out.push_back(buckets[i++]);
+    } else if (i >= buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      out.push_back(other.buckets[j++]);
+    } else {
+      out.push_back({buckets[i].first,
+                     buckets[i].second + other.buckets[j].second});
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(out);
+  count += other.count;
+  sum += other.sum;
+}
+
+std::uint64_t HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile in [1, count]; ceil so p=0 maps to the first
+  // recorded value and p=100 to the last.
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target || rank == 0) ++rank;
+  std::uint64_t cum = 0;
+  for (const auto& [idx, n] : buckets) {
+    cum += n;
+    if (cum >= rank) return bucket_mid(idx);
+  }
+  return bucket_mid(buckets.back().first);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    s.buckets.push_back({static_cast<std::uint16_t>(i), n});
+    s.count += n;
+  }
+  // sum_ may be mid-update relative to the buckets when sampled live; both
+  // are monotone so the snapshot is still a valid lower bound per cell.
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cosmos::obs

@@ -1,0 +1,110 @@
+// Log-bucketed latency histogram: the fixed-memory, constant-time
+// percentile primitive of the observability layer (src/obs/).
+//
+// Bucketing: values below 8 get one exact bucket each; above that, each
+// power-of-two octave is split into 8 sub-buckets by the three bits below
+// the most significant bit. Worst-case relative error of a reported
+// percentile is therefore 1/16 of the bucket width — bounded by ~6% of the
+// value — at 496 buckets total, independent of the value range (full u64).
+// Recording is one relaxed atomic increment, cheap enough for per-tuple
+// hot paths; percentile extraction walks the bucket array (reporting-time
+// only).
+//
+// Histogram is the concurrent recorder (atomic buckets, stable address in
+// a MetricsRegistry); HistogramSnapshot is the plain value type reports
+// and wire frames carry, with merge() for fleet-wide aggregation.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cosmos::obs {
+
+/// Sub-buckets per power-of-two octave (3 bits of mantissa).
+inline constexpr std::uint64_t kSubBuckets = 8;
+/// Bucket count covering the full u64 range: 8 exact small-value buckets
+/// plus 8 per octave for msb in [3, 63].
+inline constexpr std::size_t kBucketCount = ((63 - 2) << 3) + 8;
+
+/// Bucket index of `v` (monotone in v).
+[[nodiscard]] constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  // Position of the most significant set bit (>= 3 here).
+  const int msb = 63 - std::countl_zero(v);
+  const std::uint64_t sub = (v >> (msb - 3)) & 7;
+  return static_cast<std::size_t>(((msb - 2) << 3) + sub);
+}
+
+/// Smallest value that lands in bucket `i` (inverse of bucket_index).
+[[nodiscard]] constexpr std::uint64_t bucket_lower(std::size_t i) noexcept {
+  if (i < kSubBuckets) return i;
+  const int msb = static_cast<int>(i >> 3) + 2;
+  const std::uint64_t sub = i & 7;
+  return (std::uint64_t{1} << msb) | (sub << (msb - 3));
+}
+
+/// Representative value reported for bucket `i`: its midpoint, so the
+/// quantization error is at most half a bucket width in either direction.
+[[nodiscard]] constexpr std::uint64_t bucket_mid(std::size_t i) noexcept {
+  const std::uint64_t lo = bucket_lower(i);
+  const std::uint64_t hi =
+      i + 1 < kBucketCount ? bucket_lower(i + 1) : lo + (lo >> 3);
+  return lo + (hi - lo) / 2;
+}
+
+/// Plain (single-threaded) histogram value: sparse non-empty buckets in
+/// index order. The shape RunReport, bench JSON and the kStatsSample frame
+/// carry; also usable directly as a recorder off the hot path.
+struct HistogramSnapshot {
+  /// (bucket index, count) pairs, ascending by index, counts > 0.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> buckets;
+  std::uint64_t count = 0;  ///< total recorded values
+  std::uint64_t sum = 0;    ///< sum of recorded values (for mean())
+
+  void record(std::uint64_t v);
+  void merge(const HistogramSnapshot& other);
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Value at percentile `p` in [0, 100] (the bucket midpoint whose
+  /// cumulative count first reaches p% of the total); 0 when empty.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+};
+
+/// Concurrent recorder: relaxed atomic increments, safe from any thread.
+/// Lives at a stable address inside a MetricsRegistry so hot paths hold a
+/// direct pointer and never look names up.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time copy; exact when no recorder is concurrently active,
+  /// a consistent-enough sample otherwise (counts never decrease).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace cosmos::obs

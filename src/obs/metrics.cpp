@@ -1,0 +1,102 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace cosmos::obs {
+namespace {
+
+/// Sorted-vector lookup shared by the snapshot accessors.
+template <typename Vec>
+auto find_entry(const Vec& v, const std::string& name) ->
+    typename Vec::const_iterator {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  return it != v.end() && it->first == name ? it : v.end();
+}
+
+/// Merges `other` into the sorted-by-name vector `into`, combining
+/// same-name entries with `combine(mine, theirs)`.
+template <typename Vec, typename Combine>
+void merge_sorted(Vec& into, const Vec& other, Combine combine) {
+  for (const auto& [name, value] : other) {
+    const auto it = std::lower_bound(
+        into.begin(), into.end(), name,
+        [](const auto& e, const std::string& n) { return e.first < n; });
+    if (it != into.end() && it->first == name) {
+      combine(it->second, value);
+    } else {
+      into.insert(it, {name, value});
+    }
+  }
+}
+
+}  // namespace
+
+const std::uint64_t* MetricsSnapshot::counter(const std::string& name) const {
+  const auto it = find_entry(counters, name);
+  return it == counters.end() ? nullptr : &it->second;
+}
+
+const double* MetricsSnapshot::gauge(const std::string& name) const {
+  const auto it = find_entry(gauges, name);
+  return it == gauges.end() ? nullptr : &it->second;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  const auto it = find_entry(histograms, name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  merge_sorted(counters, other.counters,
+               [](std::uint64_t& mine, std::uint64_t theirs) {
+                 mine += theirs;
+               });
+  merge_sorted(gauges, other.gauges,
+               [](double& mine, double theirs) { mine = theirs; });
+  merge_sorted(histograms, other.histograms,
+               [](HistogramSnapshot& mine, const HistogramSnapshot& theirs) {
+                 mine.merge(theirs);
+               });
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock{mu_};
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock{mu_};
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.push_back({name, c->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.push_back({name, g->value()});
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.push_back({name, h->snapshot()});
+  }
+  return s;
+}
+
+}  // namespace cosmos::obs

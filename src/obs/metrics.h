@@ -1,0 +1,90 @@
+// Named-metric registry: counters, gauges and latency histograms behind
+// stable pointers. Registration (name lookup) takes a mutex and happens
+// once, outside the hot path; after that, recording is a relaxed atomic
+// operation on the returned cell — cheap enough for per-tuple code, and
+// safe to sample from another thread (adapt::LoadMonitor-style periodic
+// consumers read snapshot() while recorders run).
+//
+// MetricsSnapshot is the plain value type everything downstream consumes:
+// RunReport embeds one, the kStatsSample wire frame ships one per worker,
+// and merge() folds worker snapshots into fleet-wide totals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace cosmos::obs {
+
+/// Monotone event counter (relaxed increments from any thread).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins level (queue depths, rates, ratios).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of a registry (or a hand-built equivalent): entries
+/// sorted by name. Plain data — copyable, serializable, mergeable.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  [[nodiscard]] const std::uint64_t* counter(const std::string& name) const;
+  [[nodiscard]] const double* gauge(const std::string& name) const;
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      const std::string& name) const;
+
+  /// Fleet aggregation: counters and histograms add; a gauge takes the
+  /// other side's value (last writer wins, matching Gauge semantics).
+  void merge(const MetricsSnapshot& other);
+};
+
+/// Get-or-create registry. Cells never move or die while the registry
+/// lives, so callers hold the returned references across the whole run.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards the maps, never the cells
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace cosmos::obs

@@ -1,0 +1,232 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <exception>
+#include <iterator>
+
+namespace cosmos::obs {
+namespace {
+
+/// Ring capacity per thread (power of two). At ~56 bytes per slot this is
+/// ~460 KiB per recording thread, holding several chunk pipelines' worth
+/// of spans between drains.
+constexpr std::size_t kRingCapacity = 8192;
+
+static_assert((kRingCapacity & (kRingCapacity - 1)) == 0,
+              "ring capacity must be a power of two");
+
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::local() {
+  struct Cache {
+    ThreadBuffer* buf = nullptr;
+    std::uint64_t session = 0;
+  };
+  // Session check: begin_session() frees previous buffers, so a pointer
+  // cached under an older session id must be re-registered, never used.
+  thread_local Cache cache;
+  const std::uint64_t current = session_.load(std::memory_order_acquire);
+  if (cache.buf == nullptr || cache.session != current) {
+    std::lock_guard lock{reg_mu_};
+    buffers_.push_back(
+        std::make_unique<ThreadBuffer>(next_tid_++, kRingCapacity));
+    cache.buf = buffers_.back().get();
+    cache.session = current;
+  }
+  return cache.buf;
+}
+
+void Tracer::push(const Slot& slot) noexcept {
+  ThreadBuffer* b = local();
+  const std::uint64_t head = b->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = b->tail.load(std::memory_order_acquire);
+  if (head - tail >= b->slots.size()) {
+    // Drop-newest, never block: tracing must not perturb the traced system.
+    b->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b->slots[head & (b->slots.size() - 1)] = slot;
+  b->head.store(head + 1, std::memory_order_release);
+}
+
+void Tracer::record(const char* name, const char* cat, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  push({name, cat, start_ns, dur_ns, arg, false});
+}
+
+void Tracer::instant(const char* name, const char* cat,
+                     std::uint64_t arg) noexcept {
+  if (!enabled()) return;
+  push({name, cat, now_ns(), 0, arg, true});
+}
+
+void Tracer::begin_session() {
+  std::lock_guard lock{reg_mu_};
+  buffers_.clear();
+  next_tid_ = 1;
+  // Bump the session before enabling: any thread that recorded in an
+  // earlier session re-registers instead of touching a freed buffer.
+  session_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_release);
+}
+
+std::vector<CollectedSpan> Tracer::end_session() {
+  enabled_.store(false, std::memory_order_release);
+  return drain();
+}
+
+std::vector<CollectedSpan> Tracer::drain() {
+  std::vector<CollectedSpan> out;
+  std::lock_guard lock{reg_mu_};
+  for (auto& b : buffers_) {
+    const std::uint64_t head = b->head.load(std::memory_order_acquire);
+    std::uint64_t tail = b->tail.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      const Slot& s = b->slots[tail & (b->slots.size() - 1)];
+      CollectedSpan c;
+      c.name = s.name;
+      c.cat = s.cat;
+      c.start_ns = s.start_ns;
+      c.dur_ns = s.dur_ns;
+      c.arg = s.arg;
+      c.tid = b->tid;
+      c.instant = s.instant;
+      out.push_back(std::move(c));
+    }
+    b->tail.store(tail, std::memory_order_release);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::lock_guard lock{reg_mu_};
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    n += b->dropped.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+void write_json_string(std::FILE* f, const std::string& s) {
+  std::fputc('"', f);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': std::fputs("\\\"", f); break;
+      case '\\': std::fputs("\\\\", f); break;
+      case '\n': std::fputs("\\n", f); break;
+      case '\t': std::fputs("\\t", f); break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          std::fprintf(f, "\\u%04x", ch);
+        } else {
+          std::fputc(ch, f);
+        }
+    }
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace
+
+void write_chrome_trace(
+    const std::string& path, const std::vector<CollectedSpan>& spans,
+    const std::vector<std::pair<std::uint32_t, std::string>>& process_names) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", path.c_str());
+    return;
+  }
+  // Rebase to the earliest event so timestamps start near zero; all spans
+  // share one steady-clock epoch (common/clock.h now_ns), including spans
+  // shipped from worker processes on the same host.
+  std::uint64_t base = UINT64_MAX;
+  for (const auto& s : spans) base = std::min(base, s.start_ns);
+  if (base == UINT64_MAX) base = 0;
+
+  // Deterministic-ish output: one lane at a time, time-ordered within it.
+  std::vector<const CollectedSpan*> ordered;
+  ordered.reserve(spans.size());
+  for (const auto& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const CollectedSpan* a, const CollectedSpan* b) {
+              if (a->pid != b->pid) return a->pid < b->pid;
+              if (a->tid != b->tid) return a->tid < b->tid;
+              return a->start_ns < b->start_ns;
+            });
+
+  std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  for (const auto& [pid, name] : process_names) {
+    if (!first) std::fputc(',', f);
+    first = false;
+    std::fprintf(f,
+                 "\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%u,"
+                 "\"tid\":0,\"args\":{\"name\":",
+                 pid);
+    write_json_string(f, name);
+    std::fputs("}}", f);
+  }
+  for (const auto* s : ordered) {
+    if (!first) std::fputc(',', f);
+    first = false;
+    const double ts_us = static_cast<double>(s->start_ns - base) / 1000.0;
+    std::fputs("\n{\"ph\":", f);
+    std::fputs(s->instant ? "\"i\"" : "\"X\"", f);
+    std::fputs(",\"name\":", f);
+    write_json_string(f, s->name);
+    std::fputs(",\"cat\":", f);
+    write_json_string(f, s->cat.empty() ? std::string{"-"} : s->cat);
+    std::fprintf(f, ",\"pid\":%u,\"tid\":%u,\"ts\":%.3f", s->pid, s->tid,
+                 ts_us);
+    if (s->instant) {
+      std::fputs(",\"s\":\"t\"", f);
+    } else {
+      std::fprintf(f, ",\"dur\":%.3f",
+                   static_cast<double>(s->dur_ns) / 1000.0);
+    }
+    std::fprintf(f, ",\"args\":{\"v\":%llu}}",
+                 static_cast<unsigned long long>(s->arg));
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ms\"}\n", f);
+  std::fclose(f);
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (active()) Tracer::instance().begin_session();
+}
+
+TraceSession::~TraceSession() {
+  if (!active()) return;
+  try {
+    auto spans = Tracer::instance().end_session();
+    spans.insert(spans.end(), std::make_move_iterator(foreign_.begin()),
+                 std::make_move_iterator(foreign_.end()));
+    write_chrome_trace(path_, spans, process_names_);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs: trace export failed: %s\n", e.what());
+  }
+}
+
+void TraceSession::add_foreign(std::vector<CollectedSpan> spans) {
+  if (!active()) return;
+  foreign_.insert(foreign_.end(), std::make_move_iterator(spans.begin()),
+                  std::make_move_iterator(spans.end()));
+}
+
+void TraceSession::add_process_name(std::uint32_t pid, std::string name) {
+  if (!active()) return;
+  process_names_.push_back({pid, std::move(name)});
+}
+
+}  // namespace cosmos::obs

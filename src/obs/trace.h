@@ -1,0 +1,172 @@
+// Per-thread lock-free span tracer, exported as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing — see docs/observability.md).
+//
+// Design:
+//  - One process-global Tracer with a relaxed-atomic enabled flag. When
+//    disabled (the default), a Span costs one relaxed load and nothing
+//    else — no clock read, no buffer write — so instrumentation can stay
+//    compiled into hot paths permanently.
+//  - Each recording thread owns a fixed-capacity SPSC ring buffer,
+//    registered on first use. The owning thread is the only writer; the
+//    single drain caller (driver/serve thread) is the only reader. Release/
+//    acquire on the ring indices is the entire synchronization — recording
+//    never takes a lock, never allocates, and drops (counted) rather than
+//    blocks when the reader falls behind.
+//  - Span names and categories must be string literals (or otherwise
+//    outlive the session): the ring stores the pointers; strings are only
+//    materialized at drain time.
+//
+// Session discipline: begin_session()/end_session() must run while no
+// traced thread is recording (the runtime is constructed/joined around
+// them in practice). drain() may run concurrently with recorders — that is
+// the point: federated workers drain incrementally and ship spans in
+// kStatsSample frames while their shards keep executing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace cosmos::obs {
+
+/// A drained span (or instant event), detached from any thread buffer:
+/// the unit the Chrome JSON writer and the kStatsSample frame carry.
+struct CollectedSpan {
+  std::string name;
+  std::string cat;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< 0 and instant=true for point events
+  std::uint64_t arg = 0;     ///< one numeric argument (engine/shard/worker)
+  std::uint32_t tid = 0;     ///< recording thread, unique per process
+  std::uint32_t pid = 0;     ///< process lane: 0 driver, worker_index+1
+  bool instant = false;
+};
+
+class Tracer {
+ public:
+  /// The process-global tracer every Span records into.
+  [[nodiscard]] static Tracer& instance();
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears all buffers from a previous session and enables recording.
+  /// Must not run concurrently with recorders or drain().
+  void begin_session();
+  /// Disables recording and returns everything still buffered. Must not
+  /// run concurrently with recorders or drain().
+  [[nodiscard]] std::vector<CollectedSpan> end_session();
+
+  /// Records one completed span (called by ~Span; callers use Span).
+  void record(const char* name, const char* cat, std::uint64_t start_ns,
+              std::uint64_t dur_ns, std::uint64_t arg) noexcept;
+  /// Records a point event at now_ns() (no-op when disabled).
+  void instant(const char* name, const char* cat,
+               std::uint64_t arg = 0) noexcept;
+
+  /// Moves out everything recorded so far (single caller at a time;
+  /// safe to run while recorders are active).
+  [[nodiscard]] std::vector<CollectedSpan> drain();
+
+  /// Events dropped because a thread's ring was full (cumulative for the
+  /// current session).
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+ private:
+  /// One recorded event as stored in the ring: name/cat as raw pointers
+  /// (must be literals), materialized to strings only at drain time.
+  struct Slot {
+    const char* name = nullptr;
+    const char* cat = nullptr;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint64_t arg = 0;
+    bool instant = false;
+  };
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::uint32_t tid_, std::size_t capacity)
+        : tid(tid_), slots(capacity) {}
+    const std::uint32_t tid;
+    std::vector<Slot> slots;  ///< capacity is a power of two
+    std::atomic<std::uint64_t> head{0};  ///< writer-owned publish index
+    std::atomic<std::uint64_t> tail{0};  ///< reader-owned consume index
+    std::atomic<std::uint64_t> dropped{0};
+  };
+
+  Tracer() = default;
+  ThreadBuffer* local();
+  void push(const Slot& slot) noexcept;
+
+  std::atomic<bool> enabled_{false};
+  /// Bumped by begin_session so cached thread-local buffer pointers from
+  /// an earlier session are never dereferenced.
+  std::atomic<std::uint64_t> session_{0};
+  mutable std::mutex reg_mu_;  ///< guards buffers_ (registration + drain)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII scope: measures construction-to-destruction and records it as one
+/// complete ("X") trace event. Zero-cost when tracing is disabled.
+class Span {
+ public:
+  Span(const char* name, const char* cat, std::uint64_t arg = 0) noexcept
+      : name_(name),
+        cat_(cat),
+        arg_(arg),
+        start_ns_(Tracer::instance().enabled() ? now_ns() : 0) {}
+  ~Span() {
+    if (start_ns_ != 0) {
+      Tracer::instance().record(name_, cat_, start_ns_, now_ns() - start_ns_,
+                                arg_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_;
+};
+
+/// Serializes spans as Chrome trace-event JSON ("traceEvents" array of
+/// ph:"X"/"i" events, ts/dur in microseconds, timestamps rebased to the
+/// earliest span). `process_names` adds process_name metadata rows (pid ->
+/// label) so Perfetto shows "driver" / "worker N" lanes.
+void write_chrome_trace(
+    const std::string& path, const std::vector<CollectedSpan>& spans,
+    const std::vector<std::pair<std::uint32_t, std::string>>& process_names);
+
+/// RAII trace session for one run: begins a session on construction when
+/// `path` is non-empty, and on destruction drains the global tracer,
+/// merges any foreign (worker-shipped) spans and writes the JSON file.
+/// Inactive (all methods no-ops) when `path` is empty.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return !path_.empty(); }
+  /// Adds spans collected elsewhere (federated workers) to the export.
+  void add_foreign(std::vector<CollectedSpan> spans);
+  void add_process_name(std::uint32_t pid, std::string name);
+
+ private:
+  std::string path_;
+  std::vector<CollectedSpan> foreign_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+};
+
+}  // namespace cosmos::obs

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/clock.h"
+
 namespace cosmos::runtime {
 
 Driver::Driver(Options options, Sink sink)
@@ -22,7 +24,10 @@ void Driver::push(const std::string& stream, const stream::Tuple& t) {
       t.ts - open_.first_ts >= options_.tick_ms) {
     flush();  // virtual-clock tick: the chunk may not span further
   }
-  if (open_.runs.empty()) open_.first_ts = t.ts;
+  if (open_.runs.empty()) {
+    open_.first_ts = t.ts;
+    open_.ingest_ns = now_ns();
+  }
   if (open_.runs.empty() || open_.runs.back().stream() != stream) {
     open_.runs.emplace_back(stream);
   }

@@ -32,6 +32,10 @@ struct Chunk {
   std::size_t tuples = 0;
   stream::Timestamp first_ts = 0;
   stream::Timestamp last_ts = 0;
+  /// Wall stamp (common/clock.h now_ns) taken when the chunk opened — the
+  /// start of the end-to-end latency measurement for every tuple in it
+  /// (the oldest tuple's ingest time, so reported latency is conservative).
+  std::uint64_t ingest_ns = 0;
 };
 
 class Driver {

@@ -5,9 +5,21 @@
 #include <stdexcept>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 #include "stream/engine.h"
 
 namespace cosmos::runtime {
+namespace {
+
+/// Worker-thread-local ingest stamp of the task being executed; read by
+/// engine result taps via current_task_ingest_ns().
+thread_local std::uint64_t t_current_ingest_ns = 0;
+
+}  // namespace
+
+std::uint64_t current_task_ingest_ns() noexcept {
+  return t_current_ingest_ns;
+}
 
 Runtime::Runtime(RuntimeOptions options) {
   const std::size_t n = std::max<std::size_t>(1, options.shards);
@@ -38,6 +50,7 @@ void Runtime::dispatch(std::size_t shard, Task task) {
   }
   if (!sh.queue.try_push(task)) {
     // Queue full: block (backpressure) and account the stall.
+    const obs::Span span{"stall", "driver", shard};
     const auto t0 = Clock::now();
     if (!sh.queue.push(std::move(task))) {
       {
@@ -64,8 +77,11 @@ void Runtime::worker_loop(Shard& shard) {
     std::uint64_t tuples = 0;
     std::uint64_t runs_done = 0;
     const bool is_match = static_cast<bool>(task->match);
+    t_current_ingest_ns = task->ingest_ns;
     std::string failure;
     try {
+      const obs::Span span{is_match ? "match" : "task", "shard",
+                           task->engine_id};
       if (is_match) {
         task->match();
       } else {
@@ -93,6 +109,7 @@ void Runtime::worker_loop(Shard& shard) {
       // shard draining so drain()/stop() still complete.
       failure = e.what();
     }
+    t_current_ingest_ns = 0;
     const auto ns =
         static_cast<std::uint64_t>((thread_cpu_seconds() - cpu0) * 1e9);
     {

@@ -45,6 +45,13 @@ struct RunSlice {
   std::vector<std::uint32_t> rows;
 };
 
+/// Ingest stamp of the task the calling shard worker is currently
+/// executing (0 on any other thread, or when the task was unstamped).
+/// Engine result taps fire inside worker threads; this is how a produced
+/// result inherits its input chunk's ingest time without the engines
+/// knowing about chunks at all.
+[[nodiscard]] std::uint64_t current_task_ingest_ns() noexcept;
+
 class Runtime {
  public:
   /// One queue entry. Two shapes share it:
@@ -64,6 +71,11 @@ class Runtime {
     /// When set, the worker runs this instead of replaying runs/slices.
     /// Exceptions are captured like engine failures (first_error()).
     std::function<void()> match;
+    /// Ingest stamp (common/clock.h now_ns) of the driver chunk this task
+    /// was cut from; 0 when unstamped. Published to the executing worker
+    /// thread (current_task_ingest_ns) so engine result taps can measure
+    /// ingest-to-delivery latency per tuple.
+    std::uint64_t ingest_ns = 0;
   };
 
   explicit Runtime(RuntimeOptions options);

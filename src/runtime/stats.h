@@ -57,12 +57,14 @@ struct RuntimeStats {
   /// row per engine id ever dispatched, merged across shards.
   std::vector<EngineStats> engines;
 
-  /// Row for `engine`, or nullptr if it never ran.
+  /// Row for `engine`, or nullptr if it never ran. Binary search over the
+  /// id-sorted rows: per-engine-per-sample callers (the load monitor's
+  /// sampling loop) stay O(log n) as the engine population grows.
   [[nodiscard]] const EngineStats* engine(std::uint64_t id) const noexcept {
-    for (const auto& e : engines) {
-      if (e.engine == id) return &e;
-    }
-    return nullptr;
+    const auto it = std::lower_bound(
+        engines.begin(), engines.end(), id,
+        [](const EngineStats& e, std::uint64_t v) { return e.engine < v; });
+    return it != engines.end() && it->engine == id ? &*it : nullptr;
   }
 
   [[nodiscard]] std::uint64_t total_tuples() const noexcept {

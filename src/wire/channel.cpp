@@ -1,5 +1,7 @@
 #include "wire/channel.h"
 
+#include "obs/trace.h"
+
 namespace cosmos::wire {
 
 FrameChannel::FrameChannel(Socket socket, Options options)
@@ -28,7 +30,12 @@ void FrameChannel::sender_loop() {
             item->enqueued + std::chrono::milliseconds(item->delay_ms));
       }
       const auto buf = encode_frame(item->frame);
-      socket_.send_all(buf.data(), buf.size());
+      {
+        // to_string returns a static literal, as the tracer requires.
+        const obs::Span span{to_string(item->frame.type), "wire_send",
+                             buf.size()};
+        socket_.send_all(buf.data(), buf.size());
+      }
       bytes_sent_.fetch_add(buf.size(), std::memory_order_relaxed);
       frames_sent_.fetch_add(1, std::memory_order_relaxed);
     } catch (const std::exception& e) {
@@ -58,6 +65,8 @@ std::optional<Frame> FrameChannel::recv() {
     bytes_received_.fetch_add(kFrameHeaderBytes + frame->payload.size(),
                               std::memory_order_relaxed);
     frames_received_.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::instance().instant(to_string(frame->type), "wire_recv",
+                                    frame->payload.size());
   }
   return frame;
 }

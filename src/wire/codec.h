@@ -69,6 +69,7 @@ enum class FrameType : std::uint16_t {
   kTrafficReport = 19, ///< serialized TrafficStats
   kError = 20,         ///< node-side failure description (session is dead)
   kBye = 21,           ///< orderly end of session
+  kStatsSample = 22,   ///< node -> driver: metrics snapshot + trace spans
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;

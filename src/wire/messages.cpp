@@ -63,6 +63,8 @@ Frame encode_hello(const HelloMsg& m) {
   w.u32(m.worker_index);
   w.u32(m.shards);
   w.i64(m.send_delay_ms);
+  w.i64(m.stats_sample_every_ms);
+  w.u8(m.trace);
   return finish(FrameType::kHello, std::move(w));
 }
 
@@ -72,6 +74,8 @@ HelloMsg decode_hello(const Frame& f) {
   m.worker_index = r.u32();
   m.shards = r.u32();
   m.send_delay_ms = r.i64();
+  m.stats_sample_every_ms = r.i64();
+  m.trace = r.u8();
   r.done();
   return m;
 }
@@ -226,6 +230,7 @@ Frame encode_execute(const ExecuteMsg& m) {
   Writer w;
   encode_node_id(w, m.engine);
   encode_batch(w, m.batch);
+  w.u64(m.ingest_ns);
   return finish(FrameType::kExecute, std::move(w));
 }
 
@@ -234,6 +239,7 @@ ExecuteMsg decode_execute(const Frame& f) {
   ExecuteMsg m;
   m.engine = decode_node_id(r);
   m.batch = decode_batch(r);
+  m.ingest_ns = r.u64();
   r.done();
   return m;
 }
@@ -244,6 +250,7 @@ Frame encode_result(const ResultMsg& m) {
   for (const auto& e : m.events) {
     w.str(e.stream);
     encode_tuple(w, e.tuple);
+    w.u64(e.ingest_ns);
   }
   return finish(FrameType::kResult, std::move(w));
 }
@@ -258,6 +265,7 @@ ResultMsg decode_result(const Frame& f) {
     ResultEventMsg e;
     e.stream = r.str();
     e.tuple = decode_tuple(r);
+    e.ingest_ns = r.u64();
     m.events.push_back(std::move(e));
   }
   r.done();
@@ -419,5 +427,137 @@ ErrorMsg decode_error(const Frame& f) {
 }
 
 Frame encode_bye() { return Frame{FrameType::kBye, {}}; }
+
+namespace {
+
+void encode_histogram_snapshot(Writer& w, const obs::HistogramSnapshot& h) {
+  w.u64(h.count);
+  w.u64(h.sum);
+  w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+  for (const auto& [bucket, n] : h.buckets) {
+    w.u16(bucket);
+    w.u64(n);
+  }
+}
+
+[[nodiscard]] obs::HistogramSnapshot decode_histogram_snapshot(Reader& r) {
+  obs::HistogramSnapshot h;
+  h.count = r.u64();
+  h.sum = r.u64();
+  const std::uint32_t buckets = r.u32();
+  check_count(buckets, r.remaining(), "histogram bucket");
+  h.buckets.reserve(buckets);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < buckets; ++i) {
+    const std::uint16_t bucket = r.u16();
+    if (bucket >= obs::kBucketCount ||
+        (i != 0 && bucket <= prev)) {
+      throw Error{"wire: histogram buckets not strictly ascending in range"};
+    }
+    prev = bucket;
+    h.buckets.emplace_back(bucket, r.u64());
+  }
+  return h;
+}
+
+void encode_metrics_snapshot(Writer& w, const obs::MetricsSnapshot& m) {
+  w.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const auto& [name, v] : m.counters) {
+    w.str(name);
+    w.u64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(m.gauges.size()));
+  for (const auto& [name, v] : m.gauges) {
+    w.str(name);
+    w.f64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(m.histograms.size()));
+  for (const auto& [name, h] : m.histograms) {
+    w.str(name);
+    encode_histogram_snapshot(w, h);
+  }
+}
+
+[[nodiscard]] obs::MetricsSnapshot decode_metrics_snapshot(Reader& r) {
+  obs::MetricsSnapshot m;
+  const std::uint32_t counters = r.u32();
+  check_count(counters, r.remaining(), "metric counter");
+  m.counters.reserve(counters);
+  for (std::uint32_t i = 0; i < counters; ++i) {
+    auto name = r.str();
+    m.counters.emplace_back(std::move(name), r.u64());
+  }
+  const std::uint32_t gauges = r.u32();
+  check_count(gauges, r.remaining(), "metric gauge");
+  m.gauges.reserve(gauges);
+  for (std::uint32_t i = 0; i < gauges; ++i) {
+    auto name = r.str();
+    m.gauges.emplace_back(std::move(name), r.f64());
+  }
+  const std::uint32_t histograms = r.u32();
+  check_count(histograms, r.remaining(), "metric histogram");
+  m.histograms.reserve(histograms);
+  for (std::uint32_t i = 0; i < histograms; ++i) {
+    auto name = r.str();
+    m.histograms.emplace_back(std::move(name), decode_histogram_snapshot(r));
+  }
+  return m;
+}
+
+void encode_span(Writer& w, const obs::CollectedSpan& s) {
+  w.str(s.name);
+  w.str(s.cat);
+  w.u64(s.start_ns);
+  w.u64(s.dur_ns);
+  w.u64(s.arg);
+  w.u32(s.tid);
+  w.u8(s.instant ? 1 : 0);
+  // pid is assigned driver-side from the owning channel's worker index;
+  // it does not travel.
+}
+
+[[nodiscard]] obs::CollectedSpan decode_span(Reader& r) {
+  obs::CollectedSpan s;
+  s.name = r.str();
+  s.cat = r.str();
+  s.start_ns = r.u64();
+  s.dur_ns = r.u64();
+  s.arg = r.u64();
+  s.tid = r.u32();
+  s.instant = r.u8() != 0;
+  return s;
+}
+
+}  // namespace
+
+Frame encode_stats_sample(const StatsSampleMsg& m) {
+  Writer w;
+  w.u16(m.version);
+  w.u32(m.worker_index);
+  w.i64(m.now_ms);
+  encode_metrics_snapshot(w, m.metrics);
+  w.u32(static_cast<std::uint32_t>(m.spans.size()));
+  for (const auto& s : m.spans) encode_span(w, s);
+  return finish(FrameType::kStatsSample, std::move(w));
+}
+
+StatsSampleMsg decode_stats_sample(const Frame& f) {
+  auto r = open(f, FrameType::kStatsSample);
+  StatsSampleMsg m;
+  m.version = r.u16();
+  if (m.version != StatsSampleMsg::kVersion) {
+    throw Error{"wire: unsupported stats-sample version " +
+                std::to_string(m.version)};
+  }
+  m.worker_index = r.u32();
+  m.now_ms = r.i64();
+  m.metrics = decode_metrics_snapshot(r);
+  const std::uint32_t spans = r.u32();
+  check_count(spans, r.remaining(), "trace span");
+  m.spans.reserve(spans);
+  for (std::uint32_t i = 0; i < spans; ++i) m.spans.push_back(decode_span(r));
+  r.done();
+  return m;
+}
 
 }  // namespace cosmos::wire

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wire/codec.h"
 
 namespace cosmos::wire {
@@ -23,6 +25,12 @@ struct HelloMsg {
   std::uint32_t worker_index = 0;
   std::uint32_t shards = 1;
   std::int64_t send_delay_ms = 0;
+  /// Stream-time period between unsolicited kStatsSample frames the node
+  /// emits (driven by watermarks); 0 disables periodic sampling.
+  std::int64_t stats_sample_every_ms = 0;
+  /// Non-zero: the node enables its span tracer and ships collected spans
+  /// in its kStatsSample frames for driver-side timeline merging.
+  std::uint8_t trace = 0;
 };
 
 struct HelloAckMsg {
@@ -75,11 +83,16 @@ struct MatchResponseMsg {
 struct ExecuteMsg {
   NodeId engine;  ///< hosting node of the target engine
   runtime::TupleBatch batch;  ///< pre-routed rows, in engine input order
+  /// Ingest stamp (common/clock.h now_ns) of the chunk these rows came
+  /// from; echoed back on every result the batch produces so the driver
+  /// can close the end-to-end latency measurement. 0 = not measured.
+  std::uint64_t ingest_ns = 0;
 };
 
 struct ResultEventMsg {
   std::string stream;  ///< unit result stream
   stream::Tuple tuple;
+  std::uint64_t ingest_ns = 0;  ///< see ExecuteMsg::ingest_ns
 };
 
 struct ResultMsg {
@@ -130,6 +143,19 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// Node -> driver, unsolicited: a snapshot of the node's local metrics and
+/// (when tracing) the spans collected since the previous sample. The frame
+/// carries its own format version so the payload can evolve without a
+/// protocol-version bump; decode rejects versions it does not know.
+struct StatsSampleMsg {
+  static constexpr std::uint16_t kVersion = 1;
+  std::uint16_t version = kVersion;
+  std::uint32_t worker_index = 0;
+  stream::Timestamp now_ms = 0;  ///< node's current stream-time watermark
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::CollectedSpan> spans;
+};
+
 [[nodiscard]] Frame encode_hello(const HelloMsg& m);
 [[nodiscard]] HelloMsg decode_hello(const Frame& f);
 [[nodiscard]] Frame encode_hello_ack(const HelloAckMsg& m);
@@ -170,5 +196,7 @@ struct ErrorMsg {
 [[nodiscard]] Frame encode_error(const ErrorMsg& m);
 [[nodiscard]] ErrorMsg decode_error(const Frame& f);
 [[nodiscard]] Frame encode_bye();
+[[nodiscard]] Frame encode_stats_sample(const StatsSampleMsg& m);
+[[nodiscard]] StatsSampleMsg decode_stats_sample(const Frame& f);
 
 }  // namespace cosmos::wire

@@ -15,8 +15,11 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -173,6 +176,66 @@ TEST(Federation, ScriptedMigrationShipsStateAndPreservesResults) {
     ASSERT_EQ(fed_log, push_log)
         << "migration differential mismatch: seed=" << seed;
     for (auto& p : fleet.procs) EXPECT_EQ(p.wait(), 0);
+  }
+}
+
+TEST(Federation, TracingAndStatsSamplingPreserveResultsAndMergeTraces) {
+  // Observability across the wire must be a pure observer: with span
+  // tracing and periodic worker stats sampling on, the federated result
+  // log stays byte-identical to push(), worker registry samples arrive,
+  // and the merged Chrome trace holds both driver (pid 0) and worker
+  // (pid >= 1) spans.
+  const auto w = make_workload(5);
+  ResultLog push_log;
+  {
+    auto sys = build_system(w, push_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+  }
+
+  const std::string trace_path = ::testing::TempDir() + "fed_trace_" +
+                                 std::to_string(::getpid()) + ".json";
+  auto fleet = spawn_fleet(2, "trace");
+  ResultLog fed_log;
+  auto sys = build_system(w, fed_log);
+  Cosmos::FederationOptions opts;
+  opts.workers = fleet.endpoints;
+  opts.batch_size = 32;
+  opts.tick_ms = 20 * 60'000;
+  opts.trace_path = trace_path;
+  opts.stats_sample_every_ms = 60 * 60'000;
+  const auto report = sys->run_federated(w.events, opts);
+
+  ASSERT_EQ(fed_log, push_log) << "tracing perturbed the result stream";
+  EXPECT_GT(report.e2e_latency.count, 0u);
+
+  // Every worker shipped at least its final flush-time sample, and the
+  // samples carry the node-side shard counters.
+  ASSERT_FALSE(report.federation.samples.empty());
+  std::set<std::size_t> sampled_workers;
+  std::uint64_t sampled_tuples = 0;
+  for (const auto& s : report.federation.samples) {
+    sampled_workers.insert(s.worker);
+    if (const auto* tuples = s.metrics.counter("shard.tuples")) {
+      sampled_tuples += *tuples;
+    }
+  }
+  EXPECT_EQ(sampled_workers.size(), 2u);
+  EXPECT_GT(sampled_tuples, 0u);
+
+  for (auto& p : fleet.procs) EXPECT_EQ(p.wait(), 0);
+
+  std::ifstream in{trace_path};
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::remove(trace_path.c_str());
+  // Driver pipeline spans and worker-side shard spans share the file,
+  // re-homed to per-process lanes.
+  for (const char* needle :
+       {"\"match_wait\"", "\"deliver\"", "\"task\"", "\"pid\":1",
+        "\"pid\":2", "\"worker 0\"", "\"worker 1\"", "\"ph\":\"M\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
   }
 }
 

@@ -10,10 +10,16 @@
 // On failure the seed and configuration are printed; replay one seed with
 //   COSMOS_DIFF_SEED=<seed> ./tests_integration_differential_test
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "cosmos/cosmos.h"
+#include "obs/trace.h"
 #include "support/random_workload.h"
 
 namespace cosmos::middleware {
@@ -72,6 +78,53 @@ TEST(Differential, RunMatchesPushAcrossShardsBatchesAndAdaptation) {
   }
   // The sweep must exercise real result flow, not vacuous empty logs.
   EXPECT_GT(total_results, 0u);
+}
+
+TEST(Differential, TracingAndLatencyRecordingDoNotPerturbResults) {
+  // Observability must be a pure observer: with span tracing and the e2e
+  // latency histogram live, the result log stays byte-identical to push(),
+  // and the run leaves behind a loadable Chrome trace plus a populated
+  // latency histogram.
+  const auto w = make_workload(3);
+
+  ResultLog push_log;
+  {
+    auto sys = build_system(w, push_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+  }
+
+  const std::string trace_path = ::testing::TempDir() + "diff_trace_" +
+                                 std::to_string(::getpid()) + ".json";
+  ResultLog run_log;
+  auto sys = build_system(w, run_log);
+  Cosmos::RunOptions opts;
+  opts.shards = 4;
+  opts.batch_size = 64;
+  opts.tick_ms = 20 * 60'000;
+  opts.trace_path = trace_path;
+  const auto report = sys->run(w.events, opts);
+
+  EXPECT_EQ(run_log, push_log);
+  EXPECT_GT(report.e2e_latency.count, 0u);
+  EXPECT_GT(report.e2e_latency.percentile(50.0), 0u);
+  ASSERT_NE(report.metrics.histogram("e2e_latency_ns"), nullptr);
+  EXPECT_EQ(report.metrics.histogram("e2e_latency_ns")->count,
+            report.e2e_latency.count);
+
+  std::ifstream in{trace_path};
+  ASSERT_TRUE(in.good()) << trace_path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::remove(trace_path.c_str());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Driver pipeline stages and shard work all have lanes in the trace.
+  for (const char* name : {"\"match_wait\"", "\"route\"", "\"dispatch\"",
+                           "\"deliver\"", "\"task\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // Recording stopped with the run: the tracer is disabled again.
+  EXPECT_FALSE(obs::Tracer::instance().enabled());
 }
 
 }  // namespace

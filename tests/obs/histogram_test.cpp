@@ -1,0 +1,113 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace cosmos::obs {
+namespace {
+
+TEST(BucketIndex, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < kSubBuckets; ++v) {
+    EXPECT_EQ(bucket_index(v), v);
+    EXPECT_EQ(bucket_lower(v), v);
+    EXPECT_EQ(bucket_mid(v), v);  // width-1 buckets report exactly
+  }
+}
+
+TEST(BucketIndex, MonotoneAndInBounds) {
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 100'000; ++v) {
+    const std::size_t i = bucket_index(v);
+    ASSERT_LT(i, kBucketCount);
+    ASSERT_GE(i, prev) << "v=" << v;
+    prev = i;
+  }
+  EXPECT_LT(bucket_index(UINT64_MAX), kBucketCount);
+}
+
+TEST(BucketIndex, LowerBoundIsTheInverse) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t lo = bucket_lower(i);
+    EXPECT_EQ(bucket_index(lo), i);
+    if (lo > 0) EXPECT_LT(bucket_index(lo - 1), i);
+  }
+}
+
+TEST(BucketIndex, RelativeErrorIsBounded) {
+  // A value's reported midpoint is within ~6.7% (1/15) of the true value
+  // for all octave buckets; exhaustive over a sweep of magnitudes.
+  std::mt19937_64 rng{7};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const std::uint64_t v = rng() >> (rng() % 56);
+    const std::uint64_t mid = bucket_mid(bucket_index(v));
+    const double err =
+        std::abs(static_cast<double>(mid) - static_cast<double>(v)) /
+        std::max<double>(1.0, static_cast<double>(v));
+    EXPECT_LE(err, 1.0 / 15.0) << "v=" << v << " mid=" << mid;
+  }
+}
+
+TEST(HistogramSnapshot, RecordMergePercentile) {
+  HistogramSnapshot a;
+  for (std::uint64_t v = 1; v <= 100; ++v) a.record(v * 1000);
+  EXPECT_EQ(a.count, 100u);
+  EXPECT_EQ(a.sum, 1000u * (100 * 101) / 2);
+
+  // Percentiles are bucket midpoints: within the documented ~6.7% band.
+  const auto near = [](std::uint64_t got, std::uint64_t want) {
+    const double err = std::abs(static_cast<double>(got) -
+                                static_cast<double>(want)) /
+                       static_cast<double>(want);
+    EXPECT_LE(err, 1.0 / 15.0) << "got=" << got << " want=" << want;
+  };
+  near(a.percentile(50.0), 50'000);
+  near(a.percentile(95.0), 95'000);
+  near(a.percentile(99.0), 99'000);
+  near(a.percentile(100.0), 100'000);
+
+  HistogramSnapshot b;
+  for (int i = 0; i < 900; ++i) b.record(10);
+  b.merge(a);
+  EXPECT_EQ(b.count, 1000u);
+  EXPECT_EQ(b.percentile(50.0), 10u);  // the 900 exact-bucket values win
+  near(b.percentile(99.0), 91'000);    // p99 of the merged distribution
+}
+
+TEST(HistogramSnapshot, EmptyIsZero) {
+  const HistogramSnapshot h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * 1'000'000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  std::uint16_t prev = 0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    if (i > 0) EXPECT_GT(snap.buckets[i].first, prev);
+    prev = snap.buckets[i].first;
+    bucket_total += snap.buckets[i].second;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace cosmos::obs

@@ -1,0 +1,93 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cosmos::obs {
+namespace {
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableCells) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("tuples");
+  EXPECT_EQ(&c, &reg.counter("tuples"));  // same name, same cell
+  c.add(3);
+  reg.counter("tuples").add(2);
+  EXPECT_EQ(c.value(), 5u);
+
+  reg.gauge("depth").set(7.5);
+  reg.histogram("lat").record(100);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_NE(snap.counter("tuples"), nullptr);
+  EXPECT_EQ(*snap.counter("tuples"), 5u);
+  ASSERT_NE(snap.gauge("depth"), nullptr);
+  EXPECT_EQ(*snap.gauge("depth"), 7.5);
+  ASSERT_NE(snap.histogram("lat"), nullptr);
+  EXPECT_EQ(snap.histogram("lat")->count, 1u);
+  EXPECT_EQ(snap.counter("missing"), nullptr);
+  EXPECT_EQ(snap.gauge("missing"), nullptr);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zebra").add(1);
+  reg.counter("alpha").add(2);
+  reg.counter("mid").add(3);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+TEST(MetricsSnapshot, MergeAddsCountersAndHistograms) {
+  MetricsRegistry a;
+  a.counter("shared").add(10);
+  a.counter("only_a").add(1);
+  a.gauge("g").set(1.0);
+  a.histogram("h").record(100);
+
+  MetricsRegistry b;
+  b.counter("shared").add(5);
+  b.counter("only_b").add(2);
+  b.gauge("g").set(2.0);
+  b.histogram("h").record(200);
+
+  MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(*merged.counter("shared"), 15u);
+  EXPECT_EQ(*merged.counter("only_a"), 1u);
+  EXPECT_EQ(*merged.counter("only_b"), 2u);
+  EXPECT_EQ(*merged.gauge("g"), 2.0);  // last writer wins
+  EXPECT_EQ(merged.histogram("h")->count, 2u);
+  // Merged vectors stay name-sorted (lookup depends on it).
+  for (std::size_t i = 1; i < merged.counters.size(); ++i) {
+    EXPECT_LT(merged.counters[i - 1].first, merged.counters[i].first);
+  }
+}
+
+TEST(MetricsRegistry, SnapshotWhileRecording) {
+  // LoadMonitor-style consumption: snapshots taken while recorders run
+  // must be internally consistent (no torn names, count <= final).
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  std::thread writer{[&c] {
+    for (int i = 0; i < 200'000; ++i) c.add();
+  }};
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    const std::uint64_t* v = snap.counter("events");
+    ASSERT_NE(v, nullptr);
+    EXPECT_GE(*v, last);  // monotone across samples
+    last = *v;
+  }
+  writer.join();
+  EXPECT_EQ(c.value(), 200'000u);
+}
+
+}  // namespace
+}  // namespace cosmos::obs

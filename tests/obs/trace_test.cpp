@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cosmos::obs {
+namespace {
+
+/// The tracer is process-global: each test runs its own session and the
+/// fixture guarantees recording is off again afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { (void)Tracer::instance().end_session(); }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(Tracer::instance().enabled());
+  { const Span span{"noop", "test", 1}; }
+  Tracer::instance().instant("noop", "test");
+  Tracer::instance().begin_session();
+  // Only what is recorded after begin_session shows up.
+  EXPECT_TRUE(Tracer::instance().end_session().empty());
+}
+
+TEST_F(TraceTest, SpansCarryNameCategoryArgAndDuration) {
+  Tracer::instance().begin_session();
+  { const Span span{"work", "unit", 42}; }
+  Tracer::instance().instant("tick", "unit", 7);
+  const auto spans = Tracer::instance().end_session();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].cat, "unit");
+  EXPECT_EQ(spans[0].arg, 42u);
+  EXPECT_FALSE(spans[0].instant);
+  EXPECT_GT(spans[0].start_ns, 0u);
+  EXPECT_EQ(spans[1].name, "tick");
+  EXPECT_TRUE(spans[1].instant);
+  EXPECT_EQ(spans[1].arg, 7u);
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+}
+
+TEST_F(TraceTest, MultiThreadedRecordingGetsDistinctTids) {
+  Tracer::instance().begin_session();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Span span{"task", "worker"};
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto spans = Tracer::instance().end_session();
+  EXPECT_EQ(spans.size() + Tracer::instance().dropped(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<std::uint32_t> tids;
+  for (const auto& s : spans) tids.push_back(s.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, DrainWhileRecordingAndRingOverflowDropsNotBlocks) {
+  Tracer::instance().begin_session();
+  // Overflow one thread's ring: everything past capacity must be counted
+  // as dropped, not block or crash.
+  for (int i = 0; i < 10'000; ++i) {
+    Tracer::instance().instant("e", "t");
+  }
+  auto first = Tracer::instance().drain();
+  EXPECT_GT(first.size(), 0u);
+  EXPECT_EQ(first.size() + Tracer::instance().dropped(), 10'000u);
+  // After a drain the ring has room again.
+  Tracer::instance().instant("late", "t");
+  const auto second = Tracer::instance().drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].name, "late");
+}
+
+TEST_F(TraceTest, SessionRestartInvalidatesOldBuffers) {
+  Tracer::instance().begin_session();
+  { const Span span{"first", "t"}; }
+  (void)Tracer::instance().end_session();
+  Tracer::instance().begin_session();
+  { const Span span{"second", "t"}; }
+  const auto spans = Tracer::instance().end_session();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "second");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonShape) {
+  std::vector<CollectedSpan> spans;
+  CollectedSpan a;
+  a.name = "span \"quoted\"";
+  a.cat = "driver";
+  a.start_ns = 2'000'000;
+  a.dur_ns = 500'000;
+  a.arg = 3;
+  a.tid = 1;
+  a.pid = 0;
+  spans.push_back(a);
+  CollectedSpan b;
+  b.name = "migration";
+  b.cat = "driver";
+  b.start_ns = 2'100'000;
+  b.instant = true;
+  b.tid = 2;
+  b.pid = 1;
+  spans.push_back(b);
+
+  const std::string path =
+      ::testing::TempDir() + "trace_test_" +
+      std::to_string(::getpid()) + ".json";
+  write_chrome_trace(path, spans, {{0, "driver"}, {1, "worker 0"}});
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("span \\\"quoted\\\""), std::string::npos);
+  // Timestamps rebased to the earliest span: first event at ts 0.000.
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":500.000"), std::string::npos);
+}
+
+TEST_F(TraceTest, TraceSessionWritesMergedFile) {
+  const std::string path =
+      ::testing::TempDir() + "trace_session_" +
+      std::to_string(::getpid()) + ".json";
+  {
+    TraceSession session{path};
+    ASSERT_TRUE(session.active());
+    session.add_process_name(0, "driver");
+    { const Span span{"local", "driver"}; }
+    CollectedSpan foreign;
+    foreign.name = "remote";
+    foreign.cat = "shard";
+    foreign.start_ns = now_ns();
+    foreign.dur_ns = 10;
+    foreign.pid = 1;
+    session.add_foreign({foreign});
+  }  // destructor drains + writes
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::remove(path.c_str());
+  EXPECT_NE(json.find("\"local\""), std::string::npos);
+  EXPECT_NE(json.find("\"remote\""), std::string::npos);
+
+  TraceSession inactive{""};
+  EXPECT_FALSE(inactive.active());
+  EXPECT_FALSE(Tracer::instance().enabled());
+}
+
+}  // namespace
+}  // namespace cosmos::obs

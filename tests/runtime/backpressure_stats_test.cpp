@@ -1,0 +1,150 @@
+// Satellite coverage for the runtime's backpressure observability: a
+// tiny-queue workload with a slow consumer must populate ShardStats'
+// stall_ns and max_queue_depth, and repeated Runtime::stats() snapshots
+// must be monotone (counters only grow between quiescent points). Also
+// pins down RuntimeStats::engine()'s binary search over the id-sorted
+// per-engine rows.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "runtime/runtime.h"
+#include "runtime/stats.h"
+#include "stream/engine.h"
+
+namespace cosmos::runtime {
+namespace {
+
+using stream::Engine;
+using stream::Schema;
+using stream::Tuple;
+using stream::Value;
+using stream::ValueType;
+
+Schema one_field() { return Schema{{{"v", ValueType::kInt}}}; }
+
+TEST(BackpressureStats, StallAndQueueDepthPopulateUnderTinyQueues) {
+  Engine engine;
+  engine.register_stream("S", one_field());
+  // Slow consumer: every tuple burns a little wall time so the dispatcher
+  // outruns the single capacity-1 shard queue and must block.
+  engine.attach("S", [](const Tuple&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+
+  Runtime rt{{1, 1}};  // one shard, queue capacity 1
+  rt.start();
+  // Timestamps must advance batch to batch: the engine rejects
+  // out-of-order publishes.
+  const auto make_batch = [](int b) {
+    TupleBatch batch{"S"};
+    for (int i = 0; i < 4; ++i) {
+      const int ts = b * 4 + i;
+      batch.push_back(Tuple{ts, {Value{ts}}});
+    }
+    return batch;
+  };
+  for (int b = 0; b < 50; ++b) {
+    Runtime::Task task;
+    task.engine = &engine;
+    task.engine_id = 9;
+    task.runs.push_back(make_batch(b));
+    rt.dispatch(0, std::move(task));
+  }
+  rt.drain();
+
+  const RuntimeStats mid = rt.stats();
+  ASSERT_EQ(mid.shards.size(), 1u);
+  EXPECT_EQ(mid.shards[0].tuples, 200u);
+  EXPECT_GT(mid.shards[0].stall_ns, 0u) << "tiny queue never blocked?";
+  EXPECT_GE(mid.shards[0].max_queue_depth, 1u);
+  EXPECT_GT(mid.total_stall_seconds(), 0.0);
+
+  // More work after the first snapshot: a later snapshot only grows.
+  for (int b = 50; b < 60; ++b) {
+    Runtime::Task task;
+    task.engine = &engine;
+    task.engine_id = 9;
+    task.runs.push_back(make_batch(b));
+    rt.dispatch(0, std::move(task));
+  }
+  rt.drain();
+  const RuntimeStats late = rt.stats();
+  EXPECT_EQ(late.shards[0].tuples, 240u);
+  EXPECT_GE(late.shards[0].stall_ns, mid.shards[0].stall_ns);
+  EXPECT_GE(late.shards[0].max_queue_depth, mid.shards[0].max_queue_depth);
+  EXPECT_GE(late.shards[0].busy_ns, mid.shards[0].busy_ns);
+  rt.stop();
+}
+
+TEST(BackpressureStats, PerShardCountersMergeIntoRuntimeTotals) {
+  Engine a;
+  a.register_stream("S", one_field());
+  a.attach("S", [](const Tuple&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  Engine b;
+  b.register_stream("S", one_field());
+  b.attach("S", [](const Tuple&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+
+  Runtime rt{{2, 1}};
+  rt.start();
+  const auto make_batch = [](int n) {
+    TupleBatch batch{"S"};
+    for (int i = 0; i < 2; ++i) {
+      const int ts = n * 2 + i;
+      batch.push_back(Tuple{ts, {Value{ts}}});
+    }
+    return batch;
+  };
+  for (int n = 0; n < 40; ++n) {
+    Runtime::Task ta;
+    ta.engine = &a;
+    ta.engine_id = 1;
+    ta.runs.push_back(make_batch(n));
+    rt.dispatch(0, std::move(ta));
+    Runtime::Task tb;
+    tb.engine = &b;
+    tb.engine_id = 2;
+    tb.runs.push_back(make_batch(n));
+    rt.dispatch(1, std::move(tb));
+  }
+  rt.drain();
+  const RuntimeStats stats = rt.stats();
+  ASSERT_EQ(stats.shards.size(), 2u);
+  EXPECT_EQ(stats.total_tuples(), 160u);
+  // The aggregate equals the sum of both shards' stall shares.
+  const double per_shard = static_cast<double>(stats.shards[0].stall_ns +
+                                               stats.shards[1].stall_ns) *
+                           1e-9;
+  EXPECT_DOUBLE_EQ(stats.total_stall_seconds(), per_shard);
+  rt.stop();
+}
+
+TEST(RuntimeStatsEngine, BinarySearchFindsEveryIdAndRejectsAbsentOnes) {
+  RuntimeStats stats;
+  // Sparse, sorted ids — the shape Runtime::stats() produces.
+  for (const std::uint64_t id : {2u, 5u, 9u, 40u, 1000u}) {
+    EngineStats e;
+    e.engine = id;
+    e.tuples = id * 10;
+    stats.engines.push_back(e);
+  }
+  for (const auto& e : stats.engines) {
+    const EngineStats* row = stats.engine(e.engine);
+    ASSERT_NE(row, nullptr) << e.engine;
+    EXPECT_EQ(row->tuples, e.engine * 10);
+  }
+  for (const std::uint64_t id : {0u, 1u, 3u, 8u, 41u, 999u, 1001u}) {
+    EXPECT_EQ(stats.engine(id), nullptr) << id;
+  }
+  const RuntimeStats empty;
+  EXPECT_EQ(empty.engine(0), nullptr);
+}
+
+}  // namespace
+}  // namespace cosmos::runtime

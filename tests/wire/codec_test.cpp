@@ -6,6 +6,7 @@
 // in-process representation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -115,11 +116,13 @@ TEST(WireCodec, ValueAndTupleRoundTripFuzz) {
 }
 
 TEST(WireCodec, ControlFramesRoundTrip) {
-  const HelloMsg hello{3, 4, 250};
+  const HelloMsg hello{3, 4, 250, 60'000, 1};
   const auto h = decode_hello(encode_hello(hello));
   EXPECT_EQ(h.worker_index, 3u);
   EXPECT_EQ(h.shards, 4u);
   EXPECT_EQ(h.send_delay_ms, 250);
+  EXPECT_EQ(h.stats_sample_every_ms, 60'000);
+  EXPECT_EQ(h.trace, 1);
 
   const auto ack = decode_hello_ack(encode_hello_ack({"worker info"}));
   EXPECT_EQ(ack.info, "worker info");
@@ -228,6 +231,77 @@ TEST(WireCodec, StateHandoffRoundTrip) {
   EXPECT_EQ(j.watermark, join.watermark);
   EXPECT_TRUE(tuples_eq(j.left, join.left));
   EXPECT_TRUE(tuples_eq(j.right, join.right));
+}
+
+TEST(WireCodec, ExecuteAndResultCarryIngestStamps) {
+  Rng rng{11};
+  ExecuteMsg exec;
+  exec.engine = NodeId{6};
+  exec.batch = runtime::TupleBatch{"S"};
+  exec.batch.push_back(random_tuple(rng, 2, 10));
+  exec.ingest_ns = 123'456'789'012ull;
+  const auto exec_back = decode_execute(encode_execute(exec));
+  EXPECT_EQ(exec_back.engine, exec.engine);
+  EXPECT_EQ(exec_back.ingest_ns, exec.ingest_ns);
+
+  ResultMsg result;
+  result.events.push_back({"r1", random_tuple(rng, 1, 20), 42ull});
+  result.events.push_back({"r2", random_tuple(rng, 1, 21), 0ull});
+  const auto result_back = decode_result(encode_result(result));
+  ASSERT_EQ(result_back.events.size(), 2u);
+  EXPECT_EQ(result_back.events[0].stream, "r1");
+  EXPECT_EQ(result_back.events[0].ingest_ns, 42u);
+  EXPECT_EQ(result_back.events[1].ingest_ns, 0u);
+}
+
+TEST(WireCodec, StatsSampleRoundTrip) {
+  StatsSampleMsg msg;
+  msg.worker_index = 2;
+  msg.now_ms = 3'600'000;
+  msg.metrics.counters = {{"shard.tuples", 12'345}, {"shard.tasks", 99}};
+  std::sort(msg.metrics.counters.begin(), msg.metrics.counters.end());
+  msg.metrics.gauges = {{"shard.max_queue_depth", 4.0}};
+  obs::HistogramSnapshot h;
+  for (std::uint64_t v = 1; v <= 50; ++v) h.record(v * 100);
+  msg.metrics.histograms.emplace_back("lat", h);
+  obs::CollectedSpan span;
+  span.name = "task";
+  span.cat = "shard";
+  span.start_ns = 1'000;
+  span.dur_ns = 500;
+  span.arg = 7;
+  span.tid = 3;
+  msg.spans.push_back(span);
+  obs::CollectedSpan inst;
+  inst.name = "migration";
+  inst.cat = "adapt";
+  inst.start_ns = 2'000;
+  inst.instant = true;
+  msg.spans.push_back(inst);
+
+  const auto back = decode_stats_sample(encode_stats_sample(msg));
+  EXPECT_EQ(back.version, StatsSampleMsg::kVersion);
+  EXPECT_EQ(back.worker_index, 2u);
+  EXPECT_EQ(back.now_ms, 3'600'000);
+  ASSERT_NE(back.metrics.counter("shard.tuples"), nullptr);
+  EXPECT_EQ(*back.metrics.counter("shard.tuples"), 12'345u);
+  ASSERT_NE(back.metrics.gauge("shard.max_queue_depth"), nullptr);
+  const obs::HistogramSnapshot* hb = back.metrics.histogram("lat");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->count, h.count);
+  EXPECT_EQ(hb->sum, h.sum);
+  EXPECT_EQ(hb->percentile(95.0), h.percentile(95.0));
+  ASSERT_EQ(back.spans.size(), 2u);
+  EXPECT_EQ(back.spans[0].name, "task");
+  EXPECT_EQ(back.spans[0].dur_ns, 500u);
+  EXPECT_EQ(back.spans[0].tid, 3u);
+  EXPECT_FALSE(back.spans[0].instant);
+  EXPECT_TRUE(back.spans[1].instant);
+
+  // Unsupported payload versions are rejected, not half-read.
+  StatsSampleMsg bad = msg;
+  bad.version = 99;
+  EXPECT_THROW((void)decode_stats_sample(encode_stats_sample(bad)), Error);
 }
 
 // --- fault paths -----------------------------------------------------------
