@@ -211,6 +211,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  {
+    // Peer-link topology: execute batches travel worker-to-worker, the
+    // driver ships compact route decisions. Wire bytes here include the
+    // peer-link traffic, so the comparison against fed:2w is apples to
+    // apples for total bytes moved.
+    Row row;
+    row.name = "fed:2w-peer";
+    auto fleet = spawn_fleet(2);
+    auto sys = build(row.per_query);
+    middleware::Cosmos::FederationOptions opts;
+    opts.workers = fleet.endpoints;
+    opts.batch_size = 256;
+    opts.tick_ms = 30 * 60'000;
+    opts.max_inflight_chunks = 4;
+    opts.peer_links = true;
+    const Stopwatch watch;
+    const auto report = sys->run_federated(events, opts);
+    row.wall_s = watch.seconds();
+    std::uint64_t wire_bytes = report.federation.peer_bytes;
+    for (const auto& link : report.federation.links) {
+      wire_bytes += link.bytes_sent + link.bytes_received;
+    }
+    row.wire_bytes_per_tuple =
+        static_cast<double>(wire_bytes) / static_cast<double>(events.size());
+    row.e2e_p50_us = report.e2e_percentile_us(50.0);
+    row.e2e_p99_us = report.e2e_percentile_us(99.0);
+    if (report.federation.driver_execute_bytes != 0) {
+      std::printf("!! peer-link run shipped execute bytes from the driver\n");
+    }
+    finish(std::move(row));
+    for (auto& p : fleet.procs) {
+      if (p.wait() != 0) std::printf("!! worker exited non-zero\n");
+    }
+  }
+
   bool identical = true;
   for (const auto& row : rows) {
     if (row.per_query != rows[0].per_query) {
@@ -226,6 +261,7 @@ int main(int argc, char** argv) {
   const Row& run2 = rows[1];
   const Row& fed2 = rows[2];
   const Row& fed4 = rows[3];
+  const Row& fedp = rows[4];
   std::printf("federated 2w vs in-process 2-shard: %.2fx wall "
               "(%.1f wire bytes/tuple)\n",
               run2.wall_s / fed2.wall_s, fed2.wire_bytes_per_tuple);
@@ -243,6 +279,8 @@ int main(int argc, char** argv) {
        {"fed_tuples_per_s_4w", tuples / fed4.wall_s},
        {"fed_vs_run_wall_ratio_2w", run2.wall_s / fed2.wall_s},
        {"wire_bytes_per_tuple_2w", fed2.wire_bytes_per_tuple},
+       {"fed_peer_tuples_per_s_2w", tuples / fedp.wall_s},
+       {"fed_peer_wire_bytes_per_tuple_2w", fedp.wire_bytes_per_tuple},
        {"e2e_p50_us_run_2shard", run2.e2e_p50_us},
        {"e2e_p99_us_run_2shard", run2.e2e_p99_us},
        {"fed_e2e_p50_us_2w", fed2.e2e_p50_us},

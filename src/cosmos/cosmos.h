@@ -146,6 +146,17 @@ class Cosmos {
     std::size_t workers = 0;  ///< 0 = the run was not federated
     std::vector<WireLinkStats> links;
     std::size_t migrations = 0;  ///< scripted handoffs executed
+    /// Workers that died mid-run and were respawned + resumed (requires
+    /// FederationOptions::Recovery::enabled).
+    std::size_t recoveries = 0;
+    /// Frames/bytes the workers sent over worker-to-worker peer links
+    /// (kPeerHello + peer-shipped kExecute), summed across the fleet.
+    std::uint64_t peer_frames = 0;
+    std::uint64_t peer_bytes = 0;
+    /// Bytes of kExecute frames the *driver* sent. With peer_links on this
+    /// is ~0 — batches travel worker-to-worker and the driver only ships
+    /// compact kRouteDecision frames (recovery replay is the exception).
+    std::uint64_t driver_execute_bytes = 0;
     /// Serialized join-state bytes actually shipped in kStateHandoff
     /// frames (measured on the wire, not modeled).
     std::uint64_t state_bytes_migrated = 0;
@@ -250,6 +261,37 @@ class Cosmos {
     /// samples. Workers still ship one final sample at end of session
     /// when tracing or sampling is on.
     stream::Timestamp stats_sample_every_ms = 0;
+    /// Peer-link mode: the driver distributes the fleet endpoint table
+    /// (kPeerTable), match-owner workers retain their batches, and the
+    /// driver's route stage sends compact kRouteDecision frames — execute
+    /// batches then travel worker-to-worker instead of bouncing through
+    /// the driver. Results are byte-identical either way (per-engine seq
+    /// ordering replaces single-channel FIFO); false keeps the star path
+    /// as the differential oracle.
+    bool peer_links = false;
+    /// Worker restart recovery. When enabled, the driver retains every
+    /// registration frame and a data log since the last checkpoint; on
+    /// dead-worker detection it respawns the daemon on the same endpoint
+    /// (node::spawn_noded), replays the registrations, re-hands-off each
+    /// hosted engine's checkpointed state (kMigrateIn at the checkpoint's
+    /// execute seq), replays the logged executes — the sites' seq dedup
+    /// absorbs duplicates — and resumes the run.
+    struct Recovery {
+      bool enabled = false;
+      /// cosmos_noded binary to respawn; empty = $COSMOS_NODED_PATH.
+      std::string noded_path;
+      /// Give up (sticky session error) past this many recoveries.
+      std::size_t max_recoveries = 4;
+      /// Stream-time period between recovery checkpoints (flush + per-
+      /// engine keep-state handoff). <= 0: only the initial (empty-state)
+      /// checkpoint is taken, so recovery replays from the top of the run.
+      stream::Timestamp checkpoint_every_ms = 0;
+    };
+    Recovery recovery;
+    /// Test hook: invoked after each driver chunk is dispatched, with the
+    /// 0-based chunk index. The chaos tests use it to SIGKILL a worker at
+    /// a deterministic point mid-trace.
+    std::function<void(std::size_t chunk)> on_chunk;
   };
 
   /// Replays `events` across the worker processes in `options`. Throws

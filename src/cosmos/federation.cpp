@@ -4,23 +4,37 @@
 // frame into a small mutex-guarded inbox the driver thread waits on.
 //
 // Determinism argument, mirroring run(): routing happens on the driver in
-// chunk/run order, execute frames for one engine all travel one FIFO
-// channel to one worker whose runtime pins the engine to one shard, and p2
-// result delivery runs on the driver thread in per-channel arrival order —
-// so per-query result sequences are byte-identical to push() at any worker
-// count. The per-chunk match barrier of run() is relaxed to a bounded
-// window of in-flight chunks: a chunk's match responses are awaited only
-// when the window is full (or at a migration / end of trace), never later
-// than max_inflight_chunks chunks behind the dispatch frontier.
+// chunk/run order and assigns every execute a per-engine sequence number;
+// each site applies an engine's executes strictly in seq order, so per-query
+// result sequences are byte-identical to push() at any worker count —
+// whether batches travel the star channels (peer_links=false, FIFO makes
+// the seqs trivially in order) or worker-to-worker peer links
+// (peer_links=true, the site's holdback/dedup re-establishes seq order).
+// The per-chunk match barrier of run() is relaxed to a bounded window of
+// in-flight chunks (max_inflight_chunks).
+//
+// Worker restart recovery (FederationOptions::recovery): the driver retains
+// every registration frame plus a data log of routed executes since the
+// last checkpoint. When a channel to worker i dies mid-run, the driver
+// respawns cosmos_noded on the same endpoint, replays the registrations,
+// re-hands-off each hosted engine's checkpointed state (kMigrateIn at the
+// checkpoint's execute seq), replays the logged executes (site seq dedup
+// absorbs what survivors already applied), re-sends whatever barrier was in
+// flight, and resumes. Results the dead worker already delivered are
+// discarded on re-emission (pending_discard), so the user-visible result
+// sequence stays byte-identical to a crash-free run.
 #include "cosmos/cosmos.h"
 
 #include <algorithm>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <numeric>
 #include <optional>
 #include <set>
 #include <stdexcept>
@@ -30,6 +44,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "node/spawn.h"
 #include "obs/trace.h"
 #include "wire/channel.h"
 #include "wire/messages.h"
@@ -72,17 +87,36 @@ struct Cosmos::Fed {
   // --- inbox: reader threads write, the driver thread waits (guard: mu).
   std::mutex mu;
   std::condition_variable cv;
-  std::string error;  ///< first worker fault; sticky, fails every wait
-  std::size_t hello_acks = 0;
-  std::map<std::uint64_t, std::size_t> flush_acks;  ///< seq -> ack count
+  std::string error;  ///< first unrecoverable fault; sticky, fails every wait
+  std::set<std::size_t> hello_acks;  ///< workers whose (re)hello was acked
+  /// flush seq -> the workers that acked it. Keyed per worker (not a bare
+  /// count) so recovery can retract a dead worker's ack and demand a fresh
+  /// one from its respawned successor.
+  std::map<std::uint64_t, std::set<std::size_t>> flush_acks;
   std::unordered_map<std::uint64_t, wire::MatchResponseMsg> match_responses;
-  std::vector<wire::ResultEventMsg> results_inbox;  ///< arrival order
-  std::optional<wire::StateHandoffMsg> handoff;
-  std::uint64_t handoff_wire_bytes = 0;  ///< frame size of the handoff
-  std::optional<NodeId> migrate_ack;
-  std::vector<pubsub::TrafficStats> traffic_reports;
+  /// One result event, tagged with the worker whose channel delivered it so
+  /// recovery can purge a dead worker's undelivered tail (the replay
+  /// re-emits it).
+  struct InboxResult {
+    wire::ResultEventMsg ev;
+    std::size_t worker = 0;
+  };
+  std::vector<InboxResult> results_inbox;  ///< arrival order
+  /// engine value -> (handoff, wire bytes). Last-wins per engine: a
+  /// recovery re-request can produce a duplicate handoff, byte-identical
+  /// because both were cut at the same flush + seq point.
+  std::map<std::uint64_t, std::pair<wire::StateHandoffMsg, std::uint64_t>>
+      handoffs;
+  std::set<std::uint64_t> migrate_acks;  ///< acked engine values
+  std::map<std::size_t, wire::TrafficReportMsg> traffic_reports;  ///< by worker
   std::vector<wire::StatsSampleMsg> samples_inbox;  ///< arrival order
   bool expect_close = false;  ///< set before kBye: closes are then orderly
+  /// Recovery gate: armed once replicate() + the initial checkpoint are
+  /// done (registration faults stay fatal). Guarded by mu because the
+  /// reader-side mark_dead consults it.
+  bool recovery_armed = false;
+  std::vector<char> worker_dead;         ///< 1 while awaiting recovery
+  std::deque<std::size_t> dead_pending;  ///< recovery queue, death order
 
   // --- driver-thread-only state.
   std::unordered_map<std::string, std::size_t> worker_of_stream;
@@ -90,11 +124,63 @@ struct Cosmos::Fed {
   std::uint64_t next_job = 0;
   std::uint64_t next_flush_seq = 0;
   std::size_t next_migration = 0;
+  std::size_t chunk_index = 0;
+
+  /// Per-engine execute sequence frontier: the next seq the driver will
+  /// assign. The floor carried on watermarks/flushes to an engine's worker.
+  std::unordered_map<std::uint64_t, std::uint64_t> next_exec_seq;
+  /// Registration frames replayed verbatim to a respawned worker:
+  /// topology, stream registrations, subscriptions, the peer table.
+  /// Deployments are excluded — recovery re-deploys via kMigrateIn, which
+  /// also restores state and the seq cut.
+  std::vector<wire::Frame> reg_log;
+  /// One routed execute since the last checkpoint. `owner` is the match
+  /// owner that ships the batch in peer-link mode (SIZE_MAX on the star
+  /// path, where the driver itself sent the frame): replay re-sends an
+  /// entry when its current target OR its owner is the recovered worker —
+  /// covering both a lost shipment and a lost route decision.
+  struct DataLogEntry {
+    std::size_t owner = SIZE_MAX;
+    NodeId engine;
+    std::uint64_t seq = 0;
+    std::vector<std::uint32_t> rows;  ///< empty = all rows of `run`
+    std::shared_ptr<const runtime::TupleBatch> run;
+    std::uint64_t ingest_ns = 0;
+  };
+  std::vector<DataLogEntry> data_log;
+  /// engine value -> its state at the last checkpoint cut.
+  struct EngineCheckpoint {
+    std::vector<wire::UnitStateMsg> state;
+    std::uint64_t exec_seq = 0;
+  };
+  std::unordered_map<std::uint64_t, EngineCheckpoint> ckpt;
+  stream::Timestamp ckpt_clock_ms = 0;  ///< last checkpoint's stream time
+  bool has_ckpt_clock = false;
+  /// Results delivered to user callbacks since the last checkpoint, per
+  /// result stream; when a worker dies, the replay re-emits exactly these,
+  /// so pending_discard skips that many re-deliveries per stream.
+  std::unordered_map<std::string, std::size_t> delivered_since_ckpt;
+  std::unordered_map<std::string, std::size_t> pending_discard;
+  /// In-flight barriers a respawned worker must re-answer.
+  struct OutstandingFlush {
+    std::uint64_t seq = 0;
+    std::set<std::size_t> waiting;
+  };
+  std::optional<OutstandingFlush> outstanding_flush;
+  std::optional<std::pair<NodeId, std::size_t>> outstanding_ckpt_out;
+  bool collecting_traffic = false;
+  /// Scripted migrations quiesce the fleet outside the recovery protocol;
+  /// a death inside the handshake is unrecoverable (documented limitation).
+  bool scripted_migration_active = false;
+  stream::Timestamp last_watermark = 0;
+  bool has_watermark = false;
+  std::uint64_t driver_execute_bytes = 0;
 
   /// One dispatched run awaiting (or exempt from) its match response.
   struct PendingRun {
     std::shared_ptr<const runtime::TupleBatch> run;
     std::uint64_t job = 0;
+    std::size_t owner = 0;  ///< the stream owner the match request went to
     bool awaiting = false;  ///< false: zero subscriptions, nothing to match
   };
   struct PendingChunk {
@@ -106,6 +192,22 @@ struct Cosmos::Fed {
 
   RunReport report;
 
+  /// Counter totals of channels retired by recovery, folded into the link
+  /// stats at shutdown so a recovered worker's traffic is not lost.
+  struct RetiredLink {
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+  };
+  std::vector<RetiredLink> retired;
+
+  /// Daemons respawned by recovery. Declared before `workers` so the
+  /// channels close (and their reader threads join) first; each process
+  /// destructor then reaps its already-exited child with a bounded
+  /// SIGTERM -> SIGKILL grace.
+  std::vector<node::NodeProcess> respawned;
+
   // Declared last so channel destruction (which joins the reader threads)
   // precedes destruction of everything the reader callbacks capture.
   struct Worker {
@@ -116,12 +218,44 @@ struct Cosmos::Fed {
 
   // --- reader-side handlers -----------------------------------------------
 
+  /// Unrecoverable protocol fault (decode error, kError frame): sticky.
   void fail(std::size_t i, const std::string& what) {
-    std::lock_guard lock{mu};
-    if (error.empty()) {
-      error = "worker " + std::to_string(i) + " (" + workers[i].endpoint +
-              "): " + what;
+    {
+      std::lock_guard lock{mu};
+      if (error.empty()) {
+        error = "worker " + std::to_string(i) + " (" + workers[i].endpoint +
+                "): " + what;
+      }
     }
+    cv.notify_all();
+  }
+
+  /// Recovery-lifecycle trace to stderr, gated by COSMOS_FED_DEBUG — the
+  /// first tool to reach for when a chaos run wedges or diverges.
+  static void dbg(const std::string& msg) {
+    if (std::getenv("COSMOS_FED_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[fed] %s\n", msg.c_str());
+    }
+  }
+
+  /// A worker's channel died (or a send to it failed). With recovery armed
+  /// the worker is queued for respawn; otherwise the session fails sticky.
+  void mark_dead(std::size_t i, const std::string& what) {
+    dbg("mark_dead " + std::to_string(i) + ": " + what);
+    {
+      std::lock_guard lock{mu};
+      if (expect_close) return;
+      if (recovery_armed) {
+        if (worker_dead[i] == 0) {
+          worker_dead[i] = 1;
+          dead_pending.push_back(i);
+        }
+      } else if (error.empty()) {
+        error = "worker " + std::to_string(i) + " (" + workers[i].endpoint +
+                "): " + what;
+      }
+    }
+    cv.notify_all();
   }
 
   void on_frame(std::size_t i, wire::Frame frame) {
@@ -130,7 +264,7 @@ struct Cosmos::Fed {
         case wire::FrameType::kHelloAck: {
           (void)wire::decode_hello_ack(frame);
           std::lock_guard lock{mu};
-          ++hello_acks;
+          hello_acks.insert(i);
           break;
         }
         case wire::FrameType::kMatchResponse: {
@@ -142,34 +276,37 @@ struct Cosmos::Fed {
         case wire::FrameType::kResult: {
           auto m = wire::decode_result(frame);
           std::lock_guard lock{mu};
-          for (auto& ev : m.events) results_inbox.push_back(std::move(ev));
+          for (auto& ev : m.events) {
+            results_inbox.push_back({std::move(ev), i});
+          }
           break;
         }
         case wire::FrameType::kFlushAck: {
           const auto m = wire::decode_flush_ack(frame);
           std::lock_guard lock{mu};
-          ++flush_acks[m.seq];
+          flush_acks[m.seq].insert(i);
           break;
         }
         case wire::FrameType::kStateHandoff: {
           const std::uint64_t wire_bytes =
               frame.payload.size() + wire::kFrameHeaderBytes;
           auto m = wire::decode_state_handoff(frame);
+          const std::uint64_t key = m.engine.value();
           std::lock_guard lock{mu};
-          handoff = std::move(m);
-          handoff_wire_bytes = wire_bytes;
+          handoffs.insert_or_assign(key,
+                                    std::pair{std::move(m), wire_bytes});
           break;
         }
         case wire::FrameType::kMigrateAck: {
           const auto m = wire::decode_migrate_ack(frame);
           std::lock_guard lock{mu};
-          migrate_ack = m.engine;
+          migrate_acks.insert(m.engine.value());
           break;
         }
         case wire::FrameType::kTrafficReport: {
           auto m = wire::decode_traffic_report(frame);
           std::lock_guard lock{mu};
-          traffic_reports.push_back(std::move(m.traffic));
+          traffic_reports.insert_or_assign(i, std::move(m));
           break;
         }
         case wire::FrameType::kStatsSample: {
@@ -193,39 +330,119 @@ struct Cosmos::Fed {
   }
 
   void on_close(std::size_t i, const std::string& err) {
-    {
-      std::lock_guard lock{mu};
-      if (!expect_close && error.empty()) {
-        error = "worker " + std::to_string(i) + " (" + workers[i].endpoint +
-                "): " +
-                (err.empty() ? std::string{"disconnected mid-session"} : err);
-      }
-    }
-    cv.notify_all();
+    mark_dead(i, err.empty() ? std::string{"disconnected mid-session"} : err);
   }
 
   // --- driver-side plumbing -----------------------------------------------
 
-  /// Waits until `pred` holds or any worker faulted (then throws — every
-  /// wait in the protocol is fault-aware, so a dead peer never hangs us).
+  /// Waits until `pred` holds. Dead workers queued in the meantime are
+  /// recovered here, on the driver thread, with the lock released — so
+  /// every wait in the protocol doubles as the recovery dispatch point and
+  /// a dead peer can never hang the session (unrecoverable faults throw).
   template <typename Pred>
   void wait_for(std::unique_lock<std::mutex>& lock, Pred pred) {
-    cv.wait(lock, [&] { return !error.empty() || pred(); });
-    if (!error.empty()) {
-      throw std::runtime_error{"Cosmos federation: " + error};
+    while (true) {
+      cv.wait(lock, [&] {
+        return !error.empty() || !dead_pending.empty() || pred();
+      });
+      if (!error.empty()) {
+        throw std::runtime_error{"Cosmos federation: " + error};
+      }
+      if (!dead_pending.empty()) {
+        const std::size_t i = dead_pending.front();
+        dead_pending.pop_front();
+        lock.unlock();
+        dbg("recover begin " + std::to_string(i));
+        recover(i);
+        dbg("recover end " + std::to_string(i));
+        lock.lock();
+        continue;
+      }
+      return;
     }
   }
 
+  /// Recovery-internal wait: returns false when worker `i` died again
+  /// mid-recovery (it is already re-queued; the caller abandons this
+  /// attempt and the outer wait_for retries). Other workers' deaths stay
+  /// queued until this recovery completes — no recursion.
+  template <typename Pred>
+  bool wait_recovery(std::unique_lock<std::mutex>& lock, std::size_t i,
+                     Pred pred) {
+    cv.wait(lock,
+            [&] { return !error.empty() || worker_dead[i] != 0 || pred(); });
+    if (!error.empty()) {
+      throw std::runtime_error{"Cosmos federation: " + error};
+    }
+    return worker_dead[i] == 0;
+  }
+
+  /// Control-plane send: a failure here is a session fault (registration,
+  /// migration and shutdown frames).
   void send(std::size_t w, wire::Frame frame) {
     workers[w].channel->send(std::move(frame));
+  }
+
+  /// Data-plane send: skipped while the target is dead (the data log / the
+  /// outstanding-barrier state re-sends on recovery), and a send failure
+  /// marks the worker dead instead of throwing. Never called with mu held —
+  /// send can block on backpressure, and the reader threads that drain the
+  /// peer need mu.
+  bool send_data(std::size_t w, wire::Frame frame) {
+    {
+      std::lock_guard lock{mu};
+      if (w < worker_dead.size() && worker_dead[w] != 0) return false;
+    }
+    try {
+      workers[w].channel->send(std::move(frame));
+      return true;
+    } catch (const std::exception& e) {
+      mark_dead(w, e.what());
+      return false;
+    }
   }
 
   void broadcast(const wire::Frame& frame) {
     for (std::size_t w = 0; w < workers.size(); ++w) send(w, frame);
   }
 
+  /// Broadcast + retain for registration replay to respawned workers.
+  void broadcast_logged(wire::Frame frame) {
+    broadcast(frame);
+    reg_log.push_back(std::move(frame));
+  }
+
   std::int64_t link_delay(std::size_t i) const {
     return i < options.link_delay_ms.size() ? options.link_delay_ms[i] : 0;
+  }
+
+  wire::HelloMsg hello_for(std::size_t i) const {
+    wire::HelloMsg hello;
+    hello.worker_index = static_cast<std::uint32_t>(i);
+    hello.shards = static_cast<std::uint32_t>(
+        options.worker_shards == 0 ? 1 : options.worker_shards);
+    hello.send_delay_ms = link_delay(i);
+    hello.stats_sample_every_ms = options.stats_sample_every_ms;
+    hello.trace = options.trace_path.empty() ? 0 : 1;
+    hello.peer_links = options.peer_links ? 1 : 0;
+    return hello;
+  }
+
+  /// The seq frontier of every engine hosted at worker `w`, in engine
+  /// order — the floors carried on that worker's watermarks and flushes.
+  std::vector<wire::EngineFloor> floors_for(std::size_t w) const {
+    std::vector<wire::EngineFloor> floors;
+    for (const auto& [engine, hw] : worker_of_engine) {
+      if (hw != w) continue;
+      const auto it = next_exec_seq.find(engine.value());
+      floors.push_back(
+          {engine, it == next_exec_seq.end() ? 0 : it->second});
+    }
+    std::sort(floors.begin(), floors.end(),
+              [](const wire::EngineFloor& a, const wire::EngineFloor& b) {
+                return a.engine.value() < b.engine.value();
+              });
+    return floors;
   }
 
   void connect_all() {
@@ -240,23 +457,18 @@ struct Cosmos::Fed {
           wire::connect_to(wire::Endpoint::parse(w.endpoint)), copts);
       workers.push_back(std::move(w));
     }
+    worker_dead.assign(workers.size(), 0);
+    retired.resize(workers.size());
     for (std::size_t i = 0; i < workers.size(); ++i) {
       workers[i].channel->start_reader(
           [this, i](wire::Frame f) { on_frame(i, std::move(f)); },
           [this, i](const std::string& err) { on_close(i, err); });
     }
     for (std::size_t i = 0; i < workers.size(); ++i) {
-      wire::HelloMsg hello;
-      hello.worker_index = static_cast<std::uint32_t>(i);
-      hello.shards = static_cast<std::uint32_t>(
-          options.worker_shards == 0 ? 1 : options.worker_shards);
-      hello.send_delay_ms = link_delay(i);
-      hello.stats_sample_every_ms = options.stats_sample_every_ms;
-      hello.trace = options.trace_path.empty() ? 0 : 1;
-      send(i, wire::encode_hello(hello));
+      send(i, wire::encode_hello(hello_for(i)));
     }
     std::unique_lock lock{mu};
-    wait_for(lock, [&] { return hello_acks >= workers.size(); });
+    wait_for(lock, [&] { return hello_acks.size() >= workers.size(); });
   }
 
   /// Ships everything a worker needs to be the driver's twin: the exact
@@ -270,7 +482,7 @@ struct Cosmos::Fed {
     topo.members = lat.members();
     topo.dense = lat.dense();
     topo.use_index = true;
-    broadcast(wire::encode_topology(topo));
+    broadcast_logged(wire::encode_topology(topo));
 
     // Result streams stay driver-side: workers host the engines that emit
     // them and ship the tuples back raw; p2 matching/delivery (and its
@@ -282,11 +494,11 @@ struct Cosmos::Fed {
 
     for (auto* part : sys.broker_.partitions()) {
       if (result_streams.contains(part->stream())) continue;
-      wire::RegisterStreamMsg reg;
-      reg.stream = part->stream();
-      reg.publisher = part->publisher();
-      reg.schema = part->schema();
-      broadcast(wire::encode_register_stream(reg));
+      wire::RegisterStreamMsg reg_msg;
+      reg_msg.stream = part->stream();
+      reg_msg.publisher = part->publisher();
+      reg_msg.schema = part->schema();
+      broadcast_logged(wire::encode_register_stream(reg_msg));
       // Static stream ownership: the publisher node's index modulo the
       // worker count, the same deterministic spread run() uses for shards.
       worker_of_stream.emplace(part->stream(),
@@ -302,8 +514,14 @@ struct Cosmos::Fed {
         // Broadcast: only the stream's owner ever matches it, but having
         // the full subscription table everywhere means a migrated engine's
         // destination needs no extra registration traffic.
-        broadcast(wire::encode_subscribe({*sub}));
+        broadcast_logged(wire::encode_subscribe({*sub}));
       }
+    }
+
+    if (options.peer_links) {
+      wire::PeerTableMsg table;
+      table.endpoints = options.workers;
+      broadcast_logged(wire::encode_peer_table(table));
     }
 
     for (const auto& [uid, unit] : sys.units_) {
@@ -320,36 +538,55 @@ struct Cosmos::Fed {
     // Barrier: surfaces registration/deployment faults before any data
     // flows (per-channel FIFO already orders the frames themselves).
     flush_all();
+
+    // Initial (empty-state) checkpoint, then arm recovery: from here on a
+    // channel death is a respawn, not a session fault.
+    for (const auto& [engine, hw] : worker_of_engine) {
+      ckpt.emplace(engine.value(), EngineCheckpoint{});
+    }
+    {
+      std::lock_guard lock{mu};
+      recovery_armed = options.recovery.enabled;
+    }
   }
 
-  void await_flush(std::uint64_t seq, std::size_t acks_needed) {
+  void flush_targets(const std::set<std::size_t>& targets) {
+    const std::uint64_t seq = next_flush_seq++;
+    {
+      std::lock_guard lock{mu};
+      outstanding_flush = OutstandingFlush{seq, targets};
+    }
+    for (const auto w : targets) {
+      send_data(w, wire::encode_flush({seq, floors_for(w)}));
+    }
     std::unique_lock lock{mu};
     wait_for(lock, [&] {
       const auto it = flush_acks.find(seq);
-      return it != flush_acks.end() && it->second >= acks_needed;
+      if (it == flush_acks.end()) return targets.empty();
+      for (const auto w : targets) {
+        if (!it->second.contains(w)) return false;
+      }
+      return true;
     });
     flush_acks.erase(seq);
+    outstanding_flush.reset();
   }
 
-  void flush_worker(std::size_t w) {
-    const std::uint64_t seq = next_flush_seq++;
-    send(w, wire::encode_flush({seq}));
-    await_flush(seq, 1);
-  }
+  void flush_worker(std::size_t w) { flush_targets({w}); }
 
   void flush_all() {
-    const std::uint64_t seq = next_flush_seq++;
-    for (std::size_t w = 0; w < workers.size(); ++w) {
-      send(w, wire::encode_flush({seq}));
-    }
-    await_flush(seq, workers.size());
+    std::set<std::size_t> all;
+    for (std::size_t w = 0; w < workers.size(); ++w) all.insert(w);
+    flush_targets(all);
   }
 
   /// p2 leg: result tuples the readers collected, delivered on the driver
   /// thread in arrival order (per engine that is emission order — one
-  /// engine lives on one worker, whose channel is FIFO).
+  /// engine lives on one worker and executes in seq order). Re-emissions
+  /// from a recovery replay are skipped through pending_discard without
+  /// recounting, so each result reaches the user callback exactly once.
   void drain_deliver() {
-    std::vector<wire::ResultEventMsg> batch;
+    std::vector<InboxResult> batch;
     {
       std::lock_guard lock{mu};
       batch.swap(results_inbox);
@@ -358,7 +595,15 @@ struct Cosmos::Fed {
     const double cpu0 = thread_cpu_seconds();
     const obs::Span span{"deliver", "driver", batch.size()};
     const std::uint64_t now = now_ns();
-    for (const auto& ev : batch) {
+    for (const auto& r : batch) {
+      const auto& ev = r.ev;
+      if (!pending_discard.empty()) {
+        const auto dit = pending_discard.find(ev.stream);
+        if (dit != pending_discard.end() && dit->second > 0) {
+          --dit->second;
+          continue;
+        }
+      }
       // Close the end-to-end measurement here: p2 delivery completes on
       // the driver thread, and worker/driver now_ns share a clock epoch
       // (same host, CLOCK_MONOTONIC), so ingest stamps compare directly.
@@ -366,6 +611,7 @@ struct Cosmos::Fed {
         e2e->record(now - ev.ingest_ns);
       }
       sys.deliver_result(ev.stream, ev.tuple);
+      if (options.recovery.enabled) ++delivered_since_ckpt[ev.stream];
     }
     report.driver.deliver_cpu_seconds += thread_cpu_seconds() - cpu0;
   }
@@ -400,8 +646,9 @@ struct Cosmos::Fed {
               pr.run->stream()};
         }
         pr.job = next_job++;
+        pr.owner = oit->second;
         pr.awaiting = true;
-        send(oit->second, wire::encode_match_request({pr.job, *pr.run}));
+        send_data(pr.owner, wire::encode_match_request({pr.job, *pr.run}));
       }
       pc.runs.push_back(std::move(pr));
     }
@@ -411,49 +658,63 @@ struct Cosmos::Fed {
   }
 
   /// Awaits the oldest in-flight chunk's match responses, routes them into
-  /// per-engine executes, and broadcasts the chunk watermark.
+  /// per-engine executes, and sends each worker the chunk watermark with
+  /// its current seq floors.
   void complete_front() {
-    PendingChunk chunk = std::move(pending.front());
-    pending.pop_front();
-
-    std::vector<wire::MatchResponseMsg> responses(chunk.runs.size());
+    // The front chunk stays in `pending` across the wait: a recovery
+    // dispatched from wait_for re-sends match requests by walking
+    // `pending`, and popping first would hide exactly the runs whose
+    // request died with the worker (the wait would then never finish).
+    std::vector<wire::MatchResponseMsg> responses(pending.front().runs.size());
     {
       const TimePoint wait0 = Clock::now();
-      const obs::Span span{"match_wait", "driver", chunk.runs.size()};
+      const obs::Span span{"match_wait", "driver",
+                           pending.front().runs.size()};
       std::unique_lock lock{mu};
       wait_for(lock, [&] {
-        for (const auto& pr : chunk.runs) {
+        for (const auto& pr : pending.front().runs) {
           if (pr.awaiting && !match_responses.contains(pr.job)) return false;
         }
         return true;
       });
       report.driver.match_wait_seconds += seconds_since(wait0);
-      for (std::size_t i = 0; i < chunk.runs.size(); ++i) {
-        if (!chunk.runs[i].awaiting) continue;
-        auto node = match_responses.extract(chunk.runs[i].job);
+      for (std::size_t i = 0; i < pending.front().runs.size(); ++i) {
+        if (!pending.front().runs[i].awaiting) continue;
+        auto node = match_responses.extract(pending.front().runs[i].job);
         responses[i] = std::move(node.mapped());
       }
     }
+    PendingChunk chunk = std::move(pending.front());
+    pending.pop_front();
 
     route_and_execute(chunk, responses);
-    // Watermark after the chunk's executes (FIFO orders it behind them on
-    // every channel): join-state pruning then only drops tuples no future
-    // in-order arrival can pair with, so results are unchanged.
-    broadcast(wire::encode_watermark({chunk.last_ts}));
+    // Watermark after the chunk's executes: the per-engine floors make the
+    // site defer pruning until every older execute (possibly still in
+    // flight on a peer link) has been applied, so join-state pruning only
+    // drops tuples no future arrival can pair with.
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      send_data(w, wire::encode_watermark({chunk.last_ts, floors_for(w)}));
+    }
+    last_watermark = chunk.last_ts;
+    has_watermark = true;
   }
 
-  /// The route stage of run(), verbatim but frame-producing: union of
-  /// matched rows per subscriber engine (a tuple reaches an engine once
-  /// however many subscriptions matched), per-engine batches in run order.
+  /// The route stage of run(), frame-producing: union of matched rows per
+  /// subscriber engine (a tuple reaches an engine once however many
+  /// subscriptions matched), per-engine batches in run order, each stamped
+  /// with its engine's next seq. Star path: the driver sends the kExecute
+  /// itself. Peer-link path: the driver sends the match owner one compact
+  /// kRouteDecision and the owner ships the retained batch's slices
+  /// worker-to-worker. Either way the route is appended to the data log
+  /// for recovery replay.
   void route_and_execute(const PendingChunk& chunk,
                          std::vector<wire::MatchResponseMsg>& responses) {
     const double route_cpu0 = thread_cpu_seconds();
-    std::optional<obs::Span> route_span;
-    route_span.emplace("route", "driver", chunk.runs.size());
-    std::map<NodeId, std::vector<wire::Frame>> per_node;  // ordered dispatch
+    const obs::Span route_span{"route", "driver", chunk.runs.size()};
     std::map<NodeId, std::vector<char>> mask_of;
     for (std::size_t i = 0; i < chunk.runs.size(); ++i) {
-      const auto& run = *chunk.runs[i].run;
+      const PendingRun& pr = chunk.runs[i];
+      const auto& run = *pr.run;
       mask_of.clear();
       for (auto& [sub_id, rows] : responses[i].deliveries) {
         const auto* sub = sys.broker_.subscription(sub_id);
@@ -472,6 +733,9 @@ struct Cosmos::Fed {
           mask[row] = 1;
         }
       }
+      wire::RouteDecisionMsg decision;
+      decision.job = pr.job;
+      decision.ingest_ns = chunk.ingest_ns;
       for (const auto& [node, mask] : mask_of) {
         const auto eit = sys.engines_.find(node);
         if (eit == sys.engines_.end() ||
@@ -481,32 +745,311 @@ struct Cosmos::Fed {
         std::size_t matched_rows = 0;
         for (const char m : mask) matched_rows += m != 0;
         if (matched_rows == 0) continue;
-        wire::ExecuteMsg exec;
-        exec.engine = node;
-        exec.ingest_ns = chunk.ingest_ns;
+        const std::uint64_t seq = next_exec_seq[node.value()]++;
+        std::vector<std::uint32_t> rows;
         if (matched_rows < run.size()) {
-          std::vector<std::uint32_t> rows;
           rows.reserve(matched_rows);
           for (std::uint32_t r = 0; r < mask.size(); ++r) {
             if (mask[r] != 0) rows.push_back(r);
           }
-          exec.batch = run.select(rows);
-        } else {
-          exec.batch = run;
         }
-        per_node[node].push_back(wire::encode_execute(exec));
+        const std::size_t tgt = worker_of_engine.at(node);
+        if (options.peer_links) {
+          decision.targets.push_back(
+              {node, static_cast<std::uint32_t>(tgt), seq, rows});
+          if (options.recovery.enabled) {
+            data_log.push_back({pr.owner, node, seq, std::move(rows), pr.run,
+                                chunk.ingest_ns});
+          }
+        } else {
+          wire::ExecuteMsg exec;
+          exec.engine = node;
+          exec.ingest_ns = chunk.ingest_ns;
+          exec.seq = seq;
+          exec.batch = rows.empty() ? run : run.select(rows);
+          auto frame = wire::encode_execute(exec);
+          driver_execute_bytes +=
+              frame.payload.size() + wire::kFrameHeaderBytes;
+          send_data(tgt, std::move(frame));
+          if (options.recovery.enabled) {
+            data_log.push_back({SIZE_MAX, node, seq, std::move(rows), pr.run,
+                                chunk.ingest_ns});
+          }
+        }
+      }
+      // Sent even with no targets: the owner frees the retained batch.
+      if (options.peer_links && pr.awaiting) {
+        send_data(pr.owner, wire::encode_route_decision(decision));
       }
     }
-    route_span.reset();
     report.driver.route_cpu_seconds += thread_cpu_seconds() - route_cpu0;
+  }
 
-    const double dispatch_cpu0 = thread_cpu_seconds();
-    const obs::Span dispatch_span{"dispatch", "driver", per_node.size()};
-    for (auto& [node, frames] : per_node) {
-      const std::size_t w = worker_of_engine.at(node);
-      for (auto& f : frames) send(w, std::move(f));
+  // --- worker restart recovery ---------------------------------------------
+
+  /// Respawn + resume worker `i`: retire the dead channel, purge inbox
+  /// state the dead incarnation owned, respawn cosmos_noded on the same
+  /// endpoint, replay registrations, re-hand-off each hosted engine at its
+  /// checkpoint cut, replay the data log (survivor sites drop the
+  /// duplicates by seq), re-send the in-flight barrier, and arm result
+  /// dedup for the streams the worker hosts. Runs on the driver thread,
+  /// called from wait_for with the inbox lock released.
+  void recover(std::size_t i) {
+    if (scripted_migration_active) {
+      throw std::runtime_error{
+          "Cosmos federation: worker " + std::to_string(i) +
+          " died during a scripted migration handshake — unrecoverable"};
     }
-    report.driver.dispatch_cpu_seconds += thread_cpu_seconds() - dispatch_cpu0;
+    ++report.federation.recoveries;
+    if (report.federation.recoveries > options.recovery.max_recoveries) {
+      throw std::runtime_error{
+          "Cosmos federation: worker " + std::to_string(i) +
+          " died; max_recoveries (" +
+          std::to_string(options.recovery.max_recoveries) + ") exhausted"};
+    }
+    obs::Tracer::instance().instant("recover", "driver", i);
+
+    // Retire the dead channel (close joins its reader thread, so no
+    // callback can race what follows) and keep its traffic totals.
+    Worker& w = workers[i];
+    retired[i].bytes_sent += w.channel->bytes_sent();
+    retired[i].bytes_received += w.channel->bytes_received();
+    retired[i].frames_sent += w.channel->frames_sent();
+    retired[i].frames_received += w.channel->frames_received();
+    w.channel->close();
+
+    // Purge what the dead incarnation owned. Its flush acks are retracted
+    // (the respawn must re-answer after the replay) and its undelivered
+    // results dropped (the replay re-emits them); results it already
+    // delivered are handled by pending_discard below. Match responses stay:
+    // matching is deterministic, a duplicate response is emplace-deduped.
+    {
+      std::lock_guard lock{mu};
+      hello_acks.erase(i);
+      for (auto& [seq, acks] : flush_acks) acks.erase(i);
+      std::erase_if(results_inbox,
+                    [&](const InboxResult& r) { return r.worker == i; });
+      migrate_acks.clear();  // stale acks from an aborted earlier attempt
+    }
+
+    const std::string noded = options.recovery.noded_path.empty()
+                                  ? node::default_noded_path()
+                                  : options.recovery.noded_path;
+    dbg("respawning " + std::to_string(i));
+    respawned.push_back(node::spawn_noded(noded, w.endpoint));
+
+    wire::FrameChannel::Options copts;
+    copts.send_queue_capacity = options.queue_capacity;
+    copts.send_delay_ms = link_delay(i);
+    w.channel = std::make_unique<wire::FrameChannel>(
+        wire::connect_to(wire::Endpoint::parse(w.endpoint)), copts);
+    {
+      std::lock_guard lock{mu};
+      worker_dead[i] = 0;
+    }
+    w.channel->start_reader(
+        [this, i](wire::Frame f) { on_frame(i, std::move(f)); },
+        [this, i](const std::string& err) { on_close(i, err); });
+
+    try {
+      w.channel->send(wire::encode_hello(hello_for(i)));
+      for (const auto& f : reg_log) w.channel->send(f);
+      {
+        std::unique_lock lock{mu};
+        if (!wait_recovery(lock, i,
+                           [&] { return hello_acks.contains(i); })) {
+          return;
+        }
+      }
+
+      // Re-hand-off each hosted engine: units + checkpointed state + the
+      // seq cut the site resumes ordering at. kMigrateIn doubles as the
+      // deployment, which is why deploys are not in reg_log.
+      std::vector<NodeId> hosted;
+      for (const auto& [engine, hw] : worker_of_engine) {
+        if (hw == i) hosted.push_back(engine);
+      }
+      std::sort(hosted.begin(), hosted.end(),
+                [](const NodeId& a, const NodeId& b) {
+                  return a.value() < b.value();
+                });
+      for (const auto engine : hosted) {
+        wire::MigrateInMsg in;
+        in.engine = engine;
+        for (const auto& [uid, unit] : sys.units_) {
+          if (unit.host != engine) continue;
+          in.units.push_back(
+              {unit.id, unit.host, unit.result_stream, unit.spec});
+        }
+        const auto cit = ckpt.find(engine.value());
+        if (cit != ckpt.end()) {
+          in.state = cit->second.state;
+          in.exec_seq = cit->second.exec_seq;
+        }
+        w.channel->send(wire::encode_migrate_in(in));
+        {
+          std::unique_lock lock{mu};
+          if (!wait_recovery(lock, i, [&] {
+                return migrate_acks.contains(engine.value());
+              })) {
+            return;
+          }
+          migrate_acks.erase(engine.value());
+        }
+      }
+
+      // Data-log replay, in route order, as plain driver executes (the one
+      // place peer-link mode still sends batches from the driver). An
+      // entry is replayed when its current target is the recovered worker
+      // (a lost or half-applied delivery) or its owner is (a lost
+      // kRouteDecision / unshipped slice). Survivor sites drop replayed
+      // seqs below their frontier.
+      for (const auto& entry : data_log) {
+        const std::size_t tgt = worker_of_engine.at(entry.engine);
+        if (tgt != i && entry.owner != i) continue;
+        wire::ExecuteMsg exec;
+        exec.engine = entry.engine;
+        exec.ingest_ns = entry.ingest_ns;
+        exec.seq = entry.seq;
+        exec.batch =
+            entry.rows.empty() ? *entry.run : entry.run->select(entry.rows);
+        auto frame = wire::encode_execute(exec);
+        driver_execute_bytes += frame.payload.size() + wire::kFrameHeaderBytes;
+        send_data(tgt, std::move(frame));
+      }
+
+      // Re-send match requests this owner still owes an answer for. In
+      // peer-link mode re-match even answered jobs: the retained batch
+      // died with the worker, and a pending chunk's kRouteDecision will
+      // need it (the duplicate response is emplace-deduped driver-side).
+      for (const auto& pc : pending) {
+        for (const auto& pr : pc.runs) {
+          if (!pr.awaiting || pr.owner != i) continue;
+          bool answered = false;
+          {
+            std::lock_guard lock{mu};
+            answered = match_responses.contains(pr.job);
+          }
+          if (answered && !options.peer_links) continue;
+          send_data(i, wire::encode_match_request({pr.job, *pr.run}));
+        }
+      }
+
+      // Re-establish stream time, then whatever barrier was in flight —
+      // all after the replay on the same FIFO channel, so floors are met
+      // in order.
+      bool resend_flush = false;
+      std::uint64_t flush_seq = 0;
+      std::optional<std::pair<NodeId, std::size_t>> ckpt_out;
+      bool resend_traffic = false;
+      {
+        std::lock_guard lock{mu};
+        if (outstanding_flush && outstanding_flush->waiting.contains(i)) {
+          resend_flush = true;
+          flush_seq = outstanding_flush->seq;
+        }
+        if (outstanding_ckpt_out && outstanding_ckpt_out->second == i &&
+            !handoffs.contains(outstanding_ckpt_out->first.value())) {
+          // Only when the handoff itself was lost: a handoff that arrived
+          // before the death is valid (same flush + seq cut the replay
+          // reconverges to), and re-requesting would leave a byte-identical
+          // duplicate to go stale in the inbox.
+          ckpt_out = outstanding_ckpt_out;
+        }
+        resend_traffic = collecting_traffic && !traffic_reports.contains(i);
+      }
+      if (has_watermark) {
+        send_data(i, wire::encode_watermark({last_watermark, floors_for(i)}));
+      }
+      if (resend_flush) {
+        send_data(i, wire::encode_flush({flush_seq, floors_for(i)}));
+      }
+      if (ckpt_out) {
+        send_data(i, wire::encode_migrate_out({ckpt_out->first, 1}));
+      }
+      if (resend_traffic) {
+        send_data(i, wire::encode_traffic_request());
+      }
+
+      // The replay re-executes everything since the checkpoint on this
+      // worker, so its streams' results are re-emitted in full; skip
+      // exactly the ones the user callback already saw.
+      for (const auto& [uid, unit] : sys.units_) {
+        if (worker_of_engine.at(unit.host) != i) continue;
+        const auto dit = delivered_since_ckpt.find(unit.result_stream);
+        pending_discard[unit.result_stream] =
+            dit == delivered_since_ckpt.end() ? 0 : dit->second;
+      }
+    } catch (const std::exception& e) {
+      // The respawn died mid-resume: queue it again (bounded by
+      // max_recoveries) and let the outer wait retry.
+      mark_dead(i, e.what());
+    }
+  }
+
+  /// Periodic recovery checkpoint, taken between chunks: quiesce (drain
+  /// window + flush + deliver), then pull every engine's state with a
+  /// keep-mode kMigrateOut. On success the data log and delivery counts
+  /// reset to the new cut. A recovery racing any of the waits aborts the
+  /// attempt (the cut would straddle the replay); the next chunk retries.
+  bool checkpoint() {
+    const std::size_t recoveries0 = report.federation.recoveries;
+    const obs::Span span{"checkpoint", "driver", ckpt.size()};
+    while (!pending.empty()) complete_front();
+    flush_all();
+    drain_deliver();
+    if (report.federation.recoveries != recoveries0) return false;
+
+    std::vector<std::pair<NodeId, std::size_t>> placement(
+        worker_of_engine.begin(), worker_of_engine.end());
+    std::sort(placement.begin(), placement.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.value() < b.first.value();
+              });
+    std::unordered_map<std::uint64_t, EngineCheckpoint> fresh;
+    for (const auto& [engine, hw] : placement) {
+      {
+        std::lock_guard lock{mu};
+        handoffs.erase(engine.value());  // stale duplicate from a re-request
+        outstanding_ckpt_out = std::pair{engine, hw};
+      }
+      send_data(hw, wire::encode_migrate_out({engine, /*keep=*/1}));
+      wire::StateHandoffMsg handed;
+      {
+        std::unique_lock lock{mu};
+        wait_for(lock, [&] { return handoffs.contains(engine.value()); });
+        auto node = handoffs.extract(engine.value());
+        handed = std::move(node.mapped().first);
+        outstanding_ckpt_out.reset();
+      }
+      if (report.federation.recoveries != recoveries0) return false;
+      EngineCheckpoint ec;
+      ec.state = std::move(handed.units);
+      const auto sit = next_exec_seq.find(engine.value());
+      ec.exec_seq = sit == next_exec_seq.end() ? 0 : sit->second;
+      fresh.emplace(engine.value(), std::move(ec));
+    }
+    ckpt = std::move(fresh);
+    data_log.clear();
+    delivered_since_ckpt.clear();
+    pending_discard.clear();
+    return true;
+  }
+
+  void maybe_checkpoint(stream::Timestamp now) {
+    if (!options.recovery.enabled ||
+        options.recovery.checkpoint_every_ms <= 0) {
+      return;
+    }
+    if (!has_ckpt_clock) {
+      // Start the period clock at the trace's first chunk; the armed
+      // initial checkpoint (empty state, seq 0) covers until then.
+      ckpt_clock_ms = now;
+      has_ckpt_clock = true;
+      return;
+    }
+    if (now - ckpt_clock_ms < options.recovery.checkpoint_every_ms) return;
+    if (checkpoint()) ckpt_clock_ms = now;
   }
 
   // --- live migration ------------------------------------------------------
@@ -521,8 +1064,9 @@ struct Cosmos::Fed {
 
   /// Drain -> serialize -> handoff: quiesce the source worker, pull the
   /// engine's serialized join state off it, and redeploy units + state on
-  /// the destination. In-flight window must be empty first — otherwise a
-  /// pending chunk could still route executes to the source.
+  /// the destination at the current seq cut. In-flight window must be
+  /// empty first — otherwise a pending chunk could still route executes to
+  /// the source.
   void migrate(const FederationOptions::Migration& m) {
     const auto wit = worker_of_engine.find(m.engine);
     if (wit == worker_of_engine.end()) {
@@ -540,15 +1084,18 @@ struct Cosmos::Fed {
     flush_worker(src);
     drain_deliver();
 
+    // A worker death inside the handshake below is unrecoverable (the
+    // engine's state is mid-flight); recover() throws on this flag.
+    scripted_migration_active = true;
     send(src, wire::encode_migrate_out({m.engine}));
     wire::StateHandoffMsg handed;
     std::uint64_t handed_bytes = 0;
     {
       std::unique_lock lock{mu};
-      wait_for(lock, [&] { return handoff.has_value(); });
-      handed = std::move(*handoff);
-      handoff.reset();
-      handed_bytes = handoff_wire_bytes;
+      wait_for(lock, [&] { return handoffs.contains(m.engine.value()); });
+      auto node = handoffs.extract(m.engine.value());
+      handed = std::move(node.mapped().first);
+      handed_bytes = node.mapped().second;
     }
     if (handed.engine != m.engine) {
       throw std::runtime_error{
@@ -562,12 +1109,18 @@ struct Cosmos::Fed {
       in.units.push_back({unit.id, unit.host, unit.result_stream, unit.spec});
     }
     in.state = std::move(handed.units);
+    // Resume seq ordering where the engine left off — without this the
+    // destination site would reset to seq 0 and hold back every execute.
+    const auto sit = next_exec_seq.find(m.engine.value());
+    in.exec_seq = sit == next_exec_seq.end() ? 0 : sit->second;
     send(dst, wire::encode_migrate_in(in));
     {
       std::unique_lock lock{mu};
-      wait_for(lock, [&] { return migrate_ack.has_value(); });
-      migrate_ack.reset();
+      wait_for(lock,
+               [&] { return migrate_acks.contains(m.engine.value()); });
+      migrate_acks.erase(m.engine.value());
     }
+    scripted_migration_active = false;
 
     wit->second = dst;
     ++report.federation.migrations;
@@ -608,21 +1161,36 @@ struct Cosmos::Fed {
   // --- end of session ------------------------------------------------------
 
   /// Worker p1 matching shares + the driver's own p2 delivery share = the
-  /// totals the in-process broker would have accounted.
+  /// totals the in-process broker would have accounted. Also sums the
+  /// fleet's peer-link traffic counters. A worker respawned late in the
+  /// run reports only its post-respawn counters (documented under-count).
   void collect_traffic() {
     {
       std::lock_guard lock{mu};
       traffic_reports.clear();
+      collecting_traffic = true;
     }
-    broadcast(wire::encode_traffic_request());
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      send_data(w, wire::encode_traffic_request());
+    }
     pubsub::TrafficStats merged;
+    std::uint64_t peer_frames = 0;
+    std::uint64_t peer_bytes = 0;
     {
       std::unique_lock lock{mu};
-      wait_for(lock, [&] { return traffic_reports.size() >= workers.size(); });
-      for (const auto& t : traffic_reports) merged.merge(t);
+      wait_for(lock,
+               [&] { return traffic_reports.size() >= workers.size(); });
+      for (const auto& [w, t] : traffic_reports) {
+        merged.merge(t.traffic);
+        peer_frames += t.peer_frames;
+        peer_bytes += t.peer_bytes;
+      }
+      collecting_traffic = false;
     }
     merged.merge(sys.broker_.traffic());
     report.federation.matched_traffic = std::move(merged);
+    report.federation.peer_frames = peer_frames;
+    report.federation.peer_bytes = peer_bytes;
   }
 
   void shutdown() {
@@ -638,13 +1206,16 @@ struct Cosmos::Fed {
       }
       workers[w].channel->close();
     }
-    for (const auto& w : workers) {
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      const auto& w = workers[i];
       WireLinkStats link;
       link.endpoint = w.endpoint;
-      link.bytes_sent = w.channel->bytes_sent();
-      link.bytes_received = w.channel->bytes_received();
-      link.frames_sent = w.channel->frames_sent();
-      link.frames_received = w.channel->frames_received();
+      link.bytes_sent = retired[i].bytes_sent + w.channel->bytes_sent();
+      link.bytes_received =
+          retired[i].bytes_received + w.channel->bytes_received();
+      link.frames_sent = retired[i].frames_sent + w.channel->frames_sent();
+      link.frames_received =
+          retired[i].frames_received + w.channel->frames_received();
       report.federation.links.push_back(std::move(link));
     }
   }
@@ -663,7 +1234,10 @@ struct Cosmos::Fed {
         {options.batch_size, options.tick_ms},
         [&](runtime::Chunk&& chunk) {
           run_migrations_due(chunk.first_ts);
+          maybe_checkpoint(chunk.first_ts);
           dispatch(std::move(chunk));
+          if (options.on_chunk) options.on_chunk(chunk_index);
+          ++chunk_index;
           while (pending.size() >= window) complete_front();
           drain_deliver();  // keep the p2 inbox bounded in practice
         }};
@@ -687,6 +1261,7 @@ struct Cosmos::Fed {
     report.tuples = driver.tuples();
     report.results_delivered = sys.results_delivered_ - results_before;
     report.federation.workers = workers.size();
+    report.federation.driver_execute_bytes = driver_execute_bytes;
     report.e2e_latency = e2e->snapshot();
     report.metrics = reg.snapshot();
     return std::move(report);

@@ -45,4 +45,272 @@ bool serve_connection(wire::Socket socket) {
   }
 }
 
+NodeServer::NodeServer(wire::Listener& listener) : listener_(listener) {}
+
+NodeServer::~NodeServer() { shutdown(); }
+
+bool NodeServer::run() {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  bool ok = true;
+  {
+    std::unique_lock lock{mu_};
+    done_cv_.wait(lock, [&] { return driver_done_; });
+    ok = driver_ok_;
+  }
+  shutdown();
+  return ok;
+}
+
+void NodeServer::accept_loop() {
+  while (true) {
+    wire::Socket sock;
+    try {
+      sock = listener_.accept();
+    } catch (const std::exception&) {
+      return;  // listener closed: orderly shutdown
+    }
+    // First-frame handshake, read inline: both the driver and a dialing
+    // peer send their hello immediately after connecting, so this never
+    // stalls the loop in practice.
+    std::optional<wire::Frame> first;
+    try {
+      first = wire::recv_frame(sock);
+    } catch (const std::exception&) {
+      continue;  // connected, then died mid-frame: forget it
+    }
+    if (!first) continue;
+    if (first->type == wire::FrameType::kHello) {
+      std::lock_guard lock{mu_};
+      if (driver_started_ || shutting_down_) {
+        try {
+          wire::send_frame(sock,
+                           wire::encode_error({"node: driver session "
+                                               "already active"}));
+        } catch (const std::exception&) {
+        }
+        continue;
+      }
+      driver_started_ = true;
+      driver_thread_ = std::thread(
+          [this, s = std::move(sock), f = std::move(*first)]() mutable {
+            drive_session(std::move(s), std::move(f));
+          });
+    } else if (first->type == wire::FrameType::kPeerHello) {
+      wire::PeerHelloMsg ph;
+      try {
+        ph = wire::decode_peer_hello(*first);
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (ph.protocol != wire::kProtocolVersion) {
+        try {
+          wire::send_frame(
+              sock, wire::encode_error(
+                        {"node: peer protocol version mismatch: v" +
+                         std::to_string(ph.protocol) + " vs v" +
+                         std::to_string(wire::kProtocolVersion)}));
+        } catch (const std::exception&) {
+        }
+        continue;
+      }
+      std::lock_guard lock{mu_};
+      if (shutting_down_) continue;
+      auto& slot = peer_ins_.emplace_back();
+      slot.sock = std::move(sock);
+      slot.th = std::thread([this, &slot] { peer_in_loop(slot.sock); });
+    }
+    // Any other first frame: drop the connection.
+  }
+}
+
+void NodeServer::drive_session(wire::Socket sock, wire::Frame hello_frame) {
+  bool ok = true;
+  wire::FrameChannel* channel = nullptr;
+  try {
+    const auto hello = wire::decode_hello(hello_frame);
+    worker_index_ = hello.worker_index;
+    send_delay_ms_ = hello.send_delay_ms;
+    auto ch = std::make_unique<wire::FrameChannel>(std::move(sock));
+    channel = ch.get();
+    channel->set_send_delay_ms(hello.send_delay_ms);
+    auto site = std::make_unique<Site>(
+        Site::Options{hello.shards == 0 ? 1 : hello.shards, 64});
+    // Wire every callback before publishing the Site to the peer reader
+    // threads: a peer execute must never find a half-initialized sink.
+    site->set_emit([channel](wire::Frame f) { channel->send(std::move(f)); });
+    site->set_peer_ship(
+        [this](std::uint32_t w, wire::Frame f) { ship(w, std::move(f)); });
+    site->set_peer_table_cb([this](wire::PeerTableMsg t) {
+      std::lock_guard lock{mu_};
+      table_ = std::move(t);
+    });
+    site->set_peer_traffic([this] { return peer_traffic(); });
+    {
+      std::lock_guard lock{mu_};
+      driver_channel_ = std::move(ch);
+      site_owned_ = std::move(site);
+      site_ = site_owned_.get();
+    }
+    site_cv_.notify_all();
+    std::vector<wire::Frame> out;  // stays empty: the emit sink is installed
+    bool keep_going = site_->handle(hello_frame, out);
+    while (keep_going) {
+      auto frame = channel->recv();
+      if (!frame) break;  // clean peer close
+      keep_going = site_->handle(*frame, out);
+    }
+  } catch (const std::exception& e) {
+    ok = false;
+    if (channel != nullptr) {
+      try {
+        channel->send(wire::encode_error({e.what()}));
+      } catch (...) {
+      }
+    }
+  }
+  // The channel and Site stay alive for shutdown(): peer reader threads
+  // may still be inside apply_peer_execute / the emit sink until they are
+  // joined there.
+  std::lock_guard lock{mu_};
+  driver_done_ = true;
+  driver_ok_ = ok;
+  done_cv_.notify_all();
+}
+
+Site* NodeServer::wait_site() {
+  std::unique_lock lock{mu_};
+  site_cv_.wait(lock, [&] { return site_ != nullptr || shutting_down_; });
+  return shutting_down_ ? nullptr : site_;
+}
+
+void NodeServer::peer_in_loop(wire::Socket& sock) {
+  try {
+    while (auto frame = wire::recv_frame(sock)) {
+      if (frame->type != wire::FrameType::kExecute) {
+        continue;  // peer links carry executes only
+      }
+      auto m = wire::decode_execute(*frame);
+      Site* site = wait_site();
+      if (site == nullptr) return;
+      site->apply_peer_execute(std::move(m));
+    }
+  } catch (const std::exception&) {
+    // A dying peer (or our own shutdown's socket shutdown) lands here; the
+    // driver's recovery path owns the consequences.
+  }
+}
+
+NodeServer::PeerOut NodeServer::dial_peer(std::uint32_t worker) {
+  std::string endpoint;
+  {
+    std::lock_guard lock{mu_};
+    if (worker < table_.endpoints.size()) endpoint = table_.endpoints[worker];
+  }
+  if (endpoint.empty()) return {};
+  try {
+    auto sock = wire::connect_to(wire::Endpoint::parse(endpoint), 5'000);
+    PeerOut out;
+    out.ch = std::make_unique<wire::FrameChannel>(std::move(sock));
+    out.ch->set_send_delay_ms(send_delay_ms_);
+    out.ch->send(
+        wire::encode_peer_hello({wire::kProtocolVersion, worker_index_}));
+    // The accept side never writes on this connection, so the reader's
+    // sole purpose is eager death detection: EOF flips `dead` the moment
+    // the peer goes away, and the next ship() re-dials instead of
+    // enqueueing into a channel whose sender would drop the frame.
+    out.dead = std::make_shared<std::atomic<bool>>(false);
+    out.ch->start_reader(
+        [](wire::Frame) {},
+        [flag = out.dead](const std::string&) { flag->store(true); });
+    return out;
+  } catch (const std::exception&) {
+    return {};
+  }
+}
+
+void NodeServer::retire_peer_out(PeerOut& slot) {
+  retired_peer_frames_ += slot.ch->frames_sent();
+  retired_peer_bytes_ += slot.ch->bytes_sent();
+  slot.ch->close();
+  slot.ch.reset();
+  slot.dead.reset();
+}
+
+void NodeServer::ship(std::uint32_t worker, wire::Frame frame) {
+  std::lock_guard lock{peer_out_mu_};
+  // One live attempt + one re-dial: a freshly respawned worker re-binds
+  // the same endpoint, so the second attempt covers recovery. A frame
+  // dropped in the death instant itself is re-sent by the driver's
+  // data-log replay.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto& slot = peer_out_[worker];
+    if (slot.ch && slot.dead->load()) retire_peer_out(slot);
+    if (!slot.ch) {
+      slot = dial_peer(worker);
+      if (!slot.ch) return;
+    }
+    try {
+      slot.ch->send(frame);
+      return;
+    } catch (const std::exception&) {
+      retire_peer_out(slot);
+    }
+  }
+}
+
+std::pair<std::uint64_t, std::uint64_t> NodeServer::peer_traffic() {
+  std::lock_guard lock{peer_out_mu_};
+  std::uint64_t frames = retired_peer_frames_;
+  std::uint64_t bytes = retired_peer_bytes_;
+  for (const auto& [w, slot] : peer_out_) {
+    if (slot.ch) {
+      frames += slot.ch->frames_sent();
+      bytes += slot.ch->bytes_sent();
+    }
+  }
+  return {frames, bytes};
+}
+
+void NodeServer::shutdown() {
+  {
+    std::lock_guard lock{mu_};
+    if (shutting_down_) {
+      // Re-entrant (run() then destructor): nothing left to tear down.
+      return;
+    }
+    shutting_down_ = true;
+    site_cv_.notify_all();
+  }
+  listener_.close();  // accept() throws, accept_loop returns
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::list<PeerIn> peers;
+  std::thread driver;
+  {
+    std::lock_guard lock{mu_};
+    for (auto& p : peer_ins_) p.sock.shutdown_both();
+    peers = std::move(peer_ins_);  // list nodes survive the move; the
+                                   // threads' &slot references stay valid
+    driver = std::move(driver_thread_);
+  }
+  for (auto& p : peers) {
+    if (p.th.joinable()) p.th.join();
+  }
+  if (driver.joinable()) driver.join();
+  {
+    std::lock_guard lock{peer_out_mu_};
+    for (auto& [w, slot] : peer_out_) {
+      if (slot.ch) slot.ch->close();
+    }
+    peer_out_.clear();
+  }
+  // Safe now: every thread that could touch the Site or the driver channel
+  // has been joined. close() drains the channel's queued tail (final
+  // results / stats sample) within its bounded deadline.
+  std::lock_guard lock{mu_};
+  site_ = nullptr;
+  site_owned_.reset();
+  if (driver_channel_) driver_channel_->close();
+  driver_channel_.reset();
+}
+
 }  // namespace cosmos::node

@@ -1,12 +1,39 @@
-// One daemon session: wraps a connected socket in a FrameChannel and
-// drives a Site from the frames on it. Factored out of tools/cosmos_noded
-// so tests can serve a session on an in-process thread against a real
-// socket pair without spawning the binary.
+// Serving a worker's connections. Two layers:
+//
+//  - serve_connection(): one driver session on one already-accepted socket
+//    (star topology only). Factored out of tools/cosmos_noded so tests can
+//    serve a session on an in-process thread against a real socket pair
+//    without spawning the binary.
+//
+//  - NodeServer: the full daemon — keeps the listener open for the whole
+//    driver session and classifies every inbound connection by its first
+//    frame: kHello starts the (single) driver session, kPeerHello starts a
+//    peer-link receive loop feeding the same Site. Outbound peer links are
+//    dialed lazily from the driver-distributed kPeerTable when the Site
+//    ships an execute to another worker; a dead peer link is re-dialed once
+//    per ship (a respawned worker re-binds the same endpoint), and a frame
+//    that still cannot be delivered is dropped — the driver's data log
+//    replay is the recovery safety net.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "wire/channel.h"
+#include "wire/messages.h"
 #include "wire/socket.h"
 
 namespace cosmos::node {
+
+class Site;
 
 /// Serves frames on `socket` until kBye, peer close or failure. The first
 /// frame must be kHello; it fixes the session's runtime shard count and
@@ -14,5 +41,80 @@ namespace cosmos::node {
 /// before returning. Returns true for an orderly end (kBye or clean peer
 /// close), false when the session died on an error.
 bool serve_connection(wire::Socket socket);
+
+/// The daemon's connection fabric around one Site. Not movable; the
+/// listener is borrowed and stays open (and accepting peer dials) until
+/// the driver session ends.
+class NodeServer {
+ public:
+  explicit NodeServer(wire::Listener& listener);  // out of line: Site is
+                                                  // incomplete here
+  ~NodeServer();
+  NodeServer(const NodeServer&) = delete;
+  NodeServer& operator=(const NodeServer&) = delete;
+
+  /// Accepts and serves until the driver session (the connection opening
+  /// with kHello) ends, then tears every link down. Returns true for an
+  /// orderly session end, false when it died on an error.
+  bool run();
+
+ private:
+  struct PeerIn {
+    wire::Socket sock;
+    std::thread th;
+  };
+
+  void accept_loop();
+  void drive_session(wire::Socket sock, wire::Frame hello_frame);
+  void peer_in_loop(wire::Socket& sock);
+  /// Blocks until the driver session's Site exists (nullptr on shutdown).
+  Site* wait_site();
+  /// Lazy-dial + send on the peer link to `worker`; one re-dial on
+  /// failure, then the frame is dropped.
+  /// One outbound peer link. `dead` is flipped by the channel's reader at
+  /// EOF, the instant the peer dies — ship() checks it *before* enqueueing,
+  /// because FrameChannel::send only enqueues and the sender thread's
+  /// later EPIPE would drop the frame silently. Frames lost in the death
+  /// instant itself are re-sent by the driver's data-log replay (their
+  /// route decisions predate the recovery), so eager detection here plus
+  /// the replay together leave no silent-drop window.
+  struct PeerOut {
+    std::unique_ptr<wire::FrameChannel> ch;
+    std::shared_ptr<std::atomic<bool>> dead;
+  };
+  void ship(std::uint32_t worker, wire::Frame frame);
+  PeerOut dial_peer(std::uint32_t worker);
+  /// Folds the channel's counters into the retired totals and drops it.
+  void retire_peer_out(PeerOut& slot);
+  /// {frames, bytes} sent over peer links (live channels + retired ones).
+  std::pair<std::uint64_t, std::uint64_t> peer_traffic();
+  void shutdown();
+
+  wire::Listener& listener_;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::condition_variable site_cv_;
+  std::condition_variable done_cv_;
+  Site* site_ = nullptr;                    ///< set while the session runs
+  std::unique_ptr<Site> site_owned_;        ///< destroyed after peers join
+  std::unique_ptr<wire::FrameChannel> driver_channel_;
+  std::thread driver_thread_;
+  bool driver_started_ = false;
+  bool driver_done_ = false;
+  bool driver_ok_ = true;
+  bool shutting_down_ = false;
+  wire::PeerTableMsg table_;
+  std::list<PeerIn> peer_ins_;
+
+  /// Written once in drive_session (before any ship can happen).
+  std::uint32_t worker_index_ = 0;
+  std::int64_t send_delay_ms_ = 0;
+
+  std::mutex peer_out_mu_;
+  std::map<std::uint32_t, PeerOut> peer_out_;
+  std::uint64_t retired_peer_frames_ = 0;  ///< counters of dropped channels
+  std::uint64_t retired_peer_bytes_ = 0;
+};
 
 }  // namespace cosmos::node

@@ -52,10 +52,43 @@ void Site::ship_results(std::vector<Frame>& out) {
 }
 
 bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
+  std::vector<PeerShip> ships;
+  bool keep_going = true;
+  {
+    std::lock_guard lock{mu_};
+    keep_going = handle_locked(frame, out, ships);
+    // With an emit sink installed, frames leave while the mutex is held:
+    // that serializes them against frames emitted from peer reader threads
+    // (a flush ack finishing over there must not overtake results drained
+    // here). Without one (in-process tests), the caller reads `out`.
+    if (emit_) {
+      for (auto& f : out) emit_(std::move(f));
+      out.clear();
+    }
+  }
+  // Peer shipments go out after the mutex is released: a ship can block on
+  // the destination worker's backpressure, and that worker may be blocked
+  // shipping to us — holding the site lock across the send would deadlock
+  // the pair.
+  for (auto& s : ships) {
+    if (ship_) ship_(s.worker, std::move(s.frame));
+  }
+  return keep_going;
+}
+
+bool Site::handle_locked(const Frame& frame, std::vector<Frame>& out,
+                         std::vector<PeerShip>& ships) {
   bool keep_going = true;
   switch (frame.type) {
     case FrameType::kHello: {
       hello_ = wire::decode_hello(frame);
+      if (hello_.protocol != wire::kProtocolVersion) {
+        throw wire::Error{"node: protocol version mismatch: driver speaks v" +
+                          std::to_string(hello_.protocol) +
+                          ", this worker speaks v" +
+                          std::to_string(wire::kProtocolVersion) +
+                          " — refusing a mixed fleet"};
+      }
       if (hello_.trace != 0) {
         // Safe here: the shard workers exist but have never executed a
         // task (kHello is the first frame), so no recorder is active.
@@ -79,23 +112,47 @@ bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
     case FrameType::kDeployUnit:
       on_deploy(wire::decode_deploy_unit(frame));
       break;
+    case FrameType::kPeerTable: {
+      auto m = wire::decode_peer_table(frame);
+      if (peer_table_cb_) peer_table_cb_(std::move(m));
+      break;
+    }
     case FrameType::kMatchRequest:
       on_match(wire::decode_match_request(frame), out);
       break;
-    case FrameType::kExecute:
-      on_execute(wire::decode_execute(frame));
+    case FrameType::kRouteDecision:
+      on_route_decision(wire::decode_route_decision(frame), out, ships);
       break;
-    case FrameType::kWatermark:
-      on_watermark(wire::decode_watermark(frame), out);
+    case FrameType::kExecute: {
+      auto m = wire::decode_execute(frame);
+      // The driver channel is strict: it only sends executes to the worker
+      // it believes hosts the engine, so a miss is a placement bug (peer
+      // links tolerate the transient miss instead — see
+      // apply_peer_execute).
+      if (!engines_.contains(m.engine)) {
+        throw wire::Error{"node: execute for engine " +
+                          std::to_string(m.engine.value()) +
+                          " not hosted here"};
+      }
+      apply_execute(std::move(m), out);
       break;
+    }
+    case FrameType::kWatermark: {
+      auto m = wire::decode_watermark(frame);
+      if (gate_.empty() && floors_met(m.floors)) {
+        apply_watermark(m, out);
+      } else {
+        gate_.push_back({Gated::Kind::kWatermark, std::move(m), {}});
+      }
+      break;
+    }
     case FrameType::kFlush: {
-      const auto m = wire::decode_flush(frame);
-      sync_runtime();
-      ship_results(out);
-      // Final sample rides ahead of the ack on the FIFO channel, so the
-      // driver holds every sample once its flush barrier completes.
-      emit_stats_sample(out);
-      out.push_back(wire::encode_flush_ack({m.seq}));
+      auto m = wire::decode_flush(frame);
+      if (gate_.empty() && floors_met(m.floors)) {
+        apply_flush(m, out);
+      } else {
+        gate_.push_back({Gated::Kind::kFlush, {}, std::move(m)});
+      }
       break;
     }
     case FrameType::kMigrateOut:
@@ -107,6 +164,11 @@ bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
     case FrameType::kTrafficRequest: {
       wire::TrafficReportMsg report;
       if (broker_) report.traffic = broker_->traffic();
+      if (peer_traffic_) {
+        const auto [frames, bytes] = peer_traffic_();
+        report.peer_frames = frames;
+        report.peer_bytes = bytes;
+      }
       out.push_back(wire::encode_traffic_report(report));
       break;
     }
@@ -126,6 +188,117 @@ bool Site::handle(const Frame& frame, std::vector<Frame>& out) {
   return keep_going;
 }
 
+void Site::apply_peer_execute(wire::ExecuteMsg m) {
+  std::lock_guard lock{mu_};
+  if (!engines_.contains(m.engine)) {
+    // A survivor's shipment can reach a respawned worker before the
+    // driver's kMigrateIn re-creates the engine; hold it, on_migrate_in
+    // re-applies.
+    held_peer_execs_.push_back(std::move(m));
+    return;
+  }
+  std::vector<Frame> out;
+  apply_execute(std::move(m), out);
+  ship_results(out);
+  for (auto& f : out) {
+    if (emit_) emit_(std::move(f));
+  }
+}
+
+void Site::apply_execute(wire::ExecuteMsg m, std::vector<Frame>& out) {
+  auto& st = exec_seq_[m.engine.value()];
+  if (m.seq < st.expected) return;  // recovery replay duplicate
+  if (m.seq > st.expected) {
+    st.holdback.emplace(m.seq, std::move(m));  // early arrival; keep first
+    return;
+  }
+  dispatch_execute(std::move(m));
+  ++st.expected;
+  for (auto next = st.holdback.find(st.expected);
+       next != st.holdback.end(); next = st.holdback.find(st.expected)) {
+    dispatch_execute(std::move(next->second));
+    st.holdback.erase(next);
+    ++st.expected;
+  }
+  pump_gate(out);
+}
+
+void Site::dispatch_execute(wire::ExecuteMsg m) {
+  const auto it = engines_.find(m.engine);
+  if (it == engines_.end()) {
+    throw wire::Error{"node: execute for engine " +
+                      std::to_string(m.engine.value()) + " not hosted here"};
+  }
+  runtime::Runtime::Task task;
+  task.engine = it->second.get();
+  task.engine_id = m.engine.value();
+  task.runs.push_back(std::move(m.batch));
+  task.ingest_ns = m.ingest_ns;
+  rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
+}
+
+bool Site::floors_met(const std::vector<wire::EngineFloor>& floors) const {
+  for (const auto& floor : floors) {
+    const auto it = exec_seq_.find(floor.engine.value());
+    // A floor for an engine not hosted here is a stale placement view
+    // (the driver quiesces around migrations); only hosted engines gate.
+    if (it == exec_seq_.end()) continue;
+    if (it->second.expected < floor.seq) return false;
+  }
+  return true;
+}
+
+void Site::pump_gate(std::vector<Frame>& out) {
+  // FIFO: a blocked front blocks everything behind it, preserving the
+  // driver's watermark/flush order.
+  while (!gate_.empty()) {
+    const auto& front = gate_.front();
+    const auto& floors = front.kind == Gated::Kind::kWatermark
+                             ? front.wm.floors
+                             : front.flush.floors;
+    if (!floors_met(floors)) return;
+    Gated op = std::move(gate_.front());
+    gate_.pop_front();
+    if (op.kind == Gated::Kind::kWatermark) {
+      apply_watermark(op.wm, out);
+    } else {
+      apply_flush(op.flush, out);
+    }
+  }
+}
+
+void Site::apply_watermark(const wire::WatermarkMsg& m,
+                           std::vector<Frame>& out) {
+  watermark_ms_ = m.watermark;
+  if (hello_.stats_sample_every_ms > 0 &&
+      (last_sample_ms_ == INT64_MIN ||
+       m.watermark - last_sample_ms_ >= hello_.stats_sample_every_ms)) {
+    emit_stats_sample(out);
+  }
+  // Watermarks prune join state, which only a task on the owning shard may
+  // touch (the serve thread must not race an executing engine). Dispatch
+  // one pruning task per unit; shard FIFO orders it after every execute
+  // applied before this watermark, and the floors guarantee every execute
+  // routed before it has been applied.
+  for (auto& [uid, unit] : units_) {
+    runtime::Runtime::Task task;
+    task.engine_id = unit.host.value();
+    task.match = [plan = unit.plan.get(), wm = m.watermark] {
+      plan->advance_watermark(wm);
+    };
+    rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
+  }
+}
+
+void Site::apply_flush(const wire::FlushMsg& m, std::vector<Frame>& out) {
+  sync_runtime();
+  ship_results(out);
+  // Final sample rides ahead of the ack on the FIFO channel, so the
+  // driver holds every sample once its flush barrier completes.
+  emit_stats_sample(out);
+  out.push_back(wire::encode_flush_ack({m.seq}));
+}
+
 void Site::on_topology(const wire::TopologyMsg& m) {
   if (broker_) throw wire::Error{"node: duplicate kTopology"};
   lat_ = net::LatencyMatrix{m.members, m.dense};
@@ -143,6 +316,7 @@ void Site::on_deploy(wire::DeployUnitMsg m) {
   unit.result_stream = std::move(m.result_stream);
   unit.spec = std::move(m.spec);
   auto& engine = engine_at(unit.host);
+  exec_seq_.try_emplace(unit.host.value());  // fresh engines expect seq 0
   for (const auto& src : unit.spec.sources) {
     if (!engine.has_stream(src.stream)) {
       engine.register_stream(src.stream, broker().schema(src.stream));
@@ -163,8 +337,7 @@ void Site::on_deploy(wire::DeployUnitMsg m) {
   units_.emplace(unit.id, std::move(unit));
 }
 
-void Site::on_match(const wire::MatchRequestMsg& m,
-                    std::vector<Frame>& out) {
+void Site::on_match(wire::MatchRequestMsg m, std::vector<Frame>& out) {
   auto* part = broker().partition(m.batch.stream());
   if (part == nullptr) {
     throw wire::Error{"node: match request for unadvertised stream " +
@@ -183,42 +356,35 @@ void Site::on_match(const wire::MatchRequestMsg& m,
     resp.deliveries.emplace_back(d.sub->id, std::move(d.rows));
   }
   out.push_back(wire::encode_match_response(resp));
+  if (hello_.peer_links != 0) {
+    // Retain the batch: the driver's kRouteDecision slices it into
+    // per-engine executes here instead of echoing the rows back over the
+    // star. insert_or_assign absorbs a recovery re-request of the same job.
+    retained_.insert_or_assign(m.job, std::move(m.batch));
+  }
 }
 
-void Site::on_execute(wire::ExecuteMsg m) {
-  const auto it = engines_.find(m.engine);
-  if (it == engines_.end()) {
-    throw wire::Error{"node: execute for engine " +
-                      std::to_string(m.engine.value()) + " not hosted here"};
+void Site::on_route_decision(wire::RouteDecisionMsg m, std::vector<Frame>& out,
+                             std::vector<PeerShip>& ships) {
+  const auto it = retained_.find(m.job);
+  if (it == retained_.end()) {
+    throw wire::Error{"node: route decision for unknown job " +
+                      std::to_string(m.job)};
   }
-  runtime::Runtime::Task task;
-  task.engine = it->second.get();
-  task.engine_id = m.engine.value();
-  task.runs.push_back(std::move(m.batch));
-  task.ingest_ns = m.ingest_ns;
-  rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
-}
-
-void Site::on_watermark(const wire::WatermarkMsg& m,
-                        std::vector<Frame>& out) {
-  watermark_ms_ = m.watermark;
-  if (hello_.stats_sample_every_ms > 0 &&
-      (last_sample_ms_ == INT64_MIN ||
-       m.watermark - last_sample_ms_ >= hello_.stats_sample_every_ms)) {
-    emit_stats_sample(out);
+  for (auto& t : m.targets) {
+    wire::ExecuteMsg ex;
+    ex.engine = t.engine;
+    ex.ingest_ns = m.ingest_ns;
+    ex.seq = t.seq;
+    ex.batch = t.rows.empty() ? it->second : it->second.select(t.rows);
+    if (t.worker == hello_.worker_index) {
+      // Own-engine slice: same seq-ordered path a shipped one would take.
+      apply_execute(std::move(ex), out);
+    } else {
+      ships.push_back({t.worker, wire::encode_execute(ex)});
+    }
   }
-  // Watermarks prune join state, which only a task on the owning shard may
-  // touch (the serve thread must not race an executing engine). Dispatch
-  // one pruning task per unit; shard FIFO orders it after every execute
-  // the driver sent before this watermark.
-  for (auto& [uid, unit] : units_) {
-    runtime::Runtime::Task task;
-    task.engine_id = unit.host.value();
-    task.match = [plan = unit.plan.get(), wm = m.watermark] {
-      plan->advance_watermark(wm);
-    };
-    rt_.dispatch(shard_of_.at(task.engine_id), std::move(task));
-  }
+  retained_.erase(it);
 }
 
 void Site::emit_stats_sample(std::vector<Frame>& out) {
@@ -271,7 +437,8 @@ void Site::on_migrate_out(const wire::MigrateOutMsg& m,
                       std::to_string(m.engine.value()) + " not hosted here"};
   }
   // Quiesce: after the drain no task of this engine (or any other) is in
-  // flight, so exporting join state and tearing the plans down is safe.
+  // flight, so exporting join state (and, unless keeping, tearing the
+  // plans down) is safe.
   sync_runtime();
   ship_results(out);
   wire::StateHandoffMsg handoff;
@@ -280,12 +447,16 @@ void Site::on_migrate_out(const wire::MigrateOutMsg& m,
     if (unit.host != m.engine) continue;
     handoff.units.push_back({unit.id, unit.plan->export_join_state()});
   }
-  // Tear down the units (plan destructors detach their engine taps), then
-  // drop the engine itself: a later migrate-in of the same node must start
-  // from a blank engine or stream re-registration would throw.
-  for (const auto& u : handoff.units) units_.erase(u.unit_id);
-  engines_.erase(eit);
-  shard_of_.erase(m.engine.value());
+  if (m.keep == 0) {
+    // Tear down the units (plan destructors detach their engine taps), then
+    // drop the engine itself: a later migrate-in of the same node must
+    // start from a blank engine or stream re-registration would throw.
+    for (const auto& u : handoff.units) units_.erase(u.unit_id);
+    engines_.erase(eit);
+    shard_of_.erase(m.engine.value());
+    exec_seq_.erase(m.engine.value());
+  }
+  // keep != 0 is checkpoint mode: the state left, the placement did not.
   out.push_back(wire::encode_state_handoff(handoff));
 }
 
@@ -304,6 +475,17 @@ void Site::on_migrate_in(wire::MigrateInMsg m, std::vector<Frame>& out) {
     }
     it->second.plan->import_join_state(std::move(state.joins));
   }
+  // Resume execute ordering at the handoff's cut point, then re-apply any
+  // peer shipments that arrived for this engine before it existed here.
+  exec_seq_[m.engine.value()].expected = m.exec_seq;
+  std::vector<wire::ExecuteMsg> held;
+  std::vector<wire::ExecuteMsg> rest;
+  for (auto& ex : held_peer_execs_) {
+    (ex.engine == m.engine ? held : rest).push_back(std::move(ex));
+  }
+  held_peer_execs_ = std::move(rest);
+  for (auto& ex : held) apply_execute(std::move(ex), out);
+  pump_gate(out);
   out.push_back(wire::encode_migrate_ack({m.engine}));
 }
 

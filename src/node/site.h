@@ -3,25 +3,42 @@
 // matching of the streams it owns), the engines + compiled query plans of
 // the units deployed to it, and a local sharded runtime::Runtime executing
 // them. One Site serves one driver session; tools/cosmos_noded wraps it in
-// a process with a FrameChannel, and tests drive it in-process by handing
-// it frames directly.
+// a NodeServer with a FrameChannel, and tests drive it in-process by
+// handing it frames directly.
 //
-// Threading: handle() is single-caller (the serve thread). Broker
-// partitions are only ever touched from handle() — match requests run
-// inline there, preserving the single-owner partition discipline — while
-// engine work (execute batches, watermarks) is dispatched into the
-// runtime's shard queues, each engine pinned to one shard. Result tuples
-// cross back via an MpscBuffer and are shipped as kResult frames at the
-// end of the handle() call that observed them; a kFlush drains the runtime
-// first, so every result precedes the ack on the (FIFO) channel.
+// Threading: handle() is single-caller (the serve thread), but peer links
+// deliver kExecute frames on their own reader threads via
+// apply_peer_execute(), so all site state lives under one internal mutex.
+// Broker partitions are only ever touched from handle() — match requests
+// run inline there, preserving the single-owner partition discipline —
+// while engine work (execute batches, watermarks) is dispatched into the
+// runtime's shard queues, each engine pinned to one shard.
+//
+// Ordering: the driver assigns every execute an absolute per-engine seq
+// (route order). The site applies an engine's executes strictly in seq
+// order — holding back early arrivals, dropping replayed duplicates — so
+// engine input order (and hence result byte-identity) survives executes
+// arriving over multiple channels (driver, peer links, recovery replay).
+// Watermarks and flushes carry per-engine floors and wait in a FIFO gate
+// until every floored execute has been applied: pruning join state early
+// could drop tuples an in-flight batch would still join with, and a flush
+// ack must follow every result of every execute routed before it. Frames
+// produced while the serve thread is not in handle() (a gated flush
+// completed by a peer execute) go out through the emit callback; results
+// cross shards via an MpscBuffer and are drained under the mutex, so
+// per-engine result order is preserved on the (FIFO) driver channel.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/latency_matrix.h"
@@ -47,17 +64,51 @@ class Site {
   Site& operator=(const Site&) = delete;
 
   /// Handles one inbound frame, appending any frames to send back (in
-  /// order) to `out`. Returns false when the session is over (kBye).
-  /// Throws wire::Error on protocol violations and std::runtime_error when
-  /// a shard worker faulted — the caller reports kError and ends the
-  /// session either way.
+  /// order) to `out` — unless an emit callback is installed, in which case
+  /// every produced frame is emitted before returning (so frames produced
+  /// here and frames produced on peer reader threads interleave in one
+  /// mutex-ordered sequence). Returns false when the session is over
+  /// (kBye). Throws wire::Error on protocol violations and
+  /// std::runtime_error when a shard worker faulted — the caller reports
+  /// kError and ends the session either way.
   bool handle(const wire::Frame& frame, std::vector<wire::Frame>& out);
 
+  /// Entry point for a kExecute frame that arrived on a peer link (called
+  /// from that link's reader thread). Unknown engines are held — a
+  /// survivor's shipment can beat the driver's kMigrateIn to a respawned
+  /// worker — and re-applied when the engine arrives.
+  void apply_peer_execute(wire::ExecuteMsg m);
+
+  /// Sink for frames produced outside a handle() call (gated flush acks,
+  /// results completed by peer executes). Must be thread-safe; installed
+  /// once before frames flow.
+  using EmitFn = std::function<void(wire::Frame)>;
+  void set_emit(EmitFn emit) { emit_ = std::move(emit); }
+  /// Ships a frame to another worker over a peer link. Invoked *outside*
+  /// the site mutex (a ship can block on a peer's backpressure, and two
+  /// workers shipping to each other under their site locks would deadlock).
+  using ShipFn = std::function<void(std::uint32_t worker, wire::Frame)>;
+  void set_peer_ship(ShipFn ship) { ship_ = std::move(ship); }
+  /// Supplies {frames, bytes} this worker has sent on its peer links, for
+  /// kTrafficReport.
+  using PeerTrafficFn =
+      std::function<std::pair<std::uint64_t, std::uint64_t>()>;
+  void set_peer_traffic(PeerTrafficFn fn) { peer_traffic_ = std::move(fn); }
+  /// Invoked when the driver distributes the fleet endpoint table.
+  using PeerTableFn = std::function<void(wire::PeerTableMsg)>;
+  void set_peer_table_cb(PeerTableFn fn) { peer_table_cb_ = std::move(fn); }
+
+  /// The session hello (valid after the kHello frame was handled; only
+  /// meaningful on the serve thread that handled it).
+  [[nodiscard]] const wire::HelloMsg& hello() const noexcept { return hello_; }
+
   /// Units currently deployed here (for tests).
-  [[nodiscard]] std::size_t deployed_units() const noexcept {
+  [[nodiscard]] std::size_t deployed_units() const {
+    std::lock_guard lock{mu_};
     return units_.size();
   }
-  [[nodiscard]] bool hosts_engine(NodeId node) const noexcept {
+  [[nodiscard]] bool hosts_engine(NodeId node) const {
+    std::lock_guard lock{mu_};
     return engines_.contains(node);
   }
 
@@ -70,15 +121,48 @@ class Site {
     std::unique_ptr<query::CompiledQuery> plan;
     std::size_t result_tap = 0;
   };
+  /// Per-engine execute ordering state.
+  struct EngineSeq {
+    std::uint64_t expected = 0;  ///< next seq to apply
+    std::map<std::uint64_t, wire::ExecuteMsg> holdback;  ///< early arrivals
+  };
+  /// A watermark/flush waiting in the FIFO gate for its floors.
+  struct Gated {
+    enum class Kind { kWatermark, kFlush } kind = Kind::kWatermark;
+    wire::WatermarkMsg wm;
+    wire::FlushMsg flush;
+  };
+  /// A peer shipment decided under the mutex, sent after it is released.
+  struct PeerShip {
+    std::uint32_t worker = 0;
+    wire::Frame frame;
+  };
 
+  bool handle_locked(const wire::Frame& frame, std::vector<wire::Frame>& out,
+                     std::vector<PeerShip>& ships);
   void on_topology(const wire::TopologyMsg& m);
   void on_deploy(wire::DeployUnitMsg m);
-  void on_match(const wire::MatchRequestMsg& m, std::vector<wire::Frame>& out);
-  void on_execute(wire::ExecuteMsg m);
-  void on_watermark(const wire::WatermarkMsg& m, std::vector<wire::Frame>& out);
+  void on_match(wire::MatchRequestMsg m, std::vector<wire::Frame>& out);
+  void on_route_decision(wire::RouteDecisionMsg m,
+                         std::vector<wire::Frame>& out,
+                         std::vector<PeerShip>& ships);
   void on_migrate_out(const wire::MigrateOutMsg& m,
                       std::vector<wire::Frame>& out);
   void on_migrate_in(wire::MigrateInMsg m, std::vector<wire::Frame>& out);
+
+  /// Seq-ordered apply: dispatches at `expected`, drains the holdback, then
+  /// pumps the gate. Drops seqs below `expected` (recovery replay).
+  void apply_execute(wire::ExecuteMsg m, std::vector<wire::Frame>& out);
+  /// Dispatches one batch into the engine's shard queue (no seq logic).
+  void dispatch_execute(wire::ExecuteMsg m);
+  /// True when every floor naming an engine hosted here is satisfied.
+  [[nodiscard]] bool floors_met(
+      const std::vector<wire::EngineFloor>& floors) const;
+  /// Applies gated frames from the front while their floors are met.
+  void pump_gate(std::vector<wire::Frame>& out);
+  void apply_watermark(const wire::WatermarkMsg& m,
+                       std::vector<wire::Frame>& out);
+  void apply_flush(const wire::FlushMsg& m, std::vector<wire::Frame>& out);
 
   /// The engine hosted for `node`, creating + shard-pinning it on first use.
   stream::Engine& engine_at(NodeId node);
@@ -109,6 +193,23 @@ class Site {
   stream::Timestamp watermark_ms_ = 0;
   /// Stream time of the last emitted kStatsSample; INT64_MIN = none yet.
   stream::Timestamp last_sample_ms_ = INT64_MIN;
+
+  mutable std::mutex mu_;
+  /// Engine-id -> execute ordering state; created at deploy (expected 0)
+  /// or migrate-in (expected = the handoff's cut point), erased with the
+  /// engine on migrate-out.
+  std::unordered_map<std::uint64_t, EngineSeq> exec_seq_;
+  /// Peer executes for engines not (yet) hosted here; re-applied on
+  /// migrate-in.
+  std::vector<wire::ExecuteMsg> held_peer_execs_;
+  /// Peer-link mode: match-request batches retained by job until the
+  /// driver's kRouteDecision slices and frees them.
+  std::map<std::uint64_t, runtime::TupleBatch> retained_;
+  std::deque<Gated> gate_;
+  EmitFn emit_;
+  ShipFn ship_;
+  PeerTrafficFn peer_traffic_;
+  PeerTableFn peer_table_cb_;
 };
 
 }  // namespace cosmos::node

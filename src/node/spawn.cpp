@@ -1,8 +1,10 @@
 #include "node/spawn.h"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include <sys/wait.h>
@@ -21,7 +23,17 @@ NodeProcess& NodeProcess::operator=(NodeProcess&& other) noexcept {
   return *this;
 }
 
-NodeProcess::~NodeProcess() { kill(); }
+NodeProcess::~NodeProcess() { (void)terminate(); }
+
+namespace {
+
+int decode_status(int status) {
+  return WIFEXITED(status)     ? WEXITSTATUS(status)
+         : WIFSIGNALED(status) ? -WTERMSIG(status)
+                               : -1;
+}
+
+}  // namespace
 
 int NodeProcess::wait() {
   if (waited_ || pid_ <= 0) return exit_code_;
@@ -32,11 +44,37 @@ int NodeProcess::wait() {
       break;
     }
   }
-  exit_code_ = WIFEXITED(status)     ? WEXITSTATUS(status)
-               : WIFSIGNALED(status) ? -WTERMSIG(status)
-                                     : -1;
+  exit_code_ = decode_status(status);
   waited_ = true;
   pid_ = -1;
+  return exit_code_;
+}
+
+std::optional<int> NodeProcess::poll() {
+  if (waited_) return exit_code_;
+  if (pid_ <= 0) return std::nullopt;
+  int status = 0;
+  pid_t got = 0;
+  while ((got = ::waitpid(pid_, &status, WNOHANG)) < 0) {
+    if (errno != EINTR) return std::nullopt;
+  }
+  if (got == 0) return std::nullopt;  // still running
+  exit_code_ = decode_status(status);
+  waited_ = true;
+  pid_ = -1;
+  return exit_code_;
+}
+
+int NodeProcess::terminate(int grace_ms) {
+  if (waited_ || pid_ <= 0) return exit_code_;
+  ::kill(pid_, SIGTERM);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(grace_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (auto code = poll()) return *code;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  kill();  // grace expired: SIGKILL reaps promptly
   return exit_code_;
 }
 

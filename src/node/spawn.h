@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -13,8 +14,10 @@
 
 namespace cosmos::node {
 
-/// A spawned cosmos_noded process. Kills (SIGKILL) and reaps the child on
-/// destruction if it has not been wait()ed.
+/// A spawned cosmos_noded process. The destructor terminate()s the child
+/// with a bounded grace period (SIGTERM, then SIGKILL) if it has not been
+/// wait()ed, so owning scopes never block past the timeout on a wedged
+/// daemon.
 class NodeProcess {
  public:
   NodeProcess() = default;
@@ -35,8 +38,22 @@ class NodeProcess {
   /// Blocks until the child exits; returns its exit code (or -signal when
   /// it died on one). Idempotent — returns the recorded status again.
   int wait();
+  /// Non-blocking reap: returns the exit status if the child has exited
+  /// (and records it), std::nullopt while it is still running. Idempotent
+  /// after the child is reaped.
+  std::optional<int> poll();
+  /// Graceful stop: SIGTERM, then up to `grace_ms` of polling for the exit,
+  /// then SIGKILL + reap. Returns the exit status (see wait()). Never
+  /// blocks longer than the grace period plus one reap.
+  int terminate(int grace_ms = 1'000);
   /// SIGKILLs the child (if still running) and reaps it.
   void kill();
+  /// The reaped status once wait()/poll()/terminate()/kill() has collected
+  /// the child: exit code, or -signal when it died on one. std::nullopt
+  /// while the child is unreaped (or was never spawned).
+  [[nodiscard]] std::optional<int> exit_status() const noexcept {
+    return waited_ ? std::optional<int>{exit_code_} : std::nullopt;
+  }
 
  private:
   pid_t pid_ = -1;

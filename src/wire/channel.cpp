@@ -18,6 +18,14 @@ FrameChannel::FrameChannel(Socket socket, Options options)
 FrameChannel::~FrameChannel() { close(); }
 
 void FrameChannel::sender_loop() {
+  struct DoneSignal {
+    FrameChannel* ch;
+    ~DoneSignal() {
+      std::lock_guard lock{ch->sender_done_mu_};
+      ch->sender_done_ = true;
+      ch->sender_done_cv_.notify_all();
+    }
+  } done_signal{this};
   while (true) {
     auto item = send_queue_.pop();
     if (!item) return;  // queue closed and drained
@@ -86,11 +94,32 @@ void FrameChannel::start_reader(FrameHandler on_frame, CloseHandler on_close) {
 
 void FrameChannel::close() {
   if (closed_.exchange(true)) return;
-  // Let queued frames flush: close() makes pop() drain-then-stop.
+  // Let queued frames flush: close() makes pop() drain-then-stop. The
+  // drain is bounded — a sender wedged in send_all() against a dead or
+  // stalled peer would otherwise block close() forever; past the deadline
+  // the socket shutdown below errors the blocked send and the sender exits
+  // on its error path (remaining frames are dropped, which is the best a
+  // dead peer allows).
   send_queue_.close();
-  if (sender_.joinable()) sender_.join();
-  // Unblock recv()/reader thread, then reclaim it.
+  if (options_.close_drain_ms > 0) {
+    std::unique_lock lock{sender_done_mu_};
+    sender_done_cv_.wait_for(lock,
+                             std::chrono::milliseconds(options_.close_drain_ms),
+                             [&] { return sender_done_; });
+    if (!sender_done_) {
+      std::lock_guard elock{error_mu_};
+      if (send_error_.empty()) {
+        send_error_ = "close drain deadline exceeded; tail frames dropped";
+      }
+    }
+  } else if (sender_.joinable()) {
+    sender_.join();  // unbounded drain: wait for the queue to empty
+  }
+  // Unblock a wedged sender and the recv()/reader thread, then reclaim
+  // both. On the drained path the queue is already empty, so the shutdown
+  // races no pending write.
   socket_.shutdown_both();
+  if (sender_.joinable()) sender_.join();
   if (reader_.joinable()) reader_.join();
   socket_.close();
 }

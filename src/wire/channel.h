@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -44,6 +45,13 @@ class FrameChannel {
     std::size_t send_queue_capacity = 64;
     /// Emulated one-way link latency applied to every outgoing frame.
     std::int64_t send_delay_ms = 0;
+    /// Upper bound on how long close() waits for queued frames to drain
+    /// onto the socket. Within the deadline every queued frame is
+    /// delivered (so a final kStatsSample/kFlushAck ordered before close
+    /// survives a shutdown race); past it the socket is shut down to
+    /// unblock a sender wedged on a dead or stalled peer, and the
+    /// remaining frames are dropped. <= 0: wait forever (old behavior).
+    std::int64_t close_drain_ms = 5'000;
   };
 
   /// Takes ownership of a connected socket and starts the sender thread.
@@ -70,8 +78,9 @@ class FrameChannel {
   using CloseHandler = std::function<void(const std::string& error)>;
   void start_reader(FrameHandler on_frame, CloseHandler on_close);
 
-  /// Flushes queued frames, shuts the socket down and joins the threads.
-  /// Safe to call repeatedly and from either side of a peer close.
+  /// Flushes queued frames (bounded by Options::close_drain_ms), shuts the
+  /// socket down and joins the threads. Safe to call repeatedly and from
+  /// either side of a peer close.
   void close();
 
   /// First sender-side error, if any ("" = none) — send() rethrows it.
@@ -115,6 +124,11 @@ class FrameChannel {
   std::atomic<bool> closed_{false};
   mutable std::mutex error_mu_;
   std::string send_error_;
+  /// Signaled when sender_loop returns; close() waits on it with the drain
+  /// deadline (std::thread has no timed join).
+  std::mutex sender_done_mu_;
+  std::condition_variable sender_done_cv_;
+  bool sender_done_ = false;
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> frames_sent_{0};

@@ -46,6 +46,9 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kError: return "Error";
     case FrameType::kBye: return "Bye";
     case FrameType::kStatsSample: return "StatsSample";
+    case FrameType::kPeerTable: return "PeerTable";
+    case FrameType::kRouteDecision: return "RouteDecision";
+    case FrameType::kPeerHello: return "PeerHello";
   }
   return "?";
 }
@@ -168,7 +171,7 @@ std::uint32_t decode_frame_header(const std::uint8_t (&header)[12],
   }
   const std::uint16_t raw_type = r.u16();
   if (raw_type < static_cast<std::uint16_t>(FrameType::kHello) ||
-      raw_type > static_cast<std::uint16_t>(FrameType::kStatsSample)) {
+      raw_type > static_cast<std::uint16_t>(FrameType::kPeerHello)) {
     throw Error{"wire: unknown frame type " + std::to_string(raw_type)};
   }
   type = static_cast<FrameType>(raw_type);

@@ -42,7 +42,11 @@ class Error : public std::runtime_error {
 };
 
 inline constexpr std::uint32_t kMagic = 0x434F534Du;  // "COSM"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: peer-to-peer execute shipping (kPeerTable/kRouteDecision/kPeerHello),
+/// per-engine execute sequence numbers, flush/watermark ordering floors and
+/// checkpointing migrate-out — the header check (and the explicit echo in
+/// kHello) refuses mixed-version fleets at the first frame.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 /// Upper bound on one frame's payload; decode rejects larger claims so a
 /// corrupt length prefix cannot trigger a giant allocation.
 inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
@@ -70,6 +74,9 @@ enum class FrameType : std::uint16_t {
   kError = 20,         ///< node-side failure description (session is dead)
   kBye = 21,           ///< orderly end of session
   kStatsSample = 22,   ///< node -> driver: metrics snapshot + trace spans
+  kPeerTable = 23,     ///< driver -> node: worker-index -> endpoint table
+  kRouteDecision = 24, ///< driver -> owner: per-target slices of a match job
+  kPeerHello = 25,     ///< worker -> worker: first frame of a peer link
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;

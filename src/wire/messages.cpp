@@ -40,6 +40,28 @@ void encode_unit_state(Writer& w, const UnitStateMsg& u) {
   return u;
 }
 
+void encode_floors(Writer& w, const std::vector<EngineFloor>& floors) {
+  w.u32(static_cast<std::uint32_t>(floors.size()));
+  for (const auto& f : floors) {
+    encode_node_id(w, f.engine);
+    w.u64(f.seq);
+  }
+}
+
+[[nodiscard]] std::vector<EngineFloor> decode_floors(Reader& r) {
+  const std::uint32_t count = r.u32();
+  check_count(count, r.remaining(), "engine floor");
+  std::vector<EngineFloor> floors;
+  floors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    EngineFloor f;
+    f.engine = decode_node_id(r);
+    f.seq = r.u64();
+    floors.push_back(f);
+  }
+  return floors;
+}
+
 void encode_deploy_payload(Writer& w, const DeployUnitMsg& m) {
   w.u32(m.unit_id);
   encode_node_id(w, m.host);
@@ -60,22 +82,26 @@ void encode_deploy_payload(Writer& w, const DeployUnitMsg& m) {
 
 Frame encode_hello(const HelloMsg& m) {
   Writer w;
+  w.u16(m.protocol);
   w.u32(m.worker_index);
   w.u32(m.shards);
   w.i64(m.send_delay_ms);
   w.i64(m.stats_sample_every_ms);
   w.u8(m.trace);
+  w.u8(m.peer_links);
   return finish(FrameType::kHello, std::move(w));
 }
 
 HelloMsg decode_hello(const Frame& f) {
   auto r = open(f, FrameType::kHello);
   HelloMsg m;
+  m.protocol = r.u16();
   m.worker_index = r.u32();
   m.shards = r.u32();
   m.send_delay_ms = r.i64();
   m.stats_sample_every_ms = r.i64();
   m.trace = r.u8();
+  m.peer_links = r.u8();
   r.done();
   return m;
 }
@@ -231,6 +257,7 @@ Frame encode_execute(const ExecuteMsg& m) {
   encode_node_id(w, m.engine);
   encode_batch(w, m.batch);
   w.u64(m.ingest_ns);
+  w.u64(m.seq);
   return finish(FrameType::kExecute, std::move(w));
 }
 
@@ -240,6 +267,7 @@ ExecuteMsg decode_execute(const Frame& f) {
   m.engine = decode_node_id(r);
   m.batch = decode_batch(r);
   m.ingest_ns = r.u64();
+  m.seq = r.u64();
   r.done();
   return m;
 }
@@ -275,6 +303,7 @@ ResultMsg decode_result(const Frame& f) {
 Frame encode_watermark(const WatermarkMsg& m) {
   Writer w;
   w.i64(m.watermark);
+  encode_floors(w, m.floors);
   return finish(FrameType::kWatermark, std::move(w));
 }
 
@@ -282,6 +311,7 @@ WatermarkMsg decode_watermark(const Frame& f) {
   auto r = open(f, FrameType::kWatermark);
   WatermarkMsg m;
   m.watermark = r.i64();
+  m.floors = decode_floors(r);
   r.done();
   return m;
 }
@@ -289,6 +319,7 @@ WatermarkMsg decode_watermark(const Frame& f) {
 Frame encode_flush(const FlushMsg& m) {
   Writer w;
   w.u64(m.seq);
+  encode_floors(w, m.floors);
   return finish(FrameType::kFlush, std::move(w));
 }
 
@@ -296,6 +327,7 @@ FlushMsg decode_flush(const Frame& f) {
   auto r = open(f, FrameType::kFlush);
   FlushMsg m;
   m.seq = r.u64();
+  m.floors = decode_floors(r);
   r.done();
   return m;
 }
@@ -317,6 +349,7 @@ FlushAckMsg decode_flush_ack(const Frame& f) {
 Frame encode_migrate_out(const MigrateOutMsg& m) {
   Writer w;
   encode_node_id(w, m.engine);
+  w.u8(m.keep);
   return finish(FrameType::kMigrateOut, std::move(w));
 }
 
@@ -324,6 +357,7 @@ MigrateOutMsg decode_migrate_out(const Frame& f) {
   auto r = open(f, FrameType::kMigrateOut);
   MigrateOutMsg m;
   m.engine = decode_node_id(r);
+  m.keep = r.u8();
   r.done();
   return m;
 }
@@ -357,6 +391,7 @@ Frame encode_migrate_in(const MigrateInMsg& m) {
   for (const auto& u : m.units) encode_deploy_payload(w, u);
   w.u32(static_cast<std::uint32_t>(m.state.size()));
   for (const auto& u : m.state) encode_unit_state(w, u);
+  w.u64(m.exec_seq);
   return finish(FrameType::kMigrateIn, std::move(w));
 }
 
@@ -376,6 +411,7 @@ MigrateInMsg decode_migrate_in(const Frame& f) {
   for (std::uint32_t i = 0; i < states; ++i) {
     m.state.push_back(decode_unit_state(r));
   }
+  m.exec_seq = r.u64();
   r.done();
   return m;
 }
@@ -401,6 +437,8 @@ Frame encode_traffic_request() {
 Frame encode_traffic_report(const TrafficReportMsg& m) {
   Writer w;
   encode_traffic(w, m.traffic);
+  w.u64(m.peer_frames);
+  w.u64(m.peer_bytes);
   return finish(FrameType::kTrafficReport, std::move(w));
 }
 
@@ -408,6 +446,8 @@ TrafficReportMsg decode_traffic_report(const Frame& f) {
   auto r = open(f, FrameType::kTrafficReport);
   TrafficReportMsg m;
   m.traffic = decode_traffic(r);
+  m.peer_frames = r.u64();
+  m.peer_bytes = r.u64();
   r.done();
   return m;
 }
@@ -556,6 +596,84 @@ StatsSampleMsg decode_stats_sample(const Frame& f) {
   check_count(spans, r.remaining(), "trace span");
   m.spans.reserve(spans);
   for (std::uint32_t i = 0; i < spans; ++i) m.spans.push_back(decode_span(r));
+  r.done();
+  return m;
+}
+
+Frame encode_peer_table(const PeerTableMsg& m) {
+  Writer w;
+  w.u16(m.version);
+  w.u32(static_cast<std::uint32_t>(m.endpoints.size()));
+  for (const auto& e : m.endpoints) w.str(e);
+  return finish(FrameType::kPeerTable, std::move(w));
+}
+
+PeerTableMsg decode_peer_table(const Frame& f) {
+  auto r = open(f, FrameType::kPeerTable);
+  PeerTableMsg m;
+  m.version = r.u16();
+  if (m.version != PeerTableMsg::kVersion) {
+    throw Error{"wire: unsupported peer-table version " +
+                std::to_string(m.version)};
+  }
+  const std::uint32_t count = r.u32();
+  check_count(count, r.remaining(), "peer endpoint");
+  m.endpoints.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) m.endpoints.push_back(r.str());
+  r.done();
+  return m;
+}
+
+Frame encode_route_decision(const RouteDecisionMsg& m) {
+  Writer w;
+  w.u64(m.job);
+  w.u64(m.ingest_ns);
+  w.u32(static_cast<std::uint32_t>(m.targets.size()));
+  for (const auto& t : m.targets) {
+    encode_node_id(w, t.engine);
+    w.u32(t.worker);
+    w.u64(t.seq);
+    w.u32(static_cast<std::uint32_t>(t.rows.size()));
+    for (const std::uint32_t row : t.rows) w.u32(row);
+  }
+  return finish(FrameType::kRouteDecision, std::move(w));
+}
+
+RouteDecisionMsg decode_route_decision(const Frame& f) {
+  auto r = open(f, FrameType::kRouteDecision);
+  RouteDecisionMsg m;
+  m.job = r.u64();
+  m.ingest_ns = r.u64();
+  const std::uint32_t targets = r.u32();
+  check_count(targets, r.remaining(), "route target");
+  m.targets.reserve(targets);
+  for (std::uint32_t i = 0; i < targets; ++i) {
+    RouteDecisionMsg::Target t;
+    t.engine = decode_node_id(r);
+    t.worker = r.u32();
+    t.seq = r.u64();
+    const std::uint32_t rows = r.u32();
+    check_count(rows, r.remaining(), "route target row");
+    t.rows.reserve(rows);
+    for (std::uint32_t j = 0; j < rows; ++j) t.rows.push_back(r.u32());
+    m.targets.push_back(std::move(t));
+  }
+  r.done();
+  return m;
+}
+
+Frame encode_peer_hello(const PeerHelloMsg& m) {
+  Writer w;
+  w.u16(m.protocol);
+  w.u32(m.worker_index);
+  return finish(FrameType::kPeerHello, std::move(w));
+}
+
+PeerHelloMsg decode_peer_hello(const Frame& f) {
+  auto r = open(f, FrameType::kPeerHello);
+  PeerHelloMsg m;
+  m.protocol = r.u16();
+  m.worker_index = r.u32();
   r.done();
   return m;
 }

@@ -22,6 +22,10 @@ namespace cosmos::wire {
 /// federation plus its transport knobs (the emulated one-way link delay it
 /// applies to its own outgoing frames, and its local runtime shard count).
 struct HelloMsg {
+  /// Explicit protocol echo: the frame header already refuses a version
+  /// mismatch byte-for-byte, but echoing it here lets the node reject a
+  /// mixed fleet with a descriptive kError instead of a codec throw.
+  std::uint16_t protocol = kProtocolVersion;
   std::uint32_t worker_index = 0;
   std::uint32_t shards = 1;
   std::int64_t send_delay_ms = 0;
@@ -31,6 +35,10 @@ struct HelloMsg {
   /// Non-zero: the node enables its span tracer and ships collected spans
   /// in its kStatsSample frames for driver-side timeline merging.
   std::uint8_t trace = 0;
+  /// Non-zero: peer-link mode. The node retains match-request batches and
+  /// ships kExecute slices worker-to-worker per kRouteDecision instead of
+  /// receiving pre-routed batches from the driver.
+  std::uint8_t peer_links = 0;
 };
 
 struct HelloAckMsg {
@@ -87,6 +95,12 @@ struct ExecuteMsg {
   /// from; echoed back on every result the batch produces so the driver
   /// can close the end-to-end latency measurement. 0 = not measured.
   std::uint64_t ingest_ns = 0;
+  /// Driver-assigned per-engine sequence number (route order). The site
+  /// applies an engine's executes strictly in seq order — holding back
+  /// early arrivals and dropping duplicates — which is what keeps result
+  /// byte-identity when executes arrive over multiple channels (peer links,
+  /// recovery replay).
+  std::uint64_t seq = 0;
 };
 
 struct ResultEventMsg {
@@ -99,12 +113,29 @@ struct ResultMsg {
   std::vector<ResultEventMsg> events;  ///< in emission order per engine
 };
 
+/// Ordering floor: the frame carrying it must not take effect for `engine`
+/// until that engine has applied every execute with seq < `seq`. Floors
+/// are trivially met on a star channel (FIFO) but gate frames that can
+/// overtake peer-shipped executes.
+struct EngineFloor {
+  NodeId engine;
+  std::uint64_t seq = 0;
+};
+
 struct WatermarkMsg {
   stream::Timestamp watermark = 0;
+  /// Floors for the engines hosted at the destination worker: pruning an
+  /// engine's join state early (before older executes arrived over a peer
+  /// link) could drop tuples a pending batch would still join with.
+  std::vector<EngineFloor> floors;
 };
 
 struct FlushMsg {
   std::uint64_t seq = 0;
+  /// Floors for the engines hosted at the destination worker: the ack must
+  /// follow every result of every execute routed before the flush, even
+  /// ones still in flight on peer links.
+  std::vector<EngineFloor> floors;
 };
 struct FlushAckMsg {
   std::uint64_t seq = 0;
@@ -112,6 +143,10 @@ struct FlushAckMsg {
 
 struct MigrateOutMsg {
   NodeId engine;
+  /// Non-zero: checkpoint mode — serialize and hand off the engine's state
+  /// but keep the units deployed and running (the driver uses this to take
+  /// recovery checkpoints without disturbing the placement).
+  std::uint8_t keep = 0;
 };
 
 /// One unit's serialized window-join state.
@@ -129,6 +164,10 @@ struct MigrateInMsg {
   NodeId engine;
   std::vector<DeployUnitMsg> units;
   std::vector<UnitStateMsg> state;  ///< parallel to `units` by unit_id
+  /// The engine's next expected execute seq at the state's cut point: the
+  /// receiving site resumes seq ordering there, dropping any replayed
+  /// duplicate below it and holding back anything above it.
+  std::uint64_t exec_seq = 0;
 };
 
 struct MigrateAckMsg {
@@ -137,6 +176,10 @@ struct MigrateAckMsg {
 
 struct TrafficReportMsg {
   pubsub::TrafficStats traffic;
+  /// Frames/bytes this worker sent on its peer links (kPeerHello +
+  /// kExecute shipping); the driver sums them across the fleet.
+  std::uint64_t peer_frames = 0;
+  std::uint64_t peer_bytes = 0;
 };
 
 struct ErrorMsg {
@@ -154,6 +197,39 @@ struct StatsSampleMsg {
   stream::Timestamp now_ms = 0;  ///< node's current stream-time watermark
   obs::MetricsSnapshot metrics;
   std::vector<obs::CollectedSpan> spans;
+};
+
+/// Driver -> node: the fleet's endpoint table, indexed by worker. Workers
+/// dial each other lazily from it when peer-link mode is on. Carries its
+/// own format version (same pattern as kStatsSample) so the table can grow
+/// fields without a protocol bump.
+struct PeerTableMsg {
+  static constexpr std::uint16_t kVersion = 1;
+  std::uint16_t version = kVersion;
+  std::vector<std::string> endpoints;  ///< endpoints[i] = worker i
+};
+
+/// Driver -> owner worker (peer-link mode): how to slice + ship one match
+/// job's retained batch. One decision per matched run, sent even when
+/// `targets` is empty so the owner can free the retained batch.
+struct RouteDecisionMsg {
+  struct Target {
+    NodeId engine;
+    std::uint32_t worker = 0;   ///< destination worker index
+    std::uint64_t seq = 0;      ///< driver-assigned per-engine execute seq
+    /// Ascending row indices of the retained batch; empty = all rows.
+    std::vector<std::uint32_t> rows;
+  };
+  std::uint64_t job = 0;        ///< the kMatchRequest job this routes
+  std::uint64_t ingest_ns = 0;  ///< echoed onto every produced kExecute
+  std::vector<Target> targets;
+};
+
+/// Worker -> worker, first frame of a peer link: identifies the dialing
+/// worker and refuses mixed fleets explicitly.
+struct PeerHelloMsg {
+  std::uint16_t protocol = kProtocolVersion;
+  std::uint32_t worker_index = 0;  ///< the dialing worker
 };
 
 [[nodiscard]] Frame encode_hello(const HelloMsg& m);
@@ -198,5 +274,11 @@ struct StatsSampleMsg {
 [[nodiscard]] Frame encode_bye();
 [[nodiscard]] Frame encode_stats_sample(const StatsSampleMsg& m);
 [[nodiscard]] StatsSampleMsg decode_stats_sample(const Frame& f);
+[[nodiscard]] Frame encode_peer_table(const PeerTableMsg& m);
+[[nodiscard]] PeerTableMsg decode_peer_table(const Frame& f);
+[[nodiscard]] Frame encode_route_decision(const RouteDecisionMsg& m);
+[[nodiscard]] RouteDecisionMsg decode_route_decision(const Frame& f);
+[[nodiscard]] Frame encode_peer_hello(const PeerHelloMsg& m);
+[[nodiscard]] PeerHelloMsg decode_peer_hello(const Frame& f);
 
 }  // namespace cosmos::wire

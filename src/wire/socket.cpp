@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -144,7 +145,17 @@ std::optional<Frame> recv_frame(Socket& s) {
 
 Listener::Listener(const Endpoint& at) : at_(at) {
   if (at_.kind == Endpoint::Kind::kUnix) {
-    ::unlink(at_.path.c_str());
+    // A SIGKILLed worker never unlinks its bound path, and bind() on an
+    // existing socket file fails with EADDRINUSE — so a respawned worker
+    // must clear the stale file first. Only ever remove a *socket*: a
+    // regular file at the path is a caller mistake we refuse to clobber.
+    struct stat st{};
+    if (::lstat(at_.path.c_str(), &st) == 0) {
+      if (!S_ISSOCK(st.st_mode)) {
+        throw Error{"wire: refusing to unlink non-socket at " + at_.path};
+      }
+      ::unlink(at_.path.c_str());
+    }
     sock_ = Socket{::socket(AF_UNIX, SOCK_STREAM, 0)};
     if (!sock_.valid()) throw_errno("wire: socket(AF_UNIX)");
     const auto addr = make_unix_addr(at_.path);
@@ -177,7 +188,10 @@ Listener::Listener(const Endpoint& at) : at_(at) {
   }
 }
 
-Listener::~Listener() { close(); }
+Listener::~Listener() {
+  close();
+  sock_.close();
+}
 
 Socket Listener::accept() {
   while (true) {
@@ -196,8 +210,12 @@ Socket Listener::accept() {
 }
 
 void Listener::close() noexcept {
+  // Shutdown-only: an accept thread may be blocked on this fd, and closing
+  // it here would race that thread's read of the descriptor (and could hand
+  // a recycled fd number to the accepter). shutdown() wakes the accepter
+  // with EINVAL; the fd itself is released in the destructor, which runs
+  // only after every accepter has been joined.
   sock_.shutdown_both();
-  sock_.close();
   if (unlink_on_close_) {
     ::unlink(at_.path.c_str());
     unlink_on_close_ = false;

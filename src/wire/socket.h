@@ -79,6 +79,9 @@ class Listener {
   /// Blocks for the next connection. Throws wire::Error if the listener
   /// was closed underneath (orderly daemon shutdown path).
   [[nodiscard]] Socket accept();
+  /// Wakes any thread blocked in accept() (it throws) and unlinks a Unix
+  /// socket path. The fd is released in the destructor, not here, so a
+  /// concurrent accepter never observes the descriptor changing.
   void close() noexcept;
 
  private:

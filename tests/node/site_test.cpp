@@ -53,6 +53,18 @@ struct Harness {
   Site site{{1, 16}};
   std::vector<std::string> results;
   std::vector<Frame> last_out;
+  /// Driver-side seq frontier per engine: the site applies an engine's
+  /// executes strictly in seq order, so the harness assigns them the way
+  /// the federation driver does.
+  std::map<std::uint64_t, std::uint64_t> next_seq;
+
+  void exec(NodeId engine, const runtime::TupleBatch& batch) {
+    wire::ExecuteMsg m;
+    m.engine = engine;
+    m.batch = batch;
+    m.seq = next_seq[engine.value()]++;
+    feed(wire::encode_execute(m));
+  }
 
   void feed(const Frame& f) {
     last_out.clear();
@@ -120,8 +132,8 @@ TEST(Site, ExecuteFlushShipsJoinResults) {
   EXPECT_EQ(h.site.deployed_units(), 1u);
   EXPECT_TRUE(h.site.hosts_engine(NodeId{2}));
 
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{1000, 5.0}})}));
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("b", {{2000, 4.0}})}));
+  h.exec(NodeId{2}, make_batch("a", {{1000, 5.0}}));
+  h.exec(NodeId{2}, make_batch("b", {{2000, 4.0}}));
   h.feed(wire::encode_flush({1}));
   ASSERT_EQ(h.of_type(FrameType::kFlushAck).size(), 1u);
   // 5.0 >= 4.0: exactly one join result.
@@ -151,8 +163,8 @@ TEST(Site, ByeDrainsAndStops) {
   Harness h;
   h.register_streams();
   h.deploy_join_unit();
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{0, 2.0}})}));
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("b", {{0, 1.0}})}));
+  h.exec(NodeId{2}, make_batch("a", {{0, 2.0}}));
+  h.exec(NodeId{2}, make_batch("b", {{0, 1.0}}));
   std::vector<Frame> out;
   EXPECT_FALSE(h.site.handle(wire::encode_bye(), out));
   // The pre-bye executes' join result is on the wire by the time bye
@@ -182,7 +194,7 @@ TEST(Site, MigrateOutInPreservesJoinState) {
   control.register_streams();
   control.deploy_join_unit();
   for (const auto* b : {&first_a, &first_b, &second_b, &second_a}) {
-    control.feed(wire::encode_execute({NodeId{2}, *b}));
+    control.exec(NodeId{2}, *b);
   }
   control.feed(wire::encode_flush({1}));
   ASSERT_FALSE(control.results.empty());
@@ -190,8 +202,8 @@ TEST(Site, MigrateOutInPreservesJoinState) {
   Harness a;
   a.register_streams();
   a.deploy_join_unit();
-  a.feed(wire::encode_execute({NodeId{2}, first_a}));
-  a.feed(wire::encode_execute({NodeId{2}, first_b}));
+  a.exec(NodeId{2}, first_a);
+  a.exec(NodeId{2}, first_b);
 
   a.feed(wire::encode_migrate_out({NodeId{2}}));
   const auto handoffs = a.of_type(FrameType::kStateHandoff);
@@ -217,12 +229,14 @@ TEST(Site, MigrateOutInPreservesJoinState) {
   in.engine = NodeId{2};
   in.units.push_back({0, NodeId{2}, "cosmos.result.0.v1", spec});
   in.state = std::move(handoff.units);
+  in.exec_seq = a.next_seq[NodeId{2}.value()];  // resume at the source's cut
   b.feed(wire::encode_migrate_in(in));
+  b.next_seq[NodeId{2}.value()] = in.exec_seq;
   ASSERT_EQ(b.of_type(FrameType::kMigrateAck).size(), 1u);
   EXPECT_TRUE(b.site.hosts_engine(NodeId{2}));
 
-  b.feed(wire::encode_execute({NodeId{2}, second_b}));
-  b.feed(wire::encode_execute({NodeId{2}, second_a}));
+  b.exec(NodeId{2}, second_b);
+  b.exec(NodeId{2}, second_a);
   b.feed(wire::encode_flush({2}));
 
   std::vector<std::string> stitched = a.results;
@@ -236,7 +250,7 @@ TEST(Site, MigrateBackAfterMigrateOut) {
   Harness h;
   h.register_streams();
   h.deploy_join_unit();
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{0, 5.0}})}));
+  h.exec(NodeId{2}, make_batch("a", {{0, 5.0}}));
   h.feed(wire::encode_migrate_out({NodeId{2}}));
   auto handoff =
       wire::decode_state_handoff(h.of_type(FrameType::kStateHandoff)[0]);
@@ -249,10 +263,11 @@ TEST(Site, MigrateBackAfterMigrateOut) {
   in.engine = NodeId{2};
   in.units.push_back({0, NodeId{2}, "cosmos.result.0.v1", spec});
   in.state = std::move(handoff.units);
+  in.exec_seq = h.next_seq[NodeId{2}.value()];  // resume at the cut
   h.feed(wire::encode_migrate_in(in));
   ASSERT_EQ(h.of_type(FrameType::kMigrateAck).size(), 1u);
 
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("b", {{1000, 4.0}})}));
+  h.exec(NodeId{2}, make_batch("b", {{1000, 4.0}}));
   h.feed(wire::encode_flush({3}));
   EXPECT_EQ(h.results.size(), 1u);  // the pre-migration left row joined
 }
@@ -261,15 +276,68 @@ TEST(Site, WatermarkPrunesWithoutChangingResults) {
   Harness h;
   h.register_streams();
   h.deploy_join_unit();
-  h.feed(wire::encode_execute({NodeId{2}, make_batch("a", {{0, 9.0}})}));
+  h.exec(NodeId{2}, make_batch("a", {{0, 9.0}}));
   // Push stream time far past the 1h window: the watermark prunes the row.
   h.feed(wire::encode_watermark({8 * 3'600'000}));
   h.feed(wire::encode_flush({1}));
-  h.feed(wire::encode_execute(
-      {NodeId{2}, make_batch("b", {{8 * 3'600'000 + 1, 1.0}})}));
+  h.exec(NodeId{2}, make_batch("b", {{8 * 3'600'000 + 1, 1.0}}));
   h.feed(wire::encode_flush({2}));
   // The pruned left row must not join with the late right row.
   EXPECT_TRUE(h.results.empty());
+}
+
+/// Peer-link ordering: executes arriving out of seq order over
+/// apply_peer_execute are held back and applied in order, and a replayed
+/// duplicate seq is dropped — the invariant that keeps results
+/// byte-identical when batches travel multiple channels.
+TEST(Site, PeerExecutesReorderBySeqAndDropDuplicates) {
+  Harness control;
+  control.register_streams();
+  control.deploy_join_unit();
+  control.exec(NodeId{2}, make_batch("a", {{1000, 5.0}}));
+  control.exec(NodeId{2}, make_batch("b", {{2000, 4.0}}));
+  control.feed(wire::encode_flush({1}));
+  ASSERT_EQ(control.results.size(), 1u);
+
+  Harness h;
+  h.register_streams();
+  h.deploy_join_unit();
+  std::vector<Frame> emitted;
+  h.site.set_emit([&](Frame f) { emitted.push_back(std::move(f)); });
+
+  wire::ExecuteMsg e0;
+  e0.engine = NodeId{2};
+  e0.batch = make_batch("a", {{1000, 5.0}});
+  e0.seq = 0;
+  wire::ExecuteMsg e1;
+  e1.engine = NodeId{2};
+  e1.batch = make_batch("b", {{2000, 4.0}});
+  e1.seq = 1;
+
+  h.site.apply_peer_execute(e1);  // early: held back until seq 0 lands
+  h.site.apply_peer_execute(e0);
+  h.site.apply_peer_execute(e0);  // replayed duplicate: dropped
+  h.site.apply_peer_execute(e1);  // replayed duplicate: dropped
+
+  // Flush floors at the driver frontier (seq 2): the ack must wait for
+  // both peer executes, and with the emit sink installed the results ride
+  // emitted frames.
+  std::vector<Frame> out;
+  EXPECT_TRUE(
+      h.site.handle(wire::encode_flush({9, {{NodeId{2}, 2}}}), out));
+  std::vector<std::string> lines;
+  bool acked = false;
+  for (const auto& f : emitted) {
+    if (f.type == FrameType::kFlushAck) acked = true;
+    if (f.type != FrameType::kResult) continue;
+    for (const auto& ev : wire::decode_result(f).events) {
+      std::string line = ev.stream + ":" + std::to_string(ev.tuple.ts);
+      for (const auto& v : ev.tuple.values) line += "|" + v.to_string();
+      lines.push_back(std::move(line));
+    }
+  }
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(lines, control.results);
 }
 
 }  // namespace

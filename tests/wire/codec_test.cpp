@@ -116,22 +116,39 @@ TEST(WireCodec, ValueAndTupleRoundTripFuzz) {
 }
 
 TEST(WireCodec, ControlFramesRoundTrip) {
-  const HelloMsg hello{3, 4, 250, 60'000, 1};
+  HelloMsg hello;
+  hello.worker_index = 3;
+  hello.shards = 4;
+  hello.send_delay_ms = 250;
+  hello.stats_sample_every_ms = 60'000;
+  hello.trace = 1;
+  hello.peer_links = 1;
   const auto h = decode_hello(encode_hello(hello));
+  EXPECT_EQ(h.protocol, kProtocolVersion);
   EXPECT_EQ(h.worker_index, 3u);
   EXPECT_EQ(h.shards, 4u);
   EXPECT_EQ(h.send_delay_ms, 250);
   EXPECT_EQ(h.stats_sample_every_ms, 60'000);
   EXPECT_EQ(h.trace, 1);
+  EXPECT_EQ(h.peer_links, 1);
 
   const auto ack = decode_hello_ack(encode_hello_ack({"worker info"}));
   EXPECT_EQ(ack.info, "worker info");
 
-  const auto wm = decode_watermark(encode_watermark({123'456'789}));
+  const auto wm = decode_watermark(
+      encode_watermark({123'456'789, {{NodeId{2}, 9}, {NodeId{5}, 0}}}));
   EXPECT_EQ(wm.watermark, 123'456'789);
+  ASSERT_EQ(wm.floors.size(), 2u);
+  EXPECT_EQ(wm.floors[0].engine, NodeId{2});
+  EXPECT_EQ(wm.floors[0].seq, 9u);
+  EXPECT_EQ(wm.floors[1].engine, NodeId{5});
+  EXPECT_EQ(wm.floors[1].seq, 0u);
 
-  const auto fl = decode_flush(encode_flush({77}));
+  const auto fl = decode_flush(encode_flush({77, {{NodeId{1}, 4}}}));
   EXPECT_EQ(fl.seq, 77u);
+  ASSERT_EQ(fl.floors.size(), 1u);
+  EXPECT_EQ(fl.floors[0].engine, NodeId{1});
+  EXPECT_EQ(fl.floors[0].seq, 4u);
   const auto fa = decode_flush_ack(encode_flush_ack({77}));
   EXPECT_EQ(fa.seq, 77u);
 
@@ -140,6 +157,70 @@ TEST(WireCodec, ControlFramesRoundTrip) {
 
   EXPECT_EQ(encode_bye().type, FrameType::kBye);
   EXPECT_EQ(encode_traffic_request().type, FrameType::kTrafficRequest);
+}
+
+TEST(WireCodec, PeerFramesRoundTrip) {
+  PeerTableMsg table;
+  table.endpoints = {"unix:/tmp/w0.sock", "tcp:127.0.0.1:4001", ""};
+  const auto t = decode_peer_table(encode_peer_table(table));
+  EXPECT_EQ(t.version, PeerTableMsg::kVersion);
+  EXPECT_EQ(t.endpoints, table.endpoints);
+
+  // Unsupported table versions are rejected, not half-read.
+  PeerTableMsg bad = table;
+  bad.version = 99;
+  EXPECT_THROW((void)decode_peer_table(encode_peer_table(bad)), Error);
+
+  RouteDecisionMsg route;
+  route.job = 41;
+  route.ingest_ns = 777ull;
+  route.targets.push_back({NodeId{3}, 1, 12, {0, 2, 5}});
+  route.targets.push_back({NodeId{9}, 0, 4, {}});
+  const auto r = decode_route_decision(encode_route_decision(route));
+  EXPECT_EQ(r.job, 41u);
+  EXPECT_EQ(r.ingest_ns, 777u);
+  ASSERT_EQ(r.targets.size(), 2u);
+  EXPECT_EQ(r.targets[0].engine, NodeId{3});
+  EXPECT_EQ(r.targets[0].worker, 1u);
+  EXPECT_EQ(r.targets[0].seq, 12u);
+  EXPECT_EQ(r.targets[0].rows, (std::vector<std::uint32_t>{0, 2, 5}));
+  EXPECT_EQ(r.targets[1].engine, NodeId{9});
+  EXPECT_TRUE(r.targets[1].rows.empty());
+
+  const auto ph = decode_peer_hello(encode_peer_hello({kProtocolVersion, 2}));
+  EXPECT_EQ(ph.protocol, kProtocolVersion);
+  EXPECT_EQ(ph.worker_index, 2u);
+}
+
+TEST(WireCodec, RecoveryFieldsRoundTrip) {
+  Rng rng{13};
+  ExecuteMsg exec;
+  exec.engine = NodeId{6};
+  exec.batch = runtime::TupleBatch{"S"};
+  exec.batch.push_back(random_tuple(rng, 2, 10));
+  exec.seq = 987'654;
+  const auto e = decode_execute(encode_execute(exec));
+  EXPECT_EQ(e.seq, 987'654u);
+
+  const auto keep = decode_migrate_out(encode_migrate_out({NodeId{4}, 1}));
+  EXPECT_EQ(keep.engine, NodeId{4});
+  EXPECT_EQ(keep.keep, 1);
+  const auto full = decode_migrate_out(encode_migrate_out({NodeId{4}}));
+  EXPECT_EQ(full.keep, 0);
+
+  MigrateInMsg in;
+  in.engine = NodeId{4};
+  in.exec_seq = 55;
+  const auto mi = decode_migrate_in(encode_migrate_in(in));
+  EXPECT_EQ(mi.engine, NodeId{4});
+  EXPECT_EQ(mi.exec_seq, 55u);
+
+  TrafficReportMsg tr;
+  tr.peer_frames = 12;
+  tr.peer_bytes = 3'456;
+  const auto tb = decode_traffic_report(encode_traffic_report(tr));
+  EXPECT_EQ(tb.peer_frames, 12u);
+  EXPECT_EQ(tb.peer_bytes, 3'456u);
 }
 
 TEST(WireCodec, TopologyAndRegistrationRoundTrip) {

@@ -4,10 +4,16 @@
 // dead peer surfaces as an error, never a hang).
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstring>
+#include <fstream>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -183,6 +189,112 @@ TEST(FrameChannel, PeerDeathSurfacesAsCloseNotHang) {
       },
       Error);
   client.close();
+}
+
+TEST(FrameChannel, CloseDeliversQueuedFramesToSlowReader) {
+  // Regression: close() used to shut the socket down with frames still
+  // sitting in the send queue, silently dropping a final kStatsSample or
+  // kFlushAck. The frames here are big enough that the socket buffer
+  // cannot absorb them all, so some are genuinely queued at close().
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("drain"))};
+  constexpr std::size_t kFrames = 40;
+  std::size_t received = 0;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    // Slow reader: let the client queue up and close first.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    while (recv_frame(conn).has_value()) ++received;
+  }};
+  {
+    FrameChannel client{connect_to(listener.endpoint())};
+    Frame big;
+    big.type = FrameType::kStatsSample;
+    big.payload.assign(64 * 1024, 0xAB);
+    for (std::size_t i = 0; i < kFrames; ++i) client.send(big);
+    client.close();  // must drain the queued tail, not drop it
+  }
+  server.join();
+  EXPECT_EQ(received, kFrames);
+}
+
+TEST(FrameChannel, CloseIsBoundedAgainstAWedgedPeer) {
+  // The flip side of drain-on-close: a peer that stops reading must not
+  // turn close() into a hang. Past close_drain_ms the socket is shut down
+  // and the remaining frames are dropped.
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("wedge"))};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    // Accept, then never read: the client's sender wedges in send_all.
+    std::unique_lock lock{mu};
+    cv.wait(lock, [&] { return release; });
+  }};
+  FrameChannel::Options opts;
+  opts.send_queue_capacity = 8;
+  opts.close_drain_ms = 200;
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  Frame big;
+  big.type = FrameType::kExecute;
+  big.payload.assign(1024 * 1024, 0x5A);  // far beyond the socket buffer
+  for (int i = 0; i < 4; ++i) client.send(big);
+  const auto t0 = std::chrono::steady_clock::now();
+  client.close();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  {
+    std::lock_guard lock{mu};
+    release = true;
+    cv.notify_all();
+  }
+  server.join();
+}
+
+TEST(Listener, RebindsOverStaleSocketFile) {
+  // A SIGKILLed daemon leaves its bound socket file behind; the respawn
+  // must be able to bind the same path. Simulate the corpse with a raw
+  // bind that is closed without unlinking.
+  const std::string path = test_socket_path("stale");
+  ::unlink(path.c_str());
+  const int corpse = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(corpse, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ASSERT_LT(path.size(), sizeof addr.sun_path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(corpse, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr),
+            0);
+  ::close(corpse);  // the file at `path` survives, exactly like kill -9
+
+  Listener listener{Endpoint::parse("unix:" + path)};  // must not throw
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    if (auto f = recv_frame(conn)) send_frame(conn, *f);
+  }};
+  Socket client = connect_to(listener.endpoint());
+  send_frame(client, encode_watermark({7}));
+  const auto back = recv_frame(client);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(decode_watermark(*back).watermark, 7);
+  server.join();
+}
+
+TEST(Listener, RefusesToUnlinkNonSocketFile) {
+  // Stale-socket cleanup must never eat a regular file that happens to sit
+  // at the endpoint path.
+  const std::string path = test_socket_path("notasock");
+  ::unlink(path.c_str());
+  {
+    std::ofstream out{path};
+    out << "precious data\n";
+  }
+  EXPECT_THROW(Listener{Endpoint::parse("unix:" + path)}, Error);
+  struct stat st{};
+  EXPECT_EQ(::lstat(path.c_str(), &st), 0);  // still there, untouched
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+  ::unlink(path.c_str());
 }
 
 TEST(FrameChannel, SendAfterCloseThrows) {

@@ -1,7 +1,9 @@
 // cosmos_noded: one federation worker process. Binds a listener, serves
 // exactly one driver session (Hello ... Bye) and exits — process lifetime
 // is session lifetime, which keeps supervision trivial (the driver spawns
-// one daemon per worker per run and reaps it afterwards).
+// one daemon per worker per run and reaps it afterwards). The listener
+// stays open for the whole session: peer workers dial it for worker-to-
+// worker execute shipping, including freshly respawned workers mid-run.
 //
 // Usage: cosmos_noded --listen unix:/tmp/worker0.sock
 //        cosmos_noded --listen tcp:127.0.0.1:0
@@ -42,9 +44,8 @@ int main(int argc, char** argv) {
     std::printf("COSMOS_NODED_READY %s\n",
                 listener.endpoint().to_string().c_str());
     std::fflush(stdout);
-    cosmos::wire::Socket conn = listener.accept();
-    listener.close();  // one session per process
-    return cosmos::node::serve_connection(std::move(conn)) ? 0 : 1;
+    cosmos::node::NodeServer server{listener};
+    return server.run() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cosmos_noded: %s\n", e.what());
     return 1;
