@@ -13,6 +13,8 @@
 // the prototype-study metric (Fig 11).
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -134,6 +136,14 @@ class Cosmos {
     std::uint64_t bytes_received = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_received = 0;
+    /// Frames the channel discarded without transmitting (close-drain
+    /// deadline tail, frames queued behind a send error, injected
+    /// drop/partition faults) — non-zero values are reported, not
+    /// swallowed.
+    std::uint64_t frames_dropped = 0;
+    /// First send-side error the channel recorded ("" = none), e.g. a
+    /// liveness-deadline trip or the close-drain deadline.
+    std::string error;
   };
   /// One worker-shipped registry snapshot (kStatsSample frame): the
   /// fleet-wide observability timeline of a federated run.
@@ -149,6 +159,14 @@ class Cosmos {
     /// Workers that died mid-run and were respawned + resumed (requires
     /// FederationOptions::Recovery::enabled).
     std::size_t recoveries = 0;
+    /// Peer links declared dead (kPeerDown): the pair's traffic fell back
+    /// to star routing through the driver for the rest of the run.
+    std::size_t peer_fallbacks = 0;
+    /// kSeqGap reports answered with a data-log replay (executes lost on a
+    /// live-but-lossy link, re-sent directly by the driver).
+    std::size_t seq_gap_replays = 0;
+    /// FederationOptions::faults entries installed on worker channels.
+    std::size_t faults_injected = 0;
     /// Frames/bytes the workers sent over worker-to-worker peer links
     /// (kPeerHello + peer-shipped kExecute), summed across the fleet.
     std::uint64_t peer_frames = 0;
@@ -288,10 +306,45 @@ class Cosmos {
       stream::Timestamp checkpoint_every_ms = 0;
     };
     Recovery recovery;
+    /// Liveness (protocol v3). Both ends of every driver<->worker channel
+    /// originate kHeartbeat probes when send-idle and declare the peer
+    /// dead after `deadline_ms` of total silence: the driver hands a
+    /// silent worker to recovery (or fails the session), a worker whose
+    /// driver went silent errors out and exits instead of lingering, and
+    /// outbound peer links inherit the same knobs. The deadline also paces
+    /// the driver's stalled-wait re-sends (lost match requests, flushes,
+    /// traffic requests) and the sites' kSeqGap starvation reports, so no
+    /// federated wait can block unboundedly on a silent peer.
+    /// heartbeat_every_ms <= 0 disables origination; deadline_ms <= 0
+    /// disables detection and re-sends (pre-v3 behavior).
+    struct Liveness {
+      std::int64_t heartbeat_every_ms = 500;
+      std::int64_t deadline_ms = 30'000;
+    };
+    Liveness liveness;
+    /// Deterministic network fault injection: at stream time `at_ms`
+    /// (applied at the next chunk boundary, like migrations) the
+    /// fault::FaultPlan parsed from `plan` is installed on the driver's
+    /// channel to `worker` with fresh frame counters. `send:` rules act on
+    /// driver->worker frames, `recv:` rules on worker->driver frames. A
+    /// recovery respawn gets a fresh, fault-free channel. Worker-side
+    /// schedules (own channel / peer links) are spawned via cosmos_noded
+    /// --fault-driver / --fault-peer instead.
+    struct FaultEvent {
+      stream::Timestamp at_ms = 0;
+      std::size_t worker = 0;
+      std::string plan;  ///< fault::FaultPlan::parse spec
+    };
+    std::vector<FaultEvent> faults;  ///< in at_ms order
     /// Test hook: invoked after each driver chunk is dispatched, with the
     /// 0-based chunk index. The chaos tests use it to SIGKILL a worker at
     /// a deterministic point mid-trace.
     std::function<void(std::size_t chunk)> on_chunk;
+    /// Test hook: invoked on the driver thread right after recovery
+    /// respawns `worker` as process `pid`, before the replay — the
+    /// double-failure chaos tests use it to land a second failure at a
+    /// deterministic recovery point.
+    std::function<void(std::size_t worker, pid_t pid)> on_respawn;
   };
 
   /// Replays `events` across the worker processes in `options`. Throws

@@ -26,6 +26,7 @@
 #include "cosmos/cosmos.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
@@ -44,6 +45,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "fault/fault.h"
 #include "node/spawn.h"
 #include "obs/trace.h"
 #include "wire/channel.h"
@@ -54,7 +56,11 @@ namespace cosmos::middleware {
 
 struct Cosmos::Fed {
   Fed(Cosmos& system, const FederationOptions& opts)
-      : sys(system), options(opts), trace(opts.trace_path) {
+      : sys(system),
+        options(opts),
+        trace(opts.trace_path),
+        log_data(opts.recovery.enabled || opts.peer_links ||
+                 !opts.faults.empty()) {
     trace.add_process_name(0, "driver");
     e2e = &reg.histogram("e2e_latency_ns");
   }
@@ -117,6 +123,11 @@ struct Cosmos::Fed {
   bool recovery_armed = false;
   std::vector<char> worker_dead;         ///< 1 while awaiting recovery
   std::deque<std::size_t> dead_pending;  ///< recovery queue, death order
+  /// kPeerDown reports awaiting driver-thread handling (star fallback +
+  /// replay of the entries the dead link may have swallowed).
+  std::deque<wire::PeerDownMsg> peer_down_inbox;
+  /// kSeqGap starvation reports awaiting a data-log replay.
+  std::deque<wire::SeqGapMsg> seq_gap_inbox;
 
   // --- driver-thread-only state.
   std::unordered_map<std::string, std::size_t> worker_of_stream;
@@ -124,7 +135,18 @@ struct Cosmos::Fed {
   std::uint64_t next_job = 0;
   std::uint64_t next_flush_seq = 0;
   std::size_t next_migration = 0;
+  std::size_t next_fault = 0;  ///< next FederationOptions::faults entry
   std::size_t chunk_index = 0;
+  /// (owner, target) peer links declared dead: the pair's batches route
+  /// through the driver (star) for the rest of the run. Never un-declared —
+  /// star is always correct, and a respawn that re-opens the link merely
+  /// leaves this pair conservatively driver-routed.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> peer_down_pairs;
+  /// Whether routed executes are retained in data_log: recovery replay,
+  /// peer-down fallback replay and kSeqGap replay all read it. Without
+  /// recovery the log is never truncated by checkpoints (bounded by the
+  /// run's trace, acceptable for fault-injection tests).
+  const bool log_data;
 
   /// Per-engine execute sequence frontier: the next seq the driver will
   /// assign. The floor carried on watermarks/flushes to an engine's worker.
@@ -199,6 +221,7 @@ struct Cosmos::Fed {
     std::uint64_t bytes_received = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t frames_received = 0;
+    std::uint64_t frames_dropped = 0;
   };
   std::vector<RetiredLink> retired;
 
@@ -315,8 +338,29 @@ struct Cosmos::Fed {
           samples_inbox.push_back(std::move(m));
           break;
         }
+        case wire::FrameType::kHeartbeat:
+          // A worker's idle-probe: receipt alone refreshed the channel
+          // watchdog, and the worker's own deadline is fed by the driver's
+          // data frames (or its idle-probes), so absorb silently.
+          break;
+        case wire::FrameType::kPeerDown: {
+          auto m = wire::decode_peer_down(frame);
+          std::lock_guard lock{mu};
+          peer_down_inbox.push_back(std::move(m));
+          break;
+        }
+        case wire::FrameType::kSeqGap: {
+          auto m = wire::decode_seq_gap(frame);
+          std::lock_guard lock{mu};
+          seq_gap_inbox.push_back(std::move(m));
+          break;
+        }
         case wire::FrameType::kError:
-          fail(i, wire::decode_error(frame).message);
+          // The worker saw an unrecoverable transport fault (e.g. a frame
+          // that failed to decode): with recovery armed that incarnation is
+          // replaced like any other channel death; otherwise it stays a
+          // session fault.
+          mark_dead(i, wire::decode_error(frame).message);
           break;
         default:
           fail(i, std::string{"unexpected frame "} +
@@ -339,12 +383,35 @@ struct Cosmos::Fed {
   /// recovered here, on the driver thread, with the lock released — so
   /// every wait in the protocol doubles as the recovery dispatch point and
   /// a dead peer can never hang the session (unrecoverable faults throw).
+  /// kPeerDown / kSeqGap reports are dispatched the same way (star
+  /// fallback, data-log replay). With `on_stall` set and a liveness
+  /// deadline configured, the wait additionally times out every
+  /// deadline_ms and invokes `on_stall` (lock released) to re-send the
+  /// request it is waiting on — the catch-all for a live worker whose
+  /// request a drop fault swallowed. Every protocol re-send is idempotent
+  /// (seq dedup, emplace/insert_or_assign dedup, flush-ack sets), so a
+  /// spurious stall costs only duplicate frames.
   template <typename Pred>
-  void wait_for(std::unique_lock<std::mutex>& lock, Pred pred) {
+  void wait_for(std::unique_lock<std::mutex>& lock, Pred pred,
+                const std::function<void()>& on_stall = {}) {
     while (true) {
-      cv.wait(lock, [&] {
-        return !error.empty() || !dead_pending.empty() || pred();
-      });
+      const auto woken = [&] {
+        return !error.empty() || !dead_pending.empty() ||
+               !peer_down_inbox.empty() || !seq_gap_inbox.empty() || pred();
+      };
+      if (on_stall && options.liveness.deadline_ms > 0) {
+        if (!cv.wait_for(lock,
+                         std::chrono::milliseconds(options.liveness.deadline_ms),
+                         woken)) {
+          lock.unlock();
+          dbg("stalled wait: re-sending");
+          on_stall();
+          lock.lock();
+          continue;
+        }
+      } else {
+        cv.wait(lock, woken);
+      }
       if (!error.empty()) {
         throw std::runtime_error{"Cosmos federation: " + error};
       }
@@ -358,8 +425,82 @@ struct Cosmos::Fed {
         lock.lock();
         continue;
       }
+      if (!peer_down_inbox.empty()) {
+        const auto m = peer_down_inbox.front();
+        peer_down_inbox.pop_front();
+        lock.unlock();
+        handle_peer_down(m);
+        lock.lock();
+        continue;
+      }
+      if (!seq_gap_inbox.empty()) {
+        const auto m = seq_gap_inbox.front();
+        seq_gap_inbox.pop_front();
+        lock.unlock();
+        handle_seq_gap(m);
+        lock.lock();
+        continue;
+      }
       return;
     }
+  }
+
+  /// Re-sends every data-log entry matching `match` as a plain driver
+  /// execute — the shared replay core of worker recovery, peer-link
+  /// fallback and kSeqGap repair. Receiving sites drop seqs below their
+  /// frontier, so over-replaying is safe. Runs on the driver thread with
+  /// the inbox lock released.
+  template <typename Match>
+  void replay_entries(Match match) {
+    for (const auto& entry : data_log) {
+      if (!match(entry)) continue;
+      const std::size_t tgt = worker_of_engine.at(entry.engine);
+      wire::ExecuteMsg exec;
+      exec.engine = entry.engine;
+      exec.ingest_ns = entry.ingest_ns;
+      exec.seq = entry.seq;
+      exec.batch =
+          entry.rows.empty() ? *entry.run : entry.run->select(entry.rows);
+      auto frame = wire::encode_execute(exec);
+      driver_execute_bytes += frame.payload.size() + wire::kFrameHeaderBytes;
+      send_data(tgt, std::move(frame));
+    }
+  }
+
+  /// A worker reported its outbound peer link dead (re-dials exhausted):
+  /// route the pair through the driver from now on and replay the logged
+  /// entries that link carried — anything the dead link swallowed is
+  /// re-delivered, anything it did deliver is seq-deduped at the site.
+  void handle_peer_down(const wire::PeerDownMsg& m) {
+    if (!peer_down_pairs.insert({m.from_worker, m.to_worker}).second) {
+      return;  // already fallen back; a re-report changes nothing
+    }
+    dbg("peer link " + std::to_string(m.from_worker) + "->" +
+        std::to_string(m.to_worker) + " down (" + m.reason +
+        "): falling back to star routing");
+    obs::Tracer::instance().instant("peer_fallback", "driver", m.from_worker);
+    ++report.federation.peer_fallbacks;
+    replay_entries([&](const DataLogEntry& e) {
+      return e.owner == m.from_worker &&
+             worker_of_engine.at(e.engine) == m.to_worker;
+    });
+  }
+
+  /// A site reported gate starvation: executes below its gated floors
+  /// never arrived (lost on a lossy-but-live link). Replay everything at
+  /// or above each starved engine's expected seq.
+  void handle_seq_gap(const wire::SeqGapMsg& m) {
+    dbg("seq gap from worker " + std::to_string(m.worker_index) + " (" +
+        std::to_string(m.missing.size()) + " engines): replaying");
+    obs::Tracer::instance().instant("seq_gap_replay", "driver",
+                                    m.worker_index);
+    ++report.federation.seq_gap_replays;
+    replay_entries([&](const DataLogEntry& e) {
+      for (const auto& floor : m.missing) {
+        if (e.engine == floor.engine && e.seq >= floor.seq) return true;
+      }
+      return false;
+    });
   }
 
   /// Recovery-internal wait: returns false when worker `i` died again
@@ -425,7 +566,18 @@ struct Cosmos::Fed {
     hello.stats_sample_every_ms = options.stats_sample_every_ms;
     hello.trace = options.trace_path.empty() ? 0 : 1;
     hello.peer_links = options.peer_links ? 1 : 0;
+    hello.heartbeat_every_ms = options.liveness.heartbeat_every_ms;
+    hello.liveness_deadline_ms = options.liveness.deadline_ms;
     return hello;
+  }
+
+  wire::FrameChannel::Options channel_options(std::size_t i) const {
+    wire::FrameChannel::Options copts;
+    copts.send_queue_capacity = options.queue_capacity;
+    copts.send_delay_ms = link_delay(i);
+    copts.heartbeat_every_ms = options.liveness.heartbeat_every_ms;
+    copts.liveness_deadline_ms = options.liveness.deadline_ms;
+    return copts;
   }
 
   /// The seq frontier of every engine hosted at worker `w`, in engine
@@ -450,11 +602,9 @@ struct Cosmos::Fed {
     for (std::size_t i = 0; i < options.workers.size(); ++i) {
       Worker w;
       w.endpoint = options.workers[i];
-      wire::FrameChannel::Options copts;
-      copts.send_queue_capacity = options.queue_capacity;
-      copts.send_delay_ms = link_delay(i);
       w.channel = std::make_unique<wire::FrameChannel>(
-          wire::connect_to(wire::Endpoint::parse(w.endpoint)), copts);
+          wire::connect_to(wire::Endpoint::parse(w.endpoint)),
+          channel_options(i));
       workers.push_back(std::move(w));
     }
     worker_dead.assign(workers.size(), 0);
@@ -560,14 +710,34 @@ struct Cosmos::Fed {
       send_data(w, wire::encode_flush({seq, floors_for(w)}));
     }
     std::unique_lock lock{mu};
-    wait_for(lock, [&] {
-      const auto it = flush_acks.find(seq);
-      if (it == flush_acks.end()) return targets.empty();
-      for (const auto w : targets) {
-        if (!it->second.contains(w)) return false;
-      }
-      return true;
-    });
+    wait_for(
+        lock,
+        [&] {
+          const auto it = flush_acks.find(seq);
+          if (it == flush_acks.end()) return targets.empty();
+          for (const auto w : targets) {
+            if (!it->second.contains(w)) return false;
+          }
+          return true;
+        },
+        /*on_stall=*/[&] {
+          // A drop fault may have swallowed the kFlush (or its ack);
+          // re-send to whoever has not answered. Duplicate flushes re-ack
+          // into the same per-worker set.
+          std::set<std::size_t> missing;
+          {
+            std::lock_guard g{mu};
+            const auto it = flush_acks.find(seq);
+            for (const auto w : targets) {
+              if (it == flush_acks.end() || !it->second.contains(w)) {
+                missing.insert(w);
+              }
+            }
+          }
+          for (const auto w : missing) {
+            send_data(w, wire::encode_flush({seq, floors_for(w)}));
+          }
+        });
     flush_acks.erase(seq);
     outstanding_flush.reset();
   }
@@ -671,12 +841,33 @@ struct Cosmos::Fed {
       const obs::Span span{"match_wait", "driver",
                            pending.front().runs.size()};
       std::unique_lock lock{mu};
-      wait_for(lock, [&] {
-        for (const auto& pr : pending.front().runs) {
-          if (pr.awaiting && !match_responses.contains(pr.job)) return false;
-        }
-        return true;
-      });
+      wait_for(
+          lock,
+          [&] {
+            for (const auto& pr : pending.front().runs) {
+              if (pr.awaiting && !match_responses.contains(pr.job)) {
+                return false;
+              }
+            }
+            return true;
+          },
+          /*on_stall=*/[&] {
+            // Re-send every still-unanswered match request: a drop fault
+            // can swallow the request (or the response) with the owner
+            // alive. Duplicate responses are emplace-deduped.
+            for (const auto& pr : pending.front().runs) {
+              if (!pr.awaiting) continue;
+              bool answered = false;
+              {
+                std::lock_guard g{mu};
+                answered = match_responses.contains(pr.job);
+              }
+              if (!answered) {
+                send_data(pr.owner,
+                          wire::encode_match_request({pr.job, *pr.run}));
+              }
+            }
+          });
       report.driver.match_wait_seconds += seconds_since(wait0);
       for (std::size_t i = 0; i < pending.front().runs.size(); ++i) {
         if (!pending.front().runs[i].awaiting) continue;
@@ -754,10 +945,16 @@ struct Cosmos::Fed {
           }
         }
         const std::size_t tgt = worker_of_engine.at(node);
-        if (options.peer_links) {
+        // A pair whose peer link fell back to star routing (kPeerDown)
+        // gets its batches from the driver for the rest of the run.
+        const bool peer_path =
+            options.peer_links &&
+            !peer_down_pairs.contains({static_cast<std::uint32_t>(pr.owner),
+                                       static_cast<std::uint32_t>(tgt)});
+        if (peer_path) {
           decision.targets.push_back(
               {node, static_cast<std::uint32_t>(tgt), seq, rows});
-          if (options.recovery.enabled) {
+          if (log_data) {
             data_log.push_back({pr.owner, node, seq, std::move(rows), pr.run,
                                 chunk.ingest_ns});
           }
@@ -771,7 +968,7 @@ struct Cosmos::Fed {
           driver_execute_bytes +=
               frame.payload.size() + wire::kFrameHeaderBytes;
           send_data(tgt, std::move(frame));
-          if (options.recovery.enabled) {
+          if (log_data) {
             data_log.push_back({SIZE_MAX, node, seq, std::move(rows), pr.run,
                                 chunk.ingest_ns});
           }
@@ -817,6 +1014,7 @@ struct Cosmos::Fed {
     retired[i].frames_sent += w.channel->frames_sent();
     retired[i].frames_received += w.channel->frames_received();
     w.channel->close();
+    retired[i].frames_dropped += w.channel->frames_dropped();
 
     // Purge what the dead incarnation owned. Its flush acks are retracted
     // (the respawn must re-answer after the replay) and its undelivered
@@ -836,13 +1034,14 @@ struct Cosmos::Fed {
                                   ? node::default_noded_path()
                                   : options.recovery.noded_path;
     dbg("respawning " + std::to_string(i));
-    respawned.push_back(node::spawn_noded(noded, w.endpoint));
+    // The respawn always gets a fresh, fault-free channel: injected fault
+    // plans die with the incarnation they were installed on.
+    auto& proc = respawned.emplace_back(node::spawn_noded(noded, w.endpoint));
+    if (options.on_respawn) options.on_respawn(i, proc.pid());
 
-    wire::FrameChannel::Options copts;
-    copts.send_queue_capacity = options.queue_capacity;
-    copts.send_delay_ms = link_delay(i);
     w.channel = std::make_unique<wire::FrameChannel>(
-        wire::connect_to(wire::Endpoint::parse(w.endpoint)), copts);
+        wire::connect_to(wire::Endpoint::parse(w.endpoint)),
+        channel_options(i));
     {
       std::lock_guard lock{mu};
       worker_dead[i] = 0;
@@ -904,19 +1103,9 @@ struct Cosmos::Fed {
       // (a lost or half-applied delivery) or its owner is (a lost
       // kRouteDecision / unshipped slice). Survivor sites drop replayed
       // seqs below their frontier.
-      for (const auto& entry : data_log) {
-        const std::size_t tgt = worker_of_engine.at(entry.engine);
-        if (tgt != i && entry.owner != i) continue;
-        wire::ExecuteMsg exec;
-        exec.engine = entry.engine;
-        exec.ingest_ns = entry.ingest_ns;
-        exec.seq = entry.seq;
-        exec.batch =
-            entry.rows.empty() ? *entry.run : entry.run->select(entry.rows);
-        auto frame = wire::encode_execute(exec);
-        driver_execute_bytes += frame.payload.size() + wire::kFrameHeaderBytes;
-        send_data(tgt, std::move(frame));
-      }
+      replay_entries([&](const DataLogEntry& entry) {
+        return worker_of_engine.at(entry.engine) == i || entry.owner == i;
+      });
 
       // Re-send match requests this owner still owes an answer for. In
       // peer-link mode re-match even answered jobs: the retained batch
@@ -1017,7 +1206,14 @@ struct Cosmos::Fed {
       wire::StateHandoffMsg handed;
       {
         std::unique_lock lock{mu};
-        wait_for(lock, [&] { return handoffs.contains(engine.value()); });
+        wait_for(
+            lock, [&] { return handoffs.contains(engine.value()); },
+            /*on_stall=*/[&] {
+              // Keep-mode kMigrateOut lost to a drop fault: re-request.
+              // A duplicate handoff is byte-identical (same flush + seq
+              // cut) and insert_or_assign-deduped.
+              send_data(hw, wire::encode_migrate_out({engine, /*keep=*/1}));
+            });
         auto node = handoffs.extract(engine.value());
         handed = std::move(node.mapped().first);
         outstanding_ckpt_out.reset();
@@ -1059,6 +1255,27 @@ struct Cosmos::Fed {
            options.migrations[next_migration].at_ms <= now) {
       migrate(options.migrations[next_migration]);
       ++next_migration;
+    }
+  }
+
+  // --- deterministic fault injection ---------------------------------------
+
+  /// Installs FederationOptions::faults entries that have come due, at the
+  /// same chunk-boundary cadence as scripted migrations: the plan (with
+  /// fresh frame counters) replaces whatever fault the driver's channel to
+  /// that worker carried. Registration traffic predates the first chunk,
+  /// so even `after=0` schedules never corrupt the handshake.
+  void run_faults_due(stream::Timestamp now) {
+    while (next_fault < options.faults.size() &&
+           options.faults[next_fault].at_ms <= now) {
+      const auto& f = options.faults[next_fault];
+      const std::size_t w = f.worker % workers.size();
+      workers[w].channel->set_fault(
+          std::make_shared<fault::LinkFault>(fault::FaultPlan::parse(f.plan)));
+      dbg("fault installed on worker " + std::to_string(w) + ": " + f.plan);
+      obs::Tracer::instance().instant("fault_injected", "driver", w);
+      ++report.federation.faults_injected;
+      ++next_fault;
     }
   }
 
@@ -1178,8 +1395,22 @@ struct Cosmos::Fed {
     std::uint64_t peer_bytes = 0;
     {
       std::unique_lock lock{mu};
-      wait_for(lock,
-               [&] { return traffic_reports.size() >= workers.size(); });
+      wait_for(
+          lock, [&] { return traffic_reports.size() >= workers.size(); },
+          /*on_stall=*/[&] {
+            // Re-request from whoever has not reported (request or report
+            // lost to a drop fault); reports insert_or_assign-dedup.
+            std::set<std::size_t> missing;
+            {
+              std::lock_guard g{mu};
+              for (std::size_t w = 0; w < workers.size(); ++w) {
+                if (!traffic_reports.contains(w)) missing.insert(w);
+              }
+            }
+            for (const auto w : missing) {
+              send_data(w, wire::encode_traffic_request());
+            }
+          });
       for (const auto& [w, t] : traffic_reports) {
         merged.merge(t.traffic);
         peer_frames += t.peer_frames;
@@ -1216,6 +1447,9 @@ struct Cosmos::Fed {
       link.frames_sent = retired[i].frames_sent + w.channel->frames_sent();
       link.frames_received =
           retired[i].frames_received + w.channel->frames_received();
+      link.frames_dropped =
+          retired[i].frames_dropped + w.channel->frames_dropped();
+      link.error = w.channel->send_error();
       report.federation.links.push_back(std::move(link));
     }
   }
@@ -1234,6 +1468,7 @@ struct Cosmos::Fed {
         {options.batch_size, options.tick_ms},
         [&](runtime::Chunk&& chunk) {
           run_migrations_due(chunk.first_ts);
+          run_faults_due(chunk.first_ts);
           maybe_checkpoint(chunk.first_ts);
           dispatch(std::move(chunk));
           if (options.on_chunk) options.on_chunk(chunk_index);

@@ -1,0 +1,212 @@
+#include "fault/fault.h"
+
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace cosmos::fault {
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::runtime_error{"fault: bad spec \"" + spec + "\": " + why};
+}
+
+FaultKind parse_kind(const std::string& spec, const std::string& word) {
+  if (word == "drop") return FaultKind::kDrop;
+  if (word == "delay") return FaultKind::kDelay;
+  if (word == "dup") return FaultKind::kDuplicate;
+  if (word == "reorder") return FaultKind::kReorder;
+  if (word == "trickle") return FaultKind::kTrickle;
+  if (word == "corrupt") return FaultKind::kCorrupt;
+  if (word == "partition") return FaultKind::kPartition;
+  if (word == "hang") return FaultKind::kHang;
+  bad_spec(spec, "unknown fault kind \"" + word + "\"");
+}
+
+std::uint64_t parse_u64(const std::string& spec, const std::string& word) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(word, &used);
+    if (used != word.size()) throw std::invalid_argument{word};
+    return v;
+  } catch (const std::exception&) {
+    bad_spec(spec, "bad number \"" + word + "\"");
+  }
+}
+
+/// Applies to the spec's window [after, after+for)?
+bool armed(const FaultSpec& s, std::uint64_t frame_index) {
+  if (frame_index < s.after_frames) return false;
+  if (s.for_frames == UINT64_MAX) return true;
+  return frame_index - s.after_frames < s.for_frames;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "dup";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kTrickle: return "trickle";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHang: return "hang";
+  }
+  return "?";
+}
+
+const char* to_string(Direction dir) {
+  return dir == Direction::kSend ? "send" : "recv";
+}
+
+std::string FaultSpec::to_string() const {
+  std::ostringstream out;
+  out << fault::to_string(dir) << ':' << fault::to_string(kind) << "@after="
+      << after_frames;
+  if (for_frames != UINT64_MAX) out << ",for=" << for_frames;
+  if (kind == FaultKind::kDelay || kind == FaultKind::kTrickle) {
+    out << ",ms=" << ms;
+  }
+  if (kind == FaultKind::kCorrupt) out << ",seed=" << seed;
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream rules{spec};
+  std::string rule;
+  while (std::getline(rules, rule, ';')) {
+    if (rule.empty()) continue;
+    const auto colon = rule.find(':');
+    if (colon == std::string::npos) bad_spec(spec, "rule needs dir:kind");
+    const std::string dir = rule.substr(0, colon);
+    FaultSpec s;
+    if (dir == "send") {
+      s.dir = Direction::kSend;
+    } else if (dir == "recv") {
+      s.dir = Direction::kRecv;
+    } else {
+      bad_spec(spec, "direction must be send or recv, got \"" + dir + "\"");
+    }
+    const auto at = rule.find('@', colon);
+    s.kind = parse_kind(
+        spec, rule.substr(colon + 1,
+                          at == std::string::npos ? std::string::npos
+                                                  : at - colon - 1));
+    if (at != std::string::npos) {
+      std::istringstream kvs{rule.substr(at + 1)};
+      std::string kv;
+      while (std::getline(kvs, kv, ',')) {
+        const auto eq = kv.find('=');
+        if (eq == std::string::npos) bad_spec(spec, "option needs key=value");
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (key == "after") {
+          s.after_frames = parse_u64(spec, value);
+        } else if (key == "for") {
+          s.for_frames = parse_u64(spec, value);
+        } else if (key == "ms") {
+          s.ms = static_cast<std::int64_t>(parse_u64(spec, value));
+        } else if (key == "seed") {
+          s.seed = parse_u64(spec, value);
+        } else {
+          bad_spec(spec, "unknown option \"" + key + "\"");
+        }
+      }
+    }
+    plan.specs.push_back(s);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& s : specs) {
+    if (!out.empty()) out += ';';
+    out += s.to_string();
+  }
+  return out;
+}
+
+SendAction LinkFault::on_send() {
+  const std::uint64_t index = sent_++;
+  SendAction action;
+  action.frame_index = index;
+  for (const auto& s : plan_.specs) {
+    if (s.dir != Direction::kSend || !armed(s, index)) continue;
+    switch (s.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kPartition:
+        action.drop = true;
+        break;
+      case FaultKind::kDelay:
+        action.extra_delay_ms += s.ms;
+        break;
+      case FaultKind::kDuplicate:
+        action.duplicate = true;
+        break;
+      case FaultKind::kReorder:
+        // Hold back the first armed frame; it is released right after the
+        // next frame goes out, producing one deterministic swap per window.
+        if (index == s.after_frames) action.reorder_hold = true;
+        break;
+      case FaultKind::kTrickle:
+        // Pacing, not latency: every armed frame keeps a minimum gap from
+        // the previous write, so the link's throughput collapses to one
+        // frame per `ms` instead of just shifting departures.
+        if (s.ms > action.pace_ms) action.pace_ms = s.ms;
+        break;
+      case FaultKind::kCorrupt:
+        action.corrupt = true;
+        action.corrupt_seed = s.seed;
+        break;
+      case FaultKind::kHang:
+        action.hang = true;
+        break;
+    }
+  }
+  return action;
+}
+
+RecvAction LinkFault::on_recv() {
+  const std::uint64_t index = received_++;
+  RecvAction action;
+  for (const auto& s : plan_.specs) {
+    if (s.dir != Direction::kRecv || !armed(s, index)) continue;
+    switch (s.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kPartition:
+        action.drop = true;
+        break;
+      case FaultKind::kHang:
+        action.hang = true;
+        break;
+      default:
+        // Delay/dup/reorder/trickle/corrupt only make sense where the bytes
+        // are produced; a recv rule naming them is inert.
+        break;
+    }
+  }
+  return action;
+}
+
+std::size_t corrupt_frame_bytes(std::vector<std::uint8_t>& encoded,
+                                std::uint64_t seed,
+                                std::uint64_t frame_index) {
+  // Candidate offsets whose flip the strict decoder must reject: the four
+  // magic bytes, the two version bytes, and the length MSB (any flip there
+  // claims a payload past the 1 GiB cap).
+  static constexpr std::array<std::size_t, 7> kDetectable{0, 1, 2, 3,
+                                                          4, 5, 11};
+  std::uint64_t state = seed ^ (frame_index * 0x9E3779B97F4A7C15ull);
+  const std::uint64_t pick = split_mix64(state);
+  const std::size_t offset = kDetectable[pick % kDetectable.size()];
+  if (offset < encoded.size()) encoded[offset] ^= 0xA5;
+  return offset;
+}
+
+}  // namespace cosmos::fault

@@ -1,0 +1,129 @@
+// Deterministic network fault injection for the federation transport.
+//
+// A FaultPlan is a seeded, per-link schedule of frame-level misbehaviors —
+// drop, delay, duplicate, reorder, trickle, corrupt, one-way partition,
+// hang — keyed by the link's own frame counters, so a plan replays
+// identically for a given traffic sequence. LinkFault is the runtime
+// instance a FrameChannel (or a raw serve loop) consults on every frame in
+// each direction; the channel applies the returned action, the plan never
+// touches sockets itself.
+//
+// Plans parse from a compact spec string so tests and cosmos_noded can
+// receive them on the command line:
+//
+//   spec  := rule (';' rule)*
+//   rule  := dir ':' kind ['@' key '=' value (',' key '=' value)*]
+//   dir   := 'send' | 'recv'
+//   kind  := 'drop' | 'delay' | 'dup' | 'reorder' | 'trickle' | 'corrupt'
+//            | 'partition' | 'hang'
+//   keys  := after (frames before the rule arms, default 0)
+//            for   (frames the rule stays armed, default unbounded)
+//            ms    (delay/trickle milliseconds, default 50)
+//            seed  (corrupt byte-position RNG seed, default 1)
+//
+// e.g. "send:partition@after=8" (blackhole all sends from frame 8 on) or
+// "send:corrupt@after=5,for=1,seed=7;recv:delay@ms=20".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cosmos::fault {
+
+enum class FaultKind : std::uint8_t {
+  kDrop,       ///< discard the frame silently
+  kDelay,      ///< extra per-frame latency (the emulated-link-delay kind)
+  kDuplicate,  ///< send/deliver the frame twice
+  kReorder,    ///< hold one frame back and swap it with its successor
+  kTrickle,    ///< slow link: pace frames `ms` apart (throughput, not just
+               ///  latency)
+  kCorrupt,    ///< flip one seeded byte of the encoded frame
+  kPartition,  ///< one-way blackhole: frames vanish, the link stays "up"
+  kHang,       ///< stop moving frames entirely but keep the socket open
+};
+
+enum class Direction : std::uint8_t { kSend, kRecv };
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+[[nodiscard]] const char* to_string(Direction dir);
+
+/// One scheduled misbehavior. Frame indices are 0-based per direction.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDrop;
+  Direction dir = Direction::kSend;
+  std::uint64_t after_frames = 0;  ///< arm once this many frames passed
+  std::uint64_t for_frames = UINT64_MAX;  ///< stay armed for this many
+  std::int64_t ms = 50;      ///< delay / trickle pacing milliseconds
+  std::uint64_t seed = 1;    ///< corrupt-position RNG seed
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A link's whole schedule. Parse throws std::runtime_error on bad specs.
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+
+  [[nodiscard]] bool empty() const { return specs.empty(); }
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// What the transport should do with one outbound frame.
+struct SendAction {
+  bool drop = false;        ///< discard (also the partition behavior)
+  bool duplicate = false;   ///< transmit twice
+  bool hang = false;        ///< park the sender until the channel closes
+  bool corrupt = false;     ///< flip a seeded byte of the encoded buffer
+  std::uint64_t corrupt_seed = 0;  ///< position RNG seed for this frame
+  std::int64_t extra_delay_ms = 0;  ///< added to the channel's link delay
+  std::int64_t pace_ms = 0;  ///< trickle: min gap after the previous write
+  bool reorder_hold = false;  ///< hold this frame; release after the next
+  std::uint64_t frame_index = 0;  ///< 0-based send index of this frame
+};
+
+/// What the transport should do with one inbound frame.
+struct RecvAction {
+  bool drop = false;  ///< read and discard (inbound partition)
+  bool hang = false;  ///< stop reading entirely
+};
+
+/// Per-link runtime: owns the direction counters, so one LinkFault must be
+/// consulted for every frame on its link in order. Thread-safe only in the
+/// transport's natural single-sender / single-reader discipline (counters
+/// are per-direction).
+class LinkFault {
+ public:
+  explicit LinkFault(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Evaluate (and count) the next outbound frame.
+  [[nodiscard]] SendAction on_send();
+  /// Evaluate (and count) the next inbound frame.
+  [[nodiscard]] RecvAction on_recv();
+
+  [[nodiscard]] std::uint64_t frames_seen(Direction dir) const {
+    return dir == Direction::kSend ? sent_ : received_;
+  }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+/// Deterministically flips one header byte of an encoded frame, chosen by
+/// (seed, frame_index) among positions whose corruption the strict decoder
+/// is *guaranteed* to reject — magic, version, or the length MSB. The
+/// scenario under test is corruption *detection* (peer throws wire::Error,
+/// session dies, recovery takes over), never silent data damage, so the
+/// flip must not be able to land in an undetectable content byte.
+/// Returns the flipped offset.
+std::size_t corrupt_frame_bytes(std::vector<std::uint8_t>& encoded,
+                                std::uint64_t seed,
+                                std::uint64_t frame_index);
+
+using LinkFaultPtr = std::shared_ptr<LinkFault>;
+
+}  // namespace cosmos::fault

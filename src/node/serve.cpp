@@ -1,5 +1,10 @@
 #include "node/serve.h"
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 #include <vector>
@@ -9,6 +14,18 @@
 #include "wire/messages.h"
 
 namespace cosmos::node {
+namespace {
+
+/// Bounds a raw-socket read with SO_RCVTIMEO (0 clears the bound); a
+/// timed-out recv fails with EAGAIN, which surfaces as a wire::Error.
+void set_recv_timeout(const wire::Socket& sock, std::int64_t ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1'000;
+  tv.tv_usec = (ms % 1'000) * 1'000;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
 
 bool serve_connection(wire::Socket socket) {
   wire::FrameChannel channel{std::move(socket)};
@@ -20,6 +37,10 @@ bool serve_connection(wire::Socket socket) {
     if (!first) return true;  // connected, then closed: nothing to serve
     const auto hello = wire::decode_hello(*first);
     channel.set_send_delay_ms(hello.send_delay_ms);
+    // Symmetric liveness: this side also probes when send-idle and applies
+    // the same silence deadline to the driver — a worker whose driver died
+    // mid-session errors out within the deadline instead of lingering.
+    channel.set_liveness(hello.heartbeat_every_ms, hello.liveness_deadline_ms);
     Site site{{hello.shards == 0 ? 1 : hello.shards, 64}};
     std::vector<wire::Frame> out;
     bool keep_going = site.handle(*first, out);
@@ -45,7 +66,8 @@ bool serve_connection(wire::Socket socket) {
   }
 }
 
-NodeServer::NodeServer(wire::Listener& listener) : listener_(listener) {}
+NodeServer::NodeServer(wire::Listener& listener, Options options)
+    : listener_(listener), options_(std::move(options)) {}
 
 NodeServer::~NodeServer() { shutdown(); }
 
@@ -69,16 +91,19 @@ void NodeServer::accept_loop() {
     } catch (const std::exception&) {
       return;  // listener closed: orderly shutdown
     }
-    // First-frame handshake, read inline: both the driver and a dialing
-    // peer send their hello immediately after connecting, so this never
-    // stalls the loop in practice.
+    // First-frame handshake, read inline — but bounded: a dialer whose
+    // hello was swallowed (SIGSTOP, an injected send partition) would
+    // otherwise wedge this loop, and with it every later peer dial and the
+    // final shutdown join, on a connection that will never speak.
     std::optional<wire::Frame> first;
+    set_recv_timeout(sock, 2'000);
     try {
       first = wire::recv_frame(sock);
     } catch (const std::exception&) {
-      continue;  // connected, then died mid-frame: forget it
+      continue;  // died (or stayed silent) mid-handshake: forget it
     }
     if (!first) continue;
+    set_recv_timeout(sock, 0);
     if (first->type == wire::FrameType::kHello) {
       std::lock_guard lock{mu_};
       if (driver_started_ || shutting_down_) {
@@ -113,6 +138,21 @@ void NodeServer::accept_loop() {
         }
         continue;
       }
+      std::uint32_t self = 0;
+      {
+        std::lock_guard lock{mu_};
+        if (shutting_down_) continue;
+        self = worker_index_;
+      }
+      // Acknowledge before serving: connect() alone proves nothing (a
+      // listener backlog accepts for a stopped process too); the ack is
+      // what tells the dialer this worker actually serves. Sent before the
+      // receive thread exists, so this is the socket's only writer here.
+      try {
+        wire::send_frame(sock, wire::encode_peer_hello_ack({self}));
+      } catch (const std::exception&) {
+        continue;
+      }
       std::lock_guard lock{mu_};
       if (shutting_down_) continue;
       auto& slot = peer_ins_.emplace_back();
@@ -130,9 +170,17 @@ void NodeServer::drive_session(wire::Socket sock, wire::Frame hello_frame) {
     const auto hello = wire::decode_hello(hello_frame);
     worker_index_ = hello.worker_index;
     send_delay_ms_ = hello.send_delay_ms;
+    heartbeat_every_ms_ = hello.heartbeat_every_ms;
+    liveness_deadline_ms_ = hello.liveness_deadline_ms;
     auto ch = std::make_unique<wire::FrameChannel>(std::move(sock));
     channel = ch.get();
     channel->set_send_delay_ms(hello.send_delay_ms);
+    channel->set_liveness(hello.heartbeat_every_ms,
+                          hello.liveness_deadline_ms);
+    if (!options_.driver_fault.empty()) {
+      channel->set_fault(
+          std::make_shared<fault::LinkFault>(options_.driver_fault));
+    }
     auto site = std::make_unique<Site>(
         Site::Options{hello.shards == 0 ? 1 : hello.shards, 64});
     // Wire every callback before publishing the Site to the peer reader
@@ -186,8 +234,17 @@ Site* NodeServer::wait_site() {
 void NodeServer::peer_in_loop(wire::Socket& sock) {
   try {
     while (auto frame = wire::recv_frame(sock)) {
+      if (frame->type == wire::FrameType::kHeartbeat) {
+        // Echo probes: the dialer's watchdog counts received frames, and
+        // this echo is the only traffic it ever gets back — a stopped or
+        // wedged receiver goes silent, which is how the dialer detects it.
+        // Single-writer safe: the ack went out before this thread started.
+        const auto hb = wire::decode_heartbeat(*frame);
+        if (hb.probe != 0) wire::send_frame(sock, wire::encode_heartbeat({0}));
+        continue;
+      }
       if (frame->type != wire::FrameType::kExecute) {
-        continue;  // peer links carry executes only
+        continue;  // peer links carry executes and heartbeats only
       }
       auto m = wire::decode_execute(*frame);
       Site* site = wait_site();
@@ -200,6 +257,18 @@ void NodeServer::peer_in_loop(wire::Socket& sock) {
   }
 }
 
+namespace {
+
+/// Shared between dial_peer and its channel's reader thread: flipped when
+/// the accept side's kPeerHelloAck arrives.
+struct AckGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool acked = false;
+};
+
+}  // namespace
+
 NodeServer::PeerOut NodeServer::dial_peer(std::uint32_t worker) {
   std::string endpoint;
   {
@@ -210,18 +279,55 @@ NodeServer::PeerOut NodeServer::dial_peer(std::uint32_t worker) {
   try {
     auto sock = wire::connect_to(wire::Endpoint::parse(endpoint), 5'000);
     PeerOut out;
-    out.ch = std::make_unique<wire::FrameChannel>(std::move(sock));
-    out.ch->set_send_delay_ms(send_delay_ms_);
+    wire::FrameChannel::Options copts;
+    copts.send_delay_ms = send_delay_ms_;
+    copts.heartbeat_every_ms = heartbeat_every_ms_;
+    copts.liveness_deadline_ms = liveness_deadline_ms_;
+    if (!options_.peer_fault.empty()) {
+      // One persistent schedule per destination (caller holds
+      // peer_out_mu_): counters survive re-dials, so a partition does not
+      // "heal" for one handshake frame on every reconnect.
+      auto& fault = peer_faults_[worker];
+      if (!fault) fault = std::make_shared<fault::LinkFault>(
+          options_.peer_fault);
+      copts.fault = fault;
+    }
+    out.ch = std::make_unique<wire::FrameChannel>(std::move(sock), copts);
     out.ch->send(
         wire::encode_peer_hello({wire::kProtocolVersion, worker_index_}));
-    // The accept side never writes on this connection, so the reader's
-    // sole purpose is eager death detection: EOF flips `dead` the moment
-    // the peer goes away, and the next ship() re-dials instead of
-    // enqueueing into a channel whose sender would drop the frame.
+    // The reader has two jobs: eager death detection — EOF flips `dead`
+    // the moment the peer goes away, and the next ship() re-dials instead
+    // of enqueueing into a channel whose sender would drop the frame — and
+    // fielding the kPeerHelloAck / heartbeat echoes that feed the
+    // channel's liveness watchdog.
     out.dead = std::make_shared<std::atomic<bool>>(false);
+    auto gate = std::make_shared<AckGate>();
     out.ch->start_reader(
-        [](wire::Frame) {},
+        [gate](wire::Frame f) {
+          if (f.type == wire::FrameType::kPeerHelloAck) {
+            std::lock_guard lock{gate->mu};
+            gate->acked = true;
+            gate->cv.notify_all();
+          }
+        },
         [flag = out.dead](const std::string&) { flag->store(true); });
+    // Wait (bounded) for the ack: a listener backlog happily accepts
+    // connections for a SIGSTOPped process, so connect() success proves
+    // nothing about the peer actually serving. ship() holds the frame
+    // loop while we wait, and nothing feeds our own serve-channel
+    // watchdog while we are not reading — so both ship attempts together
+    // must stay well under the liveness deadline, hence deadline/4 each.
+    const std::int64_t budget =
+        liveness_deadline_ms_ > 0
+            ? std::max<std::int64_t>(liveness_deadline_ms_ / 4, 10)
+            : 5'000;
+    std::unique_lock lock{gate->mu};
+    if (!gate->cv.wait_for(lock, std::chrono::milliseconds(budget),
+                           [&] { return gate->acked; })) {
+      lock.unlock();
+      out.ch->close();
+      return {};
+    }
     return out;
   } catch (const std::exception&) {
     return {};
@@ -238,23 +344,48 @@ void NodeServer::retire_peer_out(PeerOut& slot) {
 
 void NodeServer::ship(std::uint32_t worker, wire::Frame frame) {
   std::lock_guard lock{peer_out_mu_};
+  if (peer_down_.contains(worker)) return;  // the driver owns this traffic
   // One live attempt + one re-dial: a freshly respawned worker re-binds
   // the same endpoint, so the second attempt covers recovery. A frame
   // dropped in the death instant itself is re-sent by the driver's
   // data-log replay.
+  std::string last_error = "peer link dial/handshake failed";
   for (int attempt = 0; attempt < 2; ++attempt) {
     auto& slot = peer_out_[worker];
-    if (slot.ch && slot.dead->load()) retire_peer_out(slot);
+    if (slot.ch && slot.dead->load()) {
+      if (const auto err = slot.ch->send_error(); !err.empty()) {
+        last_error = err;
+      }
+      retire_peer_out(slot);
+    }
     if (!slot.ch) {
       slot = dial_peer(worker);
-      if (!slot.ch) return;
+      if (!slot.ch) continue;
     }
     try {
       slot.ch->send(frame);
       return;
-    } catch (const std::exception&) {
+    } catch (const std::exception& e) {
+      last_error = e.what();
       retire_peer_out(slot);
     }
+  }
+  mark_peer_down(worker, last_error);
+}
+
+void NodeServer::mark_peer_down(std::uint32_t worker,
+                                const std::string& reason) {
+  if (!peer_down_.insert(worker).second) return;  // already reported
+  wire::FrameChannel* driver = nullptr;
+  {
+    std::lock_guard lock{mu_};
+    driver = driver_channel_.get();
+  }
+  if (driver == nullptr) return;
+  try {
+    driver->send(wire::encode_peer_down({worker_index_, worker, reason}));
+  } catch (const std::exception&) {
+    // Driver channel down too; that failure has its own owner.
   }
 }
 

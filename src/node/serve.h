@@ -8,12 +8,16 @@
 //  - NodeServer: the full daemon — keeps the listener open for the whole
 //    driver session and classifies every inbound connection by its first
 //    frame: kHello starts the (single) driver session, kPeerHello starts a
-//    peer-link receive loop feeding the same Site. Outbound peer links are
+//    peer-link receive loop feeding the same Site (acknowledged with
+//    kPeerHelloAck, so a dialer can tell a *serving* peer from a listener
+//    backlog that merely accepted the connect). Outbound peer links are
 //    dialed lazily from the driver-distributed kPeerTable when the Site
 //    ships an execute to another worker; a dead peer link is re-dialed once
-//    per ship (a respawned worker re-binds the same endpoint), and a frame
-//    that still cannot be delivered is dropped — the driver's data log
-//    replay is the recovery safety net.
+//    per ship (a respawned worker re-binds the same endpoint). When both
+//    attempts fail the pair is declared down: the worker reports kPeerDown
+//    to the driver, which replays the lost shipments from its data log and
+//    re-routes the pair's future traffic through the star — a partitioned
+//    or hung peer link degrades, it does not wedge or silently drop.
 #pragma once
 
 #include <atomic>
@@ -23,10 +27,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "wire/channel.h"
 #include "wire/messages.h"
 #include "wire/socket.h"
@@ -47,8 +54,21 @@ bool serve_connection(wire::Socket socket);
 /// the driver session ends.
 class NodeServer {
  public:
-  explicit NodeServer(wire::Listener& listener);  // out of line: Site is
-                                                  // incomplete here
+  struct Options {
+    /// Deterministic fault schedule applied to this worker's driver
+    /// channel (its own sends through `send:` rules, inbound driver frames
+    /// through `recv:` rules). Empty = no faults.
+    fault::FaultPlan driver_fault;
+    /// Fault schedule for every *outbound* peer link. One persistent
+    /// schedule per destination worker: its frame counters survive
+    /// re-dials, so an injected partition stays a partition instead of
+    /// resetting on every reconnect.
+    fault::FaultPlan peer_fault;
+  };
+
+  explicit NodeServer(wire::Listener& listener,
+                      Options options = {});  // out of line: Site is
+                                              // incomplete here
   ~NodeServer();
   NodeServer(const NodeServer&) = delete;
   NodeServer& operator=(const NodeServer&) = delete;
@@ -84,6 +104,10 @@ class NodeServer {
   };
   void ship(std::uint32_t worker, wire::Frame frame);
   PeerOut dial_peer(std::uint32_t worker);
+  /// Declares the outbound link to `worker` dead (under peer_out_mu_):
+  /// future ships to it are skipped and a kPeerDown naming the pair goes to
+  /// the driver (once), which replays + re-routes through the star.
+  void mark_peer_down(std::uint32_t worker, const std::string& reason);
   /// Folds the channel's counters into the retired totals and drops it.
   void retire_peer_out(PeerOut& slot);
   /// {frames, bytes} sent over peer links (live channels + retired ones).
@@ -91,6 +115,7 @@ class NodeServer {
   void shutdown();
 
   wire::Listener& listener_;
+  Options options_;
   std::thread accept_thread_;
 
   std::mutex mu_;
@@ -110,9 +135,16 @@ class NodeServer {
   /// Written once in drive_session (before any ship can happen).
   std::uint32_t worker_index_ = 0;
   std::int64_t send_delay_ms_ = 0;
+  /// Liveness knobs from the driver's kHello; peer-out links inherit them.
+  std::int64_t heartbeat_every_ms_ = 0;
+  std::int64_t liveness_deadline_ms_ = 0;
 
   std::mutex peer_out_mu_;
   std::map<std::uint32_t, PeerOut> peer_out_;
+  /// Per-destination fault schedules (counters persist across re-dials).
+  std::map<std::uint32_t, fault::LinkFaultPtr> peer_faults_;
+  /// Destinations declared dead; the driver owns their traffic now.
+  std::set<std::uint32_t> peer_down_;
   std::uint64_t retired_peer_frames_ = 0;  ///< counters of dropped channels
   std::uint64_t retired_peer_bytes_ = 0;
 };

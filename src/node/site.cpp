@@ -142,7 +142,9 @@ bool Site::handle_locked(const Frame& frame, std::vector<Frame>& out,
       if (gate_.empty() && floors_met(m.floors)) {
         apply_watermark(m, out);
       } else {
-        gate_.push_back({Gated::Kind::kWatermark, std::move(m), {}});
+        gate_.push_back({Gated::Kind::kWatermark, std::move(m), {},
+                         std::chrono::steady_clock::now()});
+        check_gate_starvation(out);
       }
       break;
     }
@@ -151,8 +153,22 @@ bool Site::handle_locked(const Frame& frame, std::vector<Frame>& out,
       if (gate_.empty() && floors_met(m.floors)) {
         apply_flush(m, out);
       } else {
-        gate_.push_back({Gated::Kind::kFlush, {}, std::move(m)});
+        gate_.push_back({Gated::Kind::kFlush, {}, std::move(m),
+                         std::chrono::steady_clock::now()});
+        check_gate_starvation(out);
       }
+      break;
+    }
+    case FrameType::kHeartbeat: {
+      const auto m = wire::decode_heartbeat(frame);
+      // Echo probes: the reply proves this serve loop still drains frames,
+      // not merely that the process holds the socket open. Echoes
+      // (probe == 0) are absorbed, so two endpoints cannot ping-pong.
+      if (m.probe != 0) out.push_back(wire::encode_heartbeat({0}));
+      // Heartbeats flow exactly when the link is otherwise idle — the
+      // right moment to notice a gate starved of its floors by a lossy
+      // link and tell the driver which executes never arrived.
+      check_gate_starvation(out);
       break;
     }
     case FrameType::kMigrateOut:
@@ -265,6 +281,36 @@ void Site::pump_gate(std::vector<Frame>& out) {
       apply_flush(op.flush, out);
     }
   }
+}
+
+void Site::check_gate_starvation(std::vector<Frame>& out) {
+  if (gate_.empty() || hello_.liveness_deadline_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline =
+      std::chrono::milliseconds(hello_.liveness_deadline_ms);
+  const auto& front = gate_.front();
+  if (now - front.since < deadline) return;
+  if (last_gap_emit_.time_since_epoch().count() != 0 &&
+      now - last_gap_emit_ < deadline) {
+    return;
+  }
+  const auto& floors = front.kind == Gated::Kind::kWatermark
+                           ? front.wm.floors
+                           : front.flush.floors;
+  wire::SeqGapMsg gap;
+  gap.worker_index = hello_.worker_index;
+  for (const auto& floor : floors) {
+    const auto it = exec_seq_.find(floor.engine.value());
+    if (it == exec_seq_.end()) continue;
+    if (it->second.expected < floor.seq) {
+      // Report the next seq still missing; the driver replays its data log
+      // from there and seq dedup absorbs anything that did arrive.
+      gap.missing.push_back({floor.engine, it->second.expected});
+    }
+  }
+  if (gap.missing.empty()) return;
+  last_gap_emit_ = now;
+  out.push_back(wire::encode_seq_gap(gap));
 }
 
 void Site::apply_watermark(const wire::WatermarkMsg& m,

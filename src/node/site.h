@@ -29,6 +29,7 @@
 // per-engine result order is preserved on the (FIFO) driver channel.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -131,6 +132,11 @@ class Site {
     enum class Kind { kWatermark, kFlush } kind = Kind::kWatermark;
     wire::WatermarkMsg wm;
     wire::FlushMsg flush;
+    /// When the frame entered the gate: a front entry older than the
+    /// session's liveness deadline means its floored executes were lost on
+    /// a live-but-lossy path, and the site reports the gap (kSeqGap)
+    /// instead of waiting forever.
+    std::chrono::steady_clock::time_point since{};
   };
   /// A peer shipment decided under the mutex, sent after it is released.
   struct PeerShip {
@@ -160,6 +166,10 @@ class Site {
       const std::vector<wire::EngineFloor>& floors) const;
   /// Applies gated frames from the front while their floors are met.
   void pump_gate(std::vector<wire::Frame>& out);
+  /// Emits a kSeqGap (rate-limited to one per deadline period) when the
+  /// front gated frame has been starved of its floors past the session's
+  /// liveness deadline — the driver re-sends the missing executes.
+  void check_gate_starvation(std::vector<wire::Frame>& out);
   void apply_watermark(const wire::WatermarkMsg& m,
                        std::vector<wire::Frame>& out);
   void apply_flush(const wire::FlushMsg& m, std::vector<wire::Frame>& out);
@@ -206,6 +216,10 @@ class Site {
   /// driver's kRouteDecision slices and frees them.
   std::map<std::uint64_t, runtime::TupleBatch> retained_;
   std::deque<Gated> gate_;
+  /// Last kSeqGap emission (epoch = never): the starvation report repeats
+  /// at most once per liveness deadline, so a slow driver replay is not
+  /// answered with a flood of duplicate gap reports.
+  std::chrono::steady_clock::time_point last_gap_emit_{};
   EmitFn emit_;
   ShipFn ship_;
   PeerTrafficFn peer_traffic_;

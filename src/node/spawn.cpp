@@ -85,7 +85,8 @@ void NodeProcess::kill() {
 }
 
 NodeProcess spawn_noded(const std::string& noded_path,
-                        const std::string& listen_address) {
+                        const std::string& listen_address,
+                        const std::vector<std::string>& extra_args) {
   if (::access(noded_path.c_str(), X_OK) != 0) {
     throw std::runtime_error{"spawn_noded: not an executable: " + noded_path};
   }
@@ -94,8 +95,15 @@ NodeProcess spawn_noded(const std::string& noded_path,
     throw std::runtime_error{"spawn_noded: fork failed"};
   }
   if (pid == 0) {
-    ::execl(noded_path.c_str(), noded_path.c_str(), "--listen",
-            listen_address.c_str(), static_cast<char*>(nullptr));
+    std::vector<char*> child_argv;
+    child_argv.push_back(const_cast<char*>(noded_path.c_str()));
+    child_argv.push_back(const_cast<char*>("--listen"));
+    child_argv.push_back(const_cast<char*>(listen_address.c_str()));
+    for (const auto& arg : extra_args) {
+      child_argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    child_argv.push_back(nullptr);
+    ::execv(noded_path.c_str(), child_argv.data());
     _exit(127);  // exec failed; access() above makes this unlikely
   }
   return NodeProcess{pid, listen_address};

@@ -9,6 +9,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <sys/types.h>
 
@@ -62,10 +63,13 @@ class NodeProcess {
   bool waited_ = false;
 };
 
-/// Forks + execs `noded_path --listen <listen_address>`. Throws
+/// Forks + execs `noded_path --listen <listen_address> [extra_args...]`
+/// (extra args: e.g. --fault-peer <spec> for chaos tests — a recovery
+/// respawn passes none, so respawned workers run fault-free). Throws
 /// std::runtime_error when the fork fails or the binary is missing.
-[[nodiscard]] NodeProcess spawn_noded(const std::string& noded_path,
-                                      const std::string& listen_address);
+[[nodiscard]] NodeProcess spawn_noded(
+    const std::string& noded_path, const std::string& listen_address,
+    const std::vector<std::string>& extra_args = {});
 
 /// The cosmos_noded binary to spawn: $COSMOS_NODED_PATH if set, else the
 /// build-time COSMOS_NODED_PATH definition. Inline so the macro resolves

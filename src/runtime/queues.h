@@ -12,6 +12,7 @@
 // queue).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -64,6 +65,27 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  /// Result of a bounded wait: distinguishes "nothing yet" from "queue is
+  /// finished" so a periodic consumer (e.g. a heartbeat-emitting sender
+  /// loop) can keep ticking without spinning on a closed queue.
+  enum class WaitResult { kItem, kTimeout, kClosed };
+
+  /// Blocks up to `timeout` for an item. kItem fills `out`; kTimeout means
+  /// the queue is still open but empty; kClosed means closed *and* drained.
+  template <typename Rep, typename Period>
+  WaitResult pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock{mu_};
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return closed_ ? WaitResult::kClosed
+                                       : WaitResult::kTimeout;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return WaitResult::kItem;
   }
 
   std::optional<T> try_pop() {

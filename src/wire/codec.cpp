@@ -49,6 +49,10 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::kPeerTable: return "PeerTable";
     case FrameType::kRouteDecision: return "RouteDecision";
     case FrameType::kPeerHello: return "PeerHello";
+    case FrameType::kHeartbeat: return "Heartbeat";
+    case FrameType::kPeerHelloAck: return "PeerHelloAck";
+    case FrameType::kPeerDown: return "PeerDown";
+    case FrameType::kSeqGap: return "SeqGap";
   }
   return "?";
 }
@@ -171,7 +175,7 @@ std::uint32_t decode_frame_header(const std::uint8_t (&header)[12],
   }
   const std::uint16_t raw_type = r.u16();
   if (raw_type < static_cast<std::uint16_t>(FrameType::kHello) ||
-      raw_type > static_cast<std::uint16_t>(FrameType::kPeerHello)) {
+      raw_type > static_cast<std::uint16_t>(FrameType::kSeqGap)) {
     throw Error{"wire: unknown frame type " + std::to_string(raw_type)};
   }
   type = static_cast<FrameType>(raw_type);

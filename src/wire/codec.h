@@ -46,7 +46,11 @@ inline constexpr std::uint32_t kMagic = 0x434F534Du;  // "COSM"
 /// per-engine execute sequence numbers, flush/watermark ordering floors and
 /// checkpointing migrate-out — the header check (and the explicit echo in
 /// kHello) refuses mixed-version fleets at the first frame.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3: liveness — kHeartbeat keepalives with per-peer deadlines (kHello
+/// carries the knobs), kPeerHelloAck completing the peer-link handshake,
+/// kPeerDown reporting a wedged peer link to the driver, and kSeqGap
+/// requesting replay of executes lost on a live-but-lossy link.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 /// Upper bound on one frame's payload; decode rejects larger claims so a
 /// corrupt length prefix cannot trigger a giant allocation.
 inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
@@ -77,6 +81,10 @@ enum class FrameType : std::uint16_t {
   kPeerTable = 23,     ///< driver -> node: worker-index -> endpoint table
   kRouteDecision = 24, ///< driver -> owner: per-target slices of a match job
   kPeerHello = 25,     ///< worker -> worker: first frame of a peer link
+  kHeartbeat = 26,     ///< either direction: liveness keepalive / echo probe
+  kPeerHelloAck = 27,  ///< worker -> worker: peer link is live end to end
+  kPeerDown = 28,      ///< worker -> driver: a peer execute link is wedged
+  kSeqGap = 29,        ///< worker -> driver: unmet seq floors past deadline
 };
 
 [[nodiscard]] const char* to_string(FrameType type) noexcept;

@@ -89,6 +89,8 @@ Frame encode_hello(const HelloMsg& m) {
   w.i64(m.stats_sample_every_ms);
   w.u8(m.trace);
   w.u8(m.peer_links);
+  w.i64(m.heartbeat_every_ms);
+  w.i64(m.liveness_deadline_ms);
   return finish(FrameType::kHello, std::move(w));
 }
 
@@ -102,6 +104,8 @@ HelloMsg decode_hello(const Frame& f) {
   m.stats_sample_every_ms = r.i64();
   m.trace = r.u8();
   m.peer_links = r.u8();
+  m.heartbeat_every_ms = r.i64();
+  m.liveness_deadline_ms = r.i64();
   r.done();
   return m;
 }
@@ -674,6 +678,68 @@ PeerHelloMsg decode_peer_hello(const Frame& f) {
   PeerHelloMsg m;
   m.protocol = r.u16();
   m.worker_index = r.u32();
+  r.done();
+  return m;
+}
+
+Frame encode_peer_hello_ack(const PeerHelloAckMsg& m) {
+  Writer w;
+  w.u32(m.worker_index);
+  return finish(FrameType::kPeerHelloAck, std::move(w));
+}
+
+PeerHelloAckMsg decode_peer_hello_ack(const Frame& f) {
+  auto r = open(f, FrameType::kPeerHelloAck);
+  PeerHelloAckMsg m;
+  m.worker_index = r.u32();
+  r.done();
+  return m;
+}
+
+Frame encode_heartbeat(const HeartbeatMsg& m) {
+  Writer w;
+  w.u8(m.probe);
+  return finish(FrameType::kHeartbeat, std::move(w));
+}
+
+HeartbeatMsg decode_heartbeat(const Frame& f) {
+  auto r = open(f, FrameType::kHeartbeat);
+  HeartbeatMsg m;
+  m.probe = r.u8();
+  r.done();
+  return m;
+}
+
+Frame encode_peer_down(const PeerDownMsg& m) {
+  Writer w;
+  w.u32(m.from_worker);
+  w.u32(m.to_worker);
+  w.str(m.reason);
+  return finish(FrameType::kPeerDown, std::move(w));
+}
+
+PeerDownMsg decode_peer_down(const Frame& f) {
+  auto r = open(f, FrameType::kPeerDown);
+  PeerDownMsg m;
+  m.from_worker = r.u32();
+  m.to_worker = r.u32();
+  m.reason = r.str();
+  r.done();
+  return m;
+}
+
+Frame encode_seq_gap(const SeqGapMsg& m) {
+  Writer w;
+  w.u32(m.worker_index);
+  encode_floors(w, m.missing);
+  return finish(FrameType::kSeqGap, std::move(w));
+}
+
+SeqGapMsg decode_seq_gap(const Frame& f) {
+  auto r = open(f, FrameType::kSeqGap);
+  SeqGapMsg m;
+  m.worker_index = r.u32();
+  m.missing = decode_floors(r);
   r.done();
   return m;
 }

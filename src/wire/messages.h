@@ -39,6 +39,15 @@ struct HelloMsg {
   /// ships kExecute slices worker-to-worker per kRouteDecision instead of
   /// receiving pre-routed batches from the driver.
   std::uint8_t peer_links = 0;
+  /// Liveness knobs (v3). The driver's sender emits a kHeartbeat whenever
+  /// the session channel has been send-idle this long; the node echoes each
+  /// one, which is what proves its serve loop is still draining frames.
+  /// 0 disables heartbeats.
+  std::int64_t heartbeat_every_ms = 0;
+  /// The node declares the driver dead (and exits) when nothing — data or
+  /// heartbeat — arrived for this long; the driver applies the same bound
+  /// to the node's frames. 0 disables the deadline.
+  std::int64_t liveness_deadline_ms = 0;
 };
 
 struct HelloAckMsg {
@@ -232,6 +241,42 @@ struct PeerHelloMsg {
   std::uint32_t worker_index = 0;  ///< the dialing worker
 };
 
+/// Worker -> worker (v3): the accepting side's reply to kPeerHello. The
+/// dialer refuses to ship on a link until the ack arrives — a listener
+/// backlog happily accepts connections for a SIGSTOPped process, so a
+/// successful connect() proves nothing about the peer actually serving.
+struct PeerHelloAckMsg {
+  std::uint32_t worker_index = 0;  ///< the accepting worker
+};
+
+/// Liveness keepalive (v3), valid in every direction. A side that receives
+/// one on a request/serve channel echoes it back; a side that receives one
+/// on a one-way link just refreshes its peer's last-heard clock.
+/// `probe` distinguishes an originated beat (echo me) from its echo
+/// (absorb me) so two symmetric endpoints cannot ping-pong forever.
+struct HeartbeatMsg {
+  std::uint8_t probe = 1;
+};
+
+/// Worker -> driver (v3): the worker's outbound peer link to `to_worker`
+/// wedged (dial timeout, ack timeout, or send failure after the re-dial).
+/// The driver falls back to star routing for that pair and replays the
+/// executes the dead link may have swallowed.
+struct PeerDownMsg {
+  std::uint32_t from_worker = 0;
+  std::uint32_t to_worker = 0;
+  std::string reason;
+};
+
+/// Worker -> driver (v3): a gated watermark/flush has been waiting on
+/// unmet execute-seq floors past the liveness deadline — executes were
+/// lost on a live-but-lossy path. `missing` carries each starved engine's
+/// next expected seq; the driver re-sends everything at or above it.
+struct SeqGapMsg {
+  std::uint32_t worker_index = 0;
+  std::vector<EngineFloor> missing;  ///< seq = next expected (first missing)
+};
+
 [[nodiscard]] Frame encode_hello(const HelloMsg& m);
 [[nodiscard]] HelloMsg decode_hello(const Frame& f);
 [[nodiscard]] Frame encode_hello_ack(const HelloAckMsg& m);
@@ -280,5 +325,13 @@ struct PeerHelloMsg {
 [[nodiscard]] RouteDecisionMsg decode_route_decision(const Frame& f);
 [[nodiscard]] Frame encode_peer_hello(const PeerHelloMsg& m);
 [[nodiscard]] PeerHelloMsg decode_peer_hello(const Frame& f);
+[[nodiscard]] Frame encode_peer_hello_ack(const PeerHelloAckMsg& m);
+[[nodiscard]] PeerHelloAckMsg decode_peer_hello_ack(const Frame& f);
+[[nodiscard]] Frame encode_heartbeat(const HeartbeatMsg& m);
+[[nodiscard]] HeartbeatMsg decode_heartbeat(const Frame& f);
+[[nodiscard]] Frame encode_peer_down(const PeerDownMsg& m);
+[[nodiscard]] PeerDownMsg decode_peer_down(const Frame& f);
+[[nodiscard]] Frame encode_seq_gap(const SeqGapMsg& m);
+[[nodiscard]] SeqGapMsg decode_seq_gap(const Frame& f);
 
 }  // namespace cosmos::wire

@@ -223,9 +223,11 @@ void Listener::close() noexcept {
 }
 
 Socket connect_to(const Endpoint& to, int timeout_ms) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(timeout_ms);
+  int attempts = 0;
   while (true) {
+    ++attempts;
     Socket s;
     int rc = -1;
     if (to.kind == Endpoint::Kind::kUnix) {
@@ -248,10 +250,24 @@ Socket connect_to(const Endpoint& to, int timeout_ms) {
     if (rc == 0) return s;
     // The daemon may not have bound its listener yet: retry the races
     // (refused / missing socket file) until the deadline.
-    const bool retryable =
-        errno == ECONNREFUSED || errno == ENOENT || errno == EAGAIN;
+    const int last_errno = errno;
+    const bool retryable = last_errno == ECONNREFUSED ||
+                           last_errno == ENOENT || last_errno == EAGAIN;
     if (!retryable || std::chrono::steady_clock::now() >= deadline) {
-      throw_errno("wire: connect to " + to.to_string());
+      // Name the endpoint, the retry budget actually spent, and the last
+      // errno — "refused after exhausting the 10 s budget" and "no route,
+      // gave up immediately" must be tellable apart from the message.
+      const auto elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      throw Error{"wire: connect to " + to.to_string() + " failed after " +
+                  std::to_string(attempts) + " attempt(s) over " +
+                  std::to_string(elapsed_ms) + " ms (budget " +
+                  std::to_string(timeout_ms) + " ms): " +
+                  std::strerror(last_errno) +
+                  (retryable ? " [retry budget exhausted]"
+                             : " [not retryable]")};
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }

@@ -1,0 +1,146 @@
+// FaultPlan / LinkFault: the deterministic fault-injection schedule. These
+// tests pin down the contract the transport relies on — spec parsing
+// round-trips, schedule windows arm and disarm on exact frame counts, the
+// plan replays identically for identical traffic, and header corruption
+// always lands on a byte the strict decoder is guaranteed to reject.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "wire/codec.h"
+#include "wire/messages.h"
+
+namespace cosmos::fault {
+namespace {
+
+TEST(FaultPlan, ParsesAndPrintsSpecs) {
+  const auto plan = FaultPlan::parse(
+      "send:drop@after=3,for=2;recv:delay@ms=20;send:corrupt@seed=7");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kDrop);
+  EXPECT_EQ(plan.specs[0].dir, Direction::kSend);
+  EXPECT_EQ(plan.specs[0].after_frames, 3u);
+  EXPECT_EQ(plan.specs[0].for_frames, 2u);
+  EXPECT_EQ(plan.specs[1].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.specs[1].dir, Direction::kRecv);
+  EXPECT_EQ(plan.specs[1].ms, 20);
+  EXPECT_EQ(plan.specs[2].kind, FaultKind::kCorrupt);
+  EXPECT_EQ(plan.specs[2].seed, 7u);
+
+  // to_string round-trips through parse.
+  const auto again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(again.to_string(), plan.to_string());
+
+  EXPECT_TRUE(FaultPlan{}.empty());
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultPlan::parse("send"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("sideways:drop"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("send:gremlins"), std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("send:drop@after"),
+               std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("send:drop@bogus=1"),
+               std::runtime_error);
+  EXPECT_THROW((void)FaultPlan::parse("send:drop@after=xyz"),
+               std::runtime_error);
+}
+
+TEST(LinkFault, ScheduleWindowArmsAndDisarmsOnExactCounts) {
+  LinkFault fault{FaultPlan::parse("send:drop@after=2,for=3")};
+  std::vector<bool> dropped;
+  for (int i = 0; i < 8; ++i) dropped.push_back(fault.on_send().drop);
+  // Frames 0,1 pass; 2,3,4 drop; 5.. pass again.
+  EXPECT_EQ(dropped, (std::vector<bool>{false, false, true, true, true,
+                                        false, false, false}));
+  EXPECT_EQ(fault.frames_seen(Direction::kSend), 8u);
+  EXPECT_EQ(fault.frames_seen(Direction::kRecv), 0u);
+}
+
+TEST(LinkFault, DirectionsCountIndependently) {
+  LinkFault fault{FaultPlan::parse("send:partition@after=1;recv:drop@for=2")};
+  // Send: frame 0 passes, everything after vanishes (partition is sticky).
+  EXPECT_FALSE(fault.on_send().drop);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(fault.on_send().drop);
+  // Recv counts on its own clock: frames 0,1 drop, then the link heals.
+  EXPECT_TRUE(fault.on_recv().drop);
+  EXPECT_TRUE(fault.on_recv().drop);
+  EXPECT_FALSE(fault.on_recv().drop);
+  // Send-only kinds never leak into recv actions.
+  LinkFault send_only{FaultPlan::parse("send:dup;send:corrupt;send:reorder")};
+  const auto r = send_only.on_recv();
+  EXPECT_FALSE(r.drop);
+  EXPECT_FALSE(r.hang);
+}
+
+TEST(LinkFault, ReorderHoldsExactlyTheArmedFrame) {
+  LinkFault fault{FaultPlan::parse("send:reorder@after=2")};
+  std::vector<bool> held;
+  for (int i = 0; i < 5; ++i) held.push_back(fault.on_send().reorder_hold);
+  // Only frame 2 is held; the transport releases it after frame 3 — a
+  // single A,B swap, not a rolling shuffle.
+  EXPECT_EQ(held, (std::vector<bool>{false, false, true, false, false}));
+}
+
+TEST(LinkFault, DelayDupTrickleActionsCarryTheirParameters) {
+  LinkFault fault{
+      FaultPlan::parse("send:delay@ms=35;send:dup@for=1;send:trickle@ms=10")};
+  const auto first = fault.on_send();
+  EXPECT_EQ(first.extra_delay_ms, 35);
+  EXPECT_TRUE(first.duplicate);
+  EXPECT_EQ(first.pace_ms, 10);
+  const auto second = fault.on_send();
+  EXPECT_FALSE(second.duplicate);  // dup window was one frame
+  EXPECT_EQ(second.extra_delay_ms, 35);
+  EXPECT_EQ(second.frame_index, 1u);
+
+  LinkFault hang{FaultPlan::parse("send:hang@after=1")};
+  EXPECT_FALSE(hang.on_send().hang);
+  EXPECT_TRUE(hang.on_send().hang);
+}
+
+TEST(CorruptFrameBytes, AlwaysLandsOnAHeaderByteTheDecoderRejects) {
+  // Whatever (seed, frame_index) picks, the flip must hit magic, version,
+  // or the length MSB — bytes whose corruption decode_frame_header is
+  // guaranteed to reject. A flip the decoder could miss would turn a
+  // detection test into silent data damage.
+  const auto clean = wire::encode_frame(wire::encode_watermark({42}));
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    for (std::uint64_t index = 0; index < 32; ++index) {
+      auto bytes = clean;
+      const std::size_t off = corrupt_frame_bytes(bytes, seed, index);
+      EXPECT_LT(off, wire::kFrameHeaderBytes);
+      EXPECT_NE(bytes[off], clean[off]);
+      std::uint8_t header[wire::kFrameHeaderBytes];
+      std::copy_n(bytes.data(), wire::kFrameHeaderBytes, header);
+      wire::FrameType type{};
+      EXPECT_THROW((void)wire::decode_frame_header(header, type),
+                   wire::Error)
+          << "seed=" << seed << " index=" << index << " offset=" << off;
+    }
+  }
+}
+
+TEST(LinkFault, ReplaysIdenticallyForIdenticalTraffic) {
+  const auto plan =
+      FaultPlan::parse("send:drop@after=4,for=3;send:corrupt@after=10,seed=3");
+  LinkFault a{plan};
+  LinkFault b{plan};
+  for (int i = 0; i < 40; ++i) {
+    const auto sa = a.on_send();
+    const auto sb = b.on_send();
+    EXPECT_EQ(sa.drop, sb.drop) << i;
+    EXPECT_EQ(sa.corrupt, sb.corrupt) << i;
+    EXPECT_EQ(sa.corrupt_seed, sb.corrupt_seed) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cosmos::fault

@@ -13,6 +13,8 @@
 // NodeProcess supervision contract (poll / terminate / kill / exit_status).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <csignal>
 #include <cstdlib>
 #include <string>
@@ -119,6 +121,107 @@ TEST(FederationChaos, KillRespawnResumeMatchesPush) {
       }
     }
   }
+}
+
+TEST(FederationChaos, KillSameWorkerTwiceRecoversTwice) {
+  // Double failure, same slot: the victim's *respawn* is SIGKILLed a few
+  // chunks after the first recovery completes. The second recovery must
+  // replay on top of the first (registration log and data log are still
+  // coherent), bounded only by max_recoveries.
+  const auto w = make_workload(2);
+  ResultLog push_log;
+  {
+    auto sys = build_system(w, push_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+  }
+
+  auto fleet = spawn_fleet(2, "twice");
+  ResultLog fed_log;
+  auto sys = build_system(w, fed_log);
+
+  Cosmos::FederationOptions opts;
+  opts.workers = fleet.endpoints;
+  opts.batch_size = 16;
+  opts.tick_ms = 20 * 60'000;
+  opts.recovery.enabled = true;
+  opts.recovery.noded_path = node::default_noded_path();
+  const std::size_t victim = 1;
+  pid_t respawn_pid = -1;
+  std::size_t respawn_chunk = 0;
+  std::size_t kills = 0;
+  opts.on_respawn = [&](std::size_t worker, pid_t pid) {
+    if (worker == victim) respawn_pid = pid;
+  };
+  opts.on_chunk = [&](std::size_t chunk) {
+    if (chunk == 2 && kills == 0) {
+      fleet.procs[victim].kill();
+      ++kills;
+      respawn_chunk = chunk;
+    } else if (kills == 1 && respawn_pid > 0 && chunk >= respawn_chunk + 2) {
+      // Kill AND reap: until the kernel tears the process down, its
+      // listener backlog still accepts the driver's re-dial, which then
+      // resets and costs a third (benign, self-healing) recovery. Reaping
+      // makes the count deterministic; the driver's own wait() on this
+      // pid later shrugs off the ECHILD.
+      ::kill(respawn_pid, SIGKILL);
+      int status = 0;
+      ::waitpid(respawn_pid, &status, 0);
+      ++kills;
+    }
+  };
+
+  const auto report = sys->run_federated(w.events, opts);
+
+  ASSERT_EQ(kills, 2u) << "trace too short to land both kills";
+  EXPECT_EQ(report.federation.recoveries, 2u);
+  ASSERT_EQ(fed_log, push_log) << "double-kill differential mismatch";
+  for (std::size_t i = 0; i < fleet.procs.size(); ++i) {
+    if (i != victim) EXPECT_EQ(fleet.procs[i].wait(), 0);
+  }
+}
+
+TEST(FederationChaos, KillDuringRecoveryReplayRecoversBoth) {
+  // Double failure, overlapping: worker 0 dies while worker 1's recovery
+  // is mid-replay (the on_respawn hook fires between respawn and replay).
+  // The second death queues behind the first recovery and is dispatched
+  // right after it completes — the wait_for loop's no-recursion contract.
+  const auto w = make_workload(5);
+  ResultLog push_log;
+  {
+    auto sys = build_system(w, push_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+  }
+
+  auto fleet = spawn_fleet(2, "overlap");
+  ResultLog fed_log;
+  auto sys = build_system(w, fed_log);
+
+  Cosmos::FederationOptions opts;
+  opts.workers = fleet.endpoints;
+  opts.batch_size = 16;
+  opts.tick_ms = 20 * 60'000;
+  opts.recovery.enabled = true;
+  opts.recovery.noded_path = node::default_noded_path();
+  bool killed_first = false;
+  bool killed_second = false;
+  opts.on_chunk = [&](std::size_t chunk) {
+    if (chunk == 2 && !killed_first) {
+      fleet.procs[1].kill();
+      killed_first = true;
+    }
+  };
+  opts.on_respawn = [&](std::size_t worker, pid_t) {
+    if (worker == 1 && !killed_second) {
+      fleet.procs[0].kill();
+      killed_second = true;
+    }
+  };
+
+  const auto report = sys->run_federated(w.events, opts);
+
+  ASSERT_TRUE(killed_first && killed_second);
+  EXPECT_EQ(report.federation.recoveries, 2u);
+  ASSERT_EQ(fed_log, push_log) << "overlapping-kill differential mismatch";
 }
 
 TEST(FederationChaos, PeerLinksKeepExecuteBytesOffDriver) {

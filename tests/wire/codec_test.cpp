@@ -190,6 +190,44 @@ TEST(WireCodec, PeerFramesRoundTrip) {
   const auto ph = decode_peer_hello(encode_peer_hello({kProtocolVersion, 2}));
   EXPECT_EQ(ph.protocol, kProtocolVersion);
   EXPECT_EQ(ph.worker_index, 2u);
+
+  const auto pa = decode_peer_hello_ack(encode_peer_hello_ack({7}));
+  EXPECT_EQ(pa.worker_index, 7u);
+}
+
+TEST(WireCodec, LivenessFramesRoundTrip) {
+  // Protocol v3: liveness knobs ride on kHello so the daemon side arms the
+  // same heartbeat/deadline schedule the driver does.
+  static_assert(kProtocolVersion >= 3);
+  HelloMsg hello;
+  hello.heartbeat_every_ms = 250;
+  hello.liveness_deadline_ms = 1'500;
+  const auto h = decode_hello(encode_hello(hello));
+  EXPECT_EQ(h.heartbeat_every_ms, 250);
+  EXPECT_EQ(h.liveness_deadline_ms, 1'500);
+
+  // probe=1 asks for an echo; probe=0 is the echo (absorbed silently).
+  const auto probe = decode_heartbeat(encode_heartbeat({}));
+  EXPECT_EQ(probe.probe, 1);
+  const auto echo = decode_heartbeat(encode_heartbeat({0}));
+  EXPECT_EQ(echo.probe, 0);
+
+  const auto pd =
+      decode_peer_down(encode_peer_down({2, 0, "liveness deadline"}));
+  EXPECT_EQ(pd.from_worker, 2u);
+  EXPECT_EQ(pd.to_worker, 0u);
+  EXPECT_EQ(pd.reason, "liveness deadline");
+
+  SeqGapMsg gap;
+  gap.worker_index = 1;
+  gap.missing = {{NodeId{4}, 17}, {NodeId{9}, 0}};
+  const auto g = decode_seq_gap(encode_seq_gap(gap));
+  EXPECT_EQ(g.worker_index, 1u);
+  ASSERT_EQ(g.missing.size(), 2u);
+  EXPECT_EQ(g.missing[0].engine, NodeId{4});
+  EXPECT_EQ(g.missing[0].seq, 17u);
+  EXPECT_EQ(g.missing[1].engine, NodeId{9});
+  EXPECT_EQ(g.missing[1].seq, 0u);
 }
 
 TEST(WireCodec, RecoveryFieldsRoundTrip) {

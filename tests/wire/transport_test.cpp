@@ -14,12 +14,14 @@
 #include <condition_variable>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "wire/channel.h"
 #include "wire/messages.h"
 #include "wire/socket.h"
@@ -304,6 +306,229 @@ TEST(FrameChannel, SendAfterCloseThrows) {
   server.join();
   client.close();
   EXPECT_THROW(client.send(encode_watermark({1})), Error);
+}
+
+TEST(FrameChannel, OriginatesHeartbeatsWhenSendIdle) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("hb"))};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t probes = 0;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) {
+      if (f->type == FrameType::kBye) break;
+      if (f->type == FrameType::kHeartbeat &&
+          decode_heartbeat(*f).probe != 0) {
+        std::lock_guard lock{mu};
+        ++probes;
+        cv.notify_all();
+      }
+    }
+  }};
+  FrameChannel::Options opts;
+  opts.heartbeat_every_ms = 30;
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  // The channel is send-idle; probes must flow without any send() call.
+  {
+    std::unique_lock lock{mu};
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return probes >= 3; }));
+  }
+  client.send(encode_bye());
+  server.join();
+  client.close();
+}
+
+TEST(FrameChannel, LivenessDeadlineSurfacesAsErrorNotHang) {
+  // A peer that accepts and then goes completely silent (the SIGSTOP
+  // shape) must become a thrown error within the deadline — on both the
+  // recv() path and the reader-callback path.
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("silent"))};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    std::unique_lock lock{mu};  // never sends, never closes
+    cv.wait(lock, [&] { return release; });
+  }};
+  FrameChannel::Options opts;
+  opts.liveness_deadline_ms = 150;
+  opts.close_drain_ms = 200;
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    (void)client.recv();
+    FAIL() << "silent peer did not trip the liveness deadline";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string{e.what()}.find("liveness deadline"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(10));
+  EXPECT_TRUE(client.liveness_expired());
+  client.close();
+  {
+    std::lock_guard lock{mu};
+    release = true;
+    cv.notify_all();
+  }
+  server.join();
+}
+
+TEST(FrameChannel, HeartbeatsHoldOffTheDeadline) {
+  // The healthy case: a peer that says nothing *but* echoes probes must
+  // never be declared dead.
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("echoer"))};
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) {
+      if (f->type == FrameType::kBye) break;
+      if (f->type == FrameType::kHeartbeat &&
+          decode_heartbeat(*f).probe != 0) {
+        send_frame(conn, encode_heartbeat({0}));
+      }
+    }
+  }};
+  FrameChannel::Options opts;
+  opts.heartbeat_every_ms = 40;
+  opts.liveness_deadline_ms = 200;
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  std::atomic<bool> closed{false};
+  client.start_reader([](Frame) {},
+                      [&](const std::string&) { closed = true; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_FALSE(client.liveness_expired());
+  EXPECT_FALSE(closed);
+  client.send(encode_bye());
+  server.join();
+  client.close();
+}
+
+TEST(FrameChannel, DropFaultCountsDroppedFramesAndPeerSeesNothing) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("dropf"))};
+  std::vector<stream::Timestamp> seen;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) {
+      if (f->type == FrameType::kBye) break;
+      seen.push_back(decode_watermark(*f).watermark);
+    }
+  }};
+  FrameChannel::Options opts;
+  opts.fault = std::make_shared<fault::LinkFault>(
+      fault::FaultPlan::parse("send:drop@after=2,for=3"));
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  for (int i = 0; i < 8; ++i) client.send(encode_watermark({i}));
+  client.send(encode_bye());
+  server.join();
+  // Frames 2,3,4 vanished; the peer saw the rest in order.
+  EXPECT_EQ(seen, (std::vector<stream::Timestamp>{0, 1, 5, 6, 7}));
+  EXPECT_EQ(client.frames_dropped(), 3u);
+  client.close();
+}
+
+TEST(FrameChannel, ReorderFaultSwapsOneFramePair) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("reorder"))};
+  std::vector<stream::Timestamp> seen;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) {
+      if (f->type == FrameType::kBye) break;
+      seen.push_back(decode_watermark(*f).watermark);
+    }
+  }};
+  FrameChannel::Options opts;
+  opts.fault = std::make_shared<fault::LinkFault>(
+      fault::FaultPlan::parse("send:reorder@after=1"));
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  for (int i = 0; i < 4; ++i) client.send(encode_watermark({i}));
+  client.send(encode_bye());
+  server.join();
+  EXPECT_EQ(seen, (std::vector<stream::Timestamp>{0, 2, 1, 3}));
+  client.close();
+}
+
+TEST(FrameChannel, DuplicateFaultDeliversTheFrameTwice) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("dupf"))};
+  std::vector<stream::Timestamp> seen;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    while (auto f = recv_frame(conn)) {
+      if (f->type == FrameType::kBye) break;
+      seen.push_back(decode_watermark(*f).watermark);
+    }
+  }};
+  FrameChannel::Options opts;
+  opts.fault = std::make_shared<fault::LinkFault>(
+      fault::FaultPlan::parse("send:dup@after=1,for=1"));
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  for (int i = 0; i < 3; ++i) client.send(encode_watermark({i}));
+  client.send(encode_bye());
+  server.join();
+  EXPECT_EQ(seen, (std::vector<stream::Timestamp>{0, 1, 1, 2}));
+  client.close();
+}
+
+TEST(FrameChannel, CorruptFaultIsDetectedByThePeerDecoder) {
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("corrupt"))};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool threw = false;
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    try {
+      while (recv_frame(conn).has_value()) {
+      }
+    } catch (const Error&) {
+      std::lock_guard lock{mu};
+      threw = true;
+      cv.notify_all();
+    }
+  }};
+  FrameChannel::Options opts;
+  opts.fault = std::make_shared<fault::LinkFault>(
+      fault::FaultPlan::parse("send:corrupt@after=2,for=1,seed=7"));
+  FrameChannel client{connect_to(listener.endpoint()), opts};
+  for (int i = 0; i < 3; ++i) client.send(encode_watermark({i}));
+  {
+    std::unique_lock lock{mu};
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return threw; }));
+  }
+  server.join();
+  client.close();
+}
+
+TEST(FrameChannel, PartitionFaultTripsThePeersDeadline) {
+  // One-way partition end to end: A's sends vanish but A's socket stays
+  // open. B hears nothing — not even heartbeats — and must declare A dead
+  // by deadline instead of waiting forever.
+  Listener listener{Endpoint::parse("unix:" + test_socket_path("part"))};
+  std::thread server{[&] {
+    Socket conn = listener.accept();
+    FrameChannel::Options bopts;
+    bopts.liveness_deadline_ms = 200;
+    bopts.close_drain_ms = 200;
+    FrameChannel b{std::move(conn), bopts};
+    EXPECT_THROW(
+        {
+          while (b.recv().has_value()) {
+          }
+        },
+        Error);
+    EXPECT_TRUE(b.liveness_expired());
+    b.close();
+  }};
+  FrameChannel::Options aopts;
+  aopts.heartbeat_every_ms = 40;  // originated, then blackholed
+  aopts.fault = std::make_shared<fault::LinkFault>(
+      fault::FaultPlan::parse("send:partition"));
+  aopts.close_drain_ms = 200;
+  FrameChannel a{connect_to(listener.endpoint()), aopts};
+  server.join();
+  EXPECT_GT(a.frames_dropped(), 0u);  // the blackholed heartbeats
+  a.close();
 }
 
 }  // namespace

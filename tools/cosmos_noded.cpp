@@ -8,6 +8,10 @@
 // Usage: cosmos_noded --listen unix:/tmp/worker0.sock
 //        cosmos_noded --listen tcp:127.0.0.1:0
 //
+// Chaos knobs (deterministic fault injection, see src/fault/fault.h):
+//   --fault-driver <spec>  fault schedule for the driver channel
+//   --fault-peer <spec>    fault schedule for every outbound peer link
+//
 // Prints "COSMOS_NODED_READY <endpoint>" on stdout once the listener is
 // bound (with the resolved port for tcp:...:0), then blocks in accept.
 #include <cstdio>
@@ -15,6 +19,7 @@
 #include <exception>
 #include <string>
 
+#include "fault/fault.h"
 #include "node/serve.h"
 #include "wire/socket.h"
 
@@ -22,7 +27,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --listen <unix:/path | tcp:host:port>\n", argv0);
+               "usage: %s --listen <unix:/path | tcp:host:port>"
+               " [--fault-driver <spec>] [--fault-peer <spec>]\n",
+               argv0);
   return 2;
 }
 
@@ -30,9 +37,15 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string listen;
+  std::string fault_driver;
+  std::string fault_peer;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       listen = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-driver") == 0 && i + 1 < argc) {
+      fault_driver = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-peer") == 0 && i + 1 < argc) {
+      fault_peer = argv[++i];
     } else {
       return usage(argv[0]);
     }
@@ -40,11 +53,18 @@ int main(int argc, char** argv) {
   if (listen.empty()) return usage(argv[0]);
 
   try {
+    cosmos::node::NodeServer::Options options;
+    if (!fault_driver.empty()) {
+      options.driver_fault = cosmos::fault::FaultPlan::parse(fault_driver);
+    }
+    if (!fault_peer.empty()) {
+      options.peer_fault = cosmos::fault::FaultPlan::parse(fault_peer);
+    }
     cosmos::wire::Listener listener{cosmos::wire::Endpoint::parse(listen)};
     std::printf("COSMOS_NODED_READY %s\n",
                 listener.endpoint().to_string().c_str());
     std::fflush(stdout);
-    cosmos::node::NodeServer server{listener};
+    cosmos::node::NodeServer server{listener, std::move(options)};
     return server.run() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cosmos_noded: %s\n", e.what());
