@@ -12,7 +12,9 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -246,6 +248,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  double journal_bytes_per_tuple = 0.0;
+  {
+    // Durable run journal on (default fsync-on-commit policy, periodic
+    // checkpoints): the overhead row for docs/durability.md. Every routed
+    // execute is journaled, so the cost scales with data volume.
+    Row row;
+    row.name = "fed:2w-journal";
+    char jdir[] = "/tmp/cosmos_bench_journal_XXXXXX";
+    if (::mkdtemp(jdir) == nullptr) {
+      std::printf("!! mkdtemp failed, skipping journal config\n");
+      return 1;
+    }
+    auto fleet = spawn_fleet(2);
+    auto sys = build(row.per_query);
+    middleware::Cosmos::FederationOptions opts;
+    opts.workers = fleet.endpoints;
+    opts.batch_size = 256;
+    opts.tick_ms = 30 * 60'000;
+    opts.max_inflight_chunks = 4;
+    opts.journal.dir = jdir;
+    opts.journal.checkpoint_every_ms = 60 * 60'000;
+    const Stopwatch watch;
+    const auto report = sys->run_federated(events, opts);
+    row.wall_s = watch.seconds();
+    journal_bytes_per_tuple =
+        static_cast<double>(report.federation.journal_bytes) /
+        static_cast<double>(events.size());
+    row.wire_bytes_per_tuple = rows[2].wire_bytes_per_tuple;  // same star path
+    row.e2e_p50_us = report.e2e_percentile_us(50.0);
+    row.e2e_p99_us = report.e2e_percentile_us(99.0);
+    std::printf("journal: %.1f journal bytes/tuple, %llu fsyncs\n",
+                journal_bytes_per_tuple,
+                static_cast<unsigned long long>(report.federation.journal_fsyncs));
+    finish(std::move(row));
+    for (auto& p : fleet.procs) {
+      if (p.wait() != 0) std::printf("!! worker exited non-zero\n");
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(jdir, ec);
+  }
   bool identical = true;
   for (const auto& row : rows) {
     if (row.per_query != rows[0].per_query) {
@@ -262,6 +304,7 @@ int main(int argc, char** argv) {
   const Row& fed2 = rows[2];
   const Row& fed4 = rows[3];
   const Row& fedp = rows[4];
+  const Row& fedj = rows[5];
   std::printf("federated 2w vs in-process 2-shard: %.2fx wall "
               "(%.1f wire bytes/tuple)\n",
               run2.wall_s / fed2.wall_s, fed2.wire_bytes_per_tuple);
@@ -281,6 +324,9 @@ int main(int argc, char** argv) {
        {"wire_bytes_per_tuple_2w", fed2.wire_bytes_per_tuple},
        {"fed_peer_tuples_per_s_2w", tuples / fedp.wall_s},
        {"fed_peer_wire_bytes_per_tuple_2w", fedp.wire_bytes_per_tuple},
+       {"fed_journal_tuples_per_s_2w", tuples / fedj.wall_s},
+       {"fed_journal_bytes_per_tuple_2w", journal_bytes_per_tuple},
+       {"fed_journal_vs_plain_wall_ratio_2w", fed2.wall_s / fedj.wall_s},
        {"e2e_p50_us_run_2shard", run2.e2e_p50_us},
        {"e2e_p99_us_run_2shard", run2.e2e_p99_us},
        {"fed_e2e_p50_us_2w", fed2.e2e_p50_us},

@@ -187,6 +187,26 @@ class Cosmos {
     /// FederationOptions::stats_sample_every_ms > 0 (plus one final sample
     /// per worker at end of session).
     std::vector<WorkerSample> samples;
+    /// Run journal accounting (FederationOptions::journal). Bytes and
+    /// fsyncs the journal writer issued during the run — the durable-run
+    /// overhead bench_federation reports per tuple.
+    std::uint64_t journal_bytes = 0;
+    std::uint64_t journal_fsyncs = 0;
+    /// Resume diagnostics (resume_federated only). rollbacks = newer
+    /// segments skipped during recovery (corrupt or uncommitted);
+    /// journal_records_dropped = partial-chunk executes + torn/corrupt
+    /// tail records discarded; resume_skipped_events = trace events not
+    /// re-ingested because the journal's cut already covered them.
+    std::uint64_t journal_rollbacks = 0;
+    bool journal_torn_tail = false;
+    std::uint64_t journal_records_dropped = 0;
+    std::size_t resume_skipped_events = 0;
+    /// In-memory data-log retention: entries appended over the run vs the
+    /// peak held at once. With retention/checkpointing on, peak stays
+    /// bounded by the checkpoint-to-checkpoint window instead of growing
+    /// with the whole trace (peak == appended when nothing truncates).
+    std::size_t data_log_appended = 0;
+    std::size_t data_log_peak_entries = 0;
   };
 
   struct RunReport {
@@ -322,6 +342,37 @@ class Cosmos {
       std::int64_t deadline_ms = 30'000;
     };
     Liveness liveness;
+    /// Durable run journal (src/journal): when `dir` is non-empty the
+    /// driver persists its recovery state — registration frames, routed
+    /// executes, periodic engine-state checkpoints, delivered-result
+    /// floors — to an append-only segment file per checkpoint epoch, so a
+    /// kill -9'd *driver* restarts with Cosmos::resume_federated and the
+    /// combined output stays byte-identical to push(). Independent of
+    /// Recovery (worker restart): either works without the other.
+    struct Journal {
+      std::string dir;  ///< empty = journaling off
+      /// Mirrors journal::Fsync (own copy so cosmos.h need not pull the
+      /// journal headers into every consumer).
+      enum class Fsync : std::uint8_t { kNever, kCommit, kChunk, kEvery };
+      /// Process death never loses write()n data; fsync is for machine
+      /// crashes. Default syncs checkpoint commits only.
+      Fsync fsync = Fsync::kCommit;
+      /// Stream-time period between journal checkpoints (same keep-mode
+      /// kMigrateOut cut as Recovery's). <= 0: only the initial commit is
+      /// taken, so resume replays from the top of the run.
+      stream::Timestamp checkpoint_every_ms = 0;
+    };
+    Journal journal;
+    /// Bounded in-memory retention of the driver's data_log and delivered
+    /// buffers. A checkpoint already truncates both to its cut; this knob
+    /// additionally advances the all-workers-acked floor *between*
+    /// checkpoints (a flush barrier at chunk boundaries, no state pull),
+    /// pruning data-log entries every worker proved applied. <= 0 leaves
+    /// pruning to checkpoints alone.
+    struct Retention {
+      stream::Timestamp floor_every_ms = 0;
+    };
+    Retention retention;
     /// Deterministic network fault injection: at stream time `at_ms`
     /// (applied at the next chunk boundary, like migrations) the
     /// fault::FaultPlan parsed from `plan` is installed on the driver's
@@ -353,6 +404,22 @@ class Cosmos {
   /// `federation` member carries the wire-level stats.
   RunReport run_federated(const std::vector<runtime::TraceEvent>& events,
                           const FederationOptions& options);
+
+  /// Restarts a journaled federated run after a driver crash. Recovers the
+  /// newest valid checkpoint from `options.journal.dir` (truncating a torn
+  /// tail; rolling back past a corrupt segment; throwing a typed
+  /// journal::Error when nothing is recoverable), spawns a fresh worker
+  /// fleet on the journaled endpoints, replays the journaled registrations
+  /// and executes through the ordinary seq-dedup machinery, suppresses the
+  /// results the crashed run already delivered, and resumes ingesting
+  /// `events` — the same full trace the original run was given — from the
+  /// journaled cut. Options recorded in the journal (worker count,
+  /// batch_size, tick_ms, worker_shards, peer_links) override `options`;
+  /// scripted migrations and fault schedules are cleared (their stream-time
+  /// cues may predate the cut). The pre-crash and resumed runs' combined
+  /// deliveries are byte-identical to push().
+  RunReport resume_federated(const std::vector<runtime::TraceEvent>& events,
+                             const FederationOptions& options);
 
   /// Link traffic merged across the broker's per-stream partitions. Must
   /// not be called while run() is executing (partitions are then owned by

@@ -46,6 +46,7 @@
 
 #include "common/clock.h"
 #include "fault/fault.h"
+#include "journal/journal.h"
 #include "node/spawn.h"
 #include "obs/trace.h"
 #include "wire/channel.h"
@@ -60,7 +61,7 @@ struct Cosmos::Fed {
         options(opts),
         trace(opts.trace_path),
         log_data(opts.recovery.enabled || opts.peer_links ||
-                 !opts.faults.empty()) {
+                 !opts.faults.empty() || !opts.journal.dir.empty()) {
     trace.add_process_name(0, "driver");
     e2e = &reg.histogram("e2e_latency_ns");
   }
@@ -170,6 +171,17 @@ struct Cosmos::Fed {
     std::uint64_t ingest_ns = 0;
   };
   std::vector<DataLogEntry> data_log;
+  /// Retention accounting: entries ever appended vs the peak held at once
+  /// (the boundedness proof in RunReport::federation).
+  std::size_t data_log_appended = 0;
+  std::size_t data_log_peak = 0;
+  /// engine value -> the highest execute-seq floor every worker has acked
+  /// (snapshot of the frontier at the last fleet-wide flush). Entries below
+  /// it are applied everywhere, so peer-down / kSeqGap replay can never
+  /// need them again — the in-memory data_log prunes below this floor
+  /// (checkpoints own the truncation when worker recovery is enabled,
+  /// because its replay needs the whole since-checkpoint window).
+  std::unordered_map<std::uint64_t, std::uint64_t> acked_floor;
   /// engine value -> its state at the last checkpoint cut.
   struct EngineCheckpoint {
     std::vector<wire::UnitStateMsg> state;
@@ -178,6 +190,19 @@ struct Cosmos::Fed {
   std::unordered_map<std::uint64_t, EngineCheckpoint> ckpt;
   stream::Timestamp ckpt_clock_ms = 0;  ///< last checkpoint's stream time
   bool has_ckpt_clock = false;
+  stream::Timestamp floor_clock_ms = 0;  ///< last retention floor advance
+  bool has_floor_clock = false;
+
+  /// Durable run journal (FederationOptions::journal): created by run() for
+  /// a fresh journaled run, installed by resume_federated (continuing the
+  /// segment chain) for a resumed one. Driver-thread only.
+  std::unique_ptr<journal::Writer> jw;
+  std::uint64_t next_ckpt_id = 0;
+  /// Trace events consumed by dispatched chunks — the journal's resume cut.
+  std::uint64_t events_consumed = 0;
+  /// Set by resume_federated: the recovered journal state this run resumes
+  /// from (null for a fresh run).
+  const journal::RecoveredRun* resume_state = nullptr;
   /// Results delivered to user callbacks since the last checkpoint, per
   /// result stream; when a worker dies, the replay re-emits exactly these,
   /// so pending_discard skips that many re-deliveries per stream.
@@ -209,6 +234,10 @@ struct Cosmos::Fed {
     std::vector<PendingRun> runs;
     stream::Timestamp last_ts = 0;
     std::uint64_t ingest_ns = 0;  ///< Chunk::ingest_ns, echoed on executes
+    std::uint64_t index = 0;      ///< chunk_index at dispatch
+    /// Trace events consumed through this chunk — journaled on its
+    /// chunk-routed marker so resume re-ingests from exactly here.
+    std::uint64_t events_through = 0;
   };
   std::deque<PendingChunk> pending;
 
@@ -230,6 +259,16 @@ struct Cosmos::Fed {
   /// destructor then reaps its already-exited child with a bounded
   /// SIGTERM -> SIGKILL grace.
   std::vector<node::NodeProcess> respawned;
+  /// worker index -> its latest entry in `respawned`. When a respawned
+  /// incarnation dies too, recover() kills *and reaps* it before dialing
+  /// the replacement — the reap is the barrier that the dying listener is
+  /// fully gone (see node::NodeProcess::kill for the backlog race).
+  std::unordered_map<std::size_t, std::size_t> respawn_of;
+  /// The fleet a resumed run spawned for itself (resume_federated): the
+  /// crashed driver's workers died with it (driver-death EOF), so resume
+  /// owns fresh daemons on the journaled endpoints. Declared before
+  /// `workers` for the same close-before-reap ordering as `respawned`.
+  std::vector<node::NodeProcess> owned_fleet;
 
   // Declared last so channel destruction (which joins the reader threads)
   // precedes destruction of everything the reader callbacks capture.
@@ -547,10 +586,35 @@ struct Cosmos::Fed {
     for (std::size_t w = 0; w < workers.size(); ++w) send(w, frame);
   }
 
-  /// Broadcast + retain for registration replay to respawned workers.
+  /// Broadcast + retain for registration replay to respawned workers (and
+  /// journal for replay to a restarted *driver*).
   void broadcast_logged(wire::Frame frame) {
+    if (jw) jw->registration(frame);
     broadcast(frame);
     reg_log.push_back(std::move(frame));
+  }
+
+  /// Appends one routed execute to the in-memory data log, tracking the
+  /// retention counters the boundedness test asserts on.
+  void log_append(DataLogEntry&& entry) {
+    data_log.push_back(std::move(entry));
+    ++data_log_appended;
+    data_log_peak = std::max(data_log_peak, data_log.size());
+  }
+
+  /// Called after a fleet-wide flush fully acked: every engine's frontier
+  /// at that moment is now applied on every worker, so the floor advances
+  /// and the data log prunes below it. Worker-restart recovery replays the
+  /// whole since-checkpoint window, so with it enabled truncation stays
+  /// checkpoint-owned.
+  void note_all_acked_floors() {
+    if (!log_data) return;
+    for (const auto& [engine, seq] : next_exec_seq) acked_floor[engine] = seq;
+    if (options.recovery.enabled) return;
+    std::erase_if(data_log, [&](const DataLogEntry& e) {
+      const auto it = acked_floor.find(e.engine.value());
+      return it != acked_floor.end() && e.seq < it->second;
+    });
   }
 
   std::int64_t link_delay(std::size_t i) const {
@@ -694,6 +758,147 @@ struct Cosmos::Fed {
     for (const auto& [engine, hw] : worker_of_engine) {
       ckpt.emplace(engine.value(), EngineCheckpoint{});
     }
+    if (jw) {
+      // Seal segment 1 with the initial (zero-engine) commit: a crash
+      // before the first periodic checkpoint is already resumable — every
+      // engine restarts empty at seq 0, exactly the ckpt map above.
+      journal::CheckpointCommit c;
+      c.checkpoint_id = ++next_ckpt_id;
+      c.engine_states = 0;
+      jw->commit_checkpoint(c);
+    }
+    {
+      std::lock_guard lock{mu};
+      recovery_armed = options.recovery.enabled;
+    }
+  }
+
+  /// replicate() for a resumed run (resume_state set): re-broadcast the
+  /// journaled registrations, restore every engine at the journaled
+  /// checkpoint cut (kMigrateIn doubles as the deployment, exactly as
+  /// worker-restart recovery does), replay the journaled post-checkpoint
+  /// executes (site seq dedup absorbs nothing here — the fleet is fresh —
+  /// but peer-link batches replay through the star path like any recovery
+  /// replay), arm result suppression from the journaled delivered floors,
+  /// then open the continued journal segment and seal it with a fresh
+  /// checkpoint. After that cut the run is a normal journaled run — and
+  /// itself resumable. The journal writer is installed only after the
+  /// replay quiesces: the continued segment must hold nothing but the
+  /// preamble + the fresh cut before its commit (the recovery parser
+  /// rejects pre-commit data records), and every replay-time delivery is
+  /// covered by the fresh cut, not a delivered floor.
+  void resume_replicate() {
+    const journal::RecoveredRun& rec = *resume_state;
+
+    for (const auto& frame : rec.registrations) broadcast_logged(frame);
+
+    // Rebuild the routing tables exactly as replicate() derives them (both
+    // are deterministic in sys), then let the journaled engine states
+    // override the placement where a pre-crash migration moved an engine.
+    std::set<std::string> result_streams;
+    for (const auto& [uid, unit] : sys.units_) {
+      result_streams.insert(unit.result_stream);
+    }
+    for (auto* part : sys.broker_.partitions()) {
+      if (result_streams.contains(part->stream())) continue;
+      worker_of_stream.emplace(part->stream(),
+                               part->publisher().value() % workers.size());
+    }
+    for (const auto& [uid, unit] : sys.units_) {
+      worker_of_engine[unit.host] = unit.host.value() % workers.size();
+    }
+    std::unordered_map<std::uint64_t, const journal::EngineState*> saved;
+    for (const auto& es : rec.engines) {
+      worker_of_engine[es.engine] = es.worker;
+      saved.emplace(es.engine.value(), &es);
+    }
+
+    std::vector<std::pair<NodeId, std::size_t>> placement(
+        worker_of_engine.begin(), worker_of_engine.end());
+    std::sort(placement.begin(), placement.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.value() < b.first.value();
+              });
+    for (const auto& [engine, hw] : placement) {
+      wire::MigrateInMsg in;
+      in.engine = engine;
+      for (const auto& [uid, unit] : sys.units_) {
+        if (unit.host != engine) continue;
+        in.units.push_back(
+            {unit.id, unit.host, unit.result_stream, unit.spec});
+      }
+      EngineCheckpoint ec;
+      if (const auto sit = saved.find(engine.value()); sit != saved.end()) {
+        in.state = sit->second->units;
+        in.exec_seq = sit->second->exec_seq;
+        ec.state = sit->second->units;
+        ec.exec_seq = sit->second->exec_seq;
+      }
+      next_exec_seq[engine.value()] = in.exec_seq;
+      ckpt.emplace(engine.value(), std::move(ec));
+      send(hw, wire::encode_migrate_in(in));
+      {
+        std::unique_lock lock{mu};
+        wait_for(lock,
+                 [&] { return migrate_acks.contains(engine.value()); });
+        migrate_acks.erase(engine.value());
+      }
+    }
+
+    // Replay the journaled whole-chunk executes in route order as plain
+    // driver sends, re-advancing each engine's seq frontier past them. The
+    // batches also seed the in-memory data log: with worker recovery on,
+    // the since-checkpoint window must be re-sendable until the fresh cut
+    // below resets it.
+    for (const auto& m : rec.executes) {
+      auto& frontier = next_exec_seq[m.engine.value()];
+      frontier = std::max(frontier, m.seq + 1);
+      auto frame = wire::encode_execute(m);
+      driver_execute_bytes += frame.payload.size() + wire::kFrameHeaderBytes;
+      send_data(worker_of_engine.at(m.engine), std::move(frame));
+      if (log_data) {
+        log_append({SIZE_MAX, m.engine, m.seq, {},
+                    std::make_shared<const runtime::TupleBatch>(m.batch),
+                    m.ingest_ns});
+      }
+    }
+
+    // Restore stream time after the replay (floors make the sites defer
+    // pruning until every replayed execute applied), and arm suppression of
+    // the re-emissions the crashed driver already delivered.
+    if (rec.has_watermark) {
+      last_watermark = rec.watermark;
+      has_watermark = true;
+      for (std::size_t w = 0; w < workers.size(); ++w) {
+        send_data(w,
+                  wire::encode_watermark({last_watermark, floors_for(w)}));
+      }
+    }
+    for (const auto& d : rec.delivered) {
+      pending_discard[d.stream] = static_cast<std::size_t>(d.count);
+    }
+
+    // Quiesce: flush acks follow each worker's replay results on its FIFO
+    // channel, so after the barrier every re-emission has been suppressed
+    // or delivered — the suppression floor is exactly consumed (delivered
+    // records are journaled after their chunk's marker, so every counted
+    // result's execute is in the replayed prefix).
+    flush_all();
+    drain_deliver();
+    events_consumed = rec.resume_events;
+    chunk_index = rec.resume_chunk;
+
+    // Continue the segment chain and seal the resume with a fresh cut; from
+    // here on the run journals normally.
+    jw = journal::Writer::continue_at(options.journal.dir, rec.next_segment,
+                                      journal_meta(), journal_options());
+    for (const auto& f : reg_log) jw->registration(f);
+    if (!checkpoint()) {
+      // Unreachable: recovery is not armed during resume, so a worker
+      // death inside the cut throws instead of bumping the recovery count.
+      throw std::runtime_error{
+          "Cosmos federation: resume checkpoint aborted"};
+    }
     {
       std::lock_guard lock{mu};
       recovery_armed = options.recovery.enabled;
@@ -740,6 +945,7 @@ struct Cosmos::Fed {
         });
     flush_acks.erase(seq);
     outstanding_flush.reset();
+    if (targets.size() >= workers.size()) note_all_acked_floors();
   }
 
   void flush_worker(std::size_t w) { flush_targets({w}); }
@@ -765,15 +971,34 @@ struct Cosmos::Fed {
     const double cpu0 = thread_cpu_seconds();
     const obs::Span span{"deliver", "driver", batch.size()};
     const std::uint64_t now = now_ns();
+    // Partition out replay re-emissions first: what remains is exactly what
+    // reaches the user callbacks, so with journaling on it can be written
+    // as the delivered floor *before* any callback runs — a resumed driver
+    // then suppresses re-deliveries it can no longer remember making.
+    std::vector<const InboxResult*> deliver;
+    deliver.reserve(batch.size());
     for (const auto& r : batch) {
-      const auto& ev = r.ev;
       if (!pending_discard.empty()) {
-        const auto dit = pending_discard.find(ev.stream);
+        const auto dit = pending_discard.find(r.ev.stream);
         if (dit != pending_discard.end() && dit->second > 0) {
           --dit->second;
           continue;
         }
       }
+      deliver.push_back(&r);
+    }
+    if (jw && !deliver.empty()) {
+      std::map<std::string, std::uint64_t> counts;
+      for (const auto* r : deliver) ++counts[r->ev.stream];
+      std::vector<journal::DeliveredCount> floor;
+      floor.reserve(counts.size());
+      for (const auto& [stream, count] : counts) {
+        floor.push_back({stream, count});
+      }
+      jw->delivered(floor);
+    }
+    for (const auto* r : deliver) {
+      const auto& ev = r->ev;
       // Close the end-to-end measurement here: p2 delivery completes on
       // the driver thread, and worker/driver now_ns share a clock epoch
       // (same host, CLOCK_MONOTONIC), so ingest stamps compare directly.
@@ -794,6 +1019,9 @@ struct Cosmos::Fed {
     PendingChunk pc;
     pc.last_ts = chunk.last_ts;
     pc.ingest_ns = chunk.ingest_ns;
+    pc.index = chunk_index;
+    events_consumed += chunk.tuples;
+    pc.events_through = events_consumed;
     pc.runs.reserve(chunk.runs.size());
     for (runtime::TupleBatch& run : chunk.runs) {
       auto* part = sys.broker_.partition(run.stream());
@@ -879,6 +1107,12 @@ struct Cosmos::Fed {
     pending.pop_front();
 
     route_and_execute(chunk, responses);
+    // The chunk-routed marker lands only after every execute of the chunk
+    // is journaled: recovery replays whole-chunk prefixes and regenerates a
+    // partial tail by deterministic re-routing (see journal::ChunkRouted).
+    if (jw) {
+      jw->chunk_routed({chunk.index, chunk.events_through, chunk.last_ts});
+    }
     // Watermark after the chunk's executes: the per-engine floors make the
     // site defer pruning until every older execute (possibly still in
     // flight on a peer link) has been applied, so join-state pruning only
@@ -952,11 +1186,21 @@ struct Cosmos::Fed {
             !peer_down_pairs.contains({static_cast<std::uint32_t>(pr.owner),
                                        static_cast<std::uint32_t>(tgt)});
         if (peer_path) {
+          // Journal before the decision ships: once the owner slices and
+          // sends worker-to-worker the driver never sees these bytes again.
+          if (jw) {
+            wire::ExecuteMsg exec;
+            exec.engine = node;
+            exec.ingest_ns = chunk.ingest_ns;
+            exec.seq = seq;
+            exec.batch = rows.empty() ? run : run.select(rows);
+            jw->execute(exec);
+          }
           decision.targets.push_back(
               {node, static_cast<std::uint32_t>(tgt), seq, rows});
           if (log_data) {
-            data_log.push_back({pr.owner, node, seq, std::move(rows), pr.run,
-                                chunk.ingest_ns});
+            log_append({pr.owner, node, seq, std::move(rows), pr.run,
+                        chunk.ingest_ns});
           }
         } else {
           wire::ExecuteMsg exec;
@@ -964,13 +1208,14 @@ struct Cosmos::Fed {
           exec.ingest_ns = chunk.ingest_ns;
           exec.seq = seq;
           exec.batch = rows.empty() ? run : run.select(rows);
+          if (jw) jw->execute(exec);
           auto frame = wire::encode_execute(exec);
           driver_execute_bytes +=
               frame.payload.size() + wire::kFrameHeaderBytes;
           send_data(tgt, std::move(frame));
           if (log_data) {
-            data_log.push_back({SIZE_MAX, node, seq, std::move(rows), pr.run,
-                                chunk.ingest_ns});
+            log_append({SIZE_MAX, node, seq, std::move(rows), pr.run,
+                        chunk.ingest_ns});
           }
         }
       }
@@ -1034,9 +1279,19 @@ struct Cosmos::Fed {
                                   ? node::default_noded_path()
                                   : options.recovery.noded_path;
     dbg("respawning " + std::to_string(i));
+    // If this worker slot was already respawned once, kill *and reap* the
+    // previous driver-owned incarnation before dialing a successor: a dying
+    // listener's accept backlog can swallow the re-dial (the connect
+    // succeeds against a process that will never serve), and the reap is
+    // the only barrier that the endpoint is really free. The chaos tests
+    // used to carry this waitpid themselves; it lives here now.
+    if (const auto rit = respawn_of.find(i); rit != respawn_of.end()) {
+      respawned[rit->second].kill();
+    }
     // The respawn always gets a fresh, fault-free channel: injected fault
     // plans die with the incarnation they were installed on.
     auto& proc = respawned.emplace_back(node::spawn_noded(noded, w.endpoint));
+    respawn_of[i] = respawned.size() - 1;
     if (options.on_respawn) options.on_respawn(i, proc.pid());
 
     w.channel = std::make_unique<wire::FrameChannel>(
@@ -1195,6 +1450,9 @@ struct Cosmos::Fed {
               [](const auto& a, const auto& b) {
                 return a.first.value() < b.first.value();
               });
+    // From here on the cut is being journaled into a fresh pending segment;
+    // an aborted attempt unlinks it and the previous segment stays live.
+    if (jw) jw->begin_checkpoint();
     std::unordered_map<std::uint64_t, EngineCheckpoint> fresh;
     for (const auto& [engine, hw] : placement) {
       {
@@ -1218,12 +1476,29 @@ struct Cosmos::Fed {
         handed = std::move(node.mapped().first);
         outstanding_ckpt_out.reset();
       }
-      if (report.federation.recoveries != recoveries0) return false;
+      if (report.federation.recoveries != recoveries0) {
+        if (jw) jw->abort_checkpoint();
+        return false;
+      }
       EngineCheckpoint ec;
       ec.state = std::move(handed.units);
       const auto sit = next_exec_seq.find(engine.value());
       ec.exec_seq = sit == next_exec_seq.end() ? 0 : sit->second;
+      if (jw) {
+        jw->engine_state({engine, static_cast<std::uint32_t>(hw),
+                          ec.exec_seq, ec.state});
+      }
       fresh.emplace(engine.value(), std::move(ec));
+    }
+    if (jw) {
+      journal::CheckpointCommit c;
+      c.checkpoint_id = ++next_ckpt_id;
+      c.events_consumed = events_consumed;
+      c.chunk_index = chunk_index;
+      c.watermark = last_watermark;
+      c.has_watermark = has_watermark;
+      c.engine_states = placement.size();
+      jw->commit_checkpoint(c);
     }
     ckpt = std::move(fresh);
     data_log.clear();
@@ -1232,11 +1507,25 @@ struct Cosmos::Fed {
     return true;
   }
 
-  void maybe_checkpoint(stream::Timestamp now) {
-    if (!options.recovery.enabled ||
-        options.recovery.checkpoint_every_ms <= 0) {
-      return;
+  /// Stream-time period between checkpoints: the tighter of the recovery
+  /// and journal cadences (0 = neither wants periodic cuts, so only the
+  /// initial checkpoint is taken).
+  [[nodiscard]] stream::Timestamp checkpoint_period() const {
+    stream::Timestamp period = 0;
+    if (options.recovery.enabled && options.recovery.checkpoint_every_ms > 0) {
+      period = options.recovery.checkpoint_every_ms;
     }
+    if (jw && options.journal.checkpoint_every_ms > 0) {
+      period = period == 0
+                   ? options.journal.checkpoint_every_ms
+                   : std::min(period, options.journal.checkpoint_every_ms);
+    }
+    return period;
+  }
+
+  void maybe_checkpoint(stream::Timestamp now) {
+    const stream::Timestamp period = checkpoint_period();
+    if (period <= 0) return;
     if (!has_ckpt_clock) {
       // Start the period clock at the trace's first chunk; the armed
       // initial checkpoint (empty state, seq 0) covers until then.
@@ -1244,8 +1533,26 @@ struct Cosmos::Fed {
       has_ckpt_clock = true;
       return;
     }
-    if (now - ckpt_clock_ms < options.recovery.checkpoint_every_ms) return;
+    if (now - ckpt_clock_ms < period) return;
     if (checkpoint()) ckpt_clock_ms = now;
+  }
+
+  /// Periodic retention-floor advance (FederationOptions::retention),
+  /// between checkpoints: drain the window, flush the fleet — the full ack
+  /// set advances acked_floor and prunes the data log — and deliver. No
+  /// state is pulled, so it is much cheaper than a checkpoint.
+  void maybe_floor(stream::Timestamp now) {
+    if (options.retention.floor_every_ms <= 0) return;
+    if (!has_floor_clock) {
+      floor_clock_ms = now;
+      has_floor_clock = true;
+      return;
+    }
+    if (now - floor_clock_ms < options.retention.floor_every_ms) return;
+    while (!pending.empty()) complete_front();
+    flush_all();
+    drain_deliver();
+    floor_clock_ms = now;
   }
 
   // --- live migration ------------------------------------------------------
@@ -1375,6 +1682,41 @@ struct Cosmos::Fed {
                      });
   }
 
+  // --- durable journal plumbing --------------------------------------------
+
+  /// The run-wide options snapshot journaled in every segment preamble:
+  /// everything that shapes chunk cutting and routing, so a resumed run
+  /// re-cuts and re-routes exactly as the crashed one did.
+  [[nodiscard]] journal::Meta journal_meta() const {
+    journal::Meta m;
+    m.batch_size = options.batch_size;
+    m.tick_ms = options.tick_ms;
+    m.worker_shards = static_cast<std::uint32_t>(
+        options.worker_shards == 0 ? 1 : options.worker_shards);
+    m.peer_links = options.peer_links;
+    m.endpoints = options.workers;
+    return m;
+  }
+
+  [[nodiscard]] journal::Writer::Options journal_options() const {
+    journal::Writer::Options o;
+    switch (options.journal.fsync) {
+      case FederationOptions::Journal::Fsync::kNever:
+        o.fsync = journal::Fsync::kNever;
+        break;
+      case FederationOptions::Journal::Fsync::kCommit:
+        o.fsync = journal::Fsync::kCommit;
+        break;
+      case FederationOptions::Journal::Fsync::kChunk:
+        o.fsync = journal::Fsync::kChunk;
+        break;
+      case FederationOptions::Journal::Fsync::kEvery:
+        o.fsync = journal::Fsync::kEvery;
+        break;
+    }
+    return o;
+  }
+
   // --- end of session ------------------------------------------------------
 
   /// Worker p1 matching shares + the driver's own p2 delivery share = the
@@ -1456,7 +1798,15 @@ struct Cosmos::Fed {
 
   RunReport run(const std::vector<runtime::TraceEvent>& events) {
     connect_all();
-    replicate();
+    if (resume_state != nullptr) {
+      resume_replicate();
+    } else {
+      if (!options.journal.dir.empty()) {
+        jw = journal::Writer::create(options.journal.dir, journal_meta(),
+                                     journal_options());
+      }
+      replicate();
+    }
 
     const std::size_t results_before = sys.results_delivered_;
     const std::size_t window =
@@ -1470,13 +1820,29 @@ struct Cosmos::Fed {
           run_migrations_due(chunk.first_ts);
           run_faults_due(chunk.first_ts);
           maybe_checkpoint(chunk.first_ts);
+          maybe_floor(chunk.first_ts);
           dispatch(std::move(chunk));
           if (options.on_chunk) options.on_chunk(chunk_index);
           ++chunk_index;
           while (pending.size() >= window) complete_front();
           drain_deliver();  // keep the p2 inbox bounded in practice
         }};
-    for (const auto& ev : events) driver.push(ev.stream, ev.tuple);
+    // A resumed run re-ingests the trace from the journal's resume cut:
+    // chunk cutting is prefix-deterministic, so feeding events[skip:] cuts
+    // exactly the chunks the crashed driver had not yet routed.
+    const std::size_t skip =
+        resume_state == nullptr
+            ? 0
+            : static_cast<std::size_t>(resume_state->resume_events);
+    if (skip > events.size()) {
+      throw std::invalid_argument{
+          "Cosmos: resume journal consumed " + std::to_string(skip) +
+          " trace events but the given trace holds only " +
+          std::to_string(events.size())};
+    }
+    for (std::size_t k = skip; k < events.size(); ++k) {
+      driver.push(events[k].stream, events[k].tuple);
+    }
     driver.finish();
 
     while (!pending.empty()) complete_front();
@@ -1497,6 +1863,19 @@ struct Cosmos::Fed {
     report.results_delivered = sys.results_delivered_ - results_before;
     report.federation.workers = workers.size();
     report.federation.driver_execute_bytes = driver_execute_bytes;
+    if (jw) {
+      report.federation.journal_bytes = jw->bytes_written();
+      report.federation.journal_fsyncs = jw->fsyncs();
+    }
+    report.federation.data_log_appended = data_log_appended;
+    report.federation.data_log_peak_entries = data_log_peak;
+    if (resume_state != nullptr) {
+      report.federation.journal_rollbacks = resume_state->segments_rolled_back;
+      report.federation.journal_torn_tail = resume_state->torn_tail;
+      report.federation.journal_records_dropped =
+          resume_state->records_dropped;
+      report.federation.resume_skipped_events = skip;
+    }
     report.e2e_latency = e2e->snapshot();
     report.metrics = reg.snapshot();
     return std::move(report);
@@ -1510,6 +1889,48 @@ Cosmos::RunReport Cosmos::run_federated(
     throw std::invalid_argument{"Cosmos: run_federated needs >= 1 worker"};
   }
   Fed fed{*this, options};
+  return fed.run(events);
+}
+
+Cosmos::RunReport Cosmos::resume_federated(
+    const std::vector<runtime::TraceEvent>& events,
+    const FederationOptions& options) {
+  if (options.journal.dir.empty()) {
+    throw std::invalid_argument{
+        "Cosmos: resume_federated needs options.journal.dir"};
+  }
+  const journal::RecoveredRun rec = journal::recover(options.journal.dir);
+
+  // The journaled meta overrides every option that shapes chunk cutting and
+  // routing: the resumed run must re-cut and re-route exactly as the
+  // crashed one did. Scripted migrations and faults do not re-run — the
+  // journal already reflects whatever they changed before the cut (a moved
+  // engine's placement rides in its journaled state record).
+  FederationOptions effective = options;
+  effective.workers = rec.meta.endpoints;
+  effective.batch_size = rec.meta.batch_size;
+  effective.tick_ms = rec.meta.tick_ms;
+  effective.worker_shards = rec.meta.worker_shards;
+  effective.peer_links = rec.meta.peer_links;
+  effective.migrations.clear();
+  effective.faults.clear();
+  if (effective.workers.empty()) {
+    throw std::invalid_argument{
+        "Cosmos: journal meta names no worker endpoints"};
+  }
+
+  Fed fed{*this, effective};
+  fed.resume_state = &rec;
+  // The crashed driver's workers died with it (driver-death EOF shuts the
+  // daemons down), so resume spawns its own fresh fleet on the journaled
+  // endpoints before dialing them.
+  const std::string noded = effective.recovery.noded_path.empty()
+                                ? node::default_noded_path()
+                                : effective.recovery.noded_path;
+  fed.owned_fleet.reserve(effective.workers.size());
+  for (const auto& ep : effective.workers) {
+    fed.owned_fleet.push_back(node::spawn_noded(noded, ep));
+  }
   return fed.run(events);
 }
 

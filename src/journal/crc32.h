@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges.
+// Every journal record travels framed as [len][crc][body]; the checksum is
+// what lets recovery tell a torn tail (partial final write) from a corrupted
+// record (bit rot, truncated overwrite) without trusting the length prefix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cosmos::journal {
+
+/// One-shot checksum of `size` bytes starting at `data`.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Incremental form: feed `crc32_update` the previous return value (seed with
+/// `kCrc32Seed`) and finish with `crc32_finish`.
+inline constexpr std::uint32_t kCrc32Seed = 0xFFFFFFFFu;
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state,
+                                         const std::uint8_t* data,
+                                         std::size_t size);
+[[nodiscard]] constexpr std::uint32_t crc32_finish(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cosmos::journal

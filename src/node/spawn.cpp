@@ -84,6 +84,16 @@ void NodeProcess::kill() {
   (void)wait();
 }
 
+void kill_and_reap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno == EINTR) continue;
+    break;  // ECHILD: another owner already reaped it — equally gone
+  }
+}
+
 NodeProcess spawn_noded(const std::string& noded_path,
                         const std::string& listen_address,
                         const std::vector<std::string>& extra_args) {

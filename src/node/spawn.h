@@ -47,7 +47,12 @@ class NodeProcess {
   /// then SIGKILL + reap. Returns the exit status (see wait()). Never
   /// blocks longer than the grace period plus one reap.
   int terminate(int grace_ms = 1'000);
-  /// SIGKILLs the child (if still running) and reaps it.
+  /// SIGKILLs the child (if still running) and reaps it. The reap is part
+  /// of the contract, not a courtesy: until the kernel tears the process
+  /// down, a dying daemon's listener backlog can still accept a re-dial to
+  /// its endpoint — the connect succeeds against a process that will never
+  /// serve, and the caller's session resets on a ghost. Returning only
+  /// after waitpid() makes "the endpoint is free" a post-condition.
   void kill();
   /// The reaped status once wait()/poll()/terminate()/kill() has collected
   /// the child: exit code, or -signal when it died on one. std::nullopt
@@ -70,6 +75,14 @@ class NodeProcess {
 [[nodiscard]] NodeProcess spawn_noded(
     const std::string& noded_path, const std::string& listen_address,
     const std::vector<std::string>& extra_args = {});
+
+/// NodeProcess::kill for a bare pid the caller does not own as a
+/// NodeProcess (e.g. a recovery respawn surfaced through on_respawn):
+/// SIGKILL + blocking waitpid, with the same reap-barrier guarantee that
+/// the pid's listener endpoint is free on return. A pid some other owner
+/// already reaped (ECHILD) is treated as already gone. The chaos tests
+/// used to open-code this kill+waitpid pair; it lives here now.
+void kill_and_reap(pid_t pid);
 
 /// The cosmos_noded binary to spawn: $COSMOS_NODED_PATH if set, else the
 /// build-time COSMOS_NODED_PATH definition. Inline so the macro resolves

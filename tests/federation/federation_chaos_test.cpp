@@ -158,14 +158,7 @@ TEST(FederationChaos, KillSameWorkerTwiceRecoversTwice) {
       ++kills;
       respawn_chunk = chunk;
     } else if (kills == 1 && respawn_pid > 0 && chunk >= respawn_chunk + 2) {
-      // Kill AND reap: until the kernel tears the process down, its
-      // listener backlog still accepts the driver's re-dial, which then
-      // resets and costs a third (benign, self-healing) recovery. Reaping
-      // makes the count deterministic; the driver's own wait() on this
-      // pid later shrugs off the ECHILD.
-      ::kill(respawn_pid, SIGKILL);
-      int status = 0;
-      ::waitpid(respawn_pid, &status, 0);
+      node::kill_and_reap(respawn_pid);
       ++kills;
     }
   };

@@ -1,0 +1,123 @@
+// In-memory retention boundedness: the driver's replay data log must not
+// grow with the trace when retention floors are enabled — independent of
+// journaling. A floor is a fleet-wide flush ack: once every worker has
+// applied execute seq s, entries below s can never be replayed and are
+// pruned. The differential half of each case proves pruning never changes
+// delivered results.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cosmos/cosmos.h"
+#include "node/spawn.h"
+#include "support/random_workload.h"
+
+namespace cosmos::middleware {
+namespace {
+
+using testsupport::ResultLog;
+using testsupport::build_system;
+using testsupport::make_workload;
+
+struct Fleet {
+  std::vector<node::NodeProcess> procs;
+  std::vector<std::string> endpoints;
+};
+
+Fleet spawn_fleet(std::size_t n, const std::string& tag) {
+  static int counter = 0;
+  Fleet fleet;
+  const std::string noded = node::default_noded_path();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string endpoint = "unix:/tmp/cosmos_rettest_" + tag + "_" +
+                                 std::to_string(::getpid()) + "_" +
+                                 std::to_string(counter++) + ".sock";
+    fleet.procs.push_back(node::spawn_noded(noded, endpoint));
+    fleet.endpoints.push_back(endpoint);
+  }
+  return fleet;
+}
+
+TEST(FederationRetention, FloorsBoundTheDataLog) {
+  const auto w = make_workload(3);
+  ResultLog push_log;
+  {
+    auto sys = build_system(w, push_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+  }
+
+  // peer_links forces data logging (replay source for lossy peer sends),
+  // which is exactly the buffer retention has to bound.
+  auto run = [&](stream::Timestamp floor_every_ms, ResultLog& log) {
+    auto fleet = spawn_fleet(2, floor_every_ms > 0 ? "floor" : "nofloor");
+    auto sys = build_system(w, log);
+    Cosmos::FederationOptions opts;
+    opts.workers = fleet.endpoints;
+    opts.batch_size = 16;
+    opts.tick_ms = 20 * 60'000;
+    opts.peer_links = true;
+    opts.retention.floor_every_ms = floor_every_ms;
+    const auto report = sys->run_federated(w.events, opts);
+    for (auto& p : fleet.procs) EXPECT_EQ(p.wait(), 0);
+    return report;
+  };
+
+  ResultLog unbounded_log;
+  const auto unbounded = run(0, unbounded_log);
+  ASSERT_EQ(unbounded_log, push_log);
+  ASSERT_GT(unbounded.federation.data_log_appended, 0u);
+  // No floors: the log holds every entry ever appended at the end.
+  EXPECT_EQ(unbounded.federation.data_log_peak_entries,
+            unbounded.federation.data_log_appended);
+
+  ResultLog bounded_log;
+  const auto bounded = run(60'000, bounded_log);
+  ASSERT_EQ(bounded_log, push_log) << "retention pruning changed results";
+  // Same trace, same routing: appends are identical; only the peak moves.
+  EXPECT_EQ(bounded.federation.data_log_appended,
+            unbounded.federation.data_log_appended);
+  EXPECT_LT(bounded.federation.data_log_peak_entries,
+            bounded.federation.data_log_appended)
+      << "retention floors never pruned the data log";
+}
+
+TEST(FederationRetention, FloorsComposeWithWorkerRecovery) {
+  // Recovery needs the data log *from the last checkpoint*, not forever:
+  // with checkpoints cutting regularly and floors pruning below the acked
+  // frontier, a mid-trace worker kill must still replay correctly.
+  const auto w = make_workload(6);
+  ResultLog push_log;
+  {
+    auto sys = build_system(w, push_log);
+    for (const auto& ev : w.events) sys->push(ev.stream, ev.tuple);
+  }
+
+  auto fleet = spawn_fleet(2, "recov");
+  ResultLog fed_log;
+  auto sys = build_system(w, fed_log);
+  Cosmos::FederationOptions opts;
+  opts.workers = fleet.endpoints;
+  opts.batch_size = 16;
+  opts.tick_ms = 20 * 60'000;
+  opts.recovery.enabled = true;
+  opts.recovery.noded_path = node::default_noded_path();
+  opts.recovery.checkpoint_every_ms = 20 * 60'000;
+  opts.retention.floor_every_ms = 60'000;
+  bool killed = false;
+  opts.on_chunk = [&](std::size_t chunk) {
+    if (chunk == 3 && !killed) {
+      fleet.procs[1].kill();
+      killed = true;
+    }
+  };
+  const auto report = sys->run_federated(w.events, opts);
+
+  ASSERT_TRUE(killed) << "trace too short to land the kill";
+  EXPECT_EQ(report.federation.recoveries, 1u);
+  ASSERT_EQ(fed_log, push_log)
+      << "retention + recovery differential mismatch";
+}
+
+}  // namespace
+}  // namespace cosmos::middleware
